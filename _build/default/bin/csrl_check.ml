@@ -1,0 +1,268 @@
+(* csrl-check: command-line CSRL model checker over Markov reward models.
+
+   Usage sketch:
+     csrl-check --model adhoc 'P>0.5 ( (call_idle|doze) U[t<=24][r<=600] call_initiated )'
+     csrl-check --file station.mrm --engine erlang:256 'P=? ( F[t<=2] down )'
+     csrl-check --model adhoc --list-propositions *)
+
+let builtin_models =
+  [ ("adhoc", "the paper's ad hoc network case study (9 states)");
+    ("adhoc-srn",
+     "the same model generated from its stochastic reward net");
+    ("multiprocessor", "Meyer-style degradable multiprocessor (5 states)");
+    ("cluster", "workstation cluster with switch and quorum (18 states)");
+    ("queue", "M/M/1/6 queue with server breakdowns (14 states)") ]
+
+let load_builtin name =
+  match name with
+  | "adhoc" ->
+    let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
+    Some (Models.Adhoc.mrm (), Models.Adhoc.labeling (), init)
+  | "adhoc-srn" ->
+    let m = Models.Adhoc_srn.mrm () in
+    let init = Linalg.Vec.unit (Markov.Mrm.n_states m) 0 in
+    Some (m, Models.Adhoc_srn.labeling (), init)
+  | "multiprocessor" ->
+    let c = Models.Multiprocessor.default in
+    let m = Models.Multiprocessor.mrm c in
+    let init =
+      Linalg.Vec.unit (Markov.Mrm.n_states m)
+        (Models.Multiprocessor.initial_state c)
+    in
+    Some (m, Models.Multiprocessor.labeling c, init)
+  | "cluster" ->
+    let c = Models.Cluster.default in
+    let m = Models.Cluster.mrm c in
+    let init =
+      Linalg.Vec.unit (Markov.Mrm.n_states m) (Models.Cluster.initial_state c)
+    in
+    Some (m, Models.Cluster.labeling c, init)
+  | "queue" ->
+    let c = Models.Queue_srn.default in
+    let m = Models.Queue_srn.mrm c in
+    let init =
+      Linalg.Vec.unit (Markov.Mrm.n_states m)
+        (Models.Queue_srn.state_of c ~jobs:0 ~server_up:true)
+    in
+    Some (m, Models.Queue_srn.labeling c, init)
+  | _ -> None
+
+let parse_engine text =
+  match String.split_on_char ':' text with
+  | [ "sericola" ] | [ "occupation-time" ] -> Ok Perf.Engine.default
+  | [ ("sericola" | "occupation-time"); eps ] -> begin
+      match float_of_string_opt eps with
+      | Some e when e > 0.0 && e < 1.0 ->
+        Ok (Perf.Engine.Occupation_time { epsilon = e })
+      | _ -> Error "occupation-time needs an epsilon in (0,1)"
+    end
+  | [ "erlang" ] -> Ok (Perf.Engine.Pseudo_erlang { phases = 256 })
+  | [ "erlang"; k ] -> begin
+      match int_of_string_opt k with
+      | Some phases when phases >= 1 ->
+        Ok (Perf.Engine.Pseudo_erlang { phases })
+      | _ -> Error "erlang needs a positive phase count"
+    end
+  | [ "discretise" ] | [ "discretize" ] | [ "tijms-veldman" ] ->
+    Ok (Perf.Engine.Discretize { step = 1.0 /. 64.0 })
+  | [ ("discretise" | "discretize" | "tijms-veldman"); d ] -> begin
+      match float_of_string_opt d with
+      | Some step when step > 0.0 -> Ok (Perf.Engine.Discretize { step })
+      | _ -> Error "discretise needs a positive step"
+    end
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown engine %S (try sericola[:eps], erlang[:k], discretise[:d])"
+         text)
+
+let print_states labeling mask_or_probs =
+  let n = Markov.Labeling.n_states labeling in
+  for s = 0 to n - 1 do
+    let labels = String.concat "," (Markov.Labeling.labels_of_state labeling s) in
+    let labels = if labels = "" then "-" else labels in
+    match mask_or_probs with
+    | `Mask mask ->
+      Printf.printf "  state %2d  [%-40s]  %s\n" s labels
+        (if mask.(s) then "SATISFIED" else "violated")
+    | `Probs probs ->
+      Printf.printf "  state %2d  [%-40s]  %.10f\n" s labels probs.(s)
+  done
+
+let print_info mrm labeling init =
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Mrm.n_states mrm in
+  Printf.printf "states:        %d\n" n;
+  Printf.printf "transitions:   %d\n" (Linalg.Csr.nnz (Markov.Ctmc.rates chain));
+  Printf.printf "max exit rate: %g\n" (Markov.Ctmc.max_exit_rate chain);
+  let levels =
+    Markov.Mrm.reward_levels mrm |> Array.to_list
+    |> List.map (Printf.sprintf "%g") |> String.concat ", "
+  in
+  Printf.printf "reward levels: {%s}\n" levels;
+  Printf.printf "impulses:      %s\n"
+    (if Markov.Mrm.has_impulses mrm then
+       Printf.sprintf "yes (max %g)" (Markov.Mrm.max_impulse mrm)
+     else "no");
+  let g = Markov.Ctmc.graph chain in
+  let scc = Graph.Scc.compute g in
+  let bottoms = Graph.Scc.bottom_components g scc in
+  Printf.printf "SCCs:          %d (%d bottom)\n" scc.Graph.Scc.count
+    (List.length bottoms);
+  Printf.printf "propositions:  %s\n"
+    (String.concat ", " (Markov.Labeling.propositions labeling));
+  let pi = Markov.Steady.distribution chain ~init in
+  Printf.printf "long-run distribution from the initial distribution:\n";
+  Array.iteri
+    (fun s p ->
+      if p > 1e-12 then
+        Printf.printf "  state %2d  [%s]  %.8f\n" s
+          (String.concat "," (Markov.Labeling.labels_of_state labeling s))
+          p)
+    pi;
+  Printf.printf "long-run reward rate: %g\n"
+    (Markov.Expected_reward.steady_rate mrm ~init)
+
+let run model_name file engine_text epsilon list_props info lump formula_text =
+  let document =
+    match file, model_name with
+    | Some path, _ ->
+      let doc = Io.Mrm_format.parse_file path in
+      (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling, doc.Io.Mrm_format.init)
+    | None, name -> begin
+        match load_builtin name with
+        | Some triple -> triple
+        | None ->
+          prerr_endline
+            (Printf.sprintf "unknown model %S; built-in models:" name);
+          List.iter
+            (fun (n, d) -> prerr_endline (Printf.sprintf "  %-16s %s" n d))
+            builtin_models;
+          exit 2
+      end
+  in
+  let mrm, labeling, init = document in
+  let mrm, labeling, init =
+    if lump then begin
+      let l = Markov.Lumping.compute mrm labeling in
+      Printf.printf "lumped: %d states -> %d blocks\n"
+        (Array.length l.Markov.Lumping.block_of_state)
+        l.Markov.Lumping.n_blocks;
+      (l.Markov.Lumping.quotient, l.Markov.Lumping.labeling,
+       Markov.Lumping.lift l init)
+    end
+    else (mrm, labeling, init)
+  in
+  if info then begin
+    print_info mrm labeling init;
+    exit 0
+  end;
+  if list_props then begin
+    Printf.printf "model: %d states, %d transitions\n" (Markov.Mrm.n_states mrm)
+      (Linalg.Csr.nnz (Markov.Ctmc.rates (Markov.Mrm.ctmc mrm)));
+    List.iter
+      (fun p ->
+        let mask = Markov.Labeling.sat labeling p in
+        let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+        Printf.printf "  %-24s (%d states)\n" p count)
+      (Markov.Labeling.propositions labeling);
+    exit 0
+  end;
+  let formula_text =
+    match formula_text with
+    | Some f -> f
+    | None ->
+      prerr_endline "no formula given (pass one, or --list-propositions)";
+      exit 2
+  in
+  let engine =
+    match parse_engine engine_text with
+    | Ok e -> e
+    | Error message -> prerr_endline message; exit 2
+  in
+  let ctx = Checker.make ~engine ~epsilon mrm labeling in
+  match Logic.Parser.query formula_text with
+  | exception Logic.Parser.Parse_error (message, pos) ->
+    Printf.eprintf "parse error at position %d: %s\n" pos message;
+    exit 2
+  | query -> begin
+      Format.printf "query:  %a@." Logic.Ast.pp_query query;
+      Format.printf "engine: %a@." Perf.Engine.pp_spec engine;
+      match Checker.eval_query ctx query with
+      | Checker.Boolean mask ->
+        print_states labeling (`Mask mask);
+        let p = Linalg.Vec.dot init (Array.map (fun b -> if b then 1.0 else 0.0) mask) in
+        Printf.printf "initial distribution satisfies the formula with mass %g\n" p;
+        if p < 1.0 then exit 1
+      | Checker.Numeric probs ->
+        print_states labeling (`Probs probs);
+        Printf.printf "value from the initial distribution: %.10f\n"
+          (Linalg.Vec.dot init probs)
+    end
+
+open Cmdliner
+
+let model_arg =
+  let doc = "Built-in model to check (adhoc, adhoc-srn, multiprocessor, cluster)." in
+  Arg.(value & opt string "adhoc" & info [ "m"; "model" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc = "Load the model from a .mrm file instead of a built-in." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"PATH" ~doc)
+
+let engine_arg =
+  let doc =
+    "Numerical engine for time- and reward-bounded until: sericola[:eps], \
+     erlang[:phases] or discretise[:step]."
+  in
+  Arg.(value & opt string "sericola" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let epsilon_arg =
+  let doc = "Accuracy of transient analyses." in
+  Arg.(value & opt float 1e-9 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let list_props_arg =
+  let doc = "List the model's atomic propositions and exit." in
+  Arg.(value & flag & info [ "l"; "list-propositions" ] ~doc)
+
+let info_arg =
+  let doc =
+    "Print model statistics (size, reward levels, BSCCs, long-run \
+     behaviour) and exit."
+  in
+  Arg.(value & flag & info [ "i"; "info" ] ~doc)
+
+let lump_arg =
+  let doc =
+    "Reduce the model by its ordinary-lumpability quotient before checking \
+     (states shown are then blocks)."
+  in
+  Arg.(value & flag & info [ "lump" ] ~doc)
+
+let formula_arg =
+  let doc =
+    "The CSRL formula or query, e.g. 'P>0.5 ( a U[t<=24][r<=600] b )' or \
+     'P=? ( F[t<=2] down )'."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let cmd =
+  let doc = "model check CSRL performability properties over Markov reward models" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Implements the model checking procedures of Haverkort, Cloth, \
+         Hermanns, Katoen & Baier, 'Model Checking Performability \
+         Properties' (DSN 2002): unbounded, time-bounded, reward-bounded \
+         and time-and-reward-bounded until operators over finite Markov \
+         reward models, the latter via a pseudo-Erlang approximation, \
+         Tijms-Veldman discretisation or Sericola's occupation-time \
+         algorithm." ]
+  in
+  Cmd.v
+    (Cmd.info "csrl-check" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg
+      $ list_props_arg $ info_arg $ lump_arg $ formula_arg)
+
+let () = exit (Cmd.eval cmd)

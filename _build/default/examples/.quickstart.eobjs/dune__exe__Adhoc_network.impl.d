@@ -1,0 +1,1 @@
+examples/adhoc_network.ml: Array Checker Format Linalg List Logic Markov Models Perf Petri Sim

@@ -1,0 +1,1 @@
+examples/cluster_energy.ml: Array Checker Format List Logic Markov Models Perf

@@ -1,0 +1,1 @@
+examples/multiprocessor_perf.ml: Array Checker Format List Logic Models Perf

@@ -1,0 +1,1 @@
+examples/multiprocessor_perf.mli:

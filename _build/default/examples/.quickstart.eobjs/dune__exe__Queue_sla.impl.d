@@ -1,0 +1,1 @@
+examples/queue_sla.ml: Array Checker Format Logic Markov Models Perf Sim

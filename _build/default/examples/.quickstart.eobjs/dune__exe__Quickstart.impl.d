@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Checker Format List Logic Markov Perf String

@@ -1,0 +1,80 @@
+(* Service-level questions on a breakdown-prone queue — a tour of the
+   extensions beyond the DSN 2002 paper that this library implements:
+
+   - interval time bounds  (the paper's Section 6 future work, two-phase),
+   - expected-reward operators (R),
+   - impulse rewards        (the paper's other Section 6 future work),
+
+   all on the M/M/1/K-with-breakdowns SRN of Models.Queue_srn.
+
+   Run with:  dune exec examples/queue_sla.exe *)
+
+let () =
+  let c = Models.Queue_srn.default in
+  let mrm = Models.Queue_srn.mrm c in
+  let labeling = Models.Queue_srn.labeling c in
+  let init = Models.Queue_srn.state_of c ~jobs:0 ~server_up:true in
+  Format.printf
+    "M/M/1/%d queue with breakdowns: lambda=%g mu=%g, %d states@."
+    c.Models.Queue_srn.capacity c.Models.Queue_srn.arrival_rate
+    c.Models.Queue_srn.service_rate (Markov.Mrm.n_states mrm);
+
+  let ctx = Checker.make ~epsilon:1e-10 mrm labeling in
+  let quantify text =
+    match Checker.eval_query ctx (Logic.Parser.query text) with
+    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.(init)
+    | Checker.Boolean _ -> assert false
+  in
+
+  print_endline "-- classic bounds ------------------------------------------";
+  quantify "P=? ( F[t<=8] full )";
+  quantify "P=? ( true U[t<=8][r<=40] full )";
+
+  print_endline "-- interval time bounds (two-phase extension) --------------";
+  (* An SLA on the second shift: the queue must be caught up at SOME
+     point of hours 8..16. *)
+  quantify "P=? ( F[t>=8][t<=16] idle )";
+  quantify "P=? ( server_up U[t>=8][t<=16] idle )";
+  (* Compare: the window probability is below its [0,16] superset. *)
+  quantify "P=? ( F[t<=16] idle )";
+
+  print_endline "-- expected rewards (R operator) ---------------------------";
+  quantify "R=? ( C[t<=24] )";
+  quantify "R=? ( F full )";
+  quantify "R=? ( S )";
+
+  print_endline "-- impulse rewards (admission costs) -----------------------";
+  (* Each admitted job costs 2 energy units at the instant of arrival;
+     reward-bounded checking now needs the discretisation engine. *)
+  let impulse_mrm = Models.Queue_srn.mrm_with_admission_cost ~admission_cost:2.0 c in
+  let ictx =
+    Checker.make ~engine:(Perf.Engine.Discretize { step = 1.0 /. 64.0 })
+      ~epsilon:1e-10 impulse_mrm labeling
+  in
+  let iquantify text =
+    match Checker.eval_query ictx (Logic.Parser.query text) with
+    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.(init)
+    | Checker.Boolean _ -> assert false
+  in
+  iquantify "P=? ( true U[t<=8][r<=64] full )";
+  iquantify "R=? ( C[t<=24] )";
+  iquantify "R=? ( S )";
+  (* Cross-check the impulse model by simulation. *)
+  let rng = Sim.Rng.create ~seed:14L in
+  let full_mask = Markov.Labeling.sat labeling "full" in
+  let iv =
+    Sim.Estimate.until_probability rng impulse_mrm ~init
+      ~phi:(Array.make (Markov.Mrm.n_states impulse_mrm) true)
+      ~psi:full_mask ~time_bound:8.0 ~reward_bound:64.0 ~samples:100_000
+  in
+  Format.printf "  simulation of the first impulse query: %.5f +- %.5f@."
+    iv.Sim.Estimate.mean iv.Sim.Estimate.half_width;
+
+  print_endline "-- verdict -------------------------------------------------";
+  let verdict text =
+    let mask = Checker.sat ctx (Logic.Parser.state_formula text) in
+    Format.printf "  %-52s : %s@." text
+      (if mask.(init) then "HOLDS" else "FAILS")
+  in
+  verdict "P>=0.95 ( F[t>=8][t<=16] idle )";
+  verdict "R<=130 ( C[t<=24] )"

@@ -1,0 +1,278 @@
+type t = {
+  mrm : Markov.Mrm.t;
+  labeling : Markov.Labeling.t;
+  engine : Perf.Engine.spec;
+  epsilon : float;
+}
+
+exception Unsupported of string
+
+let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9) mrm labeling =
+  if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
+    invalid_arg "Checker.make: labeling and model sizes differ";
+  { mrm; labeling; engine; epsilon }
+
+let mrm ctx = ctx.mrm
+let labeling ctx = ctx.labeling
+
+(* ------------------------------------------------------------------ *)
+(* Unbounded until (P0): qualitative precomputation + linear system.  *)
+
+let until_unbounded ctx ~phi ~psi =
+  let chain = Markov.Mrm.ctmc ctx.mrm in
+  let n = Markov.Ctmc.n_states chain in
+  let g = Markov.Ctmc.graph chain in
+  let prob0 = Graph.Reach.until_prob0 g ~phi ~psi in
+  let prob1 = Graph.Reach.until_prob1 g ~phi ~psi in
+  let open_state s = (not prob0.(s)) && not prob1.(s) in
+  let emb = Markov.Ctmc.embedded chain in
+  (* x = A x + b on the open states: A keeps embedded probabilities among
+     open states, b collects one-step mass into prob-1 states. *)
+  let triples = ref [] in
+  let b = Linalg.Vec.create n in
+  for s = 0 to n - 1 do
+    if open_state s then
+      Linalg.Csr.iter_row emb s (fun s' p ->
+          if prob1.(s') then b.(s) <- b.(s) +. p
+          else if open_state s' then triples := (s, s', p) :: !triples)
+  done;
+  let a = Linalg.Csr.of_coo ~rows:n ~cols:n !triples in
+  let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol:(ctx.epsilon /. 10.0) a ~b in
+  if not outcome.Linalg.Solvers.converged then
+    failwith "Checker: unbounded-until system did not converge";
+  Array.init n (fun s ->
+      if prob1.(s) then 1.0
+      else if prob0.(s) then 0.0
+      else Numerics.Float_utils.clamp_prob outcome.Linalg.Solvers.solution.(s))
+
+(* ------------------------------------------------------------------ *)
+(* Time-bounded until (P1): absorb and run transient analysis.        *)
+
+let until_time_bounded ctx ~phi ~psi ~time_bound =
+  let chain = Markov.Mrm.ctmc ctx.mrm in
+  let n = Markov.Ctmc.n_states chain in
+  let absorb = Array.init n (fun s -> psi.(s) || not phi.(s)) in
+  let absorbed = Markov.Transform.make_absorbing chain ~absorb in
+  Markov.Transient.reachability_all ~epsilon:ctx.epsilon absorbed ~goal:psi
+    ~t:time_bound
+
+(* ------------------------------------------------------------------ *)
+(* Until with a time interval [a, b] (or [a, inf)): the standard
+   two-phase construction, an extension beyond the paper's [0, b]
+   fragment.  During [0, a] the path must stay inside Phi (not-Phi states
+   are made absorbing and contribute nothing); conditioned on the state
+   occupied at time a, what remains is an ordinary time-bounded until
+   over a horizon of b - a (or an unbounded one).                      *)
+
+let until_time_window ctx ~phi ~psi ~t_lo ~t_hi =
+  let chain = Markov.Mrm.ctmc ctx.mrm in
+  let n = Markov.Ctmc.n_states chain in
+  let phase2 =
+    match t_hi with
+    | Some b -> until_time_bounded ctx ~phi ~psi ~time_bound:(b -. t_lo)
+    | None -> until_unbounded ctx ~phi ~psi
+  in
+  let terminal =
+    Array.init n (fun s -> if phi.(s) then phase2.(s) else 0.0)
+  in
+  let absorbed =
+    Markov.Transform.make_absorbing chain ~absorb:(Array.map not phi)
+  in
+  Array.map Numerics.Float_utils.clamp_prob
+    (Markov.Transient.backward ~epsilon:ctx.epsilon absorbed ~terminal
+       ~t:t_lo)
+
+(* ------------------------------------------------------------------ *)
+(* Reward-bounded until (P2): duality transform, then P1 on the dual. *)
+
+let until_reward_bounded ctx ~phi ~psi ~reward_bound =
+  let n = Markov.Mrm.n_states ctx.mrm in
+  let reduced = Perf.Reduced.reduce ctx.mrm ~phi ~psi in
+  let m' = reduced.Perf.Reduced.mrm in
+  if not (Markov.Duality.is_dualizable m') then
+    raise
+      (Unsupported
+         "reward-bounded until on a model with zero-reward non-absorbing \
+          states: the duality transform needs positive rewards (the paper \
+          shares this restriction; add a time bound to use the P3 engines)");
+  let dual = Markov.Duality.dual m' in
+  let dual_probs =
+    Markov.Transient.reachability_all ~epsilon:ctx.epsilon
+      (Markov.Mrm.ctmc dual) ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
+  in
+  Array.init n (fun s -> dual_probs.(reduced.Perf.Reduced.state_map.(s)))
+
+(* ------------------------------------------------------------------ *)
+(* Time- and reward-bounded until (P3): Theorem 1 + a Section 4 engine. *)
+
+let until_both_bounded ctx ~phi ~psi ~time_bound ~reward_bound =
+  Perf.Reduced.until_probabilities_via
+    (Perf.Engine.solve ctx.engine)
+    ctx.mrm ~phi ~psi ~time_bound ~reward_bound
+
+(* ------------------------------------------------------------------ *)
+(* Next.  The jump out of [s] must happen at a sojourn time inside the
+   time interval I and — since the reward earned is [rho s * sojourn] —
+   inside [J / rho s] as well.  General intervals are fine here: the
+   sojourn is exponential, so the factor is a difference of two
+   exponentials over the intersected window.                          *)
+
+let next_probabilities ctx ~time ~reward ~target =
+  let chain = Markov.Mrm.ctmc ctx.mrm in
+  let n = Markov.Ctmc.n_states chain in
+  Array.init n (fun s ->
+      let exit = Markov.Ctmc.exit_rate chain s in
+      if exit = 0.0 then 0.0
+      else begin
+        (* Mass of successors satisfying the target formula. *)
+        let hit = ref 0.0 in
+        Linalg.Csr.iter_row (Markov.Ctmc.rates chain) s (fun s' rate ->
+            if target.(s') then hit := !hit +. rate);
+        let jump_prob = !hit /. exit in
+        let rho = Markov.Mrm.reward ctx.mrm s in
+        let reward_window =
+          if rho > 0.0 then Some (Numerics.Interval.scale (1.0 /. rho) reward)
+          else if Numerics.Interval.lower reward = 0.0 then
+            (* Zero reward rate: the accumulated reward stays 0, which
+               satisfies exactly the downward-closed reward intervals. *)
+            Some Numerics.Interval.unbounded
+          else None
+        in
+        let window =
+          match reward_window with
+          | None -> None
+          | Some rw -> Numerics.Interval.intersect time rw
+        in
+        let sojourn_factor =
+          match window with
+          | None -> 0.0
+          | Some w ->
+            let at_lower = Float.exp (-.exit *. Numerics.Interval.lower w) in
+            let at_upper =
+              match Numerics.Interval.upper w with
+              | None -> 0.0
+              | Some b -> Float.exp (-.exit *. b)
+            in
+            at_lower -. at_upper
+        in
+        Numerics.Float_utils.clamp_prob (jump_prob *. sojourn_factor)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Steady state.                                                      *)
+
+let steady_values ctx ~target =
+  let chain = Markov.Mrm.ctmc ctx.mrm in
+  let n = Markov.Ctmc.n_states chain in
+  let g = Markov.Ctmc.graph chain in
+  let scc = Graph.Scc.compute g in
+  let bottoms = Graph.Scc.bottom_components g scc in
+  let absorption = Markov.Steady.absorption_probabilities chain in
+  let result = Linalg.Vec.create n in
+  List.iteri
+    (fun k comp ->
+      let members = scc.Graph.Scc.members.(comp) in
+      (* Stationary distribution inside the BSCC, as mass on the target. *)
+      let full = Linalg.Vec.create n in
+      List.iter (fun s -> full.(s) <- 1.0 /. float_of_int (List.length members))
+        members;
+      let pi =
+        Markov.Steady.distribution chain ~init:full
+      in
+      let target_mass = Linalg.Vec.masked_sum pi target in
+      Linalg.Vec.axpy ~alpha:target_mass ~x:absorption.(k) ~y:result)
+    bottoms;
+  Array.map Numerics.Float_utils.clamp_prob result
+
+(* ------------------------------------------------------------------ *)
+(* The recursive Sat computation.                                     *)
+
+let rec sat ctx (phi : Logic.Ast.state_formula) : bool array =
+  let n = Markov.Mrm.n_states ctx.mrm in
+  match phi with
+  | True -> Array.make n true
+  | False -> Array.make n false
+  | Ap a -> Markov.Labeling.sat ctx.labeling a
+  | Not f -> Array.map not (sat ctx f)
+  | And (f, g) ->
+    let sf = sat ctx f and sg = sat ctx g in
+    Array.init n (fun s -> sf.(s) && sg.(s))
+  | Or (f, g) ->
+    let sf = sat ctx f and sg = sat ctx g in
+    Array.init n (fun s -> sf.(s) || sg.(s))
+  | Implies (f, g) ->
+    let sf = sat ctx f and sg = sat ctx g in
+    Array.init n (fun s -> (not sf.(s)) || sg.(s))
+  | Prob (cmp, p, path) ->
+    let probs = path_probabilities ctx path in
+    Array.map (Logic.Ast.compare_holds cmp p) probs
+  | Steady (cmp, p, f) ->
+    let values = steady_values ctx ~target:(sat ctx f) in
+    Array.map (Logic.Ast.compare_holds cmp p) values
+  | Reward (cmp, c, q) ->
+    let values = reward_values ctx q in
+    Array.map (Logic.Ast.compare_holds cmp c) values
+
+and reward_values ctx (q : Logic.Ast.reward_query) : Linalg.Vec.t =
+  match q with
+  | Logic.Ast.Cumulative t ->
+    Markov.Expected_reward.cumulative_all ~epsilon:ctx.epsilon ctx.mrm ~t
+  | Logic.Ast.Reach f ->
+    Markov.Expected_reward.reachability ~tol:(ctx.epsilon /. 10.0) ctx.mrm
+      ~goal:(sat ctx f)
+  | Logic.Ast.Long_run ->
+    Markov.Expected_reward.steady_rate_all ctx.mrm
+
+and path_probabilities ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
+  match path with
+  | Next (time, reward, f) ->
+    next_probabilities ctx ~time ~reward ~target:(sat ctx f)
+  | Until (time, reward, f, g) -> begin
+      let phi = sat ctx f and psi = sat ctx g in
+      if not (Numerics.Interval.is_downward_closed reward) then
+        raise
+          (Unsupported
+             "until with a reward interval not starting at 0: no \
+              computational procedure is known (the open problem of the \
+              paper's Section 6)");
+      let t_lo = Numerics.Interval.lower time in
+      if t_lo > 0.0 then begin
+        match Numerics.Interval.upper reward with
+        | Some _ ->
+          raise
+            (Unsupported
+               "until combining a time-interval lower bound with a reward \
+                bound: no computational procedure is known (the open \
+                problem of the paper's Section 6)")
+        | None ->
+          until_time_window ctx ~phi ~psi ~t_lo
+            ~t_hi:(Numerics.Interval.upper time)
+      end
+      else
+        match
+          Numerics.Interval.upper time, Numerics.Interval.upper reward
+        with
+        | None, None -> until_unbounded ctx ~phi ~psi
+        | Some t, None -> until_time_bounded ctx ~phi ~psi ~time_bound:t
+        | None, Some r -> until_reward_bounded ctx ~phi ~psi ~reward_bound:r
+        | Some t, Some r ->
+          until_both_bounded ctx ~phi ~psi ~time_bound:t ~reward_bound:r
+    end
+
+let holds ctx phi s =
+  let mask = sat ctx phi in
+  if s < 0 || s >= Array.length mask then
+    invalid_arg "Checker.holds: state out of range";
+  mask.(s)
+
+let steady_probabilities ctx f = steady_values ctx ~target:(sat ctx f)
+
+type verdict =
+  | Boolean of bool array
+  | Numeric of Linalg.Vec.t
+
+let eval_query ctx = function
+  | Logic.Ast.Formula f -> Boolean (sat ctx f)
+  | Logic.Ast.Prob_query path -> Numeric (path_probabilities ctx path)
+  | Logic.Ast.Steady_query f -> Numeric (steady_probabilities ctx f)
+  | Logic.Ast.Reward_query q -> Numeric (reward_values ctx q)

@@ -1,0 +1,65 @@
+(** The CSRL model checker (Section 3 of the paper).
+
+    [Sat Phi] is computed by a bottom-up traversal of the formula's parse
+    tree.  The boolean layer is set algebra on characteristic vectors; the
+    probabilistic operators dispatch on the shape of their bounds to the
+    procedure the paper prescribes:
+
+    - [P0] — until with no bounds: qualitative precomputation
+      (probability-0/1 sets) followed by a linear system on the embedded
+      chain (Hansson–Jonsson).
+    - [P1] — time-bounded until: make goal and illegal states absorbing,
+      then transient analysis (Baier–Haverkort–Hermanns–Katoen).
+    - [P2] — reward-bounded until: swap time and reward with the duality
+      transform and fall back to [P1].
+    - [P3] — time- {e and} reward-bounded until: the Theorem 1 reduction
+      followed by one of the three numerical engines of Section 4.
+
+    The steady-state operator follows the BSCC construction of the CSL
+    literature. *)
+
+type t
+(** A checking context: model, labeling, engine selection, accuracy. *)
+
+exception Unsupported of string
+(** Raised for the one genuinely open corner: a reward-bounded (but
+    time-unbounded) until on a model where some relevant state has reward
+    zero — the duality transform of [P2] then needs infinite rates.  The
+    paper has the same restriction. *)
+
+val make :
+  ?engine:Perf.Engine.spec -> ?epsilon:float -> Markov.Mrm.t ->
+  Markov.Labeling.t -> t
+(** [engine] (default {!Perf.Engine.default}) solves the [P3] problems;
+    [epsilon] (default [1e-9]) is the accuracy of transient analyses. *)
+
+val mrm : t -> Markov.Mrm.t
+val labeling : t -> Markov.Labeling.t
+
+val sat : t -> Logic.Ast.state_formula -> bool array
+(** The characteristic vector of [Sat Phi].  Raises
+    [Markov.Labeling.Unknown_proposition] for propositions missing from the
+    labeling, {!Unsupported} as described above. *)
+
+val holds : t -> Logic.Ast.state_formula -> int -> bool
+(** [holds ctx phi s]: does state [s] satisfy [phi]? *)
+
+val path_probabilities : t -> Logic.Ast.path_formula -> Linalg.Vec.t
+(** Entry [s] is [Prob (s, phi)] — the measure of paths from [s] satisfying
+    the path formula (the quantitative [P=?] query). *)
+
+val steady_probabilities : t -> Logic.Ast.state_formula -> Linalg.Vec.t
+(** Entry [s] is the long-run probability of sitting in [Sat Phi] when
+    starting from [s] (the quantitative [S=?] query). *)
+
+val reward_values : t -> Logic.Ast.reward_query -> Linalg.Vec.t
+(** Expected-reward values per state (the quantitative [R=?] query): the
+    expected accumulated reward by a deadline, the expected reward to
+    reach a set ([infinity] where not almost sure), or the long-run
+    reward rate. *)
+
+type verdict =
+  | Boolean of bool array
+  | Numeric of Linalg.Vec.t
+
+val eval_query : t -> Logic.Ast.query -> verdict

@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Array Digraph List Queue

@@ -1,0 +1,61 @@
+type t = {
+  n : int;
+  succ : int list array;      (* reversed insertion order *)
+  seen : (int * int, unit) Hashtbl.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; succ = Array.make n []; seen = Hashtbl.create (4 * (n + 1)) }
+
+let n_vertices g = g.n
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  Hashtbl.mem g.seen (u, v)
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if not (Hashtbl.mem g.seen (u, v)) then begin
+    Hashtbl.add g.seen (u, v) ();
+    g.succ.(u) <- v :: g.succ.(u)
+  end
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let of_csr m =
+  if Linalg.Csr.rows m <> Linalg.Csr.cols m then
+    invalid_arg "Digraph.of_csr: square matrix required";
+  let g = create (Linalg.Csr.rows m) in
+  Linalg.Csr.iter m (fun i j v -> if v <> 0.0 then add_edge g i j);
+  g
+
+let successors g u =
+  check_vertex g u;
+  List.rev g.succ.(u)
+
+let iter_succ g u f = List.iter f (successors g u)
+
+let reverse g =
+  let r = create g.n in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> add_edge r v u) g.succ.(u)
+  done;
+  r
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  for u = 0 to g.n - 1 do
+    Format.fprintf ppf "%d ->" u;
+    iter_succ g u (fun v -> Format.fprintf ppf " %d" v);
+    if u < g.n - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

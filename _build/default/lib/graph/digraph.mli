@@ -1,0 +1,34 @@
+(** Directed graphs over integer vertices [0 .. n-1].
+
+    Used for the qualitative precomputations of the model checker (which
+    states can reach a goal set at all) and for the bottom-SCC analysis of
+    the steady-state operator. *)
+
+type t
+
+val create : int -> t
+(** Empty graph with [n] vertices. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph; duplicate edges are kept only once.
+    Raises [Invalid_argument] on out-of-range endpoints. *)
+
+val of_csr : Linalg.Csr.t -> t
+(** Structure graph of a square sparse matrix: edge [(i, j)] iff the entry
+    is stored and non-zero. *)
+
+val n_vertices : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent edge insertion. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val successors : t -> int -> int list
+(** Successor list in insertion order (each successor once). *)
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+
+val reverse : t -> t
+
+val pp : Format.formatter -> t -> unit

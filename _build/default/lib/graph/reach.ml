@@ -1,0 +1,60 @@
+let forward g sources =
+  let n = Digraph.n_vertices g in
+  let marked = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if not marked.(v) then begin
+        marked.(v) <- true;
+        Queue.add v queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_succ g v (fun w ->
+        if not marked.(w) then begin
+          marked.(w) <- true;
+          Queue.add w queue
+        end)
+  done;
+  marked
+
+let backward g targets = forward (Digraph.reverse g) targets
+
+let backward_constrained g ~through ~targets =
+  let n = Digraph.n_vertices g in
+  if Array.length through <> n || Array.length targets <> n then
+    invalid_arg "Reach.backward_constrained: length mismatch";
+  let rev = Digraph.reverse g in
+  let marked = Array.make n false in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if targets.(v) then begin
+      marked.(v) <- true;
+      Queue.add v queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_succ rev v (fun w ->
+        if (not marked.(w)) && through.(w) && not targets.(w) then begin
+          marked.(w) <- true;
+          Queue.add w queue
+        end)
+  done;
+  marked
+
+let until_prob0 g ~phi ~psi =
+  let can_reach = backward_constrained g ~through:phi ~targets:psi in
+  Array.map not can_reach
+
+let until_prob1 g ~phi ~psi =
+  let n = Digraph.n_vertices g in
+  let prob0 = until_prob0 g ~phi ~psi in
+  (* A state fails to have probability one iff it can reach a prob-0 state
+     via phi-and-not-psi states.  (On the embedded graph of a CTMC every
+     non-absorbing transition is taken with positive probability, so
+     graph reachability captures "with positive probability".) *)
+  let through = Array.init n (fun i -> phi.(i) && not psi.(i)) in
+  let bad = backward_constrained g ~through ~targets:prob0 in
+  Array.init n (fun i -> not bad.(i))

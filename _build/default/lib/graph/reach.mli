@@ -1,0 +1,34 @@
+(** Qualitative reachability on directed graphs.
+
+    The model checker uses these to decide, before any numerics run, which
+    states satisfy an until formula with probability exactly 0 or exactly 1
+    — both to short-circuit work and to keep the iterative solvers
+    well-conditioned (their systems are then restricted to states with a
+    genuinely open outcome). *)
+
+val forward : Digraph.t -> int list -> bool array
+(** [forward g sources] marks every vertex reachable from [sources]
+    (sources included). *)
+
+val backward : Digraph.t -> int list -> bool array
+(** [backward g targets] marks every vertex that can reach [targets]
+    (targets included). *)
+
+val backward_constrained :
+  Digraph.t -> through:bool array -> targets:bool array -> bool array
+(** [backward_constrained g ~through ~targets] marks the vertices that can
+    reach a target via a path whose intermediate vertices (strictly before
+    the target) all satisfy [through].  Targets are marked regardless of
+    [through]; a non-[through], non-target vertex is never marked.  This is
+    the [Prob > 0] precomputation for [Phi U Psi] with [through =
+    Sat(Phi)], [targets = Sat(Psi)]. *)
+
+val until_prob0 : Digraph.t -> phi:bool array -> psi:bool array -> bool array
+(** States where [P(Phi U Psi) = 0]: the complement of
+    {!backward_constrained}. *)
+
+val until_prob1 : Digraph.t -> phi:bool array -> psi:bool array -> bool array
+(** States where [P(Phi U Psi) = 1], by the standard double-fixpoint
+    construction (for CTMCs interpreted on the embedded graph: a state has
+    until-probability one iff it cannot reach, via [Phi]-states, a state
+    from which the [Psi]-set is unreachable through [Phi]). *)

@@ -1,0 +1,88 @@
+type result = {
+  count : int;
+  component : int array;
+  members : int list array;
+}
+
+(* Iterative Tarjan: an explicit stack of (vertex, remaining successors)
+   frames replaces recursion so that million-state graphs do not overflow
+   the OCaml stack. *)
+let compute g =
+  let n = Digraph.n_vertices g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Array.make n (-1) in
+  let comp_members = ref [] in
+  let comp_count = ref 0 in
+  let visit root =
+    let frames = ref [ (root, Digraph.successors g root) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> begin
+          match succs with
+          | w :: more ->
+            frames := (v, more) :: rest;
+            if index.(w) = -1 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              frames := (w, Digraph.successors g w) :: !frames
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- Stdlib.min lowlink.(v) index.(w)
+          | [] ->
+            frames := rest;
+            (match rest with
+             | (parent, _) :: _ ->
+               lowlink.(parent) <- Stdlib.min lowlink.(parent) lowlink.(v)
+             | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              (* v is the root of a component: pop it off the stack. *)
+              let members = ref [] in
+              let continue = ref true in
+              while !continue do
+                match !stack with
+                | [] -> assert false
+                | w :: tail ->
+                  stack := tail;
+                  on_stack.(w) <- false;
+                  component.(w) <- !comp_count;
+                  members := w :: !members;
+                  if w = v then continue := false
+              done;
+              comp_members := !members :: !comp_members;
+              incr comp_count
+            end
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  let members = Array.make !comp_count [] in
+  (* comp_members is in reverse order of creation. *)
+  List.iteri
+    (fun k ms -> members.(!comp_count - 1 - k) <- ms)
+    !comp_members;
+  { count = !comp_count; component; members }
+
+let is_bottom g r c =
+  if c < 0 || c >= r.count then invalid_arg "Scc.is_bottom: bad component";
+  List.for_all
+    (fun v ->
+      List.for_all (fun w -> r.component.(w) = c) (Digraph.successors g v))
+    r.members.(c)
+
+let bottom_components g r =
+  List.init r.count Fun.id |> List.filter (is_bottom g r)

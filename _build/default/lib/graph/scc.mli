@@ -1,0 +1,24 @@
+(** Strongly connected components (iterative Tarjan).
+
+    The steady-state operator needs the bottom strongly connected components
+    (BSCCs) of a CTMC: once the process enters one it never leaves, so the
+    long-run distribution is a mixture of per-BSCC stationary
+    distributions. *)
+
+type result = {
+  count : int;                  (** number of components *)
+  component : int array;       (** [component.(v)] in [0 .. count-1] *)
+  members : int list array;    (** vertices of each component *)
+}
+
+val compute : Digraph.t -> result
+(** Components are numbered in reverse topological order of the condensed
+    graph: if there is an edge from component [a] to component [b <> a]
+    then [a > b].  (A consequence of Tarjan's algorithm popping sinks
+    first.) *)
+
+val is_bottom : Digraph.t -> result -> int -> bool
+(** [is_bottom g r c] holds if component [c] has no edge leaving it. *)
+
+val bottom_components : Digraph.t -> result -> int list
+(** All bottom components, ascending. *)

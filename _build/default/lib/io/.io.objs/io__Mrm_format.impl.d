@@ -1,0 +1,1 @@
+lib/io/mrm_format.ml: Array Buffer Fun Linalg List Markov Printf String

@@ -1,0 +1,1 @@
+lib/io/mrm_format.mli: Linalg Markov

@@ -1,0 +1,1 @@
+lib/io/table.ml: Array List Printf Stdlib String

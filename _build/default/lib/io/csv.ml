@@ -1,0 +1,25 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let line fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let render ~header rows =
+  String.concat "" (line header :: List.map line rows)
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  output_string oc (render ~header rows);
+  close_out oc

@@ -1,0 +1,12 @@
+(** Minimal CSV output (RFC-4180 quoting) so bench results can be piped
+    into external plotting. *)
+
+val escape : string -> string
+(** Quotes a field if it contains a comma, quote or newline. *)
+
+val line : string list -> string
+(** One CSV record, newline-terminated. *)
+
+val render : header:string list -> string list list -> string
+
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,34 @@
+type align = Left | Right
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let render ?(aligns = []) ~header rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- Stdlib.max widths.(c) (String.length cell)))
+    all;
+  let align_of c =
+    match List.nth_opt aligns c with Some a -> a | None -> Right
+  in
+  let render_row row =
+    row
+    |> List.mapi (fun c cell -> pad (align_of c) widths.(c) cell)
+    |> String.concat "  "
+  in
+  let rule =
+    String.concat "--"
+      (List.init n_cols (fun c -> String.make widths.(c) '-'))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+  ^ "\n"
+
+let seconds s =
+  if s < 0.01 then "< 0.01 sec" else Printf.sprintf "%.2f sec" s

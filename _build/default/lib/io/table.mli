@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the bench harness — the tables print in
+    the same row/column layout as the paper's Tables 1-4. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with column-wise padding and a
+    separator rule under the header.  [aligns] defaults to [Right] for
+    every column; a short list is padded with [Right]. *)
+
+val seconds : float -> string
+(** Human formatting of a CPU-time measurement, e.g. ["0.42 sec"] or
+    ["< 0.01 sec"]. *)

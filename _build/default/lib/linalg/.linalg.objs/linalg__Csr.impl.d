@@ -1,0 +1,1 @@
+lib/linalg/csr.ml: Array Format Hashtbl List Numerics Option Printf Stdlib

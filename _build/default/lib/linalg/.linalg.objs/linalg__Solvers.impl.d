@@ -1,0 +1,1 @@
+lib/linalg/solvers.ml: Array Csr Float Vec

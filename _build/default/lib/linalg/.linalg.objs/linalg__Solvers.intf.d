@@ -1,0 +1,1 @@
+lib/linalg/solvers.mli: Csr Vec

@@ -1,0 +1,195 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;    (* length n_rows + 1 *)
+  col_idx : int array;    (* length nnz, sorted within each row *)
+  values : float array;   (* length nnz *)
+}
+
+let rows a = a.n_rows
+let cols a = a.n_cols
+let nnz a = Array.length a.values
+
+let of_coo ~rows:n_rows ~cols:n_cols triples =
+  if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_coo: negative size";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
+        invalid_arg
+          (Printf.sprintf "Csr.of_coo: entry (%d,%d) out of %dx%d" i j n_rows
+             n_cols))
+    triples;
+  (* Sum duplicates via per-row hash tables, then lay out sorted rows. *)
+  let row_tables = Array.init n_rows (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (i, j, v) ->
+      let table = row_tables.(i) in
+      let prior = Option.value ~default:0.0 (Hashtbl.find_opt table j) in
+      Hashtbl.replace table j (prior +. v))
+    triples;
+  let row_entries =
+    Array.map
+      (fun table ->
+        Hashtbl.fold (fun j v acc -> if v = 0.0 then acc else (j, v) :: acc)
+          table []
+        |> List.sort (fun (j1, _) (j2, _) -> compare j1 j2))
+      row_tables
+  in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 row_entries in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_ptr.(i) <- !pos;
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!pos) <- j;
+          values.(!pos) <- v;
+          incr pos)
+        entries)
+    row_entries;
+  row_ptr.(n_rows) <- !pos;
+  { n_rows; n_cols; row_ptr; col_idx; values }
+
+let of_dense m =
+  let n_rows = Array.length m in
+  let n_cols = if n_rows = 0 then 0 else Array.length m.(0) in
+  let triples = ref [] in
+  for i = n_rows - 1 downto 0 do
+    if Array.length m.(i) <> n_cols then
+      invalid_arg "Csr.of_dense: ragged matrix";
+    for j = n_cols - 1 downto 0 do
+      if m.(i).(j) <> 0.0 then triples := (i, j, m.(i).(j)) :: !triples
+    done
+  done;
+  of_coo ~rows:n_rows ~cols:n_cols !triples
+
+let to_dense a =
+  let m = Array.make_matrix a.n_rows a.n_cols 0.0 in
+  for i = 0 to a.n_rows - 1 do
+    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      m.(i).(a.col_idx.(p)) <- a.values.(p)
+    done
+  done;
+  m
+
+let get a i j =
+  if i < 0 || i >= a.n_rows || j < 0 || j >= a.n_cols then
+    invalid_arg "Csr.get: index out of bounds";
+  (* Binary search within the sorted row. *)
+  let rec search lo hi =
+    if lo >= hi then 0.0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = a.col_idx.(mid) in
+      if c = j then a.values.(mid)
+      else if c < j then search (mid + 1) hi
+      else search lo mid
+    end
+  in
+  search a.row_ptr.(i) a.row_ptr.(i + 1)
+
+let iter_row a i f =
+  if i < 0 || i >= a.n_rows then invalid_arg "Csr.iter_row: row out of bounds";
+  for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+    f a.col_idx.(p) a.values.(p)
+  done
+
+let fold_row a i ~init ~f =
+  let acc = ref init in
+  iter_row a i (fun j v -> acc := f !acc j v);
+  !acc
+
+let iter a f =
+  for i = 0 to a.n_rows - 1 do
+    iter_row a i (fun j v -> f i j v)
+  done
+
+let row_sum a i = fold_row a i ~init:0.0 ~f:(fun acc _ v -> acc +. v)
+
+let mul_vec_into a x y =
+  if Array.length x <> a.n_cols then invalid_arg "Csr.mul_vec_into: bad x";
+  if Array.length y <> a.n_rows then invalid_arg "Csr.mul_vec_into: bad y";
+  for i = 0 to a.n_rows - 1 do
+    let acc = ref 0.0 in
+    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (a.values.(p) *. x.(a.col_idx.(p)))
+    done;
+    y.(i) <- !acc
+  done
+
+let mul_vec a x =
+  let y = Array.make a.n_rows 0.0 in
+  mul_vec_into a x y;
+  y
+
+let vec_mul_into x a y =
+  if Array.length x <> a.n_rows then invalid_arg "Csr.vec_mul_into: bad x";
+  if Array.length y <> a.n_cols then invalid_arg "Csr.vec_mul_into: bad y";
+  Array.fill y 0 (Array.length y) 0.0;
+  for i = 0 to a.n_rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        let j = a.col_idx.(p) in
+        y.(j) <- y.(j) +. (xi *. a.values.(p))
+      done
+  done
+
+let vec_mul x a =
+  let y = Array.make a.n_cols 0.0 in
+  vec_mul_into x a y;
+  y
+
+let transpose a =
+  let triples = ref [] in
+  iter a (fun i j v -> triples := (j, i, v) :: !triples);
+  of_coo ~rows:a.n_cols ~cols:a.n_rows !triples
+
+let map f a =
+  let triples = ref [] in
+  iter a (fun i j v -> triples := (i, j, f v) :: !triples);
+  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+
+let mapi f a =
+  let triples = ref [] in
+  iter a (fun i j v -> triples := (i, j, f i j v) :: !triples);
+  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+
+let scale c a = map (fun v -> c *. v) a
+
+let identity n =
+  of_coo ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0)))
+
+let diagonal a =
+  Array.init (Stdlib.min a.n_rows a.n_cols) (fun i -> get a i i)
+
+let filter_rows a ~keep =
+  let triples = ref [] in
+  iter a (fun i j v -> if keep i then triples := (i, j, v) :: !triples);
+  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+
+let equal_approx ?(tol = 1e-12) a b =
+  a.n_rows = b.n_rows && a.n_cols = b.n_cols
+  && begin
+       let da = to_dense a and db = to_dense b in
+       let ok = ref true in
+       for i = 0 to a.n_rows - 1 do
+         for j = 0 to a.n_cols - 1 do
+           if not (Numerics.Float_utils.approx_eq ~abs:tol da.(i).(j) db.(i).(j))
+           then ok := false
+         done
+       done;
+       !ok
+     end
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.n_rows - 1 do
+    Format.fprintf ppf "row %d:" i;
+    iter_row a i (fun j v -> Format.fprintf ppf " (%d: %g)" j v);
+    if i < a.n_rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,71 @@
+(** Compressed-sparse-row matrices.
+
+    The rate matrices of Markov reward models are sparse (the case study has
+    at most a handful of transitions per state); everything in the checker
+    that multiplies by a matrix goes through this representation. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+(** Number of stored (non-zero) entries. *)
+
+val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
+(** Builds a CSR matrix from coordinate triples [(i, j, v)].  Duplicate
+    coordinates are summed; entries that are exactly [0.] after summing are
+    dropped.  Raises [Invalid_argument] on out-of-range indices or negative
+    dimensions. *)
+
+val of_dense : float array array -> t
+val to_dense : t -> float array array
+
+val get : t -> int -> int -> float
+(** [get a i j] is the entry at [(i, j)] ([0.] if not stored); logarithmic
+    in the row length. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row a i f] applies [f j v] to the stored entries of row [i] in
+    increasing column order. *)
+
+val fold_row : t -> int -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterates over all stored entries in row-major order. *)
+
+val row_sum : t -> int -> float
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [A x]. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into a x y] stores [A x] in [y]; [x] and [y] must be distinct
+    arrays. *)
+
+val vec_mul : Vec.t -> t -> Vec.t
+(** [vec_mul x a] is the row vector [x^T A] — the direction in which
+    probability distributions are propagated. *)
+
+val vec_mul_into : Vec.t -> t -> Vec.t -> unit
+
+val transpose : t -> t
+
+val map : (float -> float) -> t -> t
+(** Applies a function to the stored entries only. *)
+
+val mapi : (int -> int -> float -> float) -> t -> t
+
+val scale : float -> t -> t
+
+val identity : int -> t
+
+val diagonal : t -> Vec.t
+(** The main diagonal as a dense vector. *)
+
+val filter_rows : t -> keep:(int -> bool) -> t
+(** [filter_rows a ~keep] zeroes every row [i] with [not (keep i)] (the
+    make-absorbing operation on rate matrices). *)
+
+val equal_approx : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Iterative solvers for the linear systems of probabilistic model
+    checking.
+
+    Unbounded-until probabilities satisfy fixed-point equations of the form
+    [x = A x + b] where [A] is a sub-stochastic matrix; steady-state
+    distributions satisfy [pi = pi P].  Both are solved iteratively, which
+    preserves sparsity and never needs an explicit factorisation. *)
+
+type outcome = {
+  solution : Vec.t;
+  iterations : int;
+  residual : float;   (** L-infinity change of the last sweep *)
+  converged : bool;
+}
+
+val jacobi_fixpoint :
+  ?x0:Vec.t -> ?tol:float -> ?max_iter:int -> Csr.t -> b:Vec.t -> outcome
+(** [jacobi_fixpoint a ~b] iterates [x <- A x + b] from [x0] (default all
+    zeros) until the L-infinity change drops below [tol] (default [1e-12])
+    or [max_iter] sweeps (default [100_000]) have been made.  For
+    sub-stochastic [A] this converges monotonically from the zero vector to
+    the least fixed point — the correct until-probability. *)
+
+val gauss_seidel_fixpoint :
+  ?x0:Vec.t -> ?tol:float -> ?max_iter:int -> Csr.t -> b:Vec.t -> outcome
+(** Same fixed point, but every sweep reuses the values already updated in
+    that sweep (typically two to three times fewer sweeps than Jacobi on
+    the chains considered here). *)
+
+val power_stationary :
+  ?pi0:Vec.t -> ?tol:float -> ?max_iter:int -> Csr.t -> outcome
+(** [power_stationary p] iterates [pi <- pi P] for a stochastic matrix [P]
+    until consecutive iterates differ by less than [tol] in L-infinity.
+    [pi0] defaults to the uniform distribution.  The result is
+    renormalised; for an aperiodic irreducible [P] it is the stationary
+    distribution.  (Uniformised CTMC matrices are always aperiodic because
+    the uniformisation rate exceeds every exit rate, putting self-loops on
+    each state.) *)

@@ -1,0 +1,71 @@
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let scale c v = Array.map (fun x -> c *. x) v
+
+let scale_in_place c v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- c *. v.(i)
+  done
+
+let check_lengths name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vec.%s: length mismatch" name)
+
+let add u v =
+  check_lengths "add" u v;
+  Array.mapi (fun i x -> x +. v.(i)) u
+
+let axpy ~alpha ~x ~y =
+  check_lengths "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let dot = Numerics.Kahan.dot
+
+let sum = Numerics.Kahan.sum_array
+
+let normalize v =
+  let s = sum v in
+  if not (s > 0.0) then invalid_arg "Vec.normalize: non-positive sum";
+  scale (1.0 /. s) v
+
+let masked_sum v mask =
+  if Array.length v <> Array.length mask then
+    invalid_arg "Vec.masked_sum: length mismatch";
+  let acc = Numerics.Kahan.create () in
+  for i = 0 to Array.length v - 1 do
+    if mask.(i) then Numerics.Kahan.add acc v.(i)
+  done;
+  Numerics.Kahan.sum acc
+
+let unit n i =
+  if i < 0 || i >= n then invalid_arg "Vec.unit: index out of bounds";
+  let v = create n in
+  v.(i) <- 1.0;
+  v
+
+let linf_dist = Numerics.Float_utils.max_abs_diff
+
+let is_distribution ?(tol = 1e-9) v =
+  Array.for_all (fun x -> Numerics.Float_utils.is_prob ~slack:tol x) v
+  && Float.abs (sum v -. 1.0) <= tol
+
+let is_sub_distribution ?(tol = 1e-9) v =
+  Array.for_all (fun x -> Numerics.Float_utils.is_prob ~slack:tol x) v
+  && sum v <= 1.0 +. tol
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_seq v)

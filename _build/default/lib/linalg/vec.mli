@@ -1,0 +1,52 @@
+(** Dense float vectors.
+
+    Thin, allocation-conscious helpers over [float array]; all distribution
+    vectors in the checker go through this module. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val scale : float -> t -> t
+(** Fresh vector [c *. v]. *)
+
+val scale_in_place : float -> t -> unit
+
+val add : t -> t -> t
+(** Fresh element-wise sum; lengths must agree. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y <- alpha * x + y]. *)
+
+val dot : t -> t -> float
+(** Compensated dot product. *)
+
+val sum : t -> float
+(** Compensated sum of the entries. *)
+
+val normalize : t -> t
+(** Fresh copy scaled so the entries sum to one.  Raises
+    [Invalid_argument] if the sum is not positive. *)
+
+val masked_sum : t -> bool array -> float
+(** [masked_sum v mask] sums [v.(i)] over indices with [mask.(i)]. *)
+
+val unit : int -> int -> t
+(** [unit n i] is the [i]-th standard basis vector of length [n]. *)
+
+val linf_dist : t -> t -> float
+
+val is_distribution : ?tol:float -> t -> bool
+(** All entries in [\[0,1\]] (within [tol]) and total within [tol] of 1. *)
+
+val is_sub_distribution : ?tol:float -> t -> bool
+(** All entries in [\[0,1\]] (within [tol]) and total at most [1 + tol]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/ast.ml: Format Numerics Set String

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Ast Format Lexer Numerics Printf

@@ -1,0 +1,145 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | TRUE
+  | FALSE
+  | PROB
+  | STEADY
+  | NEXT
+  | UNTIL
+  | EVENTUALLY
+  | GLOBALLY
+  | REWARD
+  | CUMULATIVE
+  | LE | LT | GE | GT
+  | QUERY
+  | BANG | AMP | BAR | ARROW
+  | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | EOF
+
+exception Error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec scan i =
+    if i >= n then emit EOF n
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' -> emit LPAREN i; scan (i + 1)
+      | ')' -> emit RPAREN i; scan (i + 1)
+      | '[' -> emit LBRACKET i; scan (i + 1)
+      | ']' -> emit RBRACKET i; scan (i + 1)
+      | '!' -> emit BANG i; scan (i + 1)
+      | '&' -> emit AMP i; scan (i + 1)
+      | '|' -> emit BAR i; scan (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit LE i;
+          scan (i + 2)
+        end
+        else begin
+          emit LT i;
+          scan (i + 1)
+        end
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit GE i;
+          scan (i + 2)
+        end
+        else begin
+          emit GT i;
+          scan (i + 1)
+        end
+      | '=' ->
+        if i + 1 < n && input.[i + 1] = '?' then begin
+          emit QUERY i;
+          scan (i + 2)
+        end
+        else raise (Error ("expected '=?'", i))
+      | '-' ->
+        if i + 1 < n && input.[i + 1] = '>' then begin
+          emit ARROW i;
+          scan (i + 2)
+        end
+        else raise (Error ("expected '->'", i))
+      | 'P' -> emit PROB i; scan (i + 1)
+      | 'S' -> emit STEADY i; scan (i + 1)
+      | 'X' -> emit NEXT i; scan (i + 1)
+      | 'U' -> emit UNTIL i; scan (i + 1)
+      | 'F' -> emit EVENTUALLY i; scan (i + 1)
+      | 'G' -> emit GLOBALLY i; scan (i + 1)
+      | 'R' -> emit REWARD i; scan (i + 1)
+      | 'C' -> emit CUMULATIVE i; scan (i + 1)
+      | c when is_digit c || c = '.' ->
+        let j = ref i in
+        while
+          !j < n
+          && (is_digit input.[!j] || input.[!j] = '.' || input.[!j] = 'e'
+              || input.[!j] = 'E'
+              || ((input.[!j] = '+' || input.[!j] = '-')
+                  && !j > i
+                  && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        let text = String.sub input i (!j - i) in
+        (match float_of_string_opt text with
+         | Some x -> emit (NUMBER x) i
+         | None -> raise (Error (Printf.sprintf "bad number %S" text, i)));
+        scan !j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let text = String.sub input i (!j - i) in
+        (match text with
+         | "true" -> emit TRUE i
+         | "false" -> emit FALSE i
+         | _ -> emit (IDENT text) i);
+        scan !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  scan 0;
+  List.rev !tokens
+
+let pp_token ppf tok =
+  Format.pp_print_string ppf
+    (match tok with
+     | IDENT s -> Printf.sprintf "identifier %S" s
+     | NUMBER x -> Printf.sprintf "number %g" x
+     | TRUE -> "'true'"
+     | FALSE -> "'false'"
+     | PROB -> "'P'"
+     | STEADY -> "'S'"
+     | NEXT -> "'X'"
+     | UNTIL -> "'U'"
+     | EVENTUALLY -> "'F'"
+     | GLOBALLY -> "'G'"
+     | REWARD -> "'R'"
+     | CUMULATIVE -> "'C'"
+     | LE -> "'<='"
+     | LT -> "'<'"
+     | GE -> "'>='"
+     | GT -> "'>'"
+     | QUERY -> "'=?'"
+     | BANG -> "'!'"
+     | AMP -> "'&'"
+     | BAR -> "'|'"
+     | ARROW -> "'->'"
+     | LPAREN -> "'('"
+     | RPAREN -> "')'"
+     | LBRACKET -> "'['"
+     | RBRACKET -> "']'"
+     | EOF -> "end of input")

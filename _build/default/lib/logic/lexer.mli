@@ -1,0 +1,33 @@
+(** Tokeniser for the concrete CSRL syntax.
+
+    Atomic propositions are identifiers starting with a lowercase letter or
+    underscore ([call_idle], [doze], ...).  The single capital letters [P],
+    [S], [X], [U], [F] and [G] are reserved operator keywords, as are
+    [true] and [false]. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | TRUE
+  | FALSE
+  | PROB           (** [P] *)
+  | STEADY         (** [S] *)
+  | NEXT           (** [X] *)
+  | UNTIL          (** [U] *)
+  | EVENTUALLY     (** [F] *)
+  | GLOBALLY       (** [G] *)
+  | REWARD         (** [R] *)
+  | CUMULATIVE     (** [C] *)
+  | LE | LT | GE | GT
+  | QUERY          (** [=?] *)
+  | BANG | AMP | BAR | ARROW
+  | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | EOF
+
+exception Error of string * int
+(** Message and 0-based character position. *)
+
+val tokenize : string -> (token * int) list
+(** All tokens with their start positions; the last element is [EOF]. *)
+
+val pp_token : Format.formatter -> token -> unit

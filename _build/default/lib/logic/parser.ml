@@ -1,0 +1,277 @@
+exception Parse_error of string * int
+
+type stream = {
+  tokens : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let current st = st.tokens.(st.pos)
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let fail_at st message =
+  let _, pos = current st in
+  raise (Parse_error (message, pos))
+
+let expect st tok message =
+  let t, _ = current st in
+  if t = tok then advance st else fail_at st message
+
+(* Internally a path formula may also be a 'globally', which only makes
+   sense under a probability bound (it is dualised away there). *)
+type raw_path =
+  | Raw of Ast.path_formula
+  | Raw_globally of
+      Numerics.Interval.t * Numerics.Interval.t * Ast.state_formula
+
+let comparison st =
+  match current st with
+  | Lexer.LT, _ -> advance st; Some Ast.Lt
+  | Lexer.LE, _ -> advance st; Some Ast.Le
+  | Lexer.GT, _ -> advance st; Some Ast.Gt
+  | Lexer.GE, _ -> advance st; Some Ast.Ge
+  | _ -> None
+
+let number st =
+  match current st with
+  | Lexer.NUMBER x, _ -> advance st; x
+  | _ -> fail_at st "expected a number"
+
+(* bounds ::= ('<=' number)? ('[' ('t'|'r') ('<='|'>=') number ']')* *)
+let bounds st =
+  let t_lower = ref None and t_upper = ref None in
+  let r_lower = ref None and r_upper = ref None in
+  let set what slot value =
+    match !slot with
+    | Some _ -> fail_at st (Printf.sprintf "duplicate %s bound" what)
+    | None -> slot := Some value
+  in
+  (match current st with
+   | Lexer.LE, _ ->
+     advance st;
+     set "time upper" t_upper (number st)
+   | _ -> ());
+  let rec groups () =
+    match current st with
+    | Lexer.LBRACKET, _ ->
+      advance st;
+      let target =
+        match current st with
+        | Lexer.IDENT "t", _ -> advance st; `Time
+        | Lexer.IDENT "r", _ -> advance st; `Reward
+        | _ -> fail_at st "expected 't' or 'r' in a bound"
+      in
+      let direction =
+        match current st with
+        | Lexer.LE, _ -> advance st; `Upper
+        | Lexer.GE, _ -> advance st; `Lower
+        | _ -> fail_at st "expected '<=' or '>=' in a bound"
+      in
+      let value = number st in
+      expect st Lexer.RBRACKET "expected ']' closing a bound";
+      (match target, direction with
+       | `Time, `Upper -> set "time upper" t_upper value
+       | `Time, `Lower -> set "time lower" t_lower value
+       | `Reward, `Upper -> set "reward upper" r_upper value
+       | `Reward, `Lower -> set "reward lower" r_lower value);
+      groups ()
+    | _ -> ()
+  in
+  groups ();
+  let interval what ~lower ~upper =
+    match Numerics.Interval.make ~lower ~upper with
+    | interval -> interval
+    | exception Invalid_argument _ ->
+      fail_at st (Printf.sprintf "empty %s interval" what)
+  in
+  ( interval "time" ~lower:!t_lower ~upper:!t_upper,
+    interval "reward" ~lower:!r_lower ~upper:!r_upper )
+
+let rec state_formula_prec st = implies st
+
+and implies st =
+  let lhs = or_formula st in
+  match current st with
+  | Lexer.ARROW, _ ->
+    advance st;
+    Ast.Implies (lhs, implies st)
+  | _ -> lhs
+
+and or_formula st =
+  let lhs = ref (and_formula st) in
+  let rec loop () =
+    match current st with
+    | Lexer.BAR, _ ->
+      advance st;
+      lhs := Ast.Or (!lhs, and_formula st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and and_formula st =
+  let lhs = ref (unary st) in
+  let rec loop () =
+    match current st with
+    | Lexer.AMP, _ ->
+      advance st;
+      lhs := Ast.And (!lhs, unary st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and unary st =
+  match current st with
+  | Lexer.BANG, _ ->
+    advance st;
+    Ast.Not (unary st)
+  | _ -> atom st
+
+and atom st =
+  match current st with
+  | Lexer.TRUE, _ -> advance st; Ast.True
+  | Lexer.FALSE, _ -> advance st; Ast.False
+  | Lexer.IDENT name, _ -> advance st; Ast.Ap name
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let f = state_formula_prec st in
+    expect st Lexer.RPAREN "expected ')'";
+    f
+  | Lexer.PROB, _ ->
+    advance st;
+    let cmp =
+      match comparison st with
+      | Some c -> c
+      | None -> fail_at st "expected a comparison after 'P'"
+    in
+    let p = number st in
+    expect st Lexer.LPAREN "expected '(' after the probability bound";
+    let raw = path_formula st in
+    expect st Lexer.RPAREN "expected ')' closing the path formula";
+    (match raw with
+     | Raw path -> Ast.Prob (cmp, p, path)
+     | Raw_globally (i, j, f) ->
+       (* P cmp p (G phi)  =  P cmp' (1-p) (F !phi) *)
+       Ast.Prob
+         (Ast.dual_comparison cmp, 1.0 -. p,
+          Ast.Until (i, j, Ast.True, Ast.Not f)))
+  | Lexer.STEADY, _ ->
+    advance st;
+    let cmp =
+      match comparison st with
+      | Some c -> c
+      | None -> fail_at st "expected a comparison after 'S'"
+    in
+    let p = number st in
+    expect st Lexer.LPAREN "expected '(' after the probability bound";
+    let f = state_formula_prec st in
+    expect st Lexer.RPAREN "expected ')' closing the formula";
+    Ast.Steady (cmp, p, f)
+  | Lexer.REWARD, _ ->
+    advance st;
+    let cmp =
+      match comparison st with
+      | Some c -> c
+      | None -> fail_at st "expected a comparison after 'R'"
+    in
+    let c = number st in
+    expect st Lexer.LPAREN "expected '(' after the reward bound";
+    let q = reward_query st in
+    expect st Lexer.RPAREN "expected ')' closing the reward query";
+    Ast.Reward (cmp, c, q)
+  | tok, _ ->
+    fail_at st
+      (Format.asprintf "expected a state formula, found %a" Lexer.pp_token
+         tok)
+
+and reward_query st =
+  match current st with
+  | Lexer.CUMULATIVE, _ ->
+    advance st;
+    expect st Lexer.LBRACKET "expected '[' after 'C'";
+    (match current st with
+     | Lexer.IDENT "t", _ -> advance st
+     | _ -> fail_at st "expected 't' in a cumulative-reward bound");
+    expect st Lexer.LE "expected '<=' in a cumulative-reward bound";
+    let b = number st in
+    expect st Lexer.RBRACKET "expected ']' closing the bound";
+    Ast.Cumulative b
+  | Lexer.EVENTUALLY, _ ->
+    advance st;
+    Ast.Reach (unary st)
+  | Lexer.STEADY, _ ->
+    advance st;
+    Ast.Long_run
+  | tok, _ ->
+    fail_at st
+      (Format.asprintf
+         "expected a reward query ('C[t<=b]', 'F phi' or 'S'), found %a"
+         Lexer.pp_token tok)
+
+and path_formula st =
+  match current st with
+  | Lexer.NEXT, _ ->
+    advance st;
+    let time, reward = bounds st in
+    Raw (Ast.Next (time, reward, unary st))
+  | Lexer.EVENTUALLY, _ ->
+    advance st;
+    let time, reward = bounds st in
+    Raw (Ast.Until (time, reward, Ast.True, unary st))
+  | Lexer.GLOBALLY, _ ->
+    advance st;
+    let time, reward = bounds st in
+    Raw_globally (time, reward, unary st)
+  | _ ->
+    let lhs = unary st in
+    expect st Lexer.UNTIL "expected 'U' in a path formula";
+    let time, reward = bounds st in
+    Raw (Ast.Until (time, reward, lhs, unary st))
+
+let make_stream input =
+  match Lexer.tokenize input with
+  | tokens -> { tokens = Array.of_list tokens; pos = 0 }
+  | exception Lexer.Error (message, pos) -> raise (Parse_error (message, pos))
+
+let finish st value =
+  match current st with
+  | Lexer.EOF, _ -> value
+  | tok, _ ->
+    fail_at st (Format.asprintf "trailing input: %a" Lexer.pp_token tok)
+
+let state_formula input =
+  let st = make_stream input in
+  finish st (state_formula_prec st)
+
+let query input =
+  let st = make_stream input in
+  match st.tokens.(0), (if Array.length st.tokens > 1 then Some st.tokens.(1) else None) with
+  | (Lexer.PROB, _), Some (Lexer.QUERY, _) ->
+    advance st;
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after 'P=?'";
+    let raw = path_formula st in
+    expect st Lexer.RPAREN "expected ')'";
+    (match raw with
+     | Raw path -> finish st (Ast.Prob_query path)
+     | Raw_globally _ ->
+       fail_at st "'G' is not supported in quantitative queries; use 'F' on \
+                   the negated formula")
+  | (Lexer.STEADY, _), Some (Lexer.QUERY, _) ->
+    advance st;
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after 'S=?'";
+    let f = state_formula_prec st in
+    expect st Lexer.RPAREN "expected ')'";
+    finish st (Ast.Steady_query f)
+  | (Lexer.REWARD, _), Some (Lexer.QUERY, _) ->
+    advance st;
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after 'R=?'";
+    let q = reward_query st in
+    expect st Lexer.RPAREN "expected ')'";
+    finish st (Ast.Reward_query q)
+  | _ -> finish st (Ast.Formula (state_formula_prec st))

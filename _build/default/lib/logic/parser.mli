@@ -1,0 +1,45 @@
+(** Recursive-descent parser for the concrete CSRL syntax.
+
+    Grammar (precedence increasing downwards; [->] is right-associative,
+    [|] and [&] left-associative):
+
+    {v
+    query   ::= 'P' '=?' '(' path ')' | 'S' '=?' '(' state ')'
+              | 'R' '=?' '(' reward ')' | state
+    state   ::= or ( '->' state )?
+    or      ::= and ( '|' and )*
+    and     ::= unary ( '&' unary )*
+    unary   ::= '!' unary | atom
+    atom    ::= 'true' | 'false' | ident | '(' state ')'
+              | 'P' cmp number '(' path ')'
+              | 'S' cmp number '(' state ')'
+              | 'R' cmp number '(' reward ')'
+    path    ::= 'X' bounds unary
+              | 'F' bounds unary
+              | 'G' bounds unary          (only under P cmp p; dualised)
+              | unary 'U' bounds unary
+    reward  ::= 'C' '[' 't' '<=' number ']' | 'F' unary | 'S'
+    bounds  ::= shorthand? group*         (at most one time, one reward)
+    shorthand ::= '<=' number             (a bare time bound, CSL style)
+    group   ::= '[' ('t' | 'r') '<=' number ']'
+    cmp     ::= '<' | '<=' | '>' | '>='
+    v}
+
+    Examples from the paper's Section 5.3 (Q1-Q3):
+
+    {v
+    P>0.5 ( F[r<=600] call_incoming )
+    P>0.5 ( F[t<=24] call_incoming )
+    P>0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )
+    v} *)
+
+exception Parse_error of string * int
+(** Message and 0-based character position in the input string. *)
+
+val state_formula : string -> Ast.state_formula
+(** Parses a state formula; raises {!Parse_error} (also re-packaging
+    lexing errors). *)
+
+val query : string -> Ast.query
+(** Parses a query: either a state formula or a quantitative [P=?] / [S=?]
+    question. *)

@@ -1,0 +1,1 @@
+lib/markov/duality.ml: Array Ctmc Linalg Mrm

@@ -1,0 +1,1 @@
+lib/markov/expected_reward.ml: Array Ctmc Float Graph Linalg Mrm Numerics Steady

@@ -1,0 +1,1 @@
+lib/markov/expected_reward.mli: Linalg Mrm

@@ -1,0 +1,1 @@
+lib/markov/labeling.ml: Array Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/markov/lumping.ml: Array Ctmc Hashtbl Labeling Linalg List Mrm Option Printf String

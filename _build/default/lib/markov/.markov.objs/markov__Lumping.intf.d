@@ -1,0 +1,1 @@
+lib/markov/lumping.mli: Labeling Linalg Mrm

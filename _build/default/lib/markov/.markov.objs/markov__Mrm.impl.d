@@ -1,0 +1,1 @@
+lib/markov/mrm.ml: Array Ctmc Float Format Linalg Printf Set

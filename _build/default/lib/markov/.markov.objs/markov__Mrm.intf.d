@@ -1,0 +1,1 @@
+lib/markov/mrm.mli: Ctmc Format Linalg

@@ -1,0 +1,1 @@
+lib/markov/steady.ml: Array Ctmc Graph Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/markov/steady.mli: Ctmc Linalg

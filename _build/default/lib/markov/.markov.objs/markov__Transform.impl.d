@@ -1,0 +1,1 @@
+lib/markov/transform.ml: Array Ctmc Linalg Printf

@@ -1,0 +1,1 @@
+lib/markov/transform.mli: Ctmc

@@ -1,0 +1,1 @@
+lib/markov/transient.ml: Array Ctmc Float Linalg List Numerics

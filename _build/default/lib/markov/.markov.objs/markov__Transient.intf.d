@@ -1,0 +1,1 @@
+lib/markov/transient.mli: Ctmc Linalg

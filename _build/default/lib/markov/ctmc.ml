@@ -1,0 +1,78 @@
+type t = {
+  rates : Linalg.Csr.t;
+  exit : Linalg.Vec.t;
+}
+
+let make r =
+  let n = Linalg.Csr.rows r in
+  if Linalg.Csr.cols r <> n then invalid_arg "Ctmc.make: square matrix required";
+  Linalg.Csr.iter r (fun i j v ->
+      if v < 0.0 || not (Float.is_finite v) then
+        invalid_arg
+          (Printf.sprintf "Ctmc.make: invalid rate %g at (%d,%d)" v i j));
+  let exit = Array.init n (fun i -> Linalg.Csr.row_sum r i) in
+  { rates = r; exit }
+
+let of_transitions ~n triples = make (Linalg.Csr.of_coo ~rows:n ~cols:n triples)
+
+let n_states c = Linalg.Csr.rows c.rates
+
+let rates c = c.rates
+
+let rate c i j = Linalg.Csr.get c.rates i j
+
+let exit_rate c i =
+  if i < 0 || i >= n_states c then invalid_arg "Ctmc.exit_rate: bad state";
+  c.exit.(i)
+
+let exit_rates c = Linalg.Vec.copy c.exit
+
+let max_exit_rate c = Array.fold_left Float.max 0.0 c.exit
+
+let is_absorbing c i = exit_rate c i = 0.0
+
+let generator c =
+  let n = n_states c in
+  let triples = ref [] in
+  Linalg.Csr.iter c.rates (fun i j v -> triples := (i, j, v) :: !triples);
+  for i = 0 to n - 1 do
+    if c.exit.(i) <> 0.0 then triples := (i, i, -.c.exit.(i)) :: !triples
+  done;
+  Linalg.Csr.of_coo ~rows:n ~cols:n !triples
+
+let uniformized ?rate c =
+  let n = n_states c in
+  let lambda =
+    match rate with
+    | None ->
+      let m = max_exit_rate c in
+      if m > 0.0 then m else 1.0
+    | Some l ->
+      if l <= 0.0 then invalid_arg "Ctmc.uniformized: rate must be positive";
+      if l < max_exit_rate c then
+        invalid_arg "Ctmc.uniformized: rate below the maximal exit rate";
+      l
+  in
+  let triples = ref [] in
+  Linalg.Csr.iter c.rates (fun i j v -> triples := (i, j, v /. lambda) :: !triples);
+  for i = 0 to n - 1 do
+    let self = 1.0 -. (c.exit.(i) /. lambda) in
+    if self <> 0.0 then triples := (i, i, self) :: !triples
+  done;
+  (lambda, Linalg.Csr.of_coo ~rows:n ~cols:n !triples)
+
+let embedded c =
+  let n = n_states c in
+  let triples = ref [] in
+  Linalg.Csr.iter c.rates (fun i j v ->
+      if c.exit.(i) > 0.0 then triples := (i, j, v /. c.exit.(i)) :: !triples);
+  for i = 0 to n - 1 do
+    if c.exit.(i) = 0.0 then triples := (i, i, 1.0) :: !triples
+  done;
+  Linalg.Csr.of_coo ~rows:n ~cols:n !triples
+
+let graph c = Graph.Digraph.of_csr c.rates
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>CTMC with %d states@,%a@]" (n_states c)
+    Linalg.Csr.pp c.rates

@@ -1,0 +1,51 @@
+(** Continuous-time Markov chains.
+
+    Following the paper's Section 2.1, a CTMC is given by its rate matrix
+    [R : S x S -> R>=0]; the exit rate of a state is
+    [E s = sum_{s'} R s s'] and the infinitesimal generator is
+    [Q = R - diag E].  Self-loop rates are allowed (they are meaningful for
+    the next operator and harmless elsewhere). *)
+
+type t
+
+val make : Linalg.Csr.t -> t
+(** [make r] wraps a square rate matrix.  Raises [Invalid_argument] if the
+    matrix is not square or has a negative entry. *)
+
+val of_transitions : n:int -> (int * int * float) list -> t
+(** Convenience constructor from [(source, target, rate)] triples. *)
+
+val n_states : t -> int
+
+val rates : t -> Linalg.Csr.t
+(** The rate matrix [R]. *)
+
+val rate : t -> int -> int -> float
+
+val exit_rate : t -> int -> float
+(** [E s]. *)
+
+val exit_rates : t -> Linalg.Vec.t
+
+val max_exit_rate : t -> float
+
+val is_absorbing : t -> int -> bool
+(** [E s = 0]. *)
+
+val generator : t -> Linalg.Csr.t
+(** [Q = R - diag E]. *)
+
+val uniformized : ?rate:float -> t -> float * Linalg.Csr.t
+(** [uniformized c] is [(lambda, P)] with [P = I + Q / lambda] the
+    uniformised DTMC.  [lambda] defaults to the maximal exit rate (or [1.]
+    for a chain with only absorbing states); a caller-supplied [rate] must
+    be at least that maximum and positive. *)
+
+val embedded : t -> Linalg.Csr.t
+(** Jump chain: [P s s' = R s s' / E s]; absorbing states receive a
+    self-loop with probability one. *)
+
+val graph : t -> Graph.Digraph.t
+(** Structure graph: an edge per positive rate. *)
+
+val pp : Format.formatter -> t -> unit

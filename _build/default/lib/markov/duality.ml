@@ -1,0 +1,31 @@
+let is_dualizable m =
+  (* Impulse rewards have no time-reading under the swap, so the
+     transform is undefined for them. *)
+  if Mrm.has_impulses m then false
+  else begin
+    let c = Mrm.ctmc m in
+    let ok = ref true in
+    for s = 0 to Mrm.n_states m - 1 do
+      if (not (Ctmc.is_absorbing c s)) && Mrm.reward m s <= 0.0 then
+        ok := false
+    done;
+    !ok
+  end
+
+let dual m =
+  if not (is_dualizable m) then
+    invalid_arg
+      "Duality.dual: needs positive rewards on non-absorbing states and no \
+       impulse rewards";
+  let c = Mrm.ctmc m in
+  let n = Mrm.n_states m in
+  let triples = ref [] in
+  Linalg.Csr.iter (Ctmc.rates c) (fun i j v ->
+      triples := (i, j, v /. Mrm.reward m i) :: !triples);
+  let dual_ctmc = Ctmc.of_transitions ~n !triples in
+  let dual_rewards =
+    Array.init n (fun s ->
+        let r = Mrm.reward m s in
+        if r > 0.0 then 1.0 /. r else 0.0)
+  in
+  Mrm.make dual_ctmc ~rewards:dual_rewards

@@ -1,0 +1,23 @@
+(** The time/reward duality transform of [Baier, Haverkort, Katoen &
+    Hermanns, "On the logical specification of performability properties",
+    Theorem 1] — the preprocessing step behind the paper's P2 recipe.
+
+    In the dual model a residence of [r] time units in state [s]
+    corresponds to earning reward [r] in [s] of the original, and vice
+    versa: rates are divided by the local reward and the reward becomes its
+    reciprocal.  Consequently
+
+    [Prob_M (Phi U^{<=t}_{<=r} Psi) = Prob_dual(M) (Phi U^{<=r}_{<=t} Psi)],
+
+    which turns a reward-bounded until (P2) into a time-bounded until (P1)
+    on the dual.  The transform needs strictly positive rewards on
+    non-absorbing states (zero-reward states would need infinite dual
+    rates). *)
+
+val is_dualizable : Mrm.t -> bool
+(** Every non-absorbing state has a strictly positive reward. *)
+
+val dual : Mrm.t -> Mrm.t
+(** The dual MRM.  Rewards of absorbing zero-reward states stay zero (no
+    time passes there in either reading).  Raises [Invalid_argument] if the
+    model is not dualizable. *)

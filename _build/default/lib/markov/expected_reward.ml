@@ -1,0 +1,136 @@
+(* E[Y_t] by uniformisation: conditioning on the number of Poisson events,
+   the time spent in the n-th uniformisation epoch inside [0, t] has
+   expectation (1/lambda) P(N_{lambda t} > n), and the state there is
+   distributed as P^n, so
+
+     E[Y_t] = (1/lambda) sum_n P(N > n) . (P^n rho).
+
+   The Poisson tails come from a high-precision Fox-Glynn window; beyond
+   the window's right edge the tails are below the window's epsilon and
+   the geometric decay of the pmf makes their sum negligible at the
+   accuracies used here. *)
+
+let check_init m init =
+  if Array.length init <> Mrm.n_states m then
+    invalid_arg "Expected_reward: init has the wrong length";
+  if not (Linalg.Vec.is_distribution ~tol:1e-9 init) then
+    invalid_arg "Expected_reward: init is not a distribution"
+
+let cumulative_all ?(epsilon = 1e-12) m ~t =
+  if t < 0.0 then invalid_arg "Expected_reward.cumulative_all: negative time";
+  let n = Mrm.n_states m in
+  if t = 0.0 then Linalg.Vec.create n
+  else begin
+    let lambda, p = Ctmc.uniformized (Mrm.ctmc m) in
+    let q = lambda *. t in
+    let fg =
+      Numerics.Fox_glynn.compute ~q
+        ~epsilon:(Float.max 1e-300 (Float.min 1e-14 (epsilon /. (1.0 +. q))))
+    in
+    (* tails.(k) = P(N > left + k - 1): suffix sums of the window. *)
+    let width = fg.Numerics.Fox_glynn.right - fg.Numerics.Fox_glynn.left + 1 in
+    let suffix = Array.make (width + 1) 0.0 in
+    for k = width - 1 downto 0 do
+      suffix.(k) <- suffix.(k + 1) +. fg.Numerics.Fox_glynn.weights.(k)
+    done;
+    let tail n_events =
+      if n_events < fg.Numerics.Fox_glynn.left then 1.0
+      else if n_events > fg.Numerics.Fox_glynn.right then 0.0
+      else
+        Numerics.Float_utils.clamp_prob
+          suffix.(n_events - fg.Numerics.Fox_glynn.left + 1)
+    in
+    let result = Linalg.Vec.create n in
+    (* State rewards plus the expected impulse flow per unit time. *)
+    let effective = Linalg.Vec.add (Mrm.rewards m) (Mrm.impulse_flow m) in
+    let v = ref effective in
+    let scratch = ref (Linalg.Vec.create n) in
+    for step = 0 to fg.Numerics.Fox_glynn.right do
+      let w = tail step in
+      if w > 0.0 then Linalg.Vec.axpy ~alpha:w ~x:!v ~y:result;
+      if step < fg.Numerics.Fox_glynn.right then begin
+        Linalg.Csr.mul_vec_into p !v !scratch;
+        let tmp = !v in
+        v := !scratch;
+        scratch := tmp
+      end
+    done;
+    Linalg.Vec.scale_in_place (1.0 /. lambda) result;
+    result
+  end
+
+let cumulative ?epsilon m ~init ~t =
+  check_init m init;
+  Linalg.Vec.dot init (cumulative_all ?epsilon m ~t)
+
+(* pi(t) . rho for every start state is a single backward pass with rho
+   as the terminal vector. *)
+let instantaneous_all ?(epsilon = 1e-12) m ~t =
+  let rewards = Mrm.rewards m in
+  let n = Mrm.n_states m in
+  if t < 0.0 then invalid_arg "Expected_reward.instantaneous_all: negative time";
+  if t = 0.0 then rewards
+  else begin
+    let lambda, p = Ctmc.uniformized (Mrm.ctmc m) in
+    let fg = Numerics.Fox_glynn.compute ~q:(lambda *. t) ~epsilon in
+    let result = Linalg.Vec.create n in
+    let v = ref rewards in
+    let scratch = ref (Linalg.Vec.create n) in
+    for step = 0 to fg.Numerics.Fox_glynn.right do
+      let w = Numerics.Fox_glynn.weight fg step in
+      if w > 0.0 then Linalg.Vec.axpy ~alpha:w ~x:!v ~y:result;
+      if step < fg.Numerics.Fox_glynn.right then begin
+        Linalg.Csr.mul_vec_into p !v !scratch;
+        let tmp = !v in
+        v := !scratch;
+        scratch := tmp
+      end
+    done;
+    result
+  end
+
+let instantaneous ?epsilon m ~init ~t =
+  check_init m init;
+  Linalg.Vec.dot init (instantaneous_all ?epsilon m ~t)
+
+let reachability ?(tol = 1e-13) m ~goal =
+  let chain = Mrm.ctmc m in
+  let n = Mrm.n_states m in
+  if Array.length goal <> n then
+    invalid_arg "Expected_reward.reachability: goal has the wrong length";
+  let g = Ctmc.graph chain in
+  let phi = Array.make n true in
+  let almost_sure = Graph.Reach.until_prob1 g ~phi ~psi:goal in
+  (* Expected reward to absorption solves x = ECost + P_emb x on the
+     almost-sure, non-goal states. *)
+  let emb = Ctmc.embedded chain in
+  let open_state s = almost_sure.(s) && not goal.(s) in
+  let triples = ref [] in
+  let b = Linalg.Vec.create n in
+  for s = 0 to n - 1 do
+    if open_state s then begin
+      b.(s) <- Mrm.reward m s /. Ctmc.exit_rate chain s;
+      Linalg.Csr.iter_row emb s (fun s' pr ->
+          (* The jump itself may carry an impulse (also on the final jump
+             into the goal, per our accumulation convention). *)
+          b.(s) <- b.(s) +. (pr *. Mrm.impulse m s s');
+          if open_state s' then triples := (s, s', pr) :: !triples)
+    end
+  done;
+  let a = Linalg.Csr.of_coo ~rows:n ~cols:n !triples in
+  let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol a ~b in
+  if not outcome.Linalg.Solvers.converged then
+    failwith "Expected_reward.reachability: system did not converge";
+  Array.init n (fun s ->
+      if goal.(s) then 0.0
+      else if not almost_sure.(s) then Float.infinity
+      else outcome.Linalg.Solvers.solution.(s))
+
+let steady_rate_all ?tol m =
+  let effective = Linalg.Vec.add (Mrm.rewards m) (Mrm.impulse_flow m) in
+  Steady.long_run_values ?tol (Mrm.ctmc m)
+    ~f:(fun pi -> Linalg.Vec.dot pi effective)
+
+let steady_rate ?tol m ~init =
+  check_init m init;
+  Linalg.Vec.dot init (steady_rate_all ?tol m)

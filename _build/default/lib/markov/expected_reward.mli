@@ -1,0 +1,44 @@
+(** Expected-reward measures over Markov reward models.
+
+    The paper checks {e probability bounds} on the accumulated reward
+    [Y_t]; the classical performability literature (and later tools in the
+    CSRL tradition) equally cares about its {e expectation}.  This module
+    provides the standard trio — all by uniformisation or simple linear
+    systems, no matrix exponentials:
+
+    - [E\[Y_t\]], the expected reward accumulated by time [t]:
+      [(1/lambda) . sum_n P(N_{lambda t} > n) . P^n rho] where [N] is the
+      uniformisation Poisson process;
+    - the expected {e instantaneous} reward rate at [t], [pi(t) . rho];
+    - the expected reward accumulated {e until} a goal set is reached
+      (infinite where the goal is not reached almost surely);
+    - the long-run reward rate [pi_infinity . rho]. *)
+
+val cumulative :
+  ?epsilon:float -> Mrm.t -> init:Linalg.Vec.t -> t:float -> float
+(** [cumulative m ~init ~t] is [E(Y_t)] from the initial distribution.
+    [epsilon] (default [1e-12]) bounds the relative truncation error of
+    the underlying series. *)
+
+val cumulative_all : ?epsilon:float -> Mrm.t -> t:float -> Linalg.Vec.t
+(** Per-start-state [E(Y_t)], in one backward pass. *)
+
+val instantaneous :
+  ?epsilon:float -> Mrm.t -> init:Linalg.Vec.t -> t:float -> float
+(** [E(rho(X_t))]. *)
+
+val instantaneous_all : ?epsilon:float -> Mrm.t -> t:float -> Linalg.Vec.t
+
+val reachability :
+  ?tol:float -> Mrm.t -> goal:bool array -> Linalg.Vec.t
+(** [reachability m ~goal] is, per start state, the expected reward
+    accumulated strictly before entering the [goal] set; [infinity] for
+    states that fail to reach the goal with probability one (including
+    states trapped in a non-goal absorbing class).  Goal states
+    themselves get [0]. *)
+
+val steady_rate : ?tol:float -> Mrm.t -> init:Linalg.Vec.t -> float
+(** Long-run average reward rate from the initial distribution. *)
+
+val steady_rate_all : ?tol:float -> Mrm.t -> Linalg.Vec.t
+(** Per start state. *)

@@ -1,0 +1,81 @@
+type t = {
+  n : int;
+  table : (string, bool array) Hashtbl.t;
+}
+
+exception Unknown_proposition of string
+
+let empty ~n =
+  if n < 0 then invalid_arg "Labeling.empty: negative size";
+  { n; table = Hashtbl.create 16 }
+
+let add l name states =
+  if Hashtbl.mem l.table name then
+    invalid_arg (Printf.sprintf "Labeling.add: duplicate proposition %S" name);
+  let mask = Array.make l.n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= l.n then
+        invalid_arg
+          (Printf.sprintf "Labeling.add: state %d out of range for %S" s name);
+      mask.(s) <- true)
+    states;
+  let table = Hashtbl.copy l.table in
+  Hashtbl.add table name mask;
+  { l with table }
+
+let make ~n props =
+  List.fold_left (fun l (name, states) -> add l name states) (empty ~n) props
+
+let n_states l = l.n
+
+let propositions l =
+  Hashtbl.fold (fun name _ acc -> name :: acc) l.table []
+  |> List.sort String.compare
+
+let has_proposition l name = Hashtbl.mem l.table name
+
+let sat l name =
+  match Hashtbl.find_opt l.table name with
+  | Some mask -> Array.copy mask
+  | None -> raise (Unknown_proposition name)
+
+let holds l name s =
+  match Hashtbl.find_opt l.table name with
+  | Some mask ->
+    if s < 0 || s >= l.n then invalid_arg "Labeling.holds: bad state";
+    mask.(s)
+  | None -> raise (Unknown_proposition name)
+
+let labels_of_state l s =
+  if s < 0 || s >= l.n then invalid_arg "Labeling.labels_of_state: bad state";
+  Hashtbl.fold (fun name mask acc -> if mask.(s) then name :: acc else acc)
+    l.table []
+  |> List.sort String.compare
+
+let restrict l ~keep =
+  if Array.length keep <> l.n then invalid_arg "Labeling.restrict: bad map";
+  let new_n = Array.fold_left (fun acc i -> Stdlib.max acc (i + 1)) 0 keep in
+  let table = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name mask ->
+      let new_mask = Array.make new_n false in
+      Array.iteri
+        (fun old_state new_state ->
+          if new_state >= 0 && mask.(old_state) then
+            new_mask.(new_state) <- true)
+        keep;
+      Hashtbl.add table name new_mask)
+    l.table;
+  { n = new_n; table }
+
+let pp ppf l =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun k name ->
+      if k > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s:" name;
+      let mask = Hashtbl.find l.table name in
+      Array.iteri (fun s b -> if b then Format.fprintf ppf " %d" s) mask)
+    (propositions l);
+  Format.fprintf ppf "@]"

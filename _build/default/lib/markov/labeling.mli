@@ -1,0 +1,43 @@
+(** State labelings with atomic propositions.
+
+    The most elementary CSRL formulas are atomic propositions attached to
+    states ("acknowledgement pending", "buffer empty", ...).  A labeling
+    maps each proposition name to the set of states carrying it. *)
+
+type t
+
+exception Unknown_proposition of string
+
+val make : n:int -> (string * int list) list -> t
+(** [make ~n props] builds a labeling for [n] states; each pair gives a
+    proposition name and the states labelled with it.  Raises
+    [Invalid_argument] on out-of-range states or duplicate names. *)
+
+val empty : n:int -> t
+
+val n_states : t -> int
+
+val propositions : t -> string list
+(** Sorted list of known proposition names. *)
+
+val has_proposition : t -> string -> bool
+
+val sat : t -> string -> bool array
+(** [sat l a] is the characteristic vector of the states labelled with [a];
+    a fresh array.  Raises {!Unknown_proposition} for unknown names. *)
+
+val holds : t -> string -> int -> bool
+
+val labels_of_state : t -> int -> string list
+(** The propositions of one state, sorted. *)
+
+val add : t -> string -> int list -> t
+(** Functional extension with a new proposition.  Raises
+    [Invalid_argument] if the name is already present. *)
+
+val restrict : t -> keep:int array -> t
+(** [restrict l ~keep] relabels onto a quotient/sub space: [keep.(old)] is
+    the new index of an old state or [-1] to drop it.  A new state carries a
+    proposition iff at least one of its preimages does. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+type t = {
+  ctmc : Ctmc.t;
+  rho : float array;
+  iota : Linalg.Csr.t option;
+}
+
+let make ctmc ~rewards =
+  if Array.length rewards <> Ctmc.n_states ctmc then
+    invalid_arg "Mrm.make: reward vector has the wrong length";
+  Array.iteri
+    (fun s r ->
+      if r < 0.0 || not (Float.is_finite r) then
+        invalid_arg (Printf.sprintf "Mrm.make: invalid reward %g at state %d" r s))
+    rewards;
+  { ctmc; rho = Array.copy rewards; iota = None }
+
+let with_impulses m matrix =
+  let n = Ctmc.n_states m.ctmc in
+  if Linalg.Csr.rows matrix <> n || Linalg.Csr.cols matrix <> n then
+    invalid_arg "Mrm.with_impulses: impulse matrix has the wrong shape";
+  Linalg.Csr.iter matrix (fun s s' v ->
+      if v < 0.0 || not (Float.is_finite v) then
+        invalid_arg
+          (Printf.sprintf "Mrm.with_impulses: invalid impulse %g at (%d,%d)" v
+             s s');
+      if v > 0.0 && Ctmc.rate m.ctmc s s' <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Mrm.with_impulses: impulse on the missing transition (%d,%d)" s
+             s'));
+  { m with iota = Some matrix }
+
+let impulses m = m.iota
+
+let has_impulses m =
+  match m.iota with
+  | None -> false
+  | Some matrix -> Linalg.Csr.nnz matrix > 0
+
+let impulse m s s' =
+  match m.iota with
+  | None -> 0.0
+  | Some matrix -> Linalg.Csr.get matrix s s'
+
+let of_transitions ~n triples ~rewards =
+  make (Ctmc.of_transitions ~n triples) ~rewards
+
+let ctmc m = m.ctmc
+
+let n_states m = Ctmc.n_states m.ctmc
+
+let reward m s =
+  if s < 0 || s >= n_states m then invalid_arg "Mrm.reward: bad state";
+  m.rho.(s)
+
+let rewards m = Array.copy m.rho
+
+let max_reward m = Array.fold_left Float.max 0.0 m.rho
+
+let impulse_flow m =
+  let flow = Linalg.Vec.create (n_states m) in
+  (match m.iota with
+   | None -> ()
+   | Some matrix ->
+     Linalg.Csr.iter matrix (fun s s' v ->
+         flow.(s) <- flow.(s) +. (Ctmc.rate m.ctmc s s' *. v)));
+  flow
+
+let max_impulse m =
+  match m.iota with
+  | None -> 0.0
+  | Some matrix ->
+    let acc = ref 0.0 in
+    Linalg.Csr.iter matrix (fun _ _ v -> acc := Float.max !acc v);
+    !acc
+
+let reward_levels m =
+  let module FloatSet = Set.Make (Float) in
+  let set = Array.fold_left (fun acc r -> FloatSet.add r acc) FloatSet.empty m.rho in
+  let set = FloatSet.add 0.0 set in
+  Array.of_list (FloatSet.elements set)
+
+let all_rewards_integral ?(tol = 1e-9) m =
+  let integral x = Float.abs (x -. Float.round x) <= tol in
+  Array.for_all integral m.rho
+  && (match m.iota with
+      | None -> true
+      | Some matrix ->
+        let ok = ref true in
+        Linalg.Csr.iter matrix (fun _ _ v -> if not (integral v) then ok := false);
+        !ok)
+
+let map_rewards f m =
+  (* Revalidate the new rewards; impulses are unaffected. *)
+  let base = make m.ctmc ~rewards:(Array.mapi f m.rho) in
+  { base with iota = m.iota }
+
+let with_ctmc m chain =
+  if Ctmc.n_states chain <> n_states m then
+    invalid_arg "Mrm.with_ctmc: size mismatch";
+  (* The chain changed; impulses defined on vanished transitions would be
+     stale, so revalidate by rebuilding. *)
+  let base = make chain ~rewards:m.rho in
+  match m.iota with
+  | None -> base
+  | Some matrix ->
+    let kept = ref [] in
+    Linalg.Csr.iter matrix (fun s s' v ->
+        if Ctmc.rate chain s s' > 0.0 then kept := (s, s', v) :: !kept);
+    with_impulses base
+      (Linalg.Csr.of_coo ~rows:(n_states m) ~cols:(n_states m) !kept)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>%a@,rewards: %a@]" Ctmc.pp m.ctmc Linalg.Vec.pp
+    m.rho;
+  match m.iota with
+  | Some matrix when Linalg.Csr.nnz matrix > 0 ->
+    Format.fprintf ppf "@,impulses:@,%a" Linalg.Csr.pp matrix
+  | _ -> ()

@@ -1,0 +1,75 @@
+(** Markov reward models.
+
+    An MRM (Section 2.1 of the paper) is a CTMC together with a state-based
+    reward structure [rho : S -> R>=0]: residing [t] time units in state [s]
+    earns reward [rho s * t].  Rewards can be read as gain/bonus or,
+    dually, as cost — the case study reads them as power drawn in mA.
+
+    As an extension (the paper's Section 6 names it as future work), a
+    model may additionally carry {e impulse rewards} [iota : S x S ->
+    R>=0], earned instantaneously when the corresponding transition fires:
+    [Y_t = int_0^t rho(X_u) du + sum of iota over the jumps up to t]
+    (the jump {e into} the state occupied at [t] included).  The
+    discretisation engine, the simulator and the expected-reward analyses
+    handle impulses; the occupation-time algorithm and the duality
+    transform do not (and say so), mirroring the literature. *)
+
+type t
+
+val make : Ctmc.t -> rewards:float array -> t
+(** Raises [Invalid_argument] if the reward vector has the wrong length or
+    a negative/non-finite entry.  No impulse rewards. *)
+
+val with_impulses : t -> Linalg.Csr.t -> t
+(** Attaches an impulse matrix: entry [(s, s')] is earned when the
+    transition [s -> s'] fires.  Raises [Invalid_argument] if the matrix
+    has the wrong shape, a negative/non-finite entry, or an entry on a
+    pair with no transition rate. *)
+
+val impulses : t -> Linalg.Csr.t option
+(** The impulse matrix, if any. *)
+
+val has_impulses : t -> bool
+
+val impulse : t -> int -> int -> float
+(** The impulse on a transition ([0.] when there are none). *)
+
+val impulse_flow : t -> Linalg.Vec.t
+(** Entry [s] is [sum_{s'} R s s' * iota s s'] — the expected impulse
+    reward earned per unit time spent in [s].  The zero vector for
+    impulse-free models. *)
+
+val max_impulse : t -> float
+
+val of_transitions :
+  n:int -> (int * int * float) list -> rewards:float array -> t
+
+val ctmc : t -> Ctmc.t
+
+val n_states : t -> int
+
+val reward : t -> int -> float
+
+val rewards : t -> Linalg.Vec.t
+(** A fresh copy of the reward vector. *)
+
+val max_reward : t -> float
+
+val reward_levels : t -> float array
+(** The distinct reward values, sorted increasingly, with [0.] prepended if
+    no state has reward zero — the levels [rho_0 = 0 < rho_1 < ... <
+    rho_m] of the occupation-time algorithm (Section 4.4). *)
+
+val all_rewards_integral : ?tol:float -> t -> bool
+(** Whether every reward is within [tol] of an integer — the premise of the
+    discretisation algorithm (Section 4.3), whose reward grid advances in
+    whole reward units per time step. *)
+
+val map_rewards : (int -> float -> float) -> t -> t
+(** Same chain and impulses, transformed state rewards. *)
+
+val with_ctmc : t -> Ctmc.t -> t
+(** Same rewards, different chain (must have the same size); impulses on
+    transitions absent from the new chain are dropped. *)
+
+val pp : Format.formatter -> t -> unit

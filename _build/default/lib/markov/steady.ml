@@ -1,0 +1,116 @@
+let bsccs c =
+  let g = Ctmc.graph c in
+  let scc = Graph.Scc.compute g in
+  let bottoms = Graph.Scc.bottom_components g scc in
+  (scc, bottoms)
+
+(* Stationary distribution of one BSCC, embedded back into the full state
+   space. *)
+let bscc_stationary ?(tol = 1e-13) c members =
+  let n = Ctmc.n_states c in
+  let members = Array.of_list members in
+  let k = Array.length members in
+  let result = Linalg.Vec.create n in
+  if k = 1 then result.(members.(0)) <- 1.0
+  else begin
+    let local_index = Hashtbl.create k in
+    Array.iteri (fun local global -> Hashtbl.add local_index global local)
+      members;
+    let triples = ref [] in
+    Array.iteri
+      (fun local global ->
+        Linalg.Csr.iter_row (Ctmc.rates c) global (fun j v ->
+            match Hashtbl.find_opt local_index j with
+            | Some local_j -> triples := (local, local_j, v) :: !triples
+            | None ->
+              invalid_arg "Steady: component is not bottom (outgoing rate)"))
+      members;
+    let sub = Ctmc.make (Linalg.Csr.of_coo ~rows:k ~cols:k !triples) in
+    let _, p = Ctmc.uniformized sub in
+    let outcome = Linalg.Solvers.power_stationary ~tol p in
+    if not outcome.Linalg.Solvers.converged then
+      failwith "Steady: power iteration did not converge";
+    Array.iteri
+      (fun local global ->
+        result.(global) <- outcome.Linalg.Solvers.solution.(local))
+      members
+  end;
+  result
+
+let absorption_probabilities ?(tol = 1e-13) c =
+  let n = Ctmc.n_states c in
+  let scc, bottoms = bsccs c in
+  let in_bottom = Array.make n (-1) in
+  List.iteri
+    (fun k comp ->
+      List.iter (fun s -> in_bottom.(s) <- k) scc.Graph.Scc.members.(comp))
+    bottoms;
+  let transient = Array.init n (fun s -> in_bottom.(s) = -1) in
+  let emb = Ctmc.embedded c in
+  (* Restriction of the embedded chain to transient rows/columns. *)
+  let trans_triples = ref [] in
+  for i = 0 to n - 1 do
+    if transient.(i) then
+      Linalg.Csr.iter_row emb i (fun j v ->
+          if transient.(j) then trans_triples := (i, j, v) :: !trans_triples)
+  done;
+  let a = Linalg.Csr.of_coo ~rows:n ~cols:n !trans_triples in
+  List.mapi
+    (fun k comp ->
+      ignore comp;
+      let h = Linalg.Vec.create n in
+      for s = 0 to n - 1 do
+        if in_bottom.(s) = k then h.(s) <- 1.0
+      done;
+      let b = Linalg.Vec.create n in
+      for i = 0 to n - 1 do
+        if transient.(i) then
+          Linalg.Csr.iter_row emb i (fun j v ->
+              if in_bottom.(j) = k then b.(i) <- b.(i) +. v)
+      done;
+      let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol a ~b in
+      if not outcome.Linalg.Solvers.converged then
+        failwith "Steady: absorption system did not converge";
+      for s = 0 to n - 1 do
+        if transient.(s) then h.(s) <- outcome.Linalg.Solvers.solution.(s)
+      done;
+      h)
+    bottoms
+  |> Array.of_list
+
+let stationary_irreducible ?tol c =
+  let scc, bottoms = bsccs c in
+  match bottoms with
+  | [ comp ] when List.length scc.Graph.Scc.members.(comp) = Ctmc.n_states c
+    ->
+    bscc_stationary ?tol c scc.Graph.Scc.members.(comp)
+  | _ -> invalid_arg "Steady.stationary_irreducible: chain is reducible"
+
+let distribution ?(tol = 1e-13) c ~init =
+  if Array.length init <> Ctmc.n_states c then
+    invalid_arg "Steady.distribution: init has the wrong length";
+  let scc, bottoms = bsccs c in
+  let absorption = absorption_probabilities ~tol c in
+  let n = Ctmc.n_states c in
+  let result = Linalg.Vec.create n in
+  List.iteri
+    (fun k comp ->
+      let weight = Linalg.Vec.dot init absorption.(k) in
+      if weight > 0.0 then begin
+        let pi = bscc_stationary ~tol c scc.Graph.Scc.members.(comp) in
+        Linalg.Vec.axpy ~alpha:weight ~x:pi ~y:result
+      end)
+    bottoms;
+  result
+
+let long_run_values ?(tol = 1e-13) c ~f =
+  let n = Ctmc.n_states c in
+  let scc, bottoms = bsccs c in
+  let absorption = absorption_probabilities ~tol c in
+  let result = Linalg.Vec.create n in
+  List.iteri
+    (fun k comp ->
+      let pi = bscc_stationary ~tol c scc.Graph.Scc.members.(comp) in
+      Linalg.Vec.axpy ~alpha:(f pi) ~x:absorption.(k) ~y:result)
+    bottoms;
+  result

@@ -1,0 +1,35 @@
+(** Long-run (steady-state) analysis.
+
+    The steady-state operator of CSL/CSRL needs the limiting distribution
+    of a CTMC that is not necessarily irreducible.  The limit is a mixture:
+    the chain is eventually trapped in one of the bottom strongly connected
+    components (BSCCs); within a BSCC it follows that component's stationary
+    distribution, and the mixture weights are the absorption
+    probabilities. *)
+
+val stationary_irreducible : ?tol:float -> Ctmc.t -> Linalg.Vec.t
+(** Stationary distribution of an irreducible CTMC (power iteration on the
+    uniformised chain).  A single absorbing state counts as irreducible.
+    Raises [Invalid_argument] if the chain has more than one BSCC or
+    transient states. *)
+
+val distribution : ?tol:float -> Ctmc.t -> init:Linalg.Vec.t -> Linalg.Vec.t
+(** [distribution c ~init] is [lim_{t -> inf} pi(t)] for the given initial
+    distribution: per-BSCC stationary distributions weighted by the
+    absorption probabilities from [init]. *)
+
+val absorption_probabilities :
+  ?tol:float -> Ctmc.t -> Linalg.Vec.t array
+(** [absorption_probabilities c] returns one vector per BSCC (in the order
+    of {!Graph.Scc.bottom_components} on the chain's graph);
+    entry [s] is the probability that a path from state [s] is eventually
+    trapped in that BSCC. *)
+
+val long_run_values :
+  ?tol:float -> Ctmc.t -> f:(Linalg.Vec.t -> float) -> Linalg.Vec.t
+(** [long_run_values c ~f] evaluates, for every start state [s], the
+    long-run expectation [sum_B h_B(s) * f(pi_B)] — [h_B] the absorption
+    probabilities and [pi_B] the stationary distribution of BSCC [B]
+    (embedded into the full state space).  With [f] the probability mass
+    on [Sat Phi] this is the steady-state operator; with [f = pi . rho]
+    it is the long-run reward rate. *)

@@ -1,0 +1,39 @@
+let make_absorbing c ~absorb =
+  let n = Ctmc.n_states c in
+  if Array.length absorb <> n then
+    invalid_arg "Transform.make_absorbing: length mismatch";
+  Ctmc.make (Linalg.Csr.filter_rows (Ctmc.rates c) ~keep:(fun i -> not absorb.(i)))
+
+let amalgamate_absorbing c ~groups ~group_count =
+  let n = Ctmc.n_states c in
+  if Array.length groups <> n then
+    invalid_arg "Transform.amalgamate_absorbing: length mismatch";
+  Array.iteri
+    (fun s g ->
+      if g < -1 || g >= group_count then
+        invalid_arg "Transform.amalgamate_absorbing: group out of range";
+      if g >= 0 && not (Ctmc.is_absorbing c s) then
+        invalid_arg
+          (Printf.sprintf
+             "Transform.amalgamate_absorbing: state %d is grouped but not \
+              absorbing"
+             s))
+    groups;
+  let state_map = Array.make n (-1) in
+  let kept = ref 0 in
+  for s = 0 to n - 1 do
+    if groups.(s) = -1 then begin
+      state_map.(s) <- !kept;
+      incr kept
+    end
+  done;
+  for s = 0 to n - 1 do
+    if groups.(s) >= 0 then state_map.(s) <- !kept + groups.(s)
+  done;
+  let new_n = !kept + group_count in
+  let triples = ref [] in
+  Linalg.Csr.iter (Ctmc.rates c) (fun i j v ->
+      (* Grouped states are absorbing, so every stored rate originates from
+         a kept state. *)
+      triples := (state_map.(i), state_map.(j), v) :: !triples);
+  (Ctmc.make (Linalg.Csr.of_coo ~rows:new_n ~cols:new_n !triples), state_map)

@@ -1,0 +1,22 @@
+(** Model transformations used by the checking recipes.
+
+    The until procedures of Section 3 repeatedly make sets of states
+    absorbing (cutting all their outgoing rates) and, for Theorem 1,
+    amalgamate whole absorbing classes into single representative states to
+    shrink the model before the expensive numerics run. *)
+
+val make_absorbing : Ctmc.t -> absorb:bool array -> Ctmc.t
+(** [make_absorbing c ~absorb] removes every rate leaving a state with
+    [absorb.(s)] (self-loop rates included: an absorbing state has exit
+    rate zero). *)
+
+val amalgamate_absorbing :
+  Ctmc.t -> groups:int array -> group_count:int -> Ctmc.t * int array
+(** [amalgamate_absorbing c ~groups ~group_count] merges absorbing states:
+    [groups.(s) = -1] keeps state [s] as an individual state, and
+    [groups.(s) = k] (with [0 <= k < group_count]) folds it into merged
+    state number [k].  Every grouped state must be absorbing.  Returns the
+    quotient chain together with the state map [old -> new]; kept states
+    come first (in their original relative order), followed by the
+    [group_count] merged states.  Rates into a merged state are summed.
+    Empty groups yield unreachable absorbing states, which is harmless. *)

@@ -1,0 +1,60 @@
+(** Transient analysis by uniformisation (Jensen's randomisation,
+    Gross & Miller).
+
+    The distribution at time [t] is the Poisson([lambda t])-weighted mixture
+    of the powers of the uniformised DTMC:
+    [pi(t) = sum_n poi(lambda t, n) . pi(0) P^n].  The Poisson window comes
+    from {!Numerics.Fox_glynn}, so the truncation error is below the
+    requested [epsilon] in L1.
+
+    All solvers accept [?stationary_detection]: when set, an iterate whose
+    single-step L-infinity change falls below the given threshold is
+    treated as stationary and the remaining Poisson mass is applied in one
+    go — the standard shortcut for large [lambda t] horizons (the paper's
+    Section 5.4 closes with exactly this wish for its longest series).
+    It is a heuristic: pick thresholds well below the accuracy target. *)
+
+val distribution :
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  init:Linalg.Vec.t -> t:float -> Linalg.Vec.t
+(** [distribution c ~init ~t] is the state distribution at time [t >= 0]
+    starting from distribution [init].  [epsilon] (default [1e-12]) bounds
+    the truncation error; [rate] overrides the uniformisation rate (it must
+    dominate every exit rate).  Raises [Invalid_argument] for negative [t]
+    or if [init] is not a distribution. *)
+
+val distribution_many :
+  ?epsilon:float -> ?rate:float -> Ctmc.t -> init:Linalg.Vec.t ->
+  times:float list -> (float * Linalg.Vec.t) list
+(** Transient distributions at several time points (times may be
+    unsorted). *)
+
+val reachability :
+  ?epsilon:float -> ?stationary_detection:float -> Ctmc.t ->
+  init:Linalg.Vec.t -> goal:bool array -> t:float -> float
+(** Probability mass accumulated in the [goal] set at time [t]; the goal
+    states are assumed absorbing by the caller (the P1 recipe of the
+    paper's Section 3: make goal and illegal states absorbing, then read
+    off the transient mass). *)
+
+val backward :
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  terminal:Linalg.Vec.t -> t:float -> Linalg.Vec.t
+(** [backward c ~terminal ~t] is the backward pass
+    [sum_n poi(lambda t, n) P^n terminal]: entry [s] is the expectation of
+    [terminal] under the state distribution at time [t] from [s].  With a
+    {0,1} terminal vector this is {!reachability_all}; with an arbitrary
+    vector it is the phase-1 step of interval-bounded until. *)
+
+val reachability_all :
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  goal:bool array -> t:float -> Linalg.Vec.t
+(** Backward uniformisation: entry [s] is the probability of sitting in the
+    [goal] set at time [t] when starting from state [s] — i.e. one column
+    pass [sum_n poi(lambda t, n) P^n 1_goal] computes the P1 recipe for
+    {e every} initial state at once. *)
+
+val steps_for : ?rate:float -> Ctmc.t -> t:float -> epsilon:float -> int
+(** Number of uniformisation steps [N_epsilon] needed for truncation error
+    [epsilon] at horizon [t] — the quantity tabulated in the paper's
+    Table 2. *)

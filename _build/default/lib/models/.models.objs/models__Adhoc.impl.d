@@ -1,0 +1,1 @@
+lib/models/adhoc.ml: Array Fun List Markov

@@ -1,0 +1,1 @@
+lib/models/adhoc.mli: Markov

@@ -1,0 +1,1 @@
+lib/models/adhoc_srn.ml: Adhoc Array Petri

@@ -1,0 +1,1 @@
+lib/models/adhoc_srn.mli: Markov Petri

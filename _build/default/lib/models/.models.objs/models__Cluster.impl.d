@@ -1,0 +1,1 @@
+lib/models/cluster.ml: Array Fun List Markov

@@ -1,0 +1,1 @@
+lib/models/cluster.mli: Markov

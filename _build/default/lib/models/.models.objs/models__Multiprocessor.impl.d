@@ -1,0 +1,1 @@
+lib/models/multiprocessor.ml: Array Fun List Markov Perf Stdlib

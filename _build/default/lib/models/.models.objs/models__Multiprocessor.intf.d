@@ -1,0 +1,1 @@
+lib/models/multiprocessor.mli: Markov Perf

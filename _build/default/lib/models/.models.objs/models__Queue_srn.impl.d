@@ -1,0 +1,1 @@
+lib/models/queue_srn.ml: Array Fun List Markov Petri

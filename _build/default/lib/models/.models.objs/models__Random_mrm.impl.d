@@ -1,0 +1,1 @@
+lib/models/random_mrm.ml: Array Float Fun Int64 Linalg List Markov Perf Sim

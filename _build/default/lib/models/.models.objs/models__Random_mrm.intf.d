@@ -1,0 +1,1 @@
+lib/models/random_mrm.mli: Markov Perf

@@ -1,0 +1,178 @@
+type call_state = Call_idle | Call_initiated | Call_incoming | Call_active
+type adhoc_state = Adhoc_idle | Adhoc_active
+
+type state =
+  | Active_pair of call_state * adhoc_state
+  | Doze
+
+let n_states = 9
+
+let call_index = function
+  | Call_idle -> 0
+  | Call_initiated -> 1
+  | Call_incoming -> 2
+  | Call_active -> 3
+
+let adhoc_index = function Adhoc_idle -> 0 | Adhoc_active -> 1
+
+let index = function
+  | Active_pair (c, a) -> (call_index c * 2) + adhoc_index a
+  | Doze -> 8
+
+let state_of_index i =
+  match i with
+  | 8 -> Doze
+  | _ when i >= 0 && i < 8 ->
+    let c =
+      match i / 2 with
+      | 0 -> Call_idle
+      | 1 -> Call_initiated
+      | 2 -> Call_incoming
+      | _ -> Call_active
+    in
+    let a = if i mod 2 = 0 then Adhoc_idle else Adhoc_active in
+    Active_pair (c, a)
+  | _ -> invalid_arg "Adhoc.state_of_index: out of range"
+
+let call_name = function
+  | Call_idle -> "call_idle"
+  | Call_initiated -> "call_initiated"
+  | Call_incoming -> "call_incoming"
+  | Call_active -> "call_active"
+
+let adhoc_name = function
+  | Adhoc_idle -> "adhoc_idle"
+  | Adhoc_active -> "adhoc_active"
+
+let state_name i =
+  match state_of_index i with
+  | Doze -> "doze"
+  | Active_pair (c, a) -> call_name c ^ "+" ^ adhoc_name a
+
+let initial_state = index (Active_pair (Call_idle, Adhoc_idle))
+
+module Rates = struct
+  let accept = 180.0
+  let connect = 360.0
+  let disconnect = 15.0
+  let doze = 12.0
+  let give_up = 60.0
+  let interrupt = 60.0
+  let launch = 0.75
+  let reconfirm = 15.0
+  let request = 6.0
+  let ring = 0.75
+  let wake_up = 3.75
+
+  let all =
+    [ ("accept", accept, "20 sec");
+      ("connect", connect, "10 sec");
+      ("disconnect", disconnect, "4 min");
+      ("doze", doze, "5 min");
+      ("give up", give_up, "1 min");
+      ("interrupt", interrupt, "1 min");
+      ("launch", launch, "80 min");
+      ("reconfirm", reconfirm, "4 min");
+      ("request", request, "10 min");
+      ("ring", ring, "80 min");
+      ("wake up", wake_up, "16 min") ]
+end
+
+module Power = struct
+  let adhoc_active = 150.0
+  let adhoc_idle = 50.0
+  let call_active = 200.0
+  let call_idle = 50.0
+  let call_incoming = 150.0
+  let call_initiated = 150.0
+  let doze = 20.0
+
+  let all =
+    [ ("Ad hoc Active", adhoc_active);
+      ("Ad hoc Idle", adhoc_idle);
+      ("Call Active", call_active);
+      ("Call Idle", call_idle);
+      ("Call Incoming", call_incoming);
+      ("Call Initiated", call_initiated);
+      ("Doze", doze) ]
+end
+
+let battery_capacity = 750.0
+
+let call_transitions = function
+  | Call_idle ->
+    [ (Call_initiated, Rates.launch); (Call_incoming, Rates.ring) ]
+  | Call_initiated ->
+    [ (Call_active, Rates.connect); (Call_idle, Rates.give_up) ]
+  | Call_incoming ->
+    [ (Call_active, Rates.accept); (Call_idle, Rates.interrupt) ]
+  | Call_active -> [ (Call_idle, Rates.disconnect) ]
+
+let adhoc_transitions = function
+  | Adhoc_idle -> [ (Adhoc_active, Rates.request) ]
+  | Adhoc_active -> [ (Adhoc_idle, Rates.reconfirm) ]
+
+let transitions () =
+  let triples = ref [] in
+  let add source target rate = triples := (index source, index target, rate) :: !triples in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          let here = Active_pair (c, a) in
+          List.iter (fun (c', rate) -> add here (Active_pair (c', a)) rate)
+            (call_transitions c);
+          List.iter (fun (a', rate) -> add here (Active_pair (c, a')) rate)
+            (adhoc_transitions a))
+        [ Adhoc_idle; Adhoc_active ])
+    [ Call_idle; Call_initiated; Call_incoming; Call_active ];
+  add (Active_pair (Call_idle, Adhoc_idle)) Doze Rates.doze;
+  add Doze (Active_pair (Call_idle, Adhoc_idle)) Rates.wake_up;
+  !triples
+
+let call_power = function
+  | Call_idle -> Power.call_idle
+  | Call_initiated -> Power.call_initiated
+  | Call_incoming -> Power.call_incoming
+  | Call_active -> Power.call_active
+
+let adhoc_power = function
+  | Adhoc_idle -> Power.adhoc_idle
+  | Adhoc_active -> Power.adhoc_active
+
+let reward_of_state = function
+  | Doze -> Power.doze
+  | Active_pair (c, a) -> call_power c +. adhoc_power a
+
+let mrm () =
+  let rewards =
+    Array.init n_states (fun i -> reward_of_state (state_of_index i))
+  in
+  Markov.Mrm.of_transitions ~n:n_states (transitions ()) ~rewards
+
+let labeling () =
+  let states_with predicate =
+    List.filter predicate (List.init n_states Fun.id)
+  in
+  let has_call c i =
+    match state_of_index i with
+    | Active_pair (c', _) -> c = c'
+    | Doze -> false
+  in
+  let has_adhoc a i =
+    match state_of_index i with
+    | Active_pair (_, a') -> a = a'
+    | Doze -> false
+  in
+  Markov.Labeling.make ~n:n_states
+    [ ("call_idle", states_with (has_call Call_idle));
+      ("call_initiated", states_with (has_call Call_initiated));
+      ("call_incoming", states_with (has_call Call_incoming));
+      ("call_active", states_with (has_call Call_active));
+      ("adhoc_idle", states_with (has_adhoc Adhoc_idle));
+      ("adhoc_active", states_with (has_adhoc Adhoc_active));
+      ("doze", [ index Doze ]) ]
+
+let q1 = "P>0.5 ( F[r<=600] call_incoming )"
+let q2 = "P>0.5 ( F[t<=24] call_incoming )"
+let q3 = "P>0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )"

@@ -1,0 +1,80 @@
+(** The paper's case study (Section 5): a battery-powered mobile station in
+    an ad hoc network.
+
+    The station concurrently handles ordinary calls (idle / initiated /
+    incoming / active) and ad hoc traffic (idle / active); when both
+    threads are idle it may doze.  Rates are those of Table 1 (per hour),
+    rewards are the power draw in mA of Table 1, and the composed MRM has
+    the nine recurrent states the paper reports.  Atomic propositions are
+    the marked place names of the stochastic reward net in Figure 2.
+
+    This module builds the MRM directly from the product construction; the
+    {!Srn}-based build in {!Adhoc_srn} must generate an isomorphic model
+    (asserted in the test suite). *)
+
+type call_state = Call_idle | Call_initiated | Call_incoming | Call_active
+type adhoc_state = Adhoc_idle | Adhoc_active
+
+type state =
+  | Active_pair of call_state * adhoc_state
+  | Doze
+
+val n_states : int
+(** 9. *)
+
+val index : state -> int
+val state_of_index : int -> state
+val state_name : int -> string
+(** e.g. ["call_idle+adhoc_active"] or ["doze"]. *)
+
+val initial_state : int
+(** Both threads idle. *)
+
+(** Named transition rates of Table 1, in 1/hour. *)
+module Rates : sig
+  val accept : float
+  val connect : float
+  val disconnect : float
+  val doze : float
+  val give_up : float
+  val interrupt : float
+  val launch : float
+  val reconfirm : float
+  val request : float
+  val ring : float
+  val wake_up : float
+
+  val all : (string * float * string) list
+  (** (name, rate per hour, mean-time description) rows of Table 1. *)
+end
+
+(** Per-place power draw of Table 1, in mA. *)
+module Power : sig
+  val adhoc_active : float
+  val adhoc_idle : float
+  val call_active : float
+  val call_idle : float
+  val call_incoming : float
+  val call_initiated : float
+  val doze : float
+
+  val all : (string * float) list
+end
+
+val battery_capacity : float
+(** 750 mAh, the fully-charged battery of Section 5.3. *)
+
+val mrm : unit -> Markov.Mrm.t
+val labeling : unit -> Markov.Labeling.t
+
+val q1 : string
+(** [P>0.5 ( F[r<=600] call_incoming )] — an incoming call before 80% of
+    the battery is drawn. *)
+
+val q2 : string
+(** [P>0.5 ( F[t<=24] call_incoming )] — an incoming call within 24 h. *)
+
+val q3 : string
+(** [P>0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )] —
+    launching an outbound call within 24 h and 80% battery, with no phone
+    use except ad hoc transfer beforehand. *)

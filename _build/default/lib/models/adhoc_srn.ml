@@ -1,0 +1,63 @@
+let build () =
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let call_idle = place b "call_idle" in
+  let call_initiated = place b "call_initiated" in
+  let call_incoming = place b "call_incoming" in
+  let call_active = place b "call_active" in
+  let adhoc_idle = place b "adhoc_idle" in
+  let adhoc_active = place b "adhoc_active" in
+  let doze = place b "doze" in
+  let t name rate inputs outputs =
+    transition b ~name ~rate ~inputs ~outputs ()
+  in
+  t "launch" Adhoc.Rates.launch [ (call_idle, 1) ] [ (call_initiated, 1) ];
+  t "connect" Adhoc.Rates.connect [ (call_initiated, 1) ] [ (call_active, 1) ];
+  t "give_up" Adhoc.Rates.give_up [ (call_initiated, 1) ] [ (call_idle, 1) ];
+  t "ring" Adhoc.Rates.ring [ (call_idle, 1) ] [ (call_incoming, 1) ];
+  t "accept" Adhoc.Rates.accept [ (call_incoming, 1) ] [ (call_active, 1) ];
+  t "interrupt" Adhoc.Rates.interrupt [ (call_incoming, 1) ] [ (call_idle, 1) ];
+  t "disconnect" Adhoc.Rates.disconnect [ (call_active, 1) ] [ (call_idle, 1) ];
+  t "request" Adhoc.Rates.request [ (adhoc_idle, 1) ] [ (adhoc_active, 1) ];
+  t "reconfirm" Adhoc.Rates.reconfirm [ (adhoc_active, 1) ] [ (adhoc_idle, 1) ];
+  t "doze" Adhoc.Rates.doze
+    [ (call_idle, 1); (adhoc_idle, 1) ]
+    [ (doze, 1) ];
+  t "wake_up" Adhoc.Rates.wake_up
+    [ (doze, 1) ]
+    [ (call_idle, 1); (adhoc_idle, 1) ];
+  (build b, call_idle, adhoc_idle)
+
+let net () =
+  let n, _, _ = build () in
+  n
+
+let initial_marking () =
+  let n, call_idle, adhoc_idle = build () in
+  let m = Array.make (Petri.Srn.n_places n) 0 in
+  m.((call_idle :> int)) <- 1;
+  m.((adhoc_idle :> int)) <- 1;
+  m
+
+let state_space () =
+  let n, _, _ = build () in
+  let initial = initial_marking () in
+  Petri.Reachability.explore n ~initial
+
+let powers =
+  [ ("call_idle", Adhoc.Power.call_idle);
+    ("call_initiated", Adhoc.Power.call_initiated);
+    ("call_incoming", Adhoc.Power.call_incoming);
+    ("call_active", Adhoc.Power.call_active);
+    ("adhoc_idle", Adhoc.Power.adhoc_idle);
+    ("adhoc_active", Adhoc.Power.adhoc_active);
+    ("doze", Adhoc.Power.doze) ]
+
+let mrm () =
+  let space = state_space () in
+  let reward_of_marking =
+    Petri.Reachability.additive_reward space.Petri.Reachability.net powers
+  in
+  Petri.Reachability.mrm ~reward_of_marking space
+
+let labeling () = Petri.Reachability.labeling (state_space ())

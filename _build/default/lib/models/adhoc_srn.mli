@@ -1,0 +1,20 @@
+(** The case-study model as a stochastic reward net — the paper's Figure 2
+    verbatim: seven places, eleven exponential transitions, with the rates
+    and place powers of Table 1.
+
+    Generating the reachability graph of this net must reproduce the
+    9-state MRM of {!Adhoc} (checked by the test suite); it is also what
+    the Figure 2 bench renders to DOT. *)
+
+val net : unit -> Petri.Srn.t
+
+val initial_marking : unit -> Petri.Srn.marking
+(** One token on [call_idle], one on [adhoc_idle]. *)
+
+val state_space : unit -> Petri.Reachability.t
+
+val mrm : unit -> Markov.Mrm.t
+(** MRM with the additive power reward of Table 1. *)
+
+val labeling : unit -> Markov.Labeling.t
+(** Atomic propositions = marked place names. *)

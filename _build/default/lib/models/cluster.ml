@@ -1,0 +1,76 @@
+type config = {
+  n_workstations : int;
+  ws_failure_rate : float;
+  ws_repair_rate : float;
+  switch_failure_rate : float;
+  switch_repair_rate : float;
+  quorum : int;
+  power_per_workstation : float;
+  power_switch : float;
+}
+
+let default =
+  { n_workstations = 8; ws_failure_rate = 1.0 /. 1000.0;
+    ws_repair_rate = 0.25; switch_failure_rate = 1.0 /. 2000.0;
+    switch_repair_rate = 1.0; quorum = 5; power_per_workstation = 3.0;
+    power_switch = 1.0 }
+
+let validate c =
+  if c.n_workstations < 1 then invalid_arg "Cluster: need >= 1 workstation";
+  if c.quorum < 1 || c.quorum > c.n_workstations then
+    invalid_arg "Cluster: quorum out of range";
+  if c.ws_failure_rate <= 0.0 || c.ws_repair_rate <= 0.0
+     || c.switch_failure_rate <= 0.0 || c.switch_repair_rate <= 0.0
+  then invalid_arg "Cluster: rates must be positive"
+
+let index c ~workstations_up ~switch_up =
+  validate c;
+  if workstations_up < 0 || workstations_up > c.n_workstations then
+    invalid_arg "Cluster.index: workstation count out of range";
+  (2 * workstations_up) + (if switch_up then 1 else 0)
+
+let n_states c = 2 * (c.n_workstations + 1)
+
+let mrm c =
+  validate c;
+  let triples = ref [] in
+  for w = 0 to c.n_workstations do
+    List.iter
+      (fun s ->
+        let here = (2 * w) + (if s then 1 else 0) in
+        (* Workstation failures pool; one shared repair unit that
+           prioritises the switch (the switch repairer is dedicated, so
+           both proceed concurrently here). *)
+        if w > 0 then
+          triples :=
+            (here, here - 2, float_of_int w *. c.ws_failure_rate) :: !triples;
+        if w < c.n_workstations then
+          triples := (here, here + 2, c.ws_repair_rate) :: !triples;
+        if s then triples := (here, here - 1, c.switch_failure_rate) :: !triples
+        else triples := (here, here + 1, c.switch_repair_rate) :: !triples)
+      [ false; true ]
+  done;
+  let rewards =
+    Array.init (n_states c) (fun i ->
+        let w = i / 2 and s = i mod 2 = 1 in
+        (float_of_int w *. c.power_per_workstation)
+        +. (if s then c.power_switch else 0.0))
+  in
+  Markov.Mrm.of_transitions ~n:(n_states c) !triples ~rewards
+
+let labeling c =
+  validate c;
+  let n = n_states c in
+  let states predicate =
+    List.filter
+      (fun i -> predicate (i / 2) (i mod 2 = 1))
+      (List.init n Fun.id)
+  in
+  Markov.Labeling.make ~n
+    [ ("available", states (fun w s -> s && w >= c.quorum));
+      ("switch_up", states (fun _ s -> s));
+      ("all_up", states (fun w s -> s && w = c.n_workstations));
+      ("degraded", states (fun w _ -> w < c.n_workstations));
+      ("down", states (fun w s -> (not s) || w < c.quorum)) ]
+
+let initial_state c = index c ~workstations_up:c.n_workstations ~switch_up:true

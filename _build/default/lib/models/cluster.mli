@@ -1,0 +1,41 @@
+(** A dependable workstation cluster with an energy budget — in the spirit
+    of the dependability case study the authors checked with plain CSL
+    (Haverkort, Hermanns & Katoen, SRDS 2000), extended here with the
+    reward dimension CSRL adds: rewards model the cluster's power draw, so
+    one can ask for service levels reached within both a deadline and an
+    energy budget.
+
+    [n] workstations fail and are repaired (single repair unit); a shared
+    switch can also fail, taking service down with it.  Service is
+    available when the switch is up and at least [quorum] workstations
+    are. *)
+
+type config = {
+  n_workstations : int;
+  ws_failure_rate : float;
+  ws_repair_rate : float;
+  switch_failure_rate : float;
+  switch_repair_rate : float;
+  quorum : int;
+  power_per_workstation : float;  (** reward contribution per up machine *)
+  power_switch : float;           (** reward contribution of an up switch *)
+}
+
+val default : config
+(** 8 workstations (fail every 1000 h, repaired in 4 h), switch failing
+    every 2000 h (repaired in 1 h), quorum 5, 3 power units per
+    workstation, 1 for the switch. *)
+
+val mrm : config -> Markov.Mrm.t
+(** State [(w, s)] — [w] workstations up, switch up iff [s] — is indexed
+    as [2 * w + s]. *)
+
+val labeling : config -> Markov.Labeling.t
+(** Propositions: ["available"] (switch up and quorum met), ["switch_up"],
+    ["all_up"], ["degraded"] (some workstation down), ["down"] (no
+    service). *)
+
+val initial_state : config -> int
+(** Everything operational. *)
+
+val index : config -> workstations_up:int -> switch_up:bool -> int

@@ -1,0 +1,54 @@
+type config = {
+  n_processors : int;
+  failure_rate : float;
+  repair_rate : float;
+  capacity : int;
+  throughput_per_processor : float;
+}
+
+let default =
+  { n_processors = 4; failure_rate = 1.0 /. 500.0; repair_rate = 0.5;
+    capacity = 3; throughput_per_processor = 1.0 }
+
+let validate c =
+  if c.n_processors < 1 then invalid_arg "Multiprocessor: need >= 1 processor";
+  if c.failure_rate <= 0.0 || c.repair_rate <= 0.0 then
+    invalid_arg "Multiprocessor: rates must be positive";
+  if c.capacity < 1 then invalid_arg "Multiprocessor: capacity must be >= 1"
+
+let mrm c =
+  validate c;
+  let n = c.n_processors + 1 in
+  let triples = ref [] in
+  for i = 0 to c.n_processors do
+    (* i operational processors: failures pool, one repairer. *)
+    if i > 0 then
+      triples := (i, i - 1, float_of_int i *. c.failure_rate) :: !triples;
+    if i < c.n_processors then triples := (i, i + 1, c.repair_rate) :: !triples
+  done;
+  let rewards =
+    Array.init n (fun i ->
+        float_of_int (Stdlib.min i c.capacity) *. c.throughput_per_processor)
+  in
+  Markov.Mrm.of_transitions ~n !triples ~rewards
+
+let labeling c =
+  validate c;
+  let n = c.n_processors + 1 in
+  let range predicate = List.filter predicate (List.init n Fun.id) in
+  Markov.Labeling.make ~n
+    [ ("up", range (fun i -> i >= 1));
+      ("full", [ c.n_processors ]);
+      ("degraded", range (fun i -> i >= 1 && i < c.n_processors));
+      ("down", [ 0 ]);
+      ("saturated", range (fun i -> i >= c.capacity)) ]
+
+let initial_state c =
+  validate c;
+  c.n_processors
+
+let performability c ~t ~r =
+  let m = mrm c in
+  let goal = Array.make (Markov.Mrm.n_states m) true in
+  Perf.Problem.of_initial_state m ~init:(initial_state c) ~goal ~time_bound:t
+    ~reward_bound:r

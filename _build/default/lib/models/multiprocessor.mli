@@ -1,0 +1,40 @@
+(** A Meyer-style degradable multiprocessor — the classic performability
+    setting the paper's logic generalises (Meyer 1980, "On evaluating the
+    performability of degradable computer systems").
+
+    [n] processors fail independently (rate [failure_rate] each) and are
+    repaired by a single repair facility (rate [repair_rate]).  State [i]
+    (0 <= i <= n) has [i] operational processors; the rate reward is the
+    computational capacity actually usable, [min i capacity] times
+    [throughput_per_processor] — accumulated reward is work delivered.
+
+    Meyer's performability distribution [Pr{Y_t <= r}] is then exactly the
+    reward-bounded instant-of-time reachability of Section 4 with the goal
+    set equal to the whole state space, so all three engines apply. *)
+
+type config = {
+  n_processors : int;
+  failure_rate : float;      (** per processor, per hour *)
+  repair_rate : float;       (** single repair facility *)
+  capacity : int;            (** processors the workload can actually use *)
+  throughput_per_processor : float;  (** reward rate per usable processor *)
+}
+
+val default : config
+(** 4 processors, failures every 500 h, repairs in 2 h, capacity 3,
+    throughput 1 per processor. *)
+
+val mrm : config -> Markov.Mrm.t
+(** States ordered [0 .. n] by number of operational processors; the fully
+    operational state is [n]. *)
+
+val labeling : config -> Markov.Labeling.t
+(** Propositions: ["up"] (at least one processor), ["full"] (all
+    operational), ["degraded"] (some but not all), ["down"] (none),
+    ["saturated"] (at least [capacity] operational). *)
+
+val initial_state : config -> int
+(** Fully operational. *)
+
+val performability : config -> t:float -> r:float -> Perf.Problem.t
+(** Meyer's [Pr{Y_t <= r}] as a Section 4 problem (goal = all states). *)

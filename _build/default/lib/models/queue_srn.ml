@@ -1,0 +1,113 @@
+type config = {
+  capacity : int;
+  arrival_rate : float;
+  service_rate : float;
+  failure_rate : float;
+  repair_rate : float;
+  discouraged_arrivals : bool;
+  power_server : float;
+  holding_cost : float;
+}
+
+let default =
+  { capacity = 6; arrival_rate = 2.0; service_rate = 3.0;
+    failure_rate = 0.01; repair_rate = 2.0; discouraged_arrivals = false;
+    power_server = 5.0; holding_cost = 1.0 }
+
+let validate c =
+  if c.capacity < 1 then invalid_arg "Queue_srn: capacity must be >= 1";
+  if c.arrival_rate <= 0.0 || c.service_rate <= 0.0 || c.failure_rate <= 0.0
+     || c.repair_rate <= 0.0
+  then invalid_arg "Queue_srn: rates must be positive"
+
+let build c =
+  validate c;
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let queue = place b "queue" in
+  let server_up = place b "server_up" in
+  let server_down = place b "server_down" in
+  (if c.discouraged_arrivals then
+     transition b ~name:"arrive" ~rate:c.arrival_rate
+       ~rate_fn:(fun m ->
+         c.arrival_rate /. (1.0 +. float_of_int m.((queue :> int))))
+       ~inhibitors:[ (queue, c.capacity) ]
+       ~inputs:[] ~outputs:[ (queue, 1) ] ()
+   else
+     transition b ~name:"arrive" ~rate:c.arrival_rate
+       ~inhibitors:[ (queue, c.capacity) ]
+       ~inputs:[] ~outputs:[ (queue, 1) ] ());
+  transition b ~name:"serve" ~rate:c.service_rate
+    ~inputs:[ (queue, 1); (server_up, 1) ]
+    ~outputs:[ (server_up, 1) ] ();
+  transition b ~name:"fail" ~rate:c.failure_rate
+    ~inputs:[ (server_up, 1) ]
+    ~outputs:[ (server_down, 1) ] ();
+  transition b ~name:"repair" ~rate:c.repair_rate
+    ~inputs:[ (server_down, 1) ]
+    ~outputs:[ (server_up, 1) ] ();
+  (build b, queue, server_up)
+
+let net c =
+  let n, _, _ = build c in
+  n
+
+let initial_marking c =
+  let n, _, server_up = build c in
+  let m = Array.make (Petri.Srn.n_places n) 0 in
+  m.((server_up :> int)) <- 1;
+  m
+
+let state_space c =
+  let n, _, _ = build c in
+  Petri.Reachability.explore n ~initial:(initial_marking c)
+
+let mrm c =
+  let space = state_space c in
+  let reward =
+    Petri.Reachability.additive_reward space.Petri.Reachability.net
+      [ ("queue", c.holding_cost); ("server_up", c.power_server) ]
+  in
+  Petri.Reachability.mrm ~reward_of_marking:reward space
+
+let labeling c =
+  let space = state_space c in
+  let net = space.Petri.Reachability.net in
+  let queue = Petri.Srn.find_place net "queue" in
+  let base = Petri.Reachability.labeling space in
+  let states predicate =
+    List.filter
+      (fun s -> predicate space.Petri.Reachability.markings.(s))
+      (List.init (Petri.Reachability.n_states space) Fun.id)
+  in
+  let base =
+    Markov.Labeling.add base "idle"
+      (states (fun m -> m.((queue :> int)) = 0))
+  in
+  Markov.Labeling.add base "full"
+    (states (fun m -> m.((queue :> int)) = c.capacity))
+
+let state_of c ~jobs ~server_up =
+  let space = state_space c in
+  let net = space.Petri.Reachability.net in
+  let queue = Petri.Srn.find_place net "queue" in
+  let up = Petri.Srn.find_place net "server_up" in
+  let down = Petri.Srn.find_place net "server_down" in
+  let marking = Array.make (Petri.Srn.n_places net) 0 in
+  marking.((queue :> int)) <- jobs;
+  marking.((if server_up then (up :> int) else (down :> int))) <- 1;
+  match Petri.Reachability.state_of_marking space marking with
+  | Some s -> s
+  | None -> raise Not_found
+
+let mrm_with_admission_cost ~admission_cost c =
+  let space = state_space c in
+  let reward =
+    Petri.Reachability.additive_reward space.Petri.Reachability.net
+      [ ("queue", c.holding_cost); ("server_up", c.power_server) ]
+  in
+  Petri.Reachability.mrm_with_impulses ~reward_of_marking:reward
+    ~impulse_of_transition:(function
+      | "arrive" -> admission_cost
+      | _ -> 0.0)
+    space

@@ -1,0 +1,48 @@
+(** An M/M/1/K queue with server breakdowns, as a stochastic reward net.
+
+    This model exercises the SRN features the case study does not:
+    inhibitor arcs (the queue capacity), multi-token places (the queue)
+    and marking-dependent rates (optionally, arrivals discouraged by
+    queue length).  Rewards model operating power plus a holding cost per
+    queued job, so CSRL can bound both response deadlines and energy:
+
+    - ["P>=0.9 ( F[t<=2] idle )"] — does backlog drain quickly?
+    - ["P<0.1 ( true U[t<=8][r<=40] full )"] — the queue fills early
+      {e and} cheaply only rarely;
+    - ["R=? ( S )"] — long-run power draw. *)
+
+type config = {
+  capacity : int;             (** K *)
+  arrival_rate : float;       (** lambda *)
+  service_rate : float;       (** mu, while the server is up *)
+  failure_rate : float;
+  repair_rate : float;
+  discouraged_arrivals : bool;
+      (** when set, arrivals slow down as [lambda / (1 + q)] *)
+  power_server : float;       (** reward while the server is up *)
+  holding_cost : float;       (** reward per queued job *)
+}
+
+val default : config
+(** K = 6, lambda = 2, mu = 3, failures every 100 time units, repair in
+    0.5, plain arrivals, power 5, holding cost 1. *)
+
+val net : config -> Petri.Srn.t
+val initial_marking : config -> Petri.Srn.marking
+(** Empty queue, server up. *)
+
+val state_space : config -> Petri.Reachability.t
+val mrm : config -> Markov.Mrm.t
+val labeling : config -> Markov.Labeling.t
+(** Place-derived propositions ([queue], [server_up], [server_down]) plus
+    ["idle"] (empty queue) and ["full"] (queue at capacity). *)
+
+val state_of : config -> jobs:int -> server_up:bool -> int
+(** Index of a marking in the generated state space; raises [Not_found]
+    if out of range. *)
+
+val mrm_with_admission_cost : admission_cost:float -> config -> Markov.Mrm.t
+(** Like {!mrm}, with an impulse reward of [admission_cost] on every
+    [arrive] firing — the per-job admission energy.  Exercises the
+    impulse-reward extension end to end (only the discretisation engine
+    and the simulator can check reward-bounded properties on it). *)

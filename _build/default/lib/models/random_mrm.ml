@@ -1,0 +1,103 @@
+type config = {
+  n_states : int;
+  max_fanout : int;
+  max_rate : float;
+  max_reward : int;
+  absorbing_fraction : float;
+  max_impulse : int;
+}
+
+let default =
+  { n_states = 6; max_fanout = 3; max_rate = 4.0; max_reward = 3;
+    absorbing_fraction = 0.2; max_impulse = 0 }
+
+let with_impulses = { default with max_impulse = 2 }
+
+let validate c =
+  if c.n_states < 2 then invalid_arg "Random_mrm: need >= 2 states";
+  if c.max_fanout < 1 then invalid_arg "Random_mrm: max_fanout >= 1";
+  if c.max_rate <= 0.0 then invalid_arg "Random_mrm: max_rate > 0";
+  if c.max_reward < 0 then invalid_arg "Random_mrm: max_reward >= 0"
+
+let generate ~seed c =
+  validate c;
+  let rng = Sim.Rng.create ~seed in
+  let triples = ref [] in
+  for s = 0 to c.n_states - 1 do
+    if Sim.Rng.float rng >= c.absorbing_fraction then begin
+      let fanout = 1 + Sim.Rng.int rng ~bound:c.max_fanout in
+      for _ = 1 to fanout do
+        let target = Sim.Rng.int rng ~bound:c.n_states in
+        if target <> s then begin
+          let rate = Float.max 0.05 (Sim.Rng.float rng *. c.max_rate) in
+          triples := (s, target, rate) :: !triples
+        end
+      done
+    end
+  done;
+  let rewards =
+    Array.init c.n_states (fun _ ->
+        float_of_int (Sim.Rng.int rng ~bound:(c.max_reward + 1)))
+  in
+  let m = Markov.Mrm.of_transitions ~n:c.n_states !triples ~rewards in
+  if c.max_impulse <= 0 then m
+  else begin
+    (* Attach integral impulses to about half of the actual transitions
+       (duplicate coordinate triples were summed by the CTMC builder, so
+       impulses are drawn from the final rate matrix). *)
+    let impulses = ref [] in
+    Linalg.Csr.iter
+      (Markov.Ctmc.rates (Markov.Mrm.ctmc m))
+      (fun s s' _rate ->
+        if Sim.Rng.float rng < 0.5 then begin
+          let iota = Sim.Rng.int rng ~bound:(c.max_impulse + 1) in
+          if iota > 0 then
+            impulses := (s, s', float_of_int iota) :: !impulses
+        end);
+    Markov.Mrm.with_impulses m
+      (Linalg.Csr.of_coo ~rows:c.n_states ~cols:c.n_states !impulses)
+  end
+
+let generate_problem ~seed c =
+  let m = generate ~seed c in
+  let rng = Sim.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) in
+  let n = Markov.Mrm.n_states m in
+  (* A non-empty random goal set. *)
+  let goal = Array.init n (fun _ -> Sim.Rng.float rng < 0.3) in
+  if not (Array.exists Fun.id goal) then
+    goal.(Sim.Rng.int rng ~bound:n) <- true;
+  (* Theorem 1 normal form: goal states absorbing with zero reward
+     (impulses on surviving transitions are preserved). *)
+  let chain =
+    Markov.Transform.make_absorbing (Markov.Mrm.ctmc m)
+      ~absorb:(Array.copy goal)
+  in
+  let m =
+    Markov.Mrm.map_rewards
+      (fun s r -> if goal.(s) then 0.0 else r)
+      (Markov.Mrm.with_ctmc m chain)
+  in
+  (* Both bounds are snapped onto a 1/16 grid so that the discretisation
+     engine (which needs one step size dividing both) applies directly.
+     The reward bound is kept at least 20% of rho_max * t: a bound near
+     zero is both uninformative (the probability collapses) and
+     pathological for the pseudo-Erlang engine, whose meter rate
+     rho * k / r — and with it the uniformisation work — blows up. *)
+  let snap x = Float.max (1.0 /. 16.0) (Float.round (x *. 16.0) /. 16.0) in
+  let t = snap (0.5 +. (Sim.Rng.float rng *. 3.5)) in
+  let rho_max = Markov.Mrm.max_reward m in
+  let r =
+    if rho_max > 0.0 then
+      snap ((0.2 +. (Sim.Rng.float rng *. 0.7)) *. rho_max *. t)
+    else 1.0
+  in
+  let init =
+    (* Prefer a non-goal initial state when one exists. *)
+    let candidates =
+      List.filter (fun s -> not goal.(s)) (List.init n Fun.id)
+    in
+    match candidates with
+    | [] -> 0
+    | all -> List.nth all (Sim.Rng.int rng ~bound:(List.length all))
+  in
+  Perf.Problem.of_initial_state m ~init ~goal ~time_bound:t ~reward_bound:r

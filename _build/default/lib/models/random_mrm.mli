@@ -1,0 +1,38 @@
+(** Seeded random Markov reward models.
+
+    The property-based tests rely on these to cross-check the three
+    Section 4 engines against each other (and against simulation) on
+    models none of them was tuned for.  Rewards are natural numbers so the
+    discretisation engine applies without rescaling. *)
+
+type config = {
+  n_states : int;
+  max_fanout : int;        (** outgoing transitions per state, >= 1 *)
+  max_rate : float;        (** rates drawn uniformly from (0, max_rate] *)
+  max_reward : int;        (** rewards drawn uniformly from 0..max_reward *)
+  absorbing_fraction : float;  (** chance a state is made absorbing *)
+  max_impulse : int;
+      (** when positive, transitions carry impulse rewards drawn
+          uniformly from 0..max_impulse (integral, for the
+          discretisation engine) *)
+}
+
+val default : config
+(** 6 states, fanout up to 3, rates up to 4, rewards up to 3, 20%
+    absorbing, no impulses. *)
+
+val with_impulses : config
+(** {!default} plus impulses up to 2. *)
+
+val generate : seed:int64 -> config -> Markov.Mrm.t
+(** Deterministic in the seed.  The generated chain may be reducible or
+    have absorbing states — intentionally so. *)
+
+val generate_problem :
+  seed:int64 -> config -> Perf.Problem.t
+(** A random reward-bounded reachability problem on a random model: a
+    non-empty goal set, [t] in (0.5, 4], and [r] positioned so the reward
+    bound actually bites (between 10% and 90% of [rho_max *. t]) whenever
+    the model has a positive reward.  Goal states are made absorbing with
+    reward zero first (the Theorem 1 normal form), so the three engines
+    answer the same measurable question. *)

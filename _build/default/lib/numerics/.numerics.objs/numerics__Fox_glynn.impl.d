@@ -1,0 +1,1 @@
+lib/numerics/fox_glynn.ml: Array Float Kahan List Poisson

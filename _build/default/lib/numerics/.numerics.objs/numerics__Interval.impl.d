@@ -1,0 +1,1 @@
+lib/numerics/interval.ml: Float Format

@@ -1,0 +1,1 @@
+lib/numerics/poisson.ml: Float Float_utils Kahan Special

@@ -1,0 +1,32 @@
+let approx_eq ?(rel = 1e-9) ?(abs = 1e-12) x y =
+  let diff = Float.abs (x -. y) in
+  diff <= abs +. (rel *. Float.max (Float.abs x) (Float.abs y))
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let clamp_prob p = clamp ~lo:0.0 ~hi:1.0 p
+
+let is_prob ?(slack = 1e-9) p =
+  Float.is_finite p && p >= -.slack && p <= 1.0 +. slack
+
+let relative_error ~reference x =
+  let diff = Float.abs (x -. reference) in
+  if reference = 0.0 then diff else diff /. Float.abs reference
+
+let sum_abs_diff u v =
+  if Array.length u <> Array.length v then
+    invalid_arg "Float_utils.sum_abs_diff: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. Float.abs (u.(i) -. v.(i))
+  done;
+  !acc
+
+let max_abs_diff u v =
+  if Array.length u <> Array.length v then
+    invalid_arg "Float_utils.max_abs_diff: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := Float.max !acc (Float.abs (u.(i) -. v.(i)))
+  done;
+  !acc

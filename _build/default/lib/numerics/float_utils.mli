@@ -1,0 +1,26 @@
+(** Small floating-point helpers shared across the numerical code. *)
+
+val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [approx_eq ~rel ~abs x y] holds if [x] and [y] differ by at most
+    [abs + rel *. max |x| |y|].  Defaults: [rel = 1e-9], [abs = 1e-12]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] forced into the closed interval [\[lo, hi\]]. *)
+
+val clamp_prob : float -> float
+(** [clamp_prob p] clamps [p] into [\[0, 1\]]; tiny numerical over- and
+    undershoots of probabilities are normalised away. *)
+
+val is_prob : ?slack:float -> float -> bool
+(** [is_prob p] holds if [p] lies in [\[0-slack, 1+slack\]] (default slack
+    [1e-9]) and is finite. *)
+
+val relative_error : reference:float -> float -> float
+(** [relative_error ~reference x] is [|x - reference| / |reference|]; if the
+    reference is zero it degrades to the absolute error. *)
+
+val sum_abs_diff : float array -> float array -> float
+(** L1 distance between two vectors of equal length. *)
+
+val max_abs_diff : float array -> float array -> float
+(** L-infinity distance between two vectors of equal length. *)

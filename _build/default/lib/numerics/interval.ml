@@ -1,0 +1,97 @@
+type t =
+  | Upto of float
+  | Between of float * float
+  | From of float
+  | Unbounded
+
+let check_endpoint name x =
+  if not (Float.is_finite x) || x < 0.0 then
+    invalid_arg (name ^ ": endpoints must be finite and non-negative")
+
+let upto b =
+  check_endpoint "Interval.upto" b;
+  Upto b
+
+let between a b =
+  check_endpoint "Interval.between" a;
+  check_endpoint "Interval.between" b;
+  if a > b then invalid_arg "Interval.between: lower exceeds upper";
+  if a = 0.0 then Upto b else Between (a, b)
+
+let from a =
+  check_endpoint "Interval.from" a;
+  if a = 0.0 then Unbounded else From a
+
+let unbounded = Unbounded
+
+let make ~lower ~upper =
+  match lower, upper with
+  | None, None -> Unbounded
+  | None, Some b -> upto b
+  | Some a, None -> from a
+  | Some a, Some b -> between a b
+
+let mem x = function
+  | Upto b -> x >= 0.0 && x <= b
+  | Between (a, b) -> x >= a && x <= b
+  | From a -> x >= a
+  | Unbounded -> x >= 0.0
+
+let lower = function
+  | Upto _ | Unbounded -> 0.0
+  | Between (a, _) | From a -> a
+
+let upper = function
+  | Upto b | Between (_, b) -> Some b
+  | From _ | Unbounded -> None
+
+let is_bounded i = upper i <> None
+
+let is_downward_closed i = lower i = 0.0
+
+let bound = upper
+
+let bound_exn i =
+  match upper i with
+  | Some b -> b
+  | None -> invalid_arg "Interval.bound_exn: unbounded interval"
+
+let scale c i =
+  if c < 0.0 then invalid_arg "Interval.scale: negative factor";
+  match i with
+  | Upto b -> Upto (c *. b)
+  | Between (a, b) -> between (c *. a) (c *. b)
+  | From a -> from (c *. a)
+  | Unbounded -> Unbounded
+
+let intersect i j =
+  let lo = Float.max (lower i) (lower j) in
+  let hi =
+    match upper i, upper j with
+    | None, h | h, None -> h
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  match hi with
+  | Some h when h < lo -> None
+  | Some h -> Some (between lo h)
+  | None -> Some (from lo)
+
+let min_bound i j =
+  match upper i, upper j with
+  | None, _ -> j
+  | _, None -> i
+  | Some a, Some b -> if a <= b then i else j
+
+let equal i j =
+  match i, j with
+  | Unbounded, Unbounded -> true
+  | Upto a, Upto b -> a = b
+  | From a, From b -> a = b
+  | Between (a1, b1), Between (a2, b2) -> a1 = a2 && b1 = b2
+  | (Upto _ | Between _ | From _ | Unbounded), _ -> false
+
+let pp ppf = function
+  | Upto b -> Format.fprintf ppf "[0,%g]" b
+  | Between (a, b) -> Format.fprintf ppf "[%g,%g]" a b
+  | From a -> Format.fprintf ppf "[%g,inf)" a
+  | Unbounded -> ()

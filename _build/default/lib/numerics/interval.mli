@@ -1,0 +1,70 @@
+(** Time and reward bounds of CSRL path operators.
+
+    The paper (Section 2.3) restricts its {e computational procedures} to
+    downward-closed intervals [\[0, b\]] and leaves arbitrary intervals as
+    future work.  The representation here supports the general closed
+    forms [\[a, b\]] and [\[a, infinity)] as well: the checker implements
+    them for the next operator (any combination) and for the {e time}
+    bound of until (the standard two-phase construction); general
+    {e reward} intervals on until remain unsupported, exactly the open
+    problem the paper states. *)
+
+type t =
+  | Upto of float            (** [\[0, b\]] *)
+  | Between of float * float (** [\[a, b\]] with [0 < a <= b] *)
+  | From of float            (** [\[a, infinity)] with [a > 0] *)
+  | Unbounded                (** [\[0, infinity)] *)
+
+val upto : float -> t
+(** [upto b] is [\[0, b\]].  Raises [Invalid_argument] if [b < 0] or not
+    finite. *)
+
+val between : float -> float -> t
+(** [between a b] is [\[a, b\]]; normalises to [Upto b] when [a = 0].
+    Raises [Invalid_argument] unless [0 <= a <= b] and both finite. *)
+
+val from : float -> t
+(** [from a] is [\[a, infinity)]; normalises to [Unbounded] when [a = 0]. *)
+
+val unbounded : t
+
+val make : lower:float option -> upper:float option -> t
+(** Build from optional endpoints (missing lower = 0, missing upper =
+    infinity). *)
+
+val mem : float -> t -> bool
+
+val lower : t -> float
+(** The left endpoint ([0.] for [Upto]/[Unbounded]). *)
+
+val upper : t -> float option
+(** The right endpoint, [None] when infinite. *)
+
+val is_bounded : t -> bool
+(** Whether the right endpoint is finite. *)
+
+val is_downward_closed : t -> bool
+(** Whether the left endpoint is [0] — the fragment the paper's engines
+    handle. *)
+
+val bound : t -> float option
+(** Alias of {!upper}. *)
+
+val bound_exn : t -> float
+(** Right endpoint or [Invalid_argument]. *)
+
+val scale : float -> t -> t
+(** [scale c i] multiplies both finite endpoints by [c >= 0]. *)
+
+val intersect : t -> t -> t option
+(** Set intersection; [None] when empty. *)
+
+val min_bound : t -> t -> t
+(** Keeps the smaller upper bound (legacy helper for downward-closed
+    intervals; lower bounds are combined by {!intersect}). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints [\[0,b\]], [\[a,b\]], [\[a,inf)], or nothing for [Unbounded] —
+    matching the paper's convention of omitting vacuous bounds. *)

@@ -1,0 +1,30 @@
+type t = { mutable value : float; mutable compensation : float }
+
+let create () = { value = 0.0; compensation = 0.0 }
+
+(* Kahan-Babuska variant: the compensation also tracks the case where the
+   new term is larger in magnitude than the running sum. *)
+let add acc x =
+  let s = acc.value +. x in
+  let c =
+    if Float.abs acc.value >= Float.abs x then (acc.value -. s) +. x
+    else (x -. s) +. acc.value
+  in
+  acc.value <- s;
+  acc.compensation <- acc.compensation +. c
+
+let sum acc = acc.value +. acc.compensation
+
+let sum_array xs =
+  let acc = create () in
+  Array.iter (add acc) xs;
+  sum acc
+
+let dot u v =
+  if Array.length u <> Array.length v then
+    invalid_arg "Kahan.dot: length mismatch";
+  let acc = create () in
+  for i = 0 to Array.length u - 1 do
+    add acc (u.(i) *. v.(i))
+  done;
+  sum acc

@@ -1,0 +1,23 @@
+(** Compensated (Kahan–Babuška) summation.
+
+    Long uniformisation series add tens of thousands of small terms; naive
+    summation loses digits that the model checker's error bounds assume are
+    there.  This accumulator keeps a running compensation term. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator with value [0]. *)
+
+val add : t -> float -> unit
+(** [add acc x] adds [x] to the running sum. *)
+
+val sum : t -> float
+(** Current compensated value of the sum. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product of two equal-length vectors. *)

@@ -1,0 +1,70 @@
+let log_pmf ~lambda n =
+  if lambda < 0.0 then invalid_arg "Poisson.log_pmf: negative lambda";
+  if n < 0 then invalid_arg "Poisson.log_pmf: negative n";
+  if lambda = 0.0 then if n = 0 then 0.0 else Float.neg_infinity
+  else
+    (float_of_int n *. Float.log lambda) -. lambda -. Special.log_factorial n
+
+let pmf ~lambda n = Float.exp (log_pmf ~lambda n)
+
+let cdf ~lambda n =
+  if lambda = 0.0 then if n >= 0 then 1.0 else 0.0
+  else begin
+    let acc = Kahan.create () in
+    let mode = int_of_float lambda in
+    let p_mode = pmf ~lambda mode in
+    (* Sum the mass at 0..n by walking from the mode in both directions;
+       anchoring at the mode avoids underflow of e^-lambda. *)
+    let rec down k p =
+      if k >= 0 && p > 0.0 then begin
+        if k <= n then Kahan.add acc p;
+        down (k - 1) (p *. float_of_int k /. lambda)
+      end
+    in
+    let rec up k p =
+      if k <= n && p > 0.0 then begin
+        Kahan.add acc p;
+        up (k + 1) (p *. lambda /. float_of_int (k + 1))
+      end
+    in
+    down mode p_mode;
+    if mode < n then up (mode + 1) (p_mode *. lambda /. float_of_int (mode + 1));
+    Float_utils.clamp_prob (Kahan.sum acc)
+  end
+
+let right_truncation_point ~lambda ~epsilon =
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid_arg "Poisson.right_truncation_point: epsilon outside (0,1)";
+  if lambda = 0.0 then 0
+  else begin
+    let acc = Kahan.create () in
+    let mode = int_of_float lambda in
+    let p_mode = pmf ~lambda mode in
+    (* Accumulate all mass below the mode first ... *)
+    let rec down k p =
+      if k >= 0 && p > 0.0 then begin
+        Kahan.add acc p;
+        down (k - 1) (p *. float_of_int k /. lambda)
+      end
+    in
+    down mode p_mode;
+    if Kahan.sum acc >= 1.0 -. epsilon then
+      (* The threshold is already crossed at or below the mode: rescan
+         upward from 0 to find the exact crossing point. *)
+      let acc2 = Kahan.create () in
+      let rec scan k p =
+        Kahan.add acc2 p;
+        if Kahan.sum acc2 >= 1.0 -. epsilon then k
+        else scan (k + 1) (p *. lambda /. float_of_int (k + 1))
+      in
+      scan 0 (pmf ~lambda 0)
+    else begin
+      (* ... then extend to the right until the target mass is reached. *)
+      let rec up k p =
+        Kahan.add acc p;
+        if Kahan.sum acc >= 1.0 -. epsilon then k
+        else up (k + 1) (p *. lambda /. float_of_int (k + 1))
+      in
+      up (mode + 1) (p_mode *. lambda /. float_of_int (mode + 1))
+    end
+  end

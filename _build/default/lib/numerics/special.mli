@@ -1,0 +1,26 @@
+(** Special functions used by the uniformisation-based algorithms.
+
+    Everything is computed in log space first; the Poisson weights of the
+    case study involve [lambda * t] in the hundreds (and, for the
+    pseudo-Erlang expansion, in the thousands), for which
+    [exp (-. lambda *. t)] underflows in double precision. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0] (Lanczos approximation,
+    accurate to roughly 1e-13 relative error). *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln n!]; exact table for small [n], [log_gamma]
+    beyond.  Raises [Invalid_argument] for negative [n]. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is [ln (n choose k)].  Raises [Invalid_argument]
+    unless [0 <= k <= n]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] is [n choose k] as a float (possibly [infinity] for very
+    large arguments). *)
+
+val log_sum_exp : float array -> float
+(** [log_sum_exp a] is [ln (sum_i exp a.(i))], computed stably.  Returns
+    [neg_infinity] on the empty array. *)

@@ -1,0 +1,1 @@
+lib/perf/discretization.ml: Array Float Linalg List Markov Numerics Printf Problem

@@ -1,0 +1,1 @@
+lib/perf/discretization.mli: Problem

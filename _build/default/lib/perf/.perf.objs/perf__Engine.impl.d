@@ -1,0 +1,1 @@
+lib/perf/engine.ml: Discretization Erlang_approx Format Markov Problem Sericola

@@ -1,0 +1,1 @@
+lib/perf/engine.mli: Format Problem

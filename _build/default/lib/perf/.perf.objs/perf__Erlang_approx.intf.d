@@ -1,0 +1,1 @@
+lib/perf/erlang_approx.mli: Markov Problem

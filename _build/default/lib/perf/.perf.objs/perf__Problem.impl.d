@@ -1,0 +1,1 @@
+lib/perf/problem.ml: Array Float Format Linalg Markov

@@ -1,0 +1,1 @@
+lib/perf/problem.mli: Format Linalg Markov

@@ -1,0 +1,1 @@
+lib/perf/reduced.ml: Array Fun Hashtbl Linalg Markov Problem

@@ -1,0 +1,1 @@
+lib/perf/reduced.mli: Linalg Markov Problem

@@ -1,0 +1,1 @@
+lib/perf/sericola.mli: Markov Problem

@@ -1,0 +1,90 @@
+let max_stable_step (p : Problem.t) =
+  let rate = Markov.Ctmc.max_exit_rate (Markov.Mrm.ctmc p.Problem.mrm) in
+  if rate > 0.0 then 1.0 /. rate else Float.infinity
+
+let integral_steps ~what ~step value =
+  let quotient = value /. step in
+  let rounded = Float.round quotient in
+  if Float.abs (quotient -. rounded) > 1e-6 *. Float.max 1.0 quotient then
+    invalid_arg
+      (Printf.sprintf
+         "Discretization: the step must evenly divide the %s (%g / %g)" what
+         value step);
+  int_of_float rounded
+
+let solve ~step (p : Problem.t) =
+  let d = step in
+  if not (d > 0.0 && Float.is_finite d) then
+    invalid_arg "Discretization.solve: step must be positive";
+  if d > max_stable_step p +. 1e-15 then
+    invalid_arg
+      (Printf.sprintf
+         "Discretization.solve: step %g exceeds the stability limit %g" d
+         (max_stable_step p));
+  let m = p.Problem.mrm in
+  if not (Markov.Mrm.all_rewards_integral m) then
+    invalid_arg
+      "Discretization.solve: rewards must be natural numbers (scale them)";
+  let n = Markov.Mrm.n_states m in
+  let chain = Markov.Mrm.ctmc m in
+  let rho = Array.init n (fun s -> int_of_float (Float.round (Markov.Mrm.reward m s))) in
+  (* Impulse rewards shift the grid by iota / d cells at the jump; the
+     step must therefore divide every impulse. *)
+  let impulse_cells s s' =
+    let iota = Markov.Mrm.impulse m s s' in
+    if iota = 0.0 then 0
+    else integral_steps ~what:"impulse rewards" ~step:d iota
+  in
+  let t_steps = integral_steps ~what:"time bound" ~step:d p.Problem.time_bound in
+  let r_steps = integral_steps ~what:"reward bound" ~step:d p.Problem.reward_bound in
+  if t_steps = 0 then invalid_arg "Discretization.solve: zero time steps";
+  let width = r_steps + 1 in
+  (* f.(s) is the reward profile of state s on the grid 0..r_steps. *)
+  let f_cur = Array.init n (fun _ -> Array.make width 0.0) in
+  let f_next = Array.init n (fun _ -> Array.make width 0.0) in
+  (* F^1: after one step of length d the chain is (up to O(d) corrections)
+     still in its initial state, having earned rho(s) grid units. *)
+  Array.iteri
+    (fun s mass ->
+      if mass > 0.0 && rho.(s) <= r_steps then
+        f_cur.(s).(rho.(s)) <- f_cur.(s).(rho.(s)) +. (mass /. d))
+    p.Problem.init;
+  (* Incoming transitions, per target state, with their impulse shifts. *)
+  let incoming = Array.make n [] in
+  Linalg.Csr.iter (Markov.Ctmc.rates chain) (fun s s' rate ->
+      incoming.(s') <- (s, rate, impulse_cells s s') :: incoming.(s'));
+  let stay = Array.init n (fun s -> 1.0 -. (Markov.Ctmc.exit_rate chain s *. d)) in
+  for _j = 2 to t_steps do
+    for s = 0 to n - 1 do
+      let row = f_next.(s) in
+      Array.fill row 0 width 0.0;
+      (* Remained in s for the whole step. *)
+      let shift = rho.(s) in
+      let factor = stay.(s) in
+      for k = shift to width - 1 do
+        row.(k) <- f_cur.(s).(k - shift) *. factor
+      done;
+      (* Moved into s from s' during the step: the reward index advances
+         by the source's rate reward plus the transition's impulse. *)
+      List.iter
+        (fun (s', rate, impulse) ->
+          let shift' = rho.(s') + impulse in
+          let w = rate *. d in
+          let src = f_cur.(s') in
+          for k = shift' to width - 1 do
+            row.(k) <- row.(k) +. (src.(k - shift') *. w)
+          done)
+        incoming.(s)
+    done;
+    for s = 0 to n - 1 do
+      Array.blit f_next.(s) 0 f_cur.(s) 0 width
+    done
+  done;
+  let acc = Numerics.Kahan.create () in
+  for s = 0 to n - 1 do
+    if p.Problem.goal.(s) then
+      for k = 0 to width - 1 do
+        Numerics.Kahan.add acc f_cur.(s).(k)
+      done
+  done;
+  Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum acc *. d)

@@ -1,0 +1,33 @@
+(** The Tijms–Veldman discretisation (Section 4.3 of the paper).
+
+    Time and accumulated reward are discretised as multiples of one step
+    size [d].  [F^j s k] approximates the joint density of being in state
+    [s] at time [j * d] with accumulated reward [k * d]; one time step in
+    state [s] advances the reward index by [rho s] (whence the requirement
+    that rewards are natural numbers — rational rewards are scaled first).
+    The recursion from the paper:
+
+    [F^{j+1} s k = F^j s (k - rho s) * (1 - E s * d)
+                 + sum_{s'} F^j s' (k - rho s') * R s' s * d]
+
+    After [t / d] iterations the answer is [sum_{s in S'} sum_k F s k * d].
+    Work is [O(nnz * (t/d) * (r/d))] — quadratic in [1/d], which is the
+    cost driver the paper's Table 4 exhibits.
+
+    Conventions: reward indices above [r / d] fall off the grid (those
+    trajectories have exhausted the budget and can never return); indices
+    below zero contribute nothing.  Unlike the paper's final sum, which
+    starts at [k = 1], ours includes [k = 0] so that an initial state with
+    reward zero is not silently dropped; on models whose initial states
+    have positive reward (the case study) the two conventions coincide. *)
+
+val solve : step:float -> Problem.t -> float
+(** [solve ~step p] runs the scheme with step size [d = step].
+
+    Raises [Invalid_argument] if a reward is not (within [1e-9] of) a
+    natural number, if [d] does not evenly divide the time bound and the
+    reward bound (within [1e-6] relative), or if [d > 1 / max_exit_rate]
+    (the scheme needs [1 - E s * d >= 0] to remain a probability). *)
+
+val max_stable_step : Problem.t -> float
+(** The largest stable step size, [1 /. max_exit_rate]. *)

@@ -1,0 +1,28 @@
+type spec =
+  | Pseudo_erlang of { phases : int }
+  | Discretize of { step : float }
+  | Occupation_time of { epsilon : float }
+
+let default = Occupation_time { epsilon = 1e-9 }
+
+let name = function
+  | Pseudo_erlang _ -> "pseudo-erlang"
+  | Discretize _ -> "discretisation"
+  | Occupation_time _ -> "occupation-time"
+
+let solve spec (p : Problem.t) =
+  if Problem.reward_trivially_satisfied p then
+    Markov.Transient.reachability
+      (Markov.Mrm.ctmc p.Problem.mrm)
+      ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
+  else
+    match spec with
+    | Pseudo_erlang { phases } -> Erlang_approx.solve ~phases p
+    | Discretize { step } -> Discretization.solve ~step p
+    | Occupation_time { epsilon } -> Sericola.solve ~epsilon p
+
+let pp_spec ppf = function
+  | Pseudo_erlang { phases } -> Format.fprintf ppf "pseudo-erlang(k=%d)" phases
+  | Discretize { step } -> Format.fprintf ppf "discretisation(d=%g)" step
+  | Occupation_time { epsilon } ->
+    Format.fprintf ppf "occupation-time(eps=%g)" epsilon

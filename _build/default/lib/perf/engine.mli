@@ -1,0 +1,26 @@
+(** Uniform front-end over the three computational procedures of
+    Section 4. *)
+
+type spec =
+  | Pseudo_erlang of { phases : int }
+      (** Section 4.2; accuracy grows with the number of phases. *)
+  | Discretize of { step : float }
+      (** Section 4.3; accuracy grows as the step shrinks (cost is
+          quadratic in [1 /. step]). *)
+  | Occupation_time of { epsilon : float }
+      (** Section 4.4; the only procedure with an a-priori error bound. *)
+
+val default : spec
+(** [Occupation_time {epsilon = 1e-9}] — the paper's conclusion picks this
+    method as fast, accurate and self-stopping for models of moderate
+    size. *)
+
+val name : spec -> string
+
+val solve : spec -> Problem.t -> float
+(** [Pr{Y_t <= r, X_t in goal}] with the chosen procedure.  Problems whose
+    reward bound can never be exceeded short-circuit to plain transient
+    analysis (this also covers the corner cases the individual engines
+    reject, e.g. a pseudo-Erlang bound of zero on a zero-reward model). *)
+
+val pp_spec : Format.formatter -> spec -> unit

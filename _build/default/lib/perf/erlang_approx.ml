@@ -1,0 +1,53 @@
+let expanded_ctmc (p : Problem.t) ~phases =
+  if phases < 1 then invalid_arg "Erlang_approx: phases must be >= 1";
+  let r = p.Problem.reward_bound in
+  if r <= 0.0 then
+    invalid_arg "Erlang_approx: the reward bound must be positive";
+  let m = p.Problem.mrm in
+  let n = Markov.Mrm.n_states m in
+  let sink = n * phases in
+  let index s i = (s * phases) + i in
+  let triples = ref [] in
+  (* Chain moves keep the phase, except that an impulse reward on the
+     transition advances the meter by round(iota * k / r) phases at once
+     (the meter's discretisation of the instantaneous jump); running past
+     the last phase exhausts the budget. *)
+  Linalg.Csr.iter (Markov.Ctmc.rates (Markov.Mrm.ctmc m)) (fun s s' rate ->
+      let jump =
+        let iota = Markov.Mrm.impulse m s s' in
+        if iota = 0.0 then 0
+        else int_of_float (Float.round (iota *. float_of_int phases /. r))
+      in
+      for i = 0 to phases - 1 do
+        let target = if i + jump >= phases then sink else index s' (i + jump) in
+        triples := (index s i, target, rate) :: !triples
+      done);
+  (* The reward meter: phase advances at rate rho(s) * k / r. *)
+  Array.iteri
+    (fun s rho ->
+      if rho > 0.0 then begin
+        let meter_rate = rho *. float_of_int phases /. r in
+        for i = 0 to phases - 2 do
+          triples := (index s i, index s (i + 1), meter_rate) :: !triples
+        done;
+        triples := (index s (phases - 1), sink, meter_rate) :: !triples
+      end)
+    (Markov.Mrm.rewards m);
+  Markov.Ctmc.of_transitions ~n:(sink + 1) !triples
+
+let solve ?(epsilon = 1e-12) ~phases (p : Problem.t) =
+  let chain = expanded_ctmc p ~phases in
+  let n = Markov.Mrm.n_states p.Problem.mrm in
+  let total = (n * phases) + 1 in
+  let init = Linalg.Vec.create total in
+  Array.iteri (fun s mass -> init.(s * phases) <- mass) p.Problem.init;
+  let goal = Array.make total false in
+  Array.iteri
+    (fun s in_goal ->
+      if in_goal then
+        for i = 0 to phases - 1 do
+          goal.((s * phases) + i) <- true
+        done)
+    p.Problem.goal;
+  Markov.Transient.reachability ~epsilon chain ~init ~goal
+    ~t:p.Problem.time_bound

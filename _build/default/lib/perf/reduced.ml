@@ -1,0 +1,88 @@
+type t = {
+  mrm : Markov.Mrm.t;
+  state_map : int array;
+  goal : bool array;
+  amalgamated : bool;
+}
+
+let reduce m ~phi ~psi =
+  let n = Markov.Mrm.n_states m in
+  if Array.length phi <> n || Array.length psi <> n then
+    invalid_arg "Reduced.reduce: mask length mismatch";
+  (* Absorb everything that decides the until formula: Psi-states (GOAL)
+     and states violating Phi without satisfying Psi (FAIL). *)
+  let absorb = Array.init n (fun s -> psi.(s) || not phi.(s)) in
+  let chain = Markov.Transform.make_absorbing (Markov.Mrm.ctmc m) ~absorb in
+  if Markov.Mrm.has_impulses m then begin
+    (* Keep all states: impulses into distinct goal states may differ, so
+       the classes cannot be merged.  Rewards of absorbed states drop to
+       zero as Theorem 1 requires (their outgoing impulses are gone with
+       their transitions). *)
+    let reduced =
+      Markov.Mrm.map_rewards
+        (fun s r -> if absorb.(s) then 0.0 else r)
+        (Markov.Mrm.with_ctmc m chain)
+    in
+    { mrm = reduced;
+      state_map = Array.init n Fun.id;
+      goal = Array.copy psi;
+      amalgamated = false }
+  end
+  else begin
+    let groups =
+      Array.init n (fun s ->
+          if psi.(s) then 0 else if not phi.(s) then 1 else -1)
+    in
+    let reduced_chain, state_map =
+      Markov.Transform.amalgamate_absorbing chain ~groups ~group_count:2
+    in
+    let new_n = Markov.Ctmc.n_states reduced_chain in
+    let goal_state = new_n - 2 in
+    (* Kept states keep their reward; the absorbing classes earn nothing
+       (Theorem 1 sets rho = 0 there). *)
+    let rewards = Array.make new_n 0.0 in
+    Array.iteri
+      (fun old_state new_state ->
+        if new_state < goal_state then
+          rewards.(new_state) <- Markov.Mrm.reward m old_state)
+      state_map;
+    let goal = Array.init new_n (fun s -> s = goal_state) in
+    { mrm = Markov.Mrm.make reduced_chain ~rewards; state_map; goal;
+      amalgamated = true }
+  end
+
+let problem r ~init ~time_bound ~reward_bound =
+  let old_n = Array.length r.state_map in
+  if Array.length init <> old_n then
+    invalid_arg "Reduced.problem: init length mismatch";
+  let new_n = Markov.Mrm.n_states r.mrm in
+  let init' = Linalg.Vec.create new_n in
+  Array.iteri
+    (fun old_state mass ->
+      let new_state = r.state_map.(old_state) in
+      init'.(new_state) <- init'.(new_state) +. mass)
+    init;
+  Problem.make r.mrm ~init:init' ~goal:r.goal ~time_bound ~reward_bound
+
+let until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound =
+  let n = Markov.Mrm.n_states m in
+  let r = reduce m ~phi ~psi in
+  let result = Linalg.Vec.create n in
+  (* Memoise per reduced initial state: amalgamation maps many original
+     states to the same reduced state. *)
+  let cache = Hashtbl.create 16 in
+  for s = 0 to n - 1 do
+    if psi.(s) then result.(s) <- 1.0
+    else if not phi.(s) then result.(s) <- 0.0
+    else begin
+      let reduced_state = r.state_map.(s) in
+      match Hashtbl.find_opt cache reduced_state with
+      | Some p -> result.(s) <- p
+      | None ->
+        let init = Linalg.Vec.unit n s in
+        let p = solve (problem r ~init ~time_bound ~reward_bound) in
+        Hashtbl.add cache reduced_state p;
+        result.(s) <- p
+    end
+  done;
+  result

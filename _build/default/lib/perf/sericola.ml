@@ -1,0 +1,372 @@
+type detail = {
+  probability : float;
+  steps : int;
+  band : int;
+  x : float;
+  transient_mass : float;
+  tail_mass : float;
+}
+
+(* The core computes, for every layer n = 0..N and every band h, the
+   vectors c(h,n,k) = C(h,n,k) . G where G is an |S| x w block of
+   right-hand-side columns (w = 1 for the solver, w = |S| with G = I for
+   the full matrix).  Blocks are stored flattened row-major: entry (i, col)
+   at [i * w + col]. *)
+
+type context = {
+  n_states : int;
+  width : int;                       (* number of right-hand-side columns *)
+  n_bands : int;                     (* m *)
+  levels : float array;              (* rho_0 = 0 < ... < rho_m *)
+  level_of_state : int array;        (* index of rho(s) in levels *)
+  p : Linalg.Csr.t;                  (* uniformised DTMC *)
+}
+
+let block_mul ctx dst src =
+  (* dst <- P . src, blockwise. *)
+  let w = ctx.width in
+  Array.fill dst 0 (Array.length dst) 0.0;
+  for i = 0 to ctx.n_states - 1 do
+    Linalg.Csr.iter_row ctx.p i (fun j v ->
+        let src_off = j * w and dst_off = i * w in
+        for col = 0 to w - 1 do
+          dst.(dst_off + col) <- dst.(dst_off + col) +. (v *. src.(src_off + col))
+        done)
+  done
+
+(* Binomial(n, x) probabilities as an array over k = 0..n, in log space so
+   that large n and extreme x do not underflow prematurely. *)
+let binomial_pmf n x =
+  if x <= 0.0 then Array.init (n + 1) (fun k -> if k = 0 then 1.0 else 0.0)
+  else if x >= 1.0 then Array.init (n + 1) (fun k -> if k = n then 1.0 else 0.0)
+  else begin
+    let log_x = Float.log x and log_1x = Float.log (1.0 -. x) in
+    Array.init (n + 1) (fun k ->
+        Float.exp
+          (Numerics.Special.log_binomial n k
+          +. (float_of_int k *. log_x)
+          +. (float_of_int (n - k) *. log_1x)))
+  end
+
+(* Runs the layered recursion, feeding each completed layer to [consume
+   layer_index cs png] where [cs h k] addresses c(h, layer, k) and [png] is
+   P^layer . G. *)
+let run_layers ctx ~g ~max_layer ~consume =
+  let m = ctx.n_bands in
+  let size = ctx.n_states * ctx.width in
+  let alloc () = Array.init (m + 1) (fun _ ->
+      Array.init (max_layer + 1) (fun _ -> Array.make size 0.0))
+  in
+  (* c_store.(parity).(h).(k); band index h runs 1..m (slot 0 unused). *)
+  let c_store = [| alloc (); alloc () |] in
+  let pc = alloc () in
+  let png = Array.copy g in
+  let png_scratch = Array.make size 0.0 in
+  let w = ctx.width in
+  (* Layer 0: c(h,0,0)_i = g_i if rho_i >= rho_h else 0. *)
+  let cur = c_store.(0) in
+  for h = 1 to m do
+    let dst = cur.(h).(0) in
+    for i = 0 to ctx.n_states - 1 do
+      if ctx.level_of_state.(i) >= h then
+        Array.blit g (i * w) dst (i * w) w
+    done
+  done;
+  consume 0 (fun h k -> c_store.(0).(h).(k)) png;
+  for layer = 1 to max_layer do
+    let prev = c_store.((layer + 1) land 1) in
+    let cur = c_store.(layer land 1) in
+    (* png <- P png *)
+    block_mul ctx png_scratch png;
+    Array.blit png_scratch 0 png 0 size;
+    (* pc.(h).(k) <- P . c(h, layer-1, k) *)
+    for h = 1 to m do
+      for k = 0 to layer - 1 do
+        block_mul ctx pc.(h).(k) prev.(h).(k)
+      done
+    done;
+    (* Ascending pass: rows with rho_i >= rho_h, k = 0 .. layer. *)
+    for h = 1 to m do
+      for i = 0 to ctx.n_states - 1 do
+        if ctx.level_of_state.(i) >= h then begin
+          let off = i * w in
+          let rho_i = ctx.levels.(ctx.level_of_state.(i)) in
+          let denom = rho_i -. ctx.levels.(h - 1) in
+          let a = (rho_i -. ctx.levels.(h)) /. denom in
+          let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
+          (* base k = 0 *)
+          let base = if h = 1 then png else cur.(h - 1).(layer) in
+          Array.blit base off cur.(h).(0) off w;
+          for k = 1 to layer do
+            let dst = cur.(h).(k)
+            and prev_k = cur.(h).(k - 1)
+            and stepped = pc.(h).(k - 1) in
+            for col = 0 to w - 1 do
+              dst.(off + col) <-
+                (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+            done
+          done
+        end
+      done
+    done;
+    (* Descending pass: rows with rho_i <= rho_{h-1}, k = layer .. 0. *)
+    for h = m downto 1 do
+      for i = 0 to ctx.n_states - 1 do
+        if ctx.level_of_state.(i) <= h - 1 then begin
+          let off = i * w in
+          let rho_i = ctx.levels.(ctx.level_of_state.(i)) in
+          let denom = ctx.levels.(h) -. rho_i in
+          let a = (ctx.levels.(h - 1) -. rho_i) /. denom in
+          let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
+          (* base k = layer *)
+          (if h = m then Array.fill cur.(h).(layer) off w 0.0
+           else Array.blit cur.(h + 1).(0) off cur.(h).(layer) off w);
+          for k = layer - 1 downto 0 do
+            let dst = cur.(h).(k)
+            and prev_k = cur.(h).(k + 1)
+            and stepped = pc.(h).(k) in
+            for col = 0 to w - 1 do
+              dst.(off + col) <-
+                (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+            done
+          done
+        end
+      done
+    done;
+    consume layer (fun h k -> cur.(h).(k)) png
+  done
+
+let make_context mrm ~width =
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Mrm.n_states mrm in
+  let levels = Markov.Mrm.reward_levels mrm in
+  let level_of_state =
+    Array.init n (fun s ->
+        let rho = Markov.Mrm.reward mrm s in
+        let rec find i =
+          if i >= Array.length levels then assert false
+          else if levels.(i) = rho then i
+          else find (i + 1)
+        in
+        find 0)
+  in
+  let _lambda, p = Markov.Ctmc.uniformized chain in
+  { n_states = n; width; n_bands = Array.length levels - 1; levels;
+    level_of_state; p }
+
+let select_band levels ~ratio =
+  (* Largest h in 1..m with levels.(h-1) <= ratio < levels.(h); the caller
+     has already excluded ratio >= levels.(m). *)
+  let m = Array.length levels - 1 in
+  let rec find h = if ratio < levels.(h) then h else find (h + 1) in
+  let h = find 1 in
+  assert (h <= m);
+  h
+
+let reject_impulses name mrm =
+  if Markov.Mrm.has_impulses mrm then
+    invalid_arg
+      (name
+      ^ ": impulse rewards are not supported by the occupation-time \
+         algorithm (use the discretisation engine or simulation)")
+
+let solve_detailed ?(epsilon = 1e-12) (p : Problem.t) =
+  let mrm = p.Problem.mrm in
+  reject_impulses "Sericola.solve" mrm;
+  let chain = Markov.Mrm.ctmc mrm in
+  let t = p.Problem.time_bound and r = p.Problem.reward_bound in
+  let levels = Markov.Mrm.reward_levels mrm in
+  let m = Array.length levels - 1 in
+  let ratio = r /. t in
+  if m = 0 || ratio >= levels.(m) then begin
+    (* The reward bound cannot be exceeded: Pr{Y_t > r} = 0. *)
+    let transient_mass =
+      Markov.Transient.reachability ~epsilon chain ~init:p.Problem.init
+        ~goal:p.Problem.goal ~t
+    in
+    { probability = transient_mass; steps = 0; band = 0; x = 0.0;
+      transient_mass; tail_mass = 0.0 }
+  end
+  else begin
+    let h = select_band levels ~ratio in
+    let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
+    let ctx = make_context mrm ~width:1 in
+    let rate =
+      let m = Markov.Ctmc.max_exit_rate chain in
+      if m > 0.0 then m else 1.0
+    in
+    let q = rate *. t in
+    (* Truncation exactly as in the paper's Section 4.4: the series runs
+       over n = 0 .. N_epsilon (no left cut), and the transient
+       probabilities are accumulated simultaneously with the same
+       weights, so the displayed convergence in epsilon matches the
+       published Table 2 column. *)
+    let max_layer = Numerics.Poisson.right_truncation_point ~lambda:q ~epsilon in
+    let weights = Numerics.Fox_glynn.compute ~q ~epsilon:1e-16 in
+    let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
+    let tail = Numerics.Kahan.create () in
+    let trans = Numerics.Kahan.create () in
+    let init = p.Problem.init in
+    run_layers ctx ~g ~max_layer ~consume:(fun layer cs png ->
+        let weight = Numerics.Fox_glynn.weight weights layer in
+        if weight > 0.0 then begin
+          Numerics.Kahan.add trans (weight *. Linalg.Vec.dot init png);
+          let bin = binomial_pmf layer x in
+          let layer_acc = Numerics.Kahan.create () in
+          for k = 0 to layer do
+            if bin.(k) > 0.0 then
+              Numerics.Kahan.add layer_acc
+                (bin.(k) *. Linalg.Vec.dot init (cs h k))
+          done;
+          Numerics.Kahan.add tail (weight *. Numerics.Kahan.sum layer_acc)
+        end);
+    let tail_mass = Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum tail) in
+    let transient_mass =
+      Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum trans)
+    in
+    let probability =
+      Numerics.Float_utils.clamp_prob (transient_mass -. tail_mass)
+    in
+    { probability; steps = max_layer; band = h; x; transient_mass; tail_mass }
+  end
+
+let solve ?epsilon p = (solve_detailed ?epsilon p).probability
+
+let solve_many ?(epsilon = 1e-12) (p : Problem.t) ~reward_bounds =
+  let mrm = p.Problem.mrm in
+  reject_impulses "Sericola.solve_many" mrm;
+  let chain = Markov.Mrm.ctmc mrm in
+  let t = p.Problem.time_bound in
+  let levels = Markov.Mrm.reward_levels mrm in
+  let m = Array.length levels - 1 in
+  let n_bounds = Array.length reward_bounds in
+  Array.iter
+    (fun r ->
+      if not (r >= 0.0 && Float.is_finite r) then
+        invalid_arg "Sericola.solve_many: bounds must be non-negative")
+    reward_bounds;
+  (* Band position of each requested bound; [None] marks the degenerate
+     case r >= rho_max * t where the tail vanishes. *)
+  let positions =
+    Array.map
+      (fun r ->
+        let ratio = r /. t in
+        if m = 0 || ratio >= levels.(m) then None
+        else begin
+          let h = select_band levels ~ratio in
+          let x =
+            (r -. (levels.(h - 1) *. t))
+            /. ((levels.(h) -. levels.(h - 1)) *. t)
+          in
+          Some (h, x)
+        end)
+      reward_bounds
+  in
+  let transient_mass =
+    Markov.Transient.reachability ~epsilon chain ~init:p.Problem.init
+      ~goal:p.Problem.goal ~t
+  in
+  if Array.for_all (( = ) None) positions then
+    Array.make n_bounds transient_mass
+  else begin
+    let ctx = make_context mrm ~width:1 in
+    let rate =
+      let mx = Markov.Ctmc.max_exit_rate chain in
+      if mx > 0.0 then mx else 1.0
+    in
+    let fg = Numerics.Fox_glynn.compute ~q:(rate *. t) ~epsilon in
+    let max_layer = fg.Numerics.Fox_glynn.right in
+    let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
+    let tails = Array.init n_bounds (fun _ -> Numerics.Kahan.create ()) in
+    let init = p.Problem.init in
+    run_layers ctx ~g ~max_layer ~consume:(fun layer cs _png ->
+        let weight = Numerics.Fox_glynn.weight fg layer in
+        if weight > 0.0 then begin
+          (* Dot products once per (band, k) actually used this layer. *)
+          let dot_cache = Hashtbl.create 16 in
+          let dot h k =
+            match Hashtbl.find_opt dot_cache (h, k) with
+            | Some v -> v
+            | None ->
+              let v = Linalg.Vec.dot init (cs h k) in
+              Hashtbl.add dot_cache (h, k) v;
+              v
+          in
+          Array.iteri
+            (fun j position ->
+              match position with
+              | None -> ()
+              | Some (h, x) ->
+                let bin = binomial_pmf layer x in
+                let acc = Numerics.Kahan.create () in
+                for k = 0 to layer do
+                  if bin.(k) > 0.0 then
+                    Numerics.Kahan.add acc (bin.(k) *. dot h k)
+                done;
+                Numerics.Kahan.add tails.(j)
+                  (weight *. Numerics.Kahan.sum acc))
+            positions
+        end);
+    Array.mapi
+      (fun j position ->
+        match position with
+        | None -> transient_mass
+        | Some _ ->
+          Numerics.Float_utils.clamp_prob
+            (transient_mass
+            -. Numerics.Float_utils.clamp_prob
+                 (Numerics.Kahan.sum tails.(j))))
+      positions
+  end
+
+let joint_matrix ?(epsilon = 1e-12) mrm ~t ~r =
+  reject_impulses "Sericola.joint_matrix" mrm;
+  if not (t > 0.0) then invalid_arg "Sericola.joint_matrix: t must be > 0";
+  if r < 0.0 then invalid_arg "Sericola.joint_matrix: r must be >= 0";
+  let n = Markov.Mrm.n_states mrm in
+  let levels = Markov.Mrm.reward_levels mrm in
+  let m = Array.length levels - 1 in
+  let ratio = r /. t in
+  if m = 0 || ratio >= levels.(m) then Array.make_matrix n n 0.0
+  else begin
+    let h = select_band levels ~ratio in
+    let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
+    let ctx = make_context mrm ~width:n in
+    let chain = Markov.Mrm.ctmc mrm in
+    let rate =
+      let mx = Markov.Ctmc.max_exit_rate chain in
+      if mx > 0.0 then mx else 1.0
+    in
+    let fg = Numerics.Fox_glynn.compute ~q:(rate *. t) ~epsilon in
+    let max_layer = fg.Numerics.Fox_glynn.right in
+    (* G = identity block. *)
+    let g = Array.make (n * n) 0.0 in
+    for i = 0 to n - 1 do
+      g.((i * n) + i) <- 1.0
+    done;
+    let result = Array.make_matrix n n 0.0 in
+    run_layers ctx ~g ~max_layer ~consume:(fun layer cs _png ->
+        let weight = Numerics.Fox_glynn.weight fg layer in
+        if weight > 0.0 then begin
+          let bin = binomial_pmf layer x in
+          for k = 0 to layer do
+            if bin.(k) > 0.0 then begin
+              let block = cs h k in
+              let scale = weight *. bin.(k) in
+              for i = 0 to n - 1 do
+                for j = 0 to n - 1 do
+                  result.(i).(j) <-
+                    result.(i).(j) +. (scale *. block.((i * n) + j))
+                done
+              done
+            end
+          done
+        end);
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j v -> result.(i).(j) <- Numerics.Float_utils.clamp_prob v)
+          row)
+      result;
+    result
+  end

@@ -1,0 +1,1 @@
+lib/petri/reachability.ml: Array Float Fun Hashtbl Linalg List Markov Printf Queue Srn

@@ -1,0 +1,1 @@
+lib/petri/reachability.mli: Markov Srn

@@ -1,0 +1,1 @@
+lib/petri/srn.ml: Array Float Format Fun Hashtbl List Printf String

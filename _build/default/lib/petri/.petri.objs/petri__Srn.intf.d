@@ -1,0 +1,1 @@
+lib/petri/srn.mli: Format

@@ -1,0 +1,67 @@
+let escape s =
+  String.concat "" (List.map (function
+      | '"' -> "\\\""
+      | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let net srn =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph srn {\n  rankdir=LR;\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"p_%s\" [shape=circle,label=\"%s\"];\n"
+           (escape (Srn.place_name srn p))
+           (escape (Srn.place_name srn p))))
+    (Srn.places srn);
+  List.iter
+    (fun tr ->
+      let tn = escape tr.Srn.name in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"t_%s\" [shape=box,style=filled,fillcolor=black,height=0.1,\
+            label=\"\",xlabel=\"%s\"];\n"
+           tn tn);
+      List.iter
+        (fun (p, k) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"p_%s\" -> \"t_%s\"%s;\n"
+               (escape (Srn.place_name srn p)) tn
+               (if k = 1 then "" else Printf.sprintf " [label=\"%d\"]" k)))
+        tr.Srn.inputs;
+      List.iter
+        (fun (p, k) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"t_%s\" -> \"p_%s\"%s;\n" tn
+               (escape (Srn.place_name srn p))
+               (if k = 1 then "" else Printf.sprintf " [label=\"%d\"]" k)))
+        tr.Srn.outputs;
+      List.iter
+        (fun (p, k) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"p_%s\" -> \"t_%s\" [arrowhead=odot,label=\"%d\"];\n"
+               (escape (Srn.place_name srn p)) tn k))
+        tr.Srn.inhibitors)
+    (Srn.transitions srn);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let reachability space =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph reachability {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [shape=ellipse,label=\"%s\"];\n" i
+           (escape
+              (Format.asprintf "%a" (Srn.pp_marking space.Reachability.net) m))))
+    space.Reachability.markings;
+  List.iter
+    (fun (src, name, rate, dst) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=\"%s (%g)\"];\n" src dst
+           (escape name) rate))
+    space.Reachability.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Graphviz (DOT) export — the machine-checkable rendering of the paper's
+    Figure 2 (the net) and of the reachability graph underlying it. *)
+
+val net : Srn.t -> string
+(** The net structure: places as circles, transitions as bars, arcs with
+    multiplicities, inhibitor arcs with open dots. *)
+
+val reachability : Reachability.t -> string
+(** The marking graph: one node per reachable marking (labelled with its
+    marked places), one edge per transition firing (labelled
+    ["name (rate)"]). *)

@@ -1,0 +1,135 @@
+type t = {
+  net : Srn.t;
+  markings : Srn.marking array;
+  edges : (int * string * float * int) list;
+}
+
+exception Too_many_states of int
+
+module Marking_key = struct
+  type t = int array
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Table = Hashtbl.Make (Marking_key)
+
+let explore ?(max_states = 100_000) net ~initial =
+  if Array.length initial <> Srn.n_places net then
+    invalid_arg "Reachability.explore: initial marking has the wrong size";
+  let index = Table.create 256 in
+  let rev_markings = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let register m =
+    match Table.find_opt index m with
+    | Some i -> i
+    | None ->
+      if !count >= max_states then raise (Too_many_states max_states);
+      let i = !count in
+      Table.add index m i;
+      rev_markings := m :: !rev_markings;
+      incr count;
+      Queue.add (i, m) queue;
+      i
+  in
+  let edges = ref [] in
+  let _ = register (Array.copy initial) in
+  while not (Queue.is_empty queue) do
+    let src, m = Queue.pop queue in
+    List.iter
+      (fun (tr, rate) ->
+        let m' = Srn.fire net tr m in
+        let dst = register m' in
+        edges := (src, tr.Srn.name, rate, dst) :: !edges)
+      (Srn.enabled_transitions net m)
+  done;
+  { net;
+    markings = Array.of_list (List.rev !rev_markings);
+    edges = List.rev !edges }
+
+let n_states space = Array.length space.markings
+
+let state_of_marking space m =
+  let rec search i =
+    if i >= Array.length space.markings then None
+    else if space.markings.(i) = m then Some i
+    else search (i + 1)
+  in
+  search 0
+
+let ctmc space =
+  let triples =
+    List.map (fun (src, _, rate, dst) -> (src, dst, rate)) space.edges
+  in
+  Markov.Ctmc.of_transitions ~n:(n_states space) triples
+
+let labeling space =
+  let net = space.net in
+  let props =
+    List.map
+      (fun p ->
+        let name = Srn.place_name net p in
+        let states =
+          List.filter
+            (fun s -> Srn.marked space.markings.(s) p)
+            (List.init (n_states space) Fun.id)
+        in
+        (name, states))
+      (Srn.places net)
+  in
+  Markov.Labeling.make ~n:(n_states space) props
+
+let mrm ~reward_of_marking space =
+  let rewards = Array.map reward_of_marking space.markings in
+  Markov.Mrm.make (ctmc space) ~rewards
+
+let mrm_with_impulses ~reward_of_marking ~impulse_of_transition space =
+  let base = mrm ~reward_of_marking space in
+  (* One impulse per (source, target) pair; distinct transition names
+     between the same pair must agree on the price. *)
+  let assigned = Hashtbl.create 32 in
+  List.iter
+    (fun (src, name, _rate, dst) ->
+      let iota = impulse_of_transition name in
+      if iota < 0.0 || not (Float.is_finite iota) then
+        invalid_arg
+          (Printf.sprintf "Reachability: invalid impulse %g for %S" iota name);
+      match Hashtbl.find_opt assigned (src, dst) with
+      | Some (prior_name, prior) ->
+        if prior <> iota then
+          invalid_arg
+            (Printf.sprintf
+               "Reachability: transitions %S and %S join markings %d -> %d \
+                with different impulses (%g vs %g)"
+               prior_name name src dst prior iota)
+      | None -> Hashtbl.add assigned (src, dst) (name, iota))
+    space.edges;
+  let entries =
+    Hashtbl.fold
+      (fun (src, dst) (_, iota) acc ->
+        if iota > 0.0 then (src, dst, iota) :: acc else acc)
+      assigned []
+  in
+  if entries = [] then base
+  else
+    Markov.Mrm.with_impulses base
+      (Linalg.Csr.of_coo ~rows:(n_states space) ~cols:(n_states space) entries)
+
+let additive_reward net powers =
+  let table =
+    List.map
+      (fun (name, power) ->
+        match Srn.find_place net name with
+        | p -> ((p : Srn.place), power)
+        | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "Reachability.additive_reward: unknown place %S"
+               name))
+      powers
+  in
+  fun marking ->
+    List.fold_left
+      (fun acc ((p : Srn.place), power) ->
+        acc +. (float_of_int marking.((p :> int)) *. power))
+      0.0 table

@@ -1,0 +1,46 @@
+(** Reachability-graph generation: from an SRN and an initial marking to
+    the underlying CTMC state space. *)
+
+type t = {
+  net : Srn.t;
+  markings : Srn.marking array;
+      (** discovered markings; index = CTMC state, entry [0] is the
+          initial marking *)
+  edges : (int * string * float * int) list;
+      (** (source state, transition name, rate, target state) *)
+}
+
+exception Too_many_states of int
+(** Raised when exploration exceeds the cap. *)
+
+val explore : ?max_states:int -> Srn.t -> initial:Srn.marking -> t
+(** Breadth-first exploration of the marking graph (default cap
+    [max_states = 100_000]).  Rates of distinct transitions between the
+    same pair of markings accumulate in the CTMC. *)
+
+val n_states : t -> int
+
+val state_of_marking : t -> Srn.marking -> int option
+
+val ctmc : t -> Markov.Ctmc.t
+
+val labeling : t -> Markov.Labeling.t
+(** One atomic proposition per place name, holding in the states whose
+    marking puts at least one token on the place. *)
+
+val mrm : reward_of_marking:(Srn.marking -> float) -> t -> Markov.Mrm.t
+(** Attaches a rate reward computed from each marking. *)
+
+val additive_reward : Srn.t -> (string * float) list -> Srn.marking -> float
+(** [additive_reward net powers] is the usual SRN reward structure: the sum
+    over marked places of [tokens * power]; places missing from the list
+    contribute zero.  Raises [Invalid_argument] for unknown place names. *)
+
+val mrm_with_impulses :
+  reward_of_marking:(Srn.marking -> float) ->
+  impulse_of_transition:(string -> float) -> t -> Markov.Mrm.t
+(** Like {!mrm}, additionally attaching impulse rewards per transition
+    {e name} (return [0.] for transitions without one).  When two
+    differently-priced transitions fire between the same pair of
+    markings, a single impulse value cannot represent the mixture;
+    [Invalid_argument] is raised then. *)

@@ -1,0 +1,128 @@
+type place = int
+
+type marking = int array
+
+type transition = {
+  name : string;
+  rate : marking -> float;
+  inputs : (place * int) list;
+  outputs : (place * int) list;
+  inhibitors : (place * int) list;
+  guard : marking -> bool;
+}
+
+type t = {
+  names : string array;
+  trans : transition list;
+}
+
+module Builder = struct
+  type net = t
+
+  type b = {
+    mutable rev_places : string list;
+    mutable count : int;
+    mutable rev_trans : transition list;
+    mutable seen : (string, unit) Hashtbl.t;
+  }
+
+  let create () =
+    { rev_places = []; count = 0; rev_trans = []; seen = Hashtbl.create 16 }
+
+  let place b name =
+    if Hashtbl.mem b.seen name then
+      invalid_arg (Printf.sprintf "Srn.Builder.place: duplicate place %S" name);
+    Hashtbl.add b.seen name ();
+    let id = b.count in
+    b.rev_places <- name :: b.rev_places;
+    b.count <- b.count + 1;
+    id
+
+  let transition b ~name ~rate ?rate_fn ?(inhibitors = []) ?(guard = fun _ -> true)
+      ~inputs ~outputs () =
+    let rate =
+      match rate_fn with
+      | Some f -> f
+      | None ->
+        if rate <= 0.0 then
+          invalid_arg
+            (Printf.sprintf "Srn.Builder.transition: rate of %S must be > 0"
+               name);
+        fun _ -> rate
+    in
+    b.rev_trans <-
+      { name; rate; inputs; outputs; inhibitors; guard } :: b.rev_trans
+
+  let build b =
+    { names = Array.of_list (List.rev b.rev_places);
+      trans = List.rev b.rev_trans }
+end
+
+let n_places net = Array.length net.names
+
+let places net = List.init (n_places net) Fun.id
+
+let place_names net = Array.copy net.names
+
+let place_name net p =
+  if p < 0 || p >= n_places net then invalid_arg "Srn.place_name: bad place";
+  net.names.(p)
+
+let find_place net name =
+  let rec search i =
+    if i >= Array.length net.names then raise Not_found
+    else if String.equal net.names.(i) name then i
+    else search (i + 1)
+  in
+  search 0
+
+let transitions net = net.trans
+
+let check_marking net m =
+  if Array.length m <> n_places net then
+    invalid_arg "Srn: marking has the wrong number of places"
+
+let enabled net tr m =
+  check_marking net m;
+  List.for_all (fun (p, k) -> m.(p) >= k) tr.inputs
+  && List.for_all (fun (p, k) -> m.(p) < k) tr.inhibitors
+  && tr.guard m
+
+let fire net tr m =
+  if not (enabled net tr m) then
+    invalid_arg (Printf.sprintf "Srn.fire: %S is not enabled" tr.name);
+  let m' = Array.copy m in
+  List.iter (fun (p, k) -> m'.(p) <- m'.(p) - k) tr.inputs;
+  List.iter (fun (p, k) -> m'.(p) <- m'.(p) + k) tr.outputs;
+  m'
+
+let enabled_transitions net m =
+  check_marking net m;
+  List.filter_map
+    (fun tr ->
+      if enabled net tr m then begin
+        let rate = tr.rate m in
+        if not (rate > 0.0 && Float.is_finite rate) then
+          invalid_arg
+            (Printf.sprintf "Srn: enabled transition %S has rate %g" tr.name
+               rate);
+        Some (tr, rate)
+      end
+      else None)
+    net.trans
+
+let marked m p = m.(p) > 0
+
+let pp_marking net ppf m =
+  check_marking net m;
+  let parts =
+    List.filter_map
+      (fun p ->
+        if m.(p) = 0 then None
+        else if m.(p) = 1 then Some net.names.(p)
+        else Some (Printf.sprintf "%s:%d" net.names.(p) m.(p)))
+      (List.init (n_places net) Fun.id)
+  in
+  match parts with
+  | [] -> Format.pp_print_string ppf "-"
+  | _ -> Format.pp_print_string ppf (String.concat "+" parts)

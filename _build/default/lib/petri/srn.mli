@@ -1,0 +1,75 @@
+(** Stochastic reward nets (SRNs).
+
+    The paper's case study is specified as an SRN [Ciardo, Muppala &
+    Trivedi's SPNP formalism]: a Petri net whose transitions fire after
+    exponentially distributed delays, extended with rate rewards assigned
+    to markings.  This module holds the net structure; state-space
+    generation lives in {!Reachability} and the MRM conversion in
+    {!To_mrm}. *)
+
+type place = private int
+
+type marking = int array
+(** Token count per place, indexed by place. *)
+
+type transition = {
+  name : string;
+  rate : marking -> float;
+      (** firing rate in the given marking; must be positive whenever the
+          transition is enabled *)
+  inputs : (place * int) list;   (** consumed tokens *)
+  outputs : (place * int) list;  (** produced tokens *)
+  inhibitors : (place * int) list;
+      (** disabled if the place holds at least this many tokens *)
+  guard : marking -> bool;       (** extra enabling condition *)
+}
+
+type t
+
+(** Nets are assembled through a mutable builder. *)
+module Builder : sig
+  type net = t
+  type b
+
+  val create : unit -> b
+
+  val place : b -> string -> place
+  (** Declares a place; raises [Invalid_argument] on duplicate names. *)
+
+  val transition :
+    b -> name:string -> rate:float -> ?rate_fn:(marking -> float) ->
+    ?inhibitors:(place * int) list -> ?guard:(marking -> bool) ->
+    inputs:(place * int) list -> outputs:(place * int) list -> unit -> unit
+  (** Declares a transition.  [rate_fn] overrides the constant [rate]
+      (marking-dependent rates). *)
+
+  val build : b -> net
+end
+
+val n_places : t -> int
+val places : t -> place list
+(** All places, in declaration order. *)
+
+val place_names : t -> string array
+val place_name : t -> place -> string
+val find_place : t -> string -> place
+(** Raises [Not_found]. *)
+
+val transitions : t -> transition list
+
+val enabled : t -> transition -> marking -> bool
+(** Input tokens present, inhibitors clear, guard true. *)
+
+val fire : t -> transition -> marking -> marking
+(** The successor marking; raises [Invalid_argument] if not enabled. *)
+
+val enabled_transitions : t -> marking -> (transition * float) list
+(** Enabled transitions with their rates in this marking; raises
+    [Invalid_argument] if an enabled transition reports a non-positive
+    rate. *)
+
+val marked : marking -> place -> bool
+
+val pp_marking : t -> Format.formatter -> marking -> unit
+(** Renders like ["call_idle + adhoc_active"] (multiplicities shown as
+    ["place:2"]); the empty marking renders as ["-"]. *)

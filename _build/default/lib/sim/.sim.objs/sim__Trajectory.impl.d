@@ -1,0 +1,1 @@
+lib/sim/trajectory.ml: Array Format Linalg List Markov Rng

@@ -1,0 +1,1 @@
+lib/sim/trajectory.mli: Format Markov Rng

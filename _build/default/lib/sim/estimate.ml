@@ -1,0 +1,136 @@
+type interval = {
+  mean : float;
+  half_width : float;
+  samples : int;
+  hits : int;
+}
+
+(* Two-sided normal quantile for the few confidence levels we use; falls
+   back to a conservative 3-sigma for anything else. *)
+let z_value confidence =
+  if Float.abs (confidence -. 0.90) < 1e-9 then 1.6449
+  else if Float.abs (confidence -. 0.95) < 1e-9 then 1.9600
+  else if Float.abs (confidence -. 0.99) < 1e-9 then 2.5758
+  else if Float.abs (confidence -. 0.999) < 1e-9 then 3.2905
+  else 3.0
+
+let bernoulli_interval ?(confidence = 0.99) ~hits samples =
+  if samples <= 0 then invalid_arg "Estimate: samples must be positive";
+  if hits < 0 || hits > samples then invalid_arg "Estimate: bad hit count";
+  let n = float_of_int samples in
+  let p = float_of_int hits /. n in
+  let z = z_value confidence in
+  let half_width = (z *. Float.sqrt (p *. (1.0 -. p) /. n)) +. (0.5 /. n) in
+  { mean = p; half_width; samples; hits }
+
+let contains iv x =
+  x >= iv.mean -. iv.half_width && x <= iv.mean +. iv.half_width
+
+let reward_bounded_reachability ?confidence rng mrm ~init ~goal ~time_bound
+    ~reward_bound ~samples =
+  if Array.length goal <> Markov.Mrm.n_states mrm then
+    invalid_arg "Estimate: goal length mismatch";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let tr = Trajectory.sample rng mrm ~init ~horizon:time_bound in
+    if goal.(tr.Trajectory.final_state)
+       && tr.Trajectory.final_reward <= reward_bound
+    then incr hits
+  done;
+  bernoulli_interval ?confidence ~hits:!hits samples
+
+let until_probability ?confidence rng mrm ~init ~phi ~psi ~time_bound
+    ~reward_bound ~samples =
+  let n = Markov.Mrm.n_states mrm in
+  if Array.length phi <> n || Array.length psi <> n then
+    invalid_arg "Estimate: mask length mismatch";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let tr = Trajectory.sample rng mrm ~init ~horizon:time_bound in
+    (* Walk the steps: a hit needs a psi-state entered within both bounds,
+       with every earlier state satisfying phi. *)
+    let rec scan = function
+      | [] -> false
+      | step :: rest ->
+        if psi.(step.Trajectory.state) then
+          step.Trajectory.entered_at <= time_bound
+          && step.Trajectory.reward_on_entry <= reward_bound
+        else if phi.(step.Trajectory.state) then scan rest
+        else false
+    in
+    if scan tr.Trajectory.steps then incr hits
+  done;
+  bernoulli_interval ?confidence ~hits:!hits samples
+
+let until_probability_window ?confidence rng mrm ~init ~phi ~psi ~time ~reward
+    ~samples =
+  let n = Markov.Mrm.n_states mrm in
+  if Array.length phi <> n || Array.length psi <> n then
+    invalid_arg "Estimate: mask length mismatch";
+  let horizon =
+    match Numerics.Interval.upper time with
+    | Some b -> b
+    | None ->
+      invalid_arg
+        "Estimate.until_probability_window: the time interval must be \
+         bounded (simulation needs a finite horizon)"
+  in
+  let t_lo = Numerics.Interval.lower time in
+  let r_lo = Numerics.Interval.lower reward in
+  let r_hi = Numerics.Interval.upper reward in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let tr = Trajectory.sample rng mrm ~init ~horizon in
+    (* Walk the steps; each occupies [entered_at, t_out). *)
+    let rec scan = function
+      | [] -> false
+      | (step : Trajectory.step) :: rest ->
+        let t_in = step.Trajectory.entered_at in
+        let t_out =
+          match rest with
+          | next :: _ -> next.Trajectory.entered_at
+          | [] -> horizon
+        in
+        let s = step.Trajectory.state in
+        let y_in = step.Trajectory.reward_on_entry in
+        let rho = step.Trajectory.reward_rate in
+        (* Candidate 1: the instant of arrival (needs no phi at s). *)
+        let hit_on_arrival =
+          psi.(s) && t_in >= t_lo && t_in <= horizon
+          && y_in >= r_lo
+          && (match r_hi with None -> true | Some r -> y_in <= r)
+        in
+        if hit_on_arrival then true
+        else begin
+          (* Candidate 2: an interior instant (needs phi at s too). *)
+          let interior_hit =
+            psi.(s) && phi.(s)
+            && begin
+                 (* Time window inside this step. *)
+                 let lo = Float.max t_in t_lo in
+                 let hi = Float.min t_out horizon in
+                 (* Shrink by the reward constraints. *)
+                 let lo, hi =
+                   if rho > 0.0 then
+                     ( Float.max lo (t_in +. ((r_lo -. y_in) /. rho)),
+                       match r_hi with
+                       | None -> hi
+                       | Some r -> Float.min hi (t_in +. ((r -. y_in) /. rho)) )
+                   else if
+                     y_in >= r_lo
+                     && (match r_hi with None -> true | Some r -> y_in <= r)
+                   then (lo, hi)
+                   else (1.0, 0.0)
+                 in
+                 hi > lo
+               end
+          in
+          if interior_hit then true
+          else if not phi.(s) then false
+          else if t_in > horizon then false
+          else scan rest
+        end
+    in
+    if scan tr.Trajectory.steps then incr hits
+  done;
+  bernoulli_interval ?confidence ~hits:!hits samples

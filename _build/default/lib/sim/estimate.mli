@@ -1,0 +1,48 @@
+(** Monte-Carlo estimation of performability measures.
+
+    Used by the tests and benches as an engine-independent oracle: the
+    numerical procedures of the paper are cross-checked against confidence
+    intervals estimated from sampled trajectories. *)
+
+type interval = {
+  mean : float;
+  half_width : float;   (** of the confidence interval *)
+  samples : int;
+  hits : int;
+}
+
+val bernoulli_interval : ?confidence:float -> hits:int -> int -> interval
+(** [bernoulli_interval ~hits samples] is the normal-approximation
+    confidence interval (default confidence [0.99]) for a Bernoulli
+    proportion, widened by a 1/(2n) continuity correction so small samples
+    stay honest. *)
+
+val contains : interval -> float -> bool
+(** Whether a value lies within [mean +- half_width]. *)
+
+val reward_bounded_reachability :
+  ?confidence:float -> Rng.t -> Markov.Mrm.t -> init:int -> goal:bool array ->
+  time_bound:float -> reward_bound:float -> samples:int -> interval
+(** Estimates [Pr{Y_t <= r, X_t in goal}] — the quantity of the paper's
+    Theorem 2 — by direct simulation of the two-dimensional process. *)
+
+val until_probability :
+  ?confidence:float -> Rng.t -> Markov.Mrm.t -> init:int -> phi:bool array ->
+  psi:bool array -> time_bound:float -> reward_bound:float -> samples:int ->
+  interval
+(** Estimates [Prob (Phi U^{<=t}_{<=r} Psi)] directly on the original model
+    (without the Theorem 1 reduction): a sample counts as a hit if it
+    reaches a [psi]-state within the bounds having passed only through
+    [phi]-states. *)
+
+val until_probability_window :
+  ?confidence:float -> Rng.t -> Markov.Mrm.t -> init:int -> phi:bool array ->
+  psi:bool array -> time:Numerics.Interval.t -> reward:Numerics.Interval.t ->
+  samples:int -> interval
+(** Estimates [Prob (Phi U_I^J Psi)] for {e arbitrary} intervals [I] and
+    [J]: a hit is a time [u] in [I] with [X_u] in [psi], all earlier
+    states in [phi], and the accumulated reward [Y_u] in [J].  Because
+    simulation has no interval restriction at all, this is the oracle the
+    tests use for the general-interval checking extension — and the only
+    tool in this repository that can evaluate the paper's Section 6 open
+    problem (time {e and} reward intervals with lower bounds). *)

@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  create ~seed:(mix seed)
+
+let float g =
+  (* Top 53 bits give a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float g *. float_of_int bound)
+
+let exponential g ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = float g in
+  (* 1 - u is in (0, 1], so the log is finite. *)
+  -.Float.log (1.0 -. u) /. rate
+
+let categorical g ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if not (total > 0.0) then
+    invalid_arg "Rng.categorical: weights must have a positive sum";
+  let u = float g *. total in
+  let n = Array.length weights in
+  let rec pick i acc =
+    if i >= n - 1 then n - 1
+    else begin
+      let acc = acc +. weights.(i) in
+      if u < acc then i else pick (i + 1) acc
+    end
+  in
+  pick 0 0.0

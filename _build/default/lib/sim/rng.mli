@@ -1,0 +1,29 @@
+(** A small, reproducible pseudo-random number generator (splitmix64).
+
+    Simulation results in tests and benches must be deterministic across
+    runs and platforms, so we carry our own generator instead of relying on
+    [Stdlib.Random]'s evolving default algorithm. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** An independently-seeded generator derived from (and advancing) the
+    argument — for spawning per-trajectory streams. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit integers. *)
+
+val float : t -> float
+(** Uniform on [\[0, 1)]. *)
+
+val int : t -> bound:int -> int
+(** Uniform on [\[0, bound)]; [bound] must be positive. *)
+
+val exponential : t -> rate:float -> float
+(** Exponentially distributed with the given rate ([rate > 0]). *)
+
+val categorical : t -> weights:float array -> int
+(** Index [i] with probability proportional to [weights.(i)]; weights must
+    be non-negative with a positive sum. *)

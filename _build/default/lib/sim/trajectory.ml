@@ -1,0 +1,85 @@
+type step = {
+  state : int;
+  entered_at : float;
+  reward_on_entry : float;
+  reward_rate : float;
+}
+
+type t = {
+  steps : step list;
+  horizon : float;
+  final_state : int;
+  final_reward : float;
+}
+
+let sample rng mrm ~init ~horizon =
+  if horizon < 0.0 then invalid_arg "Trajectory.sample: negative horizon";
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Mrm.n_states mrm in
+  if init < 0 || init >= n then invalid_arg "Trajectory.sample: bad state";
+  let rec walk state time reward acc =
+    let step =
+      { state; entered_at = time; reward_on_entry = reward;
+        reward_rate = Markov.Mrm.reward mrm state }
+    in
+    let exit = Markov.Ctmc.exit_rate chain state in
+    if exit = 0.0 then
+      (* Absorbing: sit here until the horizon. *)
+      { steps = List.rev (step :: acc);
+        horizon;
+        final_state = state;
+        final_reward =
+          reward +. (Markov.Mrm.reward mrm state *. (horizon -. time)) }
+    else begin
+      let sojourn = Rng.exponential rng ~rate:exit in
+      let leave_at = time +. sojourn in
+      if leave_at >= horizon then
+        { steps = List.rev (step :: acc);
+          horizon;
+          final_state = state;
+          final_reward =
+            reward +. (Markov.Mrm.reward mrm state *. (horizon -. time)) }
+      else begin
+        let weights = Array.make n 0.0 in
+        Linalg.Csr.iter_row (Markov.Ctmc.rates chain) state (fun j v ->
+            weights.(j) <- weights.(j) +. v);
+        let next = Rng.categorical rng ~weights in
+        let reward' =
+          reward
+          +. (Markov.Mrm.reward mrm state *. sojourn)
+          +. Markov.Mrm.impulse mrm state next
+        in
+        walk next leave_at reward' (step :: acc)
+      end
+    end
+  in
+  walk init 0.0 0.0 []
+
+let locate tr time =
+  if time < 0.0 || time > tr.horizon then
+    invalid_arg "Trajectory: time outside the horizon";
+  (* Last step entered at or before [time]. *)
+  let rec find best = function
+    | [] -> best
+    | step :: rest ->
+      if step.entered_at <= time then find step rest else best
+  in
+  match tr.steps with
+  | [] -> invalid_arg "Trajectory: empty trajectory"
+  | first :: rest -> find first rest
+
+let state_at tr time = (locate tr time).state
+
+let reward_at tr time =
+  let step = locate tr time in
+  step.reward_on_entry +. ((time -. step.entered_at) *. step.reward_rate)
+
+let pp ppf tr =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun step ->
+      Format.fprintf ppf "t=%-10.4f state=%-4d Y=%-10.4f@," step.entered_at
+        step.state step.reward_on_entry)
+    tr.steps;
+  Format.fprintf ppf "horizon=%g final state=%d Y=%g@]" tr.horizon
+    tr.final_state tr.final_reward

@@ -1,0 +1,35 @@
+(** Sampled paths of a Markov reward model — the empirical counterpart of
+    the two-dimensional process [(X_t, Y_t)] of the paper's Figure 1.
+
+    A trajectory is the alternating sequence of states and sojourn times up
+    to a horizon; the accumulated reward is the reward-weighted sum of the
+    sojourns. *)
+
+type step = {
+  state : int;
+  entered_at : float;      (** absolute entry time *)
+  reward_on_entry : float; (** accumulated reward when entering *)
+  reward_rate : float;     (** [rho state], the slope of [Y] here *)
+}
+
+type t = {
+  steps : step list;      (** in chronological order, head = initial *)
+  horizon : float;
+  final_state : int;      (** state occupied at the horizon *)
+  final_reward : float;   (** [Y_horizon] *)
+}
+
+val sample : Rng.t -> Markov.Mrm.t -> init:int -> horizon:float -> t
+(** Simulate one path from state [init] up to time [horizon]; an absorbing
+    state ends the walk early (the trajectory is then constant, and reward
+    keeps accruing at the absorbing state's rate). *)
+
+val reward_at : t -> float -> float
+(** [reward_at tr time] is [Y_time] along the trajectory, for
+    [0 <= time <= horizon]. *)
+
+val state_at : t -> float -> int
+(** [X_time] along the trajectory. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per step: entry time, state, accumulated reward. *)

@@ -1,0 +1,20 @@
+  $ csrl-check --model adhoc 'P>0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  $ csrl-check --model adhoc --list-propositions
+  $ csrl-check --model multiprocessor 'S=? ( full )'
+  $ cat > station.mrm <<'EOF'
+  > states 3
+  > reward 0 10
+  > reward 1 6
+  > rate 0 1 0.1
+  > rate 1 0 2.0
+  > rate 1 2 0.1
+  > rate 2 1 1.0
+  > label up 0 1
+  > label down 2
+  > init 0
+  > EOF
+  $ csrl-check --file station.mrm --engine erlang:512 'P=? ( up U[t<=10][r<=50] down )'
+  $ csrl-check --file station.mrm 'R=? ( C[t<=10] )'
+  $ csrl-check --model adhoc 'P>0.5 ( a U '
+  $ csrl-check --model nonsense 'true'
+  $ csrl-check --model multiprocessor --info

@@ -1,0 +1,1 @@
+test/test_case_study.ml: Alcotest Array Checker Linalg List Logic Markov Models Numerics Perf

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Checker Float List Logic Markov Numerics Perf

@@ -1,0 +1,1 @@
+test/test_expected_reward.ml: Alcotest Array Ast Checker Float Linalg List Logic Markov Models Numerics Parser Printf Sim

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Graph Linalg List QCheck2 QCheck_alcotest

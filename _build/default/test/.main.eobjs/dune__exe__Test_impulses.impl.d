@@ -1,0 +1,1 @@
+test/test_impulses.ml: Alcotest Array Checker Float Int64 Linalg Logic Markov Models Numerics Perf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_intervals.ml: Alcotest Array Checker Float Fun Int64 List Logic Markov Models Numerics Printf QCheck2 QCheck_alcotest Sim

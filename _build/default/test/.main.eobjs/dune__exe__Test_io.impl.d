@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Io Linalg Markov Numerics String Sys

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Linalg Numerics Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Ast Float Lexer List Logic Numerics Parser Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lumping.ml: Alcotest Array Checker Fun Linalg List Logic Markov Numerics Printf

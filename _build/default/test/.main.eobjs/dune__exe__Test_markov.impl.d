@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Float Fun Linalg List Markov Models Numerics Perf Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Fun Graph Linalg List Markov Models Numerics Perf String

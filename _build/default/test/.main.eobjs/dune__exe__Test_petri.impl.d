@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array Format Hashtbl List Markov Models Numerics Petri Printf String

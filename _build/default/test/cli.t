@@ -1,0 +1,108 @@
+The command-line checker on the paper's case study (Section 5.3, Q3):
+
+  $ csrl-check --model adhoc 'P>0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  query:  P>0.5 ((call_idle | doze) U[t<=24][r<=600] call_initiated)
+  engine: occupation-time(eps=1e-09)
+    state  0  [adhoc_idle,call_idle                    ]  violated
+    state  1  [adhoc_active,call_idle                  ]  violated
+    state  2  [adhoc_idle,call_initiated               ]  SATISFIED
+    state  3  [adhoc_active,call_initiated             ]  SATISFIED
+    state  4  [adhoc_idle,call_incoming                ]  violated
+    state  5  [adhoc_active,call_incoming              ]  violated
+    state  6  [adhoc_idle,call_active                  ]  violated
+    state  7  [adhoc_active,call_active                ]  violated
+    state  8  [doze                                    ]  violated
+  initial distribution satisfies the formula with mass 0
+  [1]
+
+Listing propositions:
+
+  $ csrl-check --model adhoc --list-propositions
+  model: 9 states, 24 transitions
+    adhoc_active             (4 states)
+    adhoc_idle               (4 states)
+    call_active              (2 states)
+    call_idle                (2 states)
+    call_incoming            (2 states)
+    call_initiated           (2 states)
+    doze                     (1 states)
+
+A quantitative query on the multiprocessor model:
+
+  $ csrl-check --model multiprocessor 'S=? ( full )'
+  query:  S=? (full)
+  engine: occupation-time(eps=1e-09)
+    state  0  [down                                    ]  0.9840645099
+    state  1  [degraded,up                             ]  0.9840645099
+    state  2  [degraded,up                             ]  0.9840645099
+    state  3  [degraded,saturated,up                   ]  0.9840645099
+    state  4  [full,saturated,up                       ]  0.9840645099
+  value from the initial distribution: 0.9840645099
+
+Checking a user-supplied model file with a chosen engine:
+
+  $ cat > station.mrm <<'EOF'
+  > states 3
+  > reward 0 10
+  > reward 1 6
+  > rate 0 1 0.1
+  > rate 1 0 2.0
+  > rate 1 2 0.1
+  > rate 2 1 1.0
+  > label up 0 1
+  > label down 2
+  > init 0
+  > EOF
+
+  $ csrl-check --file station.mrm --engine erlang:512 'P=? ( up U[t<=10][r<=50] down )'
+  query:  P=? (up U[t<=10][r<=50] down)
+  engine: pseudo-erlang(k=512)
+    state  0  [up                                      ]  0.0216495215
+    state  1  [up                                      ]  0.0670019229
+    state  2  [down                                    ]  1.0000000000
+  value from the initial distribution: 0.0216495215
+
+Expected rewards (the R-operator extension):
+
+  $ csrl-check --file station.mrm 'R=? ( C[t<=10] )'
+  query:  R=? (C[t<=10])
+  engine: occupation-time(eps=1e-09)
+    state  0  [up                                      ]  97.8001290481
+    state  1  [up                                      ]  95.4305556896
+    state  2  [down                                    ]  85.6686334794
+  value from the initial distribution: 97.8001290481
+
+Parse errors report a position:
+
+  $ csrl-check --model adhoc 'P>0.5 ( a U '
+  parse error at position 12: expected a state formula, found end of input
+  [2]
+
+Unknown models list the alternatives:
+
+  $ csrl-check --model nonsense 'true'
+  unknown model "nonsense"; built-in models:
+    adhoc            the paper's ad hoc network case study (9 states)
+    adhoc-srn        the same model generated from its stochastic reward net
+    multiprocessor   Meyer-style degradable multiprocessor (5 states)
+    cluster          workstation cluster with switch and quorum (18 states)
+    queue            M/M/1/6 queue with server breakdowns (14 states)
+  [2]
+
+Model statistics:
+
+  $ csrl-check --model multiprocessor --info
+  states:        5
+  transitions:   8
+  max exit rate: 0.506
+  reward levels: {0, 1, 2, 3}
+  impulses:      no
+  SCCs:          1 (1 bottom)
+  propositions:  degraded, down, full, saturated, up
+  long-run distribution from the initial distribution:
+    state  0  [down]  0.00000001
+    state  1  [degraded,up]  0.00000151
+    state  2  [degraded,up]  0.00018894
+    state  3  [degraded,saturated,up]  0.01574503
+    state  4  [full,saturated,up]  0.98406451
+  long-run reward rate: 2.99981

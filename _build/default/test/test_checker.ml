@@ -1,0 +1,216 @@
+(* Tests for the CSRL model checker against closed forms. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+(* The quickstart server: 0 = both up (reward 10), 1 = one up (reward 6),
+   2 = down (reward 0). *)
+let server () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3
+      [ (0, 1, 0.1); (1, 2, 0.1); (1, 0, 2.0); (2, 1, 1.0) ]
+      ~rewards:[| 10.0; 6.0; 0.0 |]
+  in
+  let labeling =
+    Markov.Labeling.make ~n:3
+      [ ("full", [ 0 ]); ("degraded", [ 1 ]); ("down", [ 2 ]);
+        ("up", [ 0; 1 ]) ]
+  in
+  Checker.make ~epsilon:1e-12 mrm labeling
+
+let probs ctx text =
+  match Checker.eval_query ctx (Logic.Parser.query text) with
+  | Checker.Numeric v -> v
+  | Checker.Boolean _ -> Alcotest.fail "expected a numeric query"
+
+let test_boolean_layer () =
+  let ctx = server () in
+  let sat text = Array.to_list (Checker.sat ctx (Logic.Parser.state_formula text)) in
+  Alcotest.(check (list bool)) "ap" [ false; true; false ] (sat "degraded");
+  Alcotest.(check (list bool)) "not" [ true; false; true ] (sat "!degraded");
+  Alcotest.(check (list bool)) "and" [ false; true; false ] (sat "up & degraded");
+  Alcotest.(check (list bool)) "or" [ true; true; false ] (sat "full | degraded");
+  Alcotest.(check (list bool)) "implies" [ true; true; false ] (sat "down -> full" |> fun l -> l);
+  Alcotest.(check (list bool)) "true" [ true; true; true ] (sat "true");
+  Alcotest.(check (list bool)) "false" [ false; false; false ] (sat "false");
+  Alcotest.(check bool) "holds" true
+    (Checker.holds ctx (Logic.Parser.state_formula "up") 0)
+
+(* Next: from state 1 the jump distribution is repair 2/2.1, fail 0.1/2.1;
+   time and reward bounds scale by 1 - exp(-E min(t, r/rho)). *)
+let test_next () =
+  let ctx = server () in
+  let v = probs ctx "P=? ( X full )" in
+  check_close "unbounded next" (2.0 /. 2.1) v.(1);
+  check_close "absorbing-free state 0" 0.0 v.(0);
+  let v = probs ctx "P=? ( X[t<=0.5] full )" in
+  check_close "time-bounded next"
+    ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. 0.5)))
+    v.(1);
+  let v = probs ctx "P=? ( X[r<=2] full )" in
+  (* reward cap: sojourn <= 2 / 6. *)
+  check_close "reward-bounded next"
+    ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. (2.0 /. 6.0))))
+    v.(1);
+  let v = probs ctx "P=? ( X[t<=0.5][r<=2] full )" in
+  check_close "both bounds (reward tighter)"
+    ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. (2.0 /. 6.0))))
+    v.(1)
+
+(* Unbounded until on a pure race: 0 -> a (rate 1), 0 -> b (rate 3). *)
+let test_until_unbounded () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
+      ~rewards:[| 1.0; 0.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:3 [ ("a", [ 1 ]); ("b", [ 2 ]) ] in
+  let ctx = Checker.make mrm labeling in
+  let v = probs ctx "P=? ( !b U a )" in
+  check_close ~tol:1e-10 "race" 0.25 v.(0);
+  check_close "goal state itself" 1.0 v.(1);
+  check_close "excluded state" 0.0 v.(2);
+  (* Through the server: from 'down' the chain revives, so F up = 1. *)
+  let ctx = server () in
+  let v = probs ctx "P=? ( F up )" in
+  check_close "revival" 1.0 v.(2)
+
+(* Time-bounded until, pure death chain: P(F[t] down) from state 1 of
+   1 --0.1--> 2 with repair disabled by the phi constraint... use a simple
+   2-state chain instead for the closed form. *)
+let test_until_time_bounded () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 0.7) ] ~rewards:[| 1.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
+  let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
+  let v = probs ctx "P=? ( F[t<=2] down )" in
+  check_close ~tol:1e-11 "exp cdf" (1.0 -. Float.exp (-1.4)) v.(0);
+  check_close "goal is immediate" 1.0 v.(1);
+  (* The phi constraint matters: a -> b -> c, P(a U[t] c) = 0 because the
+     path must leave a through b which violates phi... *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (1, 2, 1.0) ]
+      ~rewards:[| 0.0; 0.0; 0.0 |]
+  in
+  let labeling =
+    Markov.Labeling.make ~n:3 [ ("a", [ 0 ]); ("b", [ 1 ]); ("c", [ 2 ]) ]
+  in
+  let ctx = Checker.make mrm labeling in
+  let v = probs ctx "P=? ( a U[t<=5] c )" in
+  check_close "blocked" 0.0 v.(0);
+  let v = probs ctx "P=? ( (a | b) U[t<=5] c )" in
+  (* Erlang-2 cdf: 1 - e^-t (1 + t). *)
+  check_close ~tol:1e-10 "erlang-2 cdf"
+    (1.0 -. (Float.exp (-5.0) *. 6.0))
+    v.(0)
+
+(* Reward-bounded until via duality: on the 2-state chain with reward 2 in
+   the up state, F[r<=r0] down is an exponential race against the reward
+   clock: sojourn S satisfies 2S <= r0, so P = 1 - exp(-0.7 r0 / 2). *)
+let test_until_reward_bounded () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 0.7) ] ~rewards:[| 2.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
+  let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
+  let v = probs ctx "P=? ( F[r<=3] down )" in
+  check_close ~tol:1e-11 "dual exp cdf" (1.0 -. Float.exp (-0.7 *. 1.5)) v.(0);
+  (* Zero-reward non-absorbing state: the paper's restriction applies. *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 0.7) ] ~rewards:[| 0.0; 0.0 |]
+  in
+  let ctx = Checker.make mrm labeling in
+  (match probs ctx "P=? ( F[r<=3] down )" with
+   | exception Checker.Unsupported _ -> ()
+   | _ -> Alcotest.fail "expected Unsupported for zero-reward duality")
+
+(* P2 must agree with P3 when the time bound provably cannot bite:
+   rewards >= 6 while alive means r <= 50 forces t <= 50/6 < 10. *)
+let test_p2_p3_consistency () =
+  let ctx = server () in
+  let v2 = probs ctx "P=? ( up U[r<=50] down )" in
+  let v3 = probs ctx "P=? ( up U[t<=10][r<=50] down )" in
+  check_close ~tol:1e-7 "state 0" v2.(0) v3.(0);
+  check_close ~tol:1e-7 "state 1" v2.(1) v3.(1)
+
+let test_steady () =
+  let ctx = server () in
+  let v = probs ctx "S=? ( up )" in
+  (* Stationary distribution of the 3-state cycle: solve by hand.
+     Balance: pi0 * 0.1 = pi1 * 2.0; pi2 * 1.0 = pi1 * 0.1. *)
+  let pi1 = 1.0 /. (1.0 +. 20.0 +. 0.1) in
+  let expected_up = (20.0 *. pi1) +. pi1 in
+  check_close ~tol:1e-8 "steady up from 0" expected_up v.(0);
+  check_close ~tol:1e-8 "steady up from 2 (irreducible)" expected_up v.(2);
+  (* Reducible chain: limit depends on the start. *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
+      ~rewards:[| 0.0; 0.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:3 [ ("a", [ 1 ]) ] in
+  let ctx = Checker.make mrm labeling in
+  let v = probs ctx "S=? ( a )" in
+  check_close ~tol:1e-9 "absorption split" 0.25 v.(0);
+  check_close "from a itself" 1.0 v.(1);
+  check_close "from b" 0.0 v.(2)
+
+let test_nested () =
+  let ctx = server () in
+  (* Nesting: states from which a (probably reachable) crash is followed
+     by a quick recovery.  The inner P becomes an atomic-like set. *)
+  let text = "P>=0.5 ( (P>=0.9 ( F[t<=10] full )) U[t<=100] down )" in
+  let mask = Checker.sat ctx (Logic.Parser.state_formula text) in
+  Alcotest.(check int) "mask length" 3 (Array.length mask);
+  (* Sanity: the inner set contains at least states 0 and 1. *)
+  let inner = Checker.sat ctx (Logic.Parser.state_formula "P>=0.9 ( F[t<=10] full )") in
+  Alcotest.(check bool) "inner holds at full" true inner.(0)
+
+let test_verdicts () =
+  let ctx = server () in
+  match Checker.eval_query ctx (Logic.Parser.query "S>=0.99 ( up )") with
+  | Checker.Boolean mask ->
+    Alcotest.(check (list bool)) "verdict" [ true; true; true ]
+      (Array.to_list mask)
+  | Checker.Numeric _ -> Alcotest.fail "expected boolean"
+
+let test_engine_selection_consistency () =
+  (* The same P3 formula through all three engines. *)
+  let answers =
+    List.map
+      (fun engine ->
+        let mrm =
+          Markov.Mrm.of_transitions ~n:3
+            [ (0, 1, 0.1); (1, 2, 0.1); (1, 0, 2.0); (2, 1, 1.0) ]
+            ~rewards:[| 10.0; 6.0; 0.0 |]
+        in
+        let labeling =
+          Markov.Labeling.make ~n:3 [ ("up", [ 0; 1 ]); ("down", [ 2 ]) ]
+        in
+        let ctx = Checker.make ~engine mrm labeling in
+        (probs ctx "P=? ( up U[t<=8][r<=64] down )").(0))
+      [ Perf.Engine.Occupation_time { epsilon = 1e-12 };
+        Perf.Engine.Pseudo_erlang { phases = 4096 };
+        Perf.Engine.Discretize { step = 1.0 /. 256.0 } ]
+  in
+  match answers with
+  | [ a; b; c ] ->
+    check_close ~tol:2e-3 "erlang near sericola" a b;
+    check_close ~tol:2e-3 "discretise near sericola" a c
+  | _ -> assert false
+
+let suite =
+  ( "checker",
+    [ Alcotest.test_case "boolean layer" `Quick test_boolean_layer;
+      Alcotest.test_case "next operator" `Quick test_next;
+      Alcotest.test_case "until unbounded (P0)" `Quick test_until_unbounded;
+      Alcotest.test_case "until time-bounded (P1)" `Quick
+        test_until_time_bounded;
+      Alcotest.test_case "until reward-bounded (P2)" `Quick
+        test_until_reward_bounded;
+      Alcotest.test_case "P2/P3 consistency" `Quick test_p2_p3_consistency;
+      Alcotest.test_case "steady state" `Quick test_steady;
+      Alcotest.test_case "nested formulas" `Quick test_nested;
+      Alcotest.test_case "boolean verdicts" `Quick test_verdicts;
+      Alcotest.test_case "engine selection" `Quick
+        test_engine_selection_consistency ] )

@@ -1,0 +1,273 @@
+(* Tests for expected-reward analysis and the R-operator extension. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  let same =
+    if Float.is_finite expected then
+      Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual
+    else expected = actual
+  in
+  if not same then
+    Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let test_cumulative_constant () =
+  (* A single absorbing state with reward c accumulates c * t exactly. *)
+  let m = Markov.Mrm.of_transitions ~n:1 [] ~rewards:[| 2.5 |] in
+  List.iter
+    (fun t ->
+      check_close ~tol:1e-10 (Printf.sprintf "t=%g" t) (2.5 *. t)
+        (Markov.Expected_reward.cumulative m ~init:[| 1.0 |] ~t))
+    [ 0.0; 0.5; 3.0; 50.0 ]
+
+let test_cumulative_pure_death () =
+  (* up (rho = 1) --mu--> down (rho = 0):
+     E[Y_t] = int_0^t exp(-mu u) du = (1 - exp(-mu t)) / mu. *)
+  let mu = 0.8 in
+  let m =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 1.0; 0.0 |]
+  in
+  List.iter
+    (fun t ->
+      check_close ~tol:1e-10 (Printf.sprintf "t=%g" t)
+        ((1.0 -. Float.exp (-.mu *. t)) /. mu)
+        (Markov.Expected_reward.cumulative m ~init:[| 1.0; 0.0 |] ~t))
+    [ 0.1; 1.0; 10.0; 100.0 ]
+
+let test_cumulative_repairable () =
+  (* Two-state repairable with rewards (r0, r1): E[Y_t] has the closed
+     form  pi_inf . rho * t + transient correction.  Cross-check against
+     a fine numerical integration of pi(u) . rho instead. *)
+  let mu = 2.0 and nu = 5.0 in
+  let m =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu); (1, 0, nu) ]
+      ~rewards:[| 3.0; 1.0 |]
+  in
+  let t = 2.0 in
+  let steps = 20_000 in
+  let dt = t /. float_of_int steps in
+  let acc = ref 0.0 in
+  for k = 0 to steps - 1 do
+    let u = (float_of_int k +. 0.5) *. dt in
+    let pi =
+      Markov.Transient.distribution (Markov.Mrm.ctmc m) ~init:[| 1.0; 0.0 |]
+        ~t:u
+    in
+    acc := !acc +. (dt *. ((3.0 *. pi.(0)) +. (1.0 *. pi.(1))))
+  done;
+  check_close ~tol:1e-6 "midpoint integration" !acc
+    (Markov.Expected_reward.cumulative m ~init:[| 1.0; 0.0 |] ~t)
+
+let test_cumulative_all_consistency () =
+  let m =
+    Markov.Mrm.of_transitions ~n:3
+      [ (0, 1, 1.0); (1, 2, 0.5); (2, 0, 0.25) ]
+      ~rewards:[| 1.0; 4.0; 0.5 |]
+  in
+  let t = 1.7 in
+  let all = Markov.Expected_reward.cumulative_all m ~t in
+  for s = 0 to 2 do
+    check_close ~tol:1e-9 (Printf.sprintf "state %d" s)
+      (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.unit 3 s) ~t)
+      all.(s)
+  done
+
+let test_cumulative_monte_carlo () =
+  let m = Models.Adhoc.mrm () in
+  let t = 2.0 in
+  let expected =
+    Markov.Expected_reward.cumulative m
+      ~init:(Linalg.Vec.unit 9 Models.Adhoc.initial_state) ~t
+  in
+  let rng = Sim.Rng.create ~seed:777L in
+  let samples = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    let tr =
+      Sim.Trajectory.sample rng m ~init:Models.Adhoc.initial_state ~horizon:t
+    in
+    acc := !acc +. tr.Sim.Trajectory.final_reward
+  done;
+  let mc = !acc /. float_of_int samples in
+  (* Standard error of the mean is small relative to the ~200 mAh scale. *)
+  check_close ~tol:0.02 "MC mean energy" expected mc
+
+let test_instantaneous () =
+  let mu = 2.0 and nu = 5.0 in
+  let m =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu); (1, 0, nu) ]
+      ~rewards:[| 3.0; 1.0 |]
+  in
+  let t = 0.7 in
+  let p_up =
+    (nu /. (mu +. nu)) +. (mu /. (mu +. nu) *. Float.exp (-.(mu +. nu) *. t))
+  in
+  check_close ~tol:1e-10 "pi(t) . rho"
+    ((3.0 *. p_up) +. (1.0 *. (1.0 -. p_up)))
+    (Markov.Expected_reward.instantaneous m ~init:[| 1.0; 0.0 |] ~t);
+  (* At t = 0 it is the initial state's reward. *)
+  check_close "t=0" 3.0
+    (Markov.Expected_reward.instantaneous m ~init:[| 1.0; 0.0 |] ~t:0.0)
+
+let test_reachability_reward () =
+  (* Birth chain 0 --l1--> 1 --l2--> 2(goal): expected accumulated reward
+     is rho0/l1 + rho1/l2. *)
+  let l1 = 2.0 and l2 = 0.5 in
+  let m =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, l1); (1, 2, l2) ]
+      ~rewards:[| 4.0; 3.0; 7.0 |]
+  in
+  let values =
+    Markov.Expected_reward.reachability m ~goal:[| false; false; true |]
+  in
+  check_close ~tol:1e-9 "from 0" ((4.0 /. l1) +. (3.0 /. l2)) values.(0);
+  check_close ~tol:1e-9 "from 1" (3.0 /. l2) values.(1);
+  check_close "goal itself" 0.0 values.(2);
+  (* A trap makes the expectation infinite. *)
+  let m =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 1.0) ]
+      ~rewards:[| 1.0; 1.0; 1.0 |]
+  in
+  let values =
+    Markov.Expected_reward.reachability m ~goal:[| false; false; true |]
+  in
+  check_close "trapped" Float.infinity values.(0);
+  check_close "trap itself" Float.infinity values.(1)
+
+let test_steady_rate () =
+  let mu = 2.0 and nu = 5.0 in
+  let m =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu); (1, 0, nu) ]
+      ~rewards:[| 3.0; 1.0 |]
+  in
+  let pi0 = nu /. (mu +. nu) in
+  check_close ~tol:1e-8 "long-run rate"
+    ((3.0 *. pi0) +. (1.0 *. (1.0 -. pi0)))
+    (Markov.Expected_reward.steady_rate m ~init:[| 1.0; 0.0 |]);
+  (* Reducible: the rate depends on the absorbing class reached. *)
+  let m =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
+      ~rewards:[| 0.0; 8.0; 4.0 |]
+  in
+  let all = Markov.Expected_reward.steady_rate_all m in
+  check_close ~tol:1e-8 "mixture" ((0.25 *. 8.0) +. (0.75 *. 4.0)) all.(0);
+  check_close ~tol:1e-9 "class a" 8.0 all.(1);
+  check_close ~tol:1e-9 "class b" 4.0 all.(2)
+
+(* ---- the R operator through parser and checker -------------------- *)
+
+let server_ctx () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3
+      [ (0, 1, 0.1); (1, 2, 0.1); (1, 0, 2.0); (2, 1, 1.0) ]
+      ~rewards:[| 10.0; 6.0; 0.0 |]
+  in
+  let labeling =
+    Markov.Labeling.make ~n:3 [ ("up", [ 0; 1 ]); ("down", [ 2 ]) ]
+  in
+  (mrm, Checker.make ~epsilon:1e-12 mrm labeling)
+
+let test_r_operator_parsing () =
+  let open Logic in
+  (match Parser.state_formula "R<=120 ( C[t<=24] )" with
+   | Ast.Reward (Ast.Le, 120.0, Ast.Cumulative 24.0) -> ()
+   | f -> Alcotest.failf "bad parse: %s" (Ast.to_string f));
+  (match Parser.state_formula "R>=5 ( F down )" with
+   | Ast.Reward (Ast.Ge, 5.0, Ast.Reach (Ast.Ap "down")) -> ()
+   | f -> Alcotest.failf "bad parse: %s" (Ast.to_string f));
+  (match Parser.state_formula "R<9.5 ( S )" with
+   | Ast.Reward (Ast.Lt, 9.5, Ast.Long_run) -> ()
+   | f -> Alcotest.failf "bad parse: %s" (Ast.to_string f));
+  (match Parser.query "R=? ( C[t<=2] )" with
+   | Ast.Reward_query (Ast.Cumulative 2.0) -> ()
+   | _ -> Alcotest.fail "bad R=? parse");
+  (* Round trips. *)
+  List.iter
+    (fun text ->
+      let f = Parser.state_formula text in
+      if not (Ast.equal f (Parser.state_formula (Ast.to_string f))) then
+        Alcotest.failf "round trip failed for %s" text)
+    [ "R<=120 ( C[t<=24] )"; "R>=5 ( F (down | !up) )"; "R<9.5 ( S )" ];
+  (* Errors. *)
+  (match Parser.state_formula "R>=1 ( X a )" with
+   | exception Parser.Parse_error _ -> ()
+   | _ -> Alcotest.fail "accepted a path formula under R")
+
+let test_r_operator_checking () =
+  let mrm, ctx = server_ctx () in
+  let values text =
+    match Checker.eval_query ctx (Logic.Parser.query text) with
+    | Checker.Numeric v -> v
+    | Checker.Boolean _ -> Alcotest.fail "expected numeric"
+  in
+  (* Cumulative: matches the direct computation. *)
+  let v = values "R=? ( C[t<=5] )" in
+  check_close ~tol:1e-9 "cumulative from 0"
+    (Markov.Expected_reward.cumulative mrm ~init:(Linalg.Vec.unit 3 0) ~t:5.0)
+    v.(0);
+  (* Reach: down is reached almost surely (single BSCC is the whole
+     chain), so the value is finite and positive from up states. *)
+  let v = values "R=? ( F down )" in
+  Alcotest.(check bool) "finite" true (Float.is_finite v.(0) && v.(0) > 0.0);
+  check_close "goal zero" 0.0 v.(2);
+  (* Long-run rate equals the direct steady computation. *)
+  let v = values "R=? ( S )" in
+  check_close ~tol:1e-8 "long run"
+    (Markov.Expected_reward.steady_rate mrm ~init:(Linalg.Vec.unit 3 0))
+    v.(0);
+  (* Verdict form: the max possible is rho_max * t = 100, and a fresh
+     'down' start accumulates strictly less than a 'full' start. *)
+  let cumulative = values "R=? ( C[t<=10] )" in
+  Alcotest.(check bool) "down start accumulates less" true
+    (cumulative.(2) < cumulative.(0));
+  let mask =
+    Checker.sat ctx (Logic.Parser.state_formula "R<=100 ( C[t<=10] )")
+  in
+  Alcotest.(check (list bool)) "bounded verdict" [ true; true; true ]
+    (Array.to_list mask);
+  let mask =
+    Checker.sat ctx (Logic.Parser.state_formula "R>100 ( C[t<=10] )")
+  in
+  Alcotest.(check (list bool)) "negated verdict" [ false; false; false ]
+    (Array.to_list mask)
+
+let test_r_operator_case_study () =
+  (* Expected energy drawn by the mobile station over 24 h — finite,
+     positive, and below the theoretical max of 350 * 24. *)
+  let ctx =
+    Checker.make ~epsilon:1e-10 (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
+  in
+  match Checker.eval_query ctx (Logic.Parser.query "R=? ( C[t<=24] )") with
+  | Checker.Numeric v ->
+    let e = v.(Models.Adhoc.initial_state) in
+    Alcotest.(check bool) "energy plausible" true (e > 20.0 *. 24.0 && e < 350.0 *. 24.0);
+    (* Long-run power draw of the station. *)
+    (match Checker.eval_query ctx (Logic.Parser.query "R=? ( S )") with
+     | Checker.Numeric rate ->
+       let r = rate.(Models.Adhoc.initial_state) in
+       Alcotest.(check bool) "rate plausible" true (r > 20.0 && r < 350.0);
+       (* For an irreducible chain, E[Y_t] / t approaches the rate. *)
+       let t = 2000.0 in
+       let e_long =
+         Markov.Expected_reward.cumulative (Models.Adhoc.mrm ())
+           ~init:(Linalg.Vec.unit 9 Models.Adhoc.initial_state) ~t
+       in
+       check_close ~tol:1e-3 "ergodic limit" r (e_long /. t)
+     | Checker.Boolean _ -> Alcotest.fail "expected numeric")
+  | Checker.Boolean _ -> Alcotest.fail "expected numeric"
+
+let suite =
+  ( "expected reward",
+    [ Alcotest.test_case "cumulative constant" `Quick test_cumulative_constant;
+      Alcotest.test_case "cumulative pure death" `Quick
+        test_cumulative_pure_death;
+      Alcotest.test_case "cumulative repairable" `Quick
+        test_cumulative_repairable;
+      Alcotest.test_case "cumulative_all" `Quick test_cumulative_all_consistency;
+      Alcotest.test_case "cumulative vs Monte-Carlo" `Quick
+        test_cumulative_monte_carlo;
+      Alcotest.test_case "instantaneous" `Quick test_instantaneous;
+      Alcotest.test_case "reachability reward" `Quick test_reachability_reward;
+      Alcotest.test_case "steady rate" `Quick test_steady_rate;
+      Alcotest.test_case "R operator parsing" `Quick test_r_operator_parsing;
+      Alcotest.test_case "R operator checking" `Quick test_r_operator_checking;
+      Alcotest.test_case "R operator case study" `Quick
+        test_r_operator_case_study ] )

@@ -1,0 +1,195 @@
+(* Tests for the general-interval extension: time windows [a, b] on until
+   and general intervals on next (the paper's Section 6 future work,
+   implemented here by the standard two-phase construction). *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let probs ctx text =
+  match Checker.eval_query ctx (Logic.Parser.query text) with
+  | Checker.Numeric v -> v
+  | Checker.Boolean _ -> Alcotest.fail "expected a numeric query"
+
+(* Pure death up --mu--> down.  With phi = true, F[a<=t<=b] down is
+   satisfied iff T <= b (down is absorbing, so an early hit still holds
+   at time a); with phi = up it needs a <= T <= b exactly. *)
+let test_window_closed_forms () =
+  let mu = 0.9 in
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 1.0; 0.0 |]
+  in
+  let labeling =
+    Markov.Labeling.make ~n:2 [ ("up", [ 0 ]); ("down", [ 1 ]) ]
+  in
+  let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
+  let a = 1.0 and b = 3.0 in
+  let v = probs ctx "P=? ( F[t>=1][t<=3] down )" in
+  check_close ~tol:1e-10 "true-until window" (1.0 -. Float.exp (-.mu *. b))
+    v.(0);
+  let v = probs ctx "P=? ( up U[t>=1][t<=3] down )" in
+  check_close ~tol:1e-10 "phi-until window"
+    (Float.exp (-.mu *. a) -. Float.exp (-.mu *. b))
+    v.(0);
+  (* From a down start the formula holds iff down itself is in the set at
+     some point of [a, b] with phi before — phi = up fails immediately
+     unless the start is psi at time a... it is psi the whole time, but
+     states before a are 'down', violating up: probability 0 from down
+     with a > 0?  No: from 'down', X_u = down for all u; the requirement
+     is exists u in [a,b] with psi and all earlier states phi — earlier
+     states are 'down', not 'up', so it fails. *)
+  check_close ~tol:1e-10 "down start fails the phi window" 0.0 v.(1);
+  (* ... but with phi = true it holds. *)
+  let v = probs ctx "P=? ( F[t>=1][t<=3] down )" in
+  check_close "down start, true window" 1.0 v.(1);
+  (* Half-open [a, inf): with phi = up it is just P(T >= a). *)
+  let v = probs ctx "P=? ( up U[t>=1] down )" in
+  check_close ~tol:1e-10 "half-open window" (Float.exp (-.mu *. a)) v.(0)
+
+(* Erlang-2 chain 0 -> 1 -> 2 with both rates lam, phi = {0,1}: the hit
+   time is Erlang(2, lam), and the window probability is
+   F(b) - F(a) with F the Erlang cdf. *)
+let test_window_erlang () =
+  let lam = 1.3 in
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, lam); (1, 2, lam) ]
+      ~rewards:[| 1.0; 1.0; 0.0 |]
+  in
+  let labeling =
+    Markov.Labeling.make ~n:3 [ ("run", [ 0; 1 ]); ("done", [ 2 ]) ]
+  in
+  let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
+  let erlang_cdf t = 1.0 -. (Float.exp (-.lam *. t) *. (1.0 +. (lam *. t))) in
+  let v = probs ctx "P=? ( run U[t>=0.5][t<=2.5] done )" in
+  check_close ~tol:1e-10 "erlang window"
+    (erlang_cdf 2.5 -. erlang_cdf 0.5)
+    v.(0)
+
+(* Next with general intervals: from state 0 of the pure-death chain the
+   jump time is exponential, so
+   P(X[a<=t<=b] down) = exp(-mu a) - exp(-mu b), and the reward interval
+   scales by the local rate. *)
+let test_next_intervals () =
+  let mu = 2.0 in
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 4.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
+  let ctx = Checker.make mrm labeling in
+  let v = probs ctx "P=? ( X[t>=0.25][t<=1] down )" in
+  check_close ~tol:1e-12 "time window next"
+    (Float.exp (-.mu *. 0.25) -. Float.exp (-.mu))
+    v.(0);
+  (* Reward in [2, 6] at rate 4: sojourn in [0.5, 1.5]. *)
+  let v = probs ctx "P=? ( X[r>=2][r<=6] down )" in
+  check_close ~tol:1e-12 "reward window next"
+    (Float.exp (-.mu *. 0.5) -. Float.exp (-.mu *. 1.5))
+    v.(0);
+  (* Intersection of both: time [0.25, 1] and sojourn-from-reward
+     [0.5, 1.5] -> [0.5, 1]. *)
+  let v = probs ctx "P=? ( X[t>=0.25][t<=1][r>=2][r<=6] down )" in
+  check_close ~tol:1e-12 "joint window next"
+    (Float.exp (-.mu *. 0.5) -. Float.exp (-.mu))
+    v.(0);
+  (* Empty intersection. *)
+  let v = probs ctx "P=? ( X[t<=0.25][r>=2] down )" in
+  check_close "empty window" 0.0 v.(0);
+  (* Zero reward rate satisfies only reward intervals containing 0. *)
+  let mrm0 =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 0.0; 0.0 |]
+  in
+  let ctx0 = Checker.make mrm0 labeling in
+  let v = probs ctx0 "P=? ( X[r<=6] down )" in
+  check_close "zero rate, downward reward" 1.0 v.(0);
+  let v = probs ctx0 "P=? ( X[r>=2] down )" in
+  check_close "zero rate, lower-bounded reward" 0.0 v.(0)
+
+let test_unsupported_combinations () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 1.0) ] ~rewards:[| 1.0; 0.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
+  let ctx = Checker.make mrm labeling in
+  let expect_unsupported text =
+    match probs ctx text with
+    | exception Checker.Unsupported _ -> ()
+    | _ -> Alcotest.failf "expected Unsupported for %s" text
+  in
+  (* The paper's open problem: reward lower bounds on until, and time
+     lower bounds combined with reward bounds. *)
+  expect_unsupported "P=? ( F[r>=1] down )";
+  expect_unsupported "P=? ( F[t>=1][t<=2][r<=1] down )"
+
+let test_window_consistency () =
+  (* [0, b] window must agree with the plain time-bounded code path, and
+     splitting [0, b] = [0, a] + (a, b]-window must be consistent:
+     P(F[<=b]) >= P(F[a<=t<=b]). *)
+  let ctx =
+    Checker.make ~epsilon:1e-12 (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
+  in
+  let plain = probs ctx "P=? ( F[t<=24] call_incoming )" in
+  let window = probs ctx "P=? ( F[t>=0][t<=24] call_incoming )" in
+  Array.iteri
+    (fun s v -> check_close ~tol:1e-12 (Printf.sprintf "state %d" s) v window.(s))
+    plain;
+  let late = probs ctx "P=? ( F[t>=12][t<=24] call_incoming )" in
+  Array.iteri
+    (fun s v ->
+      if late.(s) > v +. 1e-9 then
+        Alcotest.failf "window exceeds superset at %d" s)
+    plain
+
+(* The Monte-Carlo oracle: two-phase checking vs direct simulation of the
+   window semantics on random models. *)
+let prop_window_vs_simulation =
+  QCheck2.Test.make ~count:12 ~name:"window until matches simulation"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let m =
+        Models.Random_mrm.generate ~seed:(Int64.of_int seed)
+          Models.Random_mrm.default
+      in
+      let n = Markov.Mrm.n_states m in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int (seed * 7 + 1)) in
+      let phi = Array.init n (fun _ -> Sim.Rng.float rng < 0.75) in
+      let psi = Array.init n (fun _ -> Sim.Rng.float rng < 0.3) in
+      if not (Array.exists Fun.id psi) then psi.(0) <- true;
+      let a = 0.25 +. Sim.Rng.float rng in
+      let b = a +. 0.25 +. Sim.Rng.float rng in
+      let labeling =
+        Markov.Labeling.make ~n
+          [ ("phi", List.filter (fun s -> phi.(s)) (List.init n Fun.id));
+            ("psi", List.filter (fun s -> psi.(s)) (List.init n Fun.id)) ]
+      in
+      let ctx = Checker.make ~epsilon:1e-12 m labeling in
+      let text = Printf.sprintf "P=? ( phi U[t>=%g][t<=%g] psi )" a b in
+      let values = probs ctx text in
+      let init = Sim.Rng.int rng ~bound:n in
+      let iv =
+        Sim.Estimate.until_probability_window ~confidence:0.999 rng m ~init
+          ~phi ~psi
+          ~time:(Numerics.Interval.between a b)
+          ~reward:Numerics.Interval.unbounded ~samples:20_000
+      in
+      let ok =
+        Sim.Estimate.contains iv values.(init)
+        || Float.abs (values.(init) -. iv.Sim.Estimate.mean) <= 5e-4
+      in
+      if not ok then
+        QCheck2.Test.fail_reportf
+          "checker %.6f outside MC %.6f +- %.6f (seed %d, window [%g,%g])"
+          values.(init) iv.Sim.Estimate.mean iv.Sim.Estimate.half_width seed a
+          b
+      else true)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "interval extension",
+    [ Alcotest.test_case "window closed forms" `Quick test_window_closed_forms;
+      Alcotest.test_case "window erlang" `Quick test_window_erlang;
+      Alcotest.test_case "next with general intervals" `Quick
+        test_next_intervals;
+      Alcotest.test_case "unsupported combinations" `Quick
+        test_unsupported_combinations;
+      Alcotest.test_case "window consistency" `Quick test_window_consistency;
+      q prop_window_vs_simulation ] )

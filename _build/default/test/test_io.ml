@@ -1,0 +1,119 @@
+(* Tests for the textual model format, table rendering and CSV output. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let example_text =
+  "# a small repairable component\n\
+   states 3\n\
+   reward 0 10\n\
+   reward 1 6\n\
+   rate 0 1 0.1   # failure\n\
+   rate 1 0 2.0\n\
+   rate 1 2 0.1\n\
+   rate 2 1 1.0\n\
+   label up 0 1\n\
+   label down 2\n\
+   init 0\n"
+
+let test_parse () =
+  let doc = Io.Mrm_format.parse example_text in
+  Alcotest.(check int) "states" 3 (Markov.Mrm.n_states doc.Io.Mrm_format.mrm);
+  check_close "reward" 10.0 (Markov.Mrm.reward doc.Io.Mrm_format.mrm 0);
+  check_close "default reward" 0.0 (Markov.Mrm.reward doc.Io.Mrm_format.mrm 2);
+  check_close "rate" 2.0
+    (Markov.Ctmc.rate (Markov.Mrm.ctmc doc.Io.Mrm_format.mrm) 1 0);
+  Alcotest.(check bool) "label" true
+    (Markov.Labeling.holds doc.Io.Mrm_format.labeling "up" 1);
+  check_close "init mass" 1.0 doc.Io.Mrm_format.init.(0)
+
+let test_roundtrip () =
+  let doc = Io.Mrm_format.parse example_text in
+  let doc2 = Io.Mrm_format.parse (Io.Mrm_format.print doc) in
+  Alcotest.(check bool) "rates round trip" true
+    (Linalg.Csr.equal_approx
+       (Markov.Ctmc.rates (Markov.Mrm.ctmc doc.Io.Mrm_format.mrm))
+       (Markov.Ctmc.rates (Markov.Mrm.ctmc doc2.Io.Mrm_format.mrm)));
+  for s = 0 to 2 do
+    check_close "rewards round trip"
+      (Markov.Mrm.reward doc.Io.Mrm_format.mrm s)
+      (Markov.Mrm.reward doc2.Io.Mrm_format.mrm s)
+  done;
+  Alcotest.(check (list string)) "labels round trip"
+    (Markov.Labeling.propositions doc.Io.Mrm_format.labeling)
+    (Markov.Labeling.propositions doc2.Io.Mrm_format.labeling)
+
+let test_impulse_lines () =
+  let text =
+    "states 2\nreward 0 1\nrate 0 1 2.0\nimpulse 0 1 1.5\nlabel goal 1\n"
+  in
+  let doc = Io.Mrm_format.parse text in
+  Alcotest.(check bool) "has impulses" true
+    (Markov.Mrm.has_impulses doc.Io.Mrm_format.mrm);
+  check_close "impulse value" 1.5 (Markov.Mrm.impulse doc.Io.Mrm_format.mrm 0 1);
+  (* Round trip keeps them. *)
+  let doc2 = Io.Mrm_format.parse (Io.Mrm_format.print doc) in
+  check_close "round trip" 1.5 (Markov.Mrm.impulse doc2.Io.Mrm_format.mrm 0 1);
+  (* Impulse without a matching transition is rejected. *)
+  (match Io.Mrm_format.parse "states 2\nrate 0 1 1.0\nimpulse 1 0 2.0\n" with
+   | exception Io.Mrm_format.Syntax_error _ -> ()
+   | _ -> Alcotest.fail "accepted an impulse without a transition")
+
+let expect_syntax_error ~line text =
+  match Io.Mrm_format.parse text with
+  | exception Io.Mrm_format.Syntax_error (_, l) ->
+    Alcotest.(check int) "error line" line l
+  | _ -> Alcotest.failf "accepted %S" text
+
+let test_errors () =
+  expect_syntax_error ~line:1 "reward 0 1\n";
+  expect_syntax_error ~line:2 "states 2\nrate 0 5 1.0\n";
+  expect_syntax_error ~line:2 "states 2\nreward 0 -1\n";
+  expect_syntax_error ~line:2 "states 2\nbogus 1 2\n";
+  expect_syntax_error ~line:3 "states 2\nlabel a 0\nlabel a 1\n";
+  expect_syntax_error ~line:1 "states 2\ninit 0 0.5\n";
+  expect_syntax_error ~line:2 "states 2\nrate 0 1 0\n"
+
+let test_parse_file () =
+  let path = Filename.temp_file "perfcheck" ".mrm" in
+  let oc = open_out path in
+  output_string oc example_text;
+  close_out oc;
+  let doc = Io.Mrm_format.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "from file" 3 (Markov.Mrm.n_states doc.Io.Mrm_format.mrm)
+
+let test_table () =
+  let rendered =
+    Io.Table.render
+      ~aligns:[ Io.Table.Left ]
+      ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "23" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+   | header :: rule :: _ ->
+     Alcotest.(check bool) "header padded" true
+       (String.length header = String.length rule)
+   | _ -> Alcotest.fail "missing rule");
+  Alcotest.(check string) "seconds small" "< 0.01 sec" (Io.Table.seconds 0.004);
+  Alcotest.(check string) "seconds" "1.50 sec" (Io.Table.seconds 1.5)
+
+let test_csv () =
+  Alcotest.(check string) "plain" "a,b\n" (Io.Csv.line [ "a"; "b" ]);
+  Alcotest.(check string) "quoted comma" "\"a,b\",c\n"
+    (Io.Csv.line [ "a,b"; "c" ]);
+  Alcotest.(check string) "quoted quote" "\"a\"\"b\"\n" (Io.Csv.line [ "a\"b" ]);
+  let rendered = Io.Csv.render ~header:[ "x" ] [ [ "1" ]; [ "2" ] ] in
+  Alcotest.(check string) "render" "x\n1\n2\n" rendered
+
+let suite =
+  ( "io",
+    [ Alcotest.test_case "parse" `Quick test_parse;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "impulse lines" `Quick test_impulse_lines;
+      Alcotest.test_case "syntax errors" `Quick test_errors;
+      Alcotest.test_case "parse_file" `Quick test_parse_file;
+      Alcotest.test_case "table rendering" `Quick test_table;
+      Alcotest.test_case "csv" `Quick test_csv ] )

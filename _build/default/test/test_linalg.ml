@@ -1,0 +1,168 @@
+(* Unit and property tests for vectors, CSR matrices and solvers. *)
+
+let check_close ?(tol = 1e-12) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let check_vec ?(tol = 1e-12) what expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length mismatch" what;
+  Array.iteri
+    (fun i e -> check_close ~tol (Printf.sprintf "%s[%d]" what i) e actual.(i))
+    expected
+
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basics () =
+  check_vec "create" [| 0.0; 0.0 |] (Linalg.Vec.create 2);
+  check_vec "init" [| 0.0; 1.0; 2.0 |] (Linalg.Vec.init 3 float_of_int);
+  check_vec "scale" [| 2.0; 4.0 |] (Linalg.Vec.scale 2.0 [| 1.0; 2.0 |]);
+  check_vec "add" [| 4.0; 6.0 |] (Linalg.Vec.add [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  let y = [| 1.0; 1.0 |] in
+  Linalg.Vec.axpy ~alpha:2.0 ~x:[| 1.0; 2.0 |] ~y;
+  check_vec "axpy" [| 3.0; 5.0 |] y;
+  check_close "dot" 11.0 (Linalg.Vec.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  check_close "sum" 6.0 (Linalg.Vec.sum [| 1.0; 2.0; 3.0 |]);
+  check_vec "normalize" [| 0.25; 0.75 |] (Linalg.Vec.normalize [| 1.0; 3.0 |]);
+  check_close "masked_sum" 5.0
+    (Linalg.Vec.masked_sum [| 1.0; 2.0; 4.0 |] [| true; false; true |]);
+  check_vec "unit" [| 0.0; 1.0; 0.0 |] (Linalg.Vec.unit 3 1);
+  check_close "linf" 2.0 (Linalg.Vec.linf_dist [| 0.0; 3.0 |] [| 1.0; 5.0 |]);
+  Alcotest.(check bool) "is_distribution yes" true
+    (Linalg.Vec.is_distribution [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "is_distribution no" false
+    (Linalg.Vec.is_distribution [| 0.5; 0.6 |]);
+  Alcotest.(check bool) "is_sub_distribution" true
+    (Linalg.Vec.is_sub_distribution [| 0.2; 0.3 |]);
+  Alcotest.check_raises "normalize zero"
+    (Invalid_argument "Vec.normalize: non-positive sum") (fun () ->
+      ignore (Linalg.Vec.normalize [| 0.0; 0.0 |]))
+
+let dense_example = [| [| 0.0; 2.0; 0.0 |]; [| 1.0; 0.0; 3.0 |]; [| 0.0; 0.0; 0.0 |] |]
+
+let test_csr_roundtrip () =
+  let a = Linalg.Csr.of_dense dense_example in
+  Alcotest.(check int) "rows" 3 (Linalg.Csr.rows a);
+  Alcotest.(check int) "cols" 3 (Linalg.Csr.cols a);
+  Alcotest.(check int) "nnz" 3 (Linalg.Csr.nnz a);
+  let back = Linalg.Csr.to_dense a in
+  Array.iteri (fun i row -> check_vec (Printf.sprintf "row %d" i) row back.(i))
+    dense_example;
+  check_close "get stored" 3.0 (Linalg.Csr.get a 1 2);
+  check_close "get zero" 0.0 (Linalg.Csr.get a 0 0)
+
+let test_csr_duplicates () =
+  let a = Linalg.Csr.of_coo ~rows:2 ~cols:2 [ (0, 1, 1.0); (0, 1, 2.5); (1, 0, -1.0); (1, 0, 1.0) ] in
+  check_close "summed" 3.5 (Linalg.Csr.get a 0 1);
+  (* The (1,0) entries cancel exactly and must be dropped. *)
+  Alcotest.(check int) "cancelled dropped" 1 (Linalg.Csr.nnz a);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Csr.of_coo: entry (2,0) out of 2x2") (fun () ->
+      ignore (Linalg.Csr.of_coo ~rows:2 ~cols:2 [ (2, 0, 1.0) ]))
+
+let test_csr_products () =
+  let a = Linalg.Csr.of_dense dense_example in
+  check_vec "A x" [| 4.0; 10.0; 0.0 |] (Linalg.Csr.mul_vec a [| 1.0; 2.0; 3.0 |]);
+  check_vec "x A" [| 2.0; 2.0; 6.0 |] (Linalg.Csr.vec_mul [| 1.0; 2.0; 3.0 |] a);
+  let t = Linalg.Csr.transpose a in
+  check_close "transpose entry" 2.0 (Linalg.Csr.get t 1 0);
+  check_vec "A^T x = x A" (Linalg.Csr.vec_mul [| 1.0; 2.0; 3.0 |] a)
+    (Linalg.Csr.mul_vec t [| 1.0; 2.0; 3.0 |])
+
+let test_csr_utils () =
+  let a = Linalg.Csr.of_dense dense_example in
+  check_close "row_sum" 4.0 (Linalg.Csr.row_sum a 1);
+  let doubled = Linalg.Csr.scale 2.0 a in
+  check_close "scale" 6.0 (Linalg.Csr.get doubled 1 2);
+  let mapped = Linalg.Csr.mapi (fun i j v -> if i = 1 && j = 0 then 0.0 else v) a in
+  Alcotest.(check int) "mapi dropped a zero" 2 (Linalg.Csr.nnz mapped);
+  let eye = Linalg.Csr.identity 3 in
+  check_vec "identity action" [| 1.0; 2.0; 3.0 |]
+    (Linalg.Csr.mul_vec eye [| 1.0; 2.0; 3.0 |]);
+  check_vec "diagonal" [| 0.0; 0.0; 0.0 |] (Linalg.Csr.diagonal a);
+  let filtered = Linalg.Csr.filter_rows a ~keep:(fun i -> i <> 1) in
+  check_close "filter_rows keeps" 2.0 (Linalg.Csr.get filtered 0 1);
+  check_close "filter_rows drops" 0.0 (Linalg.Csr.get filtered 1 2);
+  Alcotest.(check bool) "equal_approx" true
+    (Linalg.Csr.equal_approx a (Linalg.Csr.of_dense dense_example));
+  Alcotest.(check bool) "equal_approx differs" false
+    (Linalg.Csr.equal_approx a eye)
+
+(* Fixed point x = A x + b with A = [[0, 1/2], [0, 0]], b = [0; 1]:
+   solution x = [1/2; 1]. *)
+let test_fixpoint_solvers () =
+  let a = Linalg.Csr.of_dense [| [| 0.0; 0.5 |]; [| 0.0; 0.0 |] |] in
+  let b = [| 0.0; 1.0 |] in
+  let jac = Linalg.Solvers.jacobi_fixpoint a ~b in
+  Alcotest.(check bool) "jacobi converged" true jac.Linalg.Solvers.converged;
+  check_vec ~tol:1e-10 "jacobi solution" [| 0.5; 1.0 |] jac.Linalg.Solvers.solution;
+  let gs = Linalg.Solvers.gauss_seidel_fixpoint a ~b in
+  Alcotest.(check bool) "gs converged" true gs.Linalg.Solvers.converged;
+  check_vec ~tol:1e-10 "gs solution" [| 0.5; 1.0 |] gs.Linalg.Solvers.solution;
+  (* Gauss-Seidel should use no more sweeps than Jacobi here. *)
+  if gs.Linalg.Solvers.iterations > jac.Linalg.Solvers.iterations then
+    Alcotest.fail "gauss-seidel slower than jacobi on a triangular system";
+  (* A non-converging setup: x = x + 1 diverges and must be reported. *)
+  let bad = Linalg.Solvers.jacobi_fixpoint ~max_iter:50 (Linalg.Csr.identity 1) ~b:[| 1.0 |] in
+  Alcotest.(check bool) "divergence flagged" false bad.Linalg.Solvers.converged
+
+(* Two-state chain with P = [[1-a, a], [b, 1-b]]: stationary distribution
+   is (b, a) / (a + b). *)
+let test_power_stationary () =
+  let a = 0.3 and b = 0.1 in
+  let p = Linalg.Csr.of_dense [| [| 1.0 -. a; a |]; [| b; 1.0 -. b |] |] in
+  let outcome = Linalg.Solvers.power_stationary ~tol:1e-14 p in
+  Alcotest.(check bool) "converged" true outcome.Linalg.Solvers.converged;
+  check_vec ~tol:1e-10 "stationary"
+    [| b /. (a +. b); a /. (a +. b) |]
+    outcome.Linalg.Solvers.solution
+
+(* ---------------- property tests ---------------------------------- *)
+
+let gen_matrix =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let* m = int_range 1 6 in
+    let* entries =
+      list_size (int_range 0 20)
+        (triple (int_range 0 (n - 1)) (int_range 0 (m - 1))
+           (float_range (-5.0) 5.0))
+    in
+    return (n, m, entries))
+
+let prop_dense_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"csr of_dense . to_dense = id" gen_matrix
+    (fun (n, m, entries) ->
+      let a = Linalg.Csr.of_coo ~rows:n ~cols:m entries in
+      let b = Linalg.Csr.of_dense (Linalg.Csr.to_dense a) in
+      Linalg.Csr.equal_approx a b)
+
+let prop_transpose_involution =
+  QCheck2.Test.make ~count:100 ~name:"transpose involutive" gen_matrix
+    (fun (n, m, entries) ->
+      let a = Linalg.Csr.of_coo ~rows:n ~cols:m entries in
+      Linalg.Csr.equal_approx a (Linalg.Csr.transpose (Linalg.Csr.transpose a)))
+
+let prop_bilinear =
+  QCheck2.Test.make ~count:100 ~name:"x (A y) = (x A) y" gen_matrix
+    (fun (n, m, entries) ->
+      let a = Linalg.Csr.of_coo ~rows:n ~cols:m entries in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      let y = Array.init m (fun j -> float_of_int (2 * j) -. 3.0) in
+      let lhs = Linalg.Vec.dot x (Linalg.Csr.mul_vec a y) in
+      let rhs = Linalg.Vec.dot (Linalg.Csr.vec_mul x a) y in
+      Numerics.Float_utils.approx_eq ~rel:1e-9 ~abs:1e-9 lhs rhs)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "linalg",
+    [ Alcotest.test_case "vec basics" `Quick test_vec_basics;
+      Alcotest.test_case "csr roundtrip" `Quick test_csr_roundtrip;
+      Alcotest.test_case "csr duplicates" `Quick test_csr_duplicates;
+      Alcotest.test_case "csr products" `Quick test_csr_products;
+      Alcotest.test_case "csr utilities" `Quick test_csr_utils;
+      Alcotest.test_case "fixpoint solvers" `Quick test_fixpoint_solvers;
+      Alcotest.test_case "power iteration" `Quick test_power_stationary;
+      q prop_dense_roundtrip;
+      q prop_transpose_involution;
+      q prop_bilinear ] )

@@ -1,0 +1,167 @@
+(* Tests for the lumpability quotient. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+(* A pool of [k] independent, identical machines tracked individually:
+   2^k states, each machine failing with rate f and repaired (its own
+   repairer) with rate r.  Labels and rewards depend only on the number
+   of working machines, so the quotient must be the (k+1)-state counting
+   chain. *)
+let machine_pool ~k ~fail ~repair =
+  let n = 1 lsl k in
+  let popcount x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  let triples = ref [] in
+  for s = 0 to n - 1 do
+    for machine = 0 to k - 1 do
+      let bit = 1 lsl machine in
+      if s land bit <> 0 then triples := (s, s lxor bit, fail) :: !triples
+      else triples := (s, s lxor bit, repair) :: !triples
+    done
+  done;
+  let rewards = Array.init n (fun s -> float_of_int (popcount s)) in
+  let mrm = Markov.Mrm.of_transitions ~n !triples ~rewards in
+  let labeling =
+    Markov.Labeling.make ~n
+      [ ("all_up", [ n - 1 ]);
+        ("none_up", [ 0 ]);
+        ( "quorum",
+          List.filter (fun s -> popcount s * 2 > k) (List.init n Fun.id) ) ]
+  in
+  (mrm, labeling, popcount)
+
+let test_pool_collapses () =
+  let k = 4 in
+  let mrm, labeling, popcount = machine_pool ~k ~fail:0.1 ~repair:2.0 in
+  let l = Markov.Lumping.compute mrm labeling in
+  Alcotest.(check int) "counting abstraction" (k + 1) l.Markov.Lumping.n_blocks;
+  (* Blocks are exactly the popcount classes. *)
+  for s = 0 to (1 lsl k) - 1 do
+    for s' = 0 to (1 lsl k) - 1 do
+      let same_block =
+        l.Markov.Lumping.block_of_state.(s) = l.Markov.Lumping.block_of_state.(s')
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "states %d,%d" s s')
+        (popcount s = popcount s') same_block
+    done
+  done;
+  (* Quotient rates: from count c, failures pool to c * fail. *)
+  let block_of_count c =
+    let s = (1 lsl c) - 1 in
+    l.Markov.Lumping.block_of_state.(s)
+  in
+  let q = Markov.Mrm.ctmc l.Markov.Lumping.quotient in
+  check_close "pooled failure rate" (3.0 *. 0.1)
+    (Markov.Ctmc.rate q (block_of_count 3) (block_of_count 2));
+  check_close "pooled repair rate" (2.0 *. 2.0)
+    (Markov.Ctmc.rate q (block_of_count 2) (block_of_count 3));
+  check_close "quotient reward" 3.0
+    (Markov.Mrm.reward l.Markov.Lumping.quotient (block_of_count 3))
+
+let test_transient_preserved () =
+  let mrm, labeling, _ = machine_pool ~k:3 ~fail:0.2 ~repair:1.5 in
+  let l = Markov.Lumping.compute mrm labeling in
+  let n = Markov.Mrm.n_states mrm in
+  let init = Linalg.Vec.unit n (n - 1) in
+  let t = 0.8 in
+  let full = Markov.Transient.distribution (Markov.Mrm.ctmc mrm) ~init ~t in
+  let quotient_pi =
+    Markov.Transient.distribution
+      (Markov.Mrm.ctmc l.Markov.Lumping.quotient)
+      ~init:(Markov.Lumping.lift l init) ~t
+  in
+  let aggregated = Markov.Lumping.lift l full in
+  Array.iteri
+    (fun b expected -> check_close ~tol:1e-10 (Printf.sprintf "block %d" b)
+        expected quotient_pi.(b))
+    aggregated
+
+let test_labels_split () =
+  (* Identical dynamics but distinguishing labels must keep states
+     apart. *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 1.0); (1, 0, 1.0) ]
+      ~rewards:[| 1.0; 1.0 |]
+  in
+  let labeling = Markov.Labeling.make ~n:2 [ ("special", [ 0 ]) ] in
+  let l = Markov.Lumping.compute mrm labeling in
+  Alcotest.(check int) "labels split" 2 l.Markov.Lumping.n_blocks;
+  (* Without the label they merge. *)
+  let l = Markov.Lumping.compute mrm (Markov.Labeling.empty ~n:2) in
+  Alcotest.(check int) "merge" 1 l.Markov.Lumping.n_blocks
+
+let test_rewards_split () =
+  let mrm =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 1.0); (1, 0, 1.0) ]
+      ~rewards:[| 1.0; 2.0 |]
+  in
+  let l = Markov.Lumping.compute mrm (Markov.Labeling.empty ~n:2) in
+  Alcotest.(check int) "rewards split" 2 l.Markov.Lumping.n_blocks
+
+let test_rates_split () =
+  (* Same labels/rewards but different dynamics: a fast and a slow state
+     must not merge. *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3
+      [ (0, 2, 1.0); (1, 2, 5.0); (2, 0, 1.0) ]
+      ~rewards:[| 1.0; 1.0; 0.0 |]
+  in
+  let l = Markov.Lumping.compute mrm (Markov.Labeling.empty ~n:3) in
+  Alcotest.(check bool) "different exit rates split" true
+    (l.Markov.Lumping.block_of_state.(0) <> l.Markov.Lumping.block_of_state.(1))
+
+let test_lift_lower () =
+  let mrm, labeling, _ = machine_pool ~k:2 ~fail:0.3 ~repair:1.0 in
+  let l = Markov.Lumping.compute mrm labeling in
+  let v = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let lifted = Markov.Lumping.lift l v in
+  check_close "mass preserved" (Linalg.Vec.sum v) (Linalg.Vec.sum lifted);
+  let w = Array.init l.Markov.Lumping.n_blocks float_of_int in
+  let lowered = Markov.Lumping.lower l w in
+  Array.iteri
+    (fun s b -> check_close "lower" w.(b) lowered.(s))
+    l.Markov.Lumping.block_of_state
+
+(* The property that matters: CSRL answers computed on the quotient equal
+   the answers on the full model. *)
+let test_checking_commutes () =
+  let mrm, labeling, _ = machine_pool ~k:3 ~fail:0.25 ~repair:2.0 in
+  let l = Markov.Lumping.compute mrm labeling in
+  let full_ctx = Checker.make ~epsilon:1e-11 mrm labeling in
+  let quotient_ctx =
+    Checker.make ~epsilon:1e-11 l.Markov.Lumping.quotient
+      l.Markov.Lumping.labeling
+  in
+  List.iter
+    (fun text ->
+      let q = Logic.Parser.query text in
+      match Checker.eval_query full_ctx q, Checker.eval_query quotient_ctx q with
+      | Checker.Numeric full, Checker.Numeric quotient ->
+        let lowered = Markov.Lumping.lower l quotient in
+        Array.iteri
+          (fun s expected ->
+            check_close ~tol:1e-8
+              (Printf.sprintf "%s at %d" text s)
+              expected full.(s))
+          lowered
+      | _ -> Alcotest.fail "expected numeric")
+    [ "P=? ( F[t<=2] none_up )";
+      "P=? ( quorum U[t<=4][r<=6] none_up )";
+      "S=? ( all_up )";
+      "R=? ( C[t<=3] )" ]
+
+let suite =
+  ( "lumping",
+    [ Alcotest.test_case "pool collapses to counting" `Quick
+        test_pool_collapses;
+      Alcotest.test_case "transient preserved" `Quick test_transient_preserved;
+      Alcotest.test_case "labels split" `Quick test_labels_split;
+      Alcotest.test_case "rewards split" `Quick test_rewards_split;
+      Alcotest.test_case "rates split" `Quick test_rates_split;
+      Alcotest.test_case "lift and lower" `Quick test_lift_lower;
+      Alcotest.test_case "checking commutes" `Quick test_checking_commutes ] )

@@ -1,0 +1,374 @@
+(* Tests for CTMCs, labelings, transient/steady-state analysis, model
+   transforms, MRMs and the duality transform. *)
+
+let check_close ?(tol = 1e-10) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let check_vec ?(tol = 1e-10) what expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length mismatch" what;
+  Array.iteri
+    (fun i e -> check_close ~tol (Printf.sprintf "%s[%d]" what i) e actual.(i))
+    expected
+
+(* A two-state repairable component: up --(mu)--> down --(nu)--> up. *)
+let two_state mu nu =
+  Markov.Ctmc.of_transitions ~n:2 [ (0, 1, mu); (1, 0, nu) ]
+
+let test_ctmc_basics () =
+  let c = two_state 2.0 3.0 in
+  Alcotest.(check int) "states" 2 (Markov.Ctmc.n_states c);
+  check_close "rate" 2.0 (Markov.Ctmc.rate c 0 1);
+  check_close "exit 0" 2.0 (Markov.Ctmc.exit_rate c 0);
+  check_close "exit 1" 3.0 (Markov.Ctmc.exit_rate c 1);
+  check_close "max exit" 3.0 (Markov.Ctmc.max_exit_rate c);
+  Alcotest.(check bool) "not absorbing" false (Markov.Ctmc.is_absorbing c 0);
+  let q = Markov.Ctmc.generator c in
+  check_close "generator diagonal" (-2.0) (Linalg.Csr.get q 0 0);
+  check_close "generator row sum" 0.0 (Linalg.Csr.row_sum q 0);
+  Alcotest.check_raises "negative rate rejected"
+    (Invalid_argument "Ctmc.make: invalid rate -1 at (0,1)") (fun () ->
+      ignore (Markov.Ctmc.of_transitions ~n:2 [ (0, 1, -1.0) ]))
+
+let test_uniformized () =
+  let c = two_state 2.0 3.0 in
+  let lambda, p = Markov.Ctmc.uniformized c in
+  check_close "lambda is max exit" 3.0 lambda;
+  (* Stochastic rows. *)
+  check_close "row 0" 1.0 (Linalg.Csr.row_sum p 0);
+  check_close "row 1" 1.0 (Linalg.Csr.row_sum p 1);
+  check_close "self loop" (1.0 -. (2.0 /. 3.0)) (Linalg.Csr.get p 0 0);
+  let lambda', _ = Markov.Ctmc.uniformized ~rate:10.0 c in
+  check_close "explicit rate" 10.0 lambda';
+  Alcotest.check_raises "rate below max"
+    (Invalid_argument "Ctmc.uniformized: rate below the maximal exit rate")
+    (fun () -> ignore (Markov.Ctmc.uniformized ~rate:1.0 c))
+
+let test_embedded () =
+  let c =
+    Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
+  in
+  let e = Markov.Ctmc.embedded c in
+  check_close "jump prob" 0.25 (Linalg.Csr.get e 0 1);
+  check_close "jump prob 2" 0.75 (Linalg.Csr.get e 0 2);
+  (* Absorbing states get a self loop. *)
+  check_close "absorbing self" 1.0 (Linalg.Csr.get e 1 1)
+
+(* Pure death: up --(mu)--> down.  P(still up at t) = exp(-mu t). *)
+let test_transient_pure_death () =
+  let mu = 1.7 in
+  let c = Markov.Ctmc.of_transitions ~n:2 [ (0, 1, mu) ] in
+  List.iter
+    (fun t ->
+      let pi =
+        Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t
+      in
+      check_close ~tol:1e-11 (Printf.sprintf "survive t=%g" t)
+        (Float.exp (-.mu *. t)) pi.(0);
+      check_close ~tol:1e-11 (Printf.sprintf "dead t=%g" t)
+        (1.0 -. Float.exp (-.mu *. t)) pi.(1))
+    [ 0.0; 0.1; 1.0; 5.0 ]
+
+(* Two-state repairable: closed-form transient
+   P(up at t | up at 0) = nu/(mu+nu) + mu/(mu+nu) exp(-(mu+nu) t). *)
+let test_transient_repairable () =
+  let mu = 2.0 and nu = 5.0 in
+  let c = two_state mu nu in
+  List.iter
+    (fun t ->
+      let pi = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t in
+      let expected =
+        (nu /. (mu +. nu)) +. (mu /. (mu +. nu) *. Float.exp (-.(mu +. nu) *. t))
+      in
+      check_close ~tol:1e-11 (Printf.sprintf "up at t=%g" t) expected pi.(0);
+      check_close ~tol:1e-11 "distribution" 1.0 (Linalg.Vec.sum pi))
+    [ 0.05; 0.5; 2.0; 10.0 ]
+
+let test_transient_large_horizon () =
+  (* Large lambda*t (the case study's 468) must not underflow. *)
+  let c = two_state 9.75 9.75 in
+  let pi = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t:48.0 in
+  check_close ~tol:1e-9 "long-run split" 0.5 pi.(0);
+  check_close "mass" 1.0 (Linalg.Vec.sum pi)
+
+let test_reachability_all_consistency () =
+  (* For each start state s, reachability_all agrees with a forward pass
+     from the point distribution. *)
+  let c =
+    Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (1, 0, 0.5); (1, 2, 0.25) ]
+  in
+  let goal = [| false; false; true |] in
+  let t = 1.3 in
+  let all = Markov.Transient.reachability_all c ~goal ~t in
+  for s = 0 to 2 do
+    let direct =
+      Markov.Transient.reachability c ~init:(Linalg.Vec.unit 3 s) ~goal ~t
+    in
+    check_close ~tol:1e-10 (Printf.sprintf "state %d" s) direct all.(s)
+  done
+
+let test_distribution_many () =
+  let c = two_state 1.0 1.0 in
+  let results =
+    Markov.Transient.distribution_many c ~init:[| 1.0; 0.0 |]
+      ~times:[ 0.5; 0.1 ]
+  in
+  Alcotest.(check int) "two results" 2 (List.length results);
+  List.iter
+    (fun (t, pi) ->
+      let direct = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t in
+      check_vec "matches single" direct pi)
+    results
+
+let test_steady_irreducible () =
+  let mu = 2.0 and nu = 5.0 in
+  let c = two_state mu nu in
+  let pi = Markov.Steady.stationary_irreducible c in
+  check_vec ~tol:1e-9 "stationary"
+    [| nu /. (mu +. nu); mu /. (mu +. nu) |]
+    pi
+
+let test_steady_reducible () =
+  (* 0 splits to absorbing 1 (rate 1) and absorbing 2 (rate 3): limiting
+     distribution from 0 is (0, 1/4, 3/4). *)
+  let c = Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ] in
+  let pi = Markov.Steady.distribution c ~init:[| 1.0; 0.0; 0.0 |] in
+  check_vec ~tol:1e-9 "absorption split" [| 0.0; 0.25; 0.75 |] pi;
+  let h = Markov.Steady.absorption_probabilities c in
+  Alcotest.(check int) "two bsccs" 2 (Array.length h);
+  (* Each state's absorption probabilities over all BSCCs sum to one. *)
+  for s = 0 to 2 do
+    let total = Array.fold_left (fun acc v -> acc +. v.(s)) 0.0 h in
+    check_close ~tol:1e-9 (Printf.sprintf "total from %d" s) 1.0 total
+  done
+
+let test_steady_mixed () =
+  (* A transient state feeding a 2-state recurrent class: the limit is the
+     stationary distribution of the class. *)
+  let c =
+    Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (1, 2, 2.0); (2, 1, 6.0) ]
+  in
+  let pi = Markov.Steady.distribution c ~init:[| 1.0; 0.0; 0.0 |] in
+  check_vec ~tol:1e-9 "limit" [| 0.0; 0.75; 0.25 |] pi
+
+let test_labeling () =
+  let l = Markov.Labeling.make ~n:3 [ ("a", [ 0; 2 ]); ("b", [ 1 ]) ] in
+  Alcotest.(check (list string)) "props" [ "a"; "b" ]
+    (Markov.Labeling.propositions l);
+  Alcotest.(check (list bool)) "sat a" [ true; false; true ]
+    (Array.to_list (Markov.Labeling.sat l "a"));
+  Alcotest.(check bool) "holds" true (Markov.Labeling.holds l "b" 1);
+  Alcotest.(check (list string)) "labels_of_state" [ "a" ]
+    (Markov.Labeling.labels_of_state l 2);
+  Alcotest.check_raises "unknown prop" (Markov.Labeling.Unknown_proposition "z")
+    (fun () -> ignore (Markov.Labeling.sat l "z"));
+  let l2 = Markov.Labeling.add l "c" [ 0 ] in
+  Alcotest.(check bool) "functional add" false (Markov.Labeling.has_proposition l "c");
+  Alcotest.(check bool) "added" true (Markov.Labeling.has_proposition l2 "c");
+  (* restrict: merge states 0 and 1 into new 0, keep 2 as new 1. *)
+  let r = Markov.Labeling.restrict l ~keep:[| 0; 0; 1 |] in
+  Alcotest.(check (list bool)) "restricted a" [ true; true ]
+    (Array.to_list (Markov.Labeling.sat r "a"));
+  Alcotest.(check (list bool)) "restricted b" [ true; false ]
+    (Array.to_list (Markov.Labeling.sat r "b"))
+
+let test_make_absorbing () =
+  let c = two_state 2.0 3.0 in
+  let c' = Markov.Transform.make_absorbing c ~absorb:[| false; true |] in
+  check_close "kept rate" 2.0 (Markov.Ctmc.rate c' 0 1);
+  Alcotest.(check bool) "absorbed" true (Markov.Ctmc.is_absorbing c' 1)
+
+let test_amalgamate () =
+  (* 0 -> 1 (rate 1), 0 -> 2 (rate 2), 0 -> 3 (rate 3); group 1 and 2. *)
+  let c =
+    Markov.Ctmc.of_transitions ~n:4 [ (0, 1, 1.0); (0, 2, 2.0); (0, 3, 3.0) ]
+  in
+  let c', map =
+    Markov.Transform.amalgamate_absorbing c ~groups:[| -1; 0; 0; 1 |]
+      ~group_count:2
+  in
+  Alcotest.(check int) "states" 3 (Markov.Ctmc.n_states c');
+  Alcotest.(check (list int)) "map" [ 0; 1; 1; 2 ] (Array.to_list map);
+  check_close "merged rate" 3.0 (Markov.Ctmc.rate c' 0 1);
+  check_close "other rate" 3.0 (Markov.Ctmc.rate c' 0 2);
+  Alcotest.check_raises "grouping a non-absorbing state"
+    (Invalid_argument
+       "Transform.amalgamate_absorbing: state 0 is grouped but not absorbing")
+    (fun () ->
+      ignore
+        (Markov.Transform.amalgamate_absorbing c ~groups:[| 0; -1; -1; -1 |]
+           ~group_count:1))
+
+let test_mrm () =
+  let m =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (1, 2, 1.0) ]
+      ~rewards:[| 2.0; 0.0; 5.0 |]
+  in
+  check_close "reward" 5.0 (Markov.Mrm.reward m 2);
+  check_close "max reward" 5.0 (Markov.Mrm.max_reward m);
+  Alcotest.(check (list (float 0.0))) "levels include 0" [ 0.0; 2.0; 5.0 ]
+    (Array.to_list (Markov.Mrm.reward_levels m));
+  Alcotest.(check bool) "integral" true (Markov.Mrm.all_rewards_integral m);
+  let m2 = Markov.Mrm.map_rewards (fun _ r -> r +. 0.5) m in
+  Alcotest.(check bool) "non-integral" false (Markov.Mrm.all_rewards_integral m2);
+  (* Levels always contain zero even if no state earns zero. *)
+  let m3 =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 1.0) ] ~rewards:[| 3.0; 4.0 |]
+  in
+  Alcotest.(check (list (float 0.0))) "zero prepended" [ 0.0; 3.0; 4.0 ]
+    (Array.to_list (Markov.Mrm.reward_levels m3));
+  Alcotest.check_raises "negative reward"
+    (Invalid_argument "Mrm.make: invalid reward -1 at state 0") (fun () ->
+      ignore
+        (Markov.Mrm.of_transitions ~n:1 [] ~rewards:[| -1.0 |]))
+
+let test_duality () =
+  let m =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 4.0) ] ~rewards:[| 2.0; 0.0 |]
+  in
+  Alcotest.(check bool) "dualizable" true (Markov.Duality.is_dualizable m);
+  let d = Markov.Duality.dual m in
+  check_close "dual rate" 2.0 (Markov.Ctmc.rate (Markov.Mrm.ctmc d) 0 1);
+  check_close "dual reward" 0.5 (Markov.Mrm.reward d 0);
+  check_close "absorbing zero-reward stays" 0.0 (Markov.Mrm.reward d 1);
+  (* Involution on the dualizable part. *)
+  let dd = Markov.Duality.dual d in
+  check_close "involution rate" 4.0 (Markov.Ctmc.rate (Markov.Mrm.ctmc dd) 0 1);
+  check_close "involution reward" 2.0 (Markov.Mrm.reward dd 0);
+  let bad =
+    Markov.Mrm.of_transitions ~n:2 [ (0, 1, 1.0) ] ~rewards:[| 0.0; 1.0 |]
+  in
+  Alcotest.(check bool) "not dualizable" false (Markov.Duality.is_dualizable bad);
+  Alcotest.check_raises "dual rejects"
+    (Invalid_argument
+       "Duality.dual: needs positive rewards on non-absorbing states and no \
+        impulse rewards")
+    (fun () -> ignore (Markov.Duality.dual bad))
+
+(* The duality theorem itself, numerically: for the paper's P2 recipe,
+   time-bounded reachability on the dual equals reward-bounded
+   reachability on the original (here both computed by independent
+   means — the dual by transient analysis, the original by Sericola). *)
+let test_duality_theorem () =
+  let m =
+    Markov.Mrm.of_transitions ~n:3
+      [ (0, 1, 1.5); (1, 0, 0.75); (1, 2, 0.5) ]
+      ~rewards:[| 2.0; 3.0; 0.0 |]
+  in
+  let r_bound = 4.0 in
+  let dual = Markov.Duality.dual m in
+  let goal = [| false; false; true |] in
+  let via_dual =
+    Markov.Transient.reachability ~epsilon:1e-13 (Markov.Mrm.ctmc dual)
+      ~init:[| 1.0; 0.0; 0.0 |] ~goal ~t:r_bound
+  in
+  (* Reward-bounded reachability with a huge time bound approximates the
+     time-unbounded quantity. *)
+  let p =
+    Perf.Problem.of_initial_state m ~init:0 ~goal ~time_bound:400.0
+      ~reward_bound:r_bound
+  in
+  let via_sericola = Perf.Sericola.solve ~epsilon:1e-12 p in
+  check_close ~tol:1e-7 "duality theorem" via_dual via_sericola
+
+let test_stationary_detection () =
+  (* A long horizon on the case-study model: the flushed series must match
+     both the undetected series and the true stationary distribution. *)
+  let m = Models.Adhoc.mrm () in
+  let c = Markov.Mrm.ctmc m in
+  let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
+  let t = 200.0 in
+  let plain = Markov.Transient.distribution ~epsilon:1e-12 c ~init ~t in
+  let detected =
+    Markov.Transient.distribution ~epsilon:1e-12 ~stationary_detection:1e-14 c
+      ~init ~t
+  in
+  check_vec ~tol:1e-9 "detection matches plain" plain detected;
+  let stationary = Markov.Steady.stationary_irreducible c in
+  check_vec ~tol:1e-7 "long horizon reaches stationarity" stationary detected;
+  (* Backward direction too. *)
+  let goal = Array.init 9 (fun s -> s = 8) in
+  let plain = Markov.Transient.reachability_all ~epsilon:1e-12 c ~goal ~t in
+  let detected =
+    Markov.Transient.reachability_all ~epsilon:1e-12
+      ~stationary_detection:1e-14 c ~goal ~t
+  in
+  check_vec ~tol:1e-9 "backward detection" plain detected;
+  (* Short horizons must be unaffected even with a coarse threshold. *)
+  let t = 0.05 in
+  let plain = Markov.Transient.distribution ~epsilon:1e-12 c ~init ~t in
+  let detected =
+    Markov.Transient.distribution ~epsilon:1e-12 ~stationary_detection:1e-12 c
+      ~init ~t
+  in
+  check_vec ~tol:1e-9 "short horizon unaffected" plain detected
+
+(* ---------------- property tests ---------------------------------- *)
+
+let gen_ctmc =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* edges =
+      list_size (int_range 1 12)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+           (float_range 0.1 5.0))
+    in
+    return (n, edges))
+
+let prop_transient_is_distribution =
+  QCheck2.Test.make ~count:60 ~name:"transient result is a distribution"
+    QCheck2.Gen.(pair gen_ctmc (float_range 0.0 10.0))
+    (fun ((n, edges), t) ->
+      let c = Markov.Ctmc.of_transitions ~n edges in
+      let pi = Markov.Transient.distribution c ~init:(Linalg.Vec.unit n 0) ~t in
+      Linalg.Vec.is_distribution ~tol:1e-8 pi)
+
+let prop_uniformized_stochastic =
+  QCheck2.Test.make ~count:60 ~name:"uniformised matrix is stochastic" gen_ctmc
+    (fun (n, edges) ->
+      let c = Markov.Ctmc.of_transitions ~n edges in
+      let _, p = Markov.Ctmc.uniformized c in
+      List.for_all
+        (fun i ->
+          Numerics.Float_utils.approx_eq ~rel:1e-9 1.0 (Linalg.Csr.row_sum p i))
+        (List.init n Fun.id))
+
+let prop_steady_fixed_point =
+  QCheck2.Test.make ~count:40 ~name:"steady distribution is a fixed point"
+    gen_ctmc (fun (n, edges) ->
+      let c = Markov.Ctmc.of_transitions ~n edges in
+      let pi = Markov.Steady.distribution c ~init:(Linalg.Vec.unit n 0) in
+      Linalg.Vec.is_distribution ~tol:1e-6 pi
+      &&
+      (* pi Q = 0, i.e. pi P = pi for the uniformised P. *)
+      let _, p = Markov.Ctmc.uniformized c in
+      Linalg.Vec.linf_dist pi (Linalg.Csr.vec_mul pi p) < 1e-6)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "markov",
+    [ Alcotest.test_case "ctmc basics" `Quick test_ctmc_basics;
+      Alcotest.test_case "uniformized" `Quick test_uniformized;
+      Alcotest.test_case "embedded" `Quick test_embedded;
+      Alcotest.test_case "transient pure death" `Quick test_transient_pure_death;
+      Alcotest.test_case "transient repairable" `Quick test_transient_repairable;
+      Alcotest.test_case "transient large horizon" `Quick
+        test_transient_large_horizon;
+      Alcotest.test_case "reachability_all" `Quick
+        test_reachability_all_consistency;
+      Alcotest.test_case "distribution_many" `Quick test_distribution_many;
+      Alcotest.test_case "steady irreducible" `Quick test_steady_irreducible;
+      Alcotest.test_case "steady reducible" `Quick test_steady_reducible;
+      Alcotest.test_case "steady mixed" `Quick test_steady_mixed;
+      Alcotest.test_case "labeling" `Quick test_labeling;
+      Alcotest.test_case "make_absorbing" `Quick test_make_absorbing;
+      Alcotest.test_case "amalgamate" `Quick test_amalgamate;
+      Alcotest.test_case "mrm" `Quick test_mrm;
+      Alcotest.test_case "duality transform" `Quick test_duality;
+      Alcotest.test_case "duality theorem" `Quick test_duality_theorem;
+      Alcotest.test_case "stationary detection" `Quick
+        test_stationary_detection;
+      q prop_transient_is_distribution;
+      q prop_uniformized_stochastic;
+      q prop_steady_fixed_point ] )

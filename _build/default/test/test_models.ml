@@ -1,0 +1,203 @@
+(* Tests for the bundled example models. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let test_adhoc_structure () =
+  let m = Models.Adhoc.mrm () in
+  Alcotest.(check int) "nine states" 9 (Markov.Mrm.n_states m);
+  (* Every state is recurrent, as the paper says: a single BSCC covering
+     the whole space. *)
+  let g = Markov.Ctmc.graph (Markov.Mrm.ctmc m) in
+  let scc = Graph.Scc.compute g in
+  Alcotest.(check int) "irreducible" 1 scc.Graph.Scc.count;
+  (* Exit rate of the initial state is the 19.5/h that fixes the paper's
+     uniformisation constant (lambda t = 468). *)
+  check_close "initial exit rate" 19.5
+    (Markov.Ctmc.exit_rate (Markov.Mrm.ctmc m) Models.Adhoc.initial_state);
+  (* The full model's fastest state is (initiated, adhoc-active):
+     connect + give up + reconfirm.  After the Theorem 1 reduction the
+     initial state's 19.5/h dominates, giving the paper's lambda t = 468
+     (tested in test_case_study). *)
+  check_close "full-model max exit" 435.0
+    (Markov.Ctmc.max_exit_rate (Markov.Mrm.ctmc m))
+
+let test_adhoc_rewards () =
+  let m = Models.Adhoc.mrm () in
+  let reward_of name =
+    let l = Models.Adhoc.labeling () in
+    let mask name = Markov.Labeling.sat l name in
+    match name with
+    | `Doze -> Markov.Mrm.reward m Models.Adhoc.(index Doze)
+    | `Both_idle ->
+      let idle = mask "call_idle" and a = mask "adhoc_idle" in
+      let s = ref (-1) in
+      Array.iteri (fun i b -> if b && a.(i) then s := i) idle;
+      Markov.Mrm.reward m !s
+  in
+  check_close "doze power" 20.0 (reward_of `Doze);
+  check_close "both idle power" 100.0 (reward_of `Both_idle);
+  (* Additivity: active call + active ad hoc = 200 + 150. *)
+  let l = Models.Adhoc.labeling () in
+  let ca = Markov.Labeling.sat l "call_active" in
+  let aa = Markov.Labeling.sat l "adhoc_active" in
+  Array.iteri
+    (fun s b -> if b && aa.(s) then check_close "busy power" 350.0 (Markov.Mrm.reward m s))
+    ca
+
+let test_adhoc_state_names () =
+  Alcotest.(check string) "doze name" "doze" (Models.Adhoc.state_name 8);
+  Alcotest.(check string) "initial name" "call_idle+adhoc_idle"
+    (Models.Adhoc.state_name Models.Adhoc.initial_state);
+  (* index and state_of_index are inverse. *)
+  for i = 0 to Models.Adhoc.n_states - 1 do
+    Alcotest.(check int) "roundtrip" i
+      (Models.Adhoc.index (Models.Adhoc.state_of_index i))
+  done;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Adhoc.state_of_index: out of range") (fun () ->
+      ignore (Models.Adhoc.state_of_index 9))
+
+let test_adhoc_table1 () =
+  (* The Table 1 listing must be consistent: rate = 60 / mean-minutes
+     (or 3600 / mean-seconds). *)
+  List.iter
+    (fun (name, rate, mean) ->
+      let expected =
+        match String.split_on_char ' ' mean with
+        | [ x; "sec" ] -> 3600.0 /. float_of_string x
+        | [ x; "min" ] -> 60.0 /. float_of_string x
+        | _ -> Alcotest.failf "unparsed mean %S" mean
+      in
+      check_close name expected rate)
+    Models.Adhoc.Rates.all;
+  Alcotest.(check int) "eleven transitions" 11
+    (List.length Models.Adhoc.Rates.all);
+  Alcotest.(check int) "seven places" 7 (List.length Models.Adhoc.Power.all)
+
+let test_multiprocessor () =
+  let c = Models.Multiprocessor.default in
+  let m = Models.Multiprocessor.mrm c in
+  Alcotest.(check int) "states" 5 (Markov.Mrm.n_states m);
+  (* Failure pooling: from 4 processors the failure rate is 4x. *)
+  check_close "pooled failures" (4.0 /. 500.0)
+    (Markov.Ctmc.rate (Markov.Mrm.ctmc m) 4 3);
+  check_close "single repairer" 0.5 (Markov.Ctmc.rate (Markov.Mrm.ctmc m) 0 1);
+  (* Capacity caps the reward. *)
+  check_close "capped reward" 3.0 (Markov.Mrm.reward m 4);
+  check_close "uncapped reward" 2.0 (Markov.Mrm.reward m 2);
+  let l = Models.Multiprocessor.labeling c in
+  Alcotest.(check bool) "down" true (Markov.Labeling.holds l "down" 0);
+  Alcotest.(check bool) "full" true (Markov.Labeling.holds l "full" 4);
+  Alcotest.(check bool) "degraded" true (Markov.Labeling.holds l "degraded" 2);
+  (* Performability problem: the goal is everything. *)
+  let p = Models.Multiprocessor.performability c ~t:10.0 ~r:30.0 in
+  Alcotest.(check bool) "goal universal" true
+    (Array.for_all Fun.id p.Perf.Problem.goal)
+
+let test_cluster () =
+  let c = Models.Cluster.default in
+  let m = Models.Cluster.mrm c in
+  Alcotest.(check int) "states" 18 (Markov.Mrm.n_states m);
+  let init = Models.Cluster.initial_state c in
+  check_close "full power" 25.0 (Markov.Mrm.reward m init);
+  let l = Models.Cluster.labeling c in
+  Alcotest.(check bool) "initially available" true
+    (Markov.Labeling.holds l "available" init);
+  (* Below quorum is not available even with the switch up. *)
+  let low = Models.Cluster.index c ~workstations_up:4 ~switch_up:true in
+  Alcotest.(check bool) "below quorum" false
+    (Markov.Labeling.holds l "available" low);
+  let no_switch = Models.Cluster.index c ~workstations_up:8 ~switch_up:false in
+  Alcotest.(check bool) "switch down" false
+    (Markov.Labeling.holds l "available" no_switch);
+  (* Switch repair moves up. *)
+  check_close "switch repair" 1.0
+    (Markov.Ctmc.rate (Markov.Mrm.ctmc m) no_switch init)
+
+let test_queue () =
+  let c = Models.Queue_srn.default in
+  let m = Models.Queue_srn.mrm c in
+  (* (K+1) queue levels x 2 server states. *)
+  Alcotest.(check int) "states" (2 * (c.Models.Queue_srn.capacity + 1))
+    (Markov.Mrm.n_states m);
+  let s number up = Models.Queue_srn.state_of c ~jobs:number ~server_up:up in
+  let chain = Markov.Mrm.ctmc m in
+  check_close "arrival" 2.0 (Markov.Ctmc.rate chain (s 0 true) (s 1 true));
+  check_close "service" 3.0 (Markov.Ctmc.rate chain (s 2 true) (s 1 true));
+  check_close "no service when down" 0.0
+    (Markov.Ctmc.rate chain (s 2 false) (s 1 false));
+  check_close "failure" 0.01 (Markov.Ctmc.rate chain (s 1 true) (s 1 false));
+  check_close "repair" 2.0 (Markov.Ctmc.rate chain (s 1 false) (s 1 true));
+  (* Inhibitor: no arrivals at capacity. *)
+  check_close "capacity inhibitor" 0.0
+    (Markov.Ctmc.rate chain (s c.Models.Queue_srn.capacity true)
+       (s c.Models.Queue_srn.capacity true));
+  Alcotest.(check bool) "full is near-absorbing upward" true
+    (Markov.Ctmc.exit_rate chain (s c.Models.Queue_srn.capacity true) < 4.0);
+  (* Rewards: holding + server power. *)
+  check_close "reward" ((3.0 *. 1.0) +. 5.0) (Markov.Mrm.reward m (s 3 true));
+  check_close "reward down" 3.0 (Markov.Mrm.reward m (s 3 false));
+  let l = Models.Queue_srn.labeling c in
+  Alcotest.(check bool) "idle" true (Markov.Labeling.holds l "idle" (s 0 true));
+  Alcotest.(check bool) "full" true
+    (Markov.Labeling.holds l "full" (s c.Models.Queue_srn.capacity false));
+  (* Discouraged arrivals: marking-dependent rate lambda / (1 + q). *)
+  let c' = { c with Models.Queue_srn.discouraged_arrivals = true } in
+  let m' = Models.Queue_srn.mrm c' in
+  let s' number up = Models.Queue_srn.state_of c' ~jobs:number ~server_up:up in
+  check_close "discouraged rate" (2.0 /. 4.0)
+    (Markov.Ctmc.rate (Markov.Mrm.ctmc m') (s' 3 true) (s' 4 true));
+  (* Sanity: M/M/1/K with a perfectly reliable-ish server approximates the
+     analytic blocking probability.  With failures so rare, compare
+     against the birth-death steady state of rho = 2/3. *)
+  let pi = Markov.Steady.stationary_irreducible (Markov.Mrm.ctmc m) in
+  let rho = 2.0 /. 3.0 in
+  let z =
+    let acc = ref 0.0 in
+    for k = 0 to c.Models.Queue_srn.capacity do
+      acc := !acc +. (rho ** float_of_int k)
+    done;
+    !acc
+  in
+  let blocking = (rho ** float_of_int c.Models.Queue_srn.capacity) /. z in
+  let full_mass =
+    pi.(s c.Models.Queue_srn.capacity true)
+    +. pi.(s c.Models.Queue_srn.capacity false)
+  in
+  check_close ~tol:2e-2 "blocking probability" blocking full_mass
+
+let test_random_mrm () =
+  let c = Models.Random_mrm.default in
+  let a = Models.Random_mrm.generate ~seed:99L c in
+  let b = Models.Random_mrm.generate ~seed:99L c in
+  Alcotest.(check bool) "deterministic" true
+    (Linalg.Csr.equal_approx
+       (Markov.Ctmc.rates (Markov.Mrm.ctmc a))
+       (Markov.Ctmc.rates (Markov.Mrm.ctmc b)));
+  Alcotest.(check bool) "integral rewards" true
+    (Markov.Mrm.all_rewards_integral a);
+  let p = Models.Random_mrm.generate_problem ~seed:7L c in
+  Alcotest.(check bool) "has goal" true (Array.exists Fun.id p.Perf.Problem.goal);
+  Alcotest.(check bool) "positive time" true (p.Perf.Problem.time_bound > 0.0);
+  (* Goal states are absorbing with zero reward (Theorem 1 normal form). *)
+  Array.iteri
+    (fun s in_goal ->
+      if in_goal then begin
+        Alcotest.(check bool) "goal absorbing" true
+          (Markov.Ctmc.is_absorbing (Markov.Mrm.ctmc p.Perf.Problem.mrm) s);
+        check_close "goal reward" 0.0 (Markov.Mrm.reward p.Perf.Problem.mrm s)
+      end)
+    p.Perf.Problem.goal
+
+let suite =
+  ( "models",
+    [ Alcotest.test_case "adhoc structure" `Quick test_adhoc_structure;
+      Alcotest.test_case "adhoc rewards" `Quick test_adhoc_rewards;
+      Alcotest.test_case "adhoc state names" `Quick test_adhoc_state_names;
+      Alcotest.test_case "adhoc Table 1 consistency" `Quick test_adhoc_table1;
+      Alcotest.test_case "multiprocessor" `Quick test_multiprocessor;
+      Alcotest.test_case "cluster" `Quick test_cluster;
+      Alcotest.test_case "queue" `Quick test_queue;
+      Alcotest.test_case "random mrm" `Quick test_random_mrm ] )

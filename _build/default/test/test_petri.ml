@@ -1,0 +1,179 @@
+(* Tests for the stochastic-reward-net frontend. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+(* A tiny producer/consumer net: produce puts tokens in a buffer of
+   capacity 2 (inhibitor arc), consume drains it. *)
+let producer_consumer () =
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let buffer = place b "buffer" in
+  transition b ~name:"produce" ~rate:2.0 ~inhibitors:[ (buffer, 2) ]
+    ~inputs:[] ~outputs:[ (buffer, 1) ] ();
+  transition b ~name:"consume" ~rate:1.0 ~inputs:[ (buffer, 1) ] ~outputs:[] ();
+  (build b, buffer)
+
+let test_builder_and_firing () =
+  let net, buffer = producer_consumer () in
+  Alcotest.(check int) "places" 1 (Petri.Srn.n_places net);
+  Alcotest.(check string) "place name" "buffer" (Petri.Srn.place_name net buffer);
+  Alcotest.(check bool) "find_place" true
+    (Petri.Srn.find_place net "buffer" = buffer);
+  let m0 = [| 0 |] in
+  let enabled = Petri.Srn.enabled_transitions net m0 in
+  Alcotest.(check (list string)) "only produce enabled" [ "produce" ]
+    (List.map (fun (t, _) -> t.Petri.Srn.name) enabled);
+  let produce = List.hd (Petri.Srn.transitions net) in
+  let m1 = Petri.Srn.fire net produce m0 in
+  Alcotest.(check int) "token produced" 1 m1.(0);
+  let m2 = Petri.Srn.fire net produce m1 in
+  (* Inhibitor: at 2 tokens, produce is disabled. *)
+  Alcotest.(check bool) "inhibited" false (Petri.Srn.enabled net produce m2);
+  Alcotest.check_raises "firing disabled transition"
+    (Invalid_argument "Srn.fire: \"produce\" is not enabled") (fun () ->
+      ignore (Petri.Srn.fire net produce m2))
+
+let test_guard_and_rate_fn () =
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let p = place b "p" in
+  (* Marking-dependent rate and a guard cutting off above 3 tokens. *)
+  transition b ~name:"grow" ~rate:1.0
+    ~rate_fn:(fun m -> 1.0 +. float_of_int m.((p :> int)))
+    ~guard:(fun m -> m.((p :> int)) < 3)
+    ~inputs:[] ~outputs:[ (p, 1) ] ();
+  let net = build b in
+  let space = Petri.Reachability.explore net ~initial:[| 0 |] in
+  Alcotest.(check int) "guard bounds the space" 4
+    (Petri.Reachability.n_states space);
+  let ctmc = Petri.Reachability.ctmc space in
+  check_close "marking-dependent rate" 2.0
+    (Markov.Ctmc.rate ctmc 1 2)
+
+let test_duplicate_place_rejected () =
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let _ = place b "x" in
+  Alcotest.check_raises "duplicate place"
+    (Invalid_argument "Srn.Builder.place: duplicate place \"x\"") (fun () ->
+      ignore (place b "x"))
+
+let test_exploration_cap () =
+  (* An unbounded net must hit the cap. *)
+  let open Petri.Srn.Builder in
+  let b = create () in
+  let p = place b "p" in
+  transition b ~name:"grow" ~rate:1.0 ~inputs:[] ~outputs:[ (p, 1) ] ();
+  let net = build b in
+  Alcotest.check_raises "cap" (Petri.Reachability.Too_many_states 50)
+    (fun () ->
+      ignore (Petri.Reachability.explore ~max_states:50 net ~initial:[| 0 |]))
+
+let test_adhoc_reachability () =
+  let space = Models.Adhoc_srn.state_space () in
+  Alcotest.(check int) "nine markings" 9 (Petri.Reachability.n_states space);
+  (* Initial marking is state 0. *)
+  Alcotest.(check (option int)) "initial is 0" (Some 0)
+    (Petri.Reachability.state_of_marking space
+       (Models.Adhoc_srn.initial_marking ()));
+  let labeling = Petri.Reachability.labeling space in
+  Alcotest.(check bool) "call_idle labels initial" true
+    (Markov.Labeling.holds labeling "call_idle" 0);
+  Alcotest.(check bool) "doze exists" true
+    (Markov.Labeling.has_proposition labeling "doze")
+
+(* The SRN-generated MRM must be isomorphic to the directly-constructed
+   one.  State orders differ, so match states via their label sets. *)
+let test_srn_matches_direct_model () =
+  let direct = Models.Adhoc.mrm () in
+  let direct_labels = Models.Adhoc.labeling () in
+  let srn = Models.Adhoc_srn.mrm () in
+  let srn_labels = Models.Adhoc_srn.labeling () in
+  let n = Markov.Mrm.n_states direct in
+  Alcotest.(check int) "same size" n (Markov.Mrm.n_states srn);
+  (* Build the state correspondence from label sets (all distinct here). *)
+  let key labeling s = String.concat "+" (Markov.Labeling.labels_of_state labeling s) in
+  let of_srn = Hashtbl.create 16 in
+  for s = 0 to n - 1 do
+    Hashtbl.add of_srn (key srn_labels s) s
+  done;
+  let mapping =
+    Array.init n (fun s ->
+        match Hashtbl.find_opt of_srn (key direct_labels s) with
+        | Some s' -> s'
+        | None -> Alcotest.failf "no SRN state labelled %s" (key direct_labels s))
+  in
+  for s = 0 to n - 1 do
+    check_close
+      (Printf.sprintf "reward of %s" (key direct_labels s))
+      (Markov.Mrm.reward direct s)
+      (Markov.Mrm.reward srn mapping.(s));
+    for s' = 0 to n - 1 do
+      check_close
+        (Printf.sprintf "rate %d->%d" s s')
+        (Markov.Ctmc.rate (Markov.Mrm.ctmc direct) s s')
+        (Markov.Ctmc.rate (Markov.Mrm.ctmc srn) mapping.(s) mapping.(s'))
+    done
+  done
+
+let test_additive_reward () =
+  let space = Models.Adhoc_srn.state_space () in
+  let net = space.Petri.Reachability.net in
+  let reward = Petri.Reachability.additive_reward net [ ("doze", 20.0) ] in
+  let doze_marking = Array.make (Petri.Srn.n_places net) 0 in
+  doze_marking.((Petri.Srn.find_place net "doze" :> int)) <- 1;
+  check_close "doze only" 20.0 (reward doze_marking);
+  check_close "empty" 0.0 (reward (Array.make (Petri.Srn.n_places net) 0));
+  Alcotest.check_raises "unknown place"
+    (Invalid_argument "Reachability.additive_reward: unknown place \"zz\"")
+    (fun () ->
+      let (_ : Petri.Srn.marking -> float) =
+        Petri.Reachability.additive_reward net [ ("zz", 1.0) ]
+      in
+      ())
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_dot_output () =
+  let net = Models.Adhoc_srn.net () in
+  let dot = Petri.Dot.net net in
+  List.iter
+    (fun needle ->
+      if not (contains_substring dot needle) then
+        Alcotest.failf "DOT output misses %S" needle)
+    [ "digraph srn"; "call_idle"; "wake_up" ];
+  let space = Models.Adhoc_srn.state_space () in
+  let dot = Petri.Dot.reachability space in
+  if not (String.length dot > 100) then Alcotest.fail "reachability DOT empty"
+
+let test_marking_pp () =
+  let net = Models.Adhoc_srn.net () in
+  let m = Models.Adhoc_srn.initial_marking () in
+  Alcotest.(check string) "initial marking" "call_idle+adhoc_idle"
+    (Format.asprintf "%a" (Petri.Srn.pp_marking net) m);
+  Alcotest.(check string) "empty marking" "-"
+    (Format.asprintf "%a" (Petri.Srn.pp_marking net)
+       (Array.make (Petri.Srn.n_places net) 0))
+
+let suite =
+  ( "petri",
+    [ Alcotest.test_case "builder and firing" `Quick test_builder_and_firing;
+      Alcotest.test_case "guards and rate functions" `Quick
+        test_guard_and_rate_fn;
+      Alcotest.test_case "duplicate place" `Quick test_duplicate_place_rejected;
+      Alcotest.test_case "exploration cap" `Quick test_exploration_cap;
+      Alcotest.test_case "adhoc reachability" `Quick test_adhoc_reachability;
+      Alcotest.test_case "SRN = direct model" `Quick
+        test_srn_matches_direct_model;
+      Alcotest.test_case "additive reward" `Quick test_additive_reward;
+      Alcotest.test_case "dot output" `Quick test_dot_output;
+      Alcotest.test_case "marking printing" `Quick test_marking_pp ] )

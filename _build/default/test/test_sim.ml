@@ -1,0 +1,179 @@
+(* Tests for the random number generator, the trajectory sampler and the
+   Monte-Carlo estimators. *)
+
+let check_close ?(tol = 1e-9) what expected actual =
+  if not (Numerics.Float_utils.approx_eq ~rel:tol ~abs:tol expected actual)
+  then Alcotest.failf "%s: expected %.17g, got %.17g" what expected actual
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create ~seed:7L and b = Sim.Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    if Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b then
+      Alcotest.fail "same seed diverged"
+  done;
+  let c = Sim.Rng.create ~seed:8L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.next_int64 a <> Sim.Rng.next_int64 c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_ranges () =
+  let g = Sim.Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.float g in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %g" x;
+    let k = Sim.Rng.int g ~bound:7 in
+    if k < 0 || k >= 7 then Alcotest.failf "int out of range: %d" k
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int g ~bound:0))
+
+let test_rng_moments () =
+  let g = Sim.Rng.create ~seed:42L in
+  let n = 200_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Sim.Rng.float g
+  done;
+  check_close ~tol:5e-3 "uniform mean" 0.5 (!acc /. float_of_int n);
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Sim.Rng.exponential g ~rate:2.0
+  done;
+  check_close ~tol:1e-2 "exponential mean" 0.5 (!acc /. float_of_int n)
+
+let test_categorical () =
+  let g = Sim.Rng.create ~seed:5L in
+  let counts = Array.make 3 0 in
+  let n = 120_000 in
+  for _ = 1 to n do
+    let k = Sim.Rng.categorical g ~weights:[| 1.0; 2.0; 3.0 |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_close ~tol:2e-2 "weight 1" (1.0 /. 6.0)
+    (float_of_int counts.(0) /. float_of_int n);
+  check_close ~tol:2e-2 "weight 3" 0.5
+    (float_of_int counts.(2) /. float_of_int n);
+  (* Zero-weight entries are never drawn. *)
+  for _ = 1 to 1000 do
+    if Sim.Rng.categorical g ~weights:[| 0.0; 1.0; 0.0 |] <> 1 then
+      Alcotest.fail "drew a zero-weight branch"
+  done;
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Rng.categorical: weights must have a positive sum")
+    (fun () -> ignore (Sim.Rng.categorical g ~weights:[| 0.0; 0.0 |]))
+
+let test_split () =
+  let g = Sim.Rng.create ~seed:3L in
+  let a = Sim.Rng.split g in
+  let b = Sim.Rng.split g in
+  Alcotest.(check bool) "split streams differ" true
+    (Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b)
+
+let two_state_mrm mu =
+  Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 3.0; 1.0 |]
+
+let test_trajectory_structure () =
+  let mrm = two_state_mrm 1.0 in
+  let g = Sim.Rng.create ~seed:11L in
+  let tr = Sim.Trajectory.sample g mrm ~init:0 ~horizon:10.0 in
+  (match tr.Sim.Trajectory.steps with
+   | first :: _ ->
+     Alcotest.(check int) "starts at init" 0 first.Sim.Trajectory.state;
+     check_close "starts at time 0" 0.0 first.Sim.Trajectory.entered_at;
+     check_close "starts at reward 0" 0.0 first.Sim.Trajectory.reward_on_entry
+   | [] -> Alcotest.fail "empty trajectory");
+  (* Reward at the horizon must equal the recorded final reward. *)
+  check_close ~tol:1e-9 "reward_at horizon" tr.Sim.Trajectory.final_reward
+    (Sim.Trajectory.reward_at tr 10.0);
+  Alcotest.(check int) "state_at horizon" tr.Sim.Trajectory.final_state
+    (Sim.Trajectory.state_at tr 10.0);
+  (* Reward is non-decreasing along the path. *)
+  let previous = ref (-1.0) in
+  List.iter
+    (fun t ->
+      let y = Sim.Trajectory.reward_at tr t in
+      if y < !previous -. 1e-12 then Alcotest.fail "reward decreased";
+      previous := y)
+    [ 0.0; 1.0; 2.5; 7.0; 10.0 ]
+
+let test_trajectory_absorbing () =
+  (* From the absorbing state the trajectory never moves and accumulates
+     its reward linearly. *)
+  let mrm = two_state_mrm 1.0 in
+  let g = Sim.Rng.create ~seed:13L in
+  let tr = Sim.Trajectory.sample g mrm ~init:1 ~horizon:4.0 in
+  Alcotest.(check int) "stays" 1 tr.Sim.Trajectory.final_state;
+  check_close "linear accumulation" 4.0 tr.Sim.Trajectory.final_reward;
+  Alcotest.(check int) "single step" 1 (List.length tr.Sim.Trajectory.steps)
+
+let test_estimator_against_closed_form () =
+  (* P(X_t = down) = 1 - exp(-mu t); the CI must contain it. *)
+  let mu = 0.9 and t = 1.2 in
+  let mrm = two_state_mrm mu in
+  let g = Sim.Rng.create ~seed:21L in
+  let iv =
+    Sim.Estimate.reward_bounded_reachability g mrm ~init:0
+      ~goal:[| false; true |] ~time_bound:t ~reward_bound:1e9 ~samples:50_000
+  in
+  let exact = 1.0 -. Float.exp (-.mu *. t) in
+  if not (Sim.Estimate.contains iv exact) then
+    Alcotest.failf "CI %.5f +- %.5f misses %.5f" iv.Sim.Estimate.mean
+      iv.Sim.Estimate.half_width exact
+
+let test_bernoulli_interval () =
+  let iv = Sim.Estimate.bernoulli_interval ~hits:50 100 in
+  check_close "mean" 0.5 iv.Sim.Estimate.mean;
+  Alcotest.(check bool) "contains" true (Sim.Estimate.contains iv 0.45);
+  Alcotest.(check bool) "excludes" false (Sim.Estimate.contains iv 0.1);
+  (* Wider at lower confidence... i.e. narrower at 0.90 than 0.999. *)
+  let narrow = Sim.Estimate.bernoulli_interval ~confidence:0.90 ~hits:50 100 in
+  let wide = Sim.Estimate.bernoulli_interval ~confidence:0.999 ~hits:50 100 in
+  Alcotest.(check bool) "confidence ordering" true
+    (narrow.Sim.Estimate.half_width < wide.Sim.Estimate.half_width);
+  Alcotest.check_raises "bad hits"
+    (Invalid_argument "Estimate: bad hit count") (fun () ->
+      ignore (Sim.Estimate.bernoulli_interval ~hits:5 4))
+
+let test_until_estimator_phi_constraint () =
+  (* a -> b -> goal with phi = {a}: the simulated until probability must
+     be ~0 because every path passes b. *)
+  let mrm =
+    Markov.Mrm.of_transitions ~n:3 [ (0, 1, 5.0); (1, 2, 5.0) ]
+      ~rewards:[| 1.0; 1.0; 0.0 |]
+  in
+  let g = Sim.Rng.create ~seed:31L in
+  let iv =
+    Sim.Estimate.until_probability g mrm ~init:0
+      ~phi:[| true; false; false |]
+      ~psi:[| false; false; true |] ~time_bound:10.0 ~reward_bound:100.0
+      ~samples:2_000
+  in
+  check_close "blocked until" 0.0 iv.Sim.Estimate.mean;
+  (* With phi = {a, b} nearly every path gets through by t = 10. *)
+  let iv =
+    Sim.Estimate.until_probability g mrm ~init:0
+      ~phi:[| true; true; false |]
+      ~psi:[| false; false; true |] ~time_bound:10.0 ~reward_bound:100.0
+      ~samples:2_000
+  in
+  Alcotest.(check bool) "open until" true (iv.Sim.Estimate.mean > 0.95)
+
+let suite =
+  ( "sim",
+    [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+      Alcotest.test_case "rng moments" `Quick test_rng_moments;
+      Alcotest.test_case "categorical" `Quick test_categorical;
+      Alcotest.test_case "split" `Quick test_split;
+      Alcotest.test_case "trajectory structure" `Quick
+        test_trajectory_structure;
+      Alcotest.test_case "trajectory absorbing" `Quick
+        test_trajectory_absorbing;
+      Alcotest.test_case "estimator vs closed form" `Quick
+        test_estimator_against_closed_form;
+      Alcotest.test_case "bernoulli interval" `Quick test_bernoulli_interval;
+      Alcotest.test_case "until estimator" `Quick
+        test_until_estimator_phi_constraint ] )
