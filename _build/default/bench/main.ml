@@ -34,13 +34,21 @@ let q3_problem ~r =
   let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
   Perf.Reduced.problem red ~init ~time_bound:24.0 ~reward_bound:r
 
+(* Wall-clock (monotonic) timing: the parallel kernels spread the work
+   over several domains, so CPU time (Sys.time) would hide any speedup. *)
 let timed f =
-  let start = Sys.time () in
+  let start = Monotonic_clock.now () in
   let result = f () in
-  (result, Sys.time () -. start)
+  let stop = Monotonic_clock.now () in
+  (result, Int64.to_float (Int64.sub stop start) /. 1e9)
+
+(* Domain pool shared by every artifact; --jobs N selects its size
+   (default 1 = the exact sequential code). *)
+let jobs = ref 1
+let pool = ref Parallel.Pool.sequential
 
 let reference_value ~r =
-  Perf.Sericola.solve ~epsilon:1e-10 (q3_problem ~r)
+  Perf.Sericola.solve ~epsilon:1e-10 ~pool:!pool (q3_problem ~r)
 
 let heading title =
   Printf.printf "\n=== %s %s\n"
@@ -79,7 +87,10 @@ let table2_for ~label ~r =
     List.map
       (fun eps ->
         let p = q3_problem ~r in
-        let d, time = timed (fun () -> Perf.Sericola.solve_detailed ~epsilon:eps p) in
+        let d, time =
+          timed (fun () ->
+              Perf.Sericola.solve_detailed ~epsilon:eps ~pool:!pool p)
+        in
         [ Printf.sprintf "%.0e" eps;
           string_of_int d.Perf.Sericola.steps;
           Printf.sprintf "%.8f" d.Perf.Sericola.probability;
@@ -113,7 +124,8 @@ let table3_for ~label ~r ~max_k =
       (fun k ->
         let p = q3_problem ~r in
         let v, time =
-          timed (fun () -> Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases:k p)
+          timed (fun () ->
+              Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases:k ~pool:!pool p)
         in
         [ string_of_int k;
           Printf.sprintf "%.8f" v;
@@ -147,7 +159,8 @@ let table4_for ~label ~r ~steps =
       (fun denom ->
         let p = q3_problem ~r in
         let v, time =
-          timed (fun () -> Perf.Discretization.solve ~step:(1.0 /. denom) p)
+          timed (fun () ->
+              Perf.Discretization.solve ~step:(1.0 /. denom) ~pool:!pool p)
         in
         [ Printf.sprintf "1/%.0f" denom;
           Printf.sprintf "%.8f" v;
@@ -176,7 +189,8 @@ let table4 full =
 let q1q2 _full =
   heading "Q1 and Q2 (Section 5.3): standard P2/P1 checking";
   let ctx =
-    Checker.make ~epsilon:1e-10 (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
+    Checker.make ~epsilon:1e-10 ~pool:!pool (Models.Adhoc.mrm ())
+      (Models.Adhoc.labeling ())
   in
   List.iter
     (fun (name, verdict_text, query_text) ->
@@ -438,15 +452,78 @@ let micro _full =
        ~header:[ "benchmark"; "time per run" ]
        (List.sort compare !rows))
 
+(* One timed run of each procedure on the Q3 problem, written as
+   machine-readable JSON (BENCH_perf.json) so CI and the bench-smoke
+   alias can track the parallel engine without scraping tables.  The
+   --full settings are the slow corners (k = 1024, d = 1/256) where the
+   domain pool pays off; the fast settings keep `dune runtest` quick. *)
+let perf full =
+  heading "perf: wall-clock engine timings -> BENCH_perf.json";
+  let p = q3_problem ~r:600.0 in
+  let size = Markov.Mrm.n_states p.Perf.Problem.mrm in
+  let phases = if full then 1024 else 64 in
+  let denom = if full then 256.0 else 32.0 in
+  let runs =
+    [ ("occupation-time", size,
+       fun () -> ignore (Perf.Sericola.solve ~epsilon:1e-8 ~pool:!pool p));
+      ("pseudo-erlang", (size * phases) + 1,
+       fun () ->
+         ignore (Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases ~pool:!pool p));
+      ("discretisation", size,
+       fun () ->
+         ignore (Perf.Discretization.solve ~step:(1.0 /. denom) ~pool:!pool p)) ]
+  in
+  let entries =
+    List.map
+      (fun (procedure, size, f) ->
+        let (), seconds = timed f in
+        Printf.printf "  %-16s (%5d states, %d jobs)  %s\n" procedure size
+          !jobs (Io.Table.seconds seconds);
+        Io.Json.Object
+          [ ("procedure", Io.Json.String procedure);
+            ("size", Io.Json.Number (float_of_int size));
+            ("jobs", Io.Json.Number (float_of_int !jobs));
+            ("seconds", Io.Json.Number seconds) ])
+      runs
+  in
+  let doc =
+    Io.Json.Object
+      [ ("bench", Io.Json.String "perf");
+        ("full", Io.Json.Bool full);
+        ("entries", Io.Json.List entries) ]
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_perf.json (%d entries)\n" (List.length entries)
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
-    ("figure2", figure2); ("ablation", ablation); ("micro", micro) ]
+    ("figure2", figure2); ("ablation", ablation); ("micro", micro);
+    ("perf", perf) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let bad_jobs () = prerr_endline "--jobs needs a positive count"; exit 2 in
+  let set_jobs text =
+    match int_of_string_opt text with
+    | Some j when j >= 1 -> jobs := j
+    | _ -> bad_jobs ()
+  in
+  let rec strip_jobs = function
+    | [] -> []
+    | "--jobs" :: value :: rest -> set_jobs value; strip_jobs rest
+    | [ "--jobs" ] -> bad_jobs ()
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+      set_jobs (String.sub arg 7 (String.length arg - 7));
+      strip_jobs rest
+    | arg :: rest -> arg :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let full = List.mem "--full" args in
   let selected =
     List.filter (fun a -> a <> "--full" && a <> "all") args
@@ -465,4 +542,6 @@ let () =
             exit 2)
         names
   in
+  Parallel.Pool.with_pool ~jobs:!jobs @@ fun p ->
+  pool := p;
   List.iter (fun (_, f) -> f full) to_run

@@ -1,0 +1,67 @@
+(* Validates the machine-readable bench artifact (BENCH_perf.json):
+   parses it with Io.Json and checks every entry carries the expected
+   fields with sane values.  Exit 0 on success, 1 with a diagnostic
+   otherwise — `dune build @bench-smoke` runs this after the fast perf
+   bench. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun message ->
+      prerr_endline ("BENCH_perf.json invalid: " ^ message);
+      exit 1)
+    fmt
+
+let get key entry =
+  match Io.Json.member key entry with
+  | Some v -> v
+  | None -> fail "entry missing field %S" key
+
+let number key entry =
+  match Io.Json.to_float (get key entry) with
+  | Some f -> f
+  | None -> fail "field %S is not a number" key
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_perf.json"
+  in
+  let text =
+    match open_in_bin path with
+    | exception Sys_error message -> fail "%s" message
+    | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+  in
+  let doc =
+    match Io.Json.of_string text with
+    | v -> v
+    | exception Io.Json.Parse_error (message, offset) ->
+      fail "parse error at byte %d: %s" offset message
+  in
+  let entries =
+    match Io.Json.member "entries" doc with
+    | Some (Io.Json.List entries) -> entries
+    | Some _ -> fail "\"entries\" is not a list"
+    | None -> fail "missing \"entries\""
+  in
+  if entries = [] then fail "no entries";
+  List.iteri
+    (fun i entry ->
+      let context fmt = Printf.ksprintf (fun m -> fail "entry %d: %s" i m) fmt in
+      (match Io.Json.to_text (get "procedure" entry) with
+       | Some "" -> context "empty procedure name"
+       | Some _ -> ()
+       | None -> context "\"procedure\" is not a string");
+      let size = number "size" entry in
+      if not (Float.is_integer size && size >= 1.0) then
+        context "\"size\" is not a positive integer (%g)" size;
+      let jobs = number "jobs" entry in
+      if not (Float.is_integer jobs && jobs >= 1.0) then
+        context "\"jobs\" is not a positive integer (%g)" jobs;
+      let seconds = number "seconds" entry in
+      if not (Float.is_finite seconds && seconds >= 0.0) then
+        context "\"seconds\" is not a non-negative number (%g)" seconds)
+    entries;
+  Printf.printf "%s: %d entries ok\n" path (List.length entries)

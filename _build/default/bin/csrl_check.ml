@@ -123,7 +123,14 @@ let print_info mrm labeling init =
   Printf.printf "long-run reward rate: %g\n"
     (Markov.Expected_reward.steady_rate mrm ~init)
 
-let run model_name file engine_text epsilon list_props info lump formula_text =
+let run model_name file engine_text epsilon jobs list_props info lump
+    formula_text =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> prerr_endline "--jobs needs a positive count"; exit 2
+    | None -> 1
+  in
   let document =
     match file, model_name with
     | Some path, _ ->
@@ -180,7 +187,8 @@ let run model_name file engine_text epsilon list_props info lump formula_text =
     | Ok e -> e
     | Error message -> prerr_endline message; exit 2
   in
-  let ctx = Checker.make ~engine ~epsilon mrm labeling in
+  Parallel.Pool.with_pool ~jobs @@ fun pool ->
+  let ctx = Checker.make ~engine ~epsilon ~pool mrm labeling in
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
     Printf.eprintf "parse error at position %d: %s\n" pos message;
@@ -220,6 +228,14 @@ let engine_arg =
 let epsilon_arg =
   let doc = "Accuracy of transient analyses." in
   Arg.(value & opt float 1e-9 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Run the numerical kernels on $(docv) domains (default 1: the exact \
+     sequential code).  Results with $(docv) >= 2 can differ from the \
+     sequential run by floating-point rounding only."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let list_props_arg =
   let doc = "List the model's atomic propositions and exit." in
@@ -262,7 +278,7 @@ let cmd =
   Cmd.v
     (Cmd.info "csrl-check" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg
+      const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
       $ list_props_arg $ info_arg $ lump_arg $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

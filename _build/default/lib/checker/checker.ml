@@ -3,14 +3,16 @@ type t = {
   labeling : Markov.Labeling.t;
   engine : Perf.Engine.spec;
   epsilon : float;
+  pool : Parallel.Pool.t;
 }
 
 exception Unsupported of string
 
-let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9) mrm labeling =
+let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
+    ?(pool = Parallel.Pool.sequential) mrm labeling =
   if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
     invalid_arg "Checker.make: labeling and model sizes differ";
-  { mrm; labeling; engine; epsilon }
+  { mrm; labeling; engine; epsilon; pool }
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
@@ -53,8 +55,8 @@ let until_time_bounded ctx ~phi ~psi ~time_bound =
   let n = Markov.Ctmc.n_states chain in
   let absorb = Array.init n (fun s -> psi.(s) || not phi.(s)) in
   let absorbed = Markov.Transform.make_absorbing chain ~absorb in
-  Markov.Transient.reachability_all ~epsilon:ctx.epsilon absorbed ~goal:psi
-    ~t:time_bound
+  Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
+    absorbed ~goal:psi ~t:time_bound
 
 (* ------------------------------------------------------------------ *)
 (* Until with a time interval [a, b] (or [a, inf)): the standard
@@ -79,8 +81,8 @@ let until_time_window ctx ~phi ~psi ~t_lo ~t_hi =
     Markov.Transform.make_absorbing chain ~absorb:(Array.map not phi)
   in
   Array.map Numerics.Float_utils.clamp_prob
-    (Markov.Transient.backward ~epsilon:ctx.epsilon absorbed ~terminal
-       ~t:t_lo)
+    (Markov.Transient.backward ~epsilon:ctx.epsilon ~pool:ctx.pool absorbed
+       ~terminal ~t:t_lo)
 
 (* ------------------------------------------------------------------ *)
 (* Reward-bounded until (P2): duality transform, then P1 on the dual. *)
@@ -97,7 +99,7 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
           shares this restriction; add a time bound to use the P3 engines)");
   let dual = Markov.Duality.dual m' in
   let dual_probs =
-    Markov.Transient.reachability_all ~epsilon:ctx.epsilon
+    Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
       (Markov.Mrm.ctmc dual) ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
   in
   Array.init n (fun s -> dual_probs.(reduced.Perf.Reduced.state_map.(s)))
@@ -107,7 +109,7 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
 
 let until_both_bounded ctx ~phi ~psi ~time_bound ~reward_bound =
   Perf.Reduced.until_probabilities_via
-    (Perf.Engine.solve ctx.engine)
+    (Perf.Engine.solve ~pool:ctx.pool ctx.engine)
     ctx.mrm ~phi ~psi ~time_bound ~reward_bound
 
 (* ------------------------------------------------------------------ *)

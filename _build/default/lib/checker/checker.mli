@@ -28,10 +28,13 @@ exception Unsupported of string
     paper has the same restriction. *)
 
 val make :
-  ?engine:Perf.Engine.spec -> ?epsilon:float -> Markov.Mrm.t ->
-  Markov.Labeling.t -> t
+  ?engine:Perf.Engine.spec -> ?epsilon:float -> ?pool:Parallel.Pool.t ->
+  Markov.Mrm.t -> Markov.Labeling.t -> t
 (** [engine] (default {!Perf.Engine.default}) solves the [P3] problems;
-    [epsilon] (default [1e-9]) is the accuracy of transient analyses. *)
+    [epsilon] (default [1e-9]) is the accuracy of transient analyses;
+    [pool] (default sequential) runs the numerical kernels — transient
+    analyses and the [P3] engines — on a domain pool (the CLI's
+    [--jobs]). *)
 
 val mrm : t -> Markov.Mrm.t
 val labeling : t -> Markov.Labeling.t

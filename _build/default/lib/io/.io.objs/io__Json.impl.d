@@ -1,0 +1,1 @@
+lib/io/json.ml: Buffer Char Float List Printf String

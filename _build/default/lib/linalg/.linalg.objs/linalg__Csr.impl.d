@@ -1,1 +1,1 @@
-lib/linalg/csr.ml: Array Format Hashtbl List Numerics Option Printf Stdlib
+lib/linalg/csr.ml: Array Format List Numerics Parallel Printf Stdlib

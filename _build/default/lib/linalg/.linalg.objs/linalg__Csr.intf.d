@@ -1,1 +1,1 @@
-lib/linalg/csr.mli: Format Vec
+lib/linalg/csr.mli: Format Parallel Vec

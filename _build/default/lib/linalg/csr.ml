@@ -10,48 +10,100 @@ let rows a = a.n_rows
 let cols a = a.n_cols
 let nnz a = Array.length a.values
 
+(* COO -> CSR by two stable counting sorts (by column, then by row): after
+   them the triples are in row-major order with columns sorted and
+   duplicates adjacent — in their original list order, so summing a run of
+   duplicates adds in the same order as the hash-table accumulation this
+   replaces.  O(nnz + n_rows + n_cols), flat arrays only; the pseudo-Erlang
+   expansion builds |S| * k-state matrices through this path, where the
+   old per-row hashtable + sorted-list layout dominated the profile. *)
 let of_coo ~rows:n_rows ~cols:n_cols triples =
   if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_coo: negative size";
+  let len = List.length triples in
+  let ri = Array.make len 0 in
+  let ci = Array.make len 0 in
+  let vi = Array.make len 0.0 in
+  let fill = ref 0 in
   List.iter
-    (fun (i, j, _) ->
+    (fun (i, j, v) ->
       if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
         invalid_arg
           (Printf.sprintf "Csr.of_coo: entry (%d,%d) out of %dx%d" i j n_rows
-             n_cols))
+             n_cols);
+      ri.(!fill) <- i;
+      ci.(!fill) <- j;
+      vi.(!fill) <- v;
+      incr fill)
     triples;
-  (* Sum duplicates via per-row hash tables, then lay out sorted rows. *)
-  let row_tables = Array.init n_rows (fun _ -> Hashtbl.create 8) in
-  List.iter
-    (fun (i, j, v) ->
-      let table = row_tables.(i) in
-      let prior = Option.value ~default:0.0 (Hashtbl.find_opt table j) in
-      Hashtbl.replace table j (prior +. v))
-    triples;
-  let row_entries =
-    Array.map
-      (fun table ->
-        Hashtbl.fold (fun j v acc -> if v = 0.0 then acc else (j, v) :: acc)
-          table []
-        |> List.sort (fun (j1, _) (j2, _) -> compare j1 j2))
-      row_tables
-  in
-  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 row_entries in
+  (* Stable counting sort by column. *)
+  let col_pos = Array.make (n_cols + 1) 0 in
+  for p = 0 to len - 1 do
+    col_pos.(ci.(p)) <- col_pos.(ci.(p)) + 1
+  done;
+  let acc = ref 0 in
+  for j = 0 to n_cols do
+    let c = col_pos.(j) in
+    col_pos.(j) <- !acc;
+    acc := !acc + c
+  done;
+  let ri2 = Array.make len 0 in
+  let ci2 = Array.make len 0 in
+  let vi2 = Array.make len 0.0 in
+  for p = 0 to len - 1 do
+    let j = ci.(p) in
+    let q = col_pos.(j) in
+    col_pos.(j) <- q + 1;
+    ri2.(q) <- ri.(p);
+    ci2.(q) <- j;
+    vi2.(q) <- vi.(p)
+  done;
+  (* Stable counting sort by row, reusing the first-pass arrays. *)
+  let row_pos = Array.make (n_rows + 1) 0 in
+  for p = 0 to len - 1 do
+    row_pos.(ri2.(p)) <- row_pos.(ri2.(p)) + 1
+  done;
+  let acc = ref 0 in
+  for i = 0 to n_rows do
+    let c = row_pos.(i) in
+    row_pos.(i) <- !acc;
+    acc := !acc + c
+  done;
+  for p = 0 to len - 1 do
+    let i = ri2.(p) in
+    let q = row_pos.(i) in
+    row_pos.(i) <- q + 1;
+    ci.(q) <- ci2.(p);
+    vi.(q) <- vi2.(p)
+  done;
+  (* row_pos.(i) is now the end of row i; compress duplicate columns and
+     drop entries that sum to exactly zero. *)
   let row_ptr = Array.make (n_rows + 1) 0 in
-  let col_idx = Array.make total 0 in
-  let values = Array.make total 0.0 in
-  let pos = ref 0 in
-  Array.iteri
-    (fun i entries ->
-      row_ptr.(i) <- !pos;
-      List.iter
-        (fun (j, v) ->
-          col_idx.(!pos) <- j;
-          values.(!pos) <- v;
-          incr pos)
-        entries)
-    row_entries;
-  row_ptr.(n_rows) <- !pos;
-  { n_rows; n_cols; row_ptr; col_idx; values }
+  let write = ref 0 in
+  let start = ref 0 in
+  for i = 0 to n_rows - 1 do
+    row_ptr.(i) <- !write;
+    let stop = row_pos.(i) in
+    let p = ref !start in
+    while !p < stop do
+      let j = ci.(!p) in
+      let sum = ref vi.(!p) in
+      incr p;
+      while !p < stop && ci.(!p) = j do
+        sum := !sum +. vi.(!p);
+        incr p
+      done;
+      if !sum <> 0.0 then begin
+        ci.(!write) <- j;
+        vi.(!write) <- !sum;
+        incr write
+      end
+    done;
+    start := stop
+  done;
+  row_ptr.(n_rows) <- !write;
+  { n_rows; n_cols; row_ptr;
+    col_idx = Array.sub ci 0 !write;
+    values = Array.sub vi 0 !write }
 
 let of_dense m =
   let n_rows = Array.length m in
@@ -109,10 +161,12 @@ let iter a f =
 
 let row_sum a i = fold_row a i ~init:0.0 ~f:(fun acc _ v -> acc +. v)
 
-let mul_vec_into a x y =
-  if Array.length x <> a.n_cols then invalid_arg "Csr.mul_vec_into: bad x";
-  if Array.length y <> a.n_rows then invalid_arg "Csr.mul_vec_into: bad y";
-  for i = 0 to a.n_rows - 1 do
+(* Ranges of at most this many rows are not worth dispatching to the
+   pool: one matrix row is a handful of multiply-adds. *)
+let spmv_cutoff = 256
+
+let mul_vec_rows a x y lo hi =
+  for i = lo to hi - 1 do
     let acc = ref 0.0 in
     for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
       acc := !acc +. (a.values.(p) *. x.(a.col_idx.(p)))
@@ -120,16 +174,21 @@ let mul_vec_into a x y =
     y.(i) <- !acc
   done
 
-let mul_vec a x =
+let mul_vec_into ?(pool = Parallel.Pool.sequential) a x y =
+  if Array.length x <> a.n_cols then invalid_arg "Csr.mul_vec_into: bad x";
+  if Array.length y <> a.n_rows then invalid_arg "Csr.mul_vec_into: bad y";
+  (* Rows write disjoint entries of y, so the row partition is free of
+     races and bit-identical to the sequential loop for any pool size. *)
+  Parallel.Pool.parallel_for ~cutoff:spmv_cutoff pool ~lo:0 ~hi:a.n_rows
+    (mul_vec_rows a x y)
+
+let mul_vec ?pool a x =
   let y = Array.make a.n_rows 0.0 in
-  mul_vec_into a x y;
+  mul_vec_into ?pool a x y;
   y
 
-let vec_mul_into x a y =
-  if Array.length x <> a.n_rows then invalid_arg "Csr.vec_mul_into: bad x";
-  if Array.length y <> a.n_cols then invalid_arg "Csr.vec_mul_into: bad y";
-  Array.fill y 0 (Array.length y) 0.0;
-  for i = 0 to a.n_rows - 1 do
+let vec_mul_rows a x y lo hi =
+  for i = lo to hi - 1 do
     let xi = x.(i) in
     if xi <> 0.0 then
       for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
@@ -138,49 +197,163 @@ let vec_mul_into x a y =
       done
   done
 
-let vec_mul x a =
+let vec_mul_into ?(pool = Parallel.Pool.sequential) x a y =
+  if Array.length x <> a.n_rows then invalid_arg "Csr.vec_mul_into: bad x";
+  if Array.length y <> a.n_cols then invalid_arg "Csr.vec_mul_into: bad y";
+  Array.fill y 0 (Array.length y) 0.0;
+  if Parallel.Pool.size pool = 1 || a.n_rows <= spmv_cutoff then
+    vec_mul_rows a x y 0 a.n_rows
+  else begin
+    (* The transposed product scatters into y, so each chunk accumulates
+       into a private buffer; buffers are assigned by chunk boundary (a
+       pure function of the pool size) and merged in chunk order, keeping
+       the result deterministic for a fixed pool size (though the
+       regrouped additions may differ from the sequential sum by
+       rounding). *)
+    let pieces = Stdlib.min (Parallel.Pool.size pool) a.n_rows in
+    let partial = Array.init pieces (fun _ -> Array.make a.n_cols 0.0) in
+    let slot_of lo =
+      (* First k with chunk boundary >= lo; boundaries are strictly
+         increasing, so distinct chunks land in distinct buffers. *)
+      let k = ref 0 in
+      while !k < pieces - 1 && a.n_rows * !k / pieces < lo do
+        incr k
+      done;
+      !k
+    in
+    Parallel.Pool.parallel_for ~cutoff:spmv_cutoff pool ~lo:0 ~hi:a.n_rows
+      (fun lo hi -> vec_mul_rows a x partial.(slot_of lo) lo hi);
+    for k = 0 to pieces - 1 do
+      let b = partial.(k) in
+      for j = 0 to a.n_cols - 1 do
+        y.(j) <- y.(j) +. b.(j)
+      done
+    done
+  end
+
+let vec_mul ?pool x a =
   let y = Array.make a.n_cols 0.0 in
-  vec_mul_into x a y;
+  vec_mul_into ?pool x a y;
   y
 
-let transpose a =
-  let triples = ref [] in
-  iter a (fun i j v -> triples := (j, i, v) :: !triples);
-  of_coo ~rows:a.n_cols ~cols:a.n_rows !triples
+(* The structural operations below build their results directly with index
+   arithmetic instead of materialising a triple list and re-running the
+   of_coo deduplication: the input is already deduplicated and sorted. *)
 
-let map f a =
-  let triples = ref [] in
-  iter a (fun i j v -> triples := (i, j, f v) :: !triples);
-  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+let transpose a =
+  let count = Array.length a.values in
+  let row_ptr = Array.make (a.n_cols + 1) 0 in
+  for p = 0 to count - 1 do
+    row_ptr.(a.col_idx.(p) + 1) <- row_ptr.(a.col_idx.(p) + 1) + 1
+  done;
+  for j = 1 to a.n_cols do
+    row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+  done;
+  let cursor = Array.sub row_ptr 0 a.n_cols in
+  let col_idx = Array.make count 0 in
+  let values = Array.make count 0.0 in
+  (* Row-major iteration over a means source rows appear in increasing
+     order within each target row: columns come out sorted. *)
+  for i = 0 to a.n_rows - 1 do
+    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let j = a.col_idx.(p) in
+      let q = cursor.(j) in
+      cursor.(j) <- q + 1;
+      col_idx.(q) <- i;
+      values.(q) <- a.values.(p)
+    done
+  done;
+  { n_rows = a.n_cols; n_cols = a.n_rows; row_ptr; col_idx; values }
+
+(* Shared tail of map/mapi/filter_rows: keep a's sparsity pattern minus
+   the entries whose new value is exactly zero (of_coo drops those too,
+   so the pruning semantics is unchanged). *)
+let rebuild_pruned a fresh =
+  let count = Array.length a.values in
+  let row_ptr = Array.make (a.n_rows + 1) 0 in
+  let col_idx = Array.make count 0 in
+  let values = Array.make count 0.0 in
+  let write = ref 0 in
+  for i = 0 to a.n_rows - 1 do
+    row_ptr.(i) <- !write;
+    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let v = fresh.(p) in
+      if v <> 0.0 then begin
+        col_idx.(!write) <- a.col_idx.(p);
+        values.(!write) <- v;
+        incr write
+      end
+    done
+  done;
+  row_ptr.(a.n_rows) <- !write;
+  { a with row_ptr;
+    col_idx = Array.sub col_idx 0 !write;
+    values = Array.sub values 0 !write }
+
+let map f a = rebuild_pruned a (Array.map f a.values)
 
 let mapi f a =
-  let triples = ref [] in
-  iter a (fun i j v -> triples := (i, j, f i j v) :: !triples);
-  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+  let fresh = Array.make (Array.length a.values) 0.0 in
+  let p = ref 0 in
+  for i = 0 to a.n_rows - 1 do
+    for q = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      fresh.(!p) <- f i a.col_idx.(q) a.values.(q);
+      incr p
+    done
+  done;
+  rebuild_pruned a fresh
 
 let scale c a = map (fun v -> c *. v) a
 
 let identity n =
-  of_coo ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0)))
+  { n_rows = n; n_cols = n;
+    row_ptr = Array.init (n + 1) (fun i -> i);
+    col_idx = Array.init n (fun i -> i);
+    values = Array.make n 1.0 }
 
 let diagonal a =
   Array.init (Stdlib.min a.n_rows a.n_cols) (fun i -> get a i i)
 
 let filter_rows a ~keep =
-  let triples = ref [] in
-  iter a (fun i j v -> if keep i then triples := (i, j, v) :: !triples);
-  of_coo ~rows:a.n_rows ~cols:a.n_cols !triples
+  let fresh = Array.make (Array.length a.values) 0.0 in
+  for i = 0 to a.n_rows - 1 do
+    if keep i then
+      for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        fresh.(p) <- a.values.(p)
+      done
+  done;
+  rebuild_pruned a fresh
 
 let equal_approx ?(tol = 1e-12) a b =
   a.n_rows = b.n_rows && a.n_cols = b.n_cols
   && begin
-       let da = to_dense a and db = to_dense b in
+       (* Merge-walk the sorted rows; an index present on one side only is
+          compared against zero.  No densification: O(nnz) time and O(1)
+          extra memory instead of two n_rows * n_cols arrays. *)
+       let close = Numerics.Float_utils.approx_eq ~abs:tol in
        let ok = ref true in
-       for i = 0 to a.n_rows - 1 do
-         for j = 0 to a.n_cols - 1 do
-           if not (Numerics.Float_utils.approx_eq ~abs:tol da.(i).(j) db.(i).(j))
-           then ok := false
-         done
+       let i = ref 0 in
+       while !ok && !i < a.n_rows do
+         let pa = ref a.row_ptr.(!i) and pb = ref b.row_ptr.(!i) in
+         let enda = a.row_ptr.(!i + 1) and endb = b.row_ptr.(!i + 1) in
+         while !ok && (!pa < enda || !pb < endb) do
+           let ja = if !pa < enda then a.col_idx.(!pa) else max_int in
+           let jb = if !pb < endb then b.col_idx.(!pb) else max_int in
+           if ja = jb then begin
+             if not (close a.values.(!pa) b.values.(!pb)) then ok := false;
+             incr pa;
+             incr pb
+           end
+           else if ja < jb then begin
+             if not (close a.values.(!pa) 0.0) then ok := false;
+             incr pa
+           end
+           else begin
+             if not (close 0.0 b.values.(!pb)) then ok := false;
+             incr pb
+           end
+         done;
+         incr i
        done;
        !ok
      end

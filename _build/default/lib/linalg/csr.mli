@@ -13,9 +13,11 @@ val nnz : t -> int
 
 val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
 (** Builds a CSR matrix from coordinate triples [(i, j, v)].  Duplicate
-    coordinates are summed; entries that are exactly [0.] after summing are
-    dropped.  Raises [Invalid_argument] on out-of-range indices or negative
-    dimensions. *)
+    coordinates are summed (in list order); entries that are exactly [0.]
+    after summing are dropped.  Raises [Invalid_argument] on out-of-range
+    indices or negative dimensions.  Implemented as two stable counting
+    sorts over flat arrays — [O(nnz + rows + cols)] with an
+    allocation-free inner loop. *)
 
 val of_dense : float array array -> t
 val to_dense : t -> float array array
@@ -35,18 +37,26 @@ val iter : t -> (int -> int -> float -> unit) -> unit
 
 val row_sum : t -> int -> float
 
-val mul_vec : t -> Vec.t -> Vec.t
+val mul_vec : ?pool:Parallel.Pool.t -> t -> Vec.t -> Vec.t
 (** [mul_vec a x] is [A x]. *)
 
-val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+val mul_vec_into : ?pool:Parallel.Pool.t -> t -> Vec.t -> Vec.t -> unit
 (** [mul_vec_into a x y] stores [A x] in [y]; [x] and [y] must be distinct
-    arrays. *)
+    arrays.  With a [pool] the rows are partitioned across its domains;
+    each row writes only its own entry of [y], so the result is
+    bit-identical to the sequential product for every pool size. *)
 
-val vec_mul : Vec.t -> t -> Vec.t
+val vec_mul : ?pool:Parallel.Pool.t -> Vec.t -> t -> Vec.t
 (** [vec_mul x a] is the row vector [x^T A] — the direction in which
     probability distributions are propagated. *)
 
-val vec_mul_into : Vec.t -> t -> Vec.t -> unit
+val vec_mul_into : ?pool:Parallel.Pool.t -> Vec.t -> t -> Vec.t -> unit
+(** Like {!vec_mul}, in place.  The transposed product scatters across
+    columns, so a pool of size [>= 2] accumulates per-domain buffers and
+    merges them in chunk order: deterministic for a fixed pool size, equal
+    to the sequential result up to rounding ([<= 1e-12] relative in
+    practice), and bit-identical when the pool is {!Parallel.Pool.sequential}
+    or the matrix falls under the sequential cutoff. *)
 
 val transpose : t -> t
 
@@ -67,5 +77,7 @@ val filter_rows : t -> keep:(int -> bool) -> t
     make-absorbing operation on rate matrices). *)
 
 val equal_approx : ?tol:float -> t -> t -> bool
+(** Entrywise comparison within [tol] (absolute), walking the sparse rows
+    directly — [O(nnz)], no densification. *)
 
 val pp : Format.formatter -> t -> unit

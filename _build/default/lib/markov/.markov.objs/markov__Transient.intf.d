@@ -1,1 +1,1 @@
-lib/markov/transient.mli: Ctmc Linalg
+lib/markov/transient.mli: Ctmc Linalg Parallel

@@ -45,27 +45,29 @@ let series ?stationary_detection ~epsilon ~q ~start ~step () =
   done;
   result
 
-let distribution ?(epsilon = 1e-12) ?rate ?stationary_detection c ~init ~t =
+let distribution ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool c
+    ~init ~t =
   check_init c init;
   if t < 0.0 then invalid_arg "Transient.distribution: negative time";
   if t = 0.0 then Linalg.Vec.copy init
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
     series ?stationary_detection ~epsilon ~q:(lambda *. t) ~start:init
-      ~step:(fun v out -> Linalg.Csr.vec_mul_into v p out)
+      ~step:(fun v out -> Linalg.Csr.vec_mul_into ?pool v p out)
       ()
   end
 
-let distribution_many ?epsilon ?rate c ~init ~times =
-  List.map (fun t -> (t, distribution ?epsilon ?rate c ~init ~t)) times
+let distribution_many ?epsilon ?rate ?pool c ~init ~times =
+  List.map (fun t -> (t, distribution ?epsilon ?rate ?pool c ~init ~t)) times
 
-let reachability ?epsilon ?stationary_detection c ~init ~goal ~t =
+let reachability ?epsilon ?stationary_detection ?pool c ~init ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability: goal has the wrong length";
-  let pi = distribution ?epsilon ?stationary_detection c ~init ~t in
+  let pi = distribution ?epsilon ?stationary_detection ?pool c ~init ~t in
   Numerics.Float_utils.clamp_prob (Linalg.Vec.masked_sum pi goal)
 
-let backward ?(epsilon = 1e-12) ?rate ?stationary_detection c ~terminal ~t =
+let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool c
+    ~terminal ~t =
   if Array.length terminal <> Ctmc.n_states c then
     invalid_arg "Transient.backward: terminal vector has the wrong length";
   if t < 0.0 then invalid_arg "Transient.backward: negative time";
@@ -73,16 +75,16 @@ let backward ?(epsilon = 1e-12) ?rate ?stationary_detection c ~terminal ~t =
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
     series ?stationary_detection ~epsilon ~q:(lambda *. t) ~start:terminal
-      ~step:(fun v out -> Linalg.Csr.mul_vec_into p v out)
+      ~step:(fun v out -> Linalg.Csr.mul_vec_into ?pool p v out)
       ()
   end
 
-let reachability_all ?epsilon ?rate ?stationary_detection c ~goal ~t =
+let reachability_all ?epsilon ?rate ?stationary_detection ?pool c ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability_all: goal has the wrong length";
   let terminal = Array.map (fun b -> if b then 1.0 else 0.0) goal in
   Array.map Numerics.Float_utils.clamp_prob
-    (backward ?epsilon ?rate ?stationary_detection c ~terminal ~t)
+    (backward ?epsilon ?rate ?stationary_detection ?pool c ~terminal ~t)
 
 let steps_for ?rate c ~t ~epsilon =
   if t < 0.0 then invalid_arg "Transient.steps_for: negative time";

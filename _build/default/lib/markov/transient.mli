@@ -12,10 +12,19 @@
     treated as stationary and the remaining Poisson mass is applied in one
     go — the standard shortcut for large [lambda t] horizons (the paper's
     Section 5.4 closes with exactly this wish for its longest series).
-    It is a heuristic: pick thresholds well below the accuracy target. *)
+    It is a heuristic: pick thresholds well below the accuracy target.
+
+    All solvers also accept [?pool]: the sparse matrix–vector product of
+    every uniformisation step is then row-partitioned across the pool's
+    domains.  Without a pool (or with {!Parallel.Pool.sequential}) the code
+    path is exactly the sequential one, so results are bit-identical to
+    earlier releases; with a pool of [>= 2] domains the forward
+    (distribution) direction regroups floating-point additions and may
+    differ from the sequential result by rounding. *)
 
 val distribution :
-  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
+  ?pool:Parallel.Pool.t -> Ctmc.t ->
   init:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [distribution c ~init ~t] is the state distribution at time [t >= 0]
     starting from distribution [init].  [epsilon] (default [1e-12]) bounds
@@ -24,21 +33,22 @@ val distribution :
     or if [init] is not a distribution. *)
 
 val distribution_many :
-  ?epsilon:float -> ?rate:float -> Ctmc.t -> init:Linalg.Vec.t ->
-  times:float list -> (float * Linalg.Vec.t) list
+  ?epsilon:float -> ?rate:float -> ?pool:Parallel.Pool.t -> Ctmc.t ->
+  init:Linalg.Vec.t -> times:float list -> (float * Linalg.Vec.t) list
 (** Transient distributions at several time points (times may be
     unsorted). *)
 
 val reachability :
-  ?epsilon:float -> ?stationary_detection:float -> Ctmc.t ->
-  init:Linalg.Vec.t -> goal:bool array -> t:float -> float
+  ?epsilon:float -> ?stationary_detection:float -> ?pool:Parallel.Pool.t ->
+  Ctmc.t -> init:Linalg.Vec.t -> goal:bool array -> t:float -> float
 (** Probability mass accumulated in the [goal] set at time [t]; the goal
     states are assumed absorbing by the caller (the P1 recipe of the
     paper's Section 3: make goal and illegal states absorbing, then read
     off the transient mass). *)
 
 val backward :
-  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
+  ?pool:Parallel.Pool.t -> Ctmc.t ->
   terminal:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [backward c ~terminal ~t] is the backward pass
     [sum_n poi(lambda t, n) P^n terminal]: entry [s] is the expectation of
@@ -47,7 +57,8 @@ val backward :
     vector it is the phase-1 step of interval-bounded until. *)
 
 val reachability_all :
-  ?epsilon:float -> ?rate:float -> ?stationary_detection:float -> Ctmc.t ->
+  ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
+  ?pool:Parallel.Pool.t -> Ctmc.t ->
   goal:bool array -> t:float -> Linalg.Vec.t
 (** Backward uniformisation: entry [s] is the probability of sitting in the
     [goal] set at time [t] when starting from state [s] — i.e. one column

@@ -1,0 +1,124 @@
+(* Each worker owns a slot: a mailbox for the next task, guarded by a
+   mutex/condition pair for posting (workers block between calls, so an
+   idle pool costs nothing), and an atomic flag for completion (callers
+   spin on it — tasks are short-lived loop chunks, and spinning avoids a
+   wake-up latency on the critical path of every kernel invocation). *)
+
+type slot = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable stop : bool;
+  pending : bool Atomic.t;
+}
+
+type t = {
+  slots : slot array;                  (* length size - 1 *)
+  domains : unit Domain.t array;
+  in_use : bool Atomic.t;              (* nesting / cross-domain guard *)
+  mutable alive : bool;
+}
+
+let sequential =
+  { slots = [||]; domains = [||]; in_use = Atomic.make false; alive = false }
+
+let size t = Array.length t.slots + 1
+
+let worker_loop slot =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock slot.mutex;
+    while Option.is_none slot.task && not slot.stop do
+      Condition.wait slot.cond slot.mutex
+    done;
+    let job = slot.task in
+    slot.task <- None;
+    let stopping = slot.stop in
+    Mutex.unlock slot.mutex;
+    match job with
+    | Some f ->
+      f ();
+      Atomic.set slot.pending false
+    | None -> if stopping then continue_ := false
+  done
+
+let create jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if jobs = 1 then sequential
+  else begin
+    let slots =
+      Array.init (jobs - 1) (fun _ ->
+          { mutex = Mutex.create ();
+            cond = Condition.create ();
+            task = None;
+            stop = false;
+            pending = Atomic.make false })
+    in
+    let domains =
+      Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots
+    in
+    { slots; domains; in_use = Atomic.make false; alive = true }
+  end
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter
+      (fun slot ->
+        Mutex.lock slot.mutex;
+        slot.stop <- true;
+        Condition.signal slot.cond;
+        Mutex.unlock slot.mutex)
+      t.slots;
+    Array.iter Domain.join t.domains
+  end
+
+let with_pool ~jobs f =
+  let pool = create jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let default_job_count () = Domain.recommended_domain_count ()
+
+let post slot job =
+  Atomic.set slot.pending true;
+  Mutex.lock slot.mutex;
+  slot.task <- Some job;
+  Condition.signal slot.cond;
+  Mutex.unlock slot.mutex
+
+let wait slot =
+  while Atomic.get slot.pending do
+    Domain.cpu_relax ()
+  done
+
+let parallel_for ?(cutoff = 512) t ~lo ~hi body =
+  let len = hi - lo in
+  if len > 0 then begin
+    let workers = Array.length t.slots in
+    if
+      workers = 0 || len <= cutoff || not t.alive
+      || not (Atomic.compare_and_set t.in_use false true)
+    then body lo hi
+    else begin
+      let pieces = Stdlib.min (workers + 1) len in
+      let bound i = lo + (len * i / pieces) in
+      let failure = Atomic.make None in
+      let chunk i () =
+        try body (bound i) (bound (i + 1))
+        with e ->
+          let trace = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, trace)))
+      in
+      for i = 1 to pieces - 1 do
+        post t.slots.(i - 1) (chunk i)
+      done;
+      chunk 0 ();
+      for i = 1 to pieces - 1 do
+        wait t.slots.(i - 1)
+      done;
+      Atomic.set t.in_use false;
+      match Atomic.get failure with
+      | Some (e, trace) -> Printexc.raise_with_backtrace e trace
+      | None -> ()
+    end
+  end

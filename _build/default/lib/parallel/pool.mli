@@ -1,0 +1,62 @@
+(** A fixed-size pool of worker domains for data-parallel loops.
+
+    OCaml 5 domains are expensive to spawn (each one is an OS thread plus a
+    GC participant), so the pool spawns its workers once and reuses them
+    across calls — the per-call cost of {!parallel_for} is two
+    synchronisations per worker, not a [Domain.spawn].
+
+    Design rules, in the order they matter to the numerical code built on
+    top:
+
+    - {b Determinism.}  The index range is split into at most [size pool]
+      contiguous chunks with statically computed boundaries.  Which domain
+      executes which chunk is scheduler-dependent, but the chunk
+      boundaries are a pure function of [(lo, hi, size)], so any
+      per-chunk reduction merged in chunk order gives run-to-run
+      reproducible results for a fixed pool size.
+    - {b Sequential cutoff.}  Ranges of at most [cutoff] indices run
+      inline in the calling domain, with no synchronisation at all —
+      small models pay zero overhead.  A pool of size 1 (including
+      {!sequential}) always runs inline, executing the exact same code
+      path as a plain [for] loop.
+    - {b No nesting.}  A [parallel_for] issued from inside a task of the
+      same pool (or while another domain is using the pool) runs its body
+      inline instead of deadlocking; the outermost loop owns the workers. *)
+
+type t
+
+val sequential : t
+(** The trivial pool of size 1.  Never spawns a domain; every
+    [parallel_for] runs inline.  Passing it is equivalent to passing no
+    pool at all, which makes it a convenient default for [?pool]
+    arguments. *)
+
+val create : int -> t
+(** [create jobs] spawns [jobs - 1] worker domains (the calling domain is
+    the [jobs]-th worker).  [create 1] returns {!sequential} without
+    spawning.  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val size : t -> int
+(** Number of domains that participate in a loop, including the caller. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent; {!sequential} is a no-op.
+    Using the pool after [shutdown] runs everything inline. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val default_job_count : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+val parallel_for :
+  ?cutoff:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi body] covers the half-open range [\[lo, hi)]
+    with disjoint contiguous chunks, calling [body chunk_lo chunk_hi] for
+    each.  Chunks run concurrently on the pool's domains, so [body] must
+    only write state that is private to its index range.  If
+    [hi - lo <= cutoff] (default [512]) or the pool has size 1 or is busy,
+    [body lo hi] is called directly in the caller.  The first exception
+    raised by any chunk is re-raised in the caller after all chunks have
+    finished. *)

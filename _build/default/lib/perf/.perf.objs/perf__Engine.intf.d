@@ -1,1 +1,1 @@
-lib/perf/engine.mli: Format Problem
+lib/perf/engine.mli: Format Parallel Problem

@@ -1,1 +1,1 @@
-lib/perf/sericola.mli: Markov Problem
+lib/perf/sericola.mli: Markov Parallel Problem

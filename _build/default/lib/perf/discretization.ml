@@ -12,7 +12,7 @@ let integral_steps ~what ~step value =
          value step);
   int_of_float rounded
 
-let solve ~step (p : Problem.t) =
+let solve ?(pool = Parallel.Pool.sequential) ~step (p : Problem.t) =
   let d = step in
   if not (d > 0.0 && Float.is_finite d) then
     invalid_arg "Discretization.solve: step must be positive";
@@ -54,15 +54,20 @@ let solve ~step (p : Problem.t) =
   Linalg.Csr.iter (Markov.Ctmc.rates chain) (fun s s' rate ->
       incoming.(s') <- (s, rate, impulse_cells s s') :: incoming.(s'));
   let stay = Array.init n (fun s -> 1.0 -. (Markov.Ctmc.exit_rate chain s *. d)) in
-  for _j = 2 to t_steps do
-    for s = 0 to n - 1 do
-      let row = f_next.(s) in
+  (* Swap the grids between steps instead of copying them back. *)
+  let cur = ref f_cur and next = ref f_next in
+  (* State rows are wide (width = r/d + 1 cells) and independent within a
+     time step — each reads the previous grid freely but writes only its
+     own row — so the state loop parallelises with a cutoff of one row. *)
+  let advance cur next lo hi =
+    for s = lo to hi - 1 do
+      let row = next.(s) in
       Array.fill row 0 width 0.0;
       (* Remained in s for the whole step. *)
       let shift = rho.(s) in
       let factor = stay.(s) in
       for k = shift to width - 1 do
-        row.(k) <- f_cur.(s).(k - shift) *. factor
+        row.(k) <- cur.(s).(k - shift) *. factor
       done;
       (* Moved into s from s' during the step: the reward index advances
          by the source's rate reward plus the transition's impulse. *)
@@ -70,21 +75,25 @@ let solve ~step (p : Problem.t) =
         (fun (s', rate, impulse) ->
           let shift' = rho.(s') + impulse in
           let w = rate *. d in
-          let src = f_cur.(s') in
+          let src = cur.(s') in
           for k = shift' to width - 1 do
             row.(k) <- row.(k) +. (src.(k - shift') *. w)
           done)
         incoming.(s)
-    done;
-    for s = 0 to n - 1 do
-      Array.blit f_next.(s) 0 f_cur.(s) 0 width
     done
+  in
+  for _j = 2 to t_steps do
+    Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:n
+      (advance !cur !next);
+    let tmp = !cur in
+    cur := !next;
+    next := tmp
   done;
   let acc = Numerics.Kahan.create () in
   for s = 0 to n - 1 do
     if p.Problem.goal.(s) then
       for k = 0 to width - 1 do
-        Numerics.Kahan.add acc f_cur.(s).(k)
+        Numerics.Kahan.add acc !cur.(s).(k)
       done
   done;
   Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum acc *. d)

@@ -21,8 +21,15 @@
     reward zero is not silently dropped; on models whose initial states
     have positive reward (the case study) the two conventions coincide. *)
 
-val solve : step:float -> Problem.t -> float
+val solve : ?pool:Parallel.Pool.t -> step:float -> Problem.t -> float
 (** [solve ~step p] runs the scheme with step size [d = step].
+
+    [pool] partitions the per-state grid updates of each time step across
+    its domains.  Each state writes only its own [width]-cell row, so the
+    result is bit-identical to the sequential scheme for every pool size.
+    This loop is the repo's heaviest kernel at fine steps
+    ([O(|S| * r/d)] work per time step, [t/d] steps) and the primary
+    beneficiary of [--jobs].
 
     Raises [Invalid_argument] if a reward is not (within [1e-9] of) a
     natural number, if [d] does not evenly divide the time bound and the

@@ -10,16 +10,16 @@ let name = function
   | Discretize _ -> "discretisation"
   | Occupation_time _ -> "occupation-time"
 
-let solve spec (p : Problem.t) =
+let solve ?pool spec (p : Problem.t) =
   if Problem.reward_trivially_satisfied p then
-    Markov.Transient.reachability
+    Markov.Transient.reachability ?pool
       (Markov.Mrm.ctmc p.Problem.mrm)
       ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
   else
     match spec with
-    | Pseudo_erlang { phases } -> Erlang_approx.solve ~phases p
-    | Discretize { step } -> Discretization.solve ~step p
-    | Occupation_time { epsilon } -> Sericola.solve ~epsilon p
+    | Pseudo_erlang { phases } -> Erlang_approx.solve ?pool ~phases p
+    | Discretize { step } -> Discretization.solve ?pool ~step p
+    | Occupation_time { epsilon } -> Sericola.solve ~epsilon ?pool p
 
 let pp_spec ppf = function
   | Pseudo_erlang { phases } -> Format.fprintf ppf "pseudo-erlang(k=%d)" phases

@@ -17,10 +17,17 @@ val default : spec
 
 val name : spec -> string
 
-val solve : spec -> Problem.t -> float
+val solve : ?pool:Parallel.Pool.t -> spec -> Problem.t -> float
 (** [Pr{Y_t <= r, X_t in goal}] with the chosen procedure.  Problems whose
     reward bound can never be exceeded short-circuit to plain transient
     analysis (this also covers the corner cases the individual engines
-    reject, e.g. a pseudo-Erlang bound of zero on a zero-reward model). *)
+    reject, e.g. a pseudo-Erlang bound of zero on a zero-reward model).
+
+    [pool] runs the chosen procedure's hot loops on a domain pool (see
+    {!Parallel.Pool}): row-partitioned matrix–vector products for the
+    pseudo-Erlang and transient paths, per-state grid updates for the
+    discretisation, and the layer recursion for the occupation-time
+    algorithm.  Omitting it (the default) executes exactly the sequential
+    code, bit-for-bit. *)
 
 val pp_spec : Format.formatter -> spec -> unit

@@ -35,7 +35,7 @@ let expanded_ctmc (p : Problem.t) ~phases =
     (Markov.Mrm.rewards m);
   Markov.Ctmc.of_transitions ~n:(sink + 1) !triples
 
-let solve ?(epsilon = 1e-12) ~phases (p : Problem.t) =
+let solve ?(epsilon = 1e-12) ?pool ~phases (p : Problem.t) =
   let chain = expanded_ctmc p ~phases in
   let n = Markov.Mrm.n_states p.Problem.mrm in
   let total = (n * phases) + 1 in
@@ -49,5 +49,5 @@ let solve ?(epsilon = 1e-12) ~phases (p : Problem.t) =
           goal.((s * phases) + i) <- true
         done)
     p.Problem.goal;
-  Markov.Transient.reachability ~epsilon chain ~init ~goal
+  Markov.Transient.reachability ~epsilon ?pool chain ~init ~goal
     ~t:p.Problem.time_bound

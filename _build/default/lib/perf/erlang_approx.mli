@@ -21,9 +21,12 @@ val expanded_ctmc : Problem.t -> phases:int -> Markov.Ctmc.t
     the exhausted-budget sink is the last index.  Exposed for tests and
     for the tensor-structure discussion in DESIGN.md. *)
 
-val solve : ?epsilon:float -> phases:int -> Problem.t -> float
+val solve :
+  ?epsilon:float -> ?pool:Parallel.Pool.t -> phases:int -> Problem.t -> float
 (** [solve ~phases p] runs transient analysis on the expanded chain
-    ([epsilon], default [1e-12], is the uniformisation truncation error).
+    ([epsilon], default [1e-12], is the uniformisation truncation error);
+    [pool] parallelises the uniformisation steps on the [|S| * k + 1]-state
+    chain (see {!Markov.Transient}).
     Raises [Invalid_argument] if [phases < 1] or if the problem's reward
     bound is zero (the Erlang distribution then degenerates).  A problem
     whose reward bound is unreachable ([rho_max * t <= r]) is still

@@ -20,19 +20,29 @@ type context = {
   levels : float array;              (* rho_0 = 0 < ... < rho_m *)
   level_of_state : int array;        (* index of rho(s) in levels *)
   p : Linalg.Csr.t;                  (* uniformised DTMC *)
+  pool : Parallel.Pool.t;
 }
 
-let block_mul ctx dst src =
-  (* dst <- P . src, blockwise. *)
+(* A block row is w multiply-adds per stored entry, so a modest number of
+   rows already carries enough work to dispatch. *)
+let block_row_cutoff = 16
+
+let block_mul_rows ctx dst src lo hi =
   let w = ctx.width in
-  Array.fill dst 0 (Array.length dst) 0.0;
-  for i = 0 to ctx.n_states - 1 do
+  for i = lo to hi - 1 do
+    Array.fill dst (i * w) w 0.0;
     Linalg.Csr.iter_row ctx.p i (fun j v ->
         let src_off = j * w and dst_off = i * w in
         for col = 0 to w - 1 do
           dst.(dst_off + col) <- dst.(dst_off + col) +. (v *. src.(src_off + col))
         done)
   done
+
+let block_mul ctx dst src =
+  (* dst <- P . src, blockwise; rows write disjoint slices of dst, so the
+     row partition is race-free and bit-identical for any pool size. *)
+  Parallel.Pool.parallel_for ~cutoff:block_row_cutoff ctx.pool ~lo:0
+    ~hi:ctx.n_states (block_mul_rows ctx dst src)
 
 (* Binomial(n, x) probabilities as an array over k = 0..n, in log space so
    that large n and extreme x do not underflow prematurely. *)
@@ -79,64 +89,70 @@ let run_layers ctx ~g ~max_layer ~consume =
     (* png <- P png *)
     block_mul ctx png_scratch png;
     Array.blit png_scratch 0 png 0 size;
-    (* pc.(h).(k) <- P . c(h, layer-1, k) *)
-    for h = 1 to m do
-      for k = 0 to layer - 1 do
-        block_mul ctx pc.(h).(k) prev.(h).(k)
-      done
-    done;
-    (* Ascending pass: rows with rho_i >= rho_h, k = 0 .. layer. *)
-    for h = 1 to m do
-      for i = 0 to ctx.n_states - 1 do
-        if ctx.level_of_state.(i) >= h then begin
+    (* pc.(h).(k) <- P . c(h, layer-1, k).  The (h, k) products are
+       independent, so they are dispatched as one flat range; block_mul's
+       own parallel_for then runs inline (the pool is already busy), which
+       gives the right granularity: many small whole-block tasks instead
+       of slivers of single blocks. *)
+    Parallel.Pool.parallel_for ~cutoff:block_row_cutoff ctx.pool ~lo:0
+      ~hi:(m * layer) (fun lo hi ->
+        for pair = lo to hi - 1 do
+          let h = (pair / layer) + 1 and k = pair mod layer in
+          block_mul_rows ctx pc.(h).(k) prev.(h).(k) 0 ctx.n_states
+        done);
+    (* Band interpolation passes.  Every k-recursion reads and writes only
+       the slice of state i it is run for (the cross-band bases
+       cur.(h-1).(layer) and cur.(h+1).(0) are also at state i), so the
+       whole two-pass sweep parallelises over states with the h- and
+       k-loops kept in their original order per state. *)
+    Parallel.Pool.parallel_for ~cutoff:block_row_cutoff ctx.pool ~lo:0
+      ~hi:ctx.n_states (fun state_lo state_hi ->
+        for i = state_lo to state_hi - 1 do
           let off = i * w in
-          let rho_i = ctx.levels.(ctx.level_of_state.(i)) in
-          let denom = rho_i -. ctx.levels.(h - 1) in
-          let a = (rho_i -. ctx.levels.(h)) /. denom in
-          let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
-          (* base k = 0 *)
-          let base = if h = 1 then png else cur.(h - 1).(layer) in
-          Array.blit base off cur.(h).(0) off w;
-          for k = 1 to layer do
-            let dst = cur.(h).(k)
-            and prev_k = cur.(h).(k - 1)
-            and stepped = pc.(h).(k - 1) in
-            for col = 0 to w - 1 do
-              dst.(off + col) <-
-                (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+          let li = ctx.level_of_state.(i) in
+          let rho_i = ctx.levels.(li) in
+          (* Ascending pass: bands h <= l(i) (rho_i >= rho_h), k = 0 .. layer. *)
+          for h = 1 to li do
+            let denom = rho_i -. ctx.levels.(h - 1) in
+            let a = (rho_i -. ctx.levels.(h)) /. denom in
+            let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
+            (* base k = 0 *)
+            let base = if h = 1 then png else cur.(h - 1).(layer) in
+            Array.blit base off cur.(h).(0) off w;
+            for k = 1 to layer do
+              let dst = cur.(h).(k)
+              and prev_k = cur.(h).(k - 1)
+              and stepped = pc.(h).(k - 1) in
+              for col = 0 to w - 1 do
+                dst.(off + col) <-
+                  (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+              done
+            done
+          done;
+          (* Descending pass: bands h > l(i) (rho_i <= rho_{h-1}),
+             k = layer .. 0. *)
+          for h = m downto li + 1 do
+            let denom = ctx.levels.(h) -. rho_i in
+            let a = (ctx.levels.(h - 1) -. rho_i) /. denom in
+            let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
+            (* base k = layer *)
+            (if h = m then Array.fill cur.(h).(layer) off w 0.0
+             else Array.blit cur.(h + 1).(0) off cur.(h).(layer) off w);
+            for k = layer - 1 downto 0 do
+              let dst = cur.(h).(k)
+              and prev_k = cur.(h).(k + 1)
+              and stepped = pc.(h).(k) in
+              for col = 0 to w - 1 do
+                dst.(off + col) <-
+                  (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+              done
             done
           done
-        end
-      done
-    done;
-    (* Descending pass: rows with rho_i <= rho_{h-1}, k = layer .. 0. *)
-    for h = m downto 1 do
-      for i = 0 to ctx.n_states - 1 do
-        if ctx.level_of_state.(i) <= h - 1 then begin
-          let off = i * w in
-          let rho_i = ctx.levels.(ctx.level_of_state.(i)) in
-          let denom = ctx.levels.(h) -. rho_i in
-          let a = (ctx.levels.(h - 1) -. rho_i) /. denom in
-          let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
-          (* base k = layer *)
-          (if h = m then Array.fill cur.(h).(layer) off w 0.0
-           else Array.blit cur.(h + 1).(0) off cur.(h).(layer) off w);
-          for k = layer - 1 downto 0 do
-            let dst = cur.(h).(k)
-            and prev_k = cur.(h).(k + 1)
-            and stepped = pc.(h).(k) in
-            for col = 0 to w - 1 do
-              dst.(off + col) <-
-                (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
-            done
-          done
-        end
-      done
-    done;
+        done);
     consume layer (fun h k -> cur.(h).(k)) png
   done
 
-let make_context mrm ~width =
+let make_context ?(pool = Parallel.Pool.sequential) mrm ~width =
   let chain = Markov.Mrm.ctmc mrm in
   let n = Markov.Mrm.n_states mrm in
   let levels = Markov.Mrm.reward_levels mrm in
@@ -152,7 +168,7 @@ let make_context mrm ~width =
   in
   let _lambda, p = Markov.Ctmc.uniformized chain in
   { n_states = n; width; n_bands = Array.length levels - 1; levels;
-    level_of_state; p }
+    level_of_state; p; pool }
 
 let select_band levels ~ratio =
   (* Largest h in 1..m with levels.(h-1) <= ratio < levels.(h); the caller
@@ -170,7 +186,7 @@ let reject_impulses name mrm =
       ^ ": impulse rewards are not supported by the occupation-time \
          algorithm (use the discretisation engine or simulation)")
 
-let solve_detailed ?(epsilon = 1e-12) (p : Problem.t) =
+let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve" mrm;
   let chain = Markov.Mrm.ctmc mrm in
@@ -181,7 +197,7 @@ let solve_detailed ?(epsilon = 1e-12) (p : Problem.t) =
   if m = 0 || ratio >= levels.(m) then begin
     (* The reward bound cannot be exceeded: Pr{Y_t > r} = 0. *)
     let transient_mass =
-      Markov.Transient.reachability ~epsilon chain ~init:p.Problem.init
+      Markov.Transient.reachability ~epsilon ?pool chain ~init:p.Problem.init
         ~goal:p.Problem.goal ~t
     in
     { probability = transient_mass; steps = 0; band = 0; x = 0.0;
@@ -190,7 +206,7 @@ let solve_detailed ?(epsilon = 1e-12) (p : Problem.t) =
   else begin
     let h = select_band levels ~ratio in
     let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
-    let ctx = make_context mrm ~width:1 in
+    let ctx = make_context ?pool mrm ~width:1 in
     let rate =
       let m = Markov.Ctmc.max_exit_rate chain in
       if m > 0.0 then m else 1.0
@@ -230,9 +246,9 @@ let solve_detailed ?(epsilon = 1e-12) (p : Problem.t) =
     { probability; steps = max_layer; band = h; x; transient_mass; tail_mass }
   end
 
-let solve ?epsilon p = (solve_detailed ?epsilon p).probability
+let solve ?epsilon ?pool p = (solve_detailed ?epsilon ?pool p).probability
 
-let solve_many ?(epsilon = 1e-12) (p : Problem.t) ~reward_bounds =
+let solve_many ?(epsilon = 1e-12) ?pool (p : Problem.t) ~reward_bounds =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve_many" mrm;
   let chain = Markov.Mrm.ctmc mrm in
@@ -263,13 +279,13 @@ let solve_many ?(epsilon = 1e-12) (p : Problem.t) ~reward_bounds =
       reward_bounds
   in
   let transient_mass =
-    Markov.Transient.reachability ~epsilon chain ~init:p.Problem.init
+    Markov.Transient.reachability ~epsilon ?pool chain ~init:p.Problem.init
       ~goal:p.Problem.goal ~t
   in
   if Array.for_all (( = ) None) positions then
     Array.make n_bounds transient_mass
   else begin
-    let ctx = make_context mrm ~width:1 in
+    let ctx = make_context ?pool mrm ~width:1 in
     let rate =
       let mx = Markov.Ctmc.max_exit_rate chain in
       if mx > 0.0 then mx else 1.0
@@ -319,7 +335,7 @@ let solve_many ?(epsilon = 1e-12) (p : Problem.t) ~reward_bounds =
       positions
   end
 
-let joint_matrix ?(epsilon = 1e-12) mrm ~t ~r =
+let joint_matrix ?(epsilon = 1e-12) ?pool mrm ~t ~r =
   reject_impulses "Sericola.joint_matrix" mrm;
   if not (t > 0.0) then invalid_arg "Sericola.joint_matrix: t must be > 0";
   if r < 0.0 then invalid_arg "Sericola.joint_matrix: r must be >= 0";
@@ -331,7 +347,7 @@ let joint_matrix ?(epsilon = 1e-12) mrm ~t ~r =
   else begin
     let h = select_band levels ~ratio in
     let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
-    let ctx = make_context mrm ~width:n in
+    let ctx = make_context ?pool mrm ~width:n in
     let chain = Markov.Mrm.ctmc mrm in
     let rate =
       let mx = Markov.Ctmc.max_exit_rate chain in

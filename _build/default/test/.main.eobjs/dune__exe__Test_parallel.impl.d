@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Float Int64 Linalg List Models Mutex Parallel Perf QCheck2 QCheck_alcotest Stdlib

@@ -62,6 +62,26 @@ Checking a user-supplied model file with a chosen engine:
     state  2  [down                                    ]  1.0000000000
   value from the initial distribution: 0.0216495215
 
+Running on a domain pool (--jobs) changes nothing about the answer:
+
+  $ csrl-check --model adhoc --jobs 4 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  query:  P=? ((call_idle | doze) U[t<=24][r<=600] call_initiated)
+  engine: occupation-time(eps=1e-09)
+    state  0  [adhoc_idle,call_idle                    ]  0.4969967279
+    state  1  [adhoc_active,call_idle                  ]  0.4969562920
+    state  2  [adhoc_idle,call_initiated               ]  1.0000000000
+    state  3  [adhoc_active,call_initiated             ]  1.0000000000
+    state  4  [adhoc_idle,call_incoming                ]  0.0000000000
+    state  5  [adhoc_active,call_incoming              ]  0.0000000000
+    state  6  [adhoc_idle,call_active                  ]  0.0000000000
+    state  7  [adhoc_active,call_active                ]  0.0000000000
+    state  8  [doze                                    ]  0.4968541781
+  value from the initial distribution: 0.4969967279
+
+  $ csrl-check --model adhoc --jobs 0 'true'
+  --jobs needs a positive count
+  [2]
+
 Expected rewards (the R-operator extension):
 
   $ csrl-check --file station.mrm 'R=? ( C[t<=10] )'

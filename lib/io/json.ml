@@ -1,0 +1,288 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Object of (string * t) list
+
+exception Parse_error of string * int
+
+(* ------------------------------------------------------------------ *)
+(* Emission.                                                           *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.to_string: non-finite number";
+  (* Shortest representation that round-trips, with JSON-legal syntax. *)
+  let exact p = float_of_string (Printf.sprintf "%.*g" p f) = f in
+  let p = if exact 12 then 12 else if exact 15 then 15 else 17 in
+  Printf.sprintf "%.*g" p f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f -> Buffer.add_string buf (number_to_string f)
+  | String s -> escape_into buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Object fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf key;
+        Buffer.add_char buf ':';
+        emit buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+
+type state = { text : string; mutable pos : int }
+
+let error st message = raise (Parse_error (message, st.pos))
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue_ := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> advance st
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.text
+     && String.sub st.text st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error st "bad hex digit in \\u escape"
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.text then error st "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v * 16) + hex_digit st st.text.[st.pos];
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | None -> error st "unterminated escape"
+       | Some c ->
+         advance st;
+         (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            let cp = parse_hex4 st in
+            let cp =
+              (* Combine a high surrogate with a following \uXXXX low
+                 surrogate; lone surrogates decode as-is (lenient). *)
+              if cp >= 0xD800 && cp <= 0xDBFF
+                 && st.pos + 1 < String.length st.text
+                 && st.text.[st.pos] = '\\'
+                 && st.text.[st.pos + 1] = 'u'
+              then begin
+                let saved = st.pos in
+                st.pos <- st.pos + 2;
+                let low = parse_hex4 st in
+                if low >= 0xDC00 && low <= 0xDFFF then
+                  0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+                else begin
+                  st.pos <- saved;
+                  cp
+                end
+              end
+              else cp
+            in
+            add_utf8 buf cp
+          | _ -> error st "bad escape"));
+      loop ()
+    | Some c when Char.code c < 0x20 -> error st "raw control char in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let digits () =
+    let saw = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      match peek st with
+      | Some '0' .. '9' -> saw := true; advance st
+      | _ -> continue_ := false
+    done;
+    if not !saw then error st "expected digit"
+  in
+  if peek st = Some '-' then advance st;
+  digits ();
+  if peek st = Some '.' then begin
+    advance st;
+    digits ()
+  end;
+  (match peek st with
+   | Some ('e' | 'E') ->
+     advance st;
+     (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+     digits ()
+   | _ -> ());
+  match float_of_string_opt (String.sub st.text start (st.pos - start)) with
+  | Some f -> Number f
+  | None -> error st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Object []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; fields ((key, value) :: acc)
+        | Some '}' -> advance st; List.rev ((key, value) :: acc)
+        | _ -> error st "expected ',' or '}'"
+      in
+      Object (fields [])
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; items (value :: acc)
+        | Some ']' -> advance st; List.rev (value :: acc)
+        | _ -> error st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length text then error st "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Object fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+let to_text = function String s -> Some s | _ -> None
