@@ -47,6 +47,14 @@ let timed f =
 let jobs = ref 1
 let pool = ref Parallel.Pool.sequential
 
+(* Session-wide telemetry, enabled by --trace FILE / --stats: per-run
+   recorders (one per procedure in the `perf` artifact) are absorbed into
+   it, and it is dumped at the end of the session. *)
+let trace_path : string option ref = ref None
+let stats = ref false
+let session_telemetry : Telemetry.t option ref = ref None
+let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let reference_value ~r =
   Perf.Sericola.solve ~epsilon:1e-10 ~pool:!pool (q3_problem ~r)
 
@@ -189,8 +197,8 @@ let table4 full =
 let q1q2 _full =
   heading "Q1 and Q2 (Section 5.3): standard P2/P1 checking";
   let ctx =
-    Checker.make ~epsilon:1e-10 ~pool:!pool (Models.Adhoc.mrm ())
-      (Models.Adhoc.labeling ())
+    Checker.make ~epsilon:1e-10 ~pool:!pool ?telemetry:!session_telemetry
+      (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
   in
   List.iter
     (fun (name, verdict_text, query_text) ->
@@ -465,25 +473,38 @@ let perf full =
   let denom = if full then 256.0 else 32.0 in
   let runs =
     [ ("occupation-time", size,
-       fun () -> ignore (Perf.Sericola.solve ~epsilon:1e-8 ~pool:!pool p));
+       fun tel ->
+         ignore (Perf.Sericola.solve ~epsilon:1e-8 ~pool:!pool ~telemetry:tel p));
       ("pseudo-erlang", (size * phases) + 1,
-       fun () ->
-         ignore (Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases ~pool:!pool p));
+       fun tel ->
+         ignore
+           (Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases ~pool:!pool
+              ~telemetry:tel p));
       ("discretisation", size,
-       fun () ->
-         ignore (Perf.Discretization.solve ~step:(1.0 /. denom) ~pool:!pool p)) ]
+       fun tel ->
+         ignore
+           (Perf.Discretization.solve ~step:(1.0 /. denom) ~pool:!pool
+              ~telemetry:tel p)) ]
   in
   let entries =
     List.map
       (fun (procedure, size, f) ->
-        let (), seconds = timed f in
+        (* One fresh recorder per procedure: the JSON entry carries that
+           run's convergence counters, and the session recorder (if any)
+           accumulates them all. *)
+        let run_telemetry = Telemetry.create ~clock:monotonic_seconds () in
+        let (), seconds = timed (fun () -> f run_telemetry) in
+        Option.iter
+          (fun session -> Telemetry.absorb session (Telemetry.report run_telemetry))
+          !session_telemetry;
         Printf.printf "  %-16s (%5d states, %d jobs)  %s\n" procedure size
           !jobs (Io.Table.seconds seconds);
         Io.Json.Object
           [ ("procedure", Io.Json.String procedure);
             ("size", Io.Json.Number (float_of_int size));
             ("jobs", Io.Json.Number (float_of_int !jobs));
-            ("seconds", Io.Json.Number seconds) ])
+            ("seconds", Io.Json.Number seconds);
+            ("telemetry", Io.Trace.to_json run_telemetry) ])
       runs
   in
   let doc =
@@ -521,9 +542,17 @@ let () =
     | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
       set_jobs (String.sub arg 7 (String.length arg - 7));
       strip_jobs rest
+    | "--stats" :: rest -> stats := true; strip_jobs rest
+    | "--trace" :: value :: rest -> trace_path := Some value; strip_jobs rest
+    | [ "--trace" ] -> prerr_endline "--trace needs a file path"; exit 2
+    | arg :: rest when String.starts_with ~prefix:"--trace=" arg ->
+      trace_path := Some (String.sub arg 8 (String.length arg - 8));
+      strip_jobs rest
     | arg :: rest -> arg :: strip_jobs rest
   in
   let args = strip_jobs args in
+  if !trace_path <> None || !stats then
+    session_telemetry := Some (Telemetry.create ~clock:monotonic_seconds ());
   let full = List.mem "--full" args in
   let selected =
     List.filter (fun a -> a <> "--full" && a <> "all") args
@@ -544,4 +573,29 @@ let () =
   in
   Parallel.Pool.with_pool ~jobs:!jobs @@ fun p ->
   pool := p;
-  List.iter (fun (_, f) -> f full) to_run
+  (* Busy-time accounting only for --trace: it adds two clock reads per
+     chunk, and --stats output must stay deterministic. *)
+  (match !session_telemetry with
+   | Some tel when !trace_path <> None ->
+     Parallel.Pool.instrument p (Telemetry.clock tel)
+   | _ -> ());
+  List.iter (fun (_, f) -> f full) to_run;
+  match !session_telemetry with
+  | None -> ()
+  | Some tel ->
+    Io.Trace.record_pool_stats tel p;
+    (match !trace_path with
+     | None -> ()
+     | Some path ->
+       let document =
+         Io.Json.Object
+           [ ("tool", Io.Json.String "bench");
+             ("jobs", Io.Json.Number (float_of_int !jobs));
+             ("telemetry", Io.Trace.to_json tel) ]
+       in
+       let oc = open_out path in
+       output_string oc (Io.Json.to_string document);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote %s\n" path);
+    if !stats then Io.Trace.print_stats stdout tel

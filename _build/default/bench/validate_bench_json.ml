@@ -62,6 +62,27 @@ let () =
         context "\"jobs\" is not a positive integer (%g)" jobs;
       let seconds = number "seconds" entry in
       if not (Float.is_finite seconds && seconds >= 0.0) then
-        context "\"seconds\" is not a non-negative number (%g)" seconds)
+        context "\"seconds\" is not a non-negative number (%g)" seconds;
+      (* Every entry carries its run's convergence telemetry: at least
+         one counter, and all counters/gauges finite numbers. *)
+      let telemetry = get "telemetry" entry in
+      let section name =
+        match Io.Json.member name telemetry with
+        | Some (Io.Json.Object fields) -> fields
+        | Some _ -> context "telemetry %S is not an object" name
+        | None -> context "telemetry missing %S" name
+      in
+      let check_numbers name fields =
+        List.iter
+          (fun (key, v) ->
+            match Io.Json.to_float v with
+            | Some f when Float.is_finite f -> ()
+            | _ -> context "telemetry %s %S is not a finite number" name key)
+          fields
+      in
+      let counters = section "counters" in
+      if counters = [] then context "telemetry has no counters";
+      check_numbers "counter" counters;
+      check_numbers "gauge" (section "gauges"))
     entries;
   Printf.printf "%s: %d entries ok\n" path (List.length entries)

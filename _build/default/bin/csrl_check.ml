@@ -123,8 +123,11 @@ let print_info mrm labeling init =
   Printf.printf "long-run reward rate: %g\n"
     (Markov.Expected_reward.steady_rate mrm ~init)
 
-let run model_name file engine_text epsilon jobs list_props info lump
-    formula_text =
+(* bechamel's monotonic clock returns nanoseconds. *)
+let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let run model_name file engine_text epsilon jobs trace stats list_props info
+    lump formula_text =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -187,8 +190,19 @@ let run model_name file engine_text epsilon jobs list_props info lump
     | Ok e -> e
     | Error message -> prerr_endline message; exit 2
   in
+  let telemetry =
+    if trace <> None || stats then
+      Some (Telemetry.create ~clock:monotonic_seconds ())
+    else None
+  in
   Parallel.Pool.with_pool ~jobs @@ fun pool ->
-  let ctx = Checker.make ~engine ~epsilon ~pool mrm labeling in
+  (* Busy-time accounting costs two clock reads per chunk, so it is only
+     switched on for --trace, keeping --stats output deterministic. *)
+  (if trace <> None then
+     Option.iter
+       (fun tel -> Parallel.Pool.instrument pool (Telemetry.clock tel))
+       telemetry);
+  let ctx = Checker.make ~engine ~epsilon ~pool ?telemetry mrm labeling in
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
     Printf.eprintf "parse error at position %d: %s\n" pos message;
@@ -196,16 +210,43 @@ let run model_name file engine_text epsilon jobs list_props info lump
   | query -> begin
       Format.printf "query:  %a@." Logic.Ast.pp_query query;
       Format.printf "engine: %a@." Perf.Engine.pp_spec engine;
+      let finish () =
+        Option.iter
+          (fun tel ->
+            Io.Trace.record_pool_stats tel pool;
+            (match trace with
+             | None -> ()
+             | Some path ->
+               let document =
+                 Io.Json.Object
+                   [ ("tool", Io.Json.String "csrl-check");
+                     ("query",
+                      Io.Json.String
+                        (Format.asprintf "%a" Logic.Ast.pp_query query));
+                     ("engine",
+                      Io.Json.String
+                        (Format.asprintf "%a" Perf.Engine.pp_spec engine));
+                     ("jobs", Io.Json.Number (float_of_int jobs));
+                     ("telemetry", Io.Trace.to_json tel) ]
+               in
+               Out_channel.with_open_text path (fun oc ->
+                   output_string oc (Io.Json.to_string document);
+                   output_char oc '\n'));
+            if stats then Io.Trace.print_stats stdout tel)
+          telemetry
+      in
       match Checker.eval_query ctx query with
       | Checker.Boolean mask ->
         print_states labeling (`Mask mask);
         let p = Linalg.Vec.dot init (Array.map (fun b -> if b then 1.0 else 0.0) mask) in
         Printf.printf "initial distribution satisfies the formula with mass %g\n" p;
+        finish ();
         if p < 1.0 then exit 1
       | Checker.Numeric probs ->
         print_states labeling (`Probs probs);
         Printf.printf "value from the initial distribution: %.10f\n"
-          (Linalg.Vec.dot init probs)
+          (Linalg.Vec.dot init probs);
+        finish ()
     end
 
 open Cmdliner
@@ -236,6 +277,22 @@ let jobs_arg =
      sequential run by floating-point rounding only."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a JSON trace of the run to $(docv): convergence counters and \
+     gauges of every numerical procedure used (Fox-Glynn truncation \
+     points, uniformisation iterations, Sericola's achieved epsilon, \
+     ...), timed spans, and pool utilisation."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print the run's convergence counters and gauges after the verdict \
+     (a deterministic subset of --trace: no timings)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
 
 let list_props_arg =
   let doc = "List the model's atomic propositions and exit." in
@@ -279,6 +336,7 @@ let cmd =
     (Cmd.info "csrl-check" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
-      $ list_props_arg $ info_arg $ lump_arg $ formula_arg)
+      $ trace_arg $ stats_arg $ list_props_arg $ info_arg $ lump_arg
+      $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

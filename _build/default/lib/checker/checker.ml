@@ -4,15 +4,16 @@ type t = {
   engine : Perf.Engine.spec;
   epsilon : float;
   pool : Parallel.Pool.t;
+  telemetry : Telemetry.t option;
 }
 
 exception Unsupported of string
 
 let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
-    ?(pool = Parallel.Pool.sequential) mrm labeling =
+    ?(pool = Parallel.Pool.sequential) ?telemetry mrm labeling =
   if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
     invalid_arg "Checker.make: labeling and model sizes differ";
-  { mrm; labeling; engine; epsilon; pool }
+  { mrm; labeling; engine; epsilon; pool; telemetry }
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
@@ -42,6 +43,8 @@ let until_unbounded ctx ~phi ~psi =
   let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol:(ctx.epsilon /. 10.0) a ~b in
   if not outcome.Linalg.Solvers.converged then
     failwith "Checker: unbounded-until system did not converge";
+  Telemetry.add ctx.telemetry "unbounded_until.iterations"
+    outcome.Linalg.Solvers.iterations;
   Array.init n (fun s ->
       if prob1.(s) then 1.0
       else if prob0.(s) then 0.0
@@ -56,7 +59,7 @@ let until_time_bounded ctx ~phi ~psi ~time_bound =
   let absorb = Array.init n (fun s -> psi.(s) || not phi.(s)) in
   let absorbed = Markov.Transform.make_absorbing chain ~absorb in
   Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
-    absorbed ~goal:psi ~t:time_bound
+    ?telemetry:ctx.telemetry absorbed ~goal:psi ~t:time_bound
 
 (* ------------------------------------------------------------------ *)
 (* Until with a time interval [a, b] (or [a, inf)): the standard
@@ -81,8 +84,8 @@ let until_time_window ctx ~phi ~psi ~t_lo ~t_hi =
     Markov.Transform.make_absorbing chain ~absorb:(Array.map not phi)
   in
   Array.map Numerics.Float_utils.clamp_prob
-    (Markov.Transient.backward ~epsilon:ctx.epsilon ~pool:ctx.pool absorbed
-       ~terminal ~t:t_lo)
+    (Markov.Transient.backward ~epsilon:ctx.epsilon ~pool:ctx.pool
+       ?telemetry:ctx.telemetry absorbed ~terminal ~t:t_lo)
 
 (* ------------------------------------------------------------------ *)
 (* Reward-bounded until (P2): duality transform, then P1 on the dual. *)
@@ -100,7 +103,8 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
   let dual = Markov.Duality.dual m' in
   let dual_probs =
     Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
-      (Markov.Mrm.ctmc dual) ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
+      ?telemetry:ctx.telemetry (Markov.Mrm.ctmc dual)
+      ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
   in
   Array.init n (fun s -> dual_probs.(reduced.Perf.Reduced.state_map.(s)))
 
@@ -109,7 +113,7 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
 
 let until_both_bounded ctx ~phi ~psi ~time_bound ~reward_bound =
   Perf.Reduced.until_probabilities_via
-    (Perf.Engine.solve ~pool:ctx.pool ctx.engine)
+    (Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry ctx.engine)
     ctx.mrm ~phi ~psi ~time_bound ~reward_bound
 
 (* ------------------------------------------------------------------ *)
@@ -273,7 +277,9 @@ type verdict =
   | Boolean of bool array
   | Numeric of Linalg.Vec.t
 
-let eval_query ctx = function
+let eval_query ctx q =
+  Telemetry.with_span ctx.telemetry "checker.eval_query" @@ fun () ->
+  match q with
   | Logic.Ast.Formula f -> Boolean (sat ctx f)
   | Logic.Ast.Prob_query path -> Numeric (path_probabilities ctx path)
   | Logic.Ast.Steady_query f -> Numeric (steady_probabilities ctx f)

@@ -29,12 +29,24 @@ exception Unsupported of string
 
 val make :
   ?engine:Perf.Engine.spec -> ?epsilon:float -> ?pool:Parallel.Pool.t ->
+  ?telemetry:Telemetry.t ->
   Markov.Mrm.t -> Markov.Labeling.t -> t
 (** [engine] (default {!Perf.Engine.default}) solves the [P3] problems;
     [epsilon] (default [1e-9]) is the accuracy of transient analyses;
     [pool] (default sequential) runs the numerical kernels — transient
     analyses and the [P3] engines — on a domain pool (the CLI's
-    [--jobs]). *)
+    [--jobs]).
+
+    [telemetry] (default off) threads a {!Telemetry} recorder through
+    every numerical procedure the traversal dispatches to: transient
+    analyses record [fox_glynn.*] and [uniformisation.*], the [P3]
+    engines their [sericola.*] / [discretisation.*] / [erlang.*]
+    measurements under an [engine.<name>] span, the [P0] linear system
+    the counter [unbounded_until.iterations], and {!eval_query} wraps
+    the whole traversal in a [checker.eval_query] span.  Telemetry only
+    observes the computation: with it disabled (or enabled) all computed
+    values are identical, bit for bit (the CLI's [--trace] /
+    [--stats]). *)
 
 val mrm : t -> Markov.Mrm.t
 val labeling : t -> Markov.Labeling.t

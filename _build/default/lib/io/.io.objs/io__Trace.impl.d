@@ -1,0 +1,1 @@
+lib/io/trace.ml: Json List Parallel Printf Telemetry

@@ -1,0 +1,1 @@
+lib/io/trace.mli: Json Parallel Telemetry

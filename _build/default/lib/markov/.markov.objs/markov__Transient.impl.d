@@ -1,1 +1,1 @@
-lib/markov/transient.ml: Array Ctmc Float Linalg List Numerics
+lib/markov/transient.ml: Array Ctmc Float Linalg List Numerics Telemetry

@@ -1,1 +1,1 @@
-lib/markov/transient.mli: Ctmc Linalg Parallel
+lib/markov/transient.mli: Ctmc Linalg Parallel Telemetry

@@ -12,9 +12,11 @@ let check_init c init =
    iteration map is non-expansive, so a tiny single-step movement signals
    (but does not prove) stationarity; thresholds well below the accuracy
    target make the error negligible in practice. *)
-let series ?stationary_detection ~epsilon ~q ~start ~step () =
+let series ?stationary_detection ?telemetry ~epsilon ~q ~start ~step () =
   let n = Array.length start in
   let fg = Numerics.Fox_glynn.compute ~q ~epsilon in
+  Numerics.Fox_glynn.record telemetry fg;
+  Telemetry.record telemetry "uniformisation.q" q;
   let result = Linalg.Vec.create n in
   let v = ref (Linalg.Vec.copy start) in
   let scratch = ref (Linalg.Vec.create n) in
@@ -35,6 +37,7 @@ let series ?stationary_detection ~epsilon ~q ~start ~step () =
          (* Stationary: flush the remaining Poisson mass at once. *)
          let remaining = Float.max 0.0 (fg.Numerics.Fox_glynn.total -. !consumed) in
          Linalg.Vec.axpy ~alpha:remaining ~x:!scratch ~y:result;
+         Telemetry.add telemetry "uniformisation.stationary_cutoffs" 1;
          finished := true
        | _ -> ());
       let tmp = !v in
@@ -43,48 +46,60 @@ let series ?stationary_detection ~epsilon ~q ~start ~step () =
       incr index
     end
   done;
+  Telemetry.add telemetry "uniformisation.iterations" !index;
   result
 
-let distribution ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool c
-    ~init ~t =
+let distribution ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool
+    ?telemetry c ~init ~t =
   check_init c init;
   if t < 0.0 then invalid_arg "Transient.distribution: negative time";
   if t = 0.0 then Linalg.Vec.copy init
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
-    series ?stationary_detection ~epsilon ~q:(lambda *. t) ~start:init
+    Telemetry.record telemetry "uniformisation.rate" lambda;
+    series ?stationary_detection ?telemetry ~epsilon ~q:(lambda *. t)
+      ~start:init
       ~step:(fun v out -> Linalg.Csr.vec_mul_into ?pool v p out)
       ()
   end
 
-let distribution_many ?epsilon ?rate ?pool c ~init ~times =
-  List.map (fun t -> (t, distribution ?epsilon ?rate ?pool c ~init ~t)) times
+let distribution_many ?epsilon ?rate ?pool ?telemetry c ~init ~times =
+  List.map
+    (fun t -> (t, distribution ?epsilon ?rate ?pool ?telemetry c ~init ~t))
+    times
 
-let reachability ?epsilon ?stationary_detection ?pool c ~init ~goal ~t =
+let reachability ?epsilon ?stationary_detection ?pool ?telemetry c ~init
+    ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability: goal has the wrong length";
-  let pi = distribution ?epsilon ?stationary_detection ?pool c ~init ~t in
+  let pi =
+    distribution ?epsilon ?stationary_detection ?pool ?telemetry c ~init ~t
+  in
   Numerics.Float_utils.clamp_prob (Linalg.Vec.masked_sum pi goal)
 
-let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool c
-    ~terminal ~t =
+let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool ?telemetry
+    c ~terminal ~t =
   if Array.length terminal <> Ctmc.n_states c then
     invalid_arg "Transient.backward: terminal vector has the wrong length";
   if t < 0.0 then invalid_arg "Transient.backward: negative time";
   if t = 0.0 then Linalg.Vec.copy terminal
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
-    series ?stationary_detection ~epsilon ~q:(lambda *. t) ~start:terminal
+    Telemetry.record telemetry "uniformisation.rate" lambda;
+    series ?stationary_detection ?telemetry ~epsilon ~q:(lambda *. t)
+      ~start:terminal
       ~step:(fun v out -> Linalg.Csr.mul_vec_into ?pool p v out)
       ()
   end
 
-let reachability_all ?epsilon ?rate ?stationary_detection ?pool c ~goal ~t =
+let reachability_all ?epsilon ?rate ?stationary_detection ?pool ?telemetry c
+    ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability_all: goal has the wrong length";
   let terminal = Array.map (fun b -> if b then 1.0 else 0.0) goal in
   Array.map Numerics.Float_utils.clamp_prob
-    (backward ?epsilon ?rate ?stationary_detection ?pool c ~terminal ~t)
+    (backward ?epsilon ?rate ?stationary_detection ?pool ?telemetry c
+       ~terminal ~t)
 
 let steps_for ?rate c ~t ~epsilon =
   if t < 0.0 then invalid_arg "Transient.steps_for: negative time";

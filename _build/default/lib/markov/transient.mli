@@ -20,11 +20,20 @@
     path is exactly the sequential one, so results are bit-identical to
     earlier releases; with a pool of [>= 2] domains the forward
     (distribution) direction regroups floating-point additions and may
-    differ from the sequential result by rounding. *)
+    differ from the sequential result by rounding.
+
+    All solvers accept [?telemetry]: when set, each run records the
+    Fox–Glynn window ([fox_glynn.*]), the counter
+    [uniformisation.iterations] (matrix–vector products performed, the
+    quantity Table 2 of the paper tabulates as [N_epsilon]),
+    [uniformisation.stationary_cutoffs], and the gauges
+    [uniformisation.q] and [uniformisation.rate].  Recording only
+    observes the computation, so results are identical with and without
+    it. *)
 
 val distribution :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
   init:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [distribution c ~init ~t] is the state distribution at time [t >= 0]
     starting from distribution [init].  [epsilon] (default [1e-12]) bounds
@@ -33,13 +42,15 @@ val distribution :
     or if [init] is not a distribution. *)
 
 val distribution_many :
-  ?epsilon:float -> ?rate:float -> ?pool:Parallel.Pool.t -> Ctmc.t ->
+  ?epsilon:float -> ?rate:float -> ?pool:Parallel.Pool.t ->
+  ?telemetry:Telemetry.t -> Ctmc.t ->
   init:Linalg.Vec.t -> times:float list -> (float * Linalg.Vec.t) list
 (** Transient distributions at several time points (times may be
     unsorted). *)
 
 val reachability :
   ?epsilon:float -> ?stationary_detection:float -> ?pool:Parallel.Pool.t ->
+  ?telemetry:Telemetry.t ->
   Ctmc.t -> init:Linalg.Vec.t -> goal:bool array -> t:float -> float
 (** Probability mass accumulated in the [goal] set at time [t]; the goal
     states are assumed absorbing by the caller (the P1 recipe of the
@@ -48,7 +59,7 @@ val reachability :
 
 val backward :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
   terminal:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [backward c ~terminal ~t] is the backward pass
     [sum_n poi(lambda t, n) P^n terminal]: entry [s] is the expectation of
@@ -58,7 +69,7 @@ val backward :
 
 val reachability_all :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
   goal:bool array -> t:float -> Linalg.Vec.t
 (** Backward uniformisation: entry [s] is the probability of sitting in the
     [goal] set at time [t] when starting from state [s] — i.e. one column

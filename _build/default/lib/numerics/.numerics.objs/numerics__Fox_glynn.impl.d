@@ -1,1 +1,1 @@
-lib/numerics/fox_glynn.ml: Array Float Kahan List Poisson
+lib/numerics/fox_glynn.ml: Array Float Kahan List Poisson Telemetry

@@ -1,1 +1,1 @@
-lib/numerics/fox_glynn.mli:
+lib/numerics/fox_glynn.mli: Telemetry

@@ -50,6 +50,14 @@ let compute ~q ~epsilon =
     { left; right; weights; total }
   end
 
+(* Telemetry only reads a finished window, so recording cannot perturb
+   the numerics; callers invoke it right after [compute]. *)
+let record telemetry w =
+  Telemetry.add telemetry "fox_glynn.calls" 1;
+  Telemetry.record telemetry "fox_glynn.left" (float_of_int w.left);
+  Telemetry.record telemetry "fox_glynn.right" (float_of_int w.right);
+  Telemetry.record telemetry "fox_glynn.weight_mass" w.total
+
 let weight w n =
   if n < w.left || n > w.right then 0.0 else w.weights.(n - w.left)
 

@@ -22,6 +22,13 @@ val compute : q:float -> epsilon:float -> t
     weight [1].  The left tail is cut at mass [<= epsilon /. 2.] and so is
     the right tail. *)
 
+val record : Telemetry.t option -> t -> unit
+(** [record telemetry w] publishes a finished window to [telemetry]: the
+    counter [fox_glynn.calls] and the gauges [fox_glynn.left],
+    [fox_glynn.right] (the truncation points) and [fox_glynn.weight_mass]
+    (the retained total).  Recording only reads the result, so computed
+    values are identical with and without it; a no-op on [None]. *)
+
 val weight : t -> int -> float
 (** [weight w n] is the retained Poisson probability of [n] ([0.] outside
     the window). *)

@@ -10,6 +10,7 @@ type slot = {
   mutable task : (unit -> unit) option;
   mutable stop : bool;
   pending : bool Atomic.t;
+  mutable busy_seconds : float;        (* written only by the owning worker *)
 }
 
 type t = {
@@ -17,10 +18,21 @@ type t = {
   domains : unit Domain.t array;
   in_use : bool Atomic.t;              (* nesting / cross-domain guard *)
   mutable alive : bool;
+  (* Utilisation counters; maintained only for pools with workers, so the
+     shared [sequential] value stays inert. *)
+  runs_parallel : int Atomic.t;
+  runs_inline : int Atomic.t;
+  chunk_count : int Atomic.t;
+  mutable caller_busy : float;         (* written only under [in_use] *)
+  mutable busy_clock : (unit -> float) option;
 }
 
-let sequential =
-  { slots = [||]; domains = [||]; in_use = Atomic.make false; alive = false }
+let make_record ~slots ~domains ~alive =
+  { slots; domains; in_use = Atomic.make false; alive;
+    runs_parallel = Atomic.make 0; runs_inline = Atomic.make 0;
+    chunk_count = Atomic.make 0; caller_busy = 0.0; busy_clock = None }
+
+let sequential = make_record ~slots:[||] ~domains:[||] ~alive:false
 
 let size t = Array.length t.slots + 1
 
@@ -52,12 +64,13 @@ let create jobs =
             cond = Condition.create ();
             task = None;
             stop = false;
-            pending = Atomic.make false })
+            pending = Atomic.make false;
+            busy_seconds = 0.0 })
     in
     let domains =
       Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots
     in
-    { slots; domains; in_use = Atomic.make false; alive = true }
+    make_record ~slots ~domains ~alive:true
   end
 
 let shutdown t =
@@ -79,6 +92,33 @@ let with_pool ~jobs f =
 
 let default_job_count () = Domain.recommended_domain_count ()
 
+let instrument t clock = if t.alive then t.busy_clock <- Some clock
+
+type stats = {
+  pool_size : int;
+  parallel_runs : int;
+  inline_runs : int;
+  chunks : int;
+  busy_seconds : float;
+}
+
+let stats t =
+  { pool_size = size t;
+    parallel_runs = Atomic.get t.runs_parallel;
+    inline_runs = Atomic.get t.runs_inline;
+    chunks = Atomic.get t.chunk_count;
+    busy_seconds =
+      Array.fold_left
+        (fun acc (slot : slot) -> acc +. slot.busy_seconds)
+        t.caller_busy t.slots }
+
+let reset_stats t =
+  Atomic.set t.runs_parallel 0;
+  Atomic.set t.runs_inline 0;
+  Atomic.set t.chunk_count 0;
+  t.caller_busy <- 0.0;
+  Array.iter (fun (slot : slot) -> slot.busy_seconds <- 0.0) t.slots
+
 let post slot job =
   Atomic.set slot.pending true;
   Mutex.lock slot.mutex;
@@ -98,16 +138,37 @@ let parallel_for ?(cutoff = 512) t ~lo ~hi body =
     if
       workers = 0 || len <= cutoff || not t.alive
       || not (Atomic.compare_and_set t.in_use false true)
-    then body lo hi
+    then begin
+      if workers > 0 then Atomic.incr t.runs_inline;
+      body lo hi
+    end
     else begin
+      Atomic.incr t.runs_parallel;
       let pieces = Stdlib.min (workers + 1) len in
+      ignore (Atomic.fetch_and_add t.chunk_count pieces);
       let bound i = lo + (len * i / pieces) in
       let failure = Atomic.make None in
-      let chunk i () =
+      let run i () =
         try body (bound i) (bound (i + 1))
         with e ->
           let trace = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set failure None (Some (e, trace)))
+      in
+      let chunk i () =
+        match t.busy_clock with
+        | None -> run i ()
+        | Some clock ->
+          (* Busy-time attribution: chunk 0 runs in the caller (which
+             holds [in_use]), chunk i > 0 only ever in worker i - 1, so
+             every accumulator has a single writer. *)
+          let t0 = clock () in
+          run i ();
+          let dt = clock () -. t0 in
+          if i = 0 then t.caller_busy <- t.caller_busy +. dt
+          else begin
+            let slot = t.slots.(i - 1) in
+            slot.busy_seconds <- slot.busy_seconds +. dt
+          end
       in
       for i = 1 to pieces - 1 do
         post t.slots.(i - 1) (chunk i)

@@ -50,6 +50,34 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 val default_job_count : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
 
+type stats = {
+  pool_size : int;       (** domains participating, including the caller *)
+  parallel_runs : int;
+      (** [parallel_for] calls that dispatched chunks to workers *)
+  inline_runs : int;
+      (** calls that ran inline: below the cutoff, or nested inside a
+          running loop (the no-nesting rule) *)
+  chunks : int;          (** chunks executed across all parallel runs *)
+  busy_seconds : float;
+      (** wall-clock time spent inside chunk bodies, summed over all
+          domains; [0.] unless {!instrument} installed a clock *)
+}
+
+val stats : t -> stats
+(** Cumulative utilisation counters since creation (or {!reset_stats}).
+    Counters are maintained with atomic increments only on pools that
+    actually have workers, so {!sequential} — a shared global — always
+    reports zeros and the single-domain path stays untouched.  Reading
+    while a loop is in flight gives a slightly stale but consistent-enough
+    snapshot (telemetry, not synchronisation). *)
+
+val reset_stats : t -> unit
+
+val instrument : t -> (unit -> float) -> unit
+(** [instrument pool clock] turns on per-chunk busy-time accounting using
+    [clock] (seconds; pass a monotonic one).  Off by default because it
+    adds two clock reads per chunk; a no-op on {!sequential}. *)
+
 val parallel_for :
   ?cutoff:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi body] covers the half-open range [\[lo, hi)]

@@ -1,1 +1,1 @@
-lib/perf/discretization.ml: Array Float Linalg List Markov Numerics Parallel Printf Problem
+lib/perf/discretization.ml: Array Float Linalg List Markov Numerics Parallel Printf Problem Telemetry

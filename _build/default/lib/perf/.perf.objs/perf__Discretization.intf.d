@@ -1,1 +1,1 @@
-lib/perf/discretization.mli: Parallel Problem
+lib/perf/discretization.mli: Parallel Problem Telemetry

@@ -1,1 +1,1 @@
-lib/perf/engine.ml: Discretization Erlang_approx Format Markov Problem Sericola
+lib/perf/engine.ml: Discretization Erlang_approx Format Markov Problem Sericola Telemetry

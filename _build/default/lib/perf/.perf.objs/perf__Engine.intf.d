@@ -1,1 +1,1 @@
-lib/perf/engine.mli: Format Parallel Problem
+lib/perf/engine.mli: Format Parallel Problem Telemetry

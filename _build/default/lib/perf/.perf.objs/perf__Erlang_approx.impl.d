@@ -1,1 +1,1 @@
-lib/perf/erlang_approx.ml: Array Float Linalg Markov Problem
+lib/perf/erlang_approx.ml: Array Float Linalg Markov Problem Telemetry

@@ -1,1 +1,1 @@
-lib/perf/erlang_approx.mli: Markov Parallel Problem
+lib/perf/erlang_approx.mli: Markov Parallel Problem Telemetry

@@ -1,1 +1,1 @@
-lib/perf/sericola.ml: Array Float Hashtbl Linalg Markov Numerics Parallel Problem
+lib/perf/sericola.ml: Array Float Hashtbl Linalg Markov Numerics Parallel Problem Telemetry

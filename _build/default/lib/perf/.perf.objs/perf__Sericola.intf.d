@@ -1,1 +1,1 @@
-lib/perf/sericola.mli: Markov Parallel Problem
+lib/perf/sericola.mli: Markov Parallel Problem Telemetry

@@ -12,7 +12,7 @@ let integral_steps ~what ~step value =
          value step);
   int_of_float rounded
 
-let solve ?(pool = Parallel.Pool.sequential) ~step (p : Problem.t) =
+let solve ?(pool = Parallel.Pool.sequential) ?telemetry ~step (p : Problem.t) =
   let d = step in
   if not (d > 0.0 && Float.is_finite d) then
     invalid_arg "Discretization.solve: step must be positive";
@@ -39,6 +39,11 @@ let solve ?(pool = Parallel.Pool.sequential) ~step (p : Problem.t) =
   let r_steps = integral_steps ~what:"reward bound" ~step:d p.Problem.reward_bound in
   if t_steps = 0 then invalid_arg "Discretization.solve: zero time steps";
   let width = r_steps + 1 in
+  Telemetry.record telemetry "discretisation.step" d;
+  Telemetry.add telemetry "discretisation.time_steps" t_steps;
+  Telemetry.add telemetry "discretisation.grid_cells" (n * width);
+  Telemetry.add telemetry "discretisation.cell_updates"
+    ((t_steps - 1) * n * width);
   (* f.(s) is the reward profile of state s on the grid 0..r_steps. *)
   let f_cur = Array.init n (fun _ -> Array.make width 0.0) in
   let f_next = Array.init n (fun _ -> Array.make width 0.0) in

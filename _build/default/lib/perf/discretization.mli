@@ -21,8 +21,17 @@
     reward zero is not silently dropped; on models whose initial states
     have positive reward (the case study) the two conventions coincide. *)
 
-val solve : ?pool:Parallel.Pool.t -> step:float -> Problem.t -> float
+val solve :
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> step:float ->
+  Problem.t -> float
 (** [solve ~step p] runs the scheme with step size [d = step].
+
+    [telemetry] records the gauge [discretisation.step] and the counters
+    [discretisation.time_steps] ([t/d]), [discretisation.grid_cells]
+    ([|S| * (r/d + 1)], the working-set size) and
+    [discretisation.cell_updates] (grid cells recomputed over the whole
+    run — the quadratic-in-[1/d] cost driver of the paper's Table 4).
+    Recording only observes the computation.
 
     [pool] partitions the per-state grid updates of each time step across
     its domains.  Each state writes only its own [width]-cell row, so the

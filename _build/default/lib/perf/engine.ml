@@ -10,16 +10,18 @@ let name = function
   | Discretize _ -> "discretisation"
   | Occupation_time _ -> "occupation-time"
 
-let solve ?pool spec (p : Problem.t) =
+let solve ?pool ?telemetry spec (p : Problem.t) =
+  Telemetry.with_span telemetry ("engine." ^ name spec) @@ fun () ->
   if Problem.reward_trivially_satisfied p then
-    Markov.Transient.reachability ?pool
+    Markov.Transient.reachability ?pool ?telemetry
       (Markov.Mrm.ctmc p.Problem.mrm)
       ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
   else
     match spec with
-    | Pseudo_erlang { phases } -> Erlang_approx.solve ?pool ~phases p
-    | Discretize { step } -> Discretization.solve ?pool ~step p
-    | Occupation_time { epsilon } -> Sericola.solve ~epsilon ?pool p
+    | Pseudo_erlang { phases } -> Erlang_approx.solve ?pool ?telemetry ~phases p
+    | Discretize { step } -> Discretization.solve ?pool ?telemetry ~step p
+    | Occupation_time { epsilon } ->
+      Sericola.solve ~epsilon ?pool ?telemetry p
 
 let pp_spec ppf = function
   | Pseudo_erlang { phases } -> Format.fprintf ppf "pseudo-erlang(k=%d)" phases

@@ -17,7 +17,9 @@ val default : spec
 
 val name : spec -> string
 
-val solve : ?pool:Parallel.Pool.t -> spec -> Problem.t -> float
+val solve :
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> spec -> Problem.t ->
+  float
 (** [Pr{Y_t <= r, X_t in goal}] with the chosen procedure.  Problems whose
     reward bound can never be exceeded short-circuit to plain transient
     analysis (this also covers the corner cases the individual engines
@@ -28,6 +30,13 @@ val solve : ?pool:Parallel.Pool.t -> spec -> Problem.t -> float
     pseudo-Erlang and transient paths, per-state grid updates for the
     discretisation, and the layer recursion for the occupation-time
     algorithm.  Omitting it (the default) executes exactly the sequential
-    code, bit-for-bit. *)
+    code, bit-for-bit.
+
+    [telemetry] wraps the whole solve in a span named
+    [engine.<procedure name>] and threads the recorder into the chosen
+    procedure, so a single run yields the per-method convergence
+    measurements ([fox_glynn.*], [uniformisation.*], [sericola.*],
+    [discretisation.*], [erlang.*]) documented in the respective
+    modules. *)
 
 val pp_spec : Format.formatter -> spec -> unit

@@ -35,10 +35,12 @@ let expanded_ctmc (p : Problem.t) ~phases =
     (Markov.Mrm.rewards m);
   Markov.Ctmc.of_transitions ~n:(sink + 1) !triples
 
-let solve ?(epsilon = 1e-12) ?pool ~phases (p : Problem.t) =
+let solve ?(epsilon = 1e-12) ?pool ?telemetry ~phases (p : Problem.t) =
   let chain = expanded_ctmc p ~phases in
   let n = Markov.Mrm.n_states p.Problem.mrm in
   let total = (n * phases) + 1 in
+  Telemetry.record telemetry "erlang.phases" (float_of_int phases);
+  Telemetry.record telemetry "erlang.expanded_states" (float_of_int total);
   let init = Linalg.Vec.create total in
   Array.iteri (fun s mass -> init.(s * phases) <- mass) p.Problem.init;
   let goal = Array.make total false in
@@ -49,5 +51,5 @@ let solve ?(epsilon = 1e-12) ?pool ~phases (p : Problem.t) =
           goal.((s * phases) + i) <- true
         done)
     p.Problem.goal;
-  Markov.Transient.reachability ~epsilon ?pool chain ~init ~goal
+  Markov.Transient.reachability ~epsilon ?pool ?telemetry chain ~init ~goal
     ~t:p.Problem.time_bound

@@ -186,7 +186,17 @@ let reject_impulses name mrm =
       ^ ": impulse rewards are not supported by the occupation-time \
          algorithm (use the discretisation engine or simulation)")
 
-let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
+(* The [C(h,n,k)] recursion touches, per layer n, one |S| x width block for
+   every (band, k) pair with k <= n — the cell count the paper's complexity
+   discussion charges the method with. *)
+let record_recursion telemetry ~ctx ~max_layer =
+  Telemetry.add telemetry "sericola.layers" (max_layer + 1);
+  Telemetry.add telemetry "sericola.cells"
+    (ctx.n_states * ctx.width * ctx.n_bands
+    * ((max_layer + 1) * (max_layer + 2) / 2));
+  Telemetry.record telemetry "sericola.bands" (float_of_int ctx.n_bands)
+
+let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t) =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve" mrm;
   let chain = Markov.Mrm.ctmc mrm in
@@ -194,11 +204,12 @@ let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
   let levels = Markov.Mrm.reward_levels mrm in
   let m = Array.length levels - 1 in
   let ratio = r /. t in
+  Telemetry.record telemetry "sericola.epsilon" epsilon;
   if m = 0 || ratio >= levels.(m) then begin
     (* The reward bound cannot be exceeded: Pr{Y_t > r} = 0. *)
     let transient_mass =
-      Markov.Transient.reachability ~epsilon ?pool chain ~init:p.Problem.init
-        ~goal:p.Problem.goal ~t
+      Markov.Transient.reachability ~epsilon ?pool ?telemetry chain
+        ~init:p.Problem.init ~goal:p.Problem.goal ~t
     in
     { probability = transient_mass; steps = 0; band = 0; x = 0.0;
       transient_mass; tail_mass = 0.0 }
@@ -219,13 +230,22 @@ let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
        published Table 2 column. *)
     let max_layer = Numerics.Poisson.right_truncation_point ~lambda:q ~epsilon in
     let weights = Numerics.Fox_glynn.compute ~q ~epsilon:1e-16 in
+    Numerics.Fox_glynn.record telemetry weights;
+    Telemetry.record telemetry "uniformisation.rate" rate;
+    Telemetry.record telemetry "uniformisation.q" q;
+    Telemetry.add telemetry "uniformisation.iterations" max_layer;
+    Telemetry.record telemetry "sericola.band" (float_of_int h);
+    Telemetry.record telemetry "sericola.x" x;
+    record_recursion telemetry ~ctx ~max_layer;
     let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
     let tail = Numerics.Kahan.create () in
     let trans = Numerics.Kahan.create () in
+    let consumed = Numerics.Kahan.create () in
     let init = p.Problem.init in
     run_layers ctx ~g ~max_layer ~consume:(fun layer cs png ->
         let weight = Numerics.Fox_glynn.weight weights layer in
         if weight > 0.0 then begin
+          Numerics.Kahan.add consumed weight;
           Numerics.Kahan.add trans (weight *. Linalg.Vec.dot init png);
           let bin = binomial_pmf layer x in
           let layer_acc = Numerics.Kahan.create () in
@@ -236,6 +256,11 @@ let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
           done;
           Numerics.Kahan.add tail (weight *. Numerics.Kahan.sum layer_acc)
         end);
+    (* The Poisson mass actually consumed by the truncated series bounds
+       the a-posteriori truncation error — the quantity the differential
+       tests pin against the requested epsilon. *)
+    Telemetry.record telemetry "sericola.achieved_epsilon"
+      (Float.max 0.0 (1.0 -. Numerics.Kahan.sum consumed));
     let tail_mass = Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum tail) in
     let transient_mass =
       Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum trans)
@@ -246,9 +271,11 @@ let solve_detailed ?(epsilon = 1e-12) ?pool (p : Problem.t) =
     { probability; steps = max_layer; band = h; x; transient_mass; tail_mass }
   end
 
-let solve ?epsilon ?pool p = (solve_detailed ?epsilon ?pool p).probability
+let solve ?epsilon ?pool ?telemetry p =
+  (solve_detailed ?epsilon ?pool ?telemetry p).probability
 
-let solve_many ?(epsilon = 1e-12) ?pool (p : Problem.t) ~reward_bounds =
+let solve_many ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t)
+    ~reward_bounds =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve_many" mrm;
   let chain = Markov.Mrm.ctmc mrm in
@@ -279,8 +306,8 @@ let solve_many ?(epsilon = 1e-12) ?pool (p : Problem.t) ~reward_bounds =
       reward_bounds
   in
   let transient_mass =
-    Markov.Transient.reachability ~epsilon ?pool chain ~init:p.Problem.init
-      ~goal:p.Problem.goal ~t
+    Markov.Transient.reachability ~epsilon ?pool ?telemetry chain
+      ~init:p.Problem.init ~goal:p.Problem.goal ~t
   in
   if Array.for_all (( = ) None) positions then
     Array.make n_bounds transient_mass
@@ -291,7 +318,9 @@ let solve_many ?(epsilon = 1e-12) ?pool (p : Problem.t) ~reward_bounds =
       if mx > 0.0 then mx else 1.0
     in
     let fg = Numerics.Fox_glynn.compute ~q:(rate *. t) ~epsilon in
+    Numerics.Fox_glynn.record telemetry fg;
     let max_layer = fg.Numerics.Fox_glynn.right in
+    record_recursion telemetry ~ctx ~max_layer;
     let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
     let tails = Array.init n_bounds (fun _ -> Numerics.Kahan.create ()) in
     let init = p.Problem.init in
@@ -335,7 +364,7 @@ let solve_many ?(epsilon = 1e-12) ?pool (p : Problem.t) ~reward_bounds =
       positions
   end
 
-let joint_matrix ?(epsilon = 1e-12) ?pool mrm ~t ~r =
+let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry mrm ~t ~r =
   reject_impulses "Sericola.joint_matrix" mrm;
   if not (t > 0.0) then invalid_arg "Sericola.joint_matrix: t must be > 0";
   if r < 0.0 then invalid_arg "Sericola.joint_matrix: r must be >= 0";
@@ -354,7 +383,9 @@ let joint_matrix ?(epsilon = 1e-12) ?pool mrm ~t ~r =
       if mx > 0.0 then mx else 1.0
     in
     let fg = Numerics.Fox_glynn.compute ~q:(rate *. t) ~epsilon in
+    Numerics.Fox_glynn.record telemetry fg;
     let max_layer = fg.Numerics.Fox_glynn.right in
+    record_recursion telemetry ~ctx ~max_layer;
     (* G = identity block. *)
     let g = Array.make (n * n) 0.0 in
     for i = 0 to n - 1 do

@@ -33,20 +33,32 @@ type detail = {
 }
 
 val solve_detailed :
-  ?epsilon:float -> ?pool:Parallel.Pool.t -> Problem.t -> detail
+  ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  Problem.t -> detail
 (** [epsilon] (default [1e-12]) is the Poisson truncation error bound.
     [pool] parallelises the layer recursion across its domains: the block
     products and the per-state band interpolation partition the state
     space, every cell of the recursion is written exactly once by the same
     expression as in the sequential sweep, so the result is bit-identical
-    for every pool size. *)
+    for every pool size.
 
-val solve : ?epsilon:float -> ?pool:Parallel.Pool.t -> Problem.t -> float
+    [telemetry] records the counters [sericola.layers] and
+    [sericola.cells] (blocks of the [C(h,n,k)] recursion actually
+    computed), the gauges [sericola.bands], [sericola.band], [sericola.x],
+    [sericola.epsilon] (requested) and [sericola.achieved_epsilon] (the
+    Poisson mass left out by the truncation — an a-posteriori bound on the
+    series error, always at most the requested [epsilon]), plus the
+    [fox_glynn.*] and [uniformisation.*] measurements of the embedded
+    transient solve.  Recording only observes the computation. *)
+
+val solve :
+  ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  Problem.t -> float
 (** Just the probability. *)
 
 val solve_many :
-  ?epsilon:float -> ?pool:Parallel.Pool.t -> Problem.t ->
-  reward_bounds:float array -> float array
+  ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  Problem.t -> reward_bounds:float array -> float array
 (** [solve_many p ~reward_bounds] evaluates [Pr{Y_t <= r_i, X_t in S'}]
     for every bound in one pass: the [C(h,n,k)] recursion is independent
     of [r], so the whole performability {e distribution curve} (Meyer's
@@ -55,8 +67,8 @@ val solve_many :
     different bands. *)
 
 val joint_matrix :
-  ?epsilon:float -> ?pool:Parallel.Pool.t -> Markov.Mrm.t -> t:float ->
-  r:float -> float array array
+  ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  Markov.Mrm.t -> t:float -> r:float -> float array array
 (** [joint_matrix m ~t ~r] is the full matrix [H(t,r)] with
     [H.(i).(j) = Pr{Y_t > r, X_t = j | X_0 = i}].  Requires [t > 0] and
     [r >= 0]; entries are exactly [0.] when [r] is at or above

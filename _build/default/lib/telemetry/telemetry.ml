@@ -1,0 +1,101 @@
+type span = {
+  span_name : string;
+  start : float;
+  seconds : float;
+}
+
+type t = {
+  clk : unit -> float;
+  mutex : Mutex.t;
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  mutable spans : span list;  (* reverse completion order *)
+}
+
+let create ?(clock = Sys.time) () =
+  { clk = clock;
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    spans = [] }
+
+let clock t = t.clk
+
+let locked t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v -> Mutex.unlock t.mutex; v
+  | exception e -> Mutex.unlock t.mutex; raise e
+
+let add tel name by =
+  match tel with
+  | None -> ()
+  | Some t ->
+    locked t (fun () ->
+        let old = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+        Hashtbl.replace t.counters name (old + by))
+
+let record tel name v =
+  match tel with
+  | None -> ()
+  | Some t -> locked t (fun () -> Hashtbl.replace t.gauges name v)
+
+let record_max tel name v =
+  match tel with
+  | None -> ()
+  | Some t ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.gauges name with
+        | Some old when old >= v -> ()
+        | _ -> Hashtbl.replace t.gauges name v)
+
+let with_span tel name f =
+  match tel with
+  | None -> f ()
+  | Some t ->
+    let start = t.clk () in
+    let finish () =
+      let seconds = t.clk () -. start in
+      locked t (fun () ->
+          t.spans <- { span_name = name; start; seconds } :: t.spans)
+    in
+    (match f () with
+     | v -> finish (); v
+     | exception e -> finish (); raise e)
+
+type report = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : span list;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let report t =
+  locked t (fun () ->
+      { counters = sorted_bindings t.counters;
+        gauges = sorted_bindings t.gauges;
+        spans = List.rev t.spans })
+
+let counter t name = locked t (fun () -> Hashtbl.find_opt t.counters name)
+let gauge t name = locked t (fun () -> Hashtbl.find_opt t.gauges name)
+
+let absorb t (r : report) =
+  locked t (fun () ->
+      List.iter
+        (fun (name, v) ->
+          let old =
+            Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+          in
+          Hashtbl.replace t.counters name (old + v))
+        r.counters;
+      List.iter (fun (name, v) -> Hashtbl.replace t.gauges name v) r.gauges;
+      t.spans <- List.rev_append r.spans t.spans)
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      t.spans <- [])

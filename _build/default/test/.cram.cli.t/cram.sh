@@ -16,6 +16,9 @@
   $ csrl-check --file station.mrm --engine erlang:512 'P=? ( up U[t<=10][r<=50] down )'
   $ csrl-check --model adhoc --jobs 4 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
   $ csrl-check --model adhoc --jobs 0 'true'
+  $ csrl-check --model adhoc --stats 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  $ csrl-check --model adhoc --trace trace.json 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )' > /dev/null
+  $ csrl-trace-lint trace.json fox_glynn.right uniformisation.iterations sericola.achieved_epsilon pool.size
   $ csrl-check --file station.mrm 'R=? ( C[t<=10] )'
   $ csrl-check --model adhoc 'P>0.5 ( a U '
   $ csrl-check --model nonsense 'true'

@@ -1,1 +1,1 @@
-test/test_numerics.ml: Alcotest Float List Numerics Printf QCheck2 QCheck_alcotest
+test/test_numerics.ml: Alcotest Array Float List Numerics Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Checker Float Linalg Logic Markov Models Perf

@@ -1,1 +1,1 @@
-test/test_perf.ml: Alcotest Array Float Format Int64 List Markov Models Numerics Perf Printf QCheck2 QCheck_alcotest Sim
+test/test_perf.ml: Alcotest Array Float Format Int64 List Markov Models Numerics Perf Printf QCheck2 QCheck_alcotest Sim Telemetry

@@ -82,6 +82,51 @@ Running on a domain pool (--jobs) changes nothing about the answer:
   --jobs needs a positive count
   [2]
 
+Telemetry: --stats appends the convergence counters and gauges after the
+verdict.  The state probabilities are bit-identical to the run without
+--stats above (recording only reads finished results), and the summary
+deliberately omits spans and wall-clock times so it is deterministic:
+
+  $ csrl-check --model adhoc --stats 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  query:  P=? ((call_idle | doze) U[t<=24][r<=600] call_initiated)
+  engine: occupation-time(eps=1e-09)
+    state  0  [adhoc_idle,call_idle                    ]  0.4969967279
+    state  1  [adhoc_active,call_idle                  ]  0.4969562920
+    state  2  [adhoc_idle,call_initiated               ]  1.0000000000
+    state  3  [adhoc_active,call_initiated             ]  1.0000000000
+    state  4  [adhoc_idle,call_incoming                ]  0.0000000000
+    state  5  [adhoc_active,call_incoming              ]  0.0000000000
+    state  6  [adhoc_idle,call_active                  ]  0.0000000000
+    state  7  [adhoc_active,call_active                ]  0.0000000000
+    state  8  [doze                                    ]  0.4968541781
+  value from the initial distribution: 0.4969967279
+  telemetry:
+    fox_glynn.calls = 3
+    sericola.cells = 8221950
+    sericola.layers = 1812
+    uniformisation.iterations = 1809
+    fox_glynn.left = 289
+    fox_glynn.right = 659
+    fox_glynn.weight_mass = 1
+    pool.chunks = 0
+    pool.inline_runs = 0
+    pool.parallel_runs = 0
+    pool.size = 1
+    sericola.achieved_epsilon = 9.85341e-10
+    sericola.band = 2
+    sericola.bands = 3
+    sericola.epsilon = 1e-09
+    sericola.x = 0.0625
+    uniformisation.q = 468
+    uniformisation.rate = 19.5
+
+--trace writes the full report (spans included) as JSON; the lint tool
+validates the shape and that the convergence keys were recorded:
+
+  $ csrl-check --model adhoc --trace trace.json 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )' > /dev/null
+  $ csrl-trace-lint trace.json fox_glynn.right uniformisation.iterations sericola.achieved_epsilon pool.size
+  trace.json: valid trace (4 counters, 14 gauges)
+
 Expected rewards (the R-operator extension):
 
   $ csrl-check --file station.mrm 'R=? ( C[t<=10] )'

@@ -169,6 +169,56 @@ let test_fox_glynn_large () =
   if fg.Numerics.Fox_glynn.left > 8700 || fg.Numerics.Fox_glynn.right < 8700
   then Alcotest.fail "window misses the mode"
 
+let test_fox_glynn_edges () =
+  (* Tiny rates: the mode is 0, so the window collapses to the first few
+     integers and almost all the mass sits on n = 0. *)
+  List.iter
+    (fun q ->
+      let fg = Numerics.Fox_glynn.compute ~q ~epsilon:1e-10 in
+      Alcotest.(check int)
+        (Printf.sprintf "tiny q=%g left" q)
+        0 fg.Numerics.Fox_glynn.left;
+      if fg.Numerics.Fox_glynn.right > 2 then
+        Alcotest.failf "tiny q=%g right %d too wide" q
+          fg.Numerics.Fox_glynn.right;
+      check_close ~tol:1e-7
+        (Printf.sprintf "tiny q=%g weight at 0" q)
+        1.0
+        (Numerics.Fox_glynn.weight fg 0))
+    [ 1e-12; 1e-8 ];
+  (* Around q ~ 745.13, exp(-q) underflows to zero: a naive recursion
+     anchored at e^-q would produce an all-zero window.  The window is
+     anchored at the mode's log-space pmf instead, so the weights stay
+     finite and normalised straight through the boundary (and out to the
+     pseudo-Erlang extreme).  The truncation points must also satisfy the
+     a-posteriori Poisson tail bounds they were derived from. *)
+  List.iter
+    (fun q ->
+      let epsilon = 1e-10 in
+      let fg = Numerics.Fox_glynn.compute ~q ~epsilon in
+      Array.iter
+        (fun w ->
+          if not (Float.is_finite w) || w < 0.0 then
+            Alcotest.failf "q=%g: weight %g not finite/non-negative" q w)
+        fg.Numerics.Fox_glynn.weights;
+      if fg.Numerics.Fox_glynn.total < 1.0 -. epsilon then
+        Alcotest.failf "q=%g: mass %.17g below 1 - eps" q
+          fg.Numerics.Fox_glynn.total;
+      if fg.Numerics.Fox_glynn.total > 1.0 +. 1e-9 then
+        Alcotest.failf "q=%g: mass %.17g exceeds one" q
+          fg.Numerics.Fox_glynn.total;
+      let left = fg.Numerics.Fox_glynn.left
+      and right = fg.Numerics.Fox_glynn.right in
+      if left > 0 then begin
+        let below = Numerics.Poisson.cdf ~lambda:q (left - 1) in
+        if below > epsilon then
+          Alcotest.failf "q=%g: left tail %.3g exceeds eps %g" q below epsilon
+      end;
+      let beyond = 1.0 -. Numerics.Poisson.cdf ~lambda:q right in
+      if beyond > epsilon then
+        Alcotest.failf "q=%g: right tail %.3g exceeds eps %g" q beyond epsilon)
+    [ 700.0; 745.0; 746.0; 800.0; 8700.0 ]
+
 let test_fox_glynn_fold () =
   let fg = Numerics.Fox_glynn.compute ~q:5.0 ~epsilon:1e-10 in
   let total = Numerics.Fox_glynn.fold fg ~init:0.0 ~f:(fun acc _ w -> acc +. w) in
@@ -270,6 +320,7 @@ let suite =
       Alcotest.test_case "truncation edge cases" `Quick test_truncation_edges;
       Alcotest.test_case "fox-glynn basics" `Quick test_fox_glynn_basic;
       Alcotest.test_case "fox-glynn large q" `Quick test_fox_glynn_large;
+      Alcotest.test_case "fox-glynn edge cases" `Quick test_fox_glynn_edges;
       Alcotest.test_case "fox-glynn fold" `Quick test_fox_glynn_fold;
       Alcotest.test_case "intervals" `Quick test_interval;
       q prop_fox_glynn_mass;

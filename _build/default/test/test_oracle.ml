@@ -1,0 +1,95 @@
+(* Golden oracle for the case study's Q3.
+
+   The model built from the published Table 1 evaluates
+
+     Q3 = Pr{ (call_idle | doze) U[t<=24][r<=600] call_initiated }
+        = 0.49699673
+
+   from the initial state — the consensus of four independent methods
+   (Sericola's occupation-time algorithm, the Tijms-Veldman
+   discretisation, the pseudo-Erlang expansion, and Monte-Carlo
+   simulation; see bench/main.ml and EXPERIMENTS.md for the relation to
+   the paper's printed 0.49540399).  This suite pins that consensus so a
+   regression in any engine's numerics — not just a crash — fails the
+   build, with per-method tolerances derived from each method's own
+   convergence knob. *)
+
+let oracle = 0.49699673
+
+let q3_problem () =
+  let m = Models.Adhoc.mrm () in
+  let l = Models.Adhoc.labeling () in
+  let idle = Markov.Labeling.sat l "call_idle" in
+  let doze = Markov.Labeling.sat l "doze" in
+  let phi = Array.mapi (fun i a -> a || doze.(i)) idle in
+  let psi = Markov.Labeling.sat l "call_initiated" in
+  let red = Perf.Reduced.reduce m ~phi ~psi in
+  let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
+  Perf.Reduced.problem red ~init ~time_bound:24.0 ~reward_bound:600.0
+
+let check_within what ~tol expected actual =
+  if Float.abs (actual -. expected) > tol then
+    Alcotest.failf "%s: |%.10f - %.10f| = %.3g > %g" what actual expected
+      (Float.abs (actual -. expected))
+      tol
+
+(* The method with the a-priori error bound hits the oracle directly. *)
+let test_sericola () =
+  let p = q3_problem () in
+  let v = Perf.Sericola.solve ~epsilon:1e-10 p in
+  check_within "sericola eps=1e-10" ~tol:1e-6 oracle v
+
+(* The discretisation error is first order in d, so one Richardson
+   extrapolation step — 2 v(d/2) - v(d) — cancels it; the extrapolated
+   pair (1/32, 1/64) is as accurate as a far finer plain grid. *)
+let test_discretisation_richardson () =
+  let v32 = Perf.Discretization.solve ~step:(1.0 /. 32.0) (q3_problem ()) in
+  let v64 = Perf.Discretization.solve ~step:(1.0 /. 64.0) (q3_problem ()) in
+  let extrapolated = (2.0 *. v64) -. v32 in
+  check_within "richardson(1/32, 1/64)" ~tol:5e-5 oracle extrapolated;
+  (* Sanity on the inputs: both raw values are within their own
+     first-order error of the oracle, and halving d halves the error. *)
+  let e32 = Float.abs (v32 -. oracle) and e64 = Float.abs (v64 -. oracle) in
+  if e64 >= e32 then
+    Alcotest.failf "discretisation error did not shrink: %g -> %g" e32 e64
+
+(* The pseudo-Erlang approximation converges from below (paper,
+   Section 5.2): increasing the phase count increases the value, and it
+   never overshoots. *)
+let test_erlang_from_below () =
+  let v64 = Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases:64 (q3_problem ()) in
+  let v256 =
+    Perf.Erlang_approx.solve ~epsilon:1e-10 ~phases:256 (q3_problem ())
+  in
+  if not (v64 < v256) then
+    Alcotest.failf "not monotone in phases: k=64 %.8f >= k=256 %.8f" v64 v256;
+  if not (v256 < oracle) then
+    Alcotest.failf "erlang overshoots the oracle: %.8f >= %.8f" v256 oracle;
+  (* The Erlang-k error decays like 1/sqrt(k); k = 256 is past the
+     paper's ~250 phases for three-digit accuracy. *)
+  check_within "erlang k=256" ~tol:1e-3 oracle v256
+
+(* End to end through the checker: the full CSRL query (the cram test
+   pins the CLI rendering of the same number). *)
+let test_checker_end_to_end () =
+  let ctx =
+    Checker.make ~epsilon:1e-9 (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
+  in
+  let query =
+    Logic.Parser.query
+      "P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )"
+  in
+  match Checker.eval_query ctx query with
+  | Checker.Boolean _ -> Alcotest.fail "expected a numeric verdict"
+  | Checker.Numeric probs ->
+    check_within "checker P=?" ~tol:1e-6 oracle
+      probs.(Models.Adhoc.initial_state)
+
+let suite =
+  ( "oracle",
+    [ Alcotest.test_case "sericola hits the oracle" `Quick test_sericola;
+      Alcotest.test_case "discretisation Richardson-extrapolates to it"
+        `Quick test_discretisation_richardson;
+      Alcotest.test_case "erlang converges to it from below" `Quick
+        test_erlang_from_below;
+      Alcotest.test_case "checker end to end" `Quick test_checker_end_to_end ] )

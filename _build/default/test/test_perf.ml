@@ -390,6 +390,84 @@ let prop_sericola_monotone =
           base more_time seed
       else true)
 
+(* Sericola's telemetry reports the Poisson mass left out by the series
+   truncation; it must honour the requested a-priori bound, and the
+   recorder must not perturb the computed value. *)
+let prop_achieved_epsilon =
+  QCheck2.Test.make ~count:25
+    ~name:"sericola telemetry: achieved epsilon honours the request"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 4 10))
+    (fun (seed, exponent) ->
+      let epsilon = Float.pow 10.0 (-.float_of_int exponent) in
+      let p =
+        Models.Random_mrm.generate_problem ~seed:(Int64.of_int seed)
+          Models.Random_mrm.default
+      in
+      let telemetry = Telemetry.create () in
+      let with_tel = Perf.Sericola.solve ~epsilon ~telemetry p in
+      let without = Perf.Sericola.solve ~epsilon p in
+      if with_tel <> without then
+        QCheck2.Test.fail_reportf
+          "telemetry perturbed the value: %.17g vs %.17g (seed %d)" with_tel
+          without seed
+      else
+        match Telemetry.gauge telemetry "sericola.achieved_epsilon" with
+        | None ->
+          (* Degenerate bound: the solve short-circuited to transient
+             analysis and the truncation gauge does not apply. *)
+          Perf.Problem.reward_trivially_satisfied p
+          || QCheck2.Test.fail_reportf
+               "no achieved_epsilon on a non-degenerate problem (seed %d)"
+               seed
+        | Some achieved ->
+          if achieved <= epsilon *. (1.0 +. 1e-6) +. 1e-15 then true
+          else
+            QCheck2.Test.fail_reportf
+              "achieved epsilon %.3g exceeds requested %.3g (seed %d)"
+              achieved epsilon seed)
+
+(* Differential battery with knob-derived tolerances: each approximate
+   engine must sit within the error its own convergence knob predicts of
+   the a-priori-bounded reference.  Erlang-k errs like 1/sqrt(k); the
+   discretisation is first order in d with constant ~ the uniformisation
+   rate. *)
+let prop_knob_derived_tolerances =
+  QCheck2.Test.make ~count:25
+    ~name:"engine error bounded by its convergence knob"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let p =
+        Models.Random_mrm.generate_problem ~seed:(Int64.of_int seed)
+          Models.Random_mrm.default
+      in
+      let reference = Perf.Sericola.solve ~epsilon:1e-12 p in
+      let phases = 256 in
+      let erlang = Perf.Erlang_approx.solve ~phases p in
+      let erlang_tol = 1.0 /. Float.sqrt (float_of_int phases) in
+      if Float.abs (erlang -. reference) > erlang_tol then
+        QCheck2.Test.fail_reportf
+          "erlang k=%d: %.8f vs %.8f exceeds 1/sqrt(k) = %.4f (seed %d)"
+          phases erlang reference erlang_tol seed
+      else begin
+        let limit = Perf.Discretization.max_stable_step p in
+        let d = ref (1.0 /. 16.0) in
+        while !d > limit || !d > 1.0 /. 256.0 do
+          d := !d /. 2.0
+        done;
+        let disc = Perf.Discretization.solve ~step:!d p in
+        let rate =
+          Markov.Ctmc.max_exit_rate (Markov.Mrm.ctmc p.Perf.Problem.mrm)
+        in
+        let disc_tol =
+          10.0 *. Float.max 1.0 rate *. !d *. p.Perf.Problem.time_bound
+        in
+        if Float.abs (disc -. reference) > disc_tol then
+          QCheck2.Test.fail_reportf
+            "discretise d=%g: %.8f vs %.8f exceeds %g (seed %d)" !d disc
+            reference disc_tol seed
+        else true
+      end)
+
 (* On dualizable models, the P2 recipe (duality + transient) and the P3
    engines with a vacuously large time bound must agree. *)
 let prop_duality_vs_sericola =
@@ -447,6 +525,8 @@ let suite =
       Alcotest.test_case "solve_many distribution curve" `Quick
         test_solve_many;
       q prop_engines_agree;
+      q prop_achieved_epsilon;
+      q prop_knob_derived_tolerances;
       q prop_sericola_vs_simulation;
       q prop_sericola_monotone;
       q prop_duality_vs_sericola ] )

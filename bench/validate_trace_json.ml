@@ -1,0 +1,87 @@
+(* csrl-trace-lint: validates a JSON trace written by `csrl-check --trace`
+   or `bench --trace`.
+
+     csrl-trace-lint FILE [required-key ...]
+
+   Structural checks: the document parses, carries a "telemetry" object
+   with "counters" / "gauges" / "spans" of the right shapes, and every
+   recorded value is a finite number.  Each extra argument is a key that
+   must be present among the counters or gauges — the cram tests use this
+   to pin the convergence measurements (Fox-Glynn truncation points,
+   uniformisation iterations, Sericola's achieved epsilon, pool
+   utilisation) without pinning their machine-dependent values.  Exit 0
+   on success, 1 with a diagnostic otherwise. *)
+
+let path = ref "trace.json"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun message ->
+      prerr_endline (!path ^ " invalid: " ^ message);
+      exit 1)
+    fmt
+
+let section name telemetry =
+  match Io.Json.member name telemetry with
+  | Some (Io.Json.Object fields) -> fields
+  | Some _ -> fail "telemetry %S is not an object" name
+  | None -> fail "telemetry missing %S" name
+
+let check_numbers name fields =
+  List.iter
+    (fun (key, v) ->
+      match Io.Json.to_float v with
+      | Some f when Float.is_finite f -> ()
+      | _ -> fail "telemetry %s %S is not a finite number" name key)
+    fields
+
+let () =
+  let required =
+    match Array.to_list Sys.argv with
+    | _ :: p :: required -> path := p; required
+    | _ -> []
+  in
+  let text =
+    match open_in_bin !path with
+    | exception Sys_error message -> fail "%s" message
+    | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+  in
+  let doc =
+    match Io.Json.of_string text with
+    | v -> v
+    | exception Io.Json.Parse_error (message, offset) ->
+      fail "parse error at byte %d: %s" offset message
+  in
+  let telemetry =
+    match Io.Json.member "telemetry" doc with
+    | Some (Io.Json.Object _ as t) -> t
+    | Some _ -> fail "\"telemetry\" is not an object"
+    | None -> fail "missing \"telemetry\""
+  in
+  let counters = section "counters" telemetry in
+  let gauges = section "gauges" telemetry in
+  check_numbers "counter" counters;
+  check_numbers "gauge" gauges;
+  (match Io.Json.member "spans" telemetry with
+   | Some (Io.Json.List spans) ->
+     List.iteri
+       (fun i span ->
+         match Io.Json.member "name" span, Io.Json.member "seconds" span with
+         | Some (Io.Json.String _), Some (Io.Json.Number s)
+           when Float.is_finite s && s >= 0.0 -> ()
+         | _ -> fail "span %d is malformed" i)
+       spans
+   | Some _ -> fail "telemetry \"spans\" is not a list"
+   | None -> fail "telemetry missing \"spans\"");
+  let present key =
+    List.mem_assoc key counters || List.mem_assoc key gauges
+  in
+  List.iter
+    (fun key -> if not (present key) then fail "missing measurement %S" key)
+    required;
+  Printf.printf "%s: valid trace (%d counters, %d gauges)\n" !path
+    (List.length counters) (List.length gauges)

@@ -1,0 +1,86 @@
+(** Lightweight, zero-dependency tracing and metrics for the numerical
+    engines.
+
+    A {!t} is a per-run recorder: named monotonically increasing
+    {e counters} (iteration counts, cells computed, calls), named
+    {e gauges} (last-observed values: truncation points, achieved
+    epsilon, rates), and timed {e spans} (wall-clock regions, stamped
+    with the recorder's clock).
+
+    Design rules:
+
+    - {b Optional everywhere.}  The hot paths take
+      [?telemetry:Telemetry.t]; every recording entry point accepts the
+      option directly ([Telemetry.add telemetry "name" 1]) and is a
+      no-op on [None], so the disabled path costs one branch — measured
+      under 2% on the heaviest kernels (DESIGN.md §11).
+    - {b Never numerical.}  Recording must not change any computed
+      value: telemetry is written from already-computed quantities, so
+      results with and without a recorder are bit-identical.
+    - {b Injectable clock.}  The library itself has no dependencies, so
+      it cannot bind a monotonic clock; callers that have one (the CLI
+      and the bench harness use [bechamel.monotonic_clock]) inject it at
+      {!create} time.  The default is [Sys.time] (CPU seconds) — fine
+      for counters-only use, where spans are not read.
+    - {b Thread-safe.}  All recording goes through one mutex; the
+      intended granularity is per-solve (coarse), not per-loop-iteration,
+      so contention is irrelevant. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh, empty recorder.  [clock] (default [Sys.time]) stamps span
+    start times and durations; pass a monotonic wall-clock for
+    meaningful timings. *)
+
+val clock : t -> unit -> float
+(** The recorder's clock, for callers that want consistent stamps. *)
+
+(* ------------------------------------------------------------------ *)
+(* Recording (all no-ops on [None]).                                   *)
+
+val add : t option -> string -> int -> unit
+(** [add tel name by] increments counter [name] by [by] (creating it at
+    zero).  Counters accumulate across repeated solves on the same
+    recorder. *)
+
+val record : t option -> string -> float -> unit
+(** [record tel name v] sets gauge [name] to [v] (last write wins). *)
+
+val record_max : t option -> string -> float -> unit
+(** Like {!record} but keeps the maximum of the old and new values —
+    for high-water marks across repeated solves. *)
+
+val with_span : t option -> string -> (unit -> 'a) -> 'a
+(** [with_span tel name f] runs [f ()], recording a span [name] with the
+    clock time at entry and the elapsed duration.  The span is recorded
+    (in completion order) even when [f] raises. *)
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+
+type span = {
+  span_name : string;
+  start : float;    (** clock stamp at entry *)
+  seconds : float;  (** duration *)
+}
+
+type report = {
+  counters : (string * int) list;    (** sorted by name *)
+  gauges : (string * float) list;    (** sorted by name *)
+  spans : span list;                 (** in completion order *)
+}
+
+val report : t -> report
+(** A consistent snapshot; the recorder remains usable afterwards. *)
+
+val counter : t -> string -> int option
+val gauge : t -> string -> float option
+
+val absorb : t -> report -> unit
+(** Fold another report into this recorder: counters are added, gauges
+    overwrite, spans append.  Used by the bench harness to roll
+    per-procedure recorders into the session-wide one. *)
+
+val reset : t -> unit
+(** Drop all recorded data (the clock is kept). *)
