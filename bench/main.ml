@@ -519,13 +519,124 @@ let perf full =
   close_out oc;
   Printf.printf "wrote BENCH_perf.json (%d entries)\n" (List.length entries)
 
+(* The batched multi-query engine vs cold single-query runs: 20 CSRL
+   queries over the ad hoc model sharing one (phi, psi) pair, so the
+   batch computes one Theorem 1 reduction and a handful of solves where
+   the cold loop computes twenty.  Appends a "batch" section (timings,
+   speedup, per-cache hit-rates, and the bit-identity verdict) to
+   BENCH_perf.json. *)
+let batch_queries =
+  let p3 bound = Printf.sprintf
+      "P>=%s ( (call_idle | doze) U[t<=24][r<=600] call_initiated )" bound
+  in
+  List.map p3
+    [ "0.05"; "0.10"; "0.15"; "0.20"; "0.25"; "0.30"; "0.35"; "0.40";
+      "0.45"; "0.50"; "0.55"; "0.60"; "0.65"; "0.70" ]
+  @ [ "P=? ( (call_idle | doze) U[t<=12][r<=600] call_initiated )";
+      "P=? ( (call_idle | doze) U[t<=36][r<=600] call_initiated )";
+      "P=? ( (call_idle | doze) U[t<=48][r<=600] call_initiated )";
+      "P=? ( (call_idle | doze) U[t<=24][r<=300] call_initiated )";
+      "P=? ( (call_idle | doze) U[t<=24][r<=450] call_initiated )";
+      "P=? ( (call_idle | doze) U[t<=24][r<=550] call_initiated )" ]
+
+let batch _full =
+  heading "batch: cross-query caching vs cold single-query runs";
+  let queries = List.map Logic.Parser.query batch_queries in
+  let n = List.length queries in
+  (* The context runs its kernels sequentially on both sides, so the
+     comparison isolates the caches (and Batch.run forces the sequential
+     per-query path anyway — the bit-identity invariant). *)
+  let ctx =
+    Checker.make ~epsilon:1e-8 ~pool:Parallel.Pool.sequential
+      (Models.Adhoc.mrm ()) (Models.Adhoc.labeling ())
+  in
+  let cold_verdicts, cold_seconds =
+    timed (fun () ->
+        List.map
+          (fun q ->
+            (* A cold run shares nothing, not even Fox-Glynn windows. *)
+            Numerics.Fox_glynn.cache_clear ();
+            Checker.eval_query ctx q)
+          queries)
+  in
+  Numerics.Fox_glynn.cache_clear ();
+  let memo = Checker.create_memo () in
+  let batched_verdicts, batch_seconds =
+    timed (fun () ->
+        Batch.run ~pool:!pool ?telemetry:!session_telemetry ~memo ctx queries)
+  in
+  let identical = batched_verdicts = cold_verdicts in
+  if not identical then begin
+    prerr_endline "batch: batched verdicts differ from cold single-query runs";
+    exit 1
+  end;
+  let speedup = cold_seconds /. Float.max 1e-9 batch_seconds in
+  Printf.printf
+    "  %d queries  cold %s  batched %s (%d jobs)  speedup %.1fx  \
+     bit-identical: %b\n"
+    n (Io.Table.seconds cold_seconds) (Io.Table.seconds batch_seconds)
+    !jobs speedup identical;
+  let fg = Numerics.Fox_glynn.cache_counters () in
+  let caches =
+    Checker.memo_counters memo
+    @ [ ("fox_glynn",
+         { Perf.Batch.lookups = fg.Numerics.Fox_glynn.lookups;
+           hits = fg.Numerics.Fox_glynn.hits;
+           misses = fg.Numerics.Fox_glynn.misses }) ]
+  in
+  List.iter
+    (fun (name, (c : Perf.Batch.counters)) ->
+      Printf.printf "  cache %-10s %3d lookups, %3d hits (%.0f%%)\n" name
+        c.Perf.Batch.lookups c.Perf.Batch.hits
+        (100.0 *. Batch.hit_rate c))
+    caches;
+  let batch_json =
+    Io.Json.Object
+      [ ("queries", Io.Json.Number (float_of_int n));
+        ("jobs", Io.Json.Number (float_of_int !jobs));
+        ("cold_seconds", Io.Json.Number cold_seconds);
+        ("batch_seconds", Io.Json.Number batch_seconds);
+        ("speedup", Io.Json.Number speedup);
+        ("identical", Io.Json.Bool identical);
+        ("caches",
+         Io.Json.Object
+           (List.map
+              (fun (name, (c : Perf.Batch.counters)) ->
+                (name,
+                 Io.Json.Object
+                   [ ("lookups",
+                      Io.Json.Number (float_of_int c.Perf.Batch.lookups));
+                     ("hits", Io.Json.Number (float_of_int c.Perf.Batch.hits));
+                     ("misses",
+                      Io.Json.Number (float_of_int c.Perf.Batch.misses));
+                     ("hit_rate", Io.Json.Number (Batch.hit_rate c)) ]))
+              caches)) ]
+  in
+  (* Merge into BENCH_perf.json so `perf batch` produces one document. *)
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "batch" fields
+       | _ | exception Io.Json.Parse_error _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("batch", batch_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the batch section\n"
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
-    ("perf", perf) ]
+    ("perf", perf); ("batch", batch) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -22,8 +22,12 @@ let number key entry =
   | None -> fail "field %S is not a number" key
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let require_batch = List.mem "--require-batch" args in
   let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_perf.json"
+    match List.filter (fun a -> a <> "--require-batch") args with
+    | path :: _ -> path
+    | [] -> "BENCH_perf.json"
   in
   let text =
     match open_in_bin path with
@@ -85,4 +89,57 @@ let () =
       check_numbers "counter" counters;
       check_numbers "gauge" (section "gauges"))
     entries;
-  Printf.printf "%s: %d entries ok\n" path (List.length entries)
+  (* The batch section (written by `bench batch`): deterministic cache
+     statistics and the bit-identity verdict are asserted exactly;
+     timings only need to be sane (CI machines are too noisy to gate on
+     the measured speedup, which is reported, not enforced).  The
+     section is validated whenever present; --require-batch (the
+     bench-smoke rule and CI) additionally makes its absence an error,
+     so a perf-only run still validates standalone. *)
+  let batch_summary =
+    match Io.Json.member "batch" doc with
+    | None ->
+      if require_batch then
+        fail "missing \"batch\" section (run `bench perf batch`)"
+      else ""
+    | Some batch ->
+      let bfail fmt = Printf.ksprintf (fun m -> fail "batch: %s" m) fmt in
+      let queries = number "queries" batch in
+      if not (Float.is_integer queries && queries >= 2.0) then
+        bfail "\"queries\" is not an integer >= 2 (%g)" queries;
+      (match Io.Json.member "identical" batch with
+       | Some (Io.Json.Bool true) -> ()
+       | Some (Io.Json.Bool false) ->
+         bfail "batched verdicts are NOT bit-identical to cold runs"
+       | _ -> bfail "missing boolean \"identical\"");
+      List.iter
+        (fun key ->
+          let v = number key batch in
+          if not (Float.is_finite v && v >= 0.0) then
+            bfail "%S is not a non-negative number (%g)" key v)
+        [ "cold_seconds"; "batch_seconds"; "speedup" ];
+      let caches =
+        match Io.Json.member "caches" batch with
+        | Some (Io.Json.Object caches) when caches <> [] -> caches
+        | _ -> bfail "missing non-empty \"caches\" object"
+      in
+      let hits_total = ref 0.0 in
+      List.iter
+        (fun (name, cache) ->
+          let lookups = number "lookups" cache
+          and hits = number "hits" cache
+          and misses = number "misses" cache
+          and rate = number "hit_rate" cache in
+          if hits +. misses <> lookups then
+            bfail "cache %S: hits + misses <> lookups" name;
+          if rate < 0.0 || rate > 1.0 then
+            bfail "cache %S: hit_rate %g out of [0,1]" name rate;
+          hits_total := !hits_total +. hits)
+        caches;
+      (* A 20-query batch over one (phi, psi) pair must actually share
+         work: no cache hits at all means the caching layer is dead. *)
+      if !hits_total = 0.0 then bfail "no cache hits across the whole batch";
+      Printf.sprintf ", batch %.0f queries (speedup %.1fx)" queries
+        (number "speedup" batch)
+  in
+  Printf.printf "%s: %d entries ok%s\n" path (List.length entries) batch_summary

@@ -126,8 +126,157 @@ let print_info mrm labeling init =
 (* bechamel's monotonic clock returns nanoseconds. *)
 let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
+(* ------------------------------------------------------------------ *)
+(* Batch mode: a JSON file of queries, answered with shared caches.    *)
+
+let batch_usage =
+  "expected {\"queries\": [...]} where each element is a query string or \
+   an object {\"query\": \"...\", \"name\": \"...\"}"
+
+let parse_batch_file path =
+  let fail message =
+    Printf.eprintf "batch file %s: %s\n" path message;
+    exit 2
+  in
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error message -> fail message
+  in
+  let document =
+    try Io.Json.of_string text
+    with Io.Json.Parse_error (message, offset) ->
+      fail (Printf.sprintf "JSON parse error at offset %d: %s" offset message)
+  in
+  let items =
+    match Io.Json.member "queries" document with
+    | Some (Io.Json.List items) when items <> [] -> items
+    | Some (Io.Json.List []) -> fail ("empty \"queries\" list; " ^ batch_usage)
+    | _ -> fail batch_usage
+  in
+  List.mapi
+    (fun i item ->
+      let name, text =
+        match item with
+        | Io.Json.String text -> (Printf.sprintf "q%d" i, text)
+        | Io.Json.Object _ as obj -> begin
+            let name =
+              match Option.bind (Io.Json.member "name" obj) Io.Json.to_text with
+              | Some n -> n
+              | None -> Printf.sprintf "q%d" i
+            in
+            match Option.bind (Io.Json.member "query" obj) Io.Json.to_text with
+            | Some text -> (name, text)
+            | None ->
+              fail (Printf.sprintf "queries[%d] has no \"query\" string" i)
+          end
+        | _ -> fail (Printf.sprintf "queries[%d]: %s" i batch_usage)
+      in
+      match Logic.Parser.query text with
+      | query -> (name, text, query)
+      | exception Logic.Parser.Parse_error (message, pos) ->
+        fail
+          (Printf.sprintf "query %s: parse error at position %d: %s" name pos
+             message))
+    items
+
+let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats mrm
+    labeling init path =
+  let batch = parse_batch_file path in
+  let ctx = Checker.make ~engine ~epsilon ~pool ?telemetry mrm labeling in
+  let memo = Checker.create_memo () in
+  let fg_before = Numerics.Fox_glynn.cache_counters () in
+  let verdicts =
+    Batch.run ~pool ?telemetry ~memo ctx
+      (List.map (fun (_, _, q) -> q) batch)
+  in
+  let results =
+    List.map2
+      (fun (name, _, query) verdict ->
+        let rendered = Format.asprintf "%a" Logic.Ast.pp_query query in
+        let common = [ ("name", Io.Json.String name);
+                       ("query", Io.Json.String rendered) ] in
+        match verdict with
+        | Checker.Boolean mask ->
+          let indicator = Array.map (fun b -> if b then 1.0 else 0.0) mask in
+          Io.Json.Object
+            (common
+            @ [ ("kind", Io.Json.String "boolean");
+                ("initial_mass",
+                 Io.Json.Number (Linalg.Vec.dot init indicator));
+                ("states",
+                 Io.Json.List
+                   (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask)))
+              ])
+        | Checker.Numeric values ->
+          Io.Json.Object
+            (common
+            @ [ ("kind", Io.Json.String "numeric");
+                ("value", Io.Json.Number (Linalg.Vec.dot init values));
+                ("states",
+                 Io.Json.List
+                   (Array.to_list
+                      (Array.map (fun v -> Io.Json.Number v) values))) ]))
+      batch verdicts
+  in
+  let fg_after = Numerics.Fox_glynn.cache_counters () in
+  let cache_json =
+    let entry (c : Perf.Batch.counters) =
+      let rate = Batch.hit_rate c in
+      Io.Json.Object
+        [ ("lookups", Io.Json.Number (float_of_int c.Perf.Batch.lookups));
+          ("hits", Io.Json.Number (float_of_int c.Perf.Batch.hits));
+          ("misses", Io.Json.Number (float_of_int c.Perf.Batch.misses));
+          ("hit_rate", Io.Json.Number rate) ]
+    in
+    let fg_delta =
+      { Perf.Batch.lookups =
+          fg_after.Numerics.Fox_glynn.lookups
+          - fg_before.Numerics.Fox_glynn.lookups;
+        hits =
+          fg_after.Numerics.Fox_glynn.hits
+          - fg_before.Numerics.Fox_glynn.hits;
+        misses =
+          fg_after.Numerics.Fox_glynn.misses
+          - fg_before.Numerics.Fox_glynn.misses }
+    in
+    Io.Json.Object
+      (List.map (fun (name, c) -> (name, entry c)) (Checker.memo_counters memo)
+      @ [ ("fox_glynn", entry fg_delta) ])
+  in
+  let document =
+    Io.Json.Object
+      [ ("tool", Io.Json.String "csrl-check");
+        ("mode", Io.Json.String "batch");
+        ("engine",
+         Io.Json.String (Format.asprintf "%a" Perf.Engine.pp_spec engine));
+        ("jobs", Io.Json.Number (float_of_int jobs));
+        ("queries", Io.Json.Number (float_of_int (List.length batch)));
+        ("results", Io.Json.List results);
+        ("cache", cache_json) ]
+  in
+  print_string (Io.Json.to_string document);
+  print_newline ();
+  Option.iter
+    (fun tel ->
+      Io.Trace.record_pool_stats tel pool;
+      (match trace with
+       | None -> ()
+       | Some path ->
+         let document =
+           Io.Json.Object
+             [ ("tool", Io.Json.String "csrl-check");
+               ("mode", Io.Json.String "batch");
+               ("jobs", Io.Json.Number (float_of_int jobs));
+               ("telemetry", Io.Trace.to_json tel) ]
+         in
+         Out_channel.with_open_text path (fun oc ->
+             output_string oc (Io.Json.to_string document);
+             output_char oc '\n'));
+      if stats then Io.Trace.print_stats stdout tel)
+    telemetry
+
 let run model_name file engine_text epsilon jobs trace stats list_props info
-    lump formula_text =
+    lump batch_file formula_text =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -179,11 +328,16 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     exit 0
   end;
   let formula_text =
-    match formula_text with
-    | Some f -> f
-    | None ->
-      prerr_endline "no formula given (pass one, or --list-propositions)";
+    match batch_file, formula_text with
+    | None, Some f -> Some f
+    | None, None ->
+      prerr_endline
+        "no formula given (pass one, or --batch FILE, or --list-propositions)";
       exit 2
+    | Some _, Some _ ->
+      prerr_endline "--batch cannot be combined with a positional formula";
+      exit 2
+    | Some _, None -> None
   in
   let engine =
     match parse_engine engine_text with
@@ -202,6 +356,12 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
      Option.iter
        (fun tel -> Parallel.Pool.instrument pool (Telemetry.clock tel))
        telemetry);
+  match batch_file with
+  | Some path ->
+    run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats mrm
+      labeling init path
+  | None ->
+  let formula_text = Option.get formula_text in
   let ctx = Checker.make ~engine ~epsilon ~pool ?telemetry mrm labeling in
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
@@ -312,6 +472,18 @@ let lump_arg =
   in
   Arg.(value & flag & info [ "lump" ] ~doc)
 
+let batch_arg =
+  let doc =
+    "Evaluate a batch of queries from a JSON file ({\"queries\": [...]}, \
+     each element a query string or {\"query\": ..., \"name\": ...}) over \
+     one shared checking context.  Work common to the queries — Sat-sets, \
+     Theorem 1 reductions, solved until-vectors, Fox-Glynn windows — is \
+     computed once; answers are bit-identical to single-query runs.  \
+     Results are printed as one JSON document with per-cache hit \
+     statistics."
+  in
+  Arg.(value & opt (some string) None & info [ "b"; "batch" ] ~docv:"FILE" ~doc)
+
 let formula_arg =
   let doc =
     "The CSRL formula or query, e.g. 'P>0.5 ( a U[t<=24][r<=600] b )' or \
@@ -337,6 +509,6 @@ let cmd =
     Term.(
       const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
       $ trace_arg $ stats_arg $ list_props_arg $ info_arg $ lump_arg
-      $ formula_arg)
+      $ batch_arg $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

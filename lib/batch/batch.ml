@@ -1,0 +1,68 @@
+let hit_rate (c : Perf.Batch.counters) =
+  if c.Perf.Batch.lookups = 0 then 0.0
+  else float_of_int c.Perf.Batch.hits /. float_of_int c.Perf.Batch.lookups
+
+let record_counters telemetry name (c : Perf.Batch.counters) =
+  Telemetry.add telemetry (Printf.sprintf "batch.%s.lookups" name)
+    c.Perf.Batch.lookups;
+  Telemetry.add telemetry (Printf.sprintf "batch.%s.hits" name)
+    c.Perf.Batch.hits;
+  Telemetry.add telemetry (Printf.sprintf "batch.%s.misses" name)
+    c.Perf.Batch.misses
+
+let run ?(pool = Parallel.Pool.sequential) ?telemetry ?memo ctx queries =
+  let memo = match memo with Some m -> m | None -> Checker.create_memo () in
+  (* Per-query kernels run on the sequential pool: parallelism lives
+     across queries, and the per-query numerics stay the exact
+     single-query code path (the bit-identity invariant). *)
+  let base = Checker.with_pool ctx Parallel.Pool.sequential in
+  let fg_before = Numerics.Fox_glynn.cache_counters () in
+  let queries = Array.of_list queries in
+  let n = Array.length queries in
+  let results = Array.make n None in
+  let rollup = Mutex.create () in
+  let eval i =
+    let per_query =
+      Option.map (fun t -> Telemetry.create ~clock:(Telemetry.clock t) ()) telemetry
+    in
+    let ctx_i = Checker.with_telemetry base per_query in
+    let verdict = Checker.eval_query ~memo ctx_i queries.(i) in
+    (match telemetry, per_query with
+     | Some session, Some t ->
+       (* Absorb under a lock: several domains may finish at once, and
+          [absorb] must not interleave with another rollup. *)
+       Mutex.protect rollup (fun () ->
+           Telemetry.absorb session (Telemetry.report t))
+     | _ -> ());
+    results.(i) <- Some verdict
+  in
+  (* One query per chunk (cutoff 1): a batch is short, and whole-query
+     granularity is what keeps each evaluation on the sequential path. *)
+  Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:n (fun lo hi ->
+      for i = lo to hi - 1 do
+        eval i
+      done);
+  (match telemetry with
+   | None -> ()
+   | Some _ ->
+     Telemetry.add telemetry "batch.queries" n;
+     List.iter
+       (fun (name, c) -> record_counters telemetry name c)
+       (Checker.memo_counters memo);
+     let fg_after = Numerics.Fox_glynn.cache_counters () in
+     record_counters telemetry "fox_glynn"
+       { Perf.Batch.lookups =
+           fg_after.Numerics.Fox_glynn.lookups
+           - fg_before.Numerics.Fox_glynn.lookups;
+         hits =
+           fg_after.Numerics.Fox_glynn.hits
+           - fg_before.Numerics.Fox_glynn.hits;
+         misses =
+           fg_after.Numerics.Fox_glynn.misses
+           - fg_before.Numerics.Fox_glynn.misses });
+  Array.to_list
+    (Array.map
+       (function
+         | Some v -> v
+         | None -> failwith "Batch.run: a query produced no result")
+       results)

@@ -1,0 +1,54 @@
+(** The batched multi-query checking engine.
+
+    A batch is a list of CSRL queries evaluated over {e one} checking
+    context.  {!run} evaluates them with a shared {!Checker.memo}, so the
+    work the queries have in common is done once:
+
+    - Sat-sets of hash-consed subformulas ([Checker]'s tables);
+    - the absorbing-transformed reduced MRM of Theorem 1, keyed by
+      [(Sat Phi, Sat Psi)] — shared by queries differing only in [t],
+      [r] or the bound [p] ({!Perf.Batch});
+    - the solved until-probability vector, additionally keyed by
+      [(t, r)] — shared by queries differing only in [p];
+    - Fox–Glynn weight windows, keyed by [(q·t, epsilon)]
+      ({!Numerics.Fox_glynn}'s process-wide memo).
+
+    {b The defining invariant}: batched answers are bit-identical to
+    sequential single-query runs.  Two mechanisms guarantee it.  First,
+    every cache entry is a deterministic function of its key on the
+    fixed context, so a hit returns exactly what a cold computation
+    would.  Second, per-query evaluation always runs the kernels on the
+    {e sequential} pool ({!Checker.with_pool}); the optional [?pool]
+    parallelises {e across} queries instead (each domain evaluates whole
+    queries), so no floating-point reassociation ever enters the
+    per-query numerics. *)
+
+val run :
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> ?memo:Checker.memo ->
+  Checker.t -> Logic.Ast.query list -> Checker.verdict list
+(** [run ctx queries] evaluates the batch in order.
+
+    [pool] (default sequential) dispatches queries across the pool's
+    domains with one query per chunk; results land at their query's
+    index, so the output order never depends on scheduling.  [ctx]'s own
+    pool is ignored during batched evaluation (see above).
+
+    [memo] (default a fresh one) carries the cross-query caches; pass an
+    explicit memo to share caches across several [run]s over the same
+    context, or to read {!Checker.memo_counters} afterwards.
+
+    [telemetry] (default off) gives each query a private recorder whose
+    report is rolled up into the given recorder with
+    [Telemetry.absorb], then records the batch-level counters
+    [batch.queries] and, per cache [c] of {!Checker.memo_counters} plus
+    the process-wide [fox_glynn] window cache (as a delta over the run),
+    [batch.c.lookups] / [batch.c.hits] / [batch.c.misses].  [ctx]'s own
+    recorder is not used for batched evaluation — per-query interleaving
+    on a pool would make its contents scheduling-dependent.
+
+    Exceptions raised by a query ({!Checker.Unsupported},
+    [Markov.Labeling.Unknown_proposition], ...) propagate to the
+    caller after in-flight queries finish. *)
+
+val hit_rate : Perf.Batch.counters -> float
+(** [hits / lookups], or [0.] when the cache was never consulted. *)

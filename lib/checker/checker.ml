@@ -17,6 +17,83 @@ let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
+let with_pool ctx pool = { ctx with pool }
+let with_telemetry ctx telemetry = { ctx with telemetry }
+
+(* ------------------------------------------------------------------ *)
+(* The cross-query memo.  Subformulas are hash-consed: structurally
+   equal (sub)formulas are interned to one integer id, and the Sat-set
+   and path-probability tables are keyed by that id, so a batch of
+   queries sharing subformulas computes each characteristic vector and
+   each path-probability vector once.  Everything a memo stores is a
+   deterministic function of its key on a fixed context, which is what
+   keeps memoised answers bit-identical to cold ones.  One mutex guards
+   all tables: batched queries may run on several pool domains at once,
+   and a concurrent miss at worst duplicates a deterministic compute. *)
+
+type cell = { mutable c_lookups : int; mutable c_hits : int }
+
+type memo = {
+  mlock : Mutex.t;
+  state_ids : (Logic.Ast.state_formula, int) Hashtbl.t;
+  path_ids : (Logic.Ast.path_formula, int) Hashtbl.t;
+  mutable next_id : int;
+  sat_tbl : (int, bool array) Hashtbl.t;
+  path_tbl : (int, Linalg.Vec.t) Hashtbl.t;
+  perf : Perf.Batch.t;   (* reduced-model and solve caches (Theorem 1) *)
+  sat_cell : cell;
+  path_cell : cell;
+}
+
+let create_memo () =
+  { mlock = Mutex.create ();
+    state_ids = Hashtbl.create 64;
+    path_ids = Hashtbl.create 16;
+    next_id = 0;
+    sat_tbl = Hashtbl.create 64;
+    path_tbl = Hashtbl.create 16;
+    perf = Perf.Batch.create ();
+    sat_cell = { c_lookups = 0; c_hits = 0 };
+    path_cell = { c_lookups = 0; c_hits = 0 } }
+
+(* Intern under the memo lock; ids are dense and never recycled. *)
+let intern memo ids key =
+  match Hashtbl.find_opt ids key with
+  | Some id -> id
+  | None ->
+    let id = memo.next_id in
+    memo.next_id <- id + 1;
+    Hashtbl.add ids key id;
+    id
+
+(* Lookup-or-compute with hit accounting; [compute] runs outside the
+   lock (it may itself take the lock recursively for subformulas). *)
+let memoize memo cell tbl id compute =
+  Mutex.lock memo.mlock;
+  cell.c_lookups <- cell.c_lookups + 1;
+  match Hashtbl.find_opt tbl id with
+  | Some v ->
+    cell.c_hits <- cell.c_hits + 1;
+    Mutex.unlock memo.mlock;
+    v
+  | None ->
+    Mutex.unlock memo.mlock;
+    let v = compute () in
+    Mutex.lock memo.mlock;
+    Hashtbl.replace tbl id v;
+    Mutex.unlock memo.mlock;
+    v
+
+let memo_counters memo =
+  Mutex.lock memo.mlock;
+  let snap (cell : cell) =
+    { Perf.Batch.lookups = cell.c_lookups;
+      hits = cell.c_hits;
+      misses = cell.c_lookups - cell.c_hits }
+  in
+  let own = [ ("path", snap memo.path_cell); ("sat", snap memo.sat_cell) ] in
+  Mutex.unlock memo.mlock;
+  List.sort compare (own @ Perf.Batch.counters memo.perf)
 
 (* ------------------------------------------------------------------ *)
 (* Unbounded until (P0): qualitative precomputation + linear system.  *)
@@ -111,10 +188,19 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
 (* ------------------------------------------------------------------ *)
 (* Time- and reward-bounded until (P3): Theorem 1 + a Section 4 engine. *)
 
-let until_both_bounded ctx ~phi ~psi ~time_bound ~reward_bound =
-  Perf.Reduced.until_probabilities_via
-    (Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry ctx.engine)
-    ctx.mrm ~phi ~psi ~time_bound ~reward_bound
+let until_both_bounded memo ctx ~phi ~psi ~time_bound ~reward_bound =
+  let solve = Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry ctx.engine in
+  match memo with
+  | None ->
+    Perf.Reduced.until_probabilities_via solve ctx.mrm ~phi ~psi ~time_bound
+      ~reward_bound
+  | Some m ->
+    (* The reduction only depends on (Sat Phi, Sat Psi) and the solve on
+       (Sat Phi, Sat Psi, t, r): queries of a batch that differ in the
+       bound p — or, for the reduction, in t and r too — share the
+       cached artefacts. *)
+    Perf.Batch.until_probabilities m.perf solve ctx.mrm ~phi ~psi
+      ~time_bound ~reward_bound
 
 (* ------------------------------------------------------------------ *)
 (* Next.  The jump out of [s] must happen at a sojourn time inside the
@@ -191,50 +277,70 @@ let steady_values ctx ~target =
   Array.map Numerics.Float_utils.clamp_prob result
 
 (* ------------------------------------------------------------------ *)
-(* The recursive Sat computation.                                     *)
+(* The recursive Sat computation.  [memo] is threaded through the whole
+   traversal: with [Some m] every Sat-set and path-probability vector is
+   interned once per structurally distinct subformula; with [None] the
+   code path is exactly the historical uncached one.  Memoised arrays
+   are shared internally (nothing in the traversal mutates an operand)
+   and copied at the public boundary.                                  *)
 
-let rec sat ctx (phi : Logic.Ast.state_formula) : bool array =
+let rec sat_k memo ctx (phi : Logic.Ast.state_formula) : bool array =
+  match memo with
+  | None -> sat_compute memo ctx phi
+  | Some m ->
+    let id = Mutex.protect m.mlock (fun () -> intern m m.state_ids phi) in
+    memoize m m.sat_cell m.sat_tbl id (fun () -> sat_compute memo ctx phi)
+
+and sat_compute memo ctx (phi : Logic.Ast.state_formula) : bool array =
   let n = Markov.Mrm.n_states ctx.mrm in
   match phi with
   | True -> Array.make n true
   | False -> Array.make n false
   | Ap a -> Markov.Labeling.sat ctx.labeling a
-  | Not f -> Array.map not (sat ctx f)
+  | Not f -> Array.map not (sat_k memo ctx f)
   | And (f, g) ->
-    let sf = sat ctx f and sg = sat ctx g in
+    let sf = sat_k memo ctx f and sg = sat_k memo ctx g in
     Array.init n (fun s -> sf.(s) && sg.(s))
   | Or (f, g) ->
-    let sf = sat ctx f and sg = sat ctx g in
+    let sf = sat_k memo ctx f and sg = sat_k memo ctx g in
     Array.init n (fun s -> sf.(s) || sg.(s))
   | Implies (f, g) ->
-    let sf = sat ctx f and sg = sat ctx g in
+    let sf = sat_k memo ctx f and sg = sat_k memo ctx g in
     Array.init n (fun s -> (not sf.(s)) || sg.(s))
   | Prob (cmp, p, path) ->
-    let probs = path_probabilities ctx path in
+    let probs = path_probabilities_k memo ctx path in
     Array.map (Logic.Ast.compare_holds cmp p) probs
   | Steady (cmp, p, f) ->
-    let values = steady_values ctx ~target:(sat ctx f) in
+    let values = steady_values ctx ~target:(sat_k memo ctx f) in
     Array.map (Logic.Ast.compare_holds cmp p) values
   | Reward (cmp, c, q) ->
-    let values = reward_values ctx q in
+    let values = reward_values_k memo ctx q in
     Array.map (Logic.Ast.compare_holds cmp c) values
 
-and reward_values ctx (q : Logic.Ast.reward_query) : Linalg.Vec.t =
+and reward_values_k memo ctx (q : Logic.Ast.reward_query) : Linalg.Vec.t =
   match q with
   | Logic.Ast.Cumulative t ->
     Markov.Expected_reward.cumulative_all ~epsilon:ctx.epsilon ctx.mrm ~t
   | Logic.Ast.Reach f ->
     Markov.Expected_reward.reachability ~tol:(ctx.epsilon /. 10.0) ctx.mrm
-      ~goal:(sat ctx f)
+      ~goal:(sat_k memo ctx f)
   | Logic.Ast.Long_run ->
     Markov.Expected_reward.steady_rate_all ctx.mrm
 
-and path_probabilities ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
+and path_probabilities_k memo ctx (path : Logic.Ast.path_formula)
+    : Linalg.Vec.t =
+  match memo with
+  | None -> path_compute memo ctx path
+  | Some m ->
+    let id = Mutex.protect m.mlock (fun () -> intern m m.path_ids path) in
+    memoize m m.path_cell m.path_tbl id (fun () -> path_compute memo ctx path)
+
+and path_compute memo ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
   match path with
   | Next (time, reward, f) ->
-    next_probabilities ctx ~time ~reward ~target:(sat ctx f)
+    next_probabilities ctx ~time ~reward ~target:(sat_k memo ctx f)
   | Until (time, reward, f, g) -> begin
-      let phi = sat ctx f and psi = sat ctx g in
+      let phi = sat_k memo ctx f and psi = sat_k memo ctx g in
       if not (Numerics.Interval.is_downward_closed reward) then
         raise
           (Unsupported
@@ -262,8 +368,12 @@ and path_probabilities ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
         | Some t, None -> until_time_bounded ctx ~phi ~psi ~time_bound:t
         | None, Some r -> until_reward_bounded ctx ~phi ~psi ~reward_bound:r
         | Some t, Some r ->
-          until_both_bounded ctx ~phi ~psi ~time_bound:t ~reward_bound:r
+          until_both_bounded memo ctx ~phi ~psi ~time_bound:t ~reward_bound:r
     end
+
+let sat ctx phi = sat_k None ctx phi
+let path_probabilities ctx path = path_probabilities_k None ctx path
+let reward_values ctx q = reward_values_k None ctx q
 
 let holds ctx phi s =
   let mask = sat ctx phi in
@@ -277,10 +387,19 @@ type verdict =
   | Boolean of bool array
   | Numeric of Linalg.Vec.t
 
-let eval_query ctx q =
+let eval_query ?memo ctx q =
   Telemetry.with_span ctx.telemetry "checker.eval_query" @@ fun () ->
-  match q with
-  | Logic.Ast.Formula f -> Boolean (sat ctx f)
-  | Logic.Ast.Prob_query path -> Numeric (path_probabilities ctx path)
-  | Logic.Ast.Steady_query f -> Numeric (steady_probabilities ctx f)
-  | Logic.Ast.Reward_query q -> Numeric (reward_values ctx q)
+  let verdict =
+    match q with
+    | Logic.Ast.Formula f -> Boolean (sat_k memo ctx f)
+    | Logic.Ast.Prob_query path -> Numeric (path_probabilities_k memo ctx path)
+    | Logic.Ast.Steady_query f ->
+      Numeric (steady_values ctx ~target:(sat_k memo ctx f))
+    | Logic.Ast.Reward_query q -> Numeric (reward_values_k memo ctx q)
+  in
+  (* With a memo the verdict may be (or alias) a cached vector; hand the
+     caller a private copy so the tables cannot be corrupted. *)
+  match memo, verdict with
+  | None, v -> v
+  | Some _, Boolean mask -> Boolean (Array.copy mask)
+  | Some _, Numeric v -> Numeric (Array.copy v)

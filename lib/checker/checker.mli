@@ -51,6 +51,42 @@ val make :
 val mrm : t -> Markov.Mrm.t
 val labeling : t -> Markov.Labeling.t
 
+val with_pool : t -> Parallel.Pool.t -> t
+(** The same context running its kernels on a different pool.  The batch
+    engine uses this to force the exact sequential kernel path on
+    per-query evaluations while it parallelises {e across} queries —
+    that is what keeps batched answers bit-identical to sequential
+    single-query runs. *)
+
+val with_telemetry : t -> Telemetry.t option -> t
+(** The same context with a different (or no) recorder — used by the
+    batch engine to give each query a private recorder that is then
+    rolled up with [Telemetry.absorb]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-query memoisation.                                            *)
+
+type memo
+(** A cross-query cache for one fixed context: Sat-sets and
+    path-probability vectors keyed by hash-consed subformula
+    (structurally equal subformulas are interned to one id), plus the
+    {!Perf.Batch} caches for the Theorem 1 pipeline (the reduced model
+    keyed by [(Sat Phi, Sat Psi)], the solved until-vector additionally
+    by [(t, r)]).  Everything stored is a deterministic function of its
+    key, so memoised answers are bit-identical to cold ones.
+
+    A memo is only meaningful for the context (model, labeling, engine,
+    epsilon) it was first used with — there is no invalidation, because
+    models and labelings are immutable.  All tables are mutex-protected,
+    so one memo may serve queries dispatched across a domain pool. *)
+
+val create_memo : unit -> memo
+
+val memo_counters : memo -> (string * Perf.Batch.counters) list
+(** Lookup/hit/miss statistics per cache, sorted by name: ["path"],
+    ["reduced"], ["sat"] and ["until"].  In every entry
+    [hits + misses = lookups]. *)
+
 val sat : t -> Logic.Ast.state_formula -> bool array
 (** The characteristic vector of [Sat Phi].  Raises
     [Markov.Labeling.Unknown_proposition] for propositions missing from the
@@ -77,4 +113,9 @@ type verdict =
   | Boolean of bool array
   | Numeric of Linalg.Vec.t
 
-val eval_query : t -> Logic.Ast.query -> verdict
+val eval_query : ?memo:memo -> t -> Logic.Ast.query -> verdict
+(** [memo] (default none: the historical uncached path) shares Sat-sets,
+    path-probability vectors and Theorem 1 artefacts across calls — the
+    per-query entry point of the batch engine.  Memoised verdicts are
+    returned as fresh copies and are bit-identical to the verdicts of
+    the uncached path. *)

@@ -58,6 +58,23 @@ let generate ~seed c =
       (Linalg.Csr.of_coo ~rows:c.n_states ~cols:c.n_states !impulses)
   end
 
+let generate_labeled ~seed c =
+  let m = generate ~seed c in
+  let rng = Sim.Rng.create ~seed:(Int64.logxor seed 0x9E3779B97F4A7C15L) in
+  let n = Markov.Mrm.n_states m in
+  let random_states () =
+    let mask = Array.init n (fun _ -> Sim.Rng.float rng < 0.4) in
+    if not (Array.exists Fun.id mask) then
+      mask.(Sim.Rng.int rng ~bound:n) <- true;
+    List.filter (fun s -> mask.(s)) (List.init n Fun.id)
+  in
+  let labeling =
+    Markov.Labeling.make ~n
+      [ ("a", random_states ()); ("b", random_states ());
+        ("c", random_states ()) ]
+  in
+  (m, labeling)
+
 let generate_problem ~seed c =
   let m = generate ~seed c in
   let rng = Sim.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) in

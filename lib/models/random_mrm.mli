@@ -28,6 +28,13 @@ val generate : seed:int64 -> config -> Markov.Mrm.t
 (** Deterministic in the seed.  The generated chain may be reducible or
     have absorbing states — intentionally so. *)
 
+val generate_labeled :
+  seed:int64 -> config -> Markov.Mrm.t * Markov.Labeling.t
+(** {!generate} plus a random labeling with propositions ["a"], ["b"]
+    and ["c"], each holding in a non-empty random set of states — the
+    raw material for random CSRL queries (the batch engine's
+    property-based tests).  Deterministic in the seed. *)
+
 val generate_problem :
   seed:int64 -> config -> Perf.Problem.t
 (** A random reward-bounded reachability problem on a random model: a

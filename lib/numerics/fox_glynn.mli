@@ -20,7 +20,26 @@ val compute : q:float -> epsilon:float -> t
 (** [compute ~q ~epsilon] builds the weight window.  Requires [q >= 0] and
     [0 < epsilon < 1].  For [q = 0] the window is the single point [0] with
     weight [1].  The left tail is cut at mass [<= epsilon /. 2.] and so is
-    the right tail. *)
+    the right tail.
+
+    Results are memoised across calls, keyed by [(q, epsilon)] — at every
+    call site [q] is the uniformisation product [lambda * t], so repeated
+    solves over one model (batched queries, the Erlang expansion, bench
+    sweeps) reuse the window instead of rebuilding it.  The computation is
+    pure and the window immutable, so a cached answer is bit-identical to
+    a fresh one; the cache is mutex-protected and bounded (a full table is
+    dropped wholesale). *)
+
+type cache_counters = { lookups : int; hits : int; misses : int }
+
+val cache_counters : unit -> cache_counters
+(** Cumulative cache statistics since start-up (or {!cache_clear});
+    [hits + misses = lookups] always.  The batch engine snapshots these
+    around a run to report the cross-query reuse rate. *)
+
+val cache_clear : unit -> unit
+(** Drop all memoised windows and reset the counters — used by benches
+    that want genuinely cold runs. *)
 
 val record : Telemetry.t option -> t -> unit
 (** [record telemetry w] publishes a finished window to [telemetry]: the

@@ -64,9 +64,10 @@ let problem r ~init ~time_bound ~reward_bound =
     init;
   Problem.make r.mrm ~init:init' ~goal:r.goal ~time_bound ~reward_bound
 
-let until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound =
-  let n = Markov.Mrm.n_states m in
-  let r = reduce m ~phi ~psi in
+let until_probabilities_on r solve ~phi ~psi ~time_bound ~reward_bound =
+  let n = Array.length r.state_map in
+  if Array.length phi <> n || Array.length psi <> n then
+    invalid_arg "Reduced.until_probabilities_on: mask length mismatch";
   let result = Linalg.Vec.create n in
   (* Memoise per reduced initial state: amalgamation maps many original
      states to the same reduced state. *)
@@ -86,3 +87,7 @@ let until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound =
     end
   done;
   result
+
+let until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound =
+  until_probabilities_on (reduce m ~phi ~psi) solve ~phi ~psi ~time_bound
+    ~reward_bound

@@ -41,3 +41,12 @@ val until_probabilities_via :
     computes [Prob (Phi U^{<=t}_{<=r} Psi)] for every state of [m], running
     [solve] once per relevant initial state of the reduced model.  States
     in [Psi] get probability [1]; states outside [Phi or Psi] get [0]. *)
+
+val until_probabilities_on :
+  t -> (Problem.t -> float) -> phi:bool array -> psi:bool array ->
+  time_bound:float -> reward_bound:float -> Linalg.Vec.t
+(** Like {!until_probabilities_via}, but on a reduction built beforehand
+    with {!reduce} — the transformed model only depends on
+    [(Sat Phi, Sat Psi)], so batched queries that differ in [t] or [r]
+    alone share one reduction (see {!Batch}).  [phi] and [psi] must be
+    the masks the reduction was built from. *)

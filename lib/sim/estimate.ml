@@ -23,6 +23,28 @@ let bernoulli_interval ?(confidence = 0.99) ~hits samples =
   let half_width = (z *. Float.sqrt (p *. (1.0 -. p) /. n)) +. (0.5 /. n) in
   { mean = p; half_width; samples; hits }
 
+let wilson_interval ?(confidence = 0.99) ~hits samples =
+  if samples <= 0 then invalid_arg "Estimate: samples must be positive";
+  if hits < 0 || hits > samples then invalid_arg "Estimate: bad hit count";
+  let n = float_of_int samples in
+  let p = float_of_int hits /. n in
+  let z = z_value confidence in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half_width =
+    (* At the extremes the exact Wilson bounds are 0 and 1; computing
+       them through the sqrt leaves them off by an ulp, which would
+       wrongly exclude a true probability of exactly 0 or 1. *)
+    if hits = 0 then centre
+    else if hits = samples then 1.0 -. centre
+    else
+      z
+      *. Float.sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+      /. denom
+  in
+  { mean = centre; half_width; samples; hits }
+
 let contains iv x =
   x >= iv.mean -. iv.half_width && x <= iv.mean +. iv.half_width
 

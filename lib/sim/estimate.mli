@@ -17,6 +17,14 @@ val bernoulli_interval : ?confidence:float -> hits:int -> int -> interval
     proportion, widened by a 1/(2n) continuity correction so small samples
     stay honest. *)
 
+val wilson_interval : ?confidence:float -> hits:int -> int -> interval
+(** The Wilson score interval (default confidence [0.99]) for a Bernoulli
+    proportion.  Unlike {!bernoulli_interval} it never collapses to zero
+    width at 0 or [n] hits and keeps its coverage on small samples and
+    extreme proportions, which makes it the right bracket for the
+    simulation-oracle tests.  [mean] is the Wilson centre
+    [(p + z^2/2n) / (1 + z^2/n)], not the raw proportion. *)
+
 val contains : interval -> float -> bool
 (** Whether a value lies within [mean +- half_width]. *)
 

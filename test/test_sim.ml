@@ -137,6 +137,68 @@ let test_bernoulli_interval () =
     (Invalid_argument "Estimate: bad hit count") (fun () ->
       ignore (Sim.Estimate.bernoulli_interval ~hits:5 4))
 
+let test_wilson_interval () =
+  (* At p = 0.5 the Wilson centre is exactly the proportion. *)
+  let iv = Sim.Estimate.wilson_interval ~hits:50 100 in
+  check_close "centred at 0.5" 0.5 iv.Sim.Estimate.mean;
+  Alcotest.(check bool) "contains 0.45" true (Sim.Estimate.contains iv 0.45);
+  Alcotest.(check bool) "excludes 0.1" false (Sim.Estimate.contains iv 0.1);
+  (* At the extremes the normal approximation collapses towards zero
+     width; Wilson keeps a real bracket that still excludes far values. *)
+  let zero = Sim.Estimate.wilson_interval ~hits:0 1000 in
+  Alcotest.(check bool) "nonzero width at 0 hits" true
+    (zero.Sim.Estimate.half_width > 0.0);
+  Alcotest.(check bool) "contains tiny p" true
+    (Sim.Estimate.contains zero 0.001);
+  Alcotest.(check bool) "excludes 0.05" false
+    (Sim.Estimate.contains zero 0.05);
+  let narrow = Sim.Estimate.wilson_interval ~confidence:0.90 ~hits:50 100 in
+  let wide = Sim.Estimate.wilson_interval ~confidence:0.999 ~hits:50 100 in
+  Alcotest.(check bool) "confidence ordering" true
+    (narrow.Sim.Estimate.half_width < wide.Sim.Estimate.half_width);
+  Alcotest.check_raises "bad hits"
+    (Invalid_argument "Estimate: bad hit count") (fun () ->
+      ignore (Sim.Estimate.wilson_interval ~hits:5 4))
+
+(* The simulation oracle for the P3 pipeline: on seeded random models,
+   a Wilson 99% confidence interval around the Monte-Carlo estimate of
+   Pr{Y_t <= r, X_t in goal} must bracket the Sericola engine's value.
+   Fixed seeds keep the test deterministic; at 99% confidence over six
+   problems a flake-free run is what correctness predicts. *)
+let test_simulation_oracle_brackets_sericola () =
+  List.iter
+    (fun seed ->
+      let p =
+        Models.Random_mrm.generate_problem ~seed Models.Random_mrm.default
+      in
+      let numerical = Perf.Sericola.solve ~epsilon:1e-9 p in
+      let init =
+        (* generate_problem starts from a point mass. *)
+        let found = ref (-1) in
+        Array.iteri
+          (fun s mass -> if mass > 0.5 then found := s)
+          p.Perf.Problem.init;
+        !found
+      in
+      let rng = Sim.Rng.create ~seed:(Int64.add seed 1000L) in
+      let samples = 20_000 in
+      let raw =
+        Sim.Estimate.reward_bounded_reachability rng p.Perf.Problem.mrm ~init
+          ~goal:p.Perf.Problem.goal ~time_bound:p.Perf.Problem.time_bound
+          ~reward_bound:p.Perf.Problem.reward_bound ~samples
+      in
+      let wilson =
+        Sim.Estimate.wilson_interval ~confidence:0.99
+          ~hits:raw.Sim.Estimate.hits raw.Sim.Estimate.samples
+      in
+      if not (Sim.Estimate.contains wilson numerical) then
+        Alcotest.failf
+          "seed %Ld: Wilson CI %.5f +- %.5f (%d/%d hits) misses Sericola \
+           %.8f"
+          seed wilson.Sim.Estimate.mean wilson.Sim.Estimate.half_width
+          wilson.Sim.Estimate.hits wilson.Sim.Estimate.samples numerical)
+    [ 1L; 2L; 3L; 5L; 8L; 13L ]
+
 let test_until_estimator_phi_constraint () =
   (* a -> b -> goal with phi = {a}: the simulated until probability must
      be ~0 because every path passes b. *)
@@ -175,5 +237,8 @@ let suite =
       Alcotest.test_case "estimator vs closed form" `Quick
         test_estimator_against_closed_form;
       Alcotest.test_case "bernoulli interval" `Quick test_bernoulli_interval;
+      Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+      Alcotest.test_case "simulation oracle brackets sericola" `Quick
+        test_simulation_oracle_brackets_sericola;
       Alcotest.test_case "until estimator" `Quick
         test_until_estimator_phi_constraint ] )
