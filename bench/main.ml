@@ -630,13 +630,121 @@ let batch _full =
   close_out oc;
   Printf.printf "updated BENCH_perf.json with the batch section\n"
 
+(* The quotient-and-prune reduction pipeline on a symmetric workload:
+   Meyer's multiprocessor with every one of 9 processors tracked
+   individually (2^9 = 512 states) whose exact lumping quotient is the
+   10-state counting chain.  Times the occupation-time engine with the
+   pipeline on vs off on the same Problem (answers must agree within
+   1e-12), then checks the pipeline is a bit-identical no-op on the
+   asymmetric ad hoc model.  Appends a "reduce" section to
+   BENCH_perf.json. *)
+let reduce _full =
+  heading "reduce: quotient-and-prune reduction pipeline";
+  let c =
+    { Models.Multiprocessor.n_processors = 9; failure_rate = 0.2;
+      repair_rate = 1.0; capacity = 8; throughput_per_processor = 1.0 }
+  in
+  let p = Models.Multiprocessor.tracked_performability c ~t:10.0 ~r:50.0 in
+  let states = Markov.Mrm.n_states p.Perf.Problem.mrm in
+  let spec = Perf.Engine.Occupation_time { epsilon = 1e-8 } in
+  let tel = Telemetry.create ~clock:monotonic_seconds () in
+  let reduced_value, reduced_seconds =
+    timed (fun () ->
+        Perf.Engine.solve ~pool:!pool ~telemetry:tel
+          ~reduction:Perf.Reduction.default spec p)
+  in
+  Option.iter
+    (fun session -> Telemetry.absorb session (Telemetry.report tel))
+    !session_telemetry;
+  let counter name = Option.value ~default:0 (Telemetry.counter tel name) in
+  let quotient_states = counter "reduction.states_after" in
+  if counter "reduction.states_before" <> states || quotient_states >= states
+  then begin
+    prerr_endline "reduce: pipeline did not fire on the symmetric model";
+    exit 1
+  end;
+  let plain_value, plain_seconds =
+    timed (fun () -> Perf.Engine.solve ~pool:!pool spec p)
+  in
+  let abs_error = Float.abs (reduced_value -. plain_value) in
+  if abs_error > 1e-12 then begin
+    Printf.eprintf "reduce: answers differ by %g (> 1e-12)\n" abs_error;
+    exit 1
+  end;
+  let speedup = plain_seconds /. Float.max 1e-9 reduced_seconds in
+  Printf.printf
+    "  tracked multiprocessor: %d states -> %d blocks (ratio %.1fx)\n" states
+    quotient_states
+    (float_of_int states /. float_of_int quotient_states);
+  Printf.printf
+    "  occupation-time  without reduction %s  with %s (%d jobs)  speedup \
+     %.1fx  |diff| %.2e\n"
+    (Io.Table.seconds plain_seconds) (Io.Table.seconds reduced_seconds)
+    !jobs speedup abs_error;
+  (* The asymmetric control: on the ad hoc Q3 problem every pipeline
+     stage declines to fire, so the answer must be bit-identical. *)
+  let q3 = q3_problem ~r:600.0 in
+  let tel_q3 = Telemetry.create ~clock:monotonic_seconds () in
+  let v_reduced =
+    Perf.Engine.solve ~pool:!pool ~telemetry:tel_q3
+      ~reduction:Perf.Reduction.default spec q3
+  in
+  let v_plain = Perf.Engine.solve ~pool:!pool spec q3 in
+  let c3 name = Option.value ~default:0 (Telemetry.counter tel_q3 name) in
+  let no_op =
+    c3 "reduction.states_before" = c3 "reduction.states_after"
+    && c3 "reduction.pruned_states" = 0
+    && c3 "reduction.lumped" = 0
+    && c3 "reduction.init_pruned_states" = 0
+  in
+  let identical =
+    no_op
+    && Int64.equal (Int64.bits_of_float v_reduced) (Int64.bits_of_float v_plain)
+  in
+  if not identical then begin
+    prerr_endline "reduce: pipeline is not a no-op on the asymmetric model";
+    exit 1
+  end;
+  Printf.printf
+    "  asymmetric control (ad hoc Q3): no-op, bit-identical: %b\n" identical;
+  let reduce_json =
+    Io.Json.Object
+      [ ("procedure", Io.Json.String "occupation-time");
+        ("states", Io.Json.Number (float_of_int states));
+        ("quotient_states", Io.Json.Number (float_of_int quotient_states));
+        ("reduction_ratio",
+         Io.Json.Number (float_of_int states /. float_of_int quotient_states));
+        ("jobs", Io.Json.Number (float_of_int !jobs));
+        ("without_reduction_seconds", Io.Json.Number plain_seconds);
+        ("with_reduction_seconds", Io.Json.Number reduced_seconds);
+        ("speedup", Io.Json.Number speedup);
+        ("abs_error", Io.Json.Number abs_error);
+        ("identical_on_asymmetric", Io.Json.Bool identical) ]
+  in
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "reduce" fields
+       | _ | exception Io.Json.Parse_error _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("reduce", reduce_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the reduce section\n"
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
-    ("perf", perf); ("batch", batch) ]
+    ("perf", perf); ("batch", batch); ("reduce", reduce) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -10,6 +10,8 @@ let builtin_models =
     ("adhoc-srn",
      "the same model generated from its stochastic reward net");
     ("multiprocessor", "Meyer-style degradable multiprocessor (5 states)");
+    ("multiprocessor-tracked",
+     "the same system with every processor tracked (16 states)");
     ("cluster", "workstation cluster with switch and quorum (18 states)");
     ("queue", "M/M/1/6 queue with server breakdowns (14 states)") ]
 
@@ -30,6 +32,14 @@ let load_builtin name =
         (Models.Multiprocessor.initial_state c)
     in
     Some (m, Models.Multiprocessor.labeling c, init)
+  | "multiprocessor-tracked" ->
+    let c = Models.Multiprocessor.default in
+    let m = Models.Multiprocessor.tracked_mrm c in
+    let init =
+      Linalg.Vec.unit (Markov.Mrm.n_states m)
+        (Models.Multiprocessor.tracked_initial_state c)
+    in
+    Some (m, Models.Multiprocessor.tracked_labeling c, init)
   | "cluster" ->
     let c = Models.Cluster.default in
     let m = Models.Cluster.mrm c in
@@ -179,10 +189,12 @@ let parse_batch_file path =
              message))
     items
 
-let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats mrm
-    labeling init path =
+let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
+    mrm labeling init path =
   let batch = parse_batch_file path in
-  let ctx = Checker.make ~engine ~epsilon ~pool ?telemetry mrm labeling in
+  let ctx =
+    Checker.make ~engine ~epsilon ~pool ?telemetry ~reduction mrm labeling
+  in
   let memo = Checker.create_memo () in
   let fg_before = Numerics.Fox_glynn.cache_counters () in
   let verdicts =
@@ -276,7 +288,7 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats mrm
     telemetry
 
 let run model_name file engine_text epsilon jobs trace stats list_props info
-    lump batch_file formula_text =
+    lump no_reduce batch_file formula_text =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -349,6 +361,9 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
       Some (Telemetry.create ~clock:monotonic_seconds ())
     else None
   in
+  let reduction =
+    if no_reduce then Perf.Reduction.none else Perf.Reduction.default
+  in
   Parallel.Pool.with_pool ~jobs @@ fun pool ->
   (* Busy-time accounting costs two clock reads per chunk, so it is only
      switched on for --trace, keeping --stats output deterministic. *)
@@ -358,11 +373,13 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
        telemetry);
   match batch_file with
   | Some path ->
-    run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats mrm
-      labeling init path
+    run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
+      mrm labeling init path
   | None ->
   let formula_text = Option.get formula_text in
-  let ctx = Checker.make ~engine ~epsilon ~pool ?telemetry mrm labeling in
+  let ctx =
+    Checker.make ~engine ~epsilon ~pool ?telemetry ~reduction mrm labeling
+  in
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
     Printf.eprintf "parse error at position %d: %s\n" pos message;
@@ -472,6 +489,16 @@ let lump_arg =
   in
   Arg.(value & flag & info [ "lump" ] ~doc)
 
+let no_reduce_arg =
+  let doc =
+    "Disable the automatic quotient-and-prune reduction pipeline (exact \
+     lumping and reachability pruning applied after the Theorem 1 \
+     reduction).  The pipeline never changes answers — this flag exists \
+     for A/B timing and debugging; with it the engines solve the \
+     Theorem 1 model directly."
+  in
+  Arg.(value & flag & info [ "no-reduce" ] ~doc)
+
 let batch_arg =
   let doc =
     "Evaluate a batch of queries from a JSON file ({\"queries\": [...]}, \
@@ -509,6 +536,6 @@ let cmd =
     Term.(
       const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
       $ trace_arg $ stats_arg $ list_props_arg $ info_arg $ lump_arg
-      $ batch_arg $ formula_arg)
+      $ no_reduce_arg $ batch_arg $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

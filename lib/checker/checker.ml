@@ -5,15 +5,17 @@ type t = {
   epsilon : float;
   pool : Parallel.Pool.t;
   telemetry : Telemetry.t option;
+  reduction : Perf.Reduction.config;
 }
 
 exception Unsupported of string
 
 let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
-    ?(pool = Parallel.Pool.sequential) ?telemetry mrm labeling =
+    ?(pool = Parallel.Pool.sequential) ?telemetry
+    ?(reduction = Perf.Reduction.default) mrm labeling =
   if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
     invalid_arg "Checker.make: labeling and model sizes differ";
-  { mrm; labeling; engine; epsilon; pool; telemetry }
+  { mrm; labeling; engine; epsilon; pool; telemetry; reduction }
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
@@ -192,14 +194,20 @@ let until_both_bounded memo ctx ~phi ~psi ~time_bound ~reward_bound =
   let solve = Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry ctx.engine in
   match memo with
   | None ->
-    Perf.Reduced.until_probabilities_via solve ctx.mrm ~phi ~psi ~time_bound
-      ~reward_bound
+    (* The quotient-and-prune pipeline sits between the Theorem 1
+       transform and the engine.  Per-state answers come back through
+       the pipeline's map (Lumping.lower composed with the prune map),
+       so the Sat-set translation is transparent to nested formulas. *)
+    Perf.Reduction.until_probabilities_via ~config:ctx.reduction
+      ?telemetry:ctx.telemetry ~pool:ctx.pool solve ctx.mrm ~phi ~psi
+      ~time_bound ~reward_bound
   | Some m ->
     (* The reduction only depends on (Sat Phi, Sat Psi) and the solve on
        (Sat Phi, Sat Psi, t, r): queries of a batch that differ in the
        bound p — or, for the reduction, in t and r too — share the
        cached artefacts. *)
-    Perf.Batch.until_probabilities m.perf solve ctx.mrm ~phi ~psi
+    Perf.Batch.until_probabilities m.perf ~config:ctx.reduction
+      ?telemetry:ctx.telemetry ~pool:ctx.pool solve ctx.mrm ~phi ~psi
       ~time_bound ~reward_bound
 
 (* ------------------------------------------------------------------ *)

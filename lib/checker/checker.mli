@@ -29,13 +29,22 @@ exception Unsupported of string
 
 val make :
   ?engine:Perf.Engine.spec -> ?epsilon:float -> ?pool:Parallel.Pool.t ->
-  ?telemetry:Telemetry.t ->
+  ?telemetry:Telemetry.t -> ?reduction:Perf.Reduction.config ->
   Markov.Mrm.t -> Markov.Labeling.t -> t
 (** [engine] (default {!Perf.Engine.default}) solves the [P3] problems;
     [epsilon] (default [1e-9]) is the accuracy of transient analyses;
     [pool] (default sequential) runs the numerical kernels — transient
     analyses and the [P3] engines — on a domain pool (the CLI's
     [--jobs]).
+
+    [reduction] (default {!Perf.Reduction.default}) configures the
+    quotient-and-prune pipeline the [P3] path runs between the Theorem 1
+    transform and the engine; per-state answers are translated back to
+    the original state space, so nested CSRL formulas are oblivious to
+    the quotient.  {!Perf.Reduction.none} (the CLI's [--no-reduce])
+    disables it; the pipeline is also automatically a no-op — answers
+    bit-identical to the unreduced solve — on models with no exploitable
+    symmetry or unreachable mass.
 
     [telemetry] (default off) threads a {!Telemetry} recorder through
     every numerical procedure the traversal dispatches to: transient
@@ -84,7 +93,7 @@ val create_memo : unit -> memo
 
 val memo_counters : memo -> (string * Perf.Batch.counters) list
 (** Lookup/hit/miss statistics per cache, sorted by name: ["path"],
-    ["reduced"], ["sat"] and ["until"].  In every entry
+    ["reduced"], ["reduction"], ["sat"] and ["until"].  In every entry
     [hits + misses = lookups]. *)
 
 val sat : t -> Logic.Ast.state_formula -> bool array

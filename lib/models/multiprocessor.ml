@@ -52,3 +52,66 @@ let performability c ~t ~r =
   let goal = Array.make (Markov.Mrm.n_states m) true in
   Perf.Problem.of_initial_state m ~init:(initial_state c) ~goal ~time_bound:t
     ~reward_bound:r
+
+(* ------------------------------------------------------------------ *)
+(* The tracked variant: one bit per processor.  Exponentially larger
+   than the birth-death chain but strongly lumpable back onto it — the
+   reduction pipeline's canonical symmetric workload.                  *)
+
+let popcount s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let tracked_validate c =
+  validate c;
+  if c.n_processors > 20 then
+    invalid_arg "Multiprocessor: tracked state space is 2^n; need n <= 20"
+
+let tracked_mrm c =
+  tracked_validate c;
+  let n = 1 lsl c.n_processors in
+  let triples = ref [] in
+  for s = 0 to n - 1 do
+    let down = c.n_processors - popcount s in
+    for i = 0 to c.n_processors - 1 do
+      let bit = 1 lsl i in
+      if s land bit <> 0 then
+        triples := (s, s lxor bit, c.failure_rate) :: !triples
+      else
+        (* The single repair facility splits its effort uniformly over
+           the down set, so the aggregate repair rate matches the pooled
+           chain's [repair_rate] and the counting quotient is exactly
+           {!mrm}. *)
+        triples :=
+          (s, s lor bit, c.repair_rate /. float_of_int down) :: !triples
+    done
+  done;
+  let rewards =
+    Array.init n (fun s ->
+        float_of_int (Stdlib.min (popcount s) c.capacity)
+        *. c.throughput_per_processor)
+  in
+  Markov.Mrm.of_transitions ~n !triples ~rewards
+
+let tracked_labeling c =
+  tracked_validate c;
+  let n = 1 lsl c.n_processors in
+  let range predicate =
+    List.filter (fun s -> predicate (popcount s)) (List.init n Fun.id)
+  in
+  Markov.Labeling.make ~n
+    [ ("up", range (fun i -> i >= 1));
+      ("full", range (fun i -> i = c.n_processors));
+      ("degraded", range (fun i -> i >= 1 && i < c.n_processors));
+      ("down", range (fun i -> i = 0));
+      ("saturated", range (fun i -> i >= c.capacity)) ]
+
+let tracked_initial_state c =
+  tracked_validate c;
+  (1 lsl c.n_processors) - 1
+
+let tracked_performability c ~t ~r =
+  let m = tracked_mrm c in
+  let goal = Array.make (Markov.Mrm.n_states m) true in
+  Perf.Problem.of_initial_state m ~init:(tracked_initial_state c) ~goal
+    ~time_bound:t ~reward_bound:r

@@ -38,3 +38,30 @@ val initial_state : config -> int
 
 val performability : config -> t:float -> r:float -> Perf.Problem.t
 (** Meyer's [Pr{Y_t <= r}] as a Section 4 problem (goal = all states). *)
+
+(** {2 The tracked variant}
+
+    The same system with every processor tracked individually: state
+    [s] is a bitmask of operational processors ([2^n] states instead of
+    [n + 1]).  The single repair facility splits its effort uniformly
+    over the down processors, so the aggregate repair rate out of any
+    state with [d] failures is [repair_rate] — the counting quotient of
+    the tracked chain is exactly {!mrm}, which makes this the canonical
+    planted-symmetry workload for the {!Perf.Reduction} pipeline (and
+    its bench): the exact lumping quotient collapses [2^n] states to
+    [n + 1] blocks. *)
+
+val tracked_mrm : config -> Markov.Mrm.t
+(** Raises [Invalid_argument] for [n_processors > 20]. *)
+
+val tracked_labeling : config -> Markov.Labeling.t
+(** The same five propositions as {!labeling}, read off the number of
+    operational processors (symmetric in the processor identities, as
+    lumpability requires). *)
+
+val tracked_initial_state : config -> int
+(** All processors operational: the all-ones mask. *)
+
+val tracked_performability : config -> t:float -> r:float -> Perf.Problem.t
+(** Meyer's [Pr{Y_t <= r}] on the tracked chain — same answer as
+    {!performability}, exponentially more states. *)

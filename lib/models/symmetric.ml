@@ -1,0 +1,101 @@
+type config = {
+  components : int;
+  local_states : int;
+  max_rate : float;
+  max_local_reward : int;
+}
+
+let default =
+  { components = 3; local_states = 3; max_rate = 2.0; max_local_reward = 3 }
+
+let validate c =
+  if c.components < 1 then invalid_arg "Symmetric: need >= 1 component";
+  if c.local_states < 2 then invalid_arg "Symmetric: need >= 2 local states";
+  if c.max_rate <= 0.0 then invalid_arg "Symmetric: max_rate must be positive";
+  if c.max_local_reward < 0 then
+    invalid_arg "Symmetric: max_local_reward must be >= 0"
+
+let size c =
+  validate c;
+  let rec pow acc i = if i = 0 then acc else pow (acc * c.local_states) (i - 1) in
+  pow 1 c.components
+
+let counting_states c =
+  validate c;
+  (* binom (k + l - 1) (l - 1): multisets of size k over l local states. *)
+  let k = c.components and l = c.local_states in
+  let num = ref 1 and den = ref 1 in
+  for i = 1 to l - 1 do
+    num := !num * (k + i);
+    den := !den * i
+  done;
+  !num / !den
+
+let generate ~seed c =
+  validate c;
+  let rng = Sim.Rng.create ~seed in
+  let l = c.local_states and k = c.components in
+  (* One shared local chain: a guaranteed cycle a -> a+1 (mod l) keeps it
+     irreducible, extra transitions and all rates are random — generic
+     enough that the only lumpable structure is the planted component
+     exchangeability. *)
+  let local = Array.make_matrix l l 0.0 in
+  for a = 0 to l - 1 do
+    for b = 0 to l - 1 do
+      if b <> a && ((b = (a + 1) mod l) || Sim.Rng.float rng < 0.4) then
+        local.(a).(b) <- Float.max 0.05 (Sim.Rng.float rng *. c.max_rate)
+    done
+  done;
+  let local_reward =
+    Array.init l (fun _ ->
+        float_of_int (Sim.Rng.int rng ~bound:(c.max_local_reward + 1)))
+  in
+  let n = size c in
+  let pow = Array.make k 1 in
+  for i = 1 to k - 1 do
+    pow.(i) <- pow.(i - 1) * l
+  done;
+  let digit s i = s / pow.(i) mod l in
+  let triples = ref [] in
+  for s = 0 to n - 1 do
+    for i = 0 to k - 1 do
+      let a = digit s i in
+      for b = 0 to l - 1 do
+        if local.(a).(b) > 0.0 then
+          triples := (s, s + ((b - a) * pow.(i)), local.(a).(b)) :: !triples
+      done
+    done
+  done;
+  let rewards =
+    Array.init n (fun s ->
+        let sum = ref 0.0 in
+        for i = 0 to k - 1 do
+          sum := !sum +. local_reward.(digit s i)
+        done;
+        !sum)
+  in
+  let m = Markov.Mrm.of_transitions ~n !triples ~rewards in
+  (* Labels are symmetric functions of the local-state multiset, so they
+     respect the planted symmetry. *)
+  let top_count s =
+    let count = ref 0 in
+    for i = 0 to k - 1 do
+      if digit s i = l - 1 then incr count
+    done;
+    !count
+  in
+  let bottom_count s =
+    let count = ref 0 in
+    for i = 0 to k - 1 do
+      if digit s i = 0 then incr count
+    done;
+    !count
+  in
+  let range predicate = List.filter predicate (List.init n Fun.id) in
+  let labeling =
+    Markov.Labeling.make ~n
+      [ ("all_top", range (fun s -> top_count s = k));
+        ("grounded", range (fun s -> bottom_count s > 0));
+        ("majority_top", range (fun s -> 2 * top_count s > k)) ]
+  in
+  (m, labeling)

@@ -1,0 +1,39 @@
+(** Planted-symmetry models: [k] interchangeable components over one
+    random local chain.
+
+    The global state is the vector of component-local states ([l^k]
+    states); every component runs the same seeded-random local CTMC, the
+    global reward is the sum of seeded-random local rewards, and all
+    atomic propositions are symmetric functions of the local-state
+    multiset.  Permuting components is therefore an automorphism, and
+    the coarsest ordinary-lumpability quotient is the counting
+    abstraction: one block per multiset, [binom (k + l - 1) (l - 1)]
+    blocks — the property-based evidence that {!Perf.Reduction} finds
+    planted symmetry of known size.  Apart from the planted symmetry the
+    model is generic: rates and rewards are random, so no further
+    accidental lumping occurs. *)
+
+type config = {
+  components : int;     (** [k >= 1] interchangeable components *)
+  local_states : int;   (** [l >= 2] states of the shared local chain *)
+  max_rate : float;     (** local rates drawn uniformly from (0, max_rate] *)
+  max_local_reward : int;  (** local rewards drawn from 0..max_local_reward *)
+}
+
+val default : config
+(** 3 components with 3 local states: 27 global states, 10 blocks. *)
+
+val size : config -> int
+(** [local_states ^ components] — the tracked state count. *)
+
+val counting_states : config -> int
+(** [binom (components + local_states - 1) (local_states - 1)] — the
+    number of local-state multisets, i.e. the exact quotient size. *)
+
+val generate : seed:int64 -> config -> Markov.Mrm.t * Markov.Labeling.t
+(** Deterministic in the seed.  The local chain always contains the
+    cycle [a -> a + 1 (mod l)] (so the model is irreducible); further
+    local transitions, all rates and the local rewards are random.
+    Propositions: ["all_top"] (every component in local state [l - 1]),
+    ["grounded"] (some component in local state [0]), ["majority_top"]
+    (strictly more than half the components in local state [l - 1]). *)

@@ -15,16 +15,20 @@ let snapshot cell =
 type t = {
   lock : Mutex.t;
   reduced_tbl : (bool array * bool array, Reduced.t) Hashtbl.t;
+  reduction_tbl : (bool array * bool array, Reduction.t) Hashtbl.t;
   until_tbl : (bool array * bool array * float * float, Linalg.Vec.t) Hashtbl.t;
   reduced_cell : cell;
+  reduction_cell : cell;
   until_cell : cell;
 }
 
 let create () =
   { lock = Mutex.create ();
     reduced_tbl = Hashtbl.create 16;
+    reduction_tbl = Hashtbl.create 16;
     until_tbl = Hashtbl.create 16;
     reduced_cell = { c_lookups = 0; c_hits = 0 };
+    reduction_cell = { c_lookups = 0; c_hits = 0 };
     until_cell = { c_lookups = 0; c_hits = 0 } }
 
 (* Shared lookup-or-compute skeleton.  The computation runs outside the
@@ -52,14 +56,22 @@ let reduced t m ~phi ~psi =
   memoize t t.reduced_cell t.reduced_tbl (Array.copy phi, Array.copy psi)
     (fun () -> Reduced.reduce m ~phi ~psi)
 
-let until_probabilities t solve m ~phi ~psi ~time_bound ~reward_bound =
+let reduction t ?config ?telemetry m ~phi ~psi =
+  (* Layered on the reduced-model cache: a reduction miss still reuses
+     the cached Theorem 1 transform.  One batch only ever sees one
+     pipeline config (it is part of the checker context, not the key). *)
+  memoize t t.reduction_cell t.reduction_tbl (Array.copy phi, Array.copy psi)
+    (fun () -> Reduction.prepare_on ?config ?telemetry (reduced t m ~phi ~psi))
+
+let until_probabilities t ?config ?telemetry ?pool solve m ~phi ~psi
+    ~time_bound ~reward_bound =
   let v =
     memoize t t.until_cell t.until_tbl
       (Array.copy phi, Array.copy psi, time_bound, reward_bound)
       (fun () ->
-        let r = reduced t m ~phi ~psi in
-        Reduced.until_probabilities_on r solve ~phi ~psi ~time_bound
-          ~reward_bound)
+        let r = reduction t ?config ?telemetry m ~phi ~psi in
+        Reduction.until_probabilities_on r ?pool ?telemetry solve ~phi ~psi
+          ~time_bound ~reward_bound)
   in
   Array.copy v
 
@@ -67,6 +79,7 @@ let counters t =
   Mutex.lock t.lock;
   let r =
     [ ("reduced", snapshot t.reduced_cell);
+      ("reduction", snapshot t.reduction_cell);
       ("until", snapshot t.until_cell) ]
   in
   Mutex.unlock t.lock;

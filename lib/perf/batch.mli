@@ -10,6 +10,9 @@
     - the {!Reduced.t} reduction, keyed by the mask pair
       [(Sat Phi, Sat Psi)] — queries differing only in [t], [r] or [p]
       share one transformed model;
+    - the {!Reduction.t} quotient-and-prune pipeline built on top of it,
+      under the same key (the pipeline, like the Theorem 1 transform,
+      depends only on the mask pair);
     - the full per-state probability vector of
       [Prob (Phi U^{<=t}_{<=r} Psi)], keyed by
       [(Sat Phi, Sat Psi, t, r)] — queries differing only in the
@@ -41,11 +44,21 @@ val reduced :
     the model itself is not part of the key, so one cache must only ever
     see one model. *)
 
+val reduction :
+  t -> ?config:Reduction.config -> ?telemetry:Telemetry.t ->
+  Markov.Mrm.t -> phi:bool array -> psi:bool array -> Reduction.t
+(** Memoised {!Reduction.prepare_on} over the cached {!reduced}
+    transform, under the same [(phi, psi)] key.  The pipeline config is
+    part of the checker context, not of the key, so one cache must only
+    ever see one config (as it must only ever see one model). *)
+
 val until_probabilities :
-  t -> (Problem.t -> float) -> Markov.Mrm.t -> phi:bool array ->
-  psi:bool array -> time_bound:float -> reward_bound:float -> Linalg.Vec.t
-(** Memoised {!Reduced.until_probabilities_on} over the cached
-    reduction, keyed by [(phi, psi, time_bound, reward_bound)].  The
+  t -> ?config:Reduction.config -> ?telemetry:Telemetry.t ->
+  ?pool:Parallel.Pool.t -> (Problem.t -> float) -> Markov.Mrm.t ->
+  phi:bool array -> psi:bool array -> time_bound:float ->
+  reward_bound:float -> Linalg.Vec.t
+(** Memoised {!Reduction.until_probabilities_on} over the cached
+    pipeline, keyed by [(phi, psi, time_bound, reward_bound)].  The
     solver argument is only invoked on a miss; callers must pass a
     solver that is a deterministic function of the problem (all three
     Section 4 engines are).  Returns a fresh copy of the cached vector,
@@ -53,4 +66,4 @@ val until_probabilities :
 
 val counters : t -> (string * counters) list
 (** Current statistics, sorted by cache name: [\[("reduced", _);
-    ("until", _)\]]. *)
+    ("reduction", _); ("until", _)\]]. *)

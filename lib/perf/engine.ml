@@ -10,8 +10,13 @@ let name = function
   | Discretize _ -> "discretisation"
   | Occupation_time _ -> "occupation-time"
 
-let solve ?pool ?telemetry spec (p : Problem.t) =
+let solve ?pool ?telemetry ?reduction spec (p : Problem.t) =
   Telemetry.with_span telemetry ("engine." ^ name spec) @@ fun () ->
+  let p =
+    match reduction with
+    | None -> p
+    | Some config -> Reduction.apply ?telemetry config p
+  in
   if Problem.reward_trivially_satisfied p then
     Markov.Transient.reachability ?pool ?telemetry
       (Markov.Mrm.ctmc p.Problem.mrm)

@@ -64,30 +64,43 @@ let problem r ~init ~time_bound ~reward_bound =
     init;
   Problem.make r.mrm ~init:init' ~goal:r.goal ~time_bound ~reward_bound
 
-let until_probabilities_on r solve ~phi ~psi ~time_bound ~reward_bound =
+let until_probabilities_on ?(pool = Parallel.Pool.sequential) r solve ~phi
+    ~psi ~time_bound ~reward_bound =
   let n = Array.length r.state_map in
   if Array.length phi <> n || Array.length psi <> n then
     invalid_arg "Reduced.until_probabilities_on: mask length mismatch";
-  let result = Linalg.Vec.create n in
   (* Memoise per reduced initial state: amalgamation maps many original
-     states to the same reduced state. *)
-  let cache = Hashtbl.create 16 in
+     states to the same reduced state.  The distinct reduced states are
+     collected first so their solves can be dispatched across the pool. *)
+  let new_n = Markov.Mrm.n_states r.mrm in
+  let needed = Array.make new_n false in
   for s = 0 to n - 1 do
-    if psi.(s) then result.(s) <- 1.0
-    else if not phi.(s) then result.(s) <- 0.0
-    else begin
-      let reduced_state = r.state_map.(s) in
-      match Hashtbl.find_opt cache reduced_state with
-      | Some p -> result.(s) <- p
-      | None ->
-        let init = Linalg.Vec.unit n s in
-        let p = solve (problem r ~init ~time_bound ~reward_bound) in
-        Hashtbl.add cache reduced_state p;
-        result.(s) <- p
-    end
+    if phi.(s) && not psi.(s) then needed.(r.state_map.(s)) <- true
   done;
-  result
+  let targets = ref [] in
+  for rs = new_n - 1 downto 0 do
+    if needed.(rs) then targets := rs :: !targets
+  done;
+  let targets = Array.of_list !targets in
+  let solutions = Linalg.Vec.create new_n in
+  (* One initial state per chunk: a solve dispatched to a busy pool runs
+     its inner kernels inline — the exact sequential code — so the
+     per-state answers are bit-identical to the sequential loop. *)
+  Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:(Array.length targets)
+    (fun lo hi ->
+      for idx = lo to hi - 1 do
+        let rs = targets.(idx) in
+        (* Same vector the original-space unit init produces once pushed
+           through the state map. *)
+        let init = Linalg.Vec.unit new_n rs in
+        solutions.(rs) <-
+          solve (Problem.make r.mrm ~init ~goal:r.goal ~time_bound ~reward_bound)
+      done);
+  Array.init n (fun s ->
+      if psi.(s) then 1.0
+      else if not phi.(s) then 0.0
+      else solutions.(r.state_map.(s)))
 
-let until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound =
-  until_probabilities_on (reduce m ~phi ~psi) solve ~phi ~psi ~time_bound
+let until_probabilities_via ?pool solve m ~phi ~psi ~time_bound ~reward_bound =
+  until_probabilities_on ?pool (reduce m ~phi ~psi) solve ~phi ~psi ~time_bound
     ~reward_bound

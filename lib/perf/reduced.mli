@@ -35,16 +35,20 @@ val problem :
     the state map, and the goal set is [goal]. *)
 
 val until_probabilities_via :
-  (Problem.t -> float) -> Markov.Mrm.t -> phi:bool array -> psi:bool array ->
-  time_bound:float -> reward_bound:float -> Linalg.Vec.t
+  ?pool:Parallel.Pool.t -> (Problem.t -> float) -> Markov.Mrm.t ->
+  phi:bool array -> psi:bool array -> time_bound:float ->
+  reward_bound:float -> Linalg.Vec.t
 (** [until_probabilities_via solve m ~phi ~psi ~time_bound ~reward_bound]
     computes [Prob (Phi U^{<=t}_{<=r} Psi)] for every state of [m], running
     [solve] once per relevant initial state of the reduced model.  States
-    in [Psi] get probability [1]; states outside [Phi or Psi] get [0]. *)
+    in [Psi] get probability [1]; states outside [Phi or Psi] get [0].
+    The per-initial-state solves are independent and dispatched across
+    [pool] (cutoff one, so each solve's inner kernels run inline on the
+    busy pool and answers stay bit-identical for every pool size). *)
 
 val until_probabilities_on :
-  t -> (Problem.t -> float) -> phi:bool array -> psi:bool array ->
-  time_bound:float -> reward_bound:float -> Linalg.Vec.t
+  ?pool:Parallel.Pool.t -> t -> (Problem.t -> float) -> phi:bool array ->
+  psi:bool array -> time_bound:float -> reward_bound:float -> Linalg.Vec.t
 (** Like {!until_probabilities_via}, but on a reduction built beforehand
     with {!reduce} — the transformed model only depends on
     [(Sat Phi, Sat Psi)], so batched queries that differ in [t] or [r]

@@ -1,0 +1,334 @@
+(* The quotient-and-prune reduction pipeline.  See reduction.mli for the
+   exactness arguments; the implementation invariant that matters here is
+   that every stage either fires (and then changes the model) or returns
+   its input *physically unchanged*, so a run in which no stage fires is
+   bit-identical to not having the pipeline at all. *)
+
+type config = { lump : bool; prune : bool }
+
+let default = { lump = true; prune = true }
+let none = { lump = false; prune = false }
+let enabled c = c.lump || c.prune
+
+type stats = {
+  states_before : int;
+  states_after : int;
+  pruned_states : int;
+  lumped : bool;
+  no_op : bool;
+}
+
+type t = {
+  reduced : Reduced.t;
+  config : config;
+  mrm : Markov.Mrm.t;
+  map : int array;
+  goal : bool array;
+  stats : stats;
+}
+
+let goal_list goal =
+  let acc = ref [] in
+  for s = Array.length goal - 1 downto 0 do
+    if goal.(s) then acc := s :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: merge the goal-unreachable region into one absorbing sink.
+
+   The region R = {s | GOAL unreachable from s} is closed under
+   successors, so a path that enters R never leaves it and never reaches
+   the goal: it contributes 0 to Pr{Y_t <= r, X_t in GOAL} regardless of
+   the reward it accumulates.  Replacing R by a single absorbing
+   zero-reward sink therefore changes no answer.  Requires |R| >= 2 to
+   fire: with one region state (the amalgamated FAIL state is always
+   goal-unreachable) there is nothing to merge, and firing would break
+   the no-op bit-identity promise on asymmetric models. *)
+
+let merge_goal_unreachable mrm ~goal =
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Mrm.n_states mrm in
+  let can_reach =
+    Graph.Reach.backward (Markov.Ctmc.graph chain) (goal_list goal)
+  in
+  let doomed = ref 0 in
+  Array.iter (fun b -> if not b then incr doomed) can_reach;
+  if !doomed < 2 then None
+  else begin
+    let map = Array.make n (-1) in
+    let kept = ref 0 in
+    for s = 0 to n - 1 do
+      if can_reach.(s) then begin
+        map.(s) <- !kept;
+        incr kept
+      end
+    done;
+    let sink = !kept in
+    for s = 0 to n - 1 do
+      if not can_reach.(s) then map.(s) <- sink
+    done;
+    let new_n = sink + 1 in
+    (* Only surviving rows contribute: region-internal transitions map to
+       a sink self-loop, which an absorbing sink must not have. *)
+    let triples = ref [] in
+    Linalg.Csr.iter (Markov.Ctmc.rates chain) (fun i j v ->
+        if can_reach.(i) then triples := (map.(i), map.(j), v) :: !triples);
+    let rewards = Array.make new_n 0.0 in
+    let goal' = Array.make new_n false in
+    for s = 0 to n - 1 do
+      if can_reach.(s) then begin
+        rewards.(map.(s)) <- Markov.Mrm.reward mrm s;
+        if goal.(s) then goal'.(map.(s)) <- true
+      end
+    done;
+    let merged = Markov.Mrm.of_transitions ~n:new_n !triples ~rewards in
+    Some (merged, map, goal', !doomed - 1)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: ordinary-lumpability quotient.  The initial partition is
+   (goal membership, reward rate) — Lumping.compute refines (label set,
+   reward), so a one-proposition labeling marking the goal states seeds
+   exactly the (Sat Psi, rho) split the exactness argument needs; the
+   Phi information is already encoded structurally by the Theorem 1
+   absorption that ran before this pipeline. *)
+
+let lump_quotient mrm ~goal =
+  let n = Markov.Mrm.n_states mrm in
+  let labeling = Markov.Labeling.make ~n [ ("goal", goal_list goal) ] in
+  let l = Markov.Lumping.compute mrm labeling in
+  if l.Markov.Lumping.n_blocks = n then None
+  else begin
+    let goal' = Array.make l.Markov.Lumping.n_blocks false in
+    Array.iteri
+      (fun s b -> if goal.(s) then goal'.(b) <- true)
+      l.Markov.Lumping.block_of_state;
+    Some (l.Markov.Lumping.quotient, l.Markov.Lumping.block_of_state, goal')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline assembly.                                                  *)
+
+let record_run telemetry stats =
+  Telemetry.add telemetry "reduction.runs" 1;
+  Telemetry.add telemetry "reduction.states_before" stats.states_before;
+  Telemetry.add telemetry "reduction.states_after" stats.states_after;
+  Telemetry.add telemetry "reduction.pruned_states" stats.pruned_states;
+  Telemetry.add telemetry "reduction.lumped" (if stats.lumped then 1 else 0)
+
+let identity config (red : Reduced.t) =
+  let n = Markov.Mrm.n_states red.Reduced.mrm in
+  { reduced = red;
+    config;
+    mrm = red.Reduced.mrm;
+    map = Array.init n Fun.id;
+    goal = red.Reduced.goal;
+    stats =
+      { states_before = n; states_after = n; pruned_states = 0;
+        lumped = false; no_op = true } }
+
+let prepare_on ?(config = default) ?telemetry (red : Reduced.t) =
+  if (not (enabled config)) || Markov.Mrm.has_impulses red.Reduced.mrm then
+    identity config red
+  else
+    Telemetry.with_span telemetry "reduction.prepare" @@ fun () ->
+    let states_before = Markov.Mrm.n_states red.Reduced.mrm in
+    let mrm = ref red.Reduced.mrm in
+    let map = ref (Array.init states_before Fun.id) in
+    let goal = ref red.Reduced.goal in
+    let pruned = ref 0 in
+    if config.prune then begin
+      match merge_goal_unreachable !mrm ~goal:!goal with
+      | None -> ()
+      | Some (merged, stage_map, goal', dropped) ->
+        mrm := merged;
+        goal := goal';
+        pruned := dropped;
+        map := Array.map (fun s -> stage_map.(s)) !map
+    end;
+    let lumped = ref false in
+    if config.lump then begin
+      match lump_quotient !mrm ~goal:!goal with
+      | None -> ()
+      | Some (quotient, block_of_state, goal') ->
+        mrm := quotient;
+        goal := goal';
+        lumped := true;
+        map := Array.map (fun s -> block_of_state.(s)) !map
+    end;
+    let states_after = Markov.Mrm.n_states !mrm in
+    let stats =
+      { states_before; states_after; pruned_states = !pruned;
+        lumped = !lumped; no_op = (not !lumped) && !pruned = 0 }
+    in
+    record_run telemetry stats;
+    { reduced = red; config; mrm = !mrm; map = !map; goal = !goal; stats }
+
+let prepare ?config ?telemetry m ~phi ~psi =
+  prepare_on ?config ?telemetry (Reduced.reduce m ~phi ~psi)
+
+(* ------------------------------------------------------------------ *)
+(* Per-problem init pruning: drop states unreachable from the support
+   of the initial distribution.  Reachable states form a
+   successor-closed set carrying all the probability mass, so the
+   restriction is exact.  Skipped (input returned physically) when
+   nothing is unreachable or the model carries impulses (the restricted
+   impulse matrix is not worth rebuilding for a cost optimisation). *)
+
+let restrict_to_reachable ?telemetry (p : Problem.t) =
+  let mrm = p.Problem.mrm in
+  if Markov.Mrm.has_impulses mrm then p
+  else begin
+    let n = Markov.Mrm.n_states mrm in
+    let support = ref [] in
+    for s = n - 1 downto 0 do
+      if p.Problem.init.(s) > 0.0 then support := s :: !support
+    done;
+    let chain = Markov.Mrm.ctmc mrm in
+    let reachable = Graph.Reach.forward (Markov.Ctmc.graph chain) !support in
+    let dropped = ref 0 in
+    Array.iter (fun b -> if not b then incr dropped) reachable;
+    if !dropped = 0 then p
+    else begin
+      let map = Array.make n (-1) in
+      let kept = ref 0 in
+      for s = 0 to n - 1 do
+        if reachable.(s) then begin
+          map.(s) <- !kept;
+          incr kept
+        end
+      done;
+      let new_n = !kept in
+      (* Reachability is successor-closed, so surviving rows only point at
+         surviving states. *)
+      let triples = ref [] in
+      Linalg.Csr.iter (Markov.Ctmc.rates chain) (fun i j v ->
+          if reachable.(i) then triples := (map.(i), map.(j), v) :: !triples);
+      let rewards = Array.make new_n 0.0 in
+      let goal = Array.make new_n false in
+      let init = Linalg.Vec.create new_n in
+      for s = 0 to n - 1 do
+        if reachable.(s) then begin
+          rewards.(map.(s)) <- Markov.Mrm.reward mrm s;
+          goal.(map.(s)) <- p.Problem.goal.(s);
+          init.(map.(s)) <- p.Problem.init.(s)
+        end
+      done;
+      Telemetry.add telemetry "reduction.init_pruned_states" !dropped;
+      let restricted = Markov.Mrm.of_transitions ~n:new_n !triples ~rewards in
+      Problem.make restricted ~init ~goal ~time_bound:p.Problem.time_bound
+        ~reward_bound:p.Problem.reward_bound
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Problem-level pipeline for Engine.solve.                            *)
+
+let apply ?telemetry config (p : Problem.t) =
+  if (not (enabled config)) || Markov.Mrm.has_impulses p.Problem.mrm then p
+  else
+    Telemetry.with_span telemetry "reduction.apply" @@ fun () ->
+    let states_before = Markov.Mrm.n_states p.Problem.mrm in
+    let pruned = ref 0 in
+    let p =
+      if not config.prune then p
+      else begin
+        let p =
+          match merge_goal_unreachable p.Problem.mrm ~goal:p.Problem.goal with
+          | None -> p
+          | Some (merged, map, goal, dropped) ->
+            pruned := dropped;
+            let init = Linalg.Vec.create (Markov.Mrm.n_states merged) in
+            Array.iteri
+              (fun s mass ->
+                let m = map.(s) in
+                init.(m) <- init.(m) +. mass)
+              p.Problem.init;
+            Problem.make merged ~init ~goal ~time_bound:p.Problem.time_bound
+              ~reward_bound:p.Problem.reward_bound
+        in
+        let before = Markov.Mrm.n_states p.Problem.mrm in
+        let p = restrict_to_reachable ?telemetry p in
+        pruned := !pruned + (before - Markov.Mrm.n_states p.Problem.mrm);
+        p
+      end
+    in
+    let p, lumped =
+      if not config.lump then (p, false)
+      else
+        match lump_quotient p.Problem.mrm ~goal:p.Problem.goal with
+        | None -> (p, false)
+        | Some (quotient, block_of_state, goal) ->
+          let init = Linalg.Vec.create (Markov.Mrm.n_states quotient) in
+          Array.iteri
+            (fun s mass ->
+              let b = block_of_state.(s) in
+              init.(b) <- init.(b) +. mass)
+            p.Problem.init;
+          ( Problem.make quotient ~init ~goal
+              ~time_bound:p.Problem.time_bound
+              ~reward_bound:p.Problem.reward_bound,
+            true )
+    in
+    let stats =
+      { states_before;
+        states_after = Markov.Mrm.n_states p.Problem.mrm;
+        pruned_states = !pruned;
+        lumped;
+        no_op = (not lumped) && !pruned = 0 }
+    in
+    record_run telemetry stats;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Until probabilities over a prepared pipeline.                       *)
+
+let until_probabilities_on r ?(pool = Parallel.Pool.sequential) ?telemetry
+    solve ~phi ~psi ~time_bound ~reward_bound =
+  let n = Array.length r.reduced.Reduced.state_map in
+  if Array.length phi <> n || Array.length psi <> n then
+    invalid_arg "Reduction.until_probabilities_on: mask length mismatch";
+  let n_pipe = Markov.Mrm.n_states r.mrm in
+  let pipe_of s = r.map.(r.reduced.Reduced.state_map.(s)) in
+  (* Distinct pipeline initial states that actually need a solve: states
+     decided by the masks never touch the numerics, and amalgamation plus
+     the quotient map many originals onto one pipeline state. *)
+  let needed = Array.make n_pipe false in
+  for s = 0 to n - 1 do
+    if phi.(s) && not psi.(s) then needed.(pipe_of s) <- true
+  done;
+  let targets = ref [] in
+  for b = n_pipe - 1 downto 0 do
+    if needed.(b) then targets := b :: !targets
+  done;
+  let targets = Array.of_list !targets in
+  let solutions = Linalg.Vec.create n_pipe in
+  (* One initial state per chunk: a solve dispatched to a busy pool runs
+     its inner kernels inline — the exact sequential code — so the
+     per-state answers are bit-identical to a sequential loop. *)
+  Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0
+    ~hi:(Array.length targets) (fun lo hi ->
+      for idx = lo to hi - 1 do
+        let b = targets.(idx) in
+        let problem =
+          Problem.make r.mrm
+            ~init:(Linalg.Vec.unit n_pipe b)
+            ~goal:r.goal ~time_bound ~reward_bound
+        in
+        let problem =
+          if r.config.prune then restrict_to_reachable ?telemetry problem
+          else problem
+        in
+        solutions.(b) <- solve problem
+      done);
+  Array.init n (fun s ->
+      if psi.(s) then 1.0
+      else if not phi.(s) then 0.0
+      else solutions.(pipe_of s))
+
+let until_probabilities_via ?config ?telemetry ?pool solve m ~phi ~psi
+    ~time_bound ~reward_bound =
+  let r = prepare ?config ?telemetry m ~phi ~psi in
+  until_probabilities_on r ?pool ?telemetry solve ~phi ~psi ~time_bound
+    ~reward_bound

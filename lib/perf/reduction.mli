@@ -1,0 +1,104 @@
+(** The quotient-and-prune reduction pipeline.
+
+    Runs after the Theorem 1 {!Reduced} step and before any numerical
+    engine, shrinking the model three ways — each one exact:
+
+    - {b Goal-unreachable pruning.}  States from which GOAL is
+      unreachable form a successor-closed region; a path that enters it
+      never reaches the goal, so its contribution to
+      [Pr{Y_t <= r, X_t in GOAL}] is 0 no matter what reward it
+      accumulates.  The whole region is merged into a single absorbing
+      zero-reward sink (its tail mass is resolved analytically: it is
+      zero).  Fires only when the region has at least two states — the
+      amalgamated FAIL state alone is always goal-unreachable and
+      merging a single state would change nothing.
+    - {b Init pruning.}  States unreachable from the support of the
+      initial distribution carry no mass at any time and are dropped
+      (per solve, since the support varies per initial state).
+    - {b Ordinary-lumpability quotient} via {!Markov.Lumping}, seeded
+      with the (goal membership, reward rate) partition.  The Sat Phi /
+      Sat Psi split is already structural after Theorem 1 (GOAL and
+      FAIL are absorbing and goal membership is part of the seed), and
+      lumpability refines the reward partition, so the quotient
+      preserves the joint distribution of [(Y_t, X_t in GOAL)] for any
+      initial distribution — CSRL checking commutes with the quotient,
+      and block values map back with {!Markov.Lumping.lower}.
+
+    Transparency and opt-out: every stage that does not fire returns its
+    input {e physically unchanged}, so on models with no symmetry and no
+    unreachable mass the pipeline is a strict no-op and answers are
+    bit-identical to the unreduced solve.  {!none} (the CLI's
+    [--no-reduce]) disables all stages; a [?telemetry] recorder receives
+    [reduction.*] counters and a [reduction.prepare]/[reduction.apply]
+    span. *)
+
+type config = {
+  lump : bool;   (** ordinary-lumpability quotient *)
+  prune : bool;  (** goal-unreachable merge + init-reachability pruning *)
+}
+
+val default : config
+(** Both stages on. *)
+
+val none : config
+(** All stages off: the pipeline is the identity. *)
+
+val enabled : config -> bool
+(** Whether any stage is on. *)
+
+type stats = {
+  states_before : int;  (** model size entering the pipeline *)
+  states_after : int;   (** model size all engines will see *)
+  pruned_states : int;  (** states removed by the goal-unreachable merge *)
+  lumped : bool;        (** whether the quotient fired *)
+  no_op : bool;         (** no stage fired: the model is the input, untouched *)
+}
+
+type t = private {
+  reduced : Reduced.t;  (** the Theorem 1 reduction this pipeline extends *)
+  config : config;
+  mrm : Markov.Mrm.t;   (** the model the engines solve *)
+  map : int array;      (** reduced-space state -> pipeline state *)
+  goal : bool array;    (** goal set in pipeline space *)
+  stats : stats;
+}
+
+val prepare :
+  ?config:config -> ?telemetry:Telemetry.t -> Markov.Mrm.t ->
+  phi:bool array -> psi:bool array -> t
+(** {!Reduced.reduce} followed by {!prepare_on}. *)
+
+val prepare_on : ?config:config -> ?telemetry:Telemetry.t -> Reduced.t -> t
+(** Build the pipeline on an existing Theorem 1 reduction (the batch
+    cache shares the [Reduced.t] across configs and bounds).  Models
+    with impulse rewards pass through untouched: the quotient cannot
+    represent per-transition impulses and the pruning stages are not
+    worth a rebuilt impulse matrix. *)
+
+val apply : ?telemetry:Telemetry.t -> config -> Problem.t -> Problem.t
+(** Problem-level pipeline for direct {!Engine.solve} callers: the
+    goal-unreachable merge, then init pruning from the problem's own
+    initial distribution, then the quotient with the initial
+    distribution lifted ({!Markov.Lumping.lift}) and the scalar answer
+    unchanged.  Returns the problem {e physically unchanged} when no
+    stage fires. *)
+
+val until_probabilities_on :
+  t -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  (Problem.t -> float) -> phi:bool array -> psi:bool array ->
+  time_bound:float -> reward_bound:float -> Linalg.Vec.t
+(** [Prob (Phi U^{<=t}_{<=r} Psi)] for every original state, solving one
+    problem per {e distinct pipeline state} (amalgamation and the
+    quotient both merge initial states, so symmetric models need far
+    fewer solves than states).  Distinct solves are dispatched across
+    [pool] with a cutoff of one; each dispatched solve sees a busy pool
+    and runs its kernels inline, so answers are bit-identical for every
+    pool size.  [phi] and [psi] must be the masks the pipeline was
+    prepared from. *)
+
+val until_probabilities_via :
+  ?config:config -> ?telemetry:Telemetry.t -> ?pool:Parallel.Pool.t ->
+  (Problem.t -> float) -> Markov.Mrm.t -> phi:bool array ->
+  psi:bool array -> time_bound:float -> reward_bound:float -> Linalg.Vec.t
+(** {!prepare} + {!until_probabilities_on} in one call — the drop-in
+    replacement for {!Reduced.until_probabilities_via}. *)

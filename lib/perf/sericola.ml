@@ -157,14 +157,21 @@ let make_context ?(pool = Parallel.Pool.sequential) mrm ~width =
   let n = Markov.Mrm.n_states mrm in
   let levels = Markov.Mrm.reward_levels mrm in
   let level_of_state =
+    (* [levels] is sorted strictly increasing and contains every reward
+       value, so a binary search always lands exactly. *)
     Array.init n (fun s ->
         let rho = Markov.Mrm.reward mrm s in
-        let rec find i =
-          if i >= Array.length levels then assert false
-          else if levels.(i) = rho then i
-          else find (i + 1)
+        let rec find lo hi =
+          if lo > hi then assert false
+          else begin
+            let mid = (lo + hi) / 2 in
+            let v = levels.(mid) in
+            if v = rho then mid
+            else if v < rho then find (mid + 1) hi
+            else find lo (mid - 1)
+          end
         in
-        find 0)
+        find 0 (Array.length levels - 1))
   in
   let _lambda, p = Markov.Ctmc.uniformized chain in
   { n_states = n; width; n_bands = Array.length levels - 1; levels;
@@ -396,18 +403,28 @@ let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry mrm ~t ~r =
         let weight = Numerics.Fox_glynn.weight fg layer in
         if weight > 0.0 then begin
           let bin = binomial_pmf layer x in
-          for k = 0 to layer do
-            if bin.(k) > 0.0 then begin
-              let block = cs h k in
-              let scale = weight *. bin.(k) in
-              for i = 0 to n - 1 do
-                for j = 0 to n - 1 do
-                  result.(i).(j) <-
-                    result.(i).(j) +. (scale *. block.((i * n) + j))
-                done
-              done
-            end
-          done
+          (* Collect the layer's (scale, block) terms in ascending-k
+             order, then accumulate them row-partitioned across the
+             pool: rows are disjoint, and every cell adds its terms in
+             the same k order as the sequential loop, so the result is
+             bit-identical for any pool size. *)
+          let terms = ref [] in
+          for k = layer downto 0 do
+            if bin.(k) > 0.0 then
+              terms := (weight *. bin.(k), cs h k) :: !terms
+          done;
+          let terms = !terms in
+          Parallel.Pool.parallel_for ~cutoff:block_row_cutoff ctx.pool ~lo:0
+            ~hi:n (fun lo hi ->
+              for i = lo to hi - 1 do
+                let row = result.(i) in
+                List.iter
+                  (fun (scale, block) ->
+                    for j = 0 to n - 1 do
+                      row.(j) <- row.(j) +. (scale *. block.((i * n) + j))
+                    done)
+                  terms
+              done)
         end);
     Array.iteri
       (fun i row ->

@@ -102,6 +102,11 @@ deliberately omits spans and wall-clock times so it is deterministic:
   value from the initial distribution: 0.4969967279
   telemetry:
     fox_glynn.calls = 3
+    reduction.lumped = 0
+    reduction.pruned_states = 0
+    reduction.runs = 1
+    reduction.states_after = 5
+    reduction.states_before = 5
     sericola.cells = 8221950
     sericola.layers = 1812
     uniformisation.iterations = 1809
@@ -125,7 +130,7 @@ validates the shape and that the convergence keys were recorded:
 
   $ csrl-check --model adhoc --trace trace.json 'P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )' > /dev/null
   $ csrl-trace-lint trace.json fox_glynn.right uniformisation.iterations sericola.achieved_epsilon pool.size
-  trace.json: valid trace (4 counters, 14 gauges)
+  trace.json: valid trace (9 counters, 14 gauges)
 
 Expected rewards (the R-operator extension):
 
@@ -150,6 +155,7 @@ Unknown models list the alternatives:
     adhoc            the paper's ad hoc network case study (9 states)
     adhoc-srn        the same model generated from its stochastic reward net
     multiprocessor   Meyer-style degradable multiprocessor (5 states)
+    multiprocessor-tracked the same system with every processor tracked (16 states)
     cluster          workstation cluster with switch and quorum (18 states)
     queue            M/M/1/6 queue with server breakdowns (14 states)
   [2]
@@ -170,7 +176,7 @@ solve, one Theorem 1 reduction and one until-vector:
   > EOF
 
   $ csrl-check --model adhoc --batch batch.json
-  {"tool":"csrl-check","mode":"batch","engine":"occupation-time(eps=1e-09)","jobs":1,"queries":3,"results":[{"name":"q3","query":"P>0.5 ((call_idle | doze) U[t<=24][r<=600] call_initiated)","kind":"boolean","initial_mass":0,"states":[false,false,true,true,false,false,false,false,false]},{"name":"q3-value","query":"P=? ((call_idle | doze) U[t<=24][r<=600] call_initiated)","kind":"numeric","value":0.4969967279341122,"states":[0.4969967279341122,0.49695629204826719,1,1,0,0,0,0,0.49685417808621879]},{"name":"q2","query":"P=? (F[t<=2] call_initiated)","kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}],"cache":{"path":{"lookups":3,"hits":1,"misses":2,"hit_rate":0.33333333333333331},"reduced":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"sat":{"lookups":7,"hits":1,"misses":6,"hit_rate":0.14285714285714285},"until":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"fox_glynn":{"lookups":4,"hits":2,"misses":2,"hit_rate":0.5}}}
+  {"tool":"csrl-check","mode":"batch","engine":"occupation-time(eps=1e-09)","jobs":1,"queries":3,"results":[{"name":"q3","query":"P>0.5 ((call_idle | doze) U[t<=24][r<=600] call_initiated)","kind":"boolean","initial_mass":0,"states":[false,false,true,true,false,false,false,false,false]},{"name":"q3-value","query":"P=? ((call_idle | doze) U[t<=24][r<=600] call_initiated)","kind":"numeric","value":0.4969967279341122,"states":[0.4969967279341122,0.49695629204826719,1,1,0,0,0,0,0.49685417808621879]},{"name":"q2","query":"P=? (F[t<=2] call_initiated)","kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}],"cache":{"path":{"lookups":3,"hits":1,"misses":2,"hit_rate":0.33333333333333331},"reduced":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduction":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"sat":{"lookups":7,"hits":1,"misses":6,"hit_rate":0.14285714285714285},"until":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"fox_glynn":{"lookups":4,"hits":2,"misses":2,"hit_rate":0.5}}}
 
 --batch composes with --stats; the batch.* counters mirror the cache
 section and stay deterministic:
@@ -186,6 +192,9 @@ section and stay deterministic:
     batch.reduced.hits = 0
     batch.reduced.lookups = 1
     batch.reduced.misses = 1
+    batch.reduction.hits = 0
+    batch.reduction.lookups = 1
+    batch.reduction.misses = 1
     batch.sat.hits = 1
     batch.sat.lookups = 7
     batch.sat.misses = 6
@@ -231,3 +240,25 @@ Model statistics:
     state  3  [degraded,saturated,up]  0.01574503
     state  4  [full,saturated,up]  0.98406451
   long-run reward rate: 2.99981
+
+The quotient-and-prune reduction pipeline: the tracked multiprocessor
+distinguishes the 4 processors individually (16 states) but its labels
+and rewards only count them, so the exact lumping quotient collapses
+the Theorem 1 model before any engine runs — reduction.states_before
+vs reduction.states_after — and init-reachability pruning drops the
+blocks unreachable from the fully-operational start:
+
+  $ csrl-check --model multiprocessor-tracked --stats 'P=? ( up U[t<=100][r<=260] down )' | grep -E 'value from|reduction\.'
+  value from the initial distribution: 0.0000002490
+    reduction.init_pruned_states = 4
+    reduction.lumped = 1
+    reduction.pruned_states = 0
+    reduction.runs = 1
+    reduction.states_after = 6
+    reduction.states_before = 17
+
+--no-reduce disables the pipeline for A/B timing; the reduction is
+exact, so the value is unchanged, and no reduction.* counters appear:
+
+  $ csrl-check --model multiprocessor-tracked --no-reduce --stats 'P=? ( up U[t<=100][r<=260] down )' | grep -E 'value from|reduction\.'
+  value from the initial distribution: 0.0000002490

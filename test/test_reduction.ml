@@ -1,0 +1,321 @@
+(* Tests for the quotient-and-prune reduction pipeline: exactness on
+   random models (within the engines' truncation error), strict
+   bit-identity whenever no stage fires, the counting abstraction on
+   planted-symmetry models, and consistent reduction.* telemetry. *)
+
+let snap x = Float.max (1.0 /. 16.0) (Float.round (x *. 16.0) /. 16.0)
+
+(* Deterministic query bounds for a seeded random model: a horizon in
+   (0.5, 3] and a reward bound that actually bites when rewards exist. *)
+let bounds ~seed m =
+  let rng = Sim.Rng.create ~seed:(Int64.logxor seed 0x2545F4914F6CDD1DL) in
+  let t = snap (0.5 +. (Sim.Rng.float rng *. 2.5)) in
+  let rho_max = Markov.Mrm.max_reward m in
+  let r =
+    if rho_max > 0.0 then
+      snap ((0.2 +. (Sim.Rng.float rng *. 0.7)) *. rho_max *. t)
+    else 1.0
+  in
+  (t, r)
+
+let masks labeling =
+  let a = Markov.Labeling.sat labeling "a"
+  and b = Markov.Labeling.sat labeling "b"
+  and c = Markov.Labeling.sat labeling "c" in
+  let phi = Array.init (Array.length a) (fun s -> a.(s) || b.(s)) in
+  (phi, c)
+
+let counter tel name = Option.value ~default:0 (Telemetry.counter tel name)
+
+(* The pipeline's no-op promise, read back from its own telemetry: no
+   state pruned or lumped in prepare, and no per-solve init pruning. *)
+let nothing_fired tel =
+  counter tel "reduction.states_before" = counter tel "reduction.states_after"
+  && counter tel "reduction.pruned_states" = 0
+  && counter tel "reduction.lumped" = 0
+  && counter tel "reduction.init_pruned_states" = 0
+
+let pipeline_matches_baseline =
+  QCheck2.Test.make ~count:30
+    ~name:"pipeline equals unreduced solve on random labeled MRMs"
+    QCheck2.Gen.(int_range 0 20_000)
+    (fun seed ->
+      let seed64 = Int64.of_int seed in
+      let m, labeling =
+        Models.Random_mrm.generate_labeled ~seed:seed64
+          Models.Random_mrm.default
+      in
+      let phi, psi = masks labeling in
+      let time_bound, reward_bound = bounds ~seed:seed64 m in
+      (* A truncation epsilon well below the comparison tolerance: the
+         pipeline may change the uniformisation rate (pruning removes
+         states), so full and reduced runs only agree up to the engines'
+         truncation error. *)
+      let solve = Perf.Engine.solve (Perf.Engine.Occupation_time { epsilon = 1e-14 }) in
+      let baseline =
+        Perf.Reduced.until_probabilities_via solve m ~phi ~psi ~time_bound
+          ~reward_bound
+      in
+      let tel = Telemetry.create () in
+      let piped =
+        Perf.Reduction.until_probabilities_via ~telemetry:tel solve m ~phi
+          ~psi ~time_bound ~reward_bound
+      in
+      Array.iteri
+        (fun s expected ->
+          if Float.abs (expected -. piped.(s)) > 1e-12 then
+            QCheck2.Test.fail_reportf
+              "seed %d state %d: baseline %.17g, pipeline %.17g" seed s
+              expected piped.(s))
+        baseline;
+      if nothing_fired tel && piped <> baseline then
+        QCheck2.Test.fail_reportf
+          "seed %d: pipeline reported itself a no-op but the answers are \
+           not bit-identical"
+          seed;
+      true)
+
+let impulse_models_pass_through =
+  QCheck2.Test.make ~count:15
+    ~name:"impulse models bypass the pipeline bit-identically"
+    QCheck2.Gen.(int_range 0 20_000)
+    (fun seed ->
+      let seed64 = Int64.of_int seed in
+      let m, labeling =
+        Models.Random_mrm.generate_labeled ~seed:seed64
+          Models.Random_mrm.with_impulses
+      in
+      let phi, psi = masks labeling in
+      let time_bound, reward_bound = bounds ~seed:seed64 m in
+      let solve =
+        Perf.Engine.solve (Perf.Engine.Discretize { step = 1.0 /. 16.0 })
+      in
+      let baseline =
+        Perf.Reduced.until_probabilities_via solve m ~phi ~psi ~time_bound
+          ~reward_bound
+      in
+      let tel = Telemetry.create () in
+      let piped =
+        Perf.Reduction.until_probabilities_via ~telemetry:tel solve m ~phi
+          ~psi ~time_bound ~reward_bound
+      in
+      (* Theorem 1 may cut every impulse-carrying transition (absorbed
+         states lose their transitions), leaving an impulse-free reduced
+         model on which the pipeline legitimately runs; only when
+         impulses survive must it stand aside entirely. *)
+      if Markov.Mrm.has_impulses (Perf.Reduced.reduce m ~phi ~psi).Perf.Reduced.mrm
+      then begin
+        if piped <> baseline then
+          QCheck2.Test.fail_reportf "seed %d: impulse model answers differ"
+            seed;
+        if counter tel "reduction.runs" <> 0 then
+          QCheck2.Test.fail_reportf
+            "seed %d: pipeline ran on a model with surviving impulses" seed
+      end
+      else
+        Array.iteri
+          (fun s expected ->
+            if Float.abs (expected -. piped.(s)) > 1e-12 then
+              QCheck2.Test.fail_reportf
+                "seed %d state %d: baseline %.17g, pipeline %.17g" seed s
+                expected piped.(s))
+          baseline;
+      true)
+
+let pool_dispatch_is_bit_identical =
+  QCheck2.Test.make ~count:10
+    ~name:"pooled per-initial-state dispatch is bit-identical"
+    QCheck2.Gen.(int_range 0 20_000)
+    (fun seed ->
+      let seed64 = Int64.of_int seed in
+      let m, labeling =
+        Models.Random_mrm.generate_labeled ~seed:seed64
+          Models.Random_mrm.default
+      in
+      let phi, psi = masks labeling in
+      let time_bound, reward_bound = bounds ~seed:seed64 m in
+      let solve = Perf.Engine.solve Perf.Engine.default in
+      Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+          let seq =
+            Perf.Reduced.until_probabilities_via solve m ~phi ~psi
+              ~time_bound ~reward_bound
+          in
+          let pooled =
+            Perf.Reduced.until_probabilities_via ~pool solve m ~phi ~psi
+              ~time_bound ~reward_bound
+          in
+          if pooled <> seq then
+            QCheck2.Test.fail_reportf "seed %d: Reduced pool dispatch differs"
+              seed;
+          let seq_pipe =
+            Perf.Reduction.until_probabilities_via solve m ~phi ~psi
+              ~time_bound ~reward_bound
+          in
+          let pooled_pipe =
+            Perf.Reduction.until_probabilities_via ~pool solve m ~phi ~psi
+              ~time_bound ~reward_bound
+          in
+          if pooled_pipe <> seq_pipe then
+            QCheck2.Test.fail_reportf
+              "seed %d: Reduction pool dispatch differs" seed);
+      true)
+
+let joint_matrix_pool_is_bit_identical =
+  QCheck2.Test.make ~count:10
+    ~name:"joint_matrix row accumulation is bit-identical under a pool"
+    QCheck2.Gen.(int_range 0 20_000)
+    (fun seed ->
+      let m =
+        Models.Random_mrm.generate ~seed:(Int64.of_int seed)
+          Models.Random_mrm.default
+      in
+      let t = 1.5 in
+      let r = 0.6 *. Markov.Mrm.max_reward m *. t in
+      let seq = Perf.Sericola.joint_matrix m ~t ~r in
+      Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+          let pooled = Perf.Sericola.joint_matrix ~pool m ~t ~r in
+          if pooled <> seq then
+            QCheck2.Test.fail_reportf "seed %d: joint_matrix differs" seed);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Planted symmetry: the quotient must hit the counting abstraction.   *)
+
+let symmetry_configs =
+  [ (0xBEEFL, { Models.Symmetric.default with components = 3 });
+    (0x5EEDL, { Models.Symmetric.default with components = 4 });
+    (0xACEDL,
+     { Models.Symmetric.default with components = 3; local_states = 4 }) ]
+
+let test_counting_abstraction () =
+  List.iter
+    (fun (seed, config) ->
+      let m, labeling = Models.Symmetric.generate ~seed config in
+      let l = Markov.Lumping.compute m labeling in
+      Alcotest.(check int)
+        (Printf.sprintf "quotient size (k=%d, l=%d)" config.components
+           config.local_states)
+        (Models.Symmetric.counting_states config)
+        l.Markov.Lumping.n_blocks)
+    symmetry_configs
+
+let test_pipeline_hits_counting_abstraction () =
+  List.iter
+    (fun (seed, config) ->
+      let m, labeling = Models.Symmetric.generate ~seed config in
+      let n = Models.Symmetric.size config in
+      let phi = Array.make n true in
+      let psi = Markov.Labeling.sat labeling "all_top" in
+      let tel = Telemetry.create () in
+      let r = Perf.Reduction.prepare ~telemetry:tel m ~phi ~psi in
+      (* Theorem 1 amalgamates the single all-top state into GOAL and
+         adds an (unreachable) FAIL, so the pipeline sees l^k + 1 states
+         and must collapse the tracked transient states to their
+         multiset classes: counting - 1 blocks, plus GOAL and FAIL. *)
+      let expected_before = n + 1 in
+      let expected_after = Models.Symmetric.counting_states config + 1 in
+      Alcotest.(check int) "stats.states_before" expected_before
+        r.Perf.Reduction.stats.Perf.Reduction.states_before;
+      Alcotest.(check int) "stats.states_after" expected_after
+        r.Perf.Reduction.stats.Perf.Reduction.states_after;
+      Alcotest.(check bool) "lumped" true
+        r.Perf.Reduction.stats.Perf.Reduction.lumped;
+      (* Telemetry mirrors the stats exactly. *)
+      Alcotest.(check int) "telemetry states_before" expected_before
+        (counter tel "reduction.states_before");
+      Alcotest.(check int) "telemetry states_after" expected_after
+        (counter tel "reduction.states_after");
+      Alcotest.(check int) "telemetry runs" 1 (counter tel "reduction.runs"))
+    symmetry_configs
+
+let test_symmetric_answers_match () =
+  let seed, config = List.hd symmetry_configs in
+  let m, labeling = Models.Symmetric.generate ~seed config in
+  let n = Models.Symmetric.size config in
+  let phi = Array.make n true in
+  let psi = Markov.Labeling.sat labeling "all_top" in
+  let time_bound = 1.25 in
+  let reward_bound = 0.5 *. Markov.Mrm.max_reward m *. time_bound in
+  let solve = Perf.Engine.solve (Perf.Engine.Occupation_time { epsilon = 1e-12 }) in
+  let baseline =
+    Perf.Reduced.until_probabilities_via solve m ~phi ~psi ~time_bound
+      ~reward_bound
+  in
+  let piped =
+    Perf.Reduction.until_probabilities_via solve m ~phi ~psi ~time_bound
+      ~reward_bound
+  in
+  Array.iteri
+    (fun s expected ->
+      if Float.abs (expected -. piped.(s)) > 1e-12 then
+        Alcotest.failf "state %d: baseline %.17g, pipeline %.17g" s expected
+          piped.(s))
+    baseline
+
+(* The tracked multiprocessor collapses onto the birth-death chain: the
+   engine-level pipeline must give the pooled model's answer. *)
+let test_tracked_multiprocessor_collapses () =
+  let c = { Models.Multiprocessor.default with n_processors = 5 } in
+  let t = 100.0 and r = 250.0 in
+  let tracked = Models.Multiprocessor.tracked_performability c ~t ~r in
+  let pooled = Models.Multiprocessor.performability c ~t ~r in
+  let spec = Perf.Engine.Occupation_time { epsilon = 1e-12 } in
+  let tel = Telemetry.create () in
+  let reduced_answer =
+    Perf.Engine.solve ~telemetry:tel ~reduction:Perf.Reduction.default spec
+      tracked
+  in
+  let full_answer = Perf.Engine.solve spec tracked in
+  let pooled_answer = Perf.Engine.solve spec pooled in
+  Alcotest.(check int) "quotient size"
+    (c.Models.Multiprocessor.n_processors + 1)
+    (counter tel "reduction.states_after");
+  if Float.abs (reduced_answer -. full_answer) > 1e-12 then
+    Alcotest.failf "reduced %.17g vs full %.17g" reduced_answer full_answer;
+  if Float.abs (reduced_answer -. pooled_answer) > 1e-10 then
+    Alcotest.failf "reduced %.17g vs pooled model %.17g" reduced_answer
+      pooled_answer
+
+(* Opt-out: config none must leave everything untouched, bit for bit. *)
+let test_opt_out_is_identity () =
+  let seed = 0xF00DL in
+  let m, labeling =
+    Models.Random_mrm.generate_labeled ~seed Models.Random_mrm.default
+  in
+  let phi, psi = masks labeling in
+  let time_bound, reward_bound = bounds ~seed m in
+  let solve = Perf.Engine.solve Perf.Engine.default in
+  let baseline =
+    Perf.Reduced.until_probabilities_via solve m ~phi ~psi ~time_bound
+      ~reward_bound
+  in
+  let tel = Telemetry.create () in
+  let off =
+    Perf.Reduction.until_probabilities_via ~config:Perf.Reduction.none
+      ~telemetry:tel solve m ~phi ~psi ~time_bound ~reward_bound
+  in
+  Alcotest.(check bool) "bit-identical" true (off = baseline);
+  Alcotest.(check int) "no runs recorded" 0 (counter tel "reduction.runs");
+  (* And the problem-level pipeline returns the problem itself. *)
+  let p = Models.Multiprocessor.tracked_performability
+      { Models.Multiprocessor.default with n_processors = 3 } ~t:10.0 ~r:20.0
+  in
+  Alcotest.(check bool) "apply none is physical identity" true
+    (Perf.Reduction.apply Perf.Reduction.none p == p)
+
+let suite =
+  ( "reduction",
+    [ QCheck_alcotest.to_alcotest pipeline_matches_baseline;
+      QCheck_alcotest.to_alcotest impulse_models_pass_through;
+      QCheck_alcotest.to_alcotest pool_dispatch_is_bit_identical;
+      QCheck_alcotest.to_alcotest joint_matrix_pool_is_bit_identical;
+      Alcotest.test_case "counting abstraction" `Quick
+        test_counting_abstraction;
+      Alcotest.test_case "pipeline hits counting abstraction" `Quick
+        test_pipeline_hits_counting_abstraction;
+      Alcotest.test_case "symmetric answers match" `Quick
+        test_symmetric_answers_match;
+      Alcotest.test_case "tracked multiprocessor collapses" `Quick
+        test_tracked_multiprocessor_collapses;
+      Alcotest.test_case "opt-out is identity" `Quick test_opt_out_is_identity
+    ] )
