@@ -738,13 +738,125 @@ let reduce _full =
   close_out oc;
   Printf.printf "updated BENCH_perf.json with the reduce section\n"
 
+(* The serving daemon's warm caches vs cold per-request services: the
+   20-query workload of `batch` sent as check requests.  Cold models
+   the per-query cost of shelling out to a fresh checker: every request
+   gets a fresh service (fresh registry and memo, cleared Fox-Glynn
+   windows).  Warm is the persistent daemon: one service answers the
+   workload twice and round 2 — where every query is a memo hit — is
+   timed.  Responses must be string-identical across all rounds (the
+   serving layer's bit-identity claim), and the warm round must clear a
+   2x floor (asserted again by validate_bench_json; in practice the
+   measured speedup is orders of magnitude).  Appends a "serve" section
+   to BENCH_perf.json. *)
+let serve _full =
+  heading "serve: warm persistent service vs cold per-request services";
+  let config =
+    { (Server.Service.default_config ~clock:monotonic_seconds ()) with
+      Server.Service.pool = !pool }
+  in
+  let fresh () =
+    let service = Server.Service.create config in
+    (match Server.Service.preload service [ "adhoc" ] with
+     | Ok () -> ()
+     | Error message ->
+       prerr_endline ("serve: " ^ message);
+       exit 1);
+    service
+  in
+  let envelope q =
+    { Server.Protocol.id = None;
+      request =
+        Server.Protocol.Check { model = "adhoc"; query = q; deadline_ms = None }
+    }
+  in
+  let run service q =
+    Io.Json.to_string (Server.Service.execute service (envelope q))
+  in
+  let n = List.length batch_queries in
+  let cold_responses, cold_seconds =
+    timed (fun () ->
+        List.map
+          (fun q ->
+            Numerics.Fox_glynn.cache_clear ();
+            run (fresh ()) q)
+          batch_queries)
+  in
+  Numerics.Fox_glynn.cache_clear ();
+  let service = fresh () in
+  let round1 = List.map (run service) batch_queries in
+  let warm_responses, warm_seconds =
+    timed (fun () -> List.map (run service) batch_queries)
+  in
+  let identical = round1 = cold_responses && warm_responses = cold_responses in
+  if not identical then begin
+    prerr_endline "serve: warm responses differ from cold single-shot responses";
+    exit 1
+  end;
+  let speedup = cold_seconds /. Float.max 1e-9 warm_seconds in
+  Printf.printf
+    "  %d queries  cold %s  warm round 2 %s (%d jobs)  speedup %.1fx  \
+     identical: %b\n"
+    n (Io.Table.seconds cold_seconds) (Io.Table.seconds warm_seconds) !jobs
+    speedup identical;
+  let stats =
+    Server.Service.execute service
+      { Server.Protocol.id = None; request = Server.Protocol.Stats }
+  in
+  let caches =
+    match Io.Json.member "models" stats with
+    | Some (Io.Json.List [ model ]) -> begin
+        match Io.Json.member "cache" model with
+        | Some (Io.Json.Object caches) -> caches
+        | _ -> prerr_endline "serve: stats carry no cache object"; exit 1
+      end
+    | _ -> prerr_endline "serve: stats carry no model entry"; exit 1
+  in
+  List.iter
+    (fun (name, cache) ->
+      let num key =
+        match Option.bind (Io.Json.member key cache) Io.Json.to_float with
+        | Some v -> v
+        | None -> 0.0
+      in
+      Printf.printf "  cache %-10s %3.0f lookups, %3.0f hits (%.0f%%)\n" name
+        (num "lookups") (num "hits")
+        (100.0 *. num "hit_rate"))
+    caches;
+  let serve_json =
+    Io.Json.Object
+      [ ("queries", Io.Json.Number (float_of_int n));
+        ("jobs", Io.Json.Number (float_of_int !jobs));
+        ("cold_seconds", Io.Json.Number cold_seconds);
+        ("warm_seconds", Io.Json.Number warm_seconds);
+        ("speedup", Io.Json.Number speedup);
+        ("identical", Io.Json.Bool identical);
+        ("caches", Io.Json.Object caches) ]
+  in
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "serve" fields
+       | _ | exception Io.Json.Parse_error _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("serve", serve_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the serve section\n"
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
-    ("perf", perf); ("batch", batch); ("reduce", reduce) ]
+    ("perf", perf); ("batch", batch); ("reduce", reduce); ("serve", serve) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -25,10 +25,13 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let require_batch = List.mem "--require-batch" args in
   let require_reduce = List.mem "--require-reduce" args in
+  let require_serve = List.mem "--require-serve" args in
   let path =
     match
       List.filter
-        (fun a -> a <> "--require-batch" && a <> "--require-reduce")
+        (fun a ->
+          a <> "--require-batch" && a <> "--require-reduce"
+          && a <> "--require-serve")
         args
     with
     | path :: _ -> path
@@ -193,5 +196,59 @@ let () =
       Printf.sprintf ", reduce %.0f -> %.0f states (speedup %.1fx)" states
         quotient (number "speedup" reduce)
   in
-  Printf.printf "%s: %d entries ok%s%s\n" path (List.length entries)
-    batch_summary reduce_summary
+  (* The serve section (written by `bench serve`): the warm persistent
+     service against cold per-request services on the same 20-query
+     workload.  Bit-identity of the responses is asserted exactly, and —
+     unlike the batch section — the speedup is gated: the warm round is
+     pure memo hits, so even a noisy CI machine clears the 2x floor with
+     orders of magnitude to spare. *)
+  let serve_summary =
+    match Io.Json.member "serve" doc with
+    | None ->
+      if require_serve then
+        fail "missing \"serve\" section (run `bench serve`)"
+      else ""
+    | Some serve ->
+      let sfail fmt = Printf.ksprintf (fun m -> fail "serve: %s" m) fmt in
+      let queries = number "queries" serve in
+      if not (Float.is_integer queries && queries >= 2.0) then
+        sfail "\"queries\" is not an integer >= 2 (%g)" queries;
+      (match Io.Json.member "identical" serve with
+       | Some (Io.Json.Bool true) -> ()
+       | Some (Io.Json.Bool false) ->
+         sfail "warm responses are NOT identical to cold single-shot runs"
+       | _ -> sfail "missing boolean \"identical\"");
+      List.iter
+        (fun key ->
+          let v = number key serve in
+          if not (Float.is_finite v && v >= 0.0) then
+            sfail "%S is not a non-negative number (%g)" key v)
+        [ "cold_seconds"; "warm_seconds"; "speedup" ];
+      if number "speedup" serve < 2.0 then
+        sfail "warm speedup %.2fx below the 2x floor" (number "speedup" serve);
+      let caches =
+        match Io.Json.member "caches" serve with
+        | Some (Io.Json.Object caches) when caches <> [] -> caches
+        | _ -> sfail "missing non-empty \"caches\" object"
+      in
+      let hits_total = ref 0.0 in
+      List.iter
+        (fun (name, cache) ->
+          let lookups = number "lookups" cache
+          and hits = number "hits" cache
+          and misses = number "misses" cache
+          and rate = number "hit_rate" cache in
+          if hits +. misses <> lookups then
+            sfail "cache %S: hits + misses <> lookups" name;
+          if rate < 0.0 || rate > 1.0 then
+            sfail "cache %S: hit_rate %g out of [0,1]" name rate;
+          hits_total := !hits_total +. hits)
+        caches;
+      (* Round 2 repeats round 1 verbatim: zero hits means the warm
+         path never touched the memo, i.e. the service is cold. *)
+      if !hits_total = 0.0 then sfail "no cache hits across the warm rounds";
+      Printf.sprintf ", serve %.0f queries (warm speedup %.1fx)" queries
+        (number "speedup" serve)
+  in
+  Printf.printf "%s: %d entries ok%s%s%s\n" path (List.length entries)
+    batch_summary reduce_summary serve_summary

@@ -5,87 +5,6 @@
      csrl-check --file station.mrm --engine erlang:256 'P=? ( F[t<=2] down )'
      csrl-check --model adhoc --list-propositions *)
 
-let builtin_models =
-  [ ("adhoc", "the paper's ad hoc network case study (9 states)");
-    ("adhoc-srn",
-     "the same model generated from its stochastic reward net");
-    ("multiprocessor", "Meyer-style degradable multiprocessor (5 states)");
-    ("multiprocessor-tracked",
-     "the same system with every processor tracked (16 states)");
-    ("cluster", "workstation cluster with switch and quorum (18 states)");
-    ("queue", "M/M/1/6 queue with server breakdowns (14 states)") ]
-
-let load_builtin name =
-  match name with
-  | "adhoc" ->
-    let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
-    Some (Models.Adhoc.mrm (), Models.Adhoc.labeling (), init)
-  | "adhoc-srn" ->
-    let m = Models.Adhoc_srn.mrm () in
-    let init = Linalg.Vec.unit (Markov.Mrm.n_states m) 0 in
-    Some (m, Models.Adhoc_srn.labeling (), init)
-  | "multiprocessor" ->
-    let c = Models.Multiprocessor.default in
-    let m = Models.Multiprocessor.mrm c in
-    let init =
-      Linalg.Vec.unit (Markov.Mrm.n_states m)
-        (Models.Multiprocessor.initial_state c)
-    in
-    Some (m, Models.Multiprocessor.labeling c, init)
-  | "multiprocessor-tracked" ->
-    let c = Models.Multiprocessor.default in
-    let m = Models.Multiprocessor.tracked_mrm c in
-    let init =
-      Linalg.Vec.unit (Markov.Mrm.n_states m)
-        (Models.Multiprocessor.tracked_initial_state c)
-    in
-    Some (m, Models.Multiprocessor.tracked_labeling c, init)
-  | "cluster" ->
-    let c = Models.Cluster.default in
-    let m = Models.Cluster.mrm c in
-    let init =
-      Linalg.Vec.unit (Markov.Mrm.n_states m) (Models.Cluster.initial_state c)
-    in
-    Some (m, Models.Cluster.labeling c, init)
-  | "queue" ->
-    let c = Models.Queue_srn.default in
-    let m = Models.Queue_srn.mrm c in
-    let init =
-      Linalg.Vec.unit (Markov.Mrm.n_states m)
-        (Models.Queue_srn.state_of c ~jobs:0 ~server_up:true)
-    in
-    Some (m, Models.Queue_srn.labeling c, init)
-  | _ -> None
-
-let parse_engine text =
-  match String.split_on_char ':' text with
-  | [ "sericola" ] | [ "occupation-time" ] -> Ok Perf.Engine.default
-  | [ ("sericola" | "occupation-time"); eps ] -> begin
-      match float_of_string_opt eps with
-      | Some e when e > 0.0 && e < 1.0 ->
-        Ok (Perf.Engine.Occupation_time { epsilon = e })
-      | _ -> Error "occupation-time needs an epsilon in (0,1)"
-    end
-  | [ "erlang" ] -> Ok (Perf.Engine.Pseudo_erlang { phases = 256 })
-  | [ "erlang"; k ] -> begin
-      match int_of_string_opt k with
-      | Some phases when phases >= 1 ->
-        Ok (Perf.Engine.Pseudo_erlang { phases })
-      | _ -> Error "erlang needs a positive phase count"
-    end
-  | [ "discretise" ] | [ "discretize" ] | [ "tijms-veldman" ] ->
-    Ok (Perf.Engine.Discretize { step = 1.0 /. 64.0 })
-  | [ ("discretise" | "discretize" | "tijms-veldman"); d ] -> begin
-      match float_of_string_opt d with
-      | Some step when step > 0.0 -> Ok (Perf.Engine.Discretize { step })
-      | _ -> Error "discretise needs a positive step"
-    end
-  | _ ->
-    Error
-      (Printf.sprintf
-         "unknown engine %S (try sericola[:eps], erlang[:k], discretise[:d])"
-         text)
-
 let print_states labeling mask_or_probs =
   let n = Markov.Labeling.n_states labeling in
   for s = 0 to n - 1 do
@@ -149,8 +68,10 @@ let parse_batch_file path =
     exit 2
   in
   let text =
-    try In_channel.with_open_text path In_channel.input_all
-    with Sys_error message -> fail message
+    if path = "-" then In_channel.input_all stdin
+    else
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error message -> fail message
   in
   let document =
     try Io.Json.of_string text
@@ -295,20 +216,24 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     | Some _ -> prerr_endline "--jobs needs a positive count"; exit 2
     | None -> 1
   in
+  if not (epsilon > 0.0 && epsilon < 1.0) then begin
+    prerr_endline "--epsilon needs a value in (0,1)";
+    exit 2
+  end;
   let document =
     match file, model_name with
     | Some path, _ ->
       let doc = Io.Mrm_format.parse_file path in
       (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling, doc.Io.Mrm_format.init)
     | None, name -> begin
-        match load_builtin name with
+        match Models.Builtin.load name with
         | Some triple -> triple
         | None ->
           prerr_endline
             (Printf.sprintf "unknown model %S; built-in models:" name);
           List.iter
             (fun (n, d) -> prerr_endline (Printf.sprintf "  %-16s %s" n d))
-            builtin_models;
+            Models.Builtin.all;
           exit 2
       end
   in
@@ -352,7 +277,7 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     | Some _, None -> None
   in
   let engine =
-    match parse_engine engine_text with
+    match Perf.Engine.of_string engine_text with
     | Ok e -> e
     | Error message -> prerr_endline message; exit 2
   in
@@ -444,7 +369,7 @@ let engine_arg =
   Arg.(value & opt string "sericola" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
 let epsilon_arg =
-  let doc = "Accuracy of transient analyses." in
+  let doc = "Accuracy of transient analyses (must be in (0,1))." in
   Arg.(value & opt float 1e-9 & info [ "epsilon" ] ~docv:"EPS" ~doc)
 
 let jobs_arg =
@@ -507,7 +432,8 @@ let batch_arg =
      Theorem 1 reductions, solved until-vectors, Fox-Glynn windows — is \
      computed once; answers are bit-identical to single-query runs.  \
      Results are printed as one JSON document with per-cache hit \
-     statistics."
+     statistics.  Pass $(b,-) to read the JSON document from standard \
+     input (for piping without temp files)."
   in
   Arg.(value & opt (some string) None & info [ "b"; "batch" ] ~docv:"FILE" ~doc)
 

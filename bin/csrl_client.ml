@@ -1,0 +1,84 @@
+(* csrl-client: minimal line client for a csrl-serve socket.
+
+   Reads NDJSON requests from stdin, sends them to the daemon in
+   lockstep (one request, one response) and prints each response line to
+   stdout — enough for shell sessions, cram tests and the CI smoke
+   check without needing netcat variants that speak SOCK_STREAM. *)
+
+let connect ~path ~timeout =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec attempt () =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.05;
+      attempt ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "csrl-client: cannot connect to %s: %s\n" path
+        (Unix.error_message err);
+      exit 1
+  in
+  attempt ()
+
+let run path timeout shutdown =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = connect ~path ~timeout in
+  let input = Unix.in_channel_of_descr fd in
+  let output = Unix.out_channel_of_descr fd in
+  let exchange line =
+    output_string output line;
+    output_char output '\n';
+    flush output;
+    match input_line input with
+    | response -> print_endline response
+    | exception End_of_file ->
+      prerr_endline "csrl-client: server closed the connection";
+      exit 1
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then exchange line
+     done
+   with End_of_file -> ());
+  if shutdown then exchange {|{"kind": "shutdown"}|};
+  close_out_noerr output;
+  close_in_noerr input
+
+open Cmdliner
+
+let connect_arg =
+  let doc = "Unix-domain socket path of the csrl-serve daemon." in
+  Arg.(required & opt (some string) None & info [ "c"; "connect" ] ~docv:"PATH" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Keep retrying the connection for up to $(docv) seconds while the \
+     daemon starts (default 10)."
+  in
+  Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let shutdown_arg =
+  let doc =
+    "After forwarding standard input, send a {\"kind\": \"shutdown\"} \
+     request (and print its acknowledgement) so the daemon exits."
+  in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let cmd =
+  let doc = "send NDJSON requests to a csrl-serve socket" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Forwards each non-blank line of standard input to the daemon and \
+         prints the daemon's response line, in lockstep.  With \
+         $(b,--shutdown) a shutdown request is appended after stdin is \
+         exhausted (run it with an empty stdin to just stop a daemon)." ]
+  in
+  Cmd.v
+    (Cmd.info "csrl-client" ~version:"1.0.0" ~doc ~man)
+    Term.(const run $ connect_arg $ timeout_arg $ shutdown_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,202 @@
+(* csrl-serve: persistent CSRL model-checking daemon.
+
+   Speaks the NDJSON protocol of lib/server on stdin/stdout (default) or
+   a Unix-domain socket (--socket PATH), keeping loaded models and their
+   solver caches warm across requests and connections.
+
+     csrl-serve --preload adhoc,cluster --socket /tmp/csrl.sock
+     csrl-client --connect /tmp/csrl.sock <<'EOF'
+     {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )"}
+     EOF *)
+
+let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let invalid message =
+  prerr_endline message;
+  exit 2
+
+let run socket jobs queue deadline engine_text epsilon no_reduce preload_text
+    trace stats =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid "--jobs needs a positive count"
+    | None -> 1
+  in
+  if queue < 1 then invalid "--queue needs a positive capacity";
+  (match deadline with
+   | Some ms when not (ms > 0.0) -> invalid "--deadline needs a positive budget in milliseconds"
+   | _ -> ());
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid "--epsilon needs a value in (0,1)";
+  let engine =
+    match Perf.Engine.of_string engine_text with
+    | Ok e -> e
+    | Error message -> invalid message
+  in
+  let preload_names =
+    match preload_text with
+    | None -> []
+    | Some text ->
+      String.split_on_char ',' text
+      |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
+  in
+  let telemetry =
+    if trace <> None || stats then
+      Some (Telemetry.create ~clock:monotonic_seconds ())
+    else None
+  in
+  let reduction =
+    if no_reduce then Perf.Reduction.none else Perf.Reduction.default
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Parallel.Pool.with_pool ~jobs @@ fun pool ->
+  (if trace <> None then
+     Option.iter
+       (fun tel -> Parallel.Pool.instrument pool (Telemetry.clock tel))
+       telemetry);
+  let config =
+    { (Server.Service.default_config ~clock:monotonic_seconds ()) with
+      Server.Service.engine;
+      epsilon;
+      reduction;
+      pool;
+      queue_bound = queue;
+      default_deadline_ms = deadline;
+      telemetry }
+  in
+  let server = Server.Service.create config in
+  (match Server.Service.preload server preload_names with
+   | Ok () -> ()
+   | Error message -> invalid ("--preload: " ^ message));
+  (match socket with
+   | Some path -> Server.Service.serve_socket server ~path
+   | None -> ignore (Server.Service.serve_stdio server));
+  Option.iter
+    (fun tel ->
+      Io.Trace.record_pool_stats tel pool;
+      (match trace with
+       | None -> ()
+       | Some path ->
+         let document =
+           Io.Json.Object
+             [ ("tool", Io.Json.String "csrl-serve");
+               ("jobs", Io.Json.Number (float_of_int jobs));
+               ("telemetry", Io.Trace.to_json tel) ]
+         in
+         Out_channel.with_open_text path (fun oc ->
+             output_string oc (Io.Json.to_string document);
+             output_char oc '\n'));
+      (* The protocol owns stdout; the deterministic counters go to
+         stderr so scripted sessions can still pin them. *)
+      if stats then Io.Trace.print_stats stderr tel)
+    telemetry
+
+open Cmdliner
+
+let socket_arg =
+  let doc =
+    "Serve on a Unix-domain socket bound at $(docv) (replacing a stale \
+     socket file), one connection at a time; model registry and solver \
+     caches persist across connections.  Without this flag the daemon \
+     serves a single session on stdin/stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Run the numerical kernels on $(docv) domains (default 1: the exact \
+     sequential code).  Requests are still executed one at a time, in \
+     admission order."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission queue capacity (default 64).  When the queue is full new \
+     requests are rejected immediately with an $(b,overloaded) error \
+     instead of blocking the connection."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Default per-request deadline in milliseconds for check and quantile \
+     requests (counted from admission; a request's own deadline_ms takes \
+     precedence).  Expired requests answer $(b,deadline_exceeded); the \
+     solvers abandon the work at their next cancellation checkpoint, \
+     leaving the warm caches unpoisoned."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let engine_arg =
+  let doc =
+    "Numerical engine for time- and reward-bounded until: sericola[:eps], \
+     erlang[:phases] or discretise[:step]."
+  in
+  Arg.(value & opt string "sericola" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let epsilon_arg =
+  let doc = "Accuracy of transient analyses (must be in (0,1))." in
+  Arg.(value & opt float 1e-9 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let no_reduce_arg =
+  let doc = "Disable the automatic quotient-and-prune reduction pipeline." in
+  Arg.(value & flag & info [ "no-reduce" ] ~doc)
+
+let preload_arg =
+  let doc =
+    "Comma-separated built-in models to load into the registry before \
+     serving (adhoc, adhoc-srn, multiprocessor, multiprocessor-tracked, \
+     cluster, queue)."
+  in
+  Arg.(value & opt (some string) None & info [ "preload" ] ~docv:"NAMES" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a JSON telemetry trace to $(docv) on exit: per-request serving \
+     spans (server.check, server.quantile, ...), queue-wait gauges, and \
+     the convergence counters of every numerical procedure run."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print the run's counters and gauges to standard error on exit (the \
+     deterministic subset of --trace; stdout stays reserved for the \
+     protocol)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let cmd =
+  let doc = "serve CSRL model-checking requests from a warm, persistent process" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "A long-running front-end over the same checking stack as \
+         $(b,csrl-check): clients send newline-delimited JSON requests \
+         (load/list/evict models, check CSRL queries, bisect quantiles, \
+         read serving stats, shut down) and receive one JSON response per \
+         line, in request order.  Answers are bit-identical to single-shot \
+         $(b,csrl-check) runs; repeated queries hit the per-model memo \
+         caches and the process-wide Fox-Glynn window cache.";
+      `S "PROTOCOL";
+      `P
+        "Requests: {\"kind\": \"load\", \"model\": NAME[, \"file\": PATH]}, \
+         {\"kind\": \"list\"}, {\"kind\": \"evict\", \"model\": NAME}, \
+         {\"kind\": \"check\", \"model\": NAME, \"query\": CSRL[, \
+         \"deadline_ms\": MS]}, {\"kind\": \"quantile\", \"model\": NAME, \
+         \"query\": CSRL, \"variable\": \"t\"|\"r\", \"target\": P, \
+         \"hi\": BOUND[, \"tolerance\": W][, \"deadline_ms\": MS]}, \
+         {\"kind\": \"stats\"}, {\"kind\": \"shutdown\"}.  Every request \
+         may carry an \"id\" string, echoed in its response." ]
+  in
+  Cmd.v
+    (Cmd.info "csrl-serve" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_arg $ deadline_arg
+      $ engine_arg $ epsilon_arg $ no_reduce_arg $ preload_arg $ trace_arg
+      $ stats_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -6,21 +6,23 @@ type t = {
   pool : Parallel.Pool.t;
   telemetry : Telemetry.t option;
   reduction : Perf.Reduction.config;
+  cancel : Numerics.Cancel.t option;
 }
 
 exception Unsupported of string
 
 let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
     ?(pool = Parallel.Pool.sequential) ?telemetry
-    ?(reduction = Perf.Reduction.default) mrm labeling =
+    ?(reduction = Perf.Reduction.default) ?cancel mrm labeling =
   if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
     invalid_arg "Checker.make: labeling and model sizes differ";
-  { mrm; labeling; engine; epsilon; pool; telemetry; reduction }
+  { mrm; labeling; engine; epsilon; pool; telemetry; reduction; cancel }
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
 let with_pool ctx pool = { ctx with pool }
 let with_telemetry ctx telemetry = { ctx with telemetry }
+let with_cancel ctx cancel = { ctx with cancel }
 
 (* ------------------------------------------------------------------ *)
 (* The cross-query memo.  Subformulas are hash-consed: structurally
@@ -138,7 +140,8 @@ let until_time_bounded ctx ~phi ~psi ~time_bound =
   let absorb = Array.init n (fun s -> psi.(s) || not phi.(s)) in
   let absorbed = Markov.Transform.make_absorbing chain ~absorb in
   Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
-    ?telemetry:ctx.telemetry absorbed ~goal:psi ~t:time_bound
+    ?telemetry:ctx.telemetry ?cancel:ctx.cancel absorbed ~goal:psi
+    ~t:time_bound
 
 (* ------------------------------------------------------------------ *)
 (* Until with a time interval [a, b] (or [a, inf)): the standard
@@ -164,7 +167,8 @@ let until_time_window ctx ~phi ~psi ~t_lo ~t_hi =
   in
   Array.map Numerics.Float_utils.clamp_prob
     (Markov.Transient.backward ~epsilon:ctx.epsilon ~pool:ctx.pool
-       ?telemetry:ctx.telemetry absorbed ~terminal ~t:t_lo)
+       ?telemetry:ctx.telemetry ?cancel:ctx.cancel absorbed ~terminal
+       ~t:t_lo)
 
 (* ------------------------------------------------------------------ *)
 (* Reward-bounded until (P2): duality transform, then P1 on the dual. *)
@@ -182,7 +186,7 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
   let dual = Markov.Duality.dual m' in
   let dual_probs =
     Markov.Transient.reachability_all ~epsilon:ctx.epsilon ~pool:ctx.pool
-      ?telemetry:ctx.telemetry (Markov.Mrm.ctmc dual)
+      ?telemetry:ctx.telemetry ?cancel:ctx.cancel (Markov.Mrm.ctmc dual)
       ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
   in
   Array.init n (fun s -> dual_probs.(reduced.Perf.Reduced.state_map.(s)))
@@ -191,7 +195,10 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
 (* Time- and reward-bounded until (P3): Theorem 1 + a Section 4 engine. *)
 
 let until_both_bounded memo ctx ~phi ~psi ~time_bound ~reward_bound =
-  let solve = Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry ctx.engine in
+  let solve =
+    Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry
+      ?cancel:ctx.cancel ctx.engine
+  in
   match memo with
   | None ->
     (* The quotient-and-prune pipeline sits between the Theorem 1

@@ -30,7 +30,7 @@ exception Unsupported of string
 val make :
   ?engine:Perf.Engine.spec -> ?epsilon:float -> ?pool:Parallel.Pool.t ->
   ?telemetry:Telemetry.t -> ?reduction:Perf.Reduction.config ->
-  Markov.Mrm.t -> Markov.Labeling.t -> t
+  ?cancel:Numerics.Cancel.t -> Markov.Mrm.t -> Markov.Labeling.t -> t
 (** [engine] (default {!Perf.Engine.default}) solves the [P3] problems;
     [epsilon] (default [1e-9]) is the accuracy of transient analyses;
     [pool] (default sequential) runs the numerical kernels — transient
@@ -55,7 +55,15 @@ val make :
     the whole traversal in a [checker.eval_query] span.  Telemetry only
     observes the computation: with it disabled (or enabled) all computed
     values are identical, bit for bit (the CLI's [--trace] /
-    [--stats]). *)
+    [--stats]).
+
+    [cancel] (default none) threads a cooperative cancellation token
+    into every numerical kernel the traversal dispatches to; a fired
+    token aborts the evaluation with {!Numerics.Cancel.Cancelled}
+    between two checkpoints (uniformisation step, Sericola layer,
+    discretisation time step), before any memo stores the partial
+    result, so caches are never poisoned.  An unfired token never
+    changes a value (the serving daemon's per-request deadline). *)
 
 val mrm : t -> Markov.Mrm.t
 val labeling : t -> Markov.Labeling.t
@@ -71,6 +79,11 @@ val with_telemetry : t -> Telemetry.t option -> t
 (** The same context with a different (or no) recorder — used by the
     batch engine to give each query a private recorder that is then
     rolled up with [Telemetry.absorb]. *)
+
+val with_cancel : t -> Numerics.Cancel.t option -> t
+(** The same context with a different (or no) cancellation token — the
+    serving daemon installs a fresh per-request deadline token on the
+    shared warm context before each evaluation. *)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-query memoisation.                                            *)

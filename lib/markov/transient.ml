@@ -12,7 +12,8 @@ let check_init c init =
    iteration map is non-expansive, so a tiny single-step movement signals
    (but does not prove) stationarity; thresholds well below the accuracy
    target make the error negligible in practice. *)
-let series ?stationary_detection ?telemetry ~epsilon ~q ~start ~step () =
+let series ?stationary_detection ?telemetry ?cancel ~epsilon ~q ~start ~step
+    () =
   let n = Array.length start in
   let fg = Numerics.Fox_glynn.compute ~q ~epsilon in
   Numerics.Fox_glynn.record telemetry fg;
@@ -24,6 +25,7 @@ let series ?stationary_detection ?telemetry ~epsilon ~q ~start ~step () =
   let finished = ref false in
   let index = ref 0 in
   while not !finished do
+    Numerics.Cancel.check cancel;
     let w = Numerics.Fox_glynn.weight fg !index in
     if w > 0.0 then begin
       Linalg.Vec.axpy ~alpha:w ~x:!v ~y:result;
@@ -50,35 +52,38 @@ let series ?stationary_detection ?telemetry ~epsilon ~q ~start ~step () =
   result
 
 let distribution ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool
-    ?telemetry c ~init ~t =
+    ?telemetry ?cancel c ~init ~t =
   check_init c init;
   if t < 0.0 then invalid_arg "Transient.distribution: negative time";
   if t = 0.0 then Linalg.Vec.copy init
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
     Telemetry.record telemetry "uniformisation.rate" lambda;
-    series ?stationary_detection ?telemetry ~epsilon ~q:(lambda *. t)
-      ~start:init
+    series ?stationary_detection ?telemetry ?cancel ~epsilon
+      ~q:(lambda *. t) ~start:init
       ~step:(fun v out -> Linalg.Csr.vec_mul_into ?pool v p out)
       ()
   end
 
-let distribution_many ?epsilon ?rate ?pool ?telemetry c ~init ~times =
+let distribution_many ?epsilon ?rate ?pool ?telemetry ?cancel c ~init ~times
+    =
   List.map
-    (fun t -> (t, distribution ?epsilon ?rate ?pool ?telemetry c ~init ~t))
+    (fun t ->
+      (t, distribution ?epsilon ?rate ?pool ?telemetry ?cancel c ~init ~t))
     times
 
-let reachability ?epsilon ?stationary_detection ?pool ?telemetry c ~init
-    ~goal ~t =
+let reachability ?epsilon ?stationary_detection ?pool ?telemetry ?cancel c
+    ~init ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability: goal has the wrong length";
   let pi =
-    distribution ?epsilon ?stationary_detection ?pool ?telemetry c ~init ~t
+    distribution ?epsilon ?stationary_detection ?pool ?telemetry ?cancel c
+      ~init ~t
   in
   Numerics.Float_utils.clamp_prob (Linalg.Vec.masked_sum pi goal)
 
 let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool ?telemetry
-    c ~terminal ~t =
+    ?cancel c ~terminal ~t =
   if Array.length terminal <> Ctmc.n_states c then
     invalid_arg "Transient.backward: terminal vector has the wrong length";
   if t < 0.0 then invalid_arg "Transient.backward: negative time";
@@ -86,19 +91,19 @@ let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool ?telemetry
   else begin
     let lambda, p = Ctmc.uniformized ?rate c in
     Telemetry.record telemetry "uniformisation.rate" lambda;
-    series ?stationary_detection ?telemetry ~epsilon ~q:(lambda *. t)
-      ~start:terminal
+    series ?stationary_detection ?telemetry ?cancel ~epsilon
+      ~q:(lambda *. t) ~start:terminal
       ~step:(fun v out -> Linalg.Csr.mul_vec_into ?pool p v out)
       ()
   end
 
-let reachability_all ?epsilon ?rate ?stationary_detection ?pool ?telemetry c
-    ~goal ~t =
+let reachability_all ?epsilon ?rate ?stationary_detection ?pool ?telemetry
+    ?cancel c ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability_all: goal has the wrong length";
   let terminal = Array.map (fun b -> if b then 1.0 else 0.0) goal in
   Array.map Numerics.Float_utils.clamp_prob
-    (backward ?epsilon ?rate ?stationary_detection ?pool ?telemetry c
+    (backward ?epsilon ?rate ?stationary_detection ?pool ?telemetry ?cancel c
        ~terminal ~t)
 
 let steps_for ?rate c ~t ~epsilon =

@@ -29,11 +29,17 @@
     [uniformisation.stationary_cutoffs], and the gauges
     [uniformisation.q] and [uniformisation.rate].  Recording only
     observes the computation, so results are identical with and without
-    it. *)
+    it.
+
+    All solvers accept [?cancel]: the token is polled once per
+    uniformisation step, so a fired token aborts the series with
+    {!Numerics.Cancel.Cancelled} within one matrix–vector product.  An
+    unfired token never changes a result. *)
 
 val distribution :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  ?cancel:Numerics.Cancel.t -> Ctmc.t ->
   init:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [distribution c ~init ~t] is the state distribution at time [t >= 0]
     starting from distribution [init].  [epsilon] (default [1e-12]) bounds
@@ -43,14 +49,14 @@ val distribution :
 
 val distribution_many :
   ?epsilon:float -> ?rate:float -> ?pool:Parallel.Pool.t ->
-  ?telemetry:Telemetry.t -> Ctmc.t ->
+  ?telemetry:Telemetry.t -> ?cancel:Numerics.Cancel.t -> Ctmc.t ->
   init:Linalg.Vec.t -> times:float list -> (float * Linalg.Vec.t) list
 (** Transient distributions at several time points (times may be
     unsorted). *)
 
 val reachability :
   ?epsilon:float -> ?stationary_detection:float -> ?pool:Parallel.Pool.t ->
-  ?telemetry:Telemetry.t ->
+  ?telemetry:Telemetry.t -> ?cancel:Numerics.Cancel.t ->
   Ctmc.t -> init:Linalg.Vec.t -> goal:bool array -> t:float -> float
 (** Probability mass accumulated in the [goal] set at time [t]; the goal
     states are assumed absorbing by the caller (the P1 recipe of the
@@ -59,7 +65,8 @@ val reachability :
 
 val backward :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  ?cancel:Numerics.Cancel.t -> Ctmc.t ->
   terminal:Linalg.Vec.t -> t:float -> Linalg.Vec.t
 (** [backward c ~terminal ~t] is the backward pass
     [sum_n poi(lambda t, n) P^n terminal]: entry [s] is the expectation of
@@ -69,7 +76,8 @@ val backward :
 
 val reachability_all :
   ?epsilon:float -> ?rate:float -> ?stationary_detection:float ->
-  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> Ctmc.t ->
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  ?cancel:Numerics.Cancel.t -> Ctmc.t ->
   goal:bool array -> t:float -> Linalg.Vec.t
 (** Backward uniformisation: entry [s] is the probability of sitting in the
     [goal] set at time [t] when starting from state [s] — i.e. one column

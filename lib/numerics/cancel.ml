@@ -1,0 +1,20 @@
+exception Cancelled of string
+
+type t = { reason : string; test : unit -> bool }
+
+let create ?(reason = "cancelled") test = { reason; test }
+
+let of_deadline ?(reason = "deadline exceeded") ~clock deadline =
+  { reason; test = (fun () -> clock () >= deadline) }
+
+let manual ?reason () =
+  let fired = Atomic.make false in
+  let token = create ?reason (fun () -> Atomic.get fired) in
+  (token, fun () -> Atomic.set fired true)
+
+let cancelled t = t.test ()
+let reason t = t.reason
+
+let check = function
+  | None -> ()
+  | Some t -> if t.test () then raise (Cancelled t.reason)

@@ -1,0 +1,48 @@
+(** Cooperative cancellation tokens for long-running numerical kernels.
+
+    A token is a cheap predicate the hot loops poll at coarse checkpoints
+    — once per uniformisation step, per Sericola layer, per
+    discretisation time step — so a caller with a deadline (the serving
+    daemon's per-request budget) can abandon a solve within one
+    checkpoint interval instead of waiting for convergence.
+
+    Design rules, matching {!Telemetry}'s:
+
+    - {b Optional everywhere.}  Kernels take [?cancel:Cancel.t]; the
+      checkpoint entry point {!check} accepts the option directly and is
+      a single branch on [None], so the disabled path is free.
+    - {b Never numerical.}  A token either lets the computation run to
+      its unchanged completion or aborts it with {!Cancelled}; it can
+      never alter a computed value.
+    - {b Thread-agnostic.}  The predicate is read-only from the
+      kernel's point of view; deadline tokens poll an injected clock,
+      and manual tokens flip one mutable flag, so a token may be
+      triggered from another thread or domain. *)
+
+exception Cancelled of string
+(** Raised by {!check} when the token has fired; the payload is the
+    token's reason (e.g. ["deadline exceeded"]). *)
+
+type t
+
+val create : ?reason:string -> (unit -> bool) -> t
+(** [create test] fires whenever [test ()] returns [true].  [reason]
+    (default ["cancelled"]) becomes the {!Cancelled} payload. *)
+
+val of_deadline : ?reason:string -> clock:(unit -> float) -> float -> t
+(** [of_deadline ~clock d] fires once [clock () >= d].  [reason]
+    defaults to ["deadline exceeded"]. *)
+
+val manual : ?reason:string -> unit -> t * (unit -> unit)
+(** A token plus the trigger that fires it — for tests and for callers
+    cancelling on an external event rather than a clock. *)
+
+val cancelled : t -> bool
+(** Polls the token without raising. *)
+
+val reason : t -> string
+
+val check : t option -> unit
+(** The checkpoint: a no-op on [None] or an unfired token, raises
+    {!Cancelled} otherwise.  Kernels call this at the top of each outer
+    iteration. *)

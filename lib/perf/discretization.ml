@@ -12,7 +12,8 @@ let integral_steps ~what ~step value =
          value step);
   int_of_float rounded
 
-let solve ?(pool = Parallel.Pool.sequential) ?telemetry ~step (p : Problem.t) =
+let solve ?(pool = Parallel.Pool.sequential) ?telemetry ?cancel ~step
+    (p : Problem.t) =
   let d = step in
   if not (d > 0.0 && Float.is_finite d) then
     invalid_arg "Discretization.solve: step must be positive";
@@ -88,6 +89,7 @@ let solve ?(pool = Parallel.Pool.sequential) ?telemetry ~step (p : Problem.t) =
     done
   in
   for _j = 2 to t_steps do
+    Numerics.Cancel.check cancel;
     Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:n
       (advance !cur !next);
     let tmp = !cur in

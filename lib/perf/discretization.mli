@@ -22,8 +22,8 @@
     have positive reward (the case study) the two conventions coincide. *)
 
 val solve :
-  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t -> step:float ->
-  Problem.t -> float
+  ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  ?cancel:Numerics.Cancel.t -> step:float -> Problem.t -> float
 (** [solve ~step p] runs the scheme with step size [d = step].
 
     [telemetry] records the gauge [discretisation.step] and the counters
@@ -39,6 +39,10 @@ val solve :
     This loop is the repo's heaviest kernel at fine steps
     ([O(|S| * r/d)] work per time step, [t/d] steps) and the primary
     beneficiary of [--jobs].
+
+    [cancel] is polled once per time step, so a fired token aborts with
+    {!Numerics.Cancel.Cancelled} within one grid sweep.  An unfired token
+    never changes a result.
 
     Raises [Invalid_argument] if a reward is not (within [1e-9] of) a
     natural number, if [d] does not evenly divide the time bound and the

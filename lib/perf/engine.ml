@@ -10,7 +10,7 @@ let name = function
   | Discretize _ -> "discretisation"
   | Occupation_time _ -> "occupation-time"
 
-let solve ?pool ?telemetry ?reduction spec (p : Problem.t) =
+let solve ?pool ?telemetry ?reduction ?cancel spec (p : Problem.t) =
   Telemetry.with_span telemetry ("engine." ^ name spec) @@ fun () ->
   let p =
     match reduction with
@@ -18,15 +18,44 @@ let solve ?pool ?telemetry ?reduction spec (p : Problem.t) =
     | Some config -> Reduction.apply ?telemetry config p
   in
   if Problem.reward_trivially_satisfied p then
-    Markov.Transient.reachability ?pool ?telemetry
+    Markov.Transient.reachability ?pool ?telemetry ?cancel
       (Markov.Mrm.ctmc p.Problem.mrm)
       ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
   else
     match spec with
-    | Pseudo_erlang { phases } -> Erlang_approx.solve ?pool ?telemetry ~phases p
-    | Discretize { step } -> Discretization.solve ?pool ?telemetry ~step p
+    | Pseudo_erlang { phases } ->
+      Erlang_approx.solve ?pool ?telemetry ?cancel ~phases p
+    | Discretize { step } ->
+      Discretization.solve ?pool ?telemetry ?cancel ~step p
     | Occupation_time { epsilon } ->
-      Sericola.solve ~epsilon ?pool ?telemetry p
+      Sericola.solve ~epsilon ?pool ?telemetry ?cancel p
+
+let of_string text =
+  match String.split_on_char ':' text with
+  | [ "sericola" ] | [ "occupation-time" ] -> Ok default
+  | [ ("sericola" | "occupation-time"); eps ] -> begin
+      match float_of_string_opt eps with
+      | Some e when e > 0.0 && e < 1.0 -> Ok (Occupation_time { epsilon = e })
+      | _ -> Error "occupation-time needs an epsilon in (0,1)"
+    end
+  | [ "erlang" ] -> Ok (Pseudo_erlang { phases = 256 })
+  | [ "erlang"; k ] -> begin
+      match int_of_string_opt k with
+      | Some phases when phases >= 1 -> Ok (Pseudo_erlang { phases })
+      | _ -> Error "erlang needs a positive phase count"
+    end
+  | [ "discretise" ] | [ "discretize" ] | [ "tijms-veldman" ] ->
+    Ok (Discretize { step = 1.0 /. 64.0 })
+  | [ ("discretise" | "discretize" | "tijms-veldman"); d ] -> begin
+      match float_of_string_opt d with
+      | Some step when step > 0.0 -> Ok (Discretize { step })
+      | _ -> Error "discretise needs a positive step"
+    end
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown engine %S (try sericola[:eps], erlang[:k], discretise[:d])"
+         text)
 
 let pp_spec ppf = function
   | Pseudo_erlang { phases } -> Format.fprintf ppf "pseudo-erlang(k=%d)" phases

@@ -19,7 +19,8 @@ val name : spec -> string
 
 val solve :
   ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
-  ?reduction:Reduction.config -> spec -> Problem.t -> float
+  ?reduction:Reduction.config -> ?cancel:Numerics.Cancel.t ->
+  spec -> Problem.t -> float
 (** [Pr{Y_t <= r, X_t in goal}] with the chosen procedure.  Problems whose
     reward bound can never be exceeded short-circuit to plain transient
     analysis (this also covers the corner cases the individual engines
@@ -42,6 +43,19 @@ val solve :
     procedure, so a single run yields the per-method convergence
     measurements ([fox_glynn.*], [uniformisation.*], [sericola.*],
     [discretisation.*], [erlang.*]) documented in the respective
-    modules. *)
+    modules.
+
+    [cancel] is threaded to the chosen procedure's cooperative
+    checkpoints (per uniformisation step / Sericola layer /
+    discretisation time step); a fired token aborts the solve with
+    {!Numerics.Cancel.Cancelled} without touching any cache, an unfired
+    one never changes a result. *)
+
+val of_string : string -> (spec, string) result
+(** Parse the CLI syntax shared by every front-end ([csrl-check]'s and
+    [csrl-serve]'s [--engine]): [sericola[:eps]] (alias
+    [occupation-time]), [erlang[:phases]], [discretise[:step]] (aliases
+    [discretize], [tijms-veldman]).  The error is a one-line human
+    message. *)
 
 val pp_spec : Format.formatter -> spec -> unit

@@ -35,7 +35,8 @@ let expanded_ctmc (p : Problem.t) ~phases =
     (Markov.Mrm.rewards m);
   Markov.Ctmc.of_transitions ~n:(sink + 1) !triples
 
-let solve ?(epsilon = 1e-12) ?pool ?telemetry ~phases (p : Problem.t) =
+let solve ?(epsilon = 1e-12) ?pool ?telemetry ?cancel ~phases
+    (p : Problem.t) =
   let chain = expanded_ctmc p ~phases in
   let n = Markov.Mrm.n_states p.Problem.mrm in
   let total = (n * phases) + 1 in
@@ -51,5 +52,5 @@ let solve ?(epsilon = 1e-12) ?pool ?telemetry ~phases (p : Problem.t) =
           goal.((s * phases) + i) <- true
         done)
     p.Problem.goal;
-  Markov.Transient.reachability ~epsilon ?pool ?telemetry chain ~init ~goal
-    ~t:p.Problem.time_bound
+  Markov.Transient.reachability ~epsilon ?pool ?telemetry ?cancel chain
+    ~init ~goal ~t:p.Problem.time_bound

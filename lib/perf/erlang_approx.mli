@@ -23,14 +23,15 @@ val expanded_ctmc : Problem.t -> phases:int -> Markov.Ctmc.t
 
 val solve :
   ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
-  phases:int -> Problem.t -> float
+  ?cancel:Numerics.Cancel.t -> phases:int -> Problem.t -> float
 (** [solve ~phases p] runs transient analysis on the expanded chain
     ([epsilon], default [1e-12], is the uniformisation truncation error);
     [pool] parallelises the uniformisation steps on the [|S| * k + 1]-state
     chain (see {!Markov.Transient}).  [telemetry] records the gauges
     [erlang.phases] and [erlang.expanded_states] (the size of the
     expansion) plus the [fox_glynn.*] / [uniformisation.*] measurements of
-    the embedded transient solve.
+    the embedded transient solve.  [cancel] is polled once per
+    uniformisation step of the expanded chain (see {!Markov.Transient}).
     Raises [Invalid_argument] if [phases < 1] or if the problem's reward
     bound is zero (the Erlang distribution then degenerates).  A problem
     whose reward bound is unreachable ([rho_max * t <= r]) is still

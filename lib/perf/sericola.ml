@@ -21,6 +21,7 @@ type context = {
   level_of_state : int array;        (* index of rho(s) in levels *)
   p : Linalg.Csr.t;                  (* uniformised DTMC *)
   pool : Parallel.Pool.t;
+  cancel : Numerics.Cancel.t option;
 }
 
 (* A block row is w multiply-adds per stored entry, so a modest number of
@@ -84,6 +85,7 @@ let run_layers ctx ~g ~max_layer ~consume =
   done;
   consume 0 (fun h k -> c_store.(0).(h).(k)) png;
   for layer = 1 to max_layer do
+    Numerics.Cancel.check ctx.cancel;
     let prev = c_store.((layer + 1) land 1) in
     let cur = c_store.(layer land 1) in
     (* png <- P png *)
@@ -152,7 +154,7 @@ let run_layers ctx ~g ~max_layer ~consume =
     consume layer (fun h k -> cur.(h).(k)) png
   done
 
-let make_context ?(pool = Parallel.Pool.sequential) mrm ~width =
+let make_context ?(pool = Parallel.Pool.sequential) ?cancel mrm ~width =
   let chain = Markov.Mrm.ctmc mrm in
   let n = Markov.Mrm.n_states mrm in
   let levels = Markov.Mrm.reward_levels mrm in
@@ -175,7 +177,7 @@ let make_context ?(pool = Parallel.Pool.sequential) mrm ~width =
   in
   let _lambda, p = Markov.Ctmc.uniformized chain in
   { n_states = n; width; n_bands = Array.length levels - 1; levels;
-    level_of_state; p; pool }
+    level_of_state; p; pool; cancel }
 
 let select_band levels ~ratio =
   (* Largest h in 1..m with levels.(h-1) <= ratio < levels.(h); the caller
@@ -203,7 +205,8 @@ let record_recursion telemetry ~ctx ~max_layer =
     * ((max_layer + 1) * (max_layer + 2) / 2));
   Telemetry.record telemetry "sericola.bands" (float_of_int ctx.n_bands)
 
-let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t) =
+let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry ?cancel
+    (p : Problem.t) =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve" mrm;
   let chain = Markov.Mrm.ctmc mrm in
@@ -215,7 +218,7 @@ let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t) =
   if m = 0 || ratio >= levels.(m) then begin
     (* The reward bound cannot be exceeded: Pr{Y_t > r} = 0. *)
     let transient_mass =
-      Markov.Transient.reachability ~epsilon ?pool ?telemetry chain
+      Markov.Transient.reachability ~epsilon ?pool ?telemetry ?cancel chain
         ~init:p.Problem.init ~goal:p.Problem.goal ~t
     in
     { probability = transient_mass; steps = 0; band = 0; x = 0.0;
@@ -224,7 +227,7 @@ let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t) =
   else begin
     let h = select_band levels ~ratio in
     let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
-    let ctx = make_context ?pool mrm ~width:1 in
+    let ctx = make_context ?pool ?cancel mrm ~width:1 in
     let rate =
       let m = Markov.Ctmc.max_exit_rate chain in
       if m > 0.0 then m else 1.0
@@ -278,10 +281,10 @@ let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t) =
     { probability; steps = max_layer; band = h; x; transient_mass; tail_mass }
   end
 
-let solve ?epsilon ?pool ?telemetry p =
-  (solve_detailed ?epsilon ?pool ?telemetry p).probability
+let solve ?epsilon ?pool ?telemetry ?cancel p =
+  (solve_detailed ?epsilon ?pool ?telemetry ?cancel p).probability
 
-let solve_many ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t)
+let solve_many ?(epsilon = 1e-12) ?pool ?telemetry ?cancel (p : Problem.t)
     ~reward_bounds =
   let mrm = p.Problem.mrm in
   reject_impulses "Sericola.solve_many" mrm;
@@ -313,13 +316,13 @@ let solve_many ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t)
       reward_bounds
   in
   let transient_mass =
-    Markov.Transient.reachability ~epsilon ?pool ?telemetry chain
+    Markov.Transient.reachability ~epsilon ?pool ?telemetry ?cancel chain
       ~init:p.Problem.init ~goal:p.Problem.goal ~t
   in
   if Array.for_all (( = ) None) positions then
     Array.make n_bounds transient_mass
   else begin
-    let ctx = make_context ?pool mrm ~width:1 in
+    let ctx = make_context ?pool ?cancel mrm ~width:1 in
     let rate =
       let mx = Markov.Ctmc.max_exit_rate chain in
       if mx > 0.0 then mx else 1.0
@@ -371,7 +374,7 @@ let solve_many ?(epsilon = 1e-12) ?pool ?telemetry (p : Problem.t)
       positions
   end
 
-let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry mrm ~t ~r =
+let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry ?cancel mrm ~t ~r =
   reject_impulses "Sericola.joint_matrix" mrm;
   if not (t > 0.0) then invalid_arg "Sericola.joint_matrix: t must be > 0";
   if r < 0.0 then invalid_arg "Sericola.joint_matrix: r must be >= 0";
@@ -383,7 +386,7 @@ let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry mrm ~t ~r =
   else begin
     let h = select_band levels ~ratio in
     let x = (r -. (levels.(h - 1) *. t)) /. ((levels.(h) -. levels.(h - 1)) *. t) in
-    let ctx = make_context ?pool mrm ~width:n in
+    let ctx = make_context ?pool ?cancel mrm ~width:n in
     let chain = Markov.Mrm.ctmc mrm in
     let rate =
       let mx = Markov.Ctmc.max_exit_rate chain in

@@ -34,7 +34,7 @@ type detail = {
 
 val solve_detailed :
   ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
-  Problem.t -> detail
+  ?cancel:Numerics.Cancel.t -> Problem.t -> detail
 (** [epsilon] (default [1e-12]) is the Poisson truncation error bound.
     [pool] parallelises the layer recursion across its domains: the block
     products and the per-state band interpolation partition the state
@@ -49,16 +49,22 @@ val solve_detailed :
     Poisson mass left out by the truncation — an a-posteriori bound on the
     series error, always at most the requested [epsilon]), plus the
     [fox_glynn.*] and [uniformisation.*] measurements of the embedded
-    transient solve.  Recording only observes the computation. *)
+    transient solve.  Recording only observes the computation.
+
+    [cancel] is polled once per layer of the [C(h,n,k)] recursion (and
+    once per step of the embedded transient solve), so a fired token
+    aborts with {!Numerics.Cancel.Cancelled} within one layer.  An
+    unfired token never changes a result. *)
 
 val solve :
   ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
-  Problem.t -> float
+  ?cancel:Numerics.Cancel.t -> Problem.t -> float
 (** Just the probability. *)
 
 val solve_many :
   ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
-  Problem.t -> reward_bounds:float array -> float array
+  ?cancel:Numerics.Cancel.t -> Problem.t -> reward_bounds:float array ->
+  float array
 (** [solve_many p ~reward_bounds] evaluates [Pr{Y_t <= r_i, X_t in S'}]
     for every bound in one pass: the [C(h,n,k)] recursion is independent
     of [r], so the whole performability {e distribution curve} (Meyer's
@@ -68,6 +74,7 @@ val solve_many :
 
 val joint_matrix :
   ?epsilon:float -> ?pool:Parallel.Pool.t -> ?telemetry:Telemetry.t ->
+  ?cancel:Numerics.Cancel.t ->
   Markov.Mrm.t -> t:float -> r:float -> float array array
 (** [joint_matrix m ~t ~r] is the full matrix [H(t,r)] with
     [H.(i).(j) = Pr{Y_t > r, X_t = j | X_0 = i}].  Requires [t > 0] and

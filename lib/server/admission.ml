@@ -1,0 +1,34 @@
+type 'a t = {
+  bound : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~bound =
+  if bound < 1 then invalid_arg "Admission.create: bound must be >= 1";
+  { bound; items = Queue.create (); lock = Mutex.create ();
+    nonempty = Condition.create () }
+
+let try_push q x =
+  Mutex.protect q.lock (fun () ->
+      if Queue.length q.items >= q.bound then false
+      else begin
+        Queue.push x q.items;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let push_control q x =
+  Mutex.protect q.lock (fun () ->
+      Queue.push x q.items;
+      Condition.signal q.nonempty)
+
+let pop q =
+  Mutex.protect q.lock (fun () ->
+      while Queue.is_empty q.items do
+        Condition.wait q.nonempty q.lock
+      done;
+      Queue.pop q.items)
+
+let length q = Mutex.protect q.lock (fun () -> Queue.length q.items)

@@ -1,0 +1,30 @@
+(** The bounded admission queue between a session's reader thread and
+    its executor.
+
+    The reader admits work with {!try_push}, which refuses instead of
+    blocking when the queue is full — the server turns a refusal into a
+    structured [overloaded] rejection, so a flooded daemon sheds load
+    instead of buffering unboundedly or stalling the transport.  Control
+    markers (end-of-input) use {!push_control}, which ignores the bound:
+    they carry no payload work and must never be dropped.
+
+    One lock, one condition: the queue is strictly FIFO, which is what
+    makes the server's response order (and therefore its scripted cram
+    sessions) deterministic. *)
+
+type 'a t
+
+val create : bound:int -> 'a t
+(** [bound >= 1] is the maximum number of queued items {!try_push}
+    admits.  Raises [Invalid_argument] otherwise. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue, or return [false] when {!length} is already at the bound. *)
+
+val push_control : 'a t -> 'a -> unit
+(** Enqueue unconditionally (control markers only). *)
+
+val pop : 'a t -> 'a
+(** Dequeue the oldest item, blocking while the queue is empty. *)
+
+val length : 'a t -> int

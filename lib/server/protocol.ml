@@ -1,0 +1,180 @@
+type variable = Time | Reward
+
+type request =
+  | Load of { model : string; file : string option }
+  | Evict of { model : string }
+  | List_models
+  | Check of { model : string; query : string; deadline_ms : float option }
+  | Quantile of {
+      model : string;
+      query : string;
+      variable : variable;
+      target : float;
+      hi : float;
+      tolerance : float;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Shutdown
+
+type envelope = { id : string option; request : request }
+
+type error = { code : string; message : string; error_id : string option }
+
+let kind_of = function
+  | Load _ -> "load"
+  | Evict _ -> "evict"
+  | List_models -> "list"
+  | Check _ -> "check"
+  | Quantile _ -> "quantile"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let error ?id ~code message = { code; message; error_id = id }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  All failures funnel into [error]; nothing raises.         *)
+
+exception Reject of error
+
+let reject ?id code message = raise (Reject (error ?id ~code message))
+
+let text_member key json = Option.bind (Io.Json.member key json) Io.Json.to_text
+let num_member key json = Option.bind (Io.Json.member key json) Io.Json.to_float
+
+let required_text ?id json key =
+  match Io.Json.member key json with
+  | Some (Io.Json.String s) -> s
+  | Some _ -> reject ?id "bad_request" (Printf.sprintf "%S must be a string" key)
+  | None -> reject ?id "bad_request" (Printf.sprintf "missing %S" key)
+
+let required_num ?id json key =
+  match Io.Json.member key json with
+  | Some (Io.Json.Number v) -> v
+  | Some _ -> reject ?id "bad_request" (Printf.sprintf "%S must be a number" key)
+  | None -> reject ?id "bad_request" (Printf.sprintf "missing %S" key)
+
+let deadline_of ?id json =
+  match Io.Json.member "deadline_ms" json with
+  | None -> None
+  | Some (Io.Json.Number v) when v > 0.0 && Float.is_finite v -> Some v
+  | Some _ -> reject ?id "bad_request" "\"deadline_ms\" must be a positive number"
+
+let of_json json =
+  match json with
+  | Io.Json.Object _ -> begin
+      try
+        let id =
+          match Io.Json.member "id" json with
+          | None -> None
+          | Some (Io.Json.String s) -> Some s
+          | Some _ -> reject "bad_request" "\"id\" must be a string"
+        in
+        let request =
+          match text_member "kind" json with
+          | None -> reject ?id "bad_request" "missing \"kind\""
+          | Some "load" ->
+            Load { model = required_text ?id json "model";
+                   file = text_member "file" json }
+          | Some "evict" -> Evict { model = required_text ?id json "model" }
+          | Some "list" -> List_models
+          | Some "check" ->
+            Check { model = required_text ?id json "model";
+                    query = required_text ?id json "query";
+                    deadline_ms = deadline_of ?id json }
+          | Some "quantile" ->
+            let variable =
+              match required_text ?id json "variable" with
+              | "t" -> Time
+              | "r" -> Reward
+              | other ->
+                reject ?id "bad_request"
+                  (Printf.sprintf "\"variable\" must be \"t\" or \"r\", not %S"
+                     other)
+            in
+            let target = required_num ?id json "target" in
+            if not (target >= 0.0 && target <= 1.0) then
+              reject ?id "bad_request" "\"target\" must be in [0,1]";
+            let hi = required_num ?id json "hi" in
+            if not (hi > 0.0 && Float.is_finite hi) then
+              reject ?id "bad_request" "\"hi\" must be positive and finite";
+            let tolerance =
+              match num_member "tolerance" json with
+              | None -> 1e-6
+              | Some tol when tol > 0.0 && Float.is_finite tol -> tol
+              | Some _ ->
+                reject ?id "bad_request" "\"tolerance\" must be positive"
+            in
+            Quantile { model = required_text ?id json "model";
+                       query = required_text ?id json "query";
+                       variable; target; hi; tolerance;
+                       deadline_ms = deadline_of ?id json }
+          | Some "stats" -> Stats
+          | Some "shutdown" -> Shutdown
+          | Some other ->
+            reject ?id "bad_request"
+              (Printf.sprintf "unknown request kind %S" other)
+        in
+        Ok { id; request }
+      with Reject e -> Error e
+    end
+  | _ -> Error (error ~code:"bad_request" "request must be a JSON object")
+
+let of_line line =
+  match Io.Json.of_string line with
+  | json -> of_json json
+  | exception Io.Json.Parse_error (message, offset) ->
+    Error
+      (error ~code:"parse_error"
+         (Printf.sprintf "JSON parse error at offset %d: %s" offset message))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let to_json { id; request } =
+  let id_field = match id with None -> [] | Some i -> [ ("id", Io.Json.String i) ] in
+  let fields =
+    match request with
+    | Load { model; file } ->
+      [ ("model", Io.Json.String model) ]
+      @ (match file with None -> [] | Some f -> [ ("file", Io.Json.String f) ])
+    | Evict { model } -> [ ("model", Io.Json.String model) ]
+    | List_models | Stats | Shutdown -> []
+    | Check { model; query; deadline_ms } ->
+      [ ("model", Io.Json.String model); ("query", Io.Json.String query) ]
+      @ (match deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Io.Json.Number ms) ])
+    | Quantile { model; query; variable; target; hi; tolerance; deadline_ms }
+      ->
+      [ ("model", Io.Json.String model);
+        ("query", Io.Json.String query);
+        ("variable",
+         Io.Json.String (match variable with Time -> "t" | Reward -> "r"));
+        ("target", Io.Json.Number target);
+        ("hi", Io.Json.Number hi);
+        ("tolerance", Io.Json.Number tolerance) ]
+      @ (match deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Io.Json.Number ms) ])
+  in
+  Io.Json.Object
+    ((("kind", Io.Json.String (kind_of request)) :: id_field) @ fields)
+
+let equal_envelope (a : envelope) (b : envelope) = a = b
+
+let response_ok ~kind ~id fields =
+  let id_field = match id with None -> [] | Some i -> [ ("id", Io.Json.String i) ] in
+  Io.Json.Object
+    ((("ok", Io.Json.Bool true) :: ("kind", Io.Json.String kind) :: id_field)
+    @ fields)
+
+let response_error { code; message; error_id } =
+  let id_field =
+    match error_id with None -> [] | Some i -> [ ("id", Io.Json.String i) ]
+  in
+  Io.Json.Object
+    ([ ("ok", Io.Json.Bool false);
+       ("error", Io.Json.String code);
+       ("message", Io.Json.String message) ]
+    @ id_field)

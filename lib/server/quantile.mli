@@ -1,0 +1,29 @@
+(** Quantile queries by bisection (Ummels & Baier: quantiles in Markov
+    reward models reduce to repeated solves of the bounded query).
+
+    [eval x] must be the until probability with the chosen bound set to
+    [x] — monotonically non-decreasing in [x], which holds for both the
+    time and the reward bound of a downward-closed until.  {!search}
+    finds the least [x] in [(0, hi]] with [eval x >= target], to within
+    [tolerance].
+
+    The search never evaluates at [x = 0] (the engines require a
+    positive time bound), and every probe is an ordinary solve on the
+    caller's warm context, so the reduction and Theorem 1 caches are
+    shared across iterations. *)
+
+type outcome = {
+  value : float option;
+      (** least satisfying bound, [None] when even [hi] falls short *)
+  achieved : float;
+      (** [eval] at the returned bound (at [hi] when [value = None]) *)
+  evaluations : int;  (** solves performed *)
+}
+
+val search :
+  eval:(float -> float) -> target:float -> hi:float -> tolerance:float ->
+  outcome
+(** Deterministic bisection: at most [200] halvings, stopping when the
+    bracket is narrower than [tolerance] (or no representable float
+    remains between the endpoints).  Raises [Invalid_argument] unless
+    [hi > 0] and [tolerance > 0]. *)

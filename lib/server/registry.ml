@@ -1,0 +1,63 @@
+type entry = {
+  name : string;
+  mrm : Markov.Mrm.t;
+  labeling : Markov.Labeling.t;
+  init : Linalg.Vec.t;
+  ctx : Checker.t;
+  memo : Checker.memo;
+}
+
+type t = {
+  make_ctx : Markov.Mrm.t -> Markov.Labeling.t -> Checker.t;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ~make_ctx () =
+  { make_ctx; table = Hashtbl.create 8; lock = Mutex.create () }
+
+let build t ~name mrm labeling init =
+  { name; mrm; labeling; init;
+    ctx = t.make_ctx mrm labeling;
+    memo = Checker.create_memo () }
+
+let load t ~name ?file () =
+  let resolved =
+    match file with
+    | None -> begin
+        match Models.Builtin.load name with
+        | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
+        | None -> Error (Printf.sprintf "unknown built-in model %S" name)
+      end
+    | Some path -> begin
+        match Io.Mrm_format.parse_file path with
+        | doc ->
+          Ok
+            (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling,
+             doc.Io.Mrm_format.init)
+        | exception Io.Mrm_format.Syntax_error (message, line) ->
+          Error (Printf.sprintf "%s: line %d: %s" path line message)
+        | exception Sys_error message -> Error message
+      end
+  in
+  match resolved with
+  | Error _ as e -> e
+  | Ok (mrm, labeling, init) ->
+    let entry = build t ~name mrm labeling init in
+    Mutex.protect t.lock (fun () -> Hashtbl.replace t.table name entry);
+    Ok entry
+
+let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table name)
+
+let evict t name =
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.mem t.table name then begin
+        Hashtbl.remove t.table name;
+        true
+      end
+      else false)
+
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  |> List.sort (fun a b -> compare a.name b.name)

@@ -1,0 +1,48 @@
+(** The daemon's model registry: named models, each carrying its warm
+    state.
+
+    An entry bundles the model with everything that makes repeat queries
+    cheap: a prepared {!Checker.t} and a {!Checker.memo} holding the
+    hash-consed Sat-set and path-probability tables plus the
+    {!Perf.Batch} reduction and Theorem 1 caches.  (The third warm
+    layer, the Fox–Glynn window memo, is process-wide and needs no
+    per-entry state.)
+
+    Eviction is by unlinking: {!evict} removes the name from the table,
+    but an entry already resolved by an in-flight request stays valid —
+    models, labelings and memos are never mutated destructively, so the
+    request completes against the state it resolved and the entry is
+    reclaimed by the GC afterwards.  Later requests on the evicted name
+    get [None] from {!find}.  All operations are mutex-protected. *)
+
+type entry = {
+  name : string;
+  mrm : Markov.Mrm.t;
+  labeling : Markov.Labeling.t;
+  init : Linalg.Vec.t;
+  ctx : Checker.t;     (** prepared on the server's engine/pool config *)
+  memo : Checker.memo; (** the entry's warm caches *)
+}
+
+type t
+
+val create :
+  make_ctx:(Markov.Mrm.t -> Markov.Labeling.t -> Checker.t) -> unit -> t
+(** [make_ctx] prepares the checking context for every loaded model —
+    the server closes it over its engine, epsilon, reduction config,
+    pool and telemetry. *)
+
+val load : t -> name:string -> ?file:string -> unit -> (entry, string) result
+(** Without [file], builds the built-in model called [name]
+    ({!Models.Builtin}); with [file], parses the [.mrm] file and
+    registers it under [name].  Replaces any existing entry (fresh warm
+    state).  Errors are messages: unknown built-in, or the file's parse
+    error. *)
+
+val find : t -> string -> entry option
+
+val evict : t -> string -> bool
+(** [true] when the name was registered. *)
+
+val entries : t -> entry list
+(** Sorted by name. *)

@@ -1,0 +1,464 @@
+type config = {
+  engine : Perf.Engine.spec;
+  epsilon : float;
+  reduction : Perf.Reduction.config;
+  pool : Parallel.Pool.t;
+  queue_bound : int;
+  default_deadline_ms : float option;
+  telemetry : Telemetry.t option;
+  clock : unit -> float;
+}
+
+let default_config ?(clock = Unix.gettimeofday) () =
+  { engine = Perf.Engine.default;
+    epsilon = 1e-9;
+    reduction = Perf.Reduction.default;
+    pool = Parallel.Pool.sequential;
+    queue_bound = 64;
+    default_deadline_ms = None;
+    telemetry = None;
+    clock }
+
+(* Serving counters, deterministic under the FIFO executor: everything
+   except [overloaded] (reader-side rejections) is incremented by the
+   executor in admission order, so a scripted session pins the exact
+   [stats] output.  No timings in here — those live in telemetry. *)
+type counters = {
+  mutable c_load : int;
+  mutable c_evict : int;
+  mutable c_list : int;
+  mutable c_check : int;
+  mutable c_quantile : int;
+  mutable c_stats : int;
+  mutable c_shutdown : int;
+  mutable c_errors : int;
+  mutable c_overloaded : int;
+  mutable c_deadline_exceeded : int;
+}
+
+type t = {
+  config : config;
+  reg : Registry.t;
+  counters : counters;
+  counters_lock : Mutex.t;
+}
+
+let create config =
+  let make_ctx mrm labeling =
+    Checker.make ~engine:config.engine ~epsilon:config.epsilon
+      ~pool:config.pool ?telemetry:config.telemetry
+      ~reduction:config.reduction mrm labeling
+  in
+  { config;
+    reg = Registry.create ~make_ctx ();
+    counters =
+      { c_load = 0; c_evict = 0; c_list = 0; c_check = 0; c_quantile = 0;
+        c_stats = 0; c_shutdown = 0; c_errors = 0; c_overloaded = 0;
+        c_deadline_exceeded = 0 };
+    counters_lock = Mutex.create () }
+
+let registry t = t.reg
+
+let preload t names =
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> begin
+          match Registry.load t.reg ~name () with
+          | Ok _ -> Ok ()
+          | Error message -> Error message
+        end)
+    (Ok ()) names
+
+(* ------------------------------------------------------------------ *)
+(* Response bodies.                                                    *)
+
+let counters_entry (c : Perf.Batch.counters) =
+  Io.Json.Object
+    [ ("lookups", Io.Json.Number (float_of_int c.Perf.Batch.lookups));
+      ("hits", Io.Json.Number (float_of_int c.Perf.Batch.hits));
+      ("misses", Io.Json.Number (float_of_int c.Perf.Batch.misses));
+      ("hit_rate", Io.Json.Number (Batch.hit_rate c)) ]
+
+(* Exactly the result shape of a [csrl-check --batch] entry, so server
+   answers are comparable to the single-shot CLI string-for-string. *)
+let verdict_json ~init verdict =
+  match verdict with
+  | Checker.Boolean mask ->
+    let indicator = Array.map (fun b -> if b then 1.0 else 0.0) mask in
+    [ ("kind", Io.Json.String "boolean");
+      ("initial_mass", Io.Json.Number (Linalg.Vec.dot init indicator));
+      ("states",
+       Io.Json.List (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask)))
+    ]
+  | Checker.Numeric values ->
+    [ ("kind", Io.Json.String "numeric");
+      ("value", Io.Json.Number (Linalg.Vec.dot init values));
+      ("states",
+       Io.Json.List
+         (Array.to_list (Array.map (fun v -> Io.Json.Number v) values))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Request execution.                                                  *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let bump t request =
+  Mutex.protect t.counters_lock (fun () ->
+      let c = t.counters in
+      match (request : Protocol.request) with
+      | Load _ -> c.c_load <- c.c_load + 1
+      | Evict _ -> c.c_evict <- c.c_evict + 1
+      | List_models -> c.c_list <- c.c_list + 1
+      | Check _ -> c.c_check <- c.c_check + 1
+      | Quantile _ -> c.c_quantile <- c.c_quantile + 1
+      | Stats -> c.c_stats <- c.c_stats + 1
+      | Shutdown -> c.c_shutdown <- c.c_shutdown + 1)
+
+let resolve t ?id model =
+  match Registry.find t.reg model with
+  | Some entry -> Ok entry
+  | None ->
+    Error
+      (Protocol.error ?id ~code:"unknown_model"
+         (Printf.sprintf "model %S is not loaded" model))
+
+let parse_query ?id text =
+  match Logic.Parser.query text with
+  | q -> Ok q
+  | exception Logic.Parser.Parse_error (message, pos) ->
+    Error
+      (Protocol.error ?id ~code:"query_parse_error"
+         (Printf.sprintf "parse error at position %d: %s" pos message))
+
+let deadline_token t ~admitted ?id request =
+  let budget =
+    match (request : Protocol.request) with
+    | Check { deadline_ms; _ } | Quantile { deadline_ms; _ } -> begin
+        match deadline_ms with
+        | Some _ as b -> b
+        | None -> t.config.default_deadline_ms
+      end
+    | _ -> None
+  in
+  match budget with
+  | None -> Ok None
+  | Some ms ->
+    let deadline = admitted +. (ms /. 1000.0) in
+    if t.config.clock () >= deadline then
+      Error
+        (Protocol.error ?id ~code:"deadline_exceeded"
+           (Printf.sprintf "deadline of %g ms expired in the queue" ms))
+    else Ok (Some (Numerics.Cancel.of_deadline ~clock:t.config.clock deadline))
+
+(* Per-request solve failures, uniformly mapped to error responses so
+   one bad request never kills the daemon. *)
+let guarded ?id f =
+  match f () with
+  | v -> Ok v
+  | exception Numerics.Cancel.Cancelled reason ->
+    Error (Protocol.error ?id ~code:"deadline_exceeded" reason)
+  | exception Checker.Unsupported message ->
+    Error (Protocol.error ?id ~code:"unsupported" message)
+  | exception Markov.Labeling.Unknown_proposition p ->
+    Error
+      (Protocol.error ?id ~code:"unknown_proposition"
+         (Printf.sprintf "unknown atomic proposition %S" p))
+  | exception Invalid_argument message ->
+    Error (Protocol.error ?id ~code:"invalid_argument" message)
+  | exception Failure message ->
+    Error (Protocol.error ?id ~code:"internal" message)
+
+let stats_json t =
+  let c = t.counters in
+  let requests, errors, overloaded, deadline_exceeded =
+    Mutex.protect t.counters_lock (fun () ->
+        let total =
+          c.c_load + c.c_evict + c.c_list + c.c_check + c.c_quantile
+          + c.c_stats + c.c_shutdown
+        in
+        ( [ ("check", c.c_check); ("evict", c.c_evict); ("list", c.c_list);
+            ("load", c.c_load); ("quantile", c.c_quantile);
+            ("shutdown", c.c_shutdown); ("stats", c.c_stats);
+            ("total", total) ],
+          c.c_errors, c.c_overloaded, c.c_deadline_exceeded ))
+  in
+  let int_field (name, v) = (name, Io.Json.Number (float_of_int v)) in
+  let models =
+    List.map
+      (fun (e : Registry.entry) ->
+        Io.Json.Object
+          [ ("name", Io.Json.String e.Registry.name);
+            ("states",
+             Io.Json.Number (float_of_int (Markov.Mrm.n_states e.Registry.mrm)));
+            ("cache",
+             Io.Json.Object
+               (List.map
+                  (fun (name, counters) -> (name, counters_entry counters))
+                  (Checker.memo_counters e.Registry.memo))) ])
+      (Registry.entries t.reg)
+  in
+  let fg = Numerics.Fox_glynn.cache_counters () in
+  [ ("requests", Io.Json.Object (List.map int_field requests));
+    ("errors", Io.Json.Number (float_of_int errors));
+    ("overloaded", Io.Json.Number (float_of_int overloaded));
+    ("deadline_exceeded", Io.Json.Number (float_of_int deadline_exceeded));
+    ("models", Io.Json.List models);
+    ("fox_glynn",
+     counters_entry
+       { Perf.Batch.lookups = fg.Numerics.Fox_glynn.lookups;
+         hits = fg.Numerics.Fox_glynn.hits;
+         misses = fg.Numerics.Fox_glynn.misses }) ]
+
+let run_request t ~admitted ~id request =
+  let ok = Protocol.response_ok ~id in
+  match (request : Protocol.request) with
+  | Load { model; file } -> begin
+      match Registry.load t.reg ~name:model ?file () with
+      | Ok entry ->
+        Ok
+          (ok ~kind:"load"
+             [ ("model", Io.Json.String model);
+               ("states",
+                Io.Json.Number
+                  (float_of_int (Markov.Mrm.n_states entry.Registry.mrm)));
+               ("transitions",
+                Io.Json.Number
+                  (float_of_int
+                     (Linalg.Csr.nnz
+                        (Markov.Ctmc.rates
+                           (Markov.Mrm.ctmc entry.Registry.mrm))))) ])
+      | Error message ->
+        let code = if file = None then "unknown_model" else "load_error" in
+        Error (Protocol.error ?id ~code message)
+    end
+  | Evict { model } ->
+    if Registry.evict t.reg model then
+      Ok (ok ~kind:"evict" [ ("model", Io.Json.String model) ])
+    else
+      Error
+        (Protocol.error ?id ~code:"unknown_model"
+           (Printf.sprintf "model %S is not loaded" model))
+  | List_models ->
+    let models =
+      List.map
+        (fun (e : Registry.entry) ->
+          Io.Json.Object
+            [ ("name", Io.Json.String e.Registry.name);
+              ("states",
+               Io.Json.Number
+                 (float_of_int (Markov.Mrm.n_states e.Registry.mrm))) ])
+        (Registry.entries t.reg)
+    in
+    Ok (ok ~kind:"list" [ ("models", Io.Json.List models) ])
+  | Check { model; query; _ } ->
+    let* entry = resolve t ?id model in
+    let* q = parse_query ?id query in
+    let* token = deadline_token t ~admitted ?id request in
+    let ctx = Checker.with_cancel entry.Registry.ctx token in
+    let* verdict =
+      guarded ?id (fun () -> Checker.eval_query ~memo:entry.Registry.memo ctx q)
+    in
+    Ok
+      (ok ~kind:"check"
+         ([ ("model", Io.Json.String model);
+            ("query",
+             Io.Json.String (Format.asprintf "%a" Logic.Ast.pp_query q)) ]
+         @ [ ("result", Io.Json.Object (verdict_json ~init:entry.Registry.init verdict)) ]))
+  | Quantile { model; query; variable; target; hi; tolerance; _ } ->
+    let* entry = resolve t ?id model in
+    let* q = parse_query ?id query in
+    let* time, reward, phi, psi =
+      match q with
+      | Logic.Ast.Prob_query (Logic.Ast.Until (time, reward, phi, psi)) ->
+        Ok (time, reward, phi, psi)
+      | _ ->
+        Error
+          (Protocol.error ?id ~code:"bad_request"
+             "quantile needs a P=? query whose path formula is an until")
+    in
+    let* token = deadline_token t ~admitted ?id request in
+    let ctx = Checker.with_cancel entry.Registry.ctx token in
+    let eval x =
+      (* The bound on the chosen variable in the query text is a
+         placeholder: each probe re-solves with that bound set to [x].
+         The reduction and Theorem 1 caches are keyed by the Sat-sets
+         only, so every iteration after the first reuses the prepared
+         pipeline. *)
+      let time, reward =
+        match variable with
+        | Protocol.Time -> (Numerics.Interval.upto x, reward)
+        | Protocol.Reward -> (time, Numerics.Interval.upto x)
+      in
+      let probe =
+        Logic.Ast.Prob_query (Logic.Ast.Until (time, reward, phi, psi))
+      in
+      match Checker.eval_query ~memo:entry.Registry.memo ctx probe with
+      | Checker.Numeric values -> Linalg.Vec.dot entry.Registry.init values
+      | Checker.Boolean _ -> assert false
+    in
+    let* outcome =
+      guarded ?id (fun () -> Quantile.search ~eval ~target ~hi ~tolerance)
+    in
+    Ok
+      (ok ~kind:"quantile"
+         [ ("model", Io.Json.String model);
+           ("variable",
+            Io.Json.String
+              (match variable with Protocol.Time -> "t" | Reward -> "r"));
+           ("target", Io.Json.Number target);
+           ("hi", Io.Json.Number hi);
+           ("tolerance", Io.Json.Number tolerance);
+           ("value",
+            (match outcome.Quantile.value with
+             | None -> Io.Json.Null
+             | Some v -> Io.Json.Number v));
+           ("achieved", Io.Json.Number outcome.Quantile.achieved);
+           ("evaluations",
+            Io.Json.Number (float_of_int outcome.Quantile.evaluations)) ])
+  | Stats -> Ok (ok ~kind:"stats" (stats_json t))
+  | Shutdown -> Ok (ok ~kind:"shutdown" [])
+
+let count_error t (e : Protocol.error) =
+  Mutex.protect t.counters_lock (fun () ->
+      t.counters.c_errors <- t.counters.c_errors + 1;
+      if e.Protocol.code = "deadline_exceeded" then
+        t.counters.c_deadline_exceeded <- t.counters.c_deadline_exceeded + 1)
+
+let execute t ?admitted ({ id; request } : Protocol.envelope) =
+  let admitted =
+    match admitted with Some a -> a | None -> t.config.clock ()
+  in
+  bump t request;
+  Telemetry.add t.config.telemetry "server.requests" 1;
+  Telemetry.with_span t.config.telemetry
+    ("server." ^ Protocol.kind_of request)
+  @@ fun () ->
+  Telemetry.record t.config.telemetry "server.queue_wait_seconds"
+    (t.config.clock () -. admitted);
+  match run_request t ~admitted ~id request with
+  | Ok response -> response
+  | Error e ->
+    count_error t e;
+    Telemetry.add t.config.telemetry "server.error_responses" 1;
+    Protocol.response_error e
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: reader thread -> bounded FIFO queue -> executor.          *)
+
+type outcome = Shutdown | Eof
+
+type job =
+  | Parsed of { envelope : (Protocol.envelope, Protocol.error) result;
+                admitted : float }
+  | Done_reading
+
+let serve_channels t ~input ~output =
+  let queue = Admission.create ~bound:t.config.queue_bound in
+  let out_lock = Mutex.create () in
+  let write_json json =
+    (* A vanished client (EPIPE) must not kill the session: keep
+       draining so the reader reaches EOF and the state stays clean. *)
+    try
+      Mutex.protect out_lock (fun () ->
+          output_string output (Io.Json.to_string json);
+          output_char output '\n';
+          flush output)
+    with Sys_error _ -> ()
+  in
+  let reader () =
+    let shutdown_seen = ref false in
+    let rec loop () =
+      match input_line input with
+      | exception End_of_file -> Admission.push_control queue Done_reading
+      | exception Sys_error _ -> Admission.push_control queue Done_reading
+      | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          let parsed = Protocol.of_line line in
+          let envelope =
+            if !shutdown_seen then begin
+              let id =
+                match parsed with
+                | Ok env -> env.Protocol.id
+                | Error e -> e.Protocol.error_id
+              in
+              Error
+                (Protocol.error ?id ~code:"shutting_down"
+                   "the server is draining and stops accepting requests")
+            end
+            else begin
+              (match parsed with
+               | Ok { Protocol.request = Protocol.Shutdown; _ } ->
+                 shutdown_seen := true
+               | _ -> ());
+              parsed
+            end
+          in
+          let job = Parsed { envelope; admitted = t.config.clock () } in
+          if not (Admission.try_push queue job) then begin
+            Mutex.protect t.counters_lock (fun () ->
+                t.counters.c_overloaded <- t.counters.c_overloaded + 1);
+            Telemetry.add t.config.telemetry "server.overloaded" 1;
+            let id =
+              match envelope with
+              | Ok env -> env.Protocol.id
+              | Error e -> e.Protocol.error_id
+            in
+            write_json
+              (Protocol.response_error
+                 (Protocol.error ?id ~code:"overloaded"
+                    (Printf.sprintf
+                       "admission queue full (%d requests pending)"
+                       t.config.queue_bound)))
+          end;
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let reader_thread = Thread.create reader () in
+  let rec execute_loop outcome =
+    match Admission.pop queue with
+    | Done_reading -> outcome
+    | Parsed { envelope = Error e; _ } ->
+      count_error t e;
+      write_json (Protocol.response_error e);
+      execute_loop outcome
+    | Parsed { envelope = Ok env; admitted } ->
+      write_json (execute t ~admitted env);
+      let outcome =
+        match env.Protocol.request with
+        | Protocol.Shutdown -> Shutdown
+        | _ -> outcome
+      in
+      execute_loop outcome
+  in
+  let outcome = execute_loop Eof in
+  Thread.join reader_thread;
+  outcome
+
+let serve_stdio t = serve_channels t ~input:stdin ~output:stdout
+
+let serve_socket t ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  let rec accept_loop () =
+    let client, _ = Unix.accept fd in
+    let input = Unix.in_channel_of_descr client
+    and output = Unix.out_channel_of_descr client in
+    let outcome = serve_channels t ~input ~output in
+    (* The channels share one descriptor: close the out side (flushes),
+       ignore the in side's redundant close. *)
+    close_out_noerr output;
+    close_in_noerr input;
+    match outcome with Shutdown -> () | Eof -> accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop

@@ -1,0 +1,84 @@
+(** The serving daemon: a warm, long-running front-end over the
+    {!Checker}/{!Perf.Engine} stack speaking the NDJSON {!Protocol} on
+    stdio or a Unix-domain socket.
+
+    Serving semantics (DESIGN.md §14):
+
+    - {b One FIFO executor.}  Each session runs a reader thread that
+      admits lines into a bounded {!Admission} queue and one executor
+      that evaluates them strictly in admission order.  Kernels may
+      still fan out on the configured domain pool {e within} a request;
+      across requests execution is sequential, which keeps answers
+      bit-identical to single-shot [csrl-check] runs and response order
+      deterministic.
+    - {b Admission control.}  When the queue is full the reader replies
+      [overloaded] immediately instead of blocking the transport (the
+      one case where a response may overtake earlier requests' replies).
+      Malformed lines are admitted as pre-failed jobs, so their
+      [parse_error]/[bad_request] replies stay in request order.
+    - {b Deadlines.}  A request's budget (its ["deadline_ms"] or the
+      server default) is counted from admission.  Expired on pop →
+      immediate [deadline_exceeded]; otherwise a
+      {!Numerics.Cancel.of_deadline} token rides the checking context
+      and the kernels abandon the solve at their next checkpoint.  A
+      cancelled solve raises before any memo store, so warm caches are
+      never poisoned.
+    - {b Isolation.}  Every per-request failure — malformed JSON, bad
+      fields, unknown models, unsupported queries, kernel
+      [Invalid_argument]s — becomes an error response; the daemon keeps
+      serving.
+    - {b Graceful shutdown.}  A [shutdown] request drains everything
+      admitted before it, is acknowledged in order, and lines read after
+      it are answered [shutting_down]; the socket loop then stops
+      accepting. *)
+
+type config = {
+  engine : Perf.Engine.spec;
+  epsilon : float;
+  reduction : Perf.Reduction.config;
+  pool : Parallel.Pool.t;
+  queue_bound : int;          (** admission queue capacity, [>= 1] *)
+  default_deadline_ms : float option;  (** [None]: no default budget *)
+  telemetry : Telemetry.t option;
+      (** per-request spans and serving counters for [--trace] *)
+  clock : unit -> float;
+      (** seconds; monotonic preferred (deadlines, queue-wait gauges) *)
+}
+
+val default_config : ?clock:(unit -> float) -> unit -> config
+(** Occupation-time engine at [epsilon = 1e-9], default reduction,
+    sequential pool, queue bound [64], no default deadline, no
+    telemetry, [Unix.gettimeofday] (override with a monotonic clock). *)
+
+type t
+
+val create : config -> t
+
+val registry : t -> Registry.t
+
+val preload : t -> string list -> (unit, string) result
+(** Load the named built-in models before serving; the first failure
+    aborts with its message. *)
+
+val execute : t -> ?admitted:float -> Protocol.envelope -> Io.Json.t
+(** Evaluate one request synchronously against the warm state,
+    returning the response object — the executor's own entry point,
+    exposed for the differential tests and the bench harness.
+    [admitted] (default: now) is the deadline anchor. *)
+
+type outcome = Shutdown | Eof
+
+val serve_channels : t -> input:in_channel -> output:out_channel -> outcome
+(** Run one session: reader thread + FIFO executor as described above.
+    Returns when [input] is exhausted ([Eof]) or a [shutdown] request
+    was served ([Shutdown]); either way every admitted request has been
+    answered and the reader joined.  Blank lines are ignored.  [output]
+    is flushed after every response. *)
+
+val serve_stdio : t -> outcome
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale file) and
+    serve clients one connection at a time — the registry and its warm
+    caches persist across connections.  Returns (and unlinks [path])
+    after a client's [shutdown] request. *)

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI smoke test for the serving daemon: start csrl-serve on a socket,
+# send a mixed workload (check + quantile + stats + one malformed
+# request) twice through csrl-client, and assert
+#   - the check answer matches a single-shot `csrl-check --batch` run
+#     string-for-string (the bit-identity claim),
+#   - the quantile bisection returns a bound,
+#   - the malformed request gets an error response without killing the
+#     session,
+#   - the second round is answered from warm caches (nonzero memo hits
+#     in the stats response) with responses identical to round 1,
+#   - a shutdown request stops the daemon within the timeout and the
+#     socket file is removed.
+set -euo pipefail
+
+SERVE=${SERVE:-_build/default/bin/csrl_serve.exe}
+CLIENT=${CLIENT:-_build/default/bin/csrl_client.exe}
+CHECK=${CHECK:-_build/default/bin/csrl_check.exe}
+
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/csrl-smoke-XXXXXX.sock")
+ROUND1=$(mktemp)
+ROUND2=$(mktemp)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$ROUND1" "$ROUND2"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "server_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+"$SERVE" --socket "$SOCK" --preload adhoc &
+SERVER_PID=$!
+
+workload() {
+  cat <<'EOF'
+{"id": "q1", "kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )"}
+{"id": "q2", "kind": "quantile", "model": "adhoc", "query": "P=? ( true U[t<=1] doze )", "variable": "t", "target": 0.5, "hi": 100}
+{"id": "bad", "kind": "frobnicate"}
+{"id": "s", "kind": "stats"}
+EOF
+}
+
+workload | "$CLIENT" --connect "$SOCK" --timeout 10 > "$ROUND1"
+workload | "$CLIENT" --connect "$SOCK" > "$ROUND2"
+
+# The daemon's check answer must match single-shot csrl-check exactly.
+reference=$(printf '{"queries": ["P=? ( F[t<=2] doze )"]}' \
+  | "$CHECK" --model adhoc --batch - \
+  | sed -n 's/.*"value":\([-0-9.e]*\),.*/\1/p')
+[ -n "$reference" ] || fail "could not extract the csrl-check reference value"
+grep '"id":"q1"' "$ROUND1" | grep -q "\"value\":$reference," \
+  || fail "round 1 check answer does not match csrl-check's $reference"
+
+grep '"id":"q2"' "$ROUND1" | grep -q '"kind":"quantile"' \
+  || fail "no quantile response"
+grep '"id":"q2"' "$ROUND1" | grep -q '"value":null' \
+  && fail "quantile found no bound (hi too small?)"
+grep '"id":"bad"' "$ROUND1" | grep -q '"error":"bad_request"' \
+  || fail "malformed request did not get a bad_request error"
+grep '"id":"s"' "$ROUND1" | grep -q '"requests":{"check":1,' \
+  || fail "round 1 stats did not count one check"
+
+# Round 2: same answers, now from warm caches.
+for id in q1 q2; do
+  [ "$(grep "\"id\":\"$id\"" "$ROUND1")" = "$(grep "\"id\":\"$id\"" "$ROUND2")" ] \
+    || fail "round 2 response for $id differs from round 1"
+done
+grep '"id":"s"' "$ROUND2" | grep -q '"requests":{"check":2,' \
+  || fail "round 2 stats did not count two checks"
+path_hits=$(sed -n 's/.*"path":{"lookups":[0-9]*,"hits":\([0-9]*\).*/\1/p' "$ROUND2")
+[ -n "$path_hits" ] && [ "$path_hits" -gt 0 ] \
+  || fail "round 2 shows no path-cache hits (got '${path_hits:-none}')"
+
+# Graceful shutdown: acknowledged, daemon exits, socket unlinked.
+ack=$(: | "$CLIENT" --connect "$SOCK" --shutdown)
+[ "$ack" = '{"ok":true,"kind":"shutdown"}' ] || fail "bad shutdown ack: $ack"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  fail "daemon still running 10s after shutdown"
+fi
+wait "$SERVER_PID" || fail "daemon exited nonzero"
+SERVER_PID=
+[ ! -e "$SOCK" ] || fail "socket file $SOCK not removed on shutdown"
+
+echo "server_smoke: OK (check answer $reference, $path_hits warm path-cache hits)"

@@ -262,3 +262,19 @@ exact, so the value is unchanged, and no reduction.* counters appear:
 
   $ csrl-check --model multiprocessor-tracked --no-reduce --stats 'P=? ( up U[t<=100][r<=260] down )' | grep -E 'value from|reduction\.'
   value from the initial distribution: 0.0000002490
+
+--batch - reads the batch document from stdin, for piping query
+generators straight into the checker:
+
+  $ echo '{"queries": ["P=? ( F[t<=2] call_initiated )"]}' | csrl-check --model adhoc --batch -
+  {"tool":"csrl-check","mode":"batch","engine":"occupation-time(eps=1e-09)","jobs":1,"queries":1,"results":[{"name":"q0","query":"P=? (F[t<=2] call_initiated)","kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}],"cache":{"path":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduced":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"reduction":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"sat":{"lookups":2,"hits":0,"misses":2,"hit_rate":0},"until":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"fox_glynn":{"lookups":1,"hits":0,"misses":1,"hit_rate":0}}}
+
+Numeric flags are validated before any work starts:
+
+  $ csrl-check --model adhoc --epsilon 1.5 'true'
+  --epsilon needs a value in (0,1)
+  [2]
+
+  $ csrl-check --model adhoc --jobs 0 'true'
+  --jobs needs a positive count
+  [2]

@@ -1,0 +1,425 @@
+(* Tests for the serving subsystem: the NDJSON protocol (round-trip and
+   fuzz), the bounded admission queue, quantile bisection, and the
+   Service itself — differential bit-identity against a plain
+   [Checker.eval_query], deadline expiry mid-Sericola with unpoisoned
+   caches, eviction under an in-flight request, and a full pipe session
+   exercising ordering, isolation and graceful shutdown. *)
+
+module Protocol = Server.Protocol
+module Service = Server.Service
+
+let adhoc () = Option.get (Models.Builtin.load "adhoc")
+
+let json_str = Io.Json.to_string
+
+let member path json =
+  List.fold_left
+    (fun acc key -> Option.bind acc (Io.Json.member key))
+    (Some json) path
+
+let expect_string path json =
+  match Option.bind (member path json) Io.Json.to_text with
+  | Some s -> s
+  | None ->
+    Alcotest.failf "response %s has no string at %s" (json_str json)
+      (String.concat "." path)
+
+let check_env model query deadline_ms =
+  { Protocol.id = None;
+    request = Protocol.Check { model; query; deadline_ms } }
+
+let fresh_service () =
+  let service = Service.create (Service.default_config ()) in
+  (match Service.preload service [ "adhoc" ] with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  service
+
+(* ------------------------------------------------------------------ *)
+(* Protocol.                                                           *)
+
+let gen_envelope =
+  let open QCheck2.Gen in
+  let name = oneofl [ "adhoc"; "station"; "m"; "weird name \"x\"" ] in
+  let query =
+    oneofl
+      [ "P=? ( F[t<=2] doze )";
+        "P>=0.5 ( a U[t<=1][r<=2] b )";
+        "nonsense that never parses" ]
+  in
+  let deadline = oneofl [ None; Some 1.0; Some 250.5; Some 60000.0 ] in
+  let request =
+    oneof
+      [ map2
+          (fun model file -> Protocol.Load { model; file })
+          name
+          (oneofl [ None; Some "station.mrm" ]);
+        map (fun model -> Protocol.Evict { model }) name;
+        return Protocol.List_models;
+        map3
+          (fun model query deadline_ms ->
+            Protocol.Check { model; query; deadline_ms })
+          name query deadline;
+        (let* model = name and* query = query and* deadline_ms = deadline in
+         let* variable = oneofl [ Protocol.Time; Protocol.Reward ]
+         and* target = float_bound_inclusive 1.0
+         and* hi = oneofl [ 0.5; 24.0; 1e6 ]
+         and* tolerance = oneofl [ 1e-9; 1e-6; 0.125 ] in
+         return
+           (Protocol.Quantile
+              { model; query; variable; target; hi; tolerance; deadline_ms }));
+        return Protocol.Stats;
+        return Protocol.Shutdown ]
+  in
+  let* id = oneofl [ None; Some "req-1"; Some ""; Some "\"quoted\"\n" ]
+  and* request = request in
+  return { Protocol.id; request }
+
+let protocol_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"protocol: of_json (to_json e) = Ok e"
+    gen_envelope (fun env ->
+      match Protocol.of_json (Protocol.to_json env) with
+      | Ok env' -> Protocol.equal_envelope env env'
+      | Error e -> QCheck2.Test.fail_reportf "rejected: %s" e.Protocol.message)
+
+(* The wire round-trip additionally crosses the JSON printer/parser —
+   string escaping, float formatting. *)
+let protocol_wire_roundtrip =
+  QCheck2.Test.make ~count:500
+    ~name:"protocol: of_line (to_string (to_json e)) = Ok e" gen_envelope
+    (fun env ->
+      match Protocol.of_line (json_str (Protocol.to_json env)) with
+      | Ok env' -> Protocol.equal_envelope env env'
+      | Error e -> QCheck2.Test.fail_reportf "rejected: %s" e.Protocol.message)
+
+let protocol_fuzz =
+  QCheck2.Test.make ~count:1000 ~name:"protocol: of_line never raises"
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 60))
+    (fun line ->
+      match Protocol.of_line line with
+      | Ok _ | Error _ -> true)
+
+(* Every proper prefix of a valid line (a truncated NDJSON write) must
+   come back as a structured parse error, never an exception. *)
+let truncated_line () =
+  let full =
+    {|{"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )"}|}
+  in
+  for len = 0 to String.length full - 1 do
+    match Protocol.of_line (String.sub full 0 len) with
+    | Error { Protocol.code = "parse_error"; _ } -> ()
+    | Error { Protocol.code; _ } ->
+      Alcotest.failf "prefix %d: unexpected code %s" len code
+    | Ok _ -> Alcotest.failf "prefix %d parsed" len
+  done
+
+let bad_requests () =
+  let cases =
+    [ ({|{"kind": "frobnicate"}|}, "bad_request");
+      ({|{"kind": "check", "model": "adhoc"}|}, "bad_request");
+      ({|{"kind": "check", "model": 3, "query": "x"}|}, "bad_request");
+      ({|{"kind": "quantile", "model": "m", "query": "q", "variable": "z",
+         "target": 0.5, "hi": 1}|}, "bad_request");
+      ({|{"kind": "quantile", "model": "m", "query": "q", "variable": "t",
+         "target": 1.5, "hi": 1}|}, "bad_request");
+      ({|{"kind": "check", "model": "m", "query": "q", "deadline_ms": -1}|},
+       "bad_request");
+      ({|[1, 2]|}, "bad_request");
+      ({|{"kind": "check"|}, "parse_error") ]
+  in
+  List.iter
+    (fun (line, expected) ->
+      match Protocol.of_line line with
+      | Error { Protocol.code; _ } ->
+        Alcotest.(check string) line expected code
+      | Ok _ -> Alcotest.failf "accepted %s" line)
+    cases;
+  (* The id is echoed in rejections when it was readable. *)
+  match Protocol.of_line {|{"kind": "frobnicate", "id": "x7"}|} with
+  | Error { Protocol.error_id = Some "x7"; _ } -> ()
+  | _ -> Alcotest.fail "bad_request lost the request id"
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue.                                                    *)
+
+let admission_bound () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Admission.create: bound must be >= 1") (fun () ->
+      ignore (Server.Admission.create ~bound:0));
+  let q = Server.Admission.create ~bound:2 in
+  Alcotest.(check bool) "push 1" true (Server.Admission.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Server.Admission.try_push q 2);
+  Alcotest.(check bool) "push 3 refused" false (Server.Admission.try_push q 3);
+  (* Control markers ignore the bound and keep FIFO order. *)
+  Server.Admission.push_control q 99;
+  Alcotest.(check int) "length" 3 (Server.Admission.length q);
+  (* Bind the pops in sequence: list elements evaluate right-to-left. *)
+  let first = Server.Admission.pop q in
+  let second = Server.Admission.pop q in
+  let third = Server.Admission.pop q in
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 99 ] [ first; second; third ];
+  Alcotest.(check bool) "drained, admits again" true
+    (Server.Admission.try_push q 4)
+
+(* ------------------------------------------------------------------ *)
+(* Quantile bisection.                                                 *)
+
+let quantile_search () =
+  (* eval x = x/10 on (0, 10]: the least x with eval x >= 0.5 is 5. *)
+  let evals = ref [] in
+  let eval x =
+    evals := x :: !evals;
+    x /. 10.0
+  in
+  let o =
+    Server.Quantile.search ~eval ~target:0.5 ~hi:10.0 ~tolerance:1e-9
+  in
+  (match o.Server.Quantile.value with
+   | Some v -> Alcotest.(check (float 1e-8)) "least bound" 5.0 v
+   | None -> Alcotest.fail "no bound found");
+  Alcotest.(check int) "evaluation count" (List.length !evals)
+    o.Server.Quantile.evaluations;
+  List.iter (fun x -> assert (x > 0.0)) !evals;
+  (* Unreachable target: reported as None with the achieved level. *)
+  let o = Server.Quantile.search ~eval ~target:2.0 ~hi:10.0 ~tolerance:1e-9 in
+  Alcotest.(check bool) "unreachable" true (o.Server.Quantile.value = None);
+  Alcotest.(check (float 1e-12)) "achieved at hi" 1.0
+    o.Server.Quantile.achieved;
+  Alcotest.check_raises "hi <= 0"
+    (Invalid_argument "Quantile.search: hi must be positive and finite")
+    (fun () ->
+      ignore (Server.Quantile.search ~eval ~target:0.5 ~hi:0.0 ~tolerance:1e-9))
+
+(* The quantile request against the service agrees with inverting the
+   checker by hand: eval at the returned bound reaches the target, and
+   just below it falls short. *)
+let quantile_request () =
+  let service = fresh_service () in
+  let response =
+    Service.execute service
+      { Protocol.id = None;
+        request =
+          Protocol.Quantile
+            { model = "adhoc";
+              query = "P=? ( true U[t<=1] doze )";
+              variable = Protocol.Time;
+              target = 0.5;
+              hi = 100.0;
+              tolerance = 1e-6;
+              deadline_ms = None } }
+  in
+  let value =
+    match Option.bind (member [ "value" ] response) Io.Json.to_float with
+    | Some v -> v
+    | None -> Alcotest.failf "no quantile value in %s" (json_str response)
+  in
+  let mrm, labeling, init = adhoc () in
+  let ctx = Checker.make mrm labeling in
+  let eval t =
+    let q = Printf.sprintf "P=? ( true U[t<=%.17g] doze )" t in
+    match Checker.eval_query ctx (Logic.Parser.query q) with
+    | Checker.Numeric v -> Linalg.Vec.dot init v
+    | Checker.Boolean _ -> Alcotest.fail "boolean verdict"
+  in
+  Alcotest.(check bool) "target reached at the bound" true
+    (eval value >= 0.5);
+  Alcotest.(check bool) "bound is tight" true
+    (eval (value -. 1e-5) < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Service semantics.                                                  *)
+
+(* The differential claim: a served check answers bit-identically to a
+   plain Checker.eval_query on a fresh context. *)
+let differential_check () =
+  let service = fresh_service () in
+  let queries =
+    [ "P=? ( F[t<=2] doze )";
+      "P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )";
+      "P>=0.5 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )";
+      "S=? ( doze )" ]
+  in
+  let mrm, labeling, init = adhoc () in
+  let ctx = Checker.make mrm labeling in
+  List.iter
+    (fun text ->
+      let response = Service.execute service (check_env "adhoc" text None) in
+      let result =
+        match member [ "result" ] response with
+        | Some r -> r
+        | None -> Alcotest.failf "no result in %s" (json_str response)
+      in
+      let reference =
+        match Checker.eval_query ctx (Logic.Parser.query text) with
+        | Checker.Numeric v ->
+          [ ("kind", Io.Json.String "numeric");
+            ("value", Io.Json.Number (Linalg.Vec.dot init v));
+            ("states",
+             Io.Json.List
+               (Array.to_list (Array.map (fun x -> Io.Json.Number x) v))) ]
+        | Checker.Boolean mask ->
+          let ind = Array.map (fun b -> if b then 1.0 else 0.0) mask in
+          [ ("kind", Io.Json.String "boolean");
+            ("initial_mass", Io.Json.Number (Linalg.Vec.dot init ind));
+            ("states",
+             Io.Json.List
+               (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask))) ]
+      in
+      (* String equality of the rendered JSON is bit-identity: Io.Json
+         prints floats with round-trip precision. *)
+      Alcotest.(check string) text
+        (json_str (Io.Json.Object reference))
+        (json_str result))
+    queries
+
+(* A deadline that fires mid-Sericola: the solve is abandoned with a
+   structured error, and the interrupted run leaves no partial result
+   behind — the same request re-run without a deadline matches a fresh
+   service exactly. *)
+let deadline_mid_sericola () =
+  (* Every clock read advances time 1 ms, so a 50 ms budget expires
+     after 50 cancellation polls — deep inside Sericola's layer
+     recursion for this query — deterministically, with no real
+     sleeping. *)
+  let calls = ref 0 in
+  let clock () =
+    incr calls;
+    float_of_int !calls *. 0.001
+  in
+  let service = Service.create (Service.default_config ~clock ()) in
+  (match Service.preload service [ "adhoc" ] with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let query = "P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )" in
+  let response =
+    Service.execute service (check_env "adhoc" query (Some 50.0))
+  in
+  Alcotest.(check string) "deadline error" "deadline_exceeded"
+    (expect_string [ "error" ] response);
+  (* Same request, no deadline: the caches were not poisoned by the
+     cancelled solve, so the answer matches a never-cancelled service. *)
+  let retry = Service.execute service (check_env "adhoc" query None) in
+  let fresh = Service.execute (fresh_service ()) (check_env "adhoc" query None) in
+  Alcotest.(check string) "cache not poisoned"
+    (json_str fresh) (json_str retry);
+  (* A deadline that was already expired on admission short-circuits
+     without touching the kernels. *)
+  let kernels_before = !calls in
+  let expired =
+    Service.execute service ~admitted:0.0 (check_env "adhoc" query (Some 1.0))
+  in
+  Alcotest.(check string) "expired in queue" "deadline_exceeded"
+    (expect_string [ "error" ] expired);
+  Alcotest.(check bool) "short-circuited" true (!calls - kernels_before < 10)
+
+(* Evicting a model does not disturb work that already resolved its
+   registry entry (the executor resolves at execution start); later
+   requests see unknown_model. *)
+let evict_in_flight () =
+  let service = fresh_service () in
+  let reg = Service.registry service in
+  let entry =
+    match Server.Registry.find reg "adhoc" with
+    | Some e -> e
+    | None -> Alcotest.fail "preloaded model missing"
+  in
+  let query = Logic.Parser.query "P=? ( F[t<=2] doze )" in
+  let before =
+    Checker.eval_query ~memo:entry.Server.Registry.memo
+      entry.Server.Registry.ctx query
+  in
+  Alcotest.(check bool) "evict" true (Server.Registry.evict reg "adhoc");
+  (* The resolved entry keeps working after eviction — in-flight
+     requests finish on the state they resolved. *)
+  let after =
+    Checker.eval_query ~memo:entry.Server.Registry.memo
+      entry.Server.Registry.ctx query
+  in
+  Alcotest.(check bool) "in-flight solve unaffected" true (before = after);
+  Alcotest.(check bool) "gone from the registry" true
+    (Server.Registry.find reg "adhoc" = None);
+  let response =
+    Service.execute service (check_env "adhoc" "P=? ( F[t<=2] doze )" None)
+  in
+  Alcotest.(check string) "later requests rejected" "unknown_model"
+    (expect_string [ "error" ] response)
+
+(* ------------------------------------------------------------------ *)
+(* A full session over OS pipes: ordering, isolation, shutdown.        *)
+
+let pipe_session () =
+  let session =
+    [ {|{"kind": "load", "model": "adhoc"}|};
+      {|{"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )", "id": "c1"}|};
+      {|{"kind": "check", "model": "adhoc"|};  (* truncated line *)
+      {|{"kind": "frobnicate", "id": "c2"}|};
+      "";  (* blank lines are ignored *)
+      {|{"kind": "evict", "model": "nope", "id": "c3"}|};
+      {|{"kind": "shutdown"}|};
+      {|{"kind": "list", "id": "late"}|} ]
+  in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let writer = Unix.out_channel_of_descr in_w in
+  List.iter
+    (fun line ->
+      output_string writer line;
+      output_char writer '\n')
+    session;
+  close_out writer;
+  let service = Service.create (Service.default_config ()) in
+  let input = Unix.in_channel_of_descr in_r in
+  let output = Unix.out_channel_of_descr out_w in
+  let outcome = Service.serve_channels service ~input ~output in
+  close_out output;
+  close_in input;
+  Alcotest.(check bool) "shutdown outcome" true (outcome = Service.Shutdown);
+  let reader = Unix.in_channel_of_descr out_r in
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line reader :: !responses
+     done
+   with End_of_file -> ());
+  close_in reader;
+  let responses = List.rev !responses in
+  Alcotest.(check int) "one response per non-blank line" 7
+    (List.length responses);
+  let codes =
+    List.map
+      (fun line ->
+        let json = Io.Json.of_string line in
+        match member [ "kind" ] json with
+        | Some (Io.Json.String kind) -> kind
+        | _ -> expect_string [ "error" ] json)
+      responses
+  in
+  Alcotest.(check (list string)) "response order"
+    [ "load"; "check"; "parse_error"; "bad_request"; "unknown_model";
+      "shutdown"; "shutting_down" ]
+    codes;
+  (* ids survive the queue, in order. *)
+  let id_of line = member [ "id" ] (Io.Json.of_string line) in
+  Alcotest.(check bool) "check id echoed" true
+    (id_of (List.nth responses 1) = Some (Io.Json.String "c1"));
+  Alcotest.(check bool) "post-shutdown id echoed" true
+    (id_of (List.nth responses 6) = Some (Io.Json.String "late"))
+
+let suite =
+  ( "server",
+    [ Alcotest.test_case "protocol: truncated lines" `Quick truncated_line;
+      Alcotest.test_case "protocol: structured rejections" `Quick bad_requests;
+      QCheck_alcotest.to_alcotest protocol_roundtrip;
+      QCheck_alcotest.to_alcotest protocol_wire_roundtrip;
+      QCheck_alcotest.to_alcotest protocol_fuzz;
+      Alcotest.test_case "admission: bound and FIFO" `Quick admission_bound;
+      Alcotest.test_case "quantile: bisection" `Quick quantile_search;
+      Alcotest.test_case "quantile: request vs hand inversion" `Quick
+        quantile_request;
+      Alcotest.test_case "service: differential vs Checker" `Quick
+        differential_check;
+      Alcotest.test_case "service: deadline mid-Sericola" `Quick
+        deadline_mid_sericola;
+      Alcotest.test_case "service: evict with in-flight work" `Quick
+        evict_in_flight;
+      Alcotest.test_case "service: pipe session" `Quick pipe_session ] )
