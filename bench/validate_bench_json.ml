@@ -75,6 +75,15 @@ let () =
       let seconds = number "seconds" entry in
       if not (Float.is_finite seconds && seconds >= 0.0) then
         context "\"seconds\" is not a non-negative number (%g)" seconds;
+      (* The timing protocol: median of [runs] samples after a discarded
+         warmup, with the min-max spread recorded so a noisy host shows
+         up in the artifact. *)
+      let runs = number "runs" entry in
+      if not (Float.is_integer runs && runs >= 3.0) then
+        context "\"runs\" is not an integer >= 3 (%g)" runs;
+      let spread = number "spread_seconds" entry in
+      if not (Float.is_finite spread && spread >= 0.0) then
+        context "\"spread_seconds\" is not a non-negative number (%g)" spread;
       (* Every entry carries its run's convergence telemetry: at least
          one counter, and all counters/gauges finite numbers. *)
       let telemetry = get "telemetry" entry in

@@ -1,0 +1,250 @@
+(* Gate-keeper for perf/perfdb.csv (see bench/perfdb.ml): every
+   (kernel, backend) group's newest row is compared against the row
+   before it, and the primary score — instruction count for the
+   cachegrind backend, minor-heap words for the alloc backend — may
+   not grow by more than the threshold (default 5%) unless the new
+   row's note contains "allow".  A small absolute slack keeps
+   near-zero scores (an allocation-free kernel) from tripping the
+   percentage gate on noise-level drift.
+
+     validate_perfdb.exe perf/perfdb.csv            # gate the database
+     validate_perfdb.exe --self-test                # prove the gate trips
+
+   The self-test is the negative test CI runs: it feeds the gate a
+   synthetic >= 5% instruction-count regression and fails unless the
+   gate rejects it. *)
+
+let default_threshold = 0.05
+
+(* Percentage gates are meaningless next to zero; scores this small
+   may drift freely (an allocation-free kernel's minor words, a
+   zero-miss cache row). *)
+let absolute_slack = 512
+
+type row = {
+  commit : string;
+  kernel : string;
+  backend : string;
+  instructions : int option;
+  d1_misses : int option;
+  ll_misses : int option;
+  minor_words : int option;
+  major_words : int option;
+  note : string;
+}
+
+let expected_header =
+  [ "commit"; "kernel"; "backend"; "instructions"; "d1_misses"; "ll_misses";
+    "minor_words"; "major_words"; "note" ]
+
+let row_of_fields line_no fields =
+  match fields with
+  | [ commit; kernel; backend; instructions; d1; ll; minor; major; note ] ->
+    let num name = function
+      | "" -> None
+      | text ->
+        (match int_of_string_opt text with
+         | Some v -> Some v
+         | None ->
+           Printf.eprintf "perfdb.csv line %d: %s is not a number: %S\n"
+             line_no name text;
+           exit 1)
+    in
+    { commit; kernel; backend;
+      instructions = num "instructions" instructions;
+      d1_misses = num "d1_misses" d1;
+      ll_misses = num "ll_misses" ll;
+      minor_words = num "minor_words" minor;
+      major_words = num "major_words" major;
+      note }
+  | _ ->
+    Printf.eprintf "perfdb.csv line %d: expected %d fields, got %d\n" line_no
+      (List.length expected_header) (List.length fields);
+    exit 1
+
+let load path =
+  match Io.Csv.parse_file path with
+  | [] ->
+    prerr_endline "perfdb.csv: empty file";
+    exit 1
+  | header :: rows ->
+    if header <> expected_header then begin
+      Printf.eprintf "perfdb.csv: unexpected header %s\n"
+        (String.concat "," header);
+      exit 1
+    end;
+    List.mapi (fun i fields -> row_of_fields (i + 2) fields) rows
+
+(* ------------------------------------------------------------------ *)
+
+let primary_score row =
+  match row.backend with
+  | "cachegrind" -> ("instructions", row.instructions)
+  | "alloc" -> ("minor_words", row.minor_words)
+  | other ->
+    Printf.eprintf "perfdb.csv: unknown backend %S for kernel %s\n" other
+      row.kernel;
+    exit 1
+
+let contains_allow note =
+  let note = String.lowercase_ascii note in
+  let needle = "allow" in
+  let n = String.length note and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub note i k = needle || scan (i + 1)) in
+  scan 0
+
+type verdict = Ok_pass | Ok_allowed | Regression of string
+
+(* Compare the newest row of a group against its predecessor. *)
+let check_pair ~threshold ~prev ~last =
+  let metric, prev_score = primary_score prev in
+  let _, last_score = primary_score last in
+  match (prev_score, last_score) with
+  | Some p, Some l ->
+    let bound =
+      int_of_float (Float.of_int p *. (1.0 +. threshold)) + absolute_slack
+    in
+    if l <= bound then Ok_pass
+    else if contains_allow last.note then Ok_allowed
+    else
+      Regression
+        (Printf.sprintf
+           "%s/%s: %s grew %d -> %d (+%.1f%%, threshold %.0f%%, commit %s -> %s)"
+           last.kernel last.backend metric p l
+           (100.0 *. (Float.of_int l /. Float.of_int p -. 1.0))
+           (100.0 *. threshold) prev.commit last.commit)
+  | _ ->
+    Regression
+      (Printf.sprintf "%s/%s: missing %s score" last.kernel last.backend
+         metric)
+
+let check_rows ~threshold rows =
+  (* Group in file order by (kernel, backend); the gate looks at each
+     group's final two rows. *)
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key = (row.kernel, row.backend) in
+      if not (Hashtbl.mem groups key) then order := key :: !order;
+      Hashtbl.replace groups key
+        (row :: (try Hashtbl.find groups key with Not_found -> [])))
+    rows;
+  List.rev_map
+    (fun key ->
+      match Hashtbl.find groups key with
+      | last :: prev :: _ -> (key, Some (check_pair ~threshold ~prev ~last))
+      | _ -> (key, None))
+    !order
+
+let gate ~threshold path =
+  let rows = load path in
+  let results = check_rows ~threshold rows in
+  let failures = ref 0 in
+  List.iter
+    (fun ((kernel, backend), verdict) ->
+      match verdict with
+      | None ->
+        Printf.printf "  %-14s %-10s single row, nothing to compare\n" kernel
+          backend
+      | Some Ok_pass ->
+        Printf.printf "  %-14s %-10s ok\n" kernel backend
+      | Some Ok_allowed ->
+        Printf.printf "  %-14s %-10s regression allowed by note\n" kernel
+          backend
+      | Some (Regression message) ->
+        incr failures;
+        Printf.printf "  REGRESSION %s\n" message)
+    results;
+  if !failures > 0 then begin
+    Printf.eprintf "validate_perfdb: %d regression(s) beyond %.0f%%\n"
+      !failures (100.0 *. threshold);
+    exit 1
+  end;
+  Printf.printf "validate_perfdb: %s ok (%d rows)\n" path (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Negative test: the gate must trip on a synthetic >= 5% regression
+   and stay quiet below the threshold / under an allow note. *)
+
+let self_test () =
+  let row ?(backend = "cachegrind") ?(note = "") commit kernel instructions =
+    { commit; kernel; backend;
+      instructions = Some instructions;
+      d1_misses = Some 1000; ll_misses = Some 100;
+      minor_words = None; major_words = None; note }
+  in
+  let expect name expected rows =
+    match check_rows ~threshold:default_threshold rows with
+    | [ (_, Some verdict) ] ->
+      let show = function
+        | Ok_pass -> "pass"
+        | Ok_allowed -> "allowed"
+        | Regression _ -> "regression"
+      in
+      if show verdict <> expected then begin
+        Printf.eprintf "self-test %s: expected %s, got %s\n" name expected
+          (show verdict);
+        exit 1
+      end
+    | _ ->
+      Printf.eprintf "self-test %s: expected exactly one comparison\n" name;
+      exit 1
+  in
+  (* 6% instruction growth on a large count: must trip. *)
+  expect "regression-trips" "regression"
+    [ row "aaaa111" "spmv" 100_000_000; row "bbbb222" "spmv" 106_000_000 ];
+  (* 4% growth: within threshold. *)
+  expect "under-threshold-passes" "pass"
+    [ row "aaaa111" "spmv" 100_000_000; row "bbbb222" "spmv" 104_000_000 ];
+  (* 6% growth with an allow note: waved through. *)
+  expect "allow-note-passes" "allowed"
+    [ row "aaaa111" "spmv" 100_000_000;
+      row "bbbb222" "spmv" 106_000_000 ~note:"allow: extra bounds checks" ];
+  (* Improvements always pass. *)
+  expect "improvement-passes" "pass"
+    [ row "aaaa111" "spmv" 100_000_000; row "bbbb222" "spmv" 60_000_000 ];
+  (* The alloc backend gates on minor words. *)
+  let alloc commit minor =
+    { commit; kernel = "sericola"; backend = "alloc";
+      instructions = None; d1_misses = None; ll_misses = None;
+      minor_words = Some minor; major_words = Some 0; note = "" }
+  in
+  expect "alloc-regression-trips" "regression"
+    [ alloc "aaaa111" 2_000_000; alloc "bbbb222" 2_200_000 ];
+  (* Near-zero scores may drift inside the absolute slack. *)
+  expect "zero-slack-passes" "pass"
+    [ alloc "aaaa111" 0; alloc "bbbb222" 64 ];
+  print_endline "validate_perfdb: self-test ok (gate trips on a 6% synthetic \
+                 regression)"
+
+let () =
+  let threshold = ref default_threshold in
+  let path = ref None in
+  let self = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--self-test" :: rest -> self := true; parse rest
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t > 0.0 -> threshold := t /. 100.0
+       | _ -> prerr_endline "--threshold needs a positive percentage"; exit 2);
+      parse rest
+    | [ "--threshold" ] ->
+      prerr_endline "--threshold needs a positive percentage";
+      exit 2
+    | arg :: _ when String.starts_with ~prefix:"--" arg ->
+      Printf.eprintf "unknown option %s\n" arg;
+      exit 2
+    | file :: rest -> path := Some file; parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !self then self_test ();
+  match !path with
+  | Some file -> gate ~threshold:!threshold file
+  | None ->
+    if not !self then begin
+      prerr_endline
+        "usage: validate_perfdb.exe [--threshold PCT] [--self-test] [CSV]";
+      exit 2
+    end

@@ -15,7 +15,7 @@ let print_states labeling mask_or_probs =
       Printf.printf "  state %2d  [%-40s]  %s\n" s labels
         (if mask.(s) then "SATISFIED" else "violated")
     | `Probs probs ->
-      Printf.printf "  state %2d  [%-40s]  %.10f\n" s labels probs.(s)
+      Printf.printf "  state %2d  [%-40s]  %.10f\n" s labels probs.{s}
   done
 
 let print_info mrm labeling init =
@@ -42,7 +42,7 @@ let print_info mrm labeling init =
     (String.concat ", " (Markov.Labeling.propositions labeling));
   let pi = Markov.Steady.distribution chain ~init in
   Printf.printf "long-run distribution from the initial distribution:\n";
-  Array.iteri
+  Linalg.Vec.iteri
     (fun s p ->
       if p > 1e-12 then
         Printf.printf "  state %2d  [%s]  %.8f\n" s
@@ -130,7 +130,10 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
                        ("query", Io.Json.String rendered) ] in
         match verdict with
         | Checker.Boolean mask ->
-          let indicator = Array.map (fun b -> if b then 1.0 else 0.0) mask in
+          let indicator =
+            Linalg.Vec.init (Array.length mask) (fun s ->
+                if mask.(s) then 1.0 else 0.0)
+          in
           Io.Json.Object
             (common
             @ [ ("kind", Io.Json.String "boolean");
@@ -147,8 +150,8 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
                 ("value", Io.Json.Number (Linalg.Vec.dot init values));
                 ("states",
                  Io.Json.List
-                   (Array.to_list
-                      (Array.map (fun v -> Io.Json.Number v) values))) ]))
+                   (List.init (Linalg.Vec.length values) (fun s ->
+                        Io.Json.Number values.{s}))) ]))
       batch verdicts
   in
   let fg_after = Numerics.Fox_glynn.cache_counters () in
@@ -340,7 +343,11 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
       match Checker.eval_query ctx query with
       | Checker.Boolean mask ->
         print_states labeling (`Mask mask);
-        let p = Linalg.Vec.dot init (Array.map (fun b -> if b then 1.0 else 0.0) mask) in
+        let p =
+          Linalg.Vec.dot init
+            (Linalg.Vec.init (Array.length mask) (fun s ->
+                 if mask.(s) then 1.0 else 0.0))
+        in
         Printf.printf "initial distribution satisfies the formula with mass %g\n" p;
         finish ();
         if p < 1.0 then exit 1

@@ -23,7 +23,7 @@ let () =
   let mrm = Models.Adhoc_srn.mrm () in
   let labeling = Models.Adhoc_srn.labeling () in
   Format.printf "@.rewards (mA): ";
-  Array.iteri (fun s r -> if s > 0 then Format.printf ", %g" r else Format.printf "%g" r)
+  Linalg.Vec.iteri (fun s r -> if s > 0 then Format.printf ", %g" r else Format.printf "%g" r)
     (Markov.Mrm.rewards mrm);
   Format.printf "@.battery: %g mAh; 80%% budget = %g mAh@."
     Models.Adhoc.battery_capacity
@@ -44,7 +44,7 @@ let () =
   let quantify name text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric probs ->
-      Format.printf "  %s = %.8f@." name probs.(init_state)
+      Format.printf "  %s = %.8f@." name probs.{init_state}
     | Checker.Boolean _ -> assert false
   in
 

@@ -22,7 +22,7 @@ let () =
   let ctx = Checker.make mrm labeling in
   let quantify text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
-    | Checker.Numeric probs -> Format.printf "  %-52s = %.10f@." text probs.(init)
+    | Checker.Numeric probs -> Format.printf "  %-52s = %.10f@." text probs.{init}
     | Checker.Boolean _ -> assert false
   in
 
@@ -62,5 +62,5 @@ let () =
           (Perf.Engine.solve (Perf.Engine.Occupation_time { epsilon = 1e-8 }))
           mrm ~phi ~psi ~time_bound:168.0 ~reward_bound:budget
       in
-      Format.printf "  B = %-8g -> %.8f@." budget probs.(init))
+      Format.printf "  B = %-8g -> %.8f@." budget probs.{init})
     [ 500.; 1000.; 2000.; 3000.; 4000.; 4200. ]

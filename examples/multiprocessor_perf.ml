@@ -56,7 +56,7 @@ let () =
       match Checker.eval_query ctx (Logic.Parser.query text) with
       | Checker.Numeric probs ->
         Format.printf "  %-46s = %.10f@." text
-          probs.(Models.Multiprocessor.initial_state c)
+          probs.{Models.Multiprocessor.initial_state c}
       | Checker.Boolean _ -> assert false)
     queries;
 

@@ -22,7 +22,7 @@ let () =
   let ctx = Checker.make ~epsilon:1e-10 mrm labeling in
   let quantify text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
-    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.(init)
+    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.{init}
     | Checker.Boolean _ -> assert false
   in
 
@@ -53,7 +53,7 @@ let () =
   in
   let iquantify text =
     match Checker.eval_query ictx (Logic.Parser.query text) with
-    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.(init)
+    | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.{init}
     | Checker.Boolean _ -> assert false
   in
   iquantify "P=? ( true U[t<=8][r<=64] full )";

@@ -37,8 +37,8 @@ let () =
   let query text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric probs ->
-      Format.printf "%-58s -> [%.6f; %.6f; %.6f]@." text probs.(0) probs.(1)
-        probs.(2)
+      Format.printf "%-58s -> [%.6f; %.6f; %.6f]@." text probs.{0} probs.{1}
+        probs.{2}
     | Checker.Boolean _ -> assert false
   in
 

@@ -117,7 +117,7 @@ let until_unbounded ctx ~phi ~psi =
   for s = 0 to n - 1 do
     if open_state s then
       Linalg.Csr.iter_row emb s (fun s' p ->
-          if prob1.(s') then b.(s) <- b.(s) +. p
+          if prob1.(s') then b.{s} <- b.{s} +. p
           else if open_state s' then triples := (s, s', p) :: !triples)
   done;
   let a = Linalg.Csr.of_coo ~rows:n ~cols:n !triples in
@@ -126,10 +126,10 @@ let until_unbounded ctx ~phi ~psi =
     failwith "Checker: unbounded-until system did not converge";
   Telemetry.add ctx.telemetry "unbounded_until.iterations"
     outcome.Linalg.Solvers.iterations;
-  Array.init n (fun s ->
+  Linalg.Vec.init n (fun s ->
       if prob1.(s) then 1.0
       else if prob0.(s) then 0.0
-      else Numerics.Float_utils.clamp_prob outcome.Linalg.Solvers.solution.(s))
+      else Numerics.Float_utils.clamp_prob outcome.Linalg.Solvers.solution.{s})
 
 (* ------------------------------------------------------------------ *)
 (* Time-bounded until (P1): absorb and run transient analysis.        *)
@@ -160,12 +160,12 @@ let until_time_window ctx ~phi ~psi ~t_lo ~t_hi =
     | None -> until_unbounded ctx ~phi ~psi
   in
   let terminal =
-    Array.init n (fun s -> if phi.(s) then phase2.(s) else 0.0)
+    Linalg.Vec.init n (fun s -> if phi.(s) then phase2.{s} else 0.0)
   in
   let absorbed =
     Markov.Transform.make_absorbing chain ~absorb:(Array.map not phi)
   in
-  Array.map Numerics.Float_utils.clamp_prob
+  Linalg.Vec.map Numerics.Float_utils.clamp_prob
     (Markov.Transient.backward ~epsilon:ctx.epsilon ~pool:ctx.pool
        ?telemetry:ctx.telemetry ?cancel:ctx.cancel absorbed ~terminal
        ~t:t_lo)
@@ -189,7 +189,7 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
       ?telemetry:ctx.telemetry ?cancel:ctx.cancel (Markov.Mrm.ctmc dual)
       ~goal:reduced.Perf.Reduced.goal ~t:reward_bound
   in
-  Array.init n (fun s -> dual_probs.(reduced.Perf.Reduced.state_map.(s)))
+  Linalg.Vec.init n (fun s -> dual_probs.{reduced.Perf.Reduced.state_map.(s)})
 
 (* ------------------------------------------------------------------ *)
 (* Time- and reward-bounded until (P3): Theorem 1 + a Section 4 engine. *)
@@ -227,7 +227,7 @@ let until_both_bounded memo ctx ~phi ~psi ~time_bound ~reward_bound =
 let next_probabilities ctx ~time ~reward ~target =
   let chain = Markov.Mrm.ctmc ctx.mrm in
   let n = Markov.Ctmc.n_states chain in
-  Array.init n (fun s ->
+  Linalg.Vec.init n (fun s ->
       let exit = Markov.Ctmc.exit_rate chain s in
       if exit = 0.0 then 0.0
       else begin
@@ -281,7 +281,7 @@ let steady_values ctx ~target =
       let members = scc.Graph.Scc.members.(comp) in
       (* Stationary distribution inside the BSCC, as mass on the target. *)
       let full = Linalg.Vec.create n in
-      List.iter (fun s -> full.(s) <- 1.0 /. float_of_int (List.length members))
+      List.iter (fun s -> full.{s} <- 1.0 /. float_of_int (List.length members))
         members;
       let pi =
         Markov.Steady.distribution chain ~init:full
@@ -289,7 +289,7 @@ let steady_values ctx ~target =
       let target_mass = Linalg.Vec.masked_sum pi target in
       Linalg.Vec.axpy ~alpha:target_mass ~x:absorption.(k) ~y:result)
     bottoms;
-  Array.map Numerics.Float_utils.clamp_prob result
+  Linalg.Vec.map Numerics.Float_utils.clamp_prob result
 
 (* ------------------------------------------------------------------ *)
 (* The recursive Sat computation.  [memo] is threaded through the whole
@@ -324,13 +324,13 @@ and sat_compute memo ctx (phi : Logic.Ast.state_formula) : bool array =
     Array.init n (fun s -> (not sf.(s)) || sg.(s))
   | Prob (cmp, p, path) ->
     let probs = path_probabilities_k memo ctx path in
-    Array.map (Logic.Ast.compare_holds cmp p) probs
+    Array.init n (fun s -> Logic.Ast.compare_holds cmp p probs.{s})
   | Steady (cmp, p, f) ->
     let values = steady_values ctx ~target:(sat_k memo ctx f) in
-    Array.map (Logic.Ast.compare_holds cmp p) values
+    Array.init n (fun s -> Logic.Ast.compare_holds cmp p values.{s})
   | Reward (cmp, c, q) ->
     let values = reward_values_k memo ctx q in
-    Array.map (Logic.Ast.compare_holds cmp c) values
+    Array.init n (fun s -> Logic.Ast.compare_holds cmp c values.{s})
 
 and reward_values_k memo ctx (q : Logic.Ast.reward_query) : Linalg.Vec.t =
   match q with
@@ -417,4 +417,4 @@ let eval_query ?memo ctx q =
   match memo, verdict with
   | None, v -> v
   | Some _, Boolean mask -> Boolean (Array.copy mask)
-  | Some _, Numeric v -> Numeric (Array.copy v)
+  | Some _, Numeric v -> Numeric (Linalg.Vec.copy v)

@@ -23,3 +23,59 @@ let write_file path ~header rows =
   let oc = open_out path in
   output_string oc (render ~header rows);
   close_out oc
+
+exception Parse_error of string
+
+(* RFC-4180 reader, the inverse of [render]: quoted fields may contain
+   commas, doubled quotes and newlines; CRLF and a missing final
+   newline are tolerated. *)
+let parse text =
+  let len = String.length text in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < len do
+    let c = text.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < len && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' ->
+        if Buffer.length buf > 0 then
+          raise (Parse_error "quote inside an unquoted field");
+        in_quotes := true
+      | ',' -> flush_field ()
+      | '\r' when !i + 1 < len && text.[!i + 1] = '\n' ->
+        flush_row ();
+        incr i
+      | '\n' -> flush_row ()
+      | c -> Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  if !in_quotes then raise (Parse_error "unterminated quoted field");
+  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse text

@@ -10,3 +10,13 @@ val line : string list -> string
 val render : header:string list -> string list list -> string
 
 val write_file : string -> header:string list -> string list list -> unit
+
+exception Parse_error of string
+
+val parse : string -> string list list
+(** RFC-4180 reader, the inverse of {!render}: quoted fields may contain
+    commas, doubled quotes and newlines; CRLF line ends and a missing
+    final newline are tolerated.  Raises {!Parse_error} on stray or
+    unterminated quotes. *)
+
+val parse_file : string -> string list list

@@ -129,6 +129,7 @@ let parse text =
          if p < 0.0 || p > 1.0 then fail line "init probability out of range";
          init.(s) <- init.(s) +. p)
        entries);
+  let init = Linalg.Vec.of_array init in
   if not (Linalg.Vec.is_distribution ~tol:1e-9 init) then
     fail 1 "the initial distribution does not sum to one";
   let mrm = Markov.Mrm.of_transitions ~n triples ~rewards:reward_vec in
@@ -188,7 +189,7 @@ let print doc =
       if states <> "" then
         Buffer.add_string buf (Printf.sprintf "label %s %s\n" name states))
     (Markov.Labeling.propositions doc.labeling);
-  Array.iteri
+  Linalg.Vec.iteri
     (fun s p ->
       if p <> 0.0 then Buffer.add_string buf (Printf.sprintf "init %d %.17g\n" s p))
     doc.init;

@@ -1,14 +1,34 @@
+type index_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n_rows : int;
   n_cols : int;
-  row_ptr : int array;    (* length n_rows + 1 *)
-  col_idx : int array;    (* length nnz, sorted within each row *)
-  values : float array;   (* length nnz *)
+  row_ptr : index_array;  (* length n_rows + 1 *)
+  col_idx : index_array;  (* length nnz, sorted within each row *)
+  values : Vec.t;         (* length nnz *)
 }
+
+(* Indices live in int32 bigarrays: half the footprint of boxed-word
+   [int array] index data, contiguous and unscanned by the GC.  The
+   [Int32.to_int (Array1.get ...)] composition is unboxed by the
+   compiler, so reads cost a load + sign-extend and never allocate. *)
+let[@inline] ix (a : index_array) i = Int32.to_int (Bigarray.Array1.get a i)
+
+let[@inline] ux (a : index_array) i =
+  Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let freeze_idx src len =
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout len in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set a i (Int32.of_int (Array.unsafe_get src i))
+  done;
+  a
+
+let freeze_vals src len = Vec.init len (Array.unsafe_get src)
 
 let rows a = a.n_rows
 let cols a = a.n_cols
-let nnz a = Array.length a.values
+let nnz a = Vec.length a.values
 
 (* COO -> CSR by two stable counting sorts (by column, then by row): after
    them the triples are in row-major order with columns sorted and
@@ -16,9 +36,13 @@ let nnz a = Array.length a.values
    duplicates adds in the same order as the hash-table accumulation this
    replaces.  O(nnz + n_rows + n_cols), flat arrays only; the pseudo-Erlang
    expansion builds |S| * k-state matrices through this path, where the
-   old per-row hashtable + sorted-list layout dominated the profile. *)
+   old per-row hashtable + sorted-list layout dominated the profile.
+   Construction works in plain int/float arrays and freezes the result
+   into the bigarray layout at the end. *)
 let of_coo ~rows:n_rows ~cols:n_cols triples =
   if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_coo: negative size";
+  if n_rows > 0x3FFFFFFF || n_cols > 0x3FFFFFFF then
+    invalid_arg "Csr.of_coo: dimension exceeds int32 index range";
   let len = List.length triples in
   let ri = Array.make len 0 in
   let ci = Array.make len 0 in
@@ -101,9 +125,10 @@ let of_coo ~rows:n_rows ~cols:n_cols triples =
     start := stop
   done;
   row_ptr.(n_rows) <- !write;
-  { n_rows; n_cols; row_ptr;
-    col_idx = Array.sub ci 0 !write;
-    values = Array.sub vi 0 !write }
+  { n_rows; n_cols;
+    row_ptr = freeze_idx row_ptr (n_rows + 1);
+    col_idx = freeze_idx ci !write;
+    values = freeze_vals vi !write }
 
 let of_dense m =
   let n_rows = Array.length m in
@@ -121,11 +146,26 @@ let of_dense m =
 let to_dense a =
   let m = Array.make_matrix a.n_rows a.n_cols 0.0 in
   for i = 0 to a.n_rows - 1 do
-    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      m.(i).(a.col_idx.(p)) <- a.values.(p)
+    for p = ix a.row_ptr i to ix a.row_ptr (i + 1) - 1 do
+      m.(i).(ix a.col_idx p) <- Vec.get a.values p
     done
   done;
   m
+
+(* Allocation-free row access for callers that flatten their own inner
+   loops (Perf.Sericola's block recurrence walks every stored entry per
+   (h, k) layer cell through these). *)
+let row_start a i =
+  if i < 0 || i >= a.n_rows then invalid_arg "Csr.row_start: row out of bounds";
+  ux a.row_ptr i
+
+let row_stop a i =
+  if i < 0 || i >= a.n_rows then invalid_arg "Csr.row_stop: row out of bounds";
+  ux a.row_ptr (i + 1)
+
+let col_at a p = ix a.col_idx p
+
+let value_at a p = Vec.get a.values p
 
 let get a i j =
   if i < 0 || i >= a.n_rows || j < 0 || j >= a.n_cols then
@@ -135,18 +175,18 @@ let get a i j =
     if lo >= hi then 0.0
     else begin
       let mid = (lo + hi) / 2 in
-      let c = a.col_idx.(mid) in
-      if c = j then a.values.(mid)
+      let c = ux a.col_idx mid in
+      if c = j then Vec.get a.values mid
       else if c < j then search (mid + 1) hi
       else search lo mid
     end
   in
-  search a.row_ptr.(i) a.row_ptr.(i + 1)
+  search (ux a.row_ptr i) (ux a.row_ptr (i + 1))
 
 let iter_row a i f =
   if i < 0 || i >= a.n_rows then invalid_arg "Csr.iter_row: row out of bounds";
-  for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-    f a.col_idx.(p) a.values.(p)
+  for p = ux a.row_ptr i to ux a.row_ptr (i + 1) - 1 do
+    f (ux a.col_idx p) (Vec.get a.values p)
   done
 
 let fold_row a i ~init ~f =
@@ -165,42 +205,81 @@ let row_sum a i = fold_row a i ~init:0.0 ~f:(fun acc _ v -> acc +. v)
    pool: one matrix row is a handful of multiply-adds. *)
 let spmv_cutoff = 256
 
-let mul_vec_rows a x y lo hi =
-  for i = lo to hi - 1 do
-    let acc = ref 0.0 in
-    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (a.values.(p) *. x.(a.col_idx.(p)))
+(* Rows per tile of the blocked kernel.  64 rows of pointers/indices plus
+   their slice of x and y sit comfortably in L1 alongside the streamed
+   values; the tile is also the unit a pool chunk decomposes into. *)
+let block_rows = 64
+
+(* y.{lo..hi-1} <- (A x) restricted to those rows, walked in row-major
+   tiles.  Within each row the accumulation runs over ascending columns —
+   the same order as every previous implementation, so the result is
+   bit-identical to the naive loop.  No allocation: indices are read
+   straight out of the int32 bigarrays (unboxed), the accumulator is a
+   local float. *)
+let row_pointers a = a.row_ptr
+let col_indices a = a.col_idx
+let values a = a.values
+
+let mul_vec_rows a (x : Vec.t) (y : Vec.t) lo hi =
+  let rp = a.row_ptr and ci = a.col_idx and v = a.values in
+  let tile = ref lo in
+  while !tile < hi do
+    let tile_hi = Stdlib.min hi (!tile + block_rows) in
+    for i = !tile to tile_hi - 1 do
+      let start = Int32.to_int (Bigarray.Array1.unsafe_get rp i) in
+      let stop = Int32.to_int (Bigarray.Array1.unsafe_get rp (i + 1)) in
+      let acc = ref 0.0 in
+      for p = start to stop - 1 do
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get ci p) in
+        acc :=
+          !acc
+          +. (Bigarray.Array1.unsafe_get v p *. Bigarray.Array1.unsafe_get x j)
+      done;
+      Bigarray.Array1.unsafe_set y i !acc
     done;
-    y.(i) <- !acc
+    tile := tile_hi
   done
 
-let mul_vec_into ?(pool = Parallel.Pool.sequential) a x y =
-  if Array.length x <> a.n_cols then invalid_arg "Csr.mul_vec_into: bad x";
-  if Array.length y <> a.n_rows then invalid_arg "Csr.mul_vec_into: bad y";
+let spmv_into ?(pool = Parallel.Pool.sequential) a x y =
+  if Vec.length x <> a.n_cols then invalid_arg "Csr.spmv_into: bad x";
+  if Vec.length y <> a.n_rows then invalid_arg "Csr.spmv_into: bad y";
   (* Rows write disjoint entries of y, so the row partition is free of
-     races and bit-identical to the sequential loop for any pool size. *)
-  Parallel.Pool.parallel_for ~cutoff:spmv_cutoff pool ~lo:0 ~hi:a.n_rows
-    (mul_vec_rows a x y)
+     races and bit-identical to the sequential loop for any pool size.
+     The sequential path calls the kernel directly — not even a closure
+     is allocated. *)
+  if Parallel.Pool.size pool = 1 || a.n_rows <= spmv_cutoff then
+    mul_vec_rows a x y 0 a.n_rows
+  else
+    Parallel.Pool.parallel_for ~cutoff:spmv_cutoff pool ~lo:0 ~hi:a.n_rows
+      (mul_vec_rows a x y)
+
+let mul_vec_into = spmv_into
 
 let mul_vec ?pool a x =
-  let y = Array.make a.n_rows 0.0 in
-  mul_vec_into ?pool a x y;
+  let y = Vec.create a.n_rows in
+  spmv_into ?pool a x y;
   y
 
-let vec_mul_rows a x y lo hi =
+let vec_mul_rows a (x : Vec.t) (y : Vec.t) lo hi =
+  let rp = a.row_ptr and ci = a.col_idx and v = a.values in
   for i = lo to hi - 1 do
-    let xi = x.(i) in
-    if xi <> 0.0 then
-      for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-        let j = a.col_idx.(p) in
-        y.(j) <- y.(j) +. (xi *. a.values.(p))
+    let xi = Bigarray.Array1.unsafe_get x i in
+    if xi <> 0.0 then begin
+      let start = Int32.to_int (Bigarray.Array1.unsafe_get rp i) in
+      let stop = Int32.to_int (Bigarray.Array1.unsafe_get rp (i + 1)) in
+      for p = start to stop - 1 do
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get ci p) in
+        Bigarray.Array1.unsafe_set y j
+          (Bigarray.Array1.unsafe_get y j
+          +. (xi *. Bigarray.Array1.unsafe_get v p))
       done
+    end
   done
 
 let vec_mul_into ?(pool = Parallel.Pool.sequential) x a y =
-  if Array.length x <> a.n_rows then invalid_arg "Csr.vec_mul_into: bad x";
-  if Array.length y <> a.n_cols then invalid_arg "Csr.vec_mul_into: bad y";
-  Array.fill y 0 (Array.length y) 0.0;
+  if Vec.length x <> a.n_rows then invalid_arg "Csr.vec_mul_into: bad x";
+  if Vec.length y <> a.n_cols then invalid_arg "Csr.vec_mul_into: bad y";
+  Vec.fill y 0.0;
   if Parallel.Pool.size pool = 1 || a.n_rows <= spmv_cutoff then
     vec_mul_rows a x y 0 a.n_rows
   else begin
@@ -211,7 +290,7 @@ let vec_mul_into ?(pool = Parallel.Pool.sequential) x a y =
        regrouped additions may differ from the sequential sum by
        rounding). *)
     let pieces = Stdlib.min (Parallel.Pool.size pool) a.n_rows in
-    let partial = Array.init pieces (fun _ -> Array.make a.n_cols 0.0) in
+    let partial = Array.init pieces (fun _ -> Vec.create a.n_cols) in
     let slot_of lo =
       (* First k with chunk boundary >= lo; boundaries are strictly
          increasing, so distinct chunks land in distinct buffers. *)
@@ -226,13 +305,14 @@ let vec_mul_into ?(pool = Parallel.Pool.sequential) x a y =
     for k = 0 to pieces - 1 do
       let b = partial.(k) in
       for j = 0 to a.n_cols - 1 do
-        y.(j) <- y.(j) +. b.(j)
+        Bigarray.Array1.unsafe_set y j
+          (Bigarray.Array1.unsafe_get y j +. Bigarray.Array1.unsafe_get b j)
       done
     done
   end
 
 let vec_mul ?pool x a =
-  let y = Array.make a.n_cols 0.0 in
+  let y = Vec.create a.n_cols in
   vec_mul_into ?pool x a y;
   y
 
@@ -241,10 +321,11 @@ let vec_mul ?pool x a =
    of_coo deduplication: the input is already deduplicated and sorted. *)
 
 let transpose a =
-  let count = Array.length a.values in
+  let count = nnz a in
   let row_ptr = Array.make (a.n_cols + 1) 0 in
   for p = 0 to count - 1 do
-    row_ptr.(a.col_idx.(p) + 1) <- row_ptr.(a.col_idx.(p) + 1) + 1
+    let j = ux a.col_idx p in
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + 1
   done;
   for j = 1 to a.n_cols do
     row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
@@ -255,49 +336,54 @@ let transpose a =
   (* Row-major iteration over a means source rows appear in increasing
      order within each target row: columns come out sorted. *)
   for i = 0 to a.n_rows - 1 do
-    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      let j = a.col_idx.(p) in
+    for p = ux a.row_ptr i to ux a.row_ptr (i + 1) - 1 do
+      let j = ux a.col_idx p in
       let q = cursor.(j) in
       cursor.(j) <- q + 1;
       col_idx.(q) <- i;
-      values.(q) <- a.values.(p)
+      values.(q) <- Vec.get a.values p
     done
   done;
-  { n_rows = a.n_cols; n_cols = a.n_rows; row_ptr; col_idx; values }
+  { n_rows = a.n_cols; n_cols = a.n_rows;
+    row_ptr = freeze_idx row_ptr (a.n_cols + 1);
+    col_idx = freeze_idx col_idx count;
+    values = freeze_vals values count }
 
 (* Shared tail of map/mapi/filter_rows: keep a's sparsity pattern minus
    the entries whose new value is exactly zero (of_coo drops those too,
    so the pruning semantics is unchanged). *)
 let rebuild_pruned a fresh =
-  let count = Array.length a.values in
+  let count = nnz a in
   let row_ptr = Array.make (a.n_rows + 1) 0 in
   let col_idx = Array.make count 0 in
   let values = Array.make count 0.0 in
   let write = ref 0 in
   for i = 0 to a.n_rows - 1 do
     row_ptr.(i) <- !write;
-    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+    for p = ux a.row_ptr i to ux a.row_ptr (i + 1) - 1 do
       let v = fresh.(p) in
       if v <> 0.0 then begin
-        col_idx.(!write) <- a.col_idx.(p);
+        col_idx.(!write) <- ux a.col_idx p;
         values.(!write) <- v;
         incr write
       end
     done
   done;
   row_ptr.(a.n_rows) <- !write;
-  { a with row_ptr;
-    col_idx = Array.sub col_idx 0 !write;
-    values = Array.sub values 0 !write }
+  { a with
+    row_ptr = freeze_idx row_ptr (a.n_rows + 1);
+    col_idx = freeze_idx col_idx !write;
+    values = freeze_vals values !write }
 
-let map f a = rebuild_pruned a (Array.map f a.values)
+let map f a =
+  rebuild_pruned a (Array.init (nnz a) (fun p -> f (Vec.get a.values p)))
 
 let mapi f a =
-  let fresh = Array.make (Array.length a.values) 0.0 in
+  let fresh = Array.make (nnz a) 0.0 in
   let p = ref 0 in
   for i = 0 to a.n_rows - 1 do
-    for q = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      fresh.(!p) <- f i a.col_idx.(q) a.values.(q);
+    for q = ux a.row_ptr i to ux a.row_ptr (i + 1) - 1 do
+      fresh.(!p) <- f i (ux a.col_idx q) (Vec.get a.values q);
       incr p
     done
   done;
@@ -307,19 +393,18 @@ let scale c a = map (fun v -> c *. v) a
 
 let identity n =
   { n_rows = n; n_cols = n;
-    row_ptr = Array.init (n + 1) (fun i -> i);
-    col_idx = Array.init n (fun i -> i);
-    values = Array.make n 1.0 }
+    row_ptr = freeze_idx (Array.init (n + 1) (fun i -> i)) (n + 1);
+    col_idx = freeze_idx (Array.init n (fun i -> i)) n;
+    values = Vec.init n (fun _ -> 1.0) }
 
-let diagonal a =
-  Array.init (Stdlib.min a.n_rows a.n_cols) (fun i -> get a i i)
+let diagonal a = Vec.init (Stdlib.min a.n_rows a.n_cols) (fun i -> get a i i)
 
 let filter_rows a ~keep =
-  let fresh = Array.make (Array.length a.values) 0.0 in
+  let fresh = Array.make (nnz a) 0.0 in
   for i = 0 to a.n_rows - 1 do
     if keep i then
-      for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-        fresh.(p) <- a.values.(p)
+      for p = ux a.row_ptr i to ux a.row_ptr (i + 1) - 1 do
+        fresh.(p) <- Vec.get a.values p
       done
   done;
   rebuild_pruned a fresh
@@ -334,22 +419,23 @@ let equal_approx ?(tol = 1e-12) a b =
        let ok = ref true in
        let i = ref 0 in
        while !ok && !i < a.n_rows do
-         let pa = ref a.row_ptr.(!i) and pb = ref b.row_ptr.(!i) in
-         let enda = a.row_ptr.(!i + 1) and endb = b.row_ptr.(!i + 1) in
+         let pa = ref (ux a.row_ptr !i) and pb = ref (ux b.row_ptr !i) in
+         let enda = ux a.row_ptr (!i + 1) and endb = ux b.row_ptr (!i + 1) in
          while !ok && (!pa < enda || !pb < endb) do
-           let ja = if !pa < enda then a.col_idx.(!pa) else max_int in
-           let jb = if !pb < endb then b.col_idx.(!pb) else max_int in
+           let ja = if !pa < enda then ux a.col_idx !pa else max_int in
+           let jb = if !pb < endb then ux b.col_idx !pb else max_int in
            if ja = jb then begin
-             if not (close a.values.(!pa) b.values.(!pb)) then ok := false;
+             if not (close (Vec.get a.values !pa) (Vec.get b.values !pb)) then
+               ok := false;
              incr pa;
              incr pb
            end
            else if ja < jb then begin
-             if not (close a.values.(!pa) 0.0) then ok := false;
+             if not (close (Vec.get a.values !pa) 0.0) then ok := false;
              incr pa
            end
            else begin
-             if not (close 0.0 b.values.(!pb)) then ok := false;
+             if not (close 0.0 (Vec.get b.values !pb)) then ok := false;
              incr pb
            end
          done;

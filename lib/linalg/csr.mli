@@ -6,6 +6,11 @@
 
 type t
 
+type index_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Row pointers and column indices are stored as int32 bigarrays:
+    half the footprint of an [int array] per entry, contiguous, and
+    invisible to the GC. *)
+
 val rows : t -> int
 val cols : t -> int
 val nnz : t -> int
@@ -37,14 +42,51 @@ val iter : t -> (int -> int -> float -> unit) -> unit
 
 val row_sum : t -> int -> float
 
+val row_start : t -> int -> int
+(** First stored-entry position of row [i]; with {!row_stop}, {!col_at}
+    and {!value_at} this exposes the flat CSR walk
+    [for p = row_start a i to row_stop a i - 1 do ... done] without the
+    per-row closure of {!iter_row} — the allocation-free path used by the
+    transient-analysis inner loops. *)
+
+val row_stop : t -> int -> int
+(** One past the last stored-entry position of row [i]. *)
+
+val col_at : t -> int -> int
+(** Column of the stored entry at position [p] (bounds-checked). *)
+
+val value_at : t -> int -> float
+(** Value of the stored entry at position [p] (bounds-checked). *)
+
+val row_pointers : t -> index_array
+(** The raw row-pointer array (length [rows + 1]).  Together with
+    {!col_indices} and {!values} this exposes the flat storage for
+    external kernels whose inner loops cannot afford even the boxed
+    float returned by a {!value_at} call; the arrays are the live
+    storage, so callers must not write to them. *)
+
+val col_indices : t -> index_array
+(** The raw column-index array (length [nnz]), row-major, ascending
+    within each row. *)
+
+val values : t -> Vec.t
+(** The raw stored-value array (length [nnz]), parallel to
+    {!col_indices}.  Do not mutate. *)
+
 val mul_vec : ?pool:Parallel.Pool.t -> t -> Vec.t -> Vec.t
 (** [mul_vec a x] is [A x]. *)
 
+val spmv_into : ?pool:Parallel.Pool.t -> t -> Vec.t -> Vec.t -> unit
+(** [spmv_into a x y] stores [A x] in the caller-owned [y]; [x] and [y]
+    must be distinct vectors.  The kernel walks the rows in tiles of 64
+    and accumulates each row over ascending columns, so the result is
+    bit-identical to the naive row loop; the sequential path performs no
+    allocation at all.  With a [pool] the row range is partitioned across
+    its domains; each row writes only its own entry of [y], so the result
+    is bit-identical to the sequential product for every pool size. *)
+
 val mul_vec_into : ?pool:Parallel.Pool.t -> t -> Vec.t -> Vec.t -> unit
-(** [mul_vec_into a x y] stores [A x] in [y]; [x] and [y] must be distinct
-    arrays.  With a [pool] the rows are partitioned across its domains;
-    each row writes only its own entry of [y], so the result is
-    bit-identical to the sequential product for every pool size. *)
+(** Alias of {!spmv_into} (historical name). *)
 
 val vec_mul : ?pool:Parallel.Pool.t -> Vec.t -> t -> Vec.t
 (** [vec_mul x a] is the row vector [x^T A] — the direction in which

@@ -12,16 +12,16 @@ let jacobi_fixpoint ?x0 ?(tol = default_tol) ?(max_iter = default_max_iter) a
     ~b =
   let n = Csr.rows a in
   if Csr.cols a <> n then invalid_arg "Solvers.jacobi_fixpoint: square only";
-  if Array.length b <> n then invalid_arg "Solvers.jacobi_fixpoint: bad b";
+  if Vec.length b <> n then invalid_arg "Solvers.jacobi_fixpoint: bad b";
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
   let x' = Vec.create n in
   let rec loop k =
     Csr.mul_vec_into a x x';
     for i = 0 to n - 1 do
-      x'.(i) <- x'.(i) +. b.(i)
+      x'.{i} <- x'.{i} +. b.{i}
     done;
     let residual = Vec.linf_dist x x' in
-    Array.blit x' 0 x 0 n;
+    Vec.copy_into x' x;
     if residual <= tol then
       { solution = x; iterations = k; residual; converged = true }
     else if k >= max_iter then
@@ -35,15 +35,15 @@ let gauss_seidel_fixpoint ?x0 ?(tol = default_tol)
   let n = Csr.rows a in
   if Csr.cols a <> n then
     invalid_arg "Solvers.gauss_seidel_fixpoint: square only";
-  if Array.length b <> n then invalid_arg "Solvers.gauss_seidel_fixpoint: bad b";
+  if Vec.length b <> n then invalid_arg "Solvers.gauss_seidel_fixpoint: bad b";
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
   let rec loop k =
     let residual = ref 0.0 in
     for i = 0 to n - 1 do
-      let acc = ref b.(i) in
-      Csr.iter_row a i (fun j v -> acc := !acc +. (v *. x.(j)));
-      residual := Float.max !residual (Float.abs (!acc -. x.(i)));
-      x.(i) <- !acc
+      let acc = ref b.{i} in
+      Csr.iter_row a i (fun j v -> acc := !acc +. (v *. x.{j}));
+      residual := Float.max !residual (Float.abs (!acc -. x.{i}));
+      x.{i} <- !acc
     done;
     if !residual <= tol then
       { solution = x; iterations = k; residual = !residual; converged = true }
@@ -60,13 +60,13 @@ let power_stationary ?pi0 ?(tol = default_tol)
   let pi =
     match pi0 with
     | Some v -> Vec.copy v
-    | None -> Array.make n (1.0 /. float_of_int n)
+    | None -> Vec.init n (fun _ -> 1.0 /. float_of_int n)
   in
   let pi' = Vec.create n in
   let rec loop k =
     Csr.vec_mul_into pi p pi';
     let residual = Vec.linf_dist pi pi' in
-    Array.blit pi' 0 pi 0 n;
+    Vec.copy_into pi' pi;
     if residual <= tol then
       { solution = Vec.normalize pi; iterations = k; residual; converged = true }
     else if k >= max_iter then

@@ -10,7 +10,7 @@ let make r =
       if v < 0.0 || not (Float.is_finite v) then
         invalid_arg
           (Printf.sprintf "Ctmc.make: invalid rate %g at (%d,%d)" v i j));
-  let exit = Array.init n (fun i -> Linalg.Csr.row_sum r i) in
+  let exit = Linalg.Vec.init n (fun i -> Linalg.Csr.row_sum r i) in
   { rates = r; exit }
 
 let of_transitions ~n triples = make (Linalg.Csr.of_coo ~rows:n ~cols:n triples)
@@ -23,11 +23,14 @@ let rate c i j = Linalg.Csr.get c.rates i j
 
 let exit_rate c i =
   if i < 0 || i >= n_states c then invalid_arg "Ctmc.exit_rate: bad state";
-  c.exit.(i)
+  c.exit.{i}
 
 let exit_rates c = Linalg.Vec.copy c.exit
 
-let max_exit_rate c = Array.fold_left Float.max 0.0 c.exit
+let max_exit_rate c =
+  let m = ref 0.0 in
+  Linalg.Vec.iter (fun x -> m := Float.max !m x) c.exit;
+  !m
 
 let is_absorbing c i = exit_rate c i = 0.0
 
@@ -36,7 +39,7 @@ let generator c =
   let triples = ref [] in
   Linalg.Csr.iter c.rates (fun i j v -> triples := (i, j, v) :: !triples);
   for i = 0 to n - 1 do
-    if c.exit.(i) <> 0.0 then triples := (i, i, -.c.exit.(i)) :: !triples
+    if c.exit.{i} <> 0.0 then triples := (i, i, -.c.exit.{i}) :: !triples
   done;
   Linalg.Csr.of_coo ~rows:n ~cols:n !triples
 
@@ -56,7 +59,7 @@ let uniformized ?rate c =
   let triples = ref [] in
   Linalg.Csr.iter c.rates (fun i j v -> triples := (i, j, v /. lambda) :: !triples);
   for i = 0 to n - 1 do
-    let self = 1.0 -. (c.exit.(i) /. lambda) in
+    let self = 1.0 -. (c.exit.{i} /. lambda) in
     if self <> 0.0 then triples := (i, i, self) :: !triples
   done;
   (lambda, Linalg.Csr.of_coo ~rows:n ~cols:n !triples)
@@ -65,9 +68,9 @@ let embedded c =
   let n = n_states c in
   let triples = ref [] in
   Linalg.Csr.iter c.rates (fun i j v ->
-      if c.exit.(i) > 0.0 then triples := (i, j, v /. c.exit.(i)) :: !triples);
+      if c.exit.{i} > 0.0 then triples := (i, j, v /. c.exit.{i}) :: !triples);
   for i = 0 to n - 1 do
-    if c.exit.(i) = 0.0 then triples := (i, i, 1.0) :: !triples
+    if c.exit.{i} = 0.0 then triples := (i, i, 1.0) :: !triples
   done;
   Linalg.Csr.of_coo ~rows:n ~cols:n !triples
 

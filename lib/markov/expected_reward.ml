@@ -11,7 +11,7 @@
    accuracies used here. *)
 
 let check_init m init =
-  if Array.length init <> Mrm.n_states m then
+  if Linalg.Vec.length init <> Mrm.n_states m then
     invalid_arg "Expected_reward: init has the wrong length";
   if not (Linalg.Vec.is_distribution ~tol:1e-9 init) then
     invalid_arg "Expected_reward: init is not a distribution"
@@ -109,11 +109,11 @@ let reachability ?(tol = 1e-13) m ~goal =
   let b = Linalg.Vec.create n in
   for s = 0 to n - 1 do
     if open_state s then begin
-      b.(s) <- Mrm.reward m s /. Ctmc.exit_rate chain s;
+      b.{s} <- Mrm.reward m s /. Ctmc.exit_rate chain s;
       Linalg.Csr.iter_row emb s (fun s' pr ->
           (* The jump itself may carry an impulse (also on the final jump
              into the goal, per our accumulation convention). *)
-          b.(s) <- b.(s) +. (pr *. Mrm.impulse m s s');
+          b.{s} <- b.{s} +. (pr *. Mrm.impulse m s s');
           if open_state s' then triples := (s, s', pr) :: !triples)
     end
   done;
@@ -121,10 +121,10 @@ let reachability ?(tol = 1e-13) m ~goal =
   let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol a ~b in
   if not outcome.Linalg.Solvers.converged then
     failwith "Expected_reward.reachability: system did not converge";
-  Array.init n (fun s ->
+  Linalg.Vec.init n (fun s ->
       if goal.(s) then 0.0
       else if not almost_sure.(s) then Float.infinity
-      else outcome.Linalg.Solvers.solution.(s))
+      else outcome.Linalg.Solvers.solution.{s})
 
 let steady_rate_all ?tol m =
   let effective = Linalg.Vec.add (Mrm.rewards m) (Mrm.impulse_flow m) in

@@ -87,13 +87,14 @@ let compute mrm labeling =
   { quotient; labeling; block_of_state; n_blocks; representative }
 
 let lift l v =
-  if Array.length v <> Array.length l.block_of_state then
+  if Linalg.Vec.length v <> Array.length l.block_of_state then
     invalid_arg "Lumping.lift: length mismatch";
   let out = Linalg.Vec.create l.n_blocks in
-  Array.iteri (fun s b -> out.(b) <- out.(b) +. v.(s)) l.block_of_state;
+  Array.iteri (fun s b -> out.{b} <- out.{b} +. v.{s}) l.block_of_state;
   out
 
 let lower l w =
-  if Array.length w <> l.n_blocks then
+  if Linalg.Vec.length w <> l.n_blocks then
     invalid_arg "Lumping.lower: length mismatch";
-  Array.map (fun b -> w.(b)) l.block_of_state
+  Linalg.Vec.init (Array.length l.block_of_state) (fun s ->
+      w.{l.block_of_state.(s)})

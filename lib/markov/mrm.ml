@@ -53,7 +53,7 @@ let reward m s =
   if s < 0 || s >= n_states m then invalid_arg "Mrm.reward: bad state";
   m.rho.(s)
 
-let rewards m = Array.copy m.rho
+let rewards m = Linalg.Vec.of_array m.rho
 
 let max_reward m = Array.fold_left Float.max 0.0 m.rho
 
@@ -63,7 +63,7 @@ let impulse_flow m =
    | None -> ()
    | Some matrix ->
      Linalg.Csr.iter matrix (fun s s' v ->
-         flow.(s) <- flow.(s) +. (Ctmc.rate m.ctmc s s' *. v)));
+         flow.{s} <- flow.{s} +. (Ctmc.rate m.ctmc s s' *. v)));
   flow
 
 let max_impulse m =
@@ -112,7 +112,7 @@ let with_ctmc m chain =
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>%a@,rewards: %a@]" Ctmc.pp m.ctmc Linalg.Vec.pp
-    m.rho;
+    (Linalg.Vec.of_array m.rho);
   match m.iota with
   | Some matrix when Linalg.Csr.nnz matrix > 0 ->
     Format.fprintf ppf "@,impulses:@,%a" Linalg.Csr.pp matrix

@@ -11,7 +11,7 @@ let bscc_stationary ?(tol = 1e-13) c members =
   let members = Array.of_list members in
   let k = Array.length members in
   let result = Linalg.Vec.create n in
-  if k = 1 then result.(members.(0)) <- 1.0
+  if k = 1 then result.{members.(0)} <- 1.0
   else begin
     let local_index = Hashtbl.create k in
     Array.iteri (fun local global -> Hashtbl.add local_index global local)
@@ -32,7 +32,7 @@ let bscc_stationary ?(tol = 1e-13) c members =
       failwith "Steady: power iteration did not converge";
     Array.iteri
       (fun local global ->
-        result.(global) <- outcome.Linalg.Solvers.solution.(local))
+        result.{global} <- outcome.Linalg.Solvers.solution.{local})
       members
   end;
   result
@@ -60,19 +60,19 @@ let absorption_probabilities ?(tol = 1e-13) c =
       ignore comp;
       let h = Linalg.Vec.create n in
       for s = 0 to n - 1 do
-        if in_bottom.(s) = k then h.(s) <- 1.0
+        if in_bottom.(s) = k then h.{s} <- 1.0
       done;
       let b = Linalg.Vec.create n in
       for i = 0 to n - 1 do
         if transient.(i) then
           Linalg.Csr.iter_row emb i (fun j v ->
-              if in_bottom.(j) = k then b.(i) <- b.(i) +. v)
+              if in_bottom.(j) = k then b.{i} <- b.{i} +. v)
       done;
       let outcome = Linalg.Solvers.gauss_seidel_fixpoint ~tol a ~b in
       if not outcome.Linalg.Solvers.converged then
         failwith "Steady: absorption system did not converge";
       for s = 0 to n - 1 do
-        if transient.(s) then h.(s) <- outcome.Linalg.Solvers.solution.(s)
+        if transient.(s) then h.{s} <- outcome.Linalg.Solvers.solution.{s}
       done;
       h)
     bottoms
@@ -87,7 +87,7 @@ let stationary_irreducible ?tol c =
   | _ -> invalid_arg "Steady.stationary_irreducible: chain is reducible"
 
 let distribution ?(tol = 1e-13) c ~init =
-  if Array.length init <> Ctmc.n_states c then
+  if Linalg.Vec.length init <> Ctmc.n_states c then
     invalid_arg "Steady.distribution: init has the wrong length";
   let scc, bottoms = bsccs c in
   let absorption = absorption_probabilities ~tol c in

@@ -1,5 +1,5 @@
 let check_init c init =
-  if Array.length init <> Ctmc.n_states c then
+  if Linalg.Vec.length init <> Ctmc.n_states c then
     invalid_arg "Transient: init has the wrong length";
   if not (Linalg.Vec.is_distribution ~tol:1e-9 init) then
     invalid_arg "Transient: init is not a probability distribution"
@@ -14,7 +14,7 @@ let check_init c init =
    target make the error negligible in practice. *)
 let series ?stationary_detection ?telemetry ?cancel ~epsilon ~q ~start ~step
     () =
-  let n = Array.length start in
+  let n = Linalg.Vec.length start in
   let fg = Numerics.Fox_glynn.compute ~q ~epsilon in
   Numerics.Fox_glynn.record telemetry fg;
   Telemetry.record telemetry "uniformisation.q" q;
@@ -84,7 +84,7 @@ let reachability ?epsilon ?stationary_detection ?pool ?telemetry ?cancel c
 
 let backward ?(epsilon = 1e-12) ?rate ?stationary_detection ?pool ?telemetry
     ?cancel c ~terminal ~t =
-  if Array.length terminal <> Ctmc.n_states c then
+  if Linalg.Vec.length terminal <> Ctmc.n_states c then
     invalid_arg "Transient.backward: terminal vector has the wrong length";
   if t < 0.0 then invalid_arg "Transient.backward: negative time";
   if t = 0.0 then Linalg.Vec.copy terminal
@@ -101,8 +101,10 @@ let reachability_all ?epsilon ?rate ?stationary_detection ?pool ?telemetry
     ?cancel c ~goal ~t =
   if Array.length goal <> Ctmc.n_states c then
     invalid_arg "Transient.reachability_all: goal has the wrong length";
-  let terminal = Array.map (fun b -> if b then 1.0 else 0.0) goal in
-  Array.map Numerics.Float_utils.clamp_prob
+  let terminal =
+    Linalg.Vec.init (Array.length goal) (fun i -> if goal.(i) then 1.0 else 0.0)
+  in
+  Linalg.Vec.map Numerics.Float_utils.clamp_prob
     (backward ?epsilon ?rate ?stationary_detection ?pool ?telemetry ?cancel c
        ~terminal ~t)
 

@@ -46,7 +46,15 @@ let log_factorial n =
 
 let log_binomial n k =
   if k < 0 || k > n then invalid_arg "Special.log_binomial: need 0 <= k <= n";
-  log_factorial n -. log_factorial k -. log_factorial (n - k)
+  (* Read the table directly when every factorial is memoised — same
+     values and subtraction order as the general path, but no boxed
+     intermediates from the three [log_factorial] calls (this sits in the
+     inner loop of the binomial layer weights). *)
+  if n < factorial_table_size then
+    Array.unsafe_get factorial_table n
+    -. Array.unsafe_get factorial_table k
+    -. Array.unsafe_get factorial_table (n - k)
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
 
 let binomial n k = Float.exp (log_binomial n k)
 

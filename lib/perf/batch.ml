@@ -73,7 +73,7 @@ let until_probabilities t ?config ?telemetry ?pool solve m ~phi ~psi
         Reduction.until_probabilities_on r ?pool ?telemetry solve ~phi ~psi
           ~time_bound ~reward_bound)
   in
-  Array.copy v
+  Linalg.Vec.copy v
 
 let counters t =
   Mutex.lock t.lock;

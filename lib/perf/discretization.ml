@@ -45,62 +45,94 @@ let solve ?(pool = Parallel.Pool.sequential) ?telemetry ?cancel ~step
   Telemetry.add telemetry "discretisation.grid_cells" (n * width);
   Telemetry.add telemetry "discretisation.cell_updates"
     ((t_steps - 1) * n * width);
-  (* f.(s) is the reward profile of state s on the grid 0..r_steps. *)
-  let f_cur = Array.init n (fun _ -> Array.make width 0.0) in
-  let f_next = Array.init n (fun _ -> Array.make width 0.0) in
-  (* F^1: after one step of length d the chain is (up to O(d) corrections)
-     still in its initial state, having earned rho(s) grid units. *)
-  Array.iteri
+  (* The grid lives in two flat |S| * width buffers (state s's reward
+     profile is the slice [s * width .. s * width + r_steps]): one
+     contiguous unboxed block per generation instead of n boxed rows, so
+     a time step streams straight through memory.  F^1: after one step of
+     length d the chain is (up to O(d) corrections) still in its initial
+     state, having earned rho(s) grid units. *)
+  let f_cur = Linalg.Vec.create (n * width) in
+  let f_next = Linalg.Vec.create (n * width) in
+  Linalg.Vec.iteri
     (fun s mass ->
-      if mass > 0.0 && rho.(s) <= r_steps then
-        f_cur.(s).(rho.(s)) <- f_cur.(s).(rho.(s)) +. (mass /. d))
+      if mass > 0.0 && rho.(s) <= r_steps then begin
+        let cell = (s * width) + rho.(s) in
+        f_cur.{cell} <- f_cur.{cell} +. (mass /. d)
+      end)
     p.Problem.init;
-  (* Incoming transitions, per target state, with their impulse shifts. *)
-  let incoming = Array.make n [] in
-  Linalg.Csr.iter (Markov.Ctmc.rates chain) (fun s s' rate ->
-      incoming.(s') <- (s, rate, impulse_cells s s') :: incoming.(s'));
+  (* Incoming transitions in a CSR-style layout keyed by target state:
+     entries for target s sit at inc_ptr.(s) .. inc_ptr.(s+1) - 1, stored
+     in *descending* row-major source order — the order the old per-target
+     cons lists produced (prepending under a row-major sweep) — so the
+     per-cell additions happen in the same sequence and the result is
+     bit-identical.  The per-entry weight rate * d and grid shift
+     rho(source) + impulse are precomputed once. *)
+  let rates = Markov.Ctmc.rates chain in
+  let count = Array.make n 0 in
+  Linalg.Csr.iter rates (fun _ s' _ -> count.(s') <- count.(s') + 1);
+  let inc_ptr = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    inc_ptr.(s + 1) <- inc_ptr.(s) + count.(s)
+  done;
+  let total = inc_ptr.(n) in
+  let inc_shift = Array.make total 0 in
+  let inc_base = Array.make total 0 in
+  let inc_w = Array.make total 0.0 in
+  let cursor = Array.init n (fun s -> inc_ptr.(s + 1)) in
+  Linalg.Csr.iter rates (fun s s' rate ->
+      let q = cursor.(s') - 1 in
+      cursor.(s') <- q;
+      inc_shift.(q) <- rho.(s) + impulse_cells s s';
+      inc_base.(q) <- s * width;
+      inc_w.(q) <- rate *. d);
   let stay = Array.init n (fun s -> 1.0 -. (Markov.Ctmc.exit_rate chain s *. d)) in
   (* Swap the grids between steps instead of copying them back. *)
   let cur = ref f_cur and next = ref f_next in
   (* State rows are wide (width = r/d + 1 cells) and independent within a
      time step — each reads the previous grid freely but writes only its
-     own row — so the state loop parallelises with a cutoff of one row. *)
-  let advance cur next lo hi =
+     own row — so the state loop parallelises with a cutoff of one row.
+     The body is allocation-free: flat loops over the preassembled
+     incoming arrays, plain float arithmetic on the bigarray grids. *)
+  let advance (cur : Linalg.Vec.t) (next : Linalg.Vec.t) lo hi =
     for s = lo to hi - 1 do
-      let row = next.(s) in
-      Array.fill row 0 width 0.0;
+      let row = s * width in
       (* Remained in s for the whole step. *)
       let shift = rho.(s) in
       let factor = stay.(s) in
+      Linalg.Vec.fill_range next row width 0.0;
       for k = shift to width - 1 do
-        row.(k) <- cur.(s).(k - shift) *. factor
+        next.{row + k} <- cur.{row + k - shift} *. factor
       done;
-      (* Moved into s from s' during the step: the reward index advances
-         by the source's rate reward plus the transition's impulse. *)
-      List.iter
-        (fun (s', rate, impulse) ->
-          let shift' = rho.(s') + impulse in
-          let w = rate *. d in
-          let src = cur.(s') in
-          for k = shift' to width - 1 do
-            row.(k) <- row.(k) +. (src.(k - shift') *. w)
-          done)
-        incoming.(s)
+      (* Moved into s from a source during the step: the reward index
+         advances by the source's rate reward plus the transition's
+         impulse. *)
+      for q = inc_ptr.(s) to inc_ptr.(s + 1) - 1 do
+        let shift' = inc_shift.(q) in
+        let src = inc_base.(q) in
+        let w = inc_w.(q) in
+        for k = shift' to width - 1 do
+          next.{row + k} <- next.{row + k} +. (cur.{src + k - shift'} *. w)
+        done
+      done
     done
   in
+  let sequential = Parallel.Pool.size pool = 1 in
   for _j = 2 to t_steps do
     Numerics.Cancel.check cancel;
-    Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:n
-      (advance !cur !next);
+    if sequential then advance !cur !next 0 n
+    else
+      Parallel.Pool.parallel_for ~cutoff:1 pool ~lo:0 ~hi:n
+        (advance !cur !next);
     let tmp = !cur in
     cur := !next;
     next := tmp
   done;
   let acc = Numerics.Kahan.create () in
+  let cur = !cur in
   for s = 0 to n - 1 do
     if p.Problem.goal.(s) then
       for k = 0 to width - 1 do
-        Numerics.Kahan.add acc !cur.(s).(k)
+        Numerics.Kahan.add acc cur.{(s * width) + k}
       done
   done;
   Numerics.Float_utils.clamp_prob (Numerics.Kahan.sum acc *. d)

@@ -23,7 +23,7 @@ let expanded_ctmc (p : Problem.t) ~phases =
         triples := (index s i, target, rate) :: !triples
       done);
   (* The reward meter: phase advances at rate rho(s) * k / r. *)
-  Array.iteri
+  Linalg.Vec.iteri
     (fun s rho ->
       if rho > 0.0 then begin
         let meter_rate = rho *. float_of_int phases /. r in
@@ -43,7 +43,7 @@ let solve ?(epsilon = 1e-12) ?pool ?telemetry ?cancel ~phases
   Telemetry.record telemetry "erlang.phases" (float_of_int phases);
   Telemetry.record telemetry "erlang.expanded_states" (float_of_int total);
   let init = Linalg.Vec.create total in
-  Array.iteri (fun s mass -> init.(s * phases) <- mass) p.Problem.init;
+  Linalg.Vec.iteri (fun s mass -> init.{s * phases} <- mass) p.Problem.init;
   let goal = Array.make total false in
   Array.iteri
     (fun s in_goal ->

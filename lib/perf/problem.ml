@@ -8,7 +8,7 @@ type t = {
 
 let make mrm ~init ~goal ~time_bound ~reward_bound =
   let n = Markov.Mrm.n_states mrm in
-  if Array.length init <> n then invalid_arg "Problem.make: init length";
+  if Linalg.Vec.length init <> n then invalid_arg "Problem.make: init length";
   if Array.length goal <> n then invalid_arg "Problem.make: goal length";
   if not (Linalg.Vec.is_distribution ~tol:1e-9 init) then
     invalid_arg "Problem.make: init is not a distribution";

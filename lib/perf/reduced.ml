@@ -53,14 +53,14 @@ let reduce m ~phi ~psi =
 
 let problem r ~init ~time_bound ~reward_bound =
   let old_n = Array.length r.state_map in
-  if Array.length init <> old_n then
+  if Linalg.Vec.length init <> old_n then
     invalid_arg "Reduced.problem: init length mismatch";
   let new_n = Markov.Mrm.n_states r.mrm in
   let init' = Linalg.Vec.create new_n in
-  Array.iteri
+  Linalg.Vec.iteri
     (fun old_state mass ->
       let new_state = r.state_map.(old_state) in
-      init'.(new_state) <- init'.(new_state) +. mass)
+      init'.{new_state} <- init'.{new_state} +. mass)
     init;
   Problem.make r.mrm ~init:init' ~goal:r.goal ~time_bound ~reward_bound
 
@@ -93,13 +93,13 @@ let until_probabilities_on ?(pool = Parallel.Pool.sequential) r solve ~phi
         (* Same vector the original-space unit init produces once pushed
            through the state map. *)
         let init = Linalg.Vec.unit new_n rs in
-        solutions.(rs) <-
+        solutions.{rs} <-
           solve (Problem.make r.mrm ~init ~goal:r.goal ~time_bound ~reward_bound)
       done);
-  Array.init n (fun s ->
+  Linalg.Vec.init n (fun s ->
       if psi.(s) then 1.0
       else if not phi.(s) then 0.0
-      else solutions.(r.state_map.(s)))
+      else solutions.{r.state_map.(s)})
 
 let until_probabilities_via ?pool solve m ~phi ~psi ~time_bound ~reward_bound =
   until_probabilities_on ?pool (reduce m ~phi ~psi) solve ~phi ~psi ~time_bound

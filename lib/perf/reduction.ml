@@ -183,7 +183,7 @@ let restrict_to_reachable ?telemetry (p : Problem.t) =
     let n = Markov.Mrm.n_states mrm in
     let support = ref [] in
     for s = n - 1 downto 0 do
-      if p.Problem.init.(s) > 0.0 then support := s :: !support
+      if p.Problem.init.{s} > 0.0 then support := s :: !support
     done;
     let chain = Markov.Mrm.ctmc mrm in
     let reachable = Graph.Reach.forward (Markov.Ctmc.graph chain) !support in
@@ -212,7 +212,7 @@ let restrict_to_reachable ?telemetry (p : Problem.t) =
         if reachable.(s) then begin
           rewards.(map.(s)) <- Markov.Mrm.reward mrm s;
           goal.(map.(s)) <- p.Problem.goal.(s);
-          init.(map.(s)) <- p.Problem.init.(s)
+          init.{map.(s)} <- p.Problem.init.{s}
         end
       done;
       Telemetry.add telemetry "reduction.init_pruned_states" !dropped;
@@ -240,10 +240,10 @@ let apply ?telemetry config (p : Problem.t) =
           | Some (merged, map, goal, dropped) ->
             pruned := dropped;
             let init = Linalg.Vec.create (Markov.Mrm.n_states merged) in
-            Array.iteri
+            Linalg.Vec.iteri
               (fun s mass ->
                 let m = map.(s) in
-                init.(m) <- init.(m) +. mass)
+                init.{m} <- init.{m} +. mass)
               p.Problem.init;
             Problem.make merged ~init ~goal ~time_bound:p.Problem.time_bound
               ~reward_bound:p.Problem.reward_bound
@@ -261,10 +261,10 @@ let apply ?telemetry config (p : Problem.t) =
         | None -> (p, false)
         | Some (quotient, block_of_state, goal) ->
           let init = Linalg.Vec.create (Markov.Mrm.n_states quotient) in
-          Array.iteri
+          Linalg.Vec.iteri
             (fun s mass ->
               let b = block_of_state.(s) in
-              init.(b) <- init.(b) +. mass)
+              init.{b} <- init.{b} +. mass)
             p.Problem.init;
           ( Problem.make quotient ~init ~goal
               ~time_bound:p.Problem.time_bound
@@ -320,12 +320,12 @@ let until_probabilities_on r ?(pool = Parallel.Pool.sequential) ?telemetry
           if r.config.prune then restrict_to_reachable ?telemetry problem
           else problem
         in
-        solutions.(b) <- solve problem
+        solutions.{b} <- solve problem
       done);
-  Array.init n (fun s ->
+  Linalg.Vec.init n (fun s ->
       if psi.(s) then 1.0
       else if not phi.(s) then 0.0
-      else solutions.(pipe_of s))
+      else solutions.{pipe_of s})
 
 let until_probabilities_via ?config ?telemetry ?pool solve m ~phi ~psi
     ~time_bound ~reward_bound =

@@ -28,15 +28,28 @@ type context = {
    rows already carries enough work to dispatch. *)
 let block_row_cutoff = 16
 
-let block_mul_rows ctx dst src lo hi =
+let block_mul_rows ctx (dst : Linalg.Vec.t) (src : Linalg.Vec.t) lo hi =
+  (* Flat CSR walk through row_start/row_stop/col_at/value_at instead of
+     iter_row: the old per-row closure was the dominant allocation of the
+     whole solver (one closure per row per (h, k, layer) cell).  The
+     traversal order — stored entries ascending within each row, columns
+     ascending — is unchanged, so the sums are bit-identical. *)
   let w = ctx.width in
+  let rp = Linalg.Csr.row_pointers ctx.p in
+  let ci = Linalg.Csr.col_indices ctx.p in
+  let vals = Linalg.Csr.values ctx.p in
   for i = lo to hi - 1 do
-    Array.fill dst (i * w) w 0.0;
-    Linalg.Csr.iter_row ctx.p i (fun j v ->
-        let src_off = j * w and dst_off = i * w in
-        for col = 0 to w - 1 do
-          dst.(dst_off + col) <- dst.(dst_off + col) +. (v *. src.(src_off + col))
-        done)
+    let dst_off = i * w in
+    Linalg.Vec.fill_range dst dst_off w 0.0;
+    let start = Int32.to_int (Bigarray.Array1.unsafe_get rp i) in
+    let stop = Int32.to_int (Bigarray.Array1.unsafe_get rp (i + 1)) in
+    for pos = start to stop - 1 do
+      let v = Bigarray.Array1.unsafe_get vals pos in
+      let src_off = Int32.to_int (Bigarray.Array1.unsafe_get ci pos) * w in
+      for col = 0 to w - 1 do
+        dst.{dst_off + col} <- dst.{dst_off + col} +. (v *. src.{src_off + col})
+      done
+    done
   done
 
 let block_mul ctx dst src =
@@ -45,18 +58,40 @@ let block_mul ctx dst src =
   Parallel.Pool.parallel_for ~cutoff:block_row_cutoff ctx.pool ~lo:0
     ~hi:ctx.n_states (block_mul_rows ctx dst src)
 
-(* Binomial(n, x) probabilities as an array over k = 0..n, in log space so
-   that large n and extreme x do not underflow prematurely. *)
-let binomial_pmf n x =
-  if x <= 0.0 then Array.init (n + 1) (fun k -> if k = 0 then 1.0 else 0.0)
-  else if x >= 1.0 then Array.init (n + 1) (fun k -> if k = n then 1.0 else 0.0)
+(* log n! for n = 0..max_layer, computed once per solve: the binomial
+   weights are evaluated for every (layer, k) cell, and the per-cell
+   [Special.log_binomial] calls (three boxed-float returns each, plus the
+   Lanczos evaluation past the factorial memo) dominated the allocation
+   profile of the whole recursion.  The table holds exactly the values
+   [Special.log_factorial] returns, so results are unchanged. *)
+let log_factorial_table max_layer =
+  Array.init (max_layer + 1) Numerics.Special.log_factorial
+
+(* Binomial(n, x) probabilities for k = 0..n written into [bin] (length
+   >= n + 1, preallocated by the caller once for the whole series), in log
+   space so that large n and extreme x do not underflow prematurely.
+   [lf] is the caller's {!log_factorial_table}; the subtraction order
+   matches [Special.log_binomial], so each weight is bit-identical to the
+   direct call. *)
+let binomial_pmf_into ~lf bin n x =
+  if x <= 0.0 then
+    for k = 0 to n do
+      bin.(k) <- (if k = 0 then 1.0 else 0.0)
+    done
+  else if x >= 1.0 then
+    for k = 0 to n do
+      bin.(k) <- (if k = n then 1.0 else 0.0)
+    done
   else begin
     let log_x = Float.log x and log_1x = Float.log (1.0 -. x) in
-    Array.init (n + 1) (fun k ->
+    let lfn = Array.unsafe_get lf n in
+    for k = 0 to n do
+      bin.(k) <-
         Float.exp
-          (Numerics.Special.log_binomial n k
+          (lfn -. Array.unsafe_get lf k -. Array.unsafe_get lf (n - k)
           +. (float_of_int k *. log_x)
-          +. (float_of_int (n - k) *. log_1x)))
+          +. (float_of_int (n - k) *. log_1x))
+    done
   end
 
 (* Runs the layered recursion, feeding each completed layer to [consume
@@ -66,13 +101,13 @@ let run_layers ctx ~g ~max_layer ~consume =
   let m = ctx.n_bands in
   let size = ctx.n_states * ctx.width in
   let alloc () = Array.init (m + 1) (fun _ ->
-      Array.init (max_layer + 1) (fun _ -> Array.make size 0.0))
+      Array.init (max_layer + 1) (fun _ -> Linalg.Vec.create size))
   in
   (* c_store.(parity).(h).(k); band index h runs 1..m (slot 0 unused). *)
   let c_store = [| alloc (); alloc () |] in
   let pc = alloc () in
-  let png = Array.copy g in
-  let png_scratch = Array.make size 0.0 in
+  let png = Linalg.Vec.copy g in
+  let png_scratch = Linalg.Vec.create size in
   let w = ctx.width in
   (* Layer 0: c(h,0,0)_i = g_i if rho_i >= rho_h else 0. *)
   let cur = c_store.(0) in
@@ -80,7 +115,7 @@ let run_layers ctx ~g ~max_layer ~consume =
     let dst = cur.(h).(0) in
     for i = 0 to ctx.n_states - 1 do
       if ctx.level_of_state.(i) >= h then
-        Array.blit g (i * w) dst (i * w) w
+        Linalg.Vec.blit_range g (i * w) dst (i * w) w
     done
   done;
   consume 0 (fun h k -> c_store.(0).(h).(k)) png;
@@ -90,7 +125,7 @@ let run_layers ctx ~g ~max_layer ~consume =
     let cur = c_store.(layer land 1) in
     (* png <- P png *)
     block_mul ctx png_scratch png;
-    Array.blit png_scratch 0 png 0 size;
+    Linalg.Vec.copy_into png_scratch png;
     (* pc.(h).(k) <- P . c(h, layer-1, k).  The (h, k) products are
        independent, so they are dispatched as one flat range; block_mul's
        own parallel_for then runs inline (the pool is already busy), which
@@ -120,14 +155,14 @@ let run_layers ctx ~g ~max_layer ~consume =
             let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
             (* base k = 0 *)
             let base = if h = 1 then png else cur.(h - 1).(layer) in
-            Array.blit base off cur.(h).(0) off w;
+            Linalg.Vec.blit_range base off cur.(h).(0) off w;
             for k = 1 to layer do
               let dst = cur.(h).(k)
               and prev_k = cur.(h).(k - 1)
               and stepped = pc.(h).(k - 1) in
               for col = 0 to w - 1 do
-                dst.(off + col) <-
-                  (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+                dst.{off + col} <-
+                  (a *. prev_k.{off + col}) +. (b *. stepped.{off + col})
               done
             done
           done;
@@ -138,15 +173,15 @@ let run_layers ctx ~g ~max_layer ~consume =
             let a = (ctx.levels.(h - 1) -. rho_i) /. denom in
             let b = (ctx.levels.(h) -. ctx.levels.(h - 1)) /. denom in
             (* base k = layer *)
-            (if h = m then Array.fill cur.(h).(layer) off w 0.0
-             else Array.blit cur.(h + 1).(0) off cur.(h).(layer) off w);
+            (if h = m then Linalg.Vec.fill_range cur.(h).(layer) off w 0.0
+             else Linalg.Vec.blit_range cur.(h + 1).(0) off cur.(h).(layer) off w);
             for k = layer - 1 downto 0 do
               let dst = cur.(h).(k)
               and prev_k = cur.(h).(k + 1)
               and stepped = pc.(h).(k) in
               for col = 0 to w - 1 do
-                dst.(off + col) <-
-                  (a *. prev_k.(off + col)) +. (b *. stepped.(off + col))
+                dst.{off + col} <-
+                  (a *. prev_k.{off + col}) +. (b *. stepped.{off + col})
               done
             done
           done
@@ -247,7 +282,12 @@ let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry ?cancel
     Telemetry.record telemetry "sericola.band" (float_of_int h);
     Telemetry.record telemetry "sericola.x" x;
     record_recursion telemetry ~ctx ~max_layer;
-    let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
+    let g =
+      Linalg.Vec.init ctx.n_states (fun i ->
+          if p.Problem.goal.(i) then 1.0 else 0.0)
+    in
+    let bin = Array.make (max_layer + 1) 0.0 in
+    let lf = log_factorial_table max_layer in
     let tail = Numerics.Kahan.create () in
     let trans = Numerics.Kahan.create () in
     let consumed = Numerics.Kahan.create () in
@@ -257,7 +297,7 @@ let solve_detailed ?(epsilon = 1e-12) ?pool ?telemetry ?cancel
         if weight > 0.0 then begin
           Numerics.Kahan.add consumed weight;
           Numerics.Kahan.add trans (weight *. Linalg.Vec.dot init png);
-          let bin = binomial_pmf layer x in
+          binomial_pmf_into ~lf bin layer x;
           let layer_acc = Numerics.Kahan.create () in
           for k = 0 to layer do
             if bin.(k) > 0.0 then
@@ -331,7 +371,12 @@ let solve_many ?(epsilon = 1e-12) ?pool ?telemetry ?cancel (p : Problem.t)
     Numerics.Fox_glynn.record telemetry fg;
     let max_layer = fg.Numerics.Fox_glynn.right in
     record_recursion telemetry ~ctx ~max_layer;
-    let g = Array.map (fun b -> if b then 1.0 else 0.0) p.Problem.goal in
+    let g =
+      Linalg.Vec.init ctx.n_states (fun i ->
+          if p.Problem.goal.(i) then 1.0 else 0.0)
+    in
+    let bin = Array.make (max_layer + 1) 0.0 in
+    let lf = log_factorial_table max_layer in
     let tails = Array.init n_bounds (fun _ -> Numerics.Kahan.create ()) in
     let init = p.Problem.init in
     run_layers ctx ~g ~max_layer ~consume:(fun layer cs _png ->
@@ -352,7 +397,7 @@ let solve_many ?(epsilon = 1e-12) ?pool ?telemetry ?cancel (p : Problem.t)
               match position with
               | None -> ()
               | Some (h, x) ->
-                let bin = binomial_pmf layer x in
+                binomial_pmf_into ~lf bin layer x;
                 let acc = Numerics.Kahan.create () in
                 for k = 0 to layer do
                   if bin.(k) > 0.0 then
@@ -397,15 +442,17 @@ let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry ?cancel mrm ~t ~r =
     let max_layer = fg.Numerics.Fox_glynn.right in
     record_recursion telemetry ~ctx ~max_layer;
     (* G = identity block. *)
-    let g = Array.make (n * n) 0.0 in
+    let g = Linalg.Vec.create (n * n) in
     for i = 0 to n - 1 do
-      g.((i * n) + i) <- 1.0
+      g.{(i * n) + i} <- 1.0
     done;
+    let bin = Array.make (max_layer + 1) 0.0 in
+    let lf = log_factorial_table max_layer in
     let result = Array.make_matrix n n 0.0 in
     run_layers ctx ~g ~max_layer ~consume:(fun layer cs _png ->
         let weight = Numerics.Fox_glynn.weight fg layer in
         if weight > 0.0 then begin
-          let bin = binomial_pmf layer x in
+          binomial_pmf_into ~lf bin layer x;
           (* Collect the layer's (scale, block) terms in ascending-k
              order, then accumulate them row-partitioned across the
              pool: rows are disjoint, and every cell adds its terms in
@@ -422,9 +469,9 @@ let joint_matrix ?(epsilon = 1e-12) ?pool ?telemetry ?cancel mrm ~t ~r =
               for i = lo to hi - 1 do
                 let row = result.(i) in
                 List.iter
-                  (fun (scale, block) ->
+                  (fun ((scale : float), (block : Linalg.Vec.t)) ->
                     for j = 0 to n - 1 do
-                      row.(j) <- row.(j) +. (scale *. block.((i * n) + j))
+                      row.(j) <- row.(j) +. (scale *. block.{(i * n) + j})
                     done)
                   terms
               done)

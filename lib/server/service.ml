@@ -86,7 +86,10 @@ let counters_entry (c : Perf.Batch.counters) =
 let verdict_json ~init verdict =
   match verdict with
   | Checker.Boolean mask ->
-    let indicator = Array.map (fun b -> if b then 1.0 else 0.0) mask in
+    let indicator =
+      Linalg.Vec.init (Array.length mask) (fun s ->
+          if mask.(s) then 1.0 else 0.0)
+    in
     [ ("kind", Io.Json.String "boolean");
       ("initial_mass", Io.Json.Number (Linalg.Vec.dot init indicator));
       ("states",
@@ -97,7 +100,8 @@ let verdict_json ~init verdict =
       ("value", Io.Json.Number (Linalg.Vec.dot init values));
       ("states",
        Io.Json.List
-         (Array.to_list (Array.map (fun v -> Io.Json.Number v) values))) ]
+         (List.init (Linalg.Vec.length values) (fun s ->
+              Io.Json.Number values.{s}))) ]
 
 (* ------------------------------------------------------------------ *)
 (* Request execution.                                                  *)

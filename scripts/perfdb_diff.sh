@@ -1,0 +1,51 @@
+#!/bin/sh
+# Human-readable diff of the last two perfdb rows per (kernel, backend).
+#
+#   scripts/perfdb_diff.sh [perf/perfdb.csv]
+#
+# For every kernel/backend group with at least two rows, prints the
+# previous and current primary score (instructions for cachegrind rows,
+# minor-heap words for alloc rows) and the relative change.  This is the
+# reporting companion to `bench/validate_perfdb.exe`, which enforces the
+# 5% gate; the diff never fails.
+set -eu
+
+csv="${1:-perf/perfdb.csv}"
+if [ ! -f "$csv" ]; then
+  echo "perfdb_diff: $csv not found (run \`bench/main.exe perfdb\` first)" >&2
+  exit 1
+fi
+
+# Columns: commit,kernel,backend,instructions,d1_misses,ll_misses,
+#          minor_words,major_words,note
+awk -F, '
+  NR == 1 { next }
+  {
+    key = $2 "/" $3
+    score = ($3 == "cachegrind") ? $4 : $7
+    metric[key] = ($3 == "cachegrind") ? "instructions" : "minor_words"
+    prev_commit[key] = commit[key]; prev[key] = cur[key]
+    commit[key] = $1; cur[key] = score
+    if (!(key in order_seen)) { order[++n] = key; order_seen[key] = 1 }
+  }
+  END {
+    if (n == 0) { print "no rows"; exit }
+    printf "%-26s %-14s %12s %12s %9s\n", \
+      "kernel/backend", "metric", "previous", "current", "change"
+    for (i = 1; i <= n; i++) {
+      key = order[i]
+      if (prev[key] == "") {
+        printf "%-26s %-14s %12s %12s %9s\n", \
+          key, metric[key], "-", cur[key], "(first)"
+      } else if (prev[key] + 0 == 0) {
+        printf "%-26s %-14s %12s %12s %9s\n", \
+          key, metric[key], prev[key], cur[key], "n/a"
+      } else {
+        delta = 100.0 * (cur[key] - prev[key]) / prev[key]
+        printf "%-26s %-14s %12s %12s %+8.1f%%  (%s -> %s)\n", \
+          key, metric[key], prev[key], cur[key], delta, \
+          prev_commit[key], commit[key]
+      }
+    }
+  }
+' "$csv"

@@ -16,7 +16,7 @@ let pp_verdict = function
       (List.map (fun b -> if b then "1" else "0") (Array.to_list mask))
   | Checker.Numeric v ->
     String.concat " "
-      (List.map (Printf.sprintf "%.17g") (Array.to_list v))
+      (List.map (Printf.sprintf "%.17g") (Array.to_list (Linalg.Vec.to_array v)))
 
 (* A pool of well-formed CSRL queries over the propositions of
    {!Models.Random_mrm.generate_labeled}.  Reward-bounded-only untils are
@@ -115,7 +115,7 @@ let test_memo_no_aliasing () =
   let expected = Checker.eval_query ctx query in
   let first = Checker.eval_query ~memo ctx query in
   (match first with
-   | Checker.Numeric v -> Array.fill v 0 (Array.length v) 42.0
+   | Checker.Numeric v -> Array.fill (Linalg.Vec.to_array v) 0 (Array.length (Linalg.Vec.to_array v)) 42.0
    | Checker.Boolean _ -> Alcotest.fail "expected a numeric verdict");
   let second = Checker.eval_query ~memo ctx query in
   if not (verdict_equal expected second) then

@@ -42,21 +42,21 @@ let test_boolean_layer () =
 let test_next () =
   let ctx = server () in
   let v = probs ctx "P=? ( X full )" in
-  check_close "unbounded next" (2.0 /. 2.1) v.(1);
-  check_close "absorbing-free state 0" 0.0 v.(0);
+  check_close "unbounded next" (2.0 /. 2.1) v.{1};
+  check_close "absorbing-free state 0" 0.0 v.{0};
   let v = probs ctx "P=? ( X[t<=0.5] full )" in
   check_close "time-bounded next"
     ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. 0.5)))
-    v.(1);
+    v.{1};
   let v = probs ctx "P=? ( X[r<=2] full )" in
   (* reward cap: sojourn <= 2 / 6. *)
   check_close "reward-bounded next"
     ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. (2.0 /. 6.0))))
-    v.(1);
+    v.{1};
   let v = probs ctx "P=? ( X[t<=0.5][r<=2] full )" in
   check_close "both bounds (reward tighter)"
     ((2.0 /. 2.1) *. (1.0 -. Float.exp (-2.1 *. (2.0 /. 6.0))))
-    v.(1)
+    v.{1}
 
 (* Unbounded until on a pure race: 0 -> a (rate 1), 0 -> b (rate 3). *)
 let test_until_unbounded () =
@@ -67,13 +67,13 @@ let test_until_unbounded () =
   let labeling = Markov.Labeling.make ~n:3 [ ("a", [ 1 ]); ("b", [ 2 ]) ] in
   let ctx = Checker.make mrm labeling in
   let v = probs ctx "P=? ( !b U a )" in
-  check_close ~tol:1e-10 "race" 0.25 v.(0);
-  check_close "goal state itself" 1.0 v.(1);
-  check_close "excluded state" 0.0 v.(2);
+  check_close ~tol:1e-10 "race" 0.25 v.{0};
+  check_close "goal state itself" 1.0 v.{1};
+  check_close "excluded state" 0.0 v.{2};
   (* Through the server: from 'down' the chain revives, so F up = 1. *)
   let ctx = server () in
   let v = probs ctx "P=? ( F up )" in
-  check_close "revival" 1.0 v.(2)
+  check_close "revival" 1.0 v.{2}
 
 (* Time-bounded until, pure death chain: P(F[t] down) from state 1 of
    1 --0.1--> 2 with repair disabled by the phi constraint... use a simple
@@ -85,8 +85,8 @@ let test_until_time_bounded () =
   let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
   let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
   let v = probs ctx "P=? ( F[t<=2] down )" in
-  check_close ~tol:1e-11 "exp cdf" (1.0 -. Float.exp (-1.4)) v.(0);
-  check_close "goal is immediate" 1.0 v.(1);
+  check_close ~tol:1e-11 "exp cdf" (1.0 -. Float.exp (-1.4)) v.{0};
+  check_close "goal is immediate" 1.0 v.{1};
   (* The phi constraint matters: a -> b -> c, P(a U[t] c) = 0 because the
      path must leave a through b which violates phi... *)
   let mrm =
@@ -98,12 +98,12 @@ let test_until_time_bounded () =
   in
   let ctx = Checker.make mrm labeling in
   let v = probs ctx "P=? ( a U[t<=5] c )" in
-  check_close "blocked" 0.0 v.(0);
+  check_close "blocked" 0.0 v.{0};
   let v = probs ctx "P=? ( (a | b) U[t<=5] c )" in
   (* Erlang-2 cdf: 1 - e^-t (1 + t). *)
   check_close ~tol:1e-10 "erlang-2 cdf"
     (1.0 -. (Float.exp (-5.0) *. 6.0))
-    v.(0)
+    v.{0}
 
 (* Reward-bounded until via duality: on the 2-state chain with reward 2 in
    the up state, F[r<=r0] down is an exponential race against the reward
@@ -115,7 +115,7 @@ let test_until_reward_bounded () =
   let labeling = Markov.Labeling.make ~n:2 [ ("down", [ 1 ]) ] in
   let ctx = Checker.make ~epsilon:1e-13 mrm labeling in
   let v = probs ctx "P=? ( F[r<=3] down )" in
-  check_close ~tol:1e-11 "dual exp cdf" (1.0 -. Float.exp (-0.7 *. 1.5)) v.(0);
+  check_close ~tol:1e-11 "dual exp cdf" (1.0 -. Float.exp (-0.7 *. 1.5)) v.{0};
   (* Zero-reward non-absorbing state: the paper's restriction applies. *)
   let mrm =
     Markov.Mrm.of_transitions ~n:2 [ (0, 1, 0.7) ] ~rewards:[| 0.0; 0.0 |]
@@ -131,8 +131,8 @@ let test_p2_p3_consistency () =
   let ctx = server () in
   let v2 = probs ctx "P=? ( up U[r<=50] down )" in
   let v3 = probs ctx "P=? ( up U[t<=10][r<=50] down )" in
-  check_close ~tol:1e-7 "state 0" v2.(0) v3.(0);
-  check_close ~tol:1e-7 "state 1" v2.(1) v3.(1)
+  check_close ~tol:1e-7 "state 0" v2.{0} v3.{0};
+  check_close ~tol:1e-7 "state 1" v2.{1} v3.{1}
 
 let test_steady () =
   let ctx = server () in
@@ -141,8 +141,8 @@ let test_steady () =
      Balance: pi0 * 0.1 = pi1 * 2.0; pi2 * 1.0 = pi1 * 0.1. *)
   let pi1 = 1.0 /. (1.0 +. 20.0 +. 0.1) in
   let expected_up = (20.0 *. pi1) +. pi1 in
-  check_close ~tol:1e-8 "steady up from 0" expected_up v.(0);
-  check_close ~tol:1e-8 "steady up from 2 (irreducible)" expected_up v.(2);
+  check_close ~tol:1e-8 "steady up from 0" expected_up v.{0};
+  check_close ~tol:1e-8 "steady up from 2 (irreducible)" expected_up v.{2};
   (* Reducible chain: limit depends on the start. *)
   let mrm =
     Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
@@ -151,9 +151,9 @@ let test_steady () =
   let labeling = Markov.Labeling.make ~n:3 [ ("a", [ 1 ]) ] in
   let ctx = Checker.make mrm labeling in
   let v = probs ctx "S=? ( a )" in
-  check_close ~tol:1e-9 "absorption split" 0.25 v.(0);
-  check_close "from a itself" 1.0 v.(1);
-  check_close "from b" 0.0 v.(2)
+  check_close ~tol:1e-9 "absorption split" 0.25 v.{0};
+  check_close "from a itself" 1.0 v.{1};
+  check_close "from b" 0.0 v.{2}
 
 let test_nested () =
   let ctx = server () in
@@ -188,7 +188,7 @@ let test_engine_selection_consistency () =
           Markov.Labeling.make ~n:3 [ ("up", [ 0; 1 ]); ("down", [ 2 ]) ]
         in
         let ctx = Checker.make ~engine mrm labeling in
-        (probs ctx "P=? ( up U[t<=8][r<=64] down )").(0))
+        (probs ctx "P=? ( up U[t<=8][r<=64] down )").{0})
       [ Perf.Engine.Occupation_time { epsilon = 1e-12 };
         Perf.Engine.Pseudo_erlang { phases = 4096 };
         Perf.Engine.Discretize { step = 1.0 /. 256.0 } ]

@@ -15,7 +15,7 @@ let test_cumulative_constant () =
   List.iter
     (fun t ->
       check_close ~tol:1e-10 (Printf.sprintf "t=%g" t) (2.5 *. t)
-        (Markov.Expected_reward.cumulative m ~init:[| 1.0 |] ~t))
+        (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.of_array [| 1.0 |]) ~t))
     [ 0.0; 0.5; 3.0; 50.0 ]
 
 let test_cumulative_pure_death () =
@@ -29,7 +29,7 @@ let test_cumulative_pure_death () =
     (fun t ->
       check_close ~tol:1e-10 (Printf.sprintf "t=%g" t)
         ((1.0 -. Float.exp (-.mu *. t)) /. mu)
-        (Markov.Expected_reward.cumulative m ~init:[| 1.0; 0.0 |] ~t))
+        (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t))
     [ 0.1; 1.0; 10.0; 100.0 ]
 
 let test_cumulative_repairable () =
@@ -48,13 +48,13 @@ let test_cumulative_repairable () =
   for k = 0 to steps - 1 do
     let u = (float_of_int k +. 0.5) *. dt in
     let pi =
-      Markov.Transient.distribution (Markov.Mrm.ctmc m) ~init:[| 1.0; 0.0 |]
+      Markov.Transient.distribution (Markov.Mrm.ctmc m) ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |])
         ~t:u
     in
-    acc := !acc +. (dt *. ((3.0 *. pi.(0)) +. (1.0 *. pi.(1))))
+    acc := !acc +. (dt *. ((3.0 *. pi.{0}) +. (1.0 *. pi.{1})))
   done;
   check_close ~tol:1e-6 "midpoint integration" !acc
-    (Markov.Expected_reward.cumulative m ~init:[| 1.0; 0.0 |] ~t)
+    (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t)
 
 let test_cumulative_all_consistency () =
   let m =
@@ -67,7 +67,7 @@ let test_cumulative_all_consistency () =
   for s = 0 to 2 do
     check_close ~tol:1e-9 (Printf.sprintf "state %d" s)
       (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.unit 3 s) ~t)
-      all.(s)
+      all.{s}
   done
 
 let test_cumulative_monte_carlo () =
@@ -102,10 +102,10 @@ let test_instantaneous () =
   in
   check_close ~tol:1e-10 "pi(t) . rho"
     ((3.0 *. p_up) +. (1.0 *. (1.0 -. p_up)))
-    (Markov.Expected_reward.instantaneous m ~init:[| 1.0; 0.0 |] ~t);
+    (Markov.Expected_reward.instantaneous m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t);
   (* At t = 0 it is the initial state's reward. *)
   check_close "t=0" 3.0
-    (Markov.Expected_reward.instantaneous m ~init:[| 1.0; 0.0 |] ~t:0.0)
+    (Markov.Expected_reward.instantaneous m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t:0.0)
 
 let test_reachability_reward () =
   (* Birth chain 0 --l1--> 1 --l2--> 2(goal): expected accumulated reward
@@ -118,9 +118,9 @@ let test_reachability_reward () =
   let values =
     Markov.Expected_reward.reachability m ~goal:[| false; false; true |]
   in
-  check_close ~tol:1e-9 "from 0" ((4.0 /. l1) +. (3.0 /. l2)) values.(0);
-  check_close ~tol:1e-9 "from 1" (3.0 /. l2) values.(1);
-  check_close "goal itself" 0.0 values.(2);
+  check_close ~tol:1e-9 "from 0" ((4.0 /. l1) +. (3.0 /. l2)) values.{0};
+  check_close ~tol:1e-9 "from 1" (3.0 /. l2) values.{1};
+  check_close "goal itself" 0.0 values.{2};
   (* A trap makes the expectation infinite. *)
   let m =
     Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 1.0) ]
@@ -129,8 +129,8 @@ let test_reachability_reward () =
   let values =
     Markov.Expected_reward.reachability m ~goal:[| false; false; true |]
   in
-  check_close "trapped" Float.infinity values.(0);
-  check_close "trap itself" Float.infinity values.(1)
+  check_close "trapped" Float.infinity values.{0};
+  check_close "trap itself" Float.infinity values.{1}
 
 let test_steady_rate () =
   let mu = 2.0 and nu = 5.0 in
@@ -141,16 +141,16 @@ let test_steady_rate () =
   let pi0 = nu /. (mu +. nu) in
   check_close ~tol:1e-8 "long-run rate"
     ((3.0 *. pi0) +. (1.0 *. (1.0 -. pi0)))
-    (Markov.Expected_reward.steady_rate m ~init:[| 1.0; 0.0 |]);
+    (Markov.Expected_reward.steady_rate m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]));
   (* Reducible: the rate depends on the absorbing class reached. *)
   let m =
     Markov.Mrm.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ]
       ~rewards:[| 0.0; 8.0; 4.0 |]
   in
   let all = Markov.Expected_reward.steady_rate_all m in
-  check_close ~tol:1e-8 "mixture" ((0.25 *. 8.0) +. (0.75 *. 4.0)) all.(0);
-  check_close ~tol:1e-9 "class a" 8.0 all.(1);
-  check_close ~tol:1e-9 "class b" 4.0 all.(2)
+  check_close ~tol:1e-8 "mixture" ((0.25 *. 8.0) +. (0.75 *. 4.0)) all.{0};
+  check_close ~tol:1e-9 "class a" 8.0 all.{1};
+  check_close ~tol:1e-9 "class b" 4.0 all.{2}
 
 (* ---- the R operator through parser and checker -------------------- *)
 
@@ -202,22 +202,22 @@ let test_r_operator_checking () =
   let v = values "R=? ( C[t<=5] )" in
   check_close ~tol:1e-9 "cumulative from 0"
     (Markov.Expected_reward.cumulative mrm ~init:(Linalg.Vec.unit 3 0) ~t:5.0)
-    v.(0);
+    v.{0};
   (* Reach: down is reached almost surely (single BSCC is the whole
      chain), so the value is finite and positive from up states. *)
   let v = values "R=? ( F down )" in
-  Alcotest.(check bool) "finite" true (Float.is_finite v.(0) && v.(0) > 0.0);
-  check_close "goal zero" 0.0 v.(2);
+  Alcotest.(check bool) "finite" true (Float.is_finite v.{0} && v.{0} > 0.0);
+  check_close "goal zero" 0.0 v.{2};
   (* Long-run rate equals the direct steady computation. *)
   let v = values "R=? ( S )" in
   check_close ~tol:1e-8 "long run"
     (Markov.Expected_reward.steady_rate mrm ~init:(Linalg.Vec.unit 3 0))
-    v.(0);
+    v.{0};
   (* Verdict form: the max possible is rho_max * t = 100, and a fresh
      'down' start accumulates strictly less than a 'full' start. *)
   let cumulative = values "R=? ( C[t<=10] )" in
   Alcotest.(check bool) "down start accumulates less" true
-    (cumulative.(2) < cumulative.(0));
+    (cumulative.{2} < cumulative.{0});
   let mask =
     Checker.sat ctx (Logic.Parser.state_formula "R<=100 ( C[t<=10] )")
   in
@@ -237,12 +237,12 @@ let test_r_operator_case_study () =
   in
   match Checker.eval_query ctx (Logic.Parser.query "R=? ( C[t<=24] )") with
   | Checker.Numeric v ->
-    let e = v.(Models.Adhoc.initial_state) in
+    let e = v.{Models.Adhoc.initial_state} in
     Alcotest.(check bool) "energy plausible" true (e > 20.0 *. 24.0 && e < 350.0 *. 24.0);
     (* Long-run power draw of the station. *)
     (match Checker.eval_query ctx (Logic.Parser.query "R=? ( S )") with
      | Checker.Numeric rate ->
-       let r = rate.(Models.Adhoc.initial_state) in
+       let r = rate.{Models.Adhoc.initial_state} in
        Alcotest.(check bool) "rate plausible" true (r > 20.0 && r < 350.0);
        (* For an irreducible chain, E[Y_t] / t approaches the rate. *)
        let t = 2000.0 in

@@ -31,8 +31,8 @@ let test_validation () =
   check_close "max impulse" 2.5 (Markov.Mrm.max_impulse m');
   (* Impulse flow: rate * impulse. *)
   let flow = Markov.Mrm.impulse_flow m' in
-  check_close "flow source" 2.5 flow.(0);
-  check_close "flow sink" 0.0 flow.(1);
+  check_close "flow source" 2.5 flow.{0};
+  check_close "flow sink" 0.0 flow.{1};
   (* Impulses on missing transitions are rejected. *)
   (try
      ignore (Markov.Mrm.with_impulses m (impulse_matrix ~n:2 [ (1, 0, 1.0) ]));
@@ -121,13 +121,13 @@ let test_simulator_and_expectations () =
   (* E[Y_t] = c * P(jump <= t). *)
   check_close ~tol:1e-9 "cumulative with impulse"
     (c *. (1.0 -. Float.exp (-.lam *. t)))
-    (Markov.Expected_reward.cumulative m ~init:[| 1.0; 0.0 |] ~t);
+    (Markov.Expected_reward.cumulative m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t);
   (* Expected reward to reach the goal is exactly the impulse. *)
   let values = Markov.Expected_reward.reachability m ~goal:[| false; true |] in
-  check_close "reachability reward" c values.(0);
+  check_close "reachability reward" c values.{0};
   (* Long-run rate: the chain gets absorbed, so the rate tends to 0. *)
   check_close "steady rate" 0.0
-    (Markov.Expected_reward.steady_rate m ~init:[| 1.0; 0.0 |]);
+    (Markov.Expected_reward.steady_rate m ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]));
   (* A cyclic model: 0 <-> 1, impulse c on 0 -> 1.  The long-run impulse
      flow is pi_0 * lam * c. *)
   let cyc =
@@ -137,7 +137,7 @@ let test_simulator_and_expectations () =
   let cyc = Markov.Mrm.with_impulses cyc (impulse_matrix ~n:2 [ (0, 1, c) ]) in
   (* pi = (0.75, 0.25). *)
   check_close ~tol:1e-8 "cyclic steady impulse rate" (0.75 *. 2.0 *. c)
-    (Markov.Expected_reward.steady_rate cyc ~init:[| 1.0; 0.0 |])
+    (Markov.Expected_reward.steady_rate cyc ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]))
 
 let test_rejections () =
   let m = single_impulse ~lam:1.0 ~c:1.0 in
@@ -217,10 +217,10 @@ let test_checker_with_impulses () =
   in
   if
     not
-      (Sim.Estimate.contains iv values.(0)
-      || Float.abs (values.(0) -. iv.Sim.Estimate.mean) < 5e-3)
+      (Sim.Estimate.contains iv values.{0}
+      || Float.abs (values.{0} -. iv.Sim.Estimate.mean) < 5e-3)
   then
-    Alcotest.failf "checker %.5f outside MC %.5f +- %.5f" values.(0)
+    Alcotest.failf "checker %.5f outside MC %.5f +- %.5f" values.{0}
       iv.Sim.Estimate.mean iv.Sim.Estimate.half_width
 
 (* Engines + simulation agree on random impulse models. *)
@@ -247,7 +247,7 @@ let prop_impulse_engines_agree =
       else begin
         let init =
           let found = ref 0 in
-          Array.iteri (fun i v -> if v > 0.5 then found := i) p.Perf.Problem.init;
+          Array.iteri (fun i v -> if v > 0.5 then found := i) (Linalg.Vec.to_array p.Perf.Problem.init);
           !found
         in
         let rng = Sim.Rng.create ~seed:(Int64.of_int (seed + 31)) in

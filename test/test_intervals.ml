@@ -26,11 +26,11 @@ let test_window_closed_forms () =
   let a = 1.0 and b = 3.0 in
   let v = probs ctx "P=? ( F[t>=1][t<=3] down )" in
   check_close ~tol:1e-10 "true-until window" (1.0 -. Float.exp (-.mu *. b))
-    v.(0);
+    v.{0};
   let v = probs ctx "P=? ( up U[t>=1][t<=3] down )" in
   check_close ~tol:1e-10 "phi-until window"
     (Float.exp (-.mu *. a) -. Float.exp (-.mu *. b))
-    v.(0);
+    v.{0};
   (* From a down start the formula holds iff down itself is in the set at
      some point of [a, b] with phi before — phi = up fails immediately
      unless the start is psi at time a... it is psi the whole time, but
@@ -38,13 +38,13 @@ let test_window_closed_forms () =
      with a > 0?  No: from 'down', X_u = down for all u; the requirement
      is exists u in [a,b] with psi and all earlier states phi — earlier
      states are 'down', not 'up', so it fails. *)
-  check_close ~tol:1e-10 "down start fails the phi window" 0.0 v.(1);
+  check_close ~tol:1e-10 "down start fails the phi window" 0.0 v.{1};
   (* ... but with phi = true it holds. *)
   let v = probs ctx "P=? ( F[t>=1][t<=3] down )" in
-  check_close "down start, true window" 1.0 v.(1);
+  check_close "down start, true window" 1.0 v.{1};
   (* Half-open [a, inf): with phi = up it is just P(T >= a). *)
   let v = probs ctx "P=? ( up U[t>=1] down )" in
-  check_close ~tol:1e-10 "half-open window" (Float.exp (-.mu *. a)) v.(0)
+  check_close ~tol:1e-10 "half-open window" (Float.exp (-.mu *. a)) v.{0}
 
 (* Erlang-2 chain 0 -> 1 -> 2 with both rates lam, phi = {0,1}: the hit
    time is Erlang(2, lam), and the window probability is
@@ -63,7 +63,7 @@ let test_window_erlang () =
   let v = probs ctx "P=? ( run U[t>=0.5][t<=2.5] done )" in
   check_close ~tol:1e-10 "erlang window"
     (erlang_cdf 2.5 -. erlang_cdf 0.5)
-    v.(0)
+    v.{0}
 
 (* Next with general intervals: from state 0 of the pure-death chain the
    jump time is exponential, so
@@ -79,30 +79,30 @@ let test_next_intervals () =
   let v = probs ctx "P=? ( X[t>=0.25][t<=1] down )" in
   check_close ~tol:1e-12 "time window next"
     (Float.exp (-.mu *. 0.25) -. Float.exp (-.mu))
-    v.(0);
+    v.{0};
   (* Reward in [2, 6] at rate 4: sojourn in [0.5, 1.5]. *)
   let v = probs ctx "P=? ( X[r>=2][r<=6] down )" in
   check_close ~tol:1e-12 "reward window next"
     (Float.exp (-.mu *. 0.5) -. Float.exp (-.mu *. 1.5))
-    v.(0);
+    v.{0};
   (* Intersection of both: time [0.25, 1] and sojourn-from-reward
      [0.5, 1.5] -> [0.5, 1]. *)
   let v = probs ctx "P=? ( X[t>=0.25][t<=1][r>=2][r<=6] down )" in
   check_close ~tol:1e-12 "joint window next"
     (Float.exp (-.mu *. 0.5) -. Float.exp (-.mu))
-    v.(0);
+    v.{0};
   (* Empty intersection. *)
   let v = probs ctx "P=? ( X[t<=0.25][r>=2] down )" in
-  check_close "empty window" 0.0 v.(0);
+  check_close "empty window" 0.0 v.{0};
   (* Zero reward rate satisfies only reward intervals containing 0. *)
   let mrm0 =
     Markov.Mrm.of_transitions ~n:2 [ (0, 1, mu) ] ~rewards:[| 0.0; 0.0 |]
   in
   let ctx0 = Checker.make mrm0 labeling in
   let v = probs ctx0 "P=? ( X[r<=6] down )" in
-  check_close "zero rate, downward reward" 1.0 v.(0);
+  check_close "zero rate, downward reward" 1.0 v.{0};
   let v = probs ctx0 "P=? ( X[r>=2] down )" in
-  check_close "zero rate, lower-bounded reward" 0.0 v.(0)
+  check_close "zero rate, lower-bounded reward" 0.0 v.{0}
 
 let test_unsupported_combinations () =
   let mrm =
@@ -130,14 +130,14 @@ let test_window_consistency () =
   let plain = probs ctx "P=? ( F[t<=24] call_incoming )" in
   let window = probs ctx "P=? ( F[t>=0][t<=24] call_incoming )" in
   Array.iteri
-    (fun s v -> check_close ~tol:1e-12 (Printf.sprintf "state %d" s) v window.(s))
-    plain;
+    (fun s v -> check_close ~tol:1e-12 (Printf.sprintf "state %d" s) v window.{s})
+    (Linalg.Vec.to_array plain);
   let late = probs ctx "P=? ( F[t>=12][t<=24] call_incoming )" in
   Array.iteri
     (fun s v ->
-      if late.(s) > v +. 1e-9 then
+      if late.{s} > v +. 1e-9 then
         Alcotest.failf "window exceeds superset at %d" s)
-    plain
+    (Linalg.Vec.to_array plain)
 
 (* The Monte-Carlo oracle: two-phase checking vs direct simulation of the
    window semantics on random models. *)
@@ -172,13 +172,13 @@ let prop_window_vs_simulation =
           ~reward:Numerics.Interval.unbounded ~samples:20_000
       in
       let ok =
-        Sim.Estimate.contains iv values.(init)
-        || Float.abs (values.(init) -. iv.Sim.Estimate.mean) <= 5e-4
+        Sim.Estimate.contains iv values.{init}
+        || Float.abs (values.{init} -. iv.Sim.Estimate.mean) <= 5e-4
       in
       if not ok then
         QCheck2.Test.fail_reportf
           "checker %.6f outside MC %.6f +- %.6f (seed %d, window [%g,%g])"
-          values.(init) iv.Sim.Estimate.mean iv.Sim.Estimate.half_width seed a
+          values.{init} iv.Sim.Estimate.mean iv.Sim.Estimate.half_width seed a
           b
       else true)
 

@@ -26,7 +26,7 @@ let test_parse () =
     (Markov.Ctmc.rate (Markov.Mrm.ctmc doc.Io.Mrm_format.mrm) 1 0);
   Alcotest.(check bool) "label" true
     (Markov.Labeling.holds doc.Io.Mrm_format.labeling "up" 1);
-  check_close "init mass" 1.0 doc.Io.Mrm_format.init.(0)
+  check_close "init mass" 1.0 doc.Io.Mrm_format.init.{0}
 
 let test_roundtrip () =
   let doc = Io.Mrm_format.parse example_text in

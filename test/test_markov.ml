@@ -62,12 +62,12 @@ let test_transient_pure_death () =
   List.iter
     (fun t ->
       let pi =
-        Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t
+        Markov.Transient.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t
       in
       check_close ~tol:1e-11 (Printf.sprintf "survive t=%g" t)
-        (Float.exp (-.mu *. t)) pi.(0);
+        (Float.exp (-.mu *. t)) pi.{0};
       check_close ~tol:1e-11 (Printf.sprintf "dead t=%g" t)
-        (1.0 -. Float.exp (-.mu *. t)) pi.(1))
+        (1.0 -. Float.exp (-.mu *. t)) pi.{1})
     [ 0.0; 0.1; 1.0; 5.0 ]
 
 (* Two-state repairable: closed-form transient
@@ -77,19 +77,19 @@ let test_transient_repairable () =
   let c = two_state mu nu in
   List.iter
     (fun t ->
-      let pi = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t in
+      let pi = Markov.Transient.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t in
       let expected =
         (nu /. (mu +. nu)) +. (mu /. (mu +. nu) *. Float.exp (-.(mu +. nu) *. t))
       in
-      check_close ~tol:1e-11 (Printf.sprintf "up at t=%g" t) expected pi.(0);
+      check_close ~tol:1e-11 (Printf.sprintf "up at t=%g" t) expected pi.{0};
       check_close ~tol:1e-11 "distribution" 1.0 (Linalg.Vec.sum pi))
     [ 0.05; 0.5; 2.0; 10.0 ]
 
 let test_transient_large_horizon () =
   (* Large lambda*t (the case study's 468) must not underflow. *)
   let c = two_state 9.75 9.75 in
-  let pi = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t:48.0 in
-  check_close ~tol:1e-9 "long-run split" 0.5 pi.(0);
+  let pi = Markov.Transient.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t:48.0 in
+  check_close ~tol:1e-9 "long-run split" 0.5 pi.{0};
   check_close "mass" 1.0 (Linalg.Vec.sum pi)
 
 let test_reachability_all_consistency () =
@@ -105,20 +105,20 @@ let test_reachability_all_consistency () =
     let direct =
       Markov.Transient.reachability c ~init:(Linalg.Vec.unit 3 s) ~goal ~t
     in
-    check_close ~tol:1e-10 (Printf.sprintf "state %d" s) direct all.(s)
+    check_close ~tol:1e-10 (Printf.sprintf "state %d" s) direct all.{s}
   done
 
 let test_distribution_many () =
   let c = two_state 1.0 1.0 in
   let results =
-    Markov.Transient.distribution_many c ~init:[| 1.0; 0.0 |]
+    Markov.Transient.distribution_many c ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |])
       ~times:[ 0.5; 0.1 ]
   in
   Alcotest.(check int) "two results" 2 (List.length results);
   List.iter
     (fun (t, pi) ->
-      let direct = Markov.Transient.distribution c ~init:[| 1.0; 0.0 |] ~t in
-      check_vec "matches single" direct pi)
+      let direct = Markov.Transient.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0 |]) ~t in
+      check_vec "matches single" (Linalg.Vec.to_array direct) (Linalg.Vec.to_array pi))
     results
 
 let test_steady_irreducible () =
@@ -127,19 +127,19 @@ let test_steady_irreducible () =
   let pi = Markov.Steady.stationary_irreducible c in
   check_vec ~tol:1e-9 "stationary"
     [| nu /. (mu +. nu); mu /. (mu +. nu) |]
-    pi
+    (Linalg.Vec.to_array pi)
 
 let test_steady_reducible () =
   (* 0 splits to absorbing 1 (rate 1) and absorbing 2 (rate 3): limiting
      distribution from 0 is (0, 1/4, 3/4). *)
   let c = Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (0, 2, 3.0) ] in
-  let pi = Markov.Steady.distribution c ~init:[| 1.0; 0.0; 0.0 |] in
-  check_vec ~tol:1e-9 "absorption split" [| 0.0; 0.25; 0.75 |] pi;
+  let pi = Markov.Steady.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0; 0.0 |]) in
+  check_vec ~tol:1e-9 "absorption split" [| 0.0; 0.25; 0.75 |] (Linalg.Vec.to_array pi);
   let h = Markov.Steady.absorption_probabilities c in
   Alcotest.(check int) "two bsccs" 2 (Array.length h);
   (* Each state's absorption probabilities over all BSCCs sum to one. *)
   for s = 0 to 2 do
-    let total = Array.fold_left (fun acc v -> acc +. v.(s)) 0.0 h in
+    let total = Array.fold_left (fun acc v -> acc +. v.{s}) 0.0 h in
     check_close ~tol:1e-9 (Printf.sprintf "total from %d" s) 1.0 total
   done
 
@@ -149,8 +149,8 @@ let test_steady_mixed () =
   let c =
     Markov.Ctmc.of_transitions ~n:3 [ (0, 1, 1.0); (1, 2, 2.0); (2, 1, 6.0) ]
   in
-  let pi = Markov.Steady.distribution c ~init:[| 1.0; 0.0; 0.0 |] in
-  check_vec ~tol:1e-9 "limit" [| 0.0; 0.75; 0.25 |] pi
+  let pi = Markov.Steady.distribution c ~init:(Linalg.Vec.of_array [| 1.0; 0.0; 0.0 |]) in
+  check_vec ~tol:1e-9 "limit" [| 0.0; 0.75; 0.25 |] (Linalg.Vec.to_array pi)
 
 let test_labeling () =
   let l = Markov.Labeling.make ~n:3 [ ("a", [ 0; 2 ]); ("b", [ 1 ]) ] in
@@ -261,7 +261,7 @@ let test_duality_theorem () =
   let goal = [| false; false; true |] in
   let via_dual =
     Markov.Transient.reachability ~epsilon:1e-13 (Markov.Mrm.ctmc dual)
-      ~init:[| 1.0; 0.0; 0.0 |] ~goal ~t:r_bound
+      ~init:(Linalg.Vec.of_array [| 1.0; 0.0; 0.0 |]) ~goal ~t:r_bound
   in
   (* Reward-bounded reachability with a huge time bound approximates the
      time-unbounded quantity. *)
@@ -284,9 +284,9 @@ let test_stationary_detection () =
     Markov.Transient.distribution ~epsilon:1e-12 ~stationary_detection:1e-14 c
       ~init ~t
   in
-  check_vec ~tol:1e-9 "detection matches plain" plain detected;
+  check_vec ~tol:1e-9 "detection matches plain" (Linalg.Vec.to_array plain) (Linalg.Vec.to_array detected);
   let stationary = Markov.Steady.stationary_irreducible c in
-  check_vec ~tol:1e-7 "long horizon reaches stationarity" stationary detected;
+  check_vec ~tol:1e-7 "long horizon reaches stationarity" (Linalg.Vec.to_array stationary) (Linalg.Vec.to_array detected);
   (* Backward direction too. *)
   let goal = Array.init 9 (fun s -> s = 8) in
   let plain = Markov.Transient.reachability_all ~epsilon:1e-12 c ~goal ~t in
@@ -294,7 +294,7 @@ let test_stationary_detection () =
     Markov.Transient.reachability_all ~epsilon:1e-12
       ~stationary_detection:1e-14 c ~goal ~t
   in
-  check_vec ~tol:1e-9 "backward detection" plain detected;
+  check_vec ~tol:1e-9 "backward detection" (Linalg.Vec.to_array plain) (Linalg.Vec.to_array detected);
   (* Short horizons must be unaffected even with a coarse threshold. *)
   let t = 0.05 in
   let plain = Markov.Transient.distribution ~epsilon:1e-12 c ~init ~t in
@@ -302,7 +302,7 @@ let test_stationary_detection () =
     Markov.Transient.distribution ~epsilon:1e-12 ~stationary_detection:1e-12 c
       ~init ~t
   in
-  check_vec ~tol:1e-9 "short horizon unaffected" plain detected
+  check_vec ~tol:1e-9 "short horizon unaffected" (Linalg.Vec.to_array plain) (Linalg.Vec.to_array detected)
 
 (* ---------------- property tests ---------------------------------- *)
 

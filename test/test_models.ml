@@ -163,8 +163,8 @@ let test_queue () =
   in
   let blocking = (rho ** float_of_int c.Models.Queue_srn.capacity) /. z in
   let full_mass =
-    pi.(s c.Models.Queue_srn.capacity true)
-    +. pi.(s c.Models.Queue_srn.capacity false)
+    pi.{s c.Models.Queue_srn.capacity true}
+    +. pi.{s c.Models.Queue_srn.capacity false}
   in
   check_close ~tol:2e-2 "blocking probability" blocking full_mass
 

@@ -83,7 +83,7 @@ let test_checker_end_to_end () =
   | Checker.Boolean _ -> Alcotest.fail "expected a numeric verdict"
   | Checker.Numeric probs ->
     check_within "checker P=?" ~tol:1e-6 oracle
-      probs.(Models.Adhoc.initial_state)
+      probs.{Models.Adhoc.initial_state}
 
 let suite =
   ( "oracle",

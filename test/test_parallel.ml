@@ -105,19 +105,19 @@ let prop_mul_vec_bit_identical =
     (fun (n, m, entries) ->
       let a = Linalg.Csr.of_coo ~rows:n ~cols:m entries in
       let x = Array.init m (fun j -> sin (float_of_int (j + 1))) in
-      let sequential = Linalg.Csr.mul_vec a x in
+      let sequential = Linalg.Csr.mul_vec a (Linalg.Vec.of_array x) in
       with_pool ~jobs:4 @@ fun pool ->
-      sequential = Linalg.Csr.mul_vec ~pool a x)
+      sequential = Linalg.Csr.mul_vec ~pool a (Linalg.Vec.of_array x))
 
 let prop_vec_mul_matches =
   QCheck2.Test.make ~count:20 ~name:"parallel x A deterministic and close"
     gen_big_matrix (fun (n, m, entries) ->
       let a = Linalg.Csr.of_coo ~rows:n ~cols:m entries in
       let x = Array.init n (fun i -> cos (float_of_int i)) in
-      let sequential = Linalg.Csr.vec_mul x a in
+      let sequential = Linalg.Csr.vec_mul (Linalg.Vec.of_array x) a in
       with_pool ~jobs:4 @@ fun pool ->
-      let par1 = Linalg.Csr.vec_mul ~pool x a in
-      let par2 = Linalg.Csr.vec_mul ~pool x a in
+      let par1 = Linalg.Csr.vec_mul ~pool (Linalg.Vec.of_array x) a in
+      let par2 = Linalg.Csr.vec_mul ~pool (Linalg.Vec.of_array x) a in
       (* The merge of per-chunk accumulators regroups the additions, so
          only rounding-level differences are allowed — but the grouping
          is static, so repeated runs are bit-identical. *)

@@ -27,7 +27,7 @@ let test_problem_validation () =
   Alcotest.check_raises "bad init"
     (Invalid_argument "Problem.make: init is not a distribution") (fun () ->
       ignore
-        (Perf.Problem.make m ~init:[| 0.5; 0.6 |] ~goal:[| true; true |]
+        (Perf.Problem.make m ~init:(Linalg.Vec.of_array [| 0.5; 0.6 |]) ~goal:[| true; true |]
            ~time_bound:1.0 ~reward_bound:1.0));
   Alcotest.check_raises "zero time"
     (Invalid_argument "Problem.make: time bound must be positive and finite")
@@ -80,7 +80,7 @@ let test_reduced_case_study () =
     (Markov.Mrm.reward red.Perf.Reduced.mrm goal_state);
   (* Transient rewards: idle+idle 100, idle+active 200, doze 20. *)
   let rewards =
-    Array.sub (Markov.Mrm.rewards red.Perf.Reduced.mrm) 0 3
+    Array.sub (Linalg.Vec.to_array (Markov.Mrm.rewards red.Perf.Reduced.mrm)) 0 3
     |> Array.to_list |> List.sort compare
   in
   Alcotest.(check (list (float 0.0))) "transient rewards" [ 20.0; 100.0; 200.0 ]
@@ -279,9 +279,9 @@ let test_until_probabilities_via () =
       else if not phi.(s) then check_close (Printf.sprintf "fail %d" s) 0.0 p
       else if p <= 0.0 || p >= 1.0 then
         Alcotest.failf "phi state %d has degenerate probability %g" s p)
-    probs;
+    (Linalg.Vec.to_array probs);
   check_close ~tol:1e-7 "initial state value" 0.49699673
-    probs.(Models.Adhoc.initial_state)
+    probs.{Models.Adhoc.initial_state}
 
 let test_solve_many () =
   (* The shared-recursion curve must agree with one-at-a-time solves,
@@ -340,7 +340,7 @@ let prop_sericola_vs_simulation =
       (* Point-mass initial state by construction. *)
       let init =
         let found = ref 0 in
-        Array.iteri (fun i v -> if v > 0.5 then found := i) p.Perf.Problem.init;
+        Array.iteri (fun i v -> if v > 0.5 then found := i) (Linalg.Vec.to_array p.Perf.Problem.init);
         !found
       in
       let rng = Sim.Rng.create ~seed:(Int64.of_int (seed + 99)) in
@@ -500,6 +500,43 @@ let prop_duality_vs_sericola =
           via_dual via_sericola seed
       else true)
 
+(* Allocation canary for the Bigarray layout overhaul: the transient
+   recursions reuse caller-owned scratch, so a full case-study solve
+   stays within a fixed minor-heap budget.  The boxed-era implementation
+   allocated ~36M minor words for the Sericola solve below (~70x the
+   budget); a regression back to boxed inner loops trips this long before
+   it would show in wall-clock noise.  Budgets are ~3x the measured
+   steady-state cost, far above runtime jitter and far below the boxed
+   numbers. *)
+let test_allocation_budget () =
+  let m = Models.Adhoc.mrm () in
+  let l = Models.Adhoc.labeling () in
+  let idle = Markov.Labeling.sat l "call_idle" in
+  let doze = Markov.Labeling.sat l "doze" in
+  let phi = Array.mapi (fun i a -> a || doze.(i)) idle in
+  let psi = Markov.Labeling.sat l "call_initiated" in
+  let red = Perf.Reduced.reduce m ~phi ~psi in
+  let init = Linalg.Vec.unit 9 Models.Adhoc.initial_state in
+  let p = Perf.Reduced.problem red ~init ~time_bound:24.0 ~reward_bound:600.0 in
+  let minor f =
+    ignore (f ());
+    let before = Gc.minor_words () in
+    ignore (f ());
+    Gc.minor_words () -. before
+  in
+  let check name budget f =
+    let words = minor f in
+    if words > budget then
+      Alcotest.failf "%s allocated %.0f minor words (budget %.0f)" name words
+        budget
+  in
+  check "sericola solve" 1_600_000.0 (fun () ->
+      Perf.Sericola.solve ~epsilon:1e-9 p);
+  check "discretisation solve" 250_000.0 (fun () ->
+      Perf.Discretization.solve ~step:(1.0 /. 64.0) p);
+  check "erlang solve" 400_000.0 (fun () ->
+      Perf.Erlang_approx.solve ~phases:256 p)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "perf",
@@ -524,6 +561,7 @@ let suite =
         test_until_probabilities_via;
       Alcotest.test_case "solve_many distribution curve" `Quick
         test_solve_many;
+      Alcotest.test_case "allocation budgets" `Quick test_allocation_budget;
       q prop_engines_agree;
       q prop_achieved_epsilon;
       q prop_knob_derived_tolerances;

@@ -63,11 +63,11 @@ let pipeline_matches_baseline =
       in
       Array.iteri
         (fun s expected ->
-          if Float.abs (expected -. piped.(s)) > 1e-12 then
+          if Float.abs (expected -. piped.{s}) > 1e-12 then
             QCheck2.Test.fail_reportf
               "seed %d state %d: baseline %.17g, pipeline %.17g" seed s
-              expected piped.(s))
-        baseline;
+              expected piped.{s})
+        (Linalg.Vec.to_array baseline);
       if nothing_fired tel && piped <> baseline then
         QCheck2.Test.fail_reportf
           "seed %d: pipeline reported itself a no-op but the answers are \
@@ -115,11 +115,11 @@ let impulse_models_pass_through =
       else
         Array.iteri
           (fun s expected ->
-            if Float.abs (expected -. piped.(s)) > 1e-12 then
+            if Float.abs (expected -. piped.{s}) > 1e-12 then
               QCheck2.Test.fail_reportf
                 "seed %d state %d: baseline %.17g, pipeline %.17g" seed s
-                expected piped.(s))
-          baseline;
+                expected piped.{s})
+          (Linalg.Vec.to_array baseline);
       true)
 
 let pool_dispatch_is_bit_identical =
@@ -247,10 +247,10 @@ let test_symmetric_answers_match () =
   in
   Array.iteri
     (fun s expected ->
-      if Float.abs (expected -. piped.(s)) > 1e-12 then
+      if Float.abs (expected -. piped.{s}) > 1e-12 then
         Alcotest.failf "state %d: baseline %.17g, pipeline %.17g" s expected
-          piped.(s))
-    baseline
+          piped.{s})
+    (Linalg.Vec.to_array baseline)
 
 (* The tracked multiprocessor collapses onto the birth-death chain: the
    engine-level pipeline must give the pooled model's answer. *)

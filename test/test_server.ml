@@ -256,11 +256,11 @@ let differential_check () =
             ("value", Io.Json.Number (Linalg.Vec.dot init v));
             ("states",
              Io.Json.List
-               (Array.to_list (Array.map (fun x -> Io.Json.Number x) v))) ]
+               (Array.to_list (Array.map (fun x -> Io.Json.Number x) (Linalg.Vec.to_array v)))) ]
         | Checker.Boolean mask ->
           let ind = Array.map (fun b -> if b then 1.0 else 0.0) mask in
           [ ("kind", Io.Json.String "boolean");
-            ("initial_mass", Io.Json.Number (Linalg.Vec.dot init ind));
+            ("initial_mass", Io.Json.Number (Linalg.Vec.dot init (Linalg.Vec.of_array ind)));
             ("states",
              Io.Json.List
                (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask))) ]

@@ -177,7 +177,7 @@ let test_simulation_oracle_brackets_sericola () =
         let found = ref (-1) in
         Array.iteri
           (fun s mass -> if mass > 0.5 then found := s)
-          p.Perf.Problem.init;
+          (Linalg.Vec.to_array p.Perf.Problem.init);
         !found
       in
       let rng = Sim.Rng.create ~seed:(Int64.add seed 1000L) in
