@@ -866,13 +866,179 @@ let serve _full =
   close_out oc;
   Printf.printf "updated BENCH_perf.json with the serve section\n"
 
+(* Throughput scaling of the sharded executor pool: one mixed session
+   over 8 models (builtin aliases of adhoc/adhoc-srn, names picked so
+   the shard hash spreads them evenly over 2 and 4 shards), 64 check
+   requests with pairwise-distinct time bounds (no memo hits — every
+   request is a real transient solve), replayed through serve_channels
+   at --executors 1, 2 and 4 on fresh services.  Responses must be
+   byte-identical across counts (the determinism claim); queries/sec
+   per count and the 2-executor speedup go into the "serve_scale"
+   section of BENCH_perf.json together with the machine's core count —
+   validate_bench_json enforces the 1.6x floor only on multi-core
+   hosts, single-core runs just pin identity. *)
+let serve_scale _full =
+  heading "serve-scale: queries/sec vs executor count, mixed 8-model session";
+  let cores = Domain.recommended_domain_count () in
+  (* Greedily pick 8 alias names whose shard hashes fill each mod-4
+     bucket twice — then mod 2 splits 4/4 as well, so both measured
+     executor counts get a balanced workload. *)
+  let aliases =
+    let buckets = Array.make 4 0 in
+    let rec pick acc i =
+      if List.length acc = 8 then List.rev acc
+      else begin
+        let name = Printf.sprintf "m%02d" i in
+        let b = Hashtbl.hash name mod 4 in
+        if buckets.(b) < 2 then begin
+          buckets.(b) <- buckets.(b) + 1;
+          pick (name :: acc) (i + 1)
+        end
+        else pick acc (i + 1)
+      end
+    in
+    pick [] 0
+  in
+  let sources =
+    List.mapi
+      (fun i name -> (name, if i mod 2 = 0 then "adhoc" else "adhoc-srn"))
+      aliases
+  in
+  let n_requests = 64 in
+  let models = Array.of_list aliases in
+  let request i =
+    let model = models.(i mod Array.length models) in
+    (* Distinct bounds per request: no memo or Fox-Glynn window hits,
+       so every request is a real solve and big enough (~ms) that the
+       executor fan-out beats the dispatch overhead on multi-core. *)
+    let bound = 50.0 +. (2.0 *. float_of_int i) in
+    Printf.sprintf
+      {|{"kind": "check", "id": "r%02d", "model": "%s", "query": "P=? ( F[t<=%g] doze )"}|}
+      i model bound
+  in
+  let session executors =
+    Numerics.Fox_glynn.cache_clear ();
+    let config =
+      { (Server.Service.default_config ~clock:monotonic_seconds ()) with
+        Server.Service.pool = !pool;
+        queue_bound = 256;
+        executors }
+    in
+    let service = Server.Service.create config in
+    let reg = Server.Service.registry service in
+    List.iter
+      (fun (name, builtin) ->
+        match Server.Registry.load reg ~name ~builtin () with
+        | Ok _ -> ()
+        | Error message ->
+          prerr_endline ("serve-scale: " ^ message);
+          exit 1)
+      sources;
+    let req_read, req_write = Unix.pipe ~cloexec:false () in
+    let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+    let input = Unix.in_channel_of_descr req_read in
+    let output = Unix.out_channel_of_descr resp_write in
+    let server =
+      Thread.create
+        (fun () ->
+          ignore (Server.Service.serve_channels service ~input ~output);
+          close_out_noerr output;
+          close_in_noerr input)
+        ()
+    in
+    let feed = Unix.out_channel_of_descr req_write in
+    let responses = ref [] in
+    let _, seconds =
+      timed (fun () ->
+          for i = 0 to n_requests - 1 do
+            output_string feed (request i);
+            output_char feed '\n'
+          done;
+          close_out feed;
+          let drain = Unix.in_channel_of_descr resp_read in
+          (try
+             while true do
+               responses := input_line drain :: !responses
+             done
+           with End_of_file -> ());
+          close_in_noerr drain)
+    in
+    Thread.join server;
+    Server.Service.stop service;
+    (List.rev !responses, seconds)
+  in
+  let counts = [ 1; 2; 4 ] in
+  let runs = List.map (fun e -> (e, session e)) counts in
+  let reference =
+    match runs with (_, (r, _)) :: _ -> r | [] -> assert false
+  in
+  let identical =
+    List.for_all
+      (fun (_, (responses, _)) ->
+        List.length responses = n_requests && responses = reference)
+      runs
+  in
+  if not identical then begin
+    prerr_endline
+      "serve-scale: responses differ across executor counts (or were dropped)";
+    exit 1
+  end;
+  let qps_of seconds = float_of_int n_requests /. Float.max 1e-9 seconds in
+  List.iter
+    (fun (e, (_, seconds)) ->
+      Printf.printf "  executors %d  %s  %.1f q/s\n" e
+        (Io.Table.seconds seconds) (qps_of seconds))
+    runs;
+  let seconds_at e =
+    match List.assoc_opt e runs with
+    | Some (_, seconds) -> seconds
+    | None -> assert false
+  in
+  let speedup2 = qps_of (seconds_at 2) /. qps_of (seconds_at 1) in
+  Printf.printf "  speedup at 2 executors %.2fx (%d cores)  identical: %b\n"
+    speedup2 cores identical;
+  let serve_scale_json =
+    Io.Json.Object
+      [ ("models", Io.Json.Number (float_of_int (List.length aliases)));
+        ("requests", Io.Json.Number (float_of_int n_requests));
+        ("cores", Io.Json.Number (float_of_int cores));
+        ("counts",
+         Io.Json.List
+           (List.map
+              (fun (e, (_, seconds)) ->
+                Io.Json.Object
+                  [ ("executors", Io.Json.Number (float_of_int e));
+                    ("seconds", Io.Json.Number seconds);
+                    ("qps", Io.Json.Number (qps_of seconds)) ])
+              runs));
+        ("speedup2", Io.Json.Number speedup2);
+        ("identical", Io.Json.Bool identical) ]
+  in
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "serve_scale" fields
+       | _ | exception Io.Json.Parse_error _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("serve_scale", serve_scale_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the serve_scale section\n"
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
-    ("perf", perf); ("batch", batch); ("reduce", reduce); ("serve", serve) ]
+    ("perf", perf); ("batch", batch); ("reduce", reduce); ("serve", serve);
+    ("serve-scale", serve_scale) ]
 
 let run_artifacts args =
   let bad_jobs () = prerr_endline "--jobs needs a positive count"; exit 2 in

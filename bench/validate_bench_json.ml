@@ -26,12 +26,13 @@ let () =
   let require_batch = List.mem "--require-batch" args in
   let require_reduce = List.mem "--require-reduce" args in
   let require_serve = List.mem "--require-serve" args in
+  let require_serve_scale = List.mem "--require-serve-scale" args in
   let path =
     match
       List.filter
         (fun a ->
           a <> "--require-batch" && a <> "--require-reduce"
-          && a <> "--require-serve")
+          && a <> "--require-serve" && a <> "--require-serve-scale")
         args
     with
     | path :: _ -> path
@@ -259,5 +260,68 @@ let () =
       Printf.sprintf ", serve %.0f queries (warm speedup %.1fx)" queries
         (number "speedup" serve)
   in
-  Printf.printf "%s: %d entries ok%s%s%s\n" path (List.length entries)
-    batch_summary reduce_summary serve_summary
+  (* The serve_scale section (written by `bench serve-scale`): one mixed
+     multi-model session replayed at executor counts 1, 2 and 4.
+     Byte-identity of the transcripts is the determinism claim and is
+     asserted exactly everywhere.  The throughput floor — 2 executors at
+     least 1.6x the queries/sec of 1 — is enforced only when the
+     recording host had 2+ cores: on a single-core machine the extra
+     domains are pure overhead and the measurement would gate on
+     scheduler noise. *)
+  let serve_scale_summary =
+    match Io.Json.member "serve_scale" doc with
+    | None ->
+      if require_serve_scale then
+        fail "missing \"serve_scale\" section (run `bench serve-scale`)"
+      else ""
+    | Some scale ->
+      let gfail fmt = Printf.ksprintf (fun m -> fail "serve_scale: %s" m) fmt in
+      let requests = number "requests" scale in
+      if not (Float.is_integer requests && requests >= 8.0) then
+        gfail "\"requests\" is not an integer >= 8 (%g)" requests;
+      let models = number "models" scale in
+      if not (Float.is_integer models && models >= 2.0) then
+        gfail "\"models\" is not an integer >= 2 (%g)" models;
+      let cores = number "cores" scale in
+      if not (Float.is_integer cores && cores >= 1.0) then
+        gfail "\"cores\" is not a positive integer (%g)" cores;
+      (match Io.Json.member "identical" scale with
+       | Some (Io.Json.Bool true) -> ()
+       | Some (Io.Json.Bool false) ->
+         gfail "transcripts are NOT byte-identical across executor counts"
+       | _ -> gfail "missing boolean \"identical\"");
+      let counts =
+        match Io.Json.member "counts" scale with
+        | Some (Io.Json.List counts) when counts <> [] -> counts
+        | _ -> gfail "missing non-empty \"counts\" list"
+      in
+      let seen = ref [] in
+      List.iter
+        (fun entry ->
+          let e = number "executors" entry in
+          if not (Float.is_integer e && e >= 1.0) then
+            gfail "\"executors\" is not a positive integer (%g)" e;
+          let qps = number "qps" entry in
+          if not (Float.is_finite qps && qps > 0.0) then
+            gfail "executors %g: \"qps\" is not positive (%g)" e qps;
+          let seconds = number "seconds" entry in
+          if not (Float.is_finite seconds && seconds >= 0.0) then
+            gfail "executors %g: bad \"seconds\" (%g)" e seconds;
+          seen := (int_of_float e, qps) :: !seen)
+        counts;
+      if not (List.mem_assoc 1 !seen && List.mem_assoc 2 !seen) then
+        gfail "counts must cover executors 1 and 2";
+      let speedup2 = number "speedup2" scale in
+      let ratio = List.assoc 2 !seen /. List.assoc 1 !seen in
+      if Float.abs (speedup2 -. ratio) > 1e-6 then
+        gfail "\"speedup2\" %g inconsistent with qps ratio %g" speedup2 ratio;
+      if cores >= 2.0 && speedup2 < 1.6 then
+        gfail "2-executor speedup %.2fx below the 1.6x floor on a %.0f-core \
+               host"
+          speedup2 cores;
+      Printf.sprintf ", serve-scale %.0f requests (2-executor speedup %.2fx, \
+                      %.0f cores)"
+        requests speedup2 cores
+  in
+  Printf.printf "%s: %d entries ok%s%s%s%s\n" path (List.length entries)
+    batch_summary reduce_summary serve_summary serve_scale_summary

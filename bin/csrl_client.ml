@@ -5,26 +5,73 @@
    stdout — enough for shell sessions, cram tests and the CI smoke
    check without needing netcat variants that speak SOCK_STREAM. *)
 
-let connect ~path ~timeout =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+let connect ~target ~timeout =
+  let mk_fd () =
+    match target with
+    | `Unix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | `Tcp (addr, _) ->
+      Unix.socket
+        (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, 0)))
+        Unix.SOCK_STREAM 0
+  in
+  let sockaddr, label =
+    match target with
+    | `Unix path -> (Unix.ADDR_UNIX path, path)
+    | `Tcp (addr, port) ->
+      ( Unix.ADDR_INET (addr, port),
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port )
+  in
   let deadline = Unix.gettimeofday () +. timeout in
   let rec attempt () =
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    let fd = mk_fd () in
+    match Unix.connect fd sockaddr with
     | () -> fd
     | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
       when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
       Unix.sleepf 0.05;
       attempt ()
     | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "csrl-client: cannot connect to %s: %s\n" path
+      Printf.eprintf "csrl-client: cannot connect to %s: %s\n" label
         (Unix.error_message err);
       exit 1
   in
   attempt ()
 
-let run path timeout shutdown =
+let resolve_tcp text =
+  match String.rindex_opt text ':' with
+  | None ->
+    prerr_endline "csrl-client: --tcp needs HOST:PORT with a numeric port";
+    exit 2
+  | Some i ->
+    let host = String.sub text 0 i in
+    let port_text = String.sub text (i + 1) (String.length text - i - 1) in
+    (match int_of_string_opt port_text with
+     | Some port when host <> "" && port >= 1 && port <= 65535 ->
+       let addr =
+         try Unix.inet_addr_of_string host
+         with Failure _ -> (
+           try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+           with Not_found | Invalid_argument _ ->
+             Printf.eprintf "csrl-client: cannot resolve host %S\n" host;
+             exit 1)
+       in
+       `Tcp (addr, port)
+     | Some _ | None ->
+       prerr_endline "csrl-client: --tcp needs HOST:PORT with a numeric port";
+       exit 2)
+
+let run path tcp timeout shutdown =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let fd = connect ~path ~timeout in
+  let target =
+    match (path, tcp) with
+    | Some path, None -> `Unix path
+    | None, Some text -> resolve_tcp text
+    | Some _, Some _ | None, None ->
+      prerr_endline "csrl-client: exactly one of --connect or --tcp is required";
+      exit 2
+  in
+  let fd = connect ~target ~timeout in
   let input = Unix.in_channel_of_descr fd in
   let output = Unix.out_channel_of_descr fd in
   let exchange line =
@@ -51,7 +98,14 @@ open Cmdliner
 
 let connect_arg =
   let doc = "Unix-domain socket path of the csrl-serve daemon." in
-  Arg.(required & opt (some string) None & info [ "c"; "connect" ] ~docv:"PATH" ~doc)
+  Arg.(value & opt (some string) None & info [ "c"; "connect" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "TCP address (HOST:PORT) of the csrl-serve daemon; exactly one of \
+     $(b,--connect) and $(b,--tcp) must be given."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
 
 let timeout_arg =
   let doc =
@@ -79,6 +133,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "csrl-client" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ connect_arg $ timeout_arg $ shutdown_arg)
+    Term.(const run $ connect_arg $ tcp_arg $ timeout_arg $ shutdown_arg)
 
 let () = exit (Cmd.eval cmd)

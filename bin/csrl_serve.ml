@@ -15,8 +15,35 @@ let invalid message =
   prerr_endline message;
   exit 2
 
-let run socket jobs queue deadline engine_text epsilon no_reduce preload_text
-    trace stats =
+(* --executors and --tcp are validated by hand (not by cmdliner's
+   converters) so bad values exit 2 with a one-line message, matching
+   the other flags. *)
+let parse_executors = function
+  | None -> 1
+  | Some text -> begin
+      match int_of_string_opt (String.trim text) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> invalid "--executors needs a positive count"
+    end
+
+let parse_tcp = function
+  | None -> None
+  | Some text -> begin
+      match String.rindex_opt text ':' with
+      | None -> invalid "--tcp needs HOST:PORT with a numeric port"
+      | Some i ->
+        let host = String.sub text 0 i in
+        let port_text = String.sub text (i + 1) (String.length text - i - 1) in
+        (match int_of_string_opt port_text with
+         | Some port when host <> "" && port >= 0 && port <= 65535 ->
+           Some (host, port)
+         | Some _ | None -> invalid "--tcp needs HOST:PORT with a numeric port")
+    end
+
+let run socket tcp executors jobs queue deadline engine_text epsilon no_reduce
+    preload_text trace stats =
+  let executors = parse_executors executors in
+  let tcp = parse_tcp tcp in
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -63,6 +90,7 @@ let run socket jobs queue deadline engine_text epsilon no_reduce preload_text
       reduction;
       pool;
       queue_bound = queue;
+      executors;
       default_deadline_ms = deadline;
       telemetry }
   in
@@ -70,9 +98,28 @@ let run socket jobs queue deadline engine_text epsilon no_reduce preload_text
   (match Server.Service.preload server preload_names with
    | Ok () -> ()
    | Error message -> invalid ("--preload: " ^ message));
-  (match socket with
-   | Some path -> Server.Service.serve_socket server ~path
-   | None -> ignore (Server.Service.serve_stdio server));
+  (match (socket, tcp) with
+   | None, None -> ignore (Server.Service.serve_stdio server)
+   | _ ->
+     let listeners = ref [] in
+     (match socket with
+      | None -> ()
+      | Some path ->
+        (match Server.Service.unix_listener ~path with
+         | Ok l -> listeners := l :: !listeners
+         | Error message -> invalid ("--socket: " ^ message)));
+     (match tcp with
+      | None -> ()
+      | Some (host, port) ->
+        (match Server.Service.tcp_listener ~host ~port with
+         | Ok (l, bound) ->
+           (* The bound port goes to stderr (stdout stays reserved for
+              the protocol) so scripts using port 0 can find it. *)
+           Printf.eprintf "csrl-serve: listening on %s:%d\n%!" host bound;
+           listeners := l :: !listeners
+         | Error message -> invalid ("--tcp: " ^ message)));
+     Server.Service.serve_listeners server !listeners);
+  Server.Service.stop server;
   Option.iter
     (fun tel ->
       Io.Trace.record_pool_stats tel pool;
@@ -98,17 +145,37 @@ open Cmdliner
 let socket_arg =
   let doc =
     "Serve on a Unix-domain socket bound at $(docv) (replacing a stale \
-     socket file), one connection at a time; model registry and solver \
-     caches persist across connections.  Without this flag the daemon \
-     serves a single session on stdin/stdout."
+     socket file); model registry and solver caches persist across \
+     connections, which are served concurrently.  Without this flag or \
+     $(b,--tcp) the daemon serves a single session on stdin/stdout."
   in
   Arg.(value & opt (some string) None & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Also serve on TCP at $(docv) (HOST:PORT; port 0 picks an ephemeral \
+     port).  The bound address is reported on standard error as \
+     $(b,csrl-serve: listening on HOST:PORT).  May be combined with \
+     $(b,--socket); both listeners share one registry and executor pool."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let executors_arg =
+  let doc =
+    "Run $(docv) executor domains (default 1).  Requests are sharded by \
+     model name — all requests on one model run on one executor in \
+     admission order against its warm caches — and each session's \
+     responses are emitted strictly in admission order, so transcripts \
+     are byte-identical at every executor count."
+  in
+  Arg.(value & opt (some string) None & info [ "executors" ] ~docv:"N" ~doc)
 
 let jobs_arg =
   let doc =
     "Run the numerical kernels on $(docv) domains (default 1: the exact \
-     sequential code).  Requests are still executed one at a time, in \
-     admission order."
+     sequential code).  Orthogonal to $(b,--executors): --jobs fans out \
+     within a request, --executors runs requests on different models \
+     concurrently."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -195,8 +262,8 @@ let cmd =
   Cmd.v
     (Cmd.info "csrl-serve" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ socket_arg $ jobs_arg $ queue_arg $ deadline_arg
-      $ engine_arg $ epsilon_arg $ no_reduce_arg $ preload_arg $ trace_arg
-      $ stats_arg)
+      const run $ socket_arg $ tcp_arg $ executors_arg $ jobs_arg $ queue_arg
+      $ deadline_arg $ engine_arg $ epsilon_arg $ no_reduce_arg $ preload_arg
+      $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

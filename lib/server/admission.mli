@@ -1,25 +1,33 @@
-(** The bounded admission queue between a session's reader thread and
-    its executor.
+(** The bounded MPMC queue of the serving layer: between a session's
+    reader threads and the dispatcher (admission), and between the
+    dispatcher and each executor domain (shard queues).
 
     The reader admits work with {!try_push}, which refuses instead of
     blocking when the queue is full — the server turns a refusal into a
     structured [overloaded] rejection, so a flooded daemon sheds load
-    instead of buffering unboundedly or stalling the transport.  Control
-    markers (end-of-input) use {!push_control}, which ignores the bound:
-    they carry no payload work and must never be dropped.
+    instead of buffering unboundedly or stalling the transport.  The
+    dispatcher forwards work to a shard with {!push_wait}, which blocks
+    while the shard is full — backpressure there must stall dispatch,
+    not drop requests that were already admitted.  Control markers
+    (end-of-input, executor stop) use {!push_control}, which ignores the
+    bound: they carry no payload work and must never be dropped.
 
-    One lock, one condition: the queue is strictly FIFO, which is what
-    makes the server's response order (and therefore its scripted cram
-    sessions) deterministic. *)
+    One lock, two conditions: the queue is strictly FIFO under any
+    number of concurrent producers and consumers — each producer's own
+    pushes are delivered in its push order, which is what makes response
+    order (and the scripted cram sessions) deterministic. *)
 
 type 'a t
 
 val create : bound:int -> 'a t
-(** [bound >= 1] is the maximum number of queued items {!try_push}
-    admits.  Raises [Invalid_argument] otherwise. *)
+(** [bound >= 1] is the maximum number of queued items {!try_push} and
+    {!push_wait} admit.  Raises [Invalid_argument] otherwise. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Enqueue, or return [false] when {!length} is already at the bound. *)
+
+val push_wait : 'a t -> 'a -> unit
+(** Enqueue, blocking while the queue is at the bound. *)
 
 val push_control : 'a t -> 'a -> unit
 (** Enqueue unconditionally (control markers only). *)

@@ -1,7 +1,7 @@
 type variable = Time | Reward
 
 type request =
-  | Load of { model : string; file : string option }
+  | Load of { model : string; file : string option; builtin : string option }
   | Evict of { model : string }
   | List_models
   | Check of { model : string; query : string; deadline_ms : float option }
@@ -29,6 +29,12 @@ let kind_of = function
   | Quantile _ -> "quantile"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+
+let model_of = function
+  | Load { model; _ } | Evict { model } | Check { model; _ }
+  | Quantile { model; _ } ->
+    Some model
+  | List_models | Stats | Shutdown -> None
 
 let error ?id ~code message = { code; message; error_id = id }
 
@@ -74,8 +80,12 @@ let of_json json =
           match text_member "kind" json with
           | None -> reject ?id "bad_request" "missing \"kind\""
           | Some "load" ->
-            Load { model = required_text ?id json "model";
-                   file = text_member "file" json }
+            let file = text_member "file" json in
+            let builtin = text_member "builtin" json in
+            if file <> None && builtin <> None then
+              reject ?id "bad_request"
+                "\"file\" and \"builtin\" are mutually exclusive";
+            Load { model = required_text ?id json "model"; file; builtin }
           | Some "evict" -> Evict { model = required_text ?id json "model" }
           | Some "list" -> List_models
           | Some "check" ->
@@ -135,9 +145,12 @@ let to_json { id; request } =
   let id_field = match id with None -> [] | Some i -> [ ("id", Io.Json.String i) ] in
   let fields =
     match request with
-    | Load { model; file } ->
+    | Load { model; file; builtin } ->
       [ ("model", Io.Json.String model) ]
       @ (match file with None -> [] | Some f -> [ ("file", Io.Json.String f) ])
+      @ (match builtin with
+         | None -> []
+         | Some b -> [ ("builtin", Io.Json.String b) ])
     | Evict { model } -> [ ("model", Io.Json.String model) ]
     | List_models | Stats | Shutdown -> []
     | Check { model; query; deadline_ms } ->

@@ -10,8 +10,10 @@
 
     - [{"kind": "load", "model": NAME}] — load the named built-in model
       into the registry (or, with ["file": PATH], parse a [.mrm] file
-      and register it under NAME).  Reloading a name replaces its entry,
-      warm caches included.
+      and register it under NAME; or, with ["builtin": SOURCE], register
+      the built-in SOURCE under the alias NAME with its own independent
+      warm caches — ["file"] and ["builtin"] are mutually exclusive).
+      Reloading a name replaces its entry, warm caches included.
     - [{"kind": "list"}] — the registered models, sorted by name.
     - [{"kind": "evict", "model": NAME}] — drop a registry entry.
     - [{"kind": "check", "model": NAME, "query": CSRL}] — evaluate one
@@ -40,7 +42,7 @@
 type variable = Time | Reward
 
 type request =
-  | Load of { model : string; file : string option }
+  | Load of { model : string; file : string option; builtin : string option }
   | Evict of { model : string }
   | List_models
   | Check of { model : string; query : string; deadline_ms : float option }
@@ -63,6 +65,12 @@ type error = { code : string; message : string; error_id : string option }
 val kind_of : request -> string
 (** The wire name: ["load"], ["evict"], ["list"], ["check"],
     ["quantile"], ["stats"], ["shutdown"]. *)
+
+val model_of : request -> string option
+(** The model the request is pinned to, when it has one — the sharding
+    key of the multi-executor dispatcher.  [None] for the global
+    requests ([list], [stats], [shutdown]), which execute under a
+    session barrier instead. *)
 
 val of_line : string -> (envelope, error) result
 (** Parse one NDJSON line.  Never raises: malformed JSON yields

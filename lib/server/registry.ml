@@ -5,6 +5,7 @@ type entry = {
   init : Linalg.Vec.t;
   ctx : Checker.t;
   memo : Checker.memo;
+  entry_lock : Mutex.t;
 }
 
 type t = {
@@ -19,16 +20,12 @@ let create ~make_ctx () =
 let build t ~name mrm labeling init =
   { name; mrm; labeling; init;
     ctx = t.make_ctx mrm labeling;
-    memo = Checker.create_memo () }
+    memo = Checker.create_memo ();
+    entry_lock = Mutex.create () }
 
-let load t ~name ?file () =
+let load t ~name ?builtin ?file () =
   let resolved =
     match file with
-    | None -> begin
-        match Models.Builtin.load name with
-        | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
-        | None -> Error (Printf.sprintf "unknown built-in model %S" name)
-      end
     | Some path -> begin
         match Io.Mrm_format.parse_file path with
         | doc ->
@@ -39,6 +36,11 @@ let load t ~name ?file () =
           Error (Printf.sprintf "%s: line %d: %s" path line message)
         | exception Sys_error message -> Error message
       end
+    | None ->
+      let source = Option.value builtin ~default:name in
+      (match Models.Builtin.load source with
+       | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
+       | None -> Error (Printf.sprintf "unknown built-in model %S" source))
   in
   match resolved with
   | Error _ as e -> e
@@ -48,6 +50,8 @@ let load t ~name ?file () =
     Ok entry
 
 let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table name)
+
+let exclusively entry f = Mutex.protect entry.entry_lock f
 
 let evict t name =
   Mutex.protect t.lock (fun () ->

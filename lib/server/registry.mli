@@ -5,15 +5,25 @@
     cheap: a prepared {!Checker.t} and a {!Checker.memo} holding the
     hash-consed Sat-set and path-probability tables plus the
     {!Perf.Batch} reduction and Theorem 1 caches.  (The third warm
-    layer, the Fox–Glynn window memo, is process-wide and needs no
-    per-entry state.)
+    layer, the Fox–Glynn window memo, is process-wide, mutex-protected,
+    and needs no per-entry state.)
+
+    Concurrency: the table itself is guarded by one mutex whose critical
+    sections are tiny (hash lookups), so lookups on different models
+    never wait on each other's solves.  Each entry additionally carries
+    its own lock, taken via {!exclusively} around a solve, which is what
+    protects the entry's memo tables when entries are used from several
+    executor domains.  Under the per-model sharding of
+    {!Service.serve_channels} the lock is uncontended by construction —
+    same model, same shard — and warm-cache hits on {e different} models
+    never serialise on anything.
 
     Eviction is by unlinking: {!evict} removes the name from the table,
     but an entry already resolved by an in-flight request stays valid —
     models, labelings and memos are never mutated destructively, so the
     request completes against the state it resolved and the entry is
     reclaimed by the GC afterwards.  Later requests on the evicted name
-    get [None] from {!find}.  All operations are mutex-protected. *)
+    get [None] from {!find}. *)
 
 type entry = {
   name : string;
@@ -22,6 +32,9 @@ type entry = {
   init : Linalg.Vec.t;
   ctx : Checker.t;     (** prepared on the server's engine/pool config *)
   memo : Checker.memo; (** the entry's warm caches *)
+  entry_lock : Mutex.t;
+      (** guards [memo]/[ctx] during a solve; take it via
+          {!exclusively} *)
 }
 
 type t
@@ -32,14 +45,22 @@ val create :
     the server closes it over its engine, epsilon, reduction config,
     pool and telemetry. *)
 
-val load : t -> name:string -> ?file:string -> unit -> (entry, string) result
-(** Without [file], builds the built-in model called [name]
-    ({!Models.Builtin}); with [file], parses the [.mrm] file and
-    registers it under [name].  Replaces any existing entry (fresh warm
-    state).  Errors are messages: unknown built-in, or the file's parse
-    error. *)
+val load :
+  t -> name:string -> ?builtin:string -> ?file:string -> unit ->
+  (entry, string) result
+(** Build the model and register it under [name].  Without [builtin] or
+    [file], [name] itself must be a built-in model
+    ({!Models.Builtin}); with [builtin], that built-in is loaded and
+    registered under the (possibly different) [name] — an alias, giving
+    the entry its own independent warm caches; with [file], the [.mrm]
+    file is parsed.  Replaces any existing entry (fresh warm state).
+    Errors are messages: unknown built-in, or the file's parse error. *)
 
 val find : t -> string -> entry option
+
+val exclusively : entry -> (unit -> 'a) -> 'a
+(** Run [f] holding the entry's lock — every solve against the entry's
+    [ctx]/[memo] goes through here. *)
 
 val evict : t -> string -> bool
 (** [true] when the name was registered. *)

@@ -1,0 +1,63 @@
+type 'a t = {
+  bound : int;
+  lock : Mutex.t;
+  changed : Condition.t;
+  pending : (int, 'a) Hashtbl.t;
+  mutable next : int;
+  mutable closed : bool;
+}
+
+let create ?(bound = max_int) () =
+  if bound < 1 then invalid_arg "Reorder.create: bound must be >= 1";
+  { bound; lock = Mutex.create (); changed = Condition.create ();
+    pending = Hashtbl.create 16; next = 0; closed = false }
+
+let submit t ~seq item =
+  Mutex.protect t.lock (fun () ->
+      if seq < t.next || Hashtbl.mem t.pending seq then
+        invalid_arg
+          (Printf.sprintf "Reorder.submit: duplicate sequence number %d" seq);
+      if t.closed then invalid_arg "Reorder.submit: closed";
+      (* Backpressure: a full buffer blocks out-of-order completions, but
+         never the submission the consumer is waiting on — refusing
+         [next] while only later sequence numbers are buffered would
+         deadlock the drain. *)
+      while Hashtbl.length t.pending >= t.bound && seq <> t.next do
+        Condition.wait t.changed t.lock
+      done;
+      Hashtbl.replace t.pending seq item;
+      Condition.broadcast t.changed)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.changed)
+
+let next_ready t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        match Hashtbl.find_opt t.pending t.next with
+        | Some item ->
+          Hashtbl.remove t.pending t.next;
+          t.next <- t.next + 1;
+          Condition.broadcast t.changed;
+          Some item
+        | None ->
+          if not t.closed then begin
+            Condition.wait t.changed t.lock;
+            wait ()
+          end
+          else if Hashtbl.length t.pending = 0 then None
+          else begin
+            (* Closed with a gap: a submitter died before its turn.  The
+               drain must still terminate, so skip to the smallest
+               buffered sequence number and keep emitting in order. *)
+            t.next <-
+              Hashtbl.fold (fun seq _ acc -> Stdlib.min seq acc) t.pending
+                max_int;
+            wait ()
+          end
+      in
+      wait ())
+
+let pending_length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.pending)

@@ -1,0 +1,43 @@
+(** The sequence-numbered reorder buffer that makes parallel serving
+    deterministic.
+
+    Producers (executor domains) complete work in any order and
+    {!submit} each result under the sequence number it was admitted
+    with; one consumer (the session's writer thread) calls {!next_ready}
+    in a loop and receives the results strictly in sequence order —
+    response order on the wire is admission order, regardless of which
+    executor finished first.
+
+    A gap stalls the consumer: {!next_ready} blocks until the missing
+    sequence number is submitted, holding any later results in the
+    buffer.  The buffer is bounded: {!submit} blocks while [bound]
+    results are already buffered, {e except} for the submission the
+    consumer is waiting on, which is always admitted (refusing it would
+    deadlock the drain).  After {!close}, remaining buffered results are
+    drained in ascending order (skipping gaps, so a lost submission
+    cannot wedge teardown) and {!next_ready} then returns [None]. *)
+
+type 'a t
+
+val create : ?bound:int -> unit -> 'a t
+(** A buffer expecting sequence numbers [0, 1, 2, ...].  [bound]
+    (default: unbounded) caps the number of out-of-order results held;
+    it must be [>= 1] or [Invalid_argument] is raised. *)
+
+val submit : 'a t -> seq:int -> 'a -> unit
+(** Deliver the result for [seq].  Blocks while the buffer is full and
+    [seq] is not the next number the consumer needs.  Raises
+    [Invalid_argument] on a duplicate or already-consumed [seq], or when
+    the buffer is closed. *)
+
+val close : 'a t -> unit
+(** No further {!submit}s; wakes the consumer so it can drain and
+    finish.  Call only after every admitted sequence number has been
+    submitted (the dispatcher's session barrier guarantees this). *)
+
+val next_ready : 'a t -> 'a option
+(** The next result in sequence order: blocks until it is available or
+    the buffer is closed and empty ([None] = end of stream). *)
+
+val pending_length : 'a t -> int
+(** Results currently buffered (submitted but not yet consumed). *)

@@ -4,6 +4,7 @@ type config = {
   reduction : Perf.Reduction.config;
   pool : Parallel.Pool.t;
   queue_bound : int;
+  executors : int;
   default_deadline_ms : float option;
   telemetry : Telemetry.t option;
   clock : unit -> float;
@@ -15,14 +16,17 @@ let default_config ?(clock = Unix.gettimeofday) () =
     reduction = Perf.Reduction.default;
     pool = Parallel.Pool.sequential;
     queue_bound = 64;
+    executors = 1;
     default_deadline_ms = None;
     telemetry = None;
     clock }
 
-(* Serving counters, deterministic under the FIFO executor: everything
-   except [overloaded] (reader-side rejections) is incremented by the
-   executor in admission order, so a scripted session pins the exact
-   [stats] output.  No timings in here — those live in telemetry. *)
+(* Serving counters, deterministic for a single session at any executor
+   count: everything except [overloaded] (reader-side rejections) is
+   incremented in admission order relative to [stats] — model-pinned
+   requests bump when their shard executes them, and [stats] runs under
+   a session barrier that waits for every earlier request first.  No
+   timings in here — those live in telemetry. *)
 type counters = {
   mutable c_load : int;
   mutable c_evict : int;
@@ -36,26 +40,43 @@ type counters = {
   mutable c_deadline_exceeded : int;
 }
 
+type outcome = Shutdown | Eof
+
+(* One serving session: its reorder buffer (responses leave in admission
+   order), the in-flight count the dispatcher's barrier waits on, and
+   the outcome the session loop reports. *)
+type session = {
+  reorder : Io.Json.t Reorder.t;
+  flight_lock : Mutex.t;
+  flight_zero : Condition.t;
+  mutable inflight : int;
+  mutable outcome : outcome;
+}
+
+type admitted =
+  | Job of {
+      session : session;
+      seq : int;
+      envelope : (Protocol.envelope, Protocol.error) result;
+      admitted : float;
+    }
+  | End_session of session
+  | Stop_dispatch
+
+type runtime = {
+  exec : Executor.t;
+  admission : admitted Admission.t;
+  dispatcher : Thread.t;
+}
+
 type t = {
   config : config;
   reg : Registry.t;
   counters : counters;
   counters_lock : Mutex.t;
+  runtime_lock : Mutex.t;
+  mutable runtime : runtime option;
 }
-
-let create config =
-  let make_ctx mrm labeling =
-    Checker.make ~engine:config.engine ~epsilon:config.epsilon
-      ~pool:config.pool ?telemetry:config.telemetry
-      ~reduction:config.reduction mrm labeling
-  in
-  { config;
-    reg = Registry.create ~make_ctx ();
-    counters =
-      { c_load = 0; c_evict = 0; c_list = 0; c_check = 0; c_quantile = 0;
-        c_stats = 0; c_shutdown = 0; c_errors = 0; c_overloaded = 0;
-        c_deadline_exceeded = 0 };
-    counters_lock = Mutex.create () }
 
 let registry t = t.reg
 
@@ -218,8 +239,8 @@ let stats_json t =
 let run_request t ~admitted ~id request =
   let ok = Protocol.response_ok ~id in
   match (request : Protocol.request) with
-  | Load { model; file } -> begin
-      match Registry.load t.reg ~name:model ?file () with
+  | Load { model; file; builtin } -> begin
+      match Registry.load t.reg ~name:model ?builtin ?file () with
       | Ok entry ->
         Ok
           (ok ~kind:"load"
@@ -262,7 +283,9 @@ let run_request t ~admitted ~id request =
     let* token = deadline_token t ~admitted ?id request in
     let ctx = Checker.with_cancel entry.Registry.ctx token in
     let* verdict =
-      guarded ?id (fun () -> Checker.eval_query ~memo:entry.Registry.memo ctx q)
+      Registry.exclusively entry (fun () ->
+          guarded ?id (fun () ->
+              Checker.eval_query ~memo:entry.Registry.memo ctx q))
     in
     Ok
       (ok ~kind:"check"
@@ -303,7 +326,8 @@ let run_request t ~admitted ~id request =
       | Checker.Boolean _ -> assert false
     in
     let* outcome =
-      guarded ?id (fun () -> Quantile.search ~eval ~target ~hi ~tolerance)
+      Registry.exclusively entry (fun () ->
+          guarded ?id (fun () -> Quantile.search ~eval ~target ~hi ~tolerance))
     in
     Ok
       (ok ~kind:"quantile"
@@ -349,17 +373,141 @@ let execute t ?admitted ({ id; request } : Protocol.envelope) =
     Protocol.response_error e
 
 (* ------------------------------------------------------------------ *)
-(* Sessions: reader thread -> bounded FIFO queue -> executor.          *)
+(* The multi-executor runtime: a service-wide dispatcher thread routes
+   admitted jobs to N executor domains, sharded by model name; sessions
+   contribute reader threads and drain their reorder buffers.           *)
 
-type outcome = Shutdown | Eof
+let shard_of t request =
+  match Protocol.model_of request with
+  | Some model -> Some (Hashtbl.hash model mod t.config.executors)
+  | None -> None
 
-type job =
-  | Parsed of { envelope : (Protocol.envelope, Protocol.error) result;
-                admitted : float }
-  | Done_reading
+(* An exception that escapes [execute] (it guards all per-request
+   failures, so this is a bug path) must still submit a response: a
+   sequence-number gap would wedge the session's writer. *)
+let execute_total t ~admitted ({ Protocol.id; _ } as env) =
+  match execute t ~admitted env with
+  | response -> response
+  | exception exn ->
+    let e =
+      Protocol.error ?id ~code:"internal"
+        (Printf.sprintf "unexpected exception: %s" (Printexc.to_string exn))
+    in
+    count_error t e;
+    Protocol.response_error e
+
+let flight_incr session =
+  Mutex.protect session.flight_lock (fun () ->
+      session.inflight <- session.inflight + 1)
+
+let flight_decr session =
+  Mutex.protect session.flight_lock (fun () ->
+      session.inflight <- session.inflight - 1;
+      if session.inflight = 0 then Condition.broadcast session.flight_zero)
+
+(* Wait until every job of [session] dispatched so far has submitted its
+   response.  Global requests run behind this barrier: [stats]/[list]
+   then observe exactly the session's admission-order prefix, and
+   [shutdown]'s acknowledgement really means "everything before me is
+   answered". *)
+let flight_barrier session =
+  Mutex.protect session.flight_lock (fun () ->
+      while session.inflight > 0 do
+        Condition.wait session.flight_zero session.flight_lock
+      done)
+
+let dispatch_loop t ~exec ~admission () =
+  let rec loop () =
+    match Admission.pop admission with
+    | Stop_dispatch -> ()
+    | End_session session ->
+      flight_barrier session;
+      Reorder.close session.reorder;
+      loop ()
+    | Job { session; seq; envelope; admitted } ->
+      (match envelope with
+       | Error e ->
+         (* Pre-failed (parse/bad-request) jobs are answered by the
+            dispatcher itself, in admission order relative to any later
+            barrier request. *)
+         count_error t e;
+         Reorder.submit session.reorder ~seq (Protocol.response_error e)
+       | Ok env -> begin
+           match shard_of t env.Protocol.request with
+           | Some shard ->
+             flight_incr session;
+             Executor.submit exec ~shard (fun () ->
+                 let response = execute_total t ~admitted env in
+                 Reorder.submit session.reorder ~seq response;
+                 flight_decr session)
+           | None ->
+             flight_barrier session;
+             let response = execute_total t ~admitted env in
+             (match env.Protocol.request with
+              | Protocol.Shutdown ->
+                Mutex.protect session.flight_lock (fun () ->
+                    session.outcome <- Shutdown)
+              | _ -> ());
+             Reorder.submit session.reorder ~seq response
+         end);
+      loop ()
+  in
+  loop ()
+
+let runtime t =
+  Mutex.protect t.runtime_lock (fun () ->
+      match t.runtime with
+      | Some r -> r
+      | None ->
+        let exec =
+          Executor.create ~shards:t.config.executors
+            ~queue_bound:t.config.queue_bound
+        in
+        let admission = Admission.create ~bound:t.config.queue_bound in
+        let r =
+          { exec; admission;
+            dispatcher = Thread.create (dispatch_loop t ~exec ~admission) () }
+        in
+        t.runtime <- Some r;
+        r)
+
+let stop t =
+  let r = Mutex.protect t.runtime_lock (fun () ->
+      let r = t.runtime in
+      t.runtime <- None;
+      r)
+  in
+  match r with
+  | None -> ()
+  | Some r ->
+    Admission.push_control r.admission Stop_dispatch;
+    Thread.join r.dispatcher;
+    Executor.stop r.exec
+
+let create config =
+  if config.executors < 1 then
+    invalid_arg "Service.create: executors must be >= 1";
+  let make_ctx mrm labeling =
+    Checker.make ~engine:config.engine ~epsilon:config.epsilon
+      ~pool:config.pool ?telemetry:config.telemetry
+      ~reduction:config.reduction mrm labeling
+  in
+  { config;
+    reg = Registry.create ~make_ctx ();
+    counters =
+      { c_load = 0; c_evict = 0; c_list = 0; c_check = 0; c_quantile = 0;
+        c_stats = 0; c_shutdown = 0; c_errors = 0; c_overloaded = 0;
+        c_deadline_exceeded = 0 };
+    counters_lock = Mutex.create ();
+    runtime_lock = Mutex.create ();
+    runtime = None }
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: reader thread -> shared admission queue -> dispatcher ->
+   executor shards -> reorder buffer -> writer thread.                 *)
 
 let serve_channels t ~input ~output =
-  let queue = Admission.create ~bound:t.config.queue_bound in
+  let rt = runtime t in
   let out_lock = Mutex.create () in
   let write_json json =
     (* A vanished client (EPIPE) must not kill the session: keep
@@ -371,12 +519,22 @@ let serve_channels t ~input ~output =
           flush output)
     with Sys_error _ -> ()
   in
+  let session =
+    { reorder = Reorder.create ~bound:t.config.queue_bound ();
+      flight_lock = Mutex.create ();
+      flight_zero = Condition.create ();
+      inflight = 0;
+      outcome = Eof }
+  in
+  let next_seq = ref 0 in
   let reader () =
     let shutdown_seen = ref false in
     let rec loop () =
       match input_line input with
-      | exception End_of_file -> Admission.push_control queue Done_reading
-      | exception Sys_error _ -> Admission.push_control queue Done_reading
+      | exception End_of_file ->
+        Admission.push_control rt.admission (End_session session)
+      | exception Sys_error _ ->
+        Admission.push_control rt.admission (End_session session)
       | line ->
         if String.trim line = "" then loop ()
         else begin
@@ -400,8 +558,12 @@ let serve_channels t ~input ~output =
               parsed
             end
           in
-          let job = Parsed { envelope; admitted = t.config.clock () } in
-          if not (Admission.try_push queue job) then begin
+          let job =
+            Job { session; seq = !next_seq; envelope;
+                  admitted = t.config.clock () }
+          in
+          if Admission.try_push rt.admission job then incr next_seq
+          else begin
             Mutex.protect t.counters_lock (fun () ->
                 t.counters.c_overloaded <- t.counters.c_overloaded + 1);
             Telemetry.add t.config.telemetry "server.overloaded" 1;
@@ -422,47 +584,153 @@ let serve_channels t ~input ~output =
     in
     loop ()
   in
-  let reader_thread = Thread.create reader () in
-  let rec execute_loop outcome =
-    match Admission.pop queue with
-    | Done_reading -> outcome
-    | Parsed { envelope = Error e; _ } ->
-      count_error t e;
-      write_json (Protocol.response_error e);
-      execute_loop outcome
-    | Parsed { envelope = Ok env; admitted } ->
-      write_json (execute t ~admitted env);
-      let outcome =
-        match env.Protocol.request with
-        | Protocol.Shutdown -> Shutdown
-        | _ -> outcome
-      in
-      execute_loop outcome
+  let writer () =
+    let rec drain () =
+      match Reorder.next_ready session.reorder with
+      | Some json ->
+        write_json json;
+        drain ()
+      | None -> ()
+    in
+    drain ()
   in
-  let outcome = execute_loop Eof in
+  let reader_thread = Thread.create reader () in
+  let writer_thread = Thread.create writer () in
   Thread.join reader_thread;
-  outcome
+  Thread.join writer_thread;
+  Mutex.protect session.flight_lock (fun () -> session.outcome)
 
 let serve_stdio t = serve_channels t ~input:stdin ~output:stdout
 
-let serve_socket t ~path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 16;
-  let rec accept_loop () =
-    let client, _ = Unix.accept fd in
-    let input = Unix.in_channel_of_descr client
-    and output = Unix.out_channel_of_descr client in
-    let outcome = serve_channels t ~input ~output in
-    (* The channels share one descriptor: close the out side (flushes),
-       ignore the in side's redundant close. *)
-    close_out_noerr output;
-    close_in_noerr input;
-    match outcome with Shutdown -> () | Eof -> accept_loop ()
+(* ------------------------------------------------------------------ *)
+(* Listeners: Unix-domain and TCP accept loops over one shared session
+   machinery.  Connections are served concurrently, each with its own
+   reader/writer; the executor pool and registry are service-global.   *)
+
+type listener = {
+  lfd : Unix.file_descr;
+  cleanup : unit -> unit;
+}
+
+let unix_listener ~path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  with
+  | fd ->
+    Ok
+      { lfd = fd;
+        cleanup =
+          (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ()) }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message err))
+
+let tcp_listener ~host ~port =
+  match
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, 0)))
+        Unix.SOCK_STREAM 0
+    in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, bound)
+  with
+  | fd, bound -> Ok ({ lfd = fd; cleanup = (fun () -> ()) }, bound)
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot bind %s:%d: %s" host port
+         (Unix.error_message err))
+  | exception Failure message -> Error message
+
+let serve_listeners t listeners =
+  ignore (runtime t);
+  let stopping = Atomic.make false in
+  let sessions_lock = Mutex.create () in
+  let sessions = ref [] in
+  let handle client =
+    let thread =
+      Thread.create
+        (fun () ->
+          let input = Unix.in_channel_of_descr client
+          and output = Unix.out_channel_of_descr client in
+          let outcome = serve_channels t ~input ~output in
+          (* The channels share one descriptor: close the out side
+             (flushes), ignore the in side's redundant close. *)
+          close_out_noerr output;
+          close_in_noerr input;
+          match outcome with
+          | Shutdown -> Atomic.set stopping true
+          | Eof -> ())
+        ()
+    in
+    Mutex.protect sessions_lock (fun () -> sessions := thread :: !sessions)
+  in
+  (* Accept via a polling select so a shutdown served on one connection
+     stops every accept loop promptly — closing a descriptor another
+     thread is blocked in accept(2) on is not portable. *)
+  let accept_loop l () =
+    let rec loop () =
+      if not (Atomic.get stopping) then begin
+        match Unix.select [ l.lfd ] [] [] 0.1 with
+        | [], _, _ -> loop ()
+        | _ -> begin
+            match Unix.accept l.lfd with
+            | client, _ ->
+              handle client;
+              loop ()
+            | exception Unix.Unix_error _ ->
+              if Atomic.get stopping then () else loop ()
+          end
+        | exception Unix.Unix_error _ ->
+          if Atomic.get stopping then () else loop ()
+      end
+    in
+    loop ()
   in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
+      List.iter
+        (fun l ->
+          (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+          l.cleanup ())
+        listeners)
+    (fun () ->
+      let acceptors = List.map (fun l -> Thread.create (accept_loop l) ()) listeners in
+      List.iter Thread.join acceptors;
+      (* Drain active sessions before returning so the registry is quiet
+         when the caller stops the service. *)
+      let rec join_all () =
+        let pending =
+          Mutex.protect sessions_lock (fun () ->
+              let p = !sessions in
+              sessions := [];
+              p)
+        in
+        match pending with
+        | [] -> ()
+        | threads ->
+          List.iter Thread.join threads;
+          join_all ()
+      in
+      join_all ())
+
+let serve_socket t ~path =
+  match unix_listener ~path with
+  | Ok l -> serve_listeners t [ l ]
+  | Error message -> failwith message

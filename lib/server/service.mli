@@ -1,23 +1,32 @@
 (** The serving daemon: a warm, long-running front-end over the
     {!Checker}/{!Perf.Engine} stack speaking the NDJSON {!Protocol} on
-    stdio or a Unix-domain socket.
+    stdio, a Unix-domain socket, or TCP.
 
-    Serving semantics (DESIGN.md §14):
+    Serving semantics (DESIGN.md §14, §16):
 
-    - {b One FIFO executor.}  Each session runs a reader thread that
-      admits lines into a bounded {!Admission} queue and one executor
-      that evaluates them strictly in admission order.  Kernels may
-      still fan out on the configured domain pool {e within} a request;
-      across requests execution is sequential, which keeps answers
-      bit-identical to single-shot [csrl-check] runs and response order
-      deterministic.
-    - {b Admission control.}  When the queue is full the reader replies
-      [overloaded] immediately instead of blocking the transport (the
-      one case where a response may overtake earlier requests' replies).
-      Malformed lines are admitted as pre-failed jobs, so their
-      [parse_error]/[bad_request] replies stay in request order.
+    - {b Sharded executors, deterministic order.}  The service runs a
+      pool of [executors] worker domains ({!Executor}).  Each session's
+      reader thread admits lines into one service-wide bounded
+      {!Admission} queue; a dispatcher thread routes every admitted job
+      to the shard [Hashtbl.hash model mod executors], so all requests
+      on one model execute on one executor, in admission order, against
+      that model's warm caches.  Responses carry the session sequence
+      number assigned at admission and leave through a {!Reorder} buffer
+      strictly in admission order — the wire transcript of a session is
+      byte-identical at every executor count.
+    - {b Global requests barrier.}  [list], [stats] and [shutdown] have
+      no model to shard on; the dispatcher waits for the session's
+      in-flight requests to finish and runs them inline, so their
+      answers observe exactly the admission-order prefix before them.
+      Malformed lines are answered by the dispatcher the same way,
+      keeping [parse_error]/[bad_request] replies in request order.
+    - {b Admission control.}  When the shared queue is full the reader
+      replies [overloaded] immediately instead of blocking the transport
+      (the one case where a response may overtake earlier requests'
+      replies, and the one counter that is not deterministic across
+      executor counts under concurrent sessions).
     - {b Deadlines.}  A request's budget (its ["deadline_ms"] or the
-      server default) is counted from admission.  Expired on pop →
+      server default) is counted from admission.  Expired on execution →
       immediate [deadline_exceeded]; otherwise a
       {!Numerics.Cancel.of_deadline} token rides the checking context
       and the kernels abandon the solve at their next checkpoint.  A
@@ -26,10 +35,12 @@
     - {b Isolation.}  Every per-request failure — malformed JSON, bad
       fields, unknown models, unsupported queries, kernel
       [Invalid_argument]s — becomes an error response; the daemon keeps
-      serving.
+      serving and no executor is ever wedged (even an escaped exception
+      is turned into an [internal] response so the sequence numbering
+      has no gaps).
     - {b Graceful shutdown.}  A [shutdown] request drains everything
       admitted before it, is acknowledged in order, and lines read after
-      it are answered [shutting_down]; the socket loop then stops
+      it are answered [shutting_down]; the listeners then stop
       accepting. *)
 
 type config = {
@@ -38,6 +49,9 @@ type config = {
   reduction : Perf.Reduction.config;
   pool : Parallel.Pool.t;
   queue_bound : int;          (** admission queue capacity, [>= 1] *)
+  executors : int;
+      (** worker domains, [>= 1]; [1] reproduces the single-FIFO
+          executor bit-for-bit *)
   default_deadline_ms : float option;  (** [None]: no default budget *)
   telemetry : Telemetry.t option;
       (** per-request spans and serving counters for [--trace] *)
@@ -47,12 +61,16 @@ type config = {
 
 val default_config : ?clock:(unit -> float) -> unit -> config
 (** Occupation-time engine at [epsilon = 1e-9], default reduction,
-    sequential pool, queue bound [64], no default deadline, no
-    telemetry, [Unix.gettimeofday] (override with a monotonic clock). *)
+    sequential pool, queue bound [64], one executor, no default
+    deadline, no telemetry, [Unix.gettimeofday] (override with a
+    monotonic clock). *)
 
 type t
 
 val create : config -> t
+(** Raises [Invalid_argument] when [executors < 1].  Worker domains and
+    the dispatcher are spawned lazily by the first session, so a service
+    used only through {!execute} costs no threads. *)
 
 val registry : t -> Registry.t
 
@@ -62,23 +80,51 @@ val preload : t -> string list -> (unit, string) result
 
 val execute : t -> ?admitted:float -> Protocol.envelope -> Io.Json.t
 (** Evaluate one request synchronously against the warm state,
-    returning the response object — the executor's own entry point,
+    returning the response object — the executors' own entry point,
     exposed for the differential tests and the bench harness.
     [admitted] (default: now) is the deadline anchor. *)
 
 type outcome = Shutdown | Eof
 
 val serve_channels : t -> input:in_channel -> output:out_channel -> outcome
-(** Run one session: reader thread + FIFO executor as described above.
-    Returns when [input] is exhausted ([Eof]) or a [shutdown] request
-    was served ([Shutdown]); either way every admitted request has been
-    answered and the reader joined.  Blank lines are ignored.  [output]
-    is flushed after every response. *)
+(** Run one session: a reader thread feeding the shared admission queue
+    and a writer thread draining the session's reorder buffer, as
+    described above.  Returns when [input] is exhausted ([Eof]) or a
+    [shutdown] request was served ([Shutdown]); either way every
+    admitted request has been answered and both threads joined.  Blank
+    lines are ignored.  [output] is flushed after every response.
+    Concurrent sessions on one service are safe and share the executor
+    pool and registry. *)
 
 val serve_stdio : t -> outcome
 
+(** {1 Listeners} *)
+
+type listener
+(** A bound, listening socket plus its cleanup action. *)
+
+val unix_listener : path:string -> (listener, string) result
+(** Bind a Unix-domain socket at [path], replacing a stale socket file;
+    the cleanup unlinks it. *)
+
+val tcp_listener : host:string -> port:int -> (listener * int, string) result
+(** Bind and listen on [host:port] ([SO_REUSEADDR]; [host] is a dotted
+    address or a name to resolve).  Returns the bound port — useful with
+    [port = 0] for an ephemeral port. *)
+
+val serve_listeners : t -> listener list -> unit
+(** Accept loop over any number of listeners, serving each connection in
+    its own session thread — connections are concurrent; the registry
+    and its warm caches persist across and between them.  Returns after
+    a client's [shutdown] request: accepting stops, live sessions are
+    drained, every listener is closed and cleaned up. *)
+
 val serve_socket : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing a stale file) and
-    serve clients one connection at a time — the registry and its warm
-    caches persist across connections.  Returns (and unlinks [path])
-    after a client's [shutdown] request. *)
+(** [serve_listeners] over a single Unix-domain listener at [path];
+    raises [Failure] when binding fails. *)
+
+val stop : t -> unit
+(** Stop the dispatcher and the executor domains, joining them.
+    Idempotent; a no-op when no session ever started the runtime.  Call
+    after the last session (e.g. once {!serve_listeners} returns) —
+    outstanding sessions must be drained first. *)

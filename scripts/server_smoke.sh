@@ -10,20 +10,30 @@
 #   - the second round is answered from warm caches (nonzero memo hits
 #     in the stats response) with responses identical to round 1,
 #   - a shutdown request stops the daemon within the timeout and the
-#     socket file is removed.
+#     socket file is removed,
+#   - the same workload answered over TCP matches the socket answers.
+#
+# EXECUTORS (default 1) sets the daemon's --executors count; the
+# assertions are executor-count independent, so CI runs the script at 1
+# and 4 to pin the determinism claim end to end.
 set -euo pipefail
 
 SERVE=${SERVE:-_build/default/bin/csrl_serve.exe}
 CLIENT=${CLIENT:-_build/default/bin/csrl_client.exe}
 CHECK=${CHECK:-_build/default/bin/csrl_check.exe}
+EXECUTORS=${EXECUTORS:-1}
 
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/csrl-smoke-XXXXXX.sock")
 ROUND1=$(mktemp)
 ROUND2=$(mktemp)
+TCPLOG=$(mktemp)
+TCPROUND=$(mktemp)
 SERVER_PID=
+TCP_PID=
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
-  rm -f "$SOCK" "$ROUND1" "$ROUND2"
+  [ -n "$TCP_PID" ] && kill "$TCP_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$ROUND1" "$ROUND2" "$TCPLOG" "$TCPROUND"
 }
 trap cleanup EXIT
 
@@ -32,7 +42,7 @@ fail() {
   exit 1
 }
 
-"$SERVE" --socket "$SOCK" --preload adhoc &
+"$SERVE" --socket "$SOCK" --executors "$EXECUTORS" --preload adhoc &
 SERVER_PID=$!
 
 workload() {
@@ -89,4 +99,36 @@ wait "$SERVER_PID" || fail "daemon exited nonzero"
 SERVER_PID=
 [ ! -e "$SOCK" ] || fail "socket file $SOCK not removed on shutdown"
 
-echo "server_smoke: OK (check answer $reference, $path_hits warm path-cache hits)"
+# TCP end to end: a fresh daemon on an ephemeral port (reported on
+# stderr) answers the same workload with the same bytes, then shuts
+# down over TCP.
+"$SERVE" --tcp 127.0.0.1:0 --executors "$EXECUTORS" --preload adhoc \
+  2> "$TCPLOG" &
+TCP_PID=$!
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$TCPLOG")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "TCP daemon never reported its port"
+
+workload | "$CLIENT" --tcp "127.0.0.1:$PORT" --timeout 10 > "$TCPROUND"
+for id in q1 q2 bad; do
+  [ "$(grep "\"id\":\"$id\"" "$ROUND1")" = "$(grep "\"id\":\"$id\"" "$TCPROUND")" ] \
+    || fail "TCP response for $id differs from the socket round"
+done
+
+ack=$(: | "$CLIENT" --tcp "127.0.0.1:$PORT" --shutdown)
+[ "$ack" = '{"ok":true,"kind":"shutdown"}' ] || fail "bad TCP shutdown ack: $ack"
+for _ in $(seq 1 100); do
+  kill -0 "$TCP_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$TCP_PID" 2>/dev/null; then
+  fail "TCP daemon still running 10s after shutdown"
+fi
+wait "$TCP_PID" || fail "TCP daemon exited nonzero"
+TCP_PID=
+
+echo "server_smoke: OK (check answer $reference, $path_hits warm path-cache hits, executors $EXECUTORS, tcp port $PORT)"

@@ -59,6 +59,57 @@ The daemon unlinks its socket on the way out:
   $ test -e sv.sock
   [1]
 
+The same stdio session at --executors 4 is byte-identical to the
+single-executor transcript above — per-model sharding keeps adhoc's
+requests in admission order on one executor, and list/stats/shutdown
+run under the session barrier, so even the stats counters and the
+Fox-Glynn cache numbers are pinned:
+
+  $ csrl-serve --executors 4 <<'EOF'
+  > {"kind": "load", "model": "adhoc"}
+  > {"kind": "list"}
+  > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c1"}
+  > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c2", "deadline_ms": 0.000001}
+  > {"kind": "quantile", "model": "adhoc", "query": "P=? ( true U[t<=1] doze )", "variable": "t", "target": 0.5, "hi": 24}
+  > not json
+  > {"kind": "check", "model": "adhoc", "query": "P=? ( oops"}
+  > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] no_such_prop )"}
+  > {"kind": "evict", "model": "adhoc"}
+  > {"kind": "check", "model": "adhoc", "query": "true", "id": "gone"}
+  > {"kind": "stats"}
+  > {"kind": "shutdown"}
+  > {"kind": "list", "id": "late"}
+  > EOF
+  {"ok":true,"kind":"load","model":"adhoc","states":9,"transitions":24}
+  {"ok":true,"kind":"list","models":[{"name":"adhoc","states":9}]}
+  {"ok":true,"kind":"check","id":"c1","model":"adhoc","query":"P=? (F[t<=2] call_initiated)","result":{"kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}}
+  {"ok":false,"error":"deadline_exceeded","message":"deadline of 1e-06 ms expired in the queue","id":"c2"}
+  {"ok":true,"kind":"quantile","model":"adhoc","variable":"t","target":0.5,"hi":24,"tolerance":1e-06,"value":0.072197198867797852,"achieved":0.50000107668197113,"evaluations":26}
+  {"ok":false,"error":"parse_error","message":"JSON parse error at offset 0: expected null"}
+  {"ok":false,"error":"query_parse_error","message":"parse error at position 10: expected 'U' in a path formula"}
+  {"ok":false,"error":"unknown_proposition","message":"unknown atomic proposition \"no_such_prop\""}
+  {"ok":true,"kind":"evict","model":"adhoc"}
+  {"ok":false,"error":"unknown_model","message":"model \"adhoc\" is not loaded","id":"gone"}
+  {"ok":true,"kind":"stats","requests":{"check":5,"evict":1,"list":1,"load":1,"quantile":1,"shutdown":0,"stats":1,"total":10},"errors":5,"overloaded":0,"deadline_exceeded":1,"models":[],"fox_glynn":{"lookups":27,"hits":0,"misses":27,"hit_rate":0}}
+  {"ok":true,"kind":"shutdown"}
+  {"ok":false,"error":"shutting_down","message":"the server is draining and stops accepting requests","id":"late"}
+
+Over TCP (port 0 picks an ephemeral port, reported on stderr) the same
+protocol answers the same bytes, and a builtin alias gets its own
+registry entry:
+
+  $ csrl-serve --tcp 127.0.0.1:0 --executors 2 --preload adhoc 2>tcp.err &
+  $ while ! grep -q "listening on" tcp.err; do sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on 127\.0\.0\.1://p' tcp.err)
+  $ csrl-client --tcp 127.0.0.1:$PORT --shutdown <<'EOF'
+  > {"kind": "load", "model": "twin", "builtin": "adhoc"}
+  > {"kind": "check", "model": "twin", "query": "P=? ( F[t<=2] call_initiated )"}
+  > EOF
+  {"ok":true,"kind":"load","model":"twin","states":9,"transitions":24}
+  {"ok":true,"kind":"check","model":"twin","query":"P=? (F[t<=2] call_initiated)","result":{"kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}}
+  {"ok":true,"kind":"shutdown"}
+  $ wait
+
 Serving flags are validated up front, before anything starts:
 
   $ csrl-serve --queue 0
@@ -83,4 +134,34 @@ Serving flags are validated up front, before anything starts:
 
   $ csrl-serve --preload nope
   --preload: unknown built-in model "nope"
+  [2]
+
+  $ csrl-serve --executors 0
+  --executors needs a positive count
+  [2]
+
+  $ csrl-serve --executors two
+  --executors needs a positive count
+  [2]
+
+  $ csrl-serve --tcp localhost
+  --tcp needs HOST:PORT with a numeric port
+  [2]
+
+  $ csrl-serve --tcp :8080
+  --tcp needs HOST:PORT with a numeric port
+  [2]
+
+  $ csrl-serve --tcp 127.0.0.1:http
+  --tcp needs HOST:PORT with a numeric port
+  [2]
+
+The client needs exactly one transport:
+
+  $ csrl-client < /dev/null
+  csrl-client: exactly one of --connect or --tcp is required
+  [2]
+
+  $ csrl-client --connect sv.sock --tcp 127.0.0.1:1 < /dev/null
+  csrl-client: exactly one of --connect or --tcp is required
   [2]

@@ -51,9 +51,16 @@ let gen_envelope =
   let request =
     oneof
       [ map2
-          (fun model file -> Protocol.Load { model; file })
+          (fun model source ->
+            (* file and builtin are mutually exclusive on the wire, so
+               the generator never produces both. *)
+            match source with
+            | `File f -> Protocol.Load { model; file = Some f; builtin = None }
+            | `Builtin b ->
+              Protocol.Load { model; file = None; builtin = Some b }
+            | `Plain -> Protocol.Load { model; file = None; builtin = None })
           name
-          (oneofl [ None; Some "station.mrm" ]);
+          (oneofl [ `Plain; `File "station.mrm"; `Builtin "adhoc-srn" ]);
         map (fun model -> Protocol.Evict { model }) name;
         return Protocol.List_models;
         map3
@@ -403,7 +410,398 @@ let pipe_session () =
   Alcotest.(check bool) "check id echoed" true
     (id_of (List.nth responses 1) = Some (Io.Json.String "c1"));
   Alcotest.(check bool) "post-shutdown id echoed" true
-    (id_of (List.nth responses 6) = Some (Io.Json.String "late"))
+    (id_of (List.nth responses 6) = Some (Io.Json.String "late"));
+  Service.stop service
+
+(* ------------------------------------------------------------------ *)
+(* Reorder buffer.                                                     *)
+
+module Reorder = Server.Reorder
+
+(* Out-of-order submission comes back out strictly in sequence order. *)
+let reorder_out_of_order () =
+  let r = Reorder.create () in
+  List.iter (fun seq -> Reorder.submit r ~seq (string_of_int seq)) [ 2; 0; 3; 1 ];
+  let take () = Option.get (Reorder.next_ready r) in
+  Alcotest.(check (list string)) "sequence order" [ "0"; "1"; "2"; "3" ]
+    (List.init 4 (fun _ -> take ()));
+  Reorder.close r;
+  Alcotest.(check bool) "closed and empty" true (Reorder.next_ready r = None)
+
+(* A gap stalls the consumer: nothing is emitted until the missing
+   sequence number arrives, then everything drains in order. *)
+let reorder_gap_stall () =
+  let r = Reorder.create () in
+  Reorder.submit r ~seq:1 "one";
+  Reorder.submit r ~seq:2 "two";
+  let seen = Atomic.make [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Reorder.next_ready r with
+          | Some v ->
+            Atomic.set seen (v :: Atomic.get seen);
+            loop ()
+          | None -> ()
+        in
+        loop ())
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check (list string)) "stalled on the gap" [] (Atomic.get seen);
+  Reorder.submit r ~seq:0 "zero";
+  Reorder.close r;
+  Thread.join consumer;
+  Alcotest.(check (list string)) "drained in order" [ "zero"; "one"; "two" ]
+    (List.rev (Atomic.get seen))
+
+(* Closing with gaps still outstanding drains what is there, in
+   ascending order, skipping the holes — shutdown never hangs on a
+   response that will not come. *)
+let reorder_drain_on_close () =
+  let r = Reorder.create () in
+  Reorder.submit r ~seq:4 "four";
+  Reorder.submit r ~seq:0 "zero";
+  Reorder.submit r ~seq:2 "two";
+  Reorder.close r;
+  let drained =
+    let rec loop acc =
+      match Reorder.next_ready r with
+      | Some v -> loop (v :: acc)
+      | None -> List.rev acc
+    in
+    loop []
+  in
+  Alcotest.(check (list string)) "holes skipped" [ "zero"; "two"; "four" ]
+    drained
+
+let reorder_misuse () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Reorder.create: bound must be >= 1") (fun () ->
+      ignore (Reorder.create ~bound:0 ()));
+  let r = Reorder.create () in
+  Reorder.submit r ~seq:1 "one";
+  Alcotest.check_raises "duplicate pending seq"
+    (Invalid_argument "Reorder.submit: duplicate sequence number 1") (fun () ->
+      Reorder.submit r ~seq:1 "again");
+  Reorder.submit r ~seq:0 "zero";
+  ignore (Reorder.next_ready r);
+  Alcotest.check_raises "already-consumed seq"
+    (Invalid_argument "Reorder.submit: duplicate sequence number 0") (fun () ->
+      Reorder.submit r ~seq:0 "late");
+  Reorder.close r;
+  Alcotest.check_raises "submit after close"
+    (Invalid_argument "Reorder.submit: closed") (fun () ->
+      Reorder.submit r ~seq:2 "dead")
+
+(* The bound blocks producers that run ahead, but the next expected
+   sequence number is always accepted — otherwise a full buffer whose
+   hole is still executing would deadlock the session. *)
+let reorder_bound () =
+  let r = Reorder.create ~bound:2 () in
+  Reorder.submit r ~seq:1 "one";
+  Reorder.submit r ~seq:2 "two";
+  let blocked_done = Atomic.make false in
+  let producer =
+    Thread.create
+      (fun () ->
+        Reorder.submit r ~seq:3 "three";
+        Atomic.set blocked_done true)
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "ahead-of-window submit blocks" false
+    (Atomic.get blocked_done);
+  (* seq 0 is the hole the buffer is waiting on: accepted despite the
+     bound, and consuming it unblocks the stalled producer. *)
+  Reorder.submit r ~seq:0 "zero";
+  Alcotest.(check string) "hole fill" "zero" (Option.get (Reorder.next_ready r));
+  Alcotest.(check string) "then one" "one" (Option.get (Reorder.next_ready r));
+  Thread.join producer;
+  Alcotest.(check bool) "producer resumed" true (Atomic.get blocked_done);
+  Reorder.close r
+
+(* ------------------------------------------------------------------ *)
+(* Admission under concurrent producers.                               *)
+
+(* Racing try_push against a full queue: the bound is exact — with no
+   consumer, exactly [bound] of the racing pushes succeed, and a
+   control marker still gets through. *)
+let admission_racing_bound () =
+  let q = Server.Admission.create ~bound:16 in
+  let successes = Atomic.make 0 in
+  let producers =
+    List.init 4 (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to 49 do
+              if Server.Admission.try_push q ((p * 50) + i) then
+                ignore (Atomic.fetch_and_add successes 1)
+            done)
+          ())
+  in
+  List.iter Thread.join producers;
+  Alcotest.(check int) "exactly bound pushes admitted" 16
+    (Atomic.get successes);
+  Alcotest.(check int) "length at bound" 16 (Server.Admission.length q);
+  Server.Admission.push_control q (-1);
+  Alcotest.(check int) "control marker exempt from the bound" 17
+    (Server.Admission.length q)
+
+(* Multiple producers using the blocking push against one consumer:
+   everything arrives exactly once and each producer's items stay in
+   that producer's order (per-producer FIFO). *)
+let admission_concurrent_producers () =
+  let q = Server.Admission.create ~bound:8 in
+  let producers_n = 4 and per_producer = 100 in
+  let producers =
+    List.init producers_n (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_producer - 1 do
+              Server.Admission.push_wait q (p, i)
+            done)
+          ())
+  in
+  let seen = Array.make producers_n [] in
+  for _ = 1 to producers_n * per_producer do
+    let p, i = Server.Admission.pop q in
+    seen.(p) <- i :: seen.(p)
+  done;
+  List.iter Thread.join producers;
+  Array.iteri
+    (fun p items ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "producer %d FIFO" p)
+        (List.init per_producer Fun.id)
+        (List.rev items))
+    seen;
+  Alcotest.(check int) "drained" 0 (Server.Admission.length q)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-executor stress: one randomized mixed-model session must     *)
+(* produce a byte-identical transcript at every executor count.       *)
+
+(* Run [lines] through a fresh service at [executors], returning the
+   response transcript.  Mirrors a real session: all requests written
+   up front, responses drained to EOF. *)
+let run_session ~executors ~queue_bound lines =
+  let config =
+    { (Service.default_config ()) with
+      Service.executors; queue_bound }
+  in
+  let service = Service.create config in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let input = Unix.in_channel_of_descr in_r in
+  let output = Unix.out_channel_of_descr out_w in
+  let server =
+    Thread.create
+      (fun () ->
+        ignore (Service.serve_channels service ~input ~output);
+        close_out_noerr output;
+        close_in_noerr input)
+      ()
+  in
+  let writer = Unix.out_channel_of_descr in_w in
+  List.iter
+    (fun line ->
+      output_string writer line;
+      output_char writer '\n')
+    lines;
+  close_out writer;
+  let reader = Unix.in_channel_of_descr out_r in
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line reader :: !responses
+     done
+   with End_of_file -> ());
+  close_in reader;
+  Thread.join server;
+  Service.stop service;
+  List.rev !responses
+
+let stress_session () =
+  (* 8 alias models over the two 9-state builtins so the shard hash has
+     something to spread, then 200 requests mixing real checks, reloads,
+     evictions, malformed queries and unknown models, driven by a fixed
+     LCG so the session is reproducible. *)
+  let models =
+    Array.init 8 (fun i ->
+        ( Printf.sprintf "m%d" i,
+          if i mod 2 = 0 then "adhoc" else "adhoc-srn" ))
+  in
+  let preload =
+    Array.to_list models
+    |> List.map (fun (name, builtin) ->
+           Printf.sprintf {|{"kind": "load", "model": "%s", "builtin": "%s"}|}
+             name builtin)
+  in
+  let seed = ref 20020623 in
+  let rand () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  let lines = ref [] in
+  let n = ref 0 in
+  while !n < 200 do
+    let r = rand () in
+    let model, builtin = models.(r mod 8) in
+    let id = Printf.sprintf "r%03d" !n in
+    let line =
+      match r mod 20 with
+      | 0 ->
+        (* Reload: replaces the entry with fresh warm caches. *)
+        Printf.sprintf
+          {|{"kind": "load", "id": "%s", "model": "%s", "builtin": "%s"}|} id
+          model builtin
+      | 1 ->
+        (* Evict: later checks on this model answer unknown_model until
+           a reload comes along — deterministic, since eviction and the
+           checks ride the same per-model FIFO. *)
+        Printf.sprintf {|{"kind": "evict", "id": "%s", "model": "%s"}|} id
+          model
+      | 2 ->
+        Printf.sprintf
+          {|{"kind": "check", "id": "%s", "model": "%s", "query": "P=? ( F[t<="}|}
+          id model
+      | 3 ->
+        Printf.sprintf
+          {|{"kind": "check", "id": "%s", "model": "nope", "query": "P=? ( F[t<=1] doze )"}|}
+          id
+      | 4 -> Printf.sprintf {|{"kind": "list", "id": "%s"}|} id
+      | _ ->
+        let bound = 0.5 +. (0.017 *. float_of_int !n) in
+        Printf.sprintf
+          {|{"kind": "check", "id": "%s", "model": "%s", "query": "P=? ( F[t<=%g] doze )"}|}
+          id model bound
+    in
+    lines := line :: !lines;
+    incr n
+  done;
+  let lines = preload @ List.rev !lines in
+  let reference = run_session ~executors:1 ~queue_bound:512 lines in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length reference);
+  (* Responses leave in admission order: response i echoes request i's
+     id. *)
+  List.iteri
+    (fun i response ->
+      if i >= List.length preload then
+        let expected = Printf.sprintf "r%03d" (i - List.length preload) in
+        match member [ "id" ] (Io.Json.of_string response) with
+        | Some (Io.Json.String id) ->
+          Alcotest.(check string) "admission order" expected id
+        | _ -> Alcotest.failf "response %d has no id: %s" i response)
+    reference;
+  List.iter
+    (fun executors ->
+      let transcript = run_session ~executors ~queue_bound:512 lines in
+      Alcotest.(check (list string))
+        (Printf.sprintf "byte-identical at %d executors" executors)
+        reference transcript)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial transport: torn frames, abrupt disconnects and          *)
+(* slow-loris writes against a live TCP listener must never wedge an   *)
+(* executor or poison the shared caches.                               *)
+
+let with_tcp_service f =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let service = Service.create (Service.default_config ()) in
+  (match Service.preload service [ "adhoc" ] with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let listener, port =
+    match Service.tcp_listener ~host:"127.0.0.1" ~port:0 with
+    | Ok lp -> lp
+    | Error m -> Alcotest.fail m
+  in
+  let server =
+    Thread.create (fun () -> Service.serve_listeners service [ listener ]) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Service.stop service)
+    (fun () -> f port)
+
+let tcp_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let rec attempt tries =
+    match
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    with
+    | () -> fd
+    | exception Unix.Unix_error (ECONNREFUSED, _, _) when tries > 0 ->
+      Thread.delay 0.05;
+      attempt (tries - 1)
+  in
+  attempt 100
+
+let send fd text = ignore (Unix.write_substring fd text 0 (String.length text))
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let byte = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> Alcotest.failf "connection closed after %S" (Buffer.contents buf)
+    | _ ->
+      if Bytes.get byte 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get byte 0);
+        loop ()
+      end
+  in
+  loop ()
+
+let expect_check_ok label line =
+  let json = Io.Json.of_string line in
+  match member [ "ok" ] json with
+  | Some (Io.Json.Bool true) -> ()
+  | _ -> Alcotest.failf "%s: unhealthy response %s" label line
+
+let tcp_adversarial () =
+  with_tcp_service @@ fun port ->
+  let check_line =
+    {|{"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )"}|}
+    ^ "\n"
+  in
+  (* Truncated frame: half a JSON object, then the client vanishes.
+     The torn line surfaces as a parse_error on a connection nobody
+     reads — the server must shrug it off. *)
+  let torn = tcp_connect port in
+  send torn {|{"kind": "check", "model": "adh|};
+  Unix.close torn;
+  (* Abrupt disconnect mid-request: a full request whose response has
+     nowhere to go (EPIPE on the server's write). *)
+  let abrupt = tcp_connect port in
+  send abrupt check_line;
+  Unix.close abrupt;
+  (* Slow loris: the request dribbles in byte by byte; the server's
+     blocking reader tolerates it and answers normally. *)
+  let loris = tcp_connect port in
+  String.iter
+    (fun c ->
+      send loris (String.make 1 c);
+      if Char.code c land 7 = 0 then Thread.delay 0.002)
+    check_line;
+  expect_check_ok "slow-loris answered" (recv_line loris);
+  Unix.close loris;
+  (* After all that abuse the service still answers cleanly — no wedged
+     executor, no poisoned cache — and shuts down on request. *)
+  let healthy = tcp_connect port in
+  send healthy check_line;
+  expect_check_ok "post-abuse check" (recv_line healthy);
+  send healthy "{\"kind\": \"shutdown\"}\n";
+  let ack = recv_line healthy in
+  Alcotest.(check string) "shutdown acknowledged" "shutdown"
+    (expect_string [ "kind" ] (Io.Json.of_string ack));
+  Unix.close healthy
 
 let suite =
   ( "server",
@@ -422,4 +820,21 @@ let suite =
         deadline_mid_sericola;
       Alcotest.test_case "service: evict with in-flight work" `Quick
         evict_in_flight;
-      Alcotest.test_case "service: pipe session" `Quick pipe_session ] )
+      Alcotest.test_case "service: pipe session" `Quick pipe_session;
+      Alcotest.test_case "reorder: out-of-order completion" `Quick
+        reorder_out_of_order;
+      Alcotest.test_case "reorder: gap stalls the consumer" `Quick
+        reorder_gap_stall;
+      Alcotest.test_case "reorder: drain on close skips holes" `Quick
+        reorder_drain_on_close;
+      Alcotest.test_case "reorder: misuse raises" `Quick reorder_misuse;
+      Alcotest.test_case "reorder: bound admits the next seq" `Quick
+        reorder_bound;
+      Alcotest.test_case "admission: racing try_push, exact bound" `Quick
+        admission_racing_bound;
+      Alcotest.test_case "admission: concurrent producers FIFO" `Quick
+        admission_concurrent_producers;
+      Alcotest.test_case "service: stress session at executors 1/2/4" `Quick
+        stress_session;
+      Alcotest.test_case "service: adversarial TCP transport" `Quick
+        tcp_adversarial ] )
