@@ -754,6 +754,217 @@ let reduce _full =
   close_out oc;
   Printf.printf "updated BENCH_perf.json with the reduce section\n"
 
+(* A 50-point two-cost frontier swept over one warm context vs 50 cold
+   independent solves — one scalar reward-quantile bisection per grid
+   time, with every cold probe paying the full pipeline (no memo, fresh
+   Fox-Glynn windows per row), which is what repeated csrl-check
+   invocations would cost.  The workload is the tracked multiprocessor
+   (2^12 = 4096 states, 13-block quotient) under the pseudo-Erlang
+   engine: the reduction pipeline on the full model dominates each cold
+   probe, while the warm sweep prepares the pipeline once — every later
+   probe is a quotient-only solve — and prunes probes with the
+   monotonicity brackets.  Every emitted point must be bit-identical to
+   an independent cold solve of its exact (t, r) bounds, and the sweep
+   must clear a 5x floor (re-asserted by validate_bench_json).  Appends
+   a "frontier" section to BENCH_perf.json. *)
+let frontier _full =
+  heading "frontier: warm two-cost sweep vs cold independent solves";
+  let c =
+    { Models.Multiprocessor.n_processors = 12; failure_rate = 1.0;
+      repair_rate = 0.5; capacity = 8; throughput_per_processor = 1.0 }
+  in
+  let mrm = Models.Multiprocessor.tracked_mrm c in
+  let labeling = Models.Multiprocessor.tracked_labeling c in
+  let states = Markov.Mrm.n_states mrm in
+  let init =
+    Linalg.Vec.init states (fun s ->
+        if s = Models.Multiprocessor.tracked_initial_state c then 1.0 else 0.0)
+  in
+  let grid = 50 in
+  let target = 0.5 and time_bound = 8.0 and reward_bound = 40.0 in
+  let tolerance = 1e-2 in
+  let query_text =
+    Printf.sprintf "frontier[%d] P>=%g ( true U[t<=%g][r<=%g] down )" grid
+      target time_bound reward_bound
+  in
+  let query = Logic.Parser.query query_text in
+  let engine = Perf.Engine.Pseudo_erlang { phases = 16 } in
+  let ctx () =
+    Checker.make ~engine ~epsilon:1e-6 ~pool:Parallel.Pool.sequential mrm
+      labeling
+  in
+  let point_eval ctx memo ~t ~r =
+    let probe =
+      Logic.Ast.Prob_query
+        (Logic.Ast.Until
+           (Numerics.Interval.upto t, Numerics.Interval.upto r,
+            Logic.Ast.True, Logic.Ast.Ap "down"))
+    in
+    match Checker.eval_query ?memo ctx probe with
+    | Checker.Numeric values -> Linalg.Vec.dot init values
+    | Checker.Boolean _ -> assert false
+  in
+  (* Cold: one independent reward-quantile bisection per grid time over
+     the full (0, reward_bound] bracket, nothing shared between rows. *)
+  let cold_evaluations = ref 0 in
+  let cold_rows, cold_seconds =
+    timed (fun () ->
+        List.init grid (fun i ->
+            Numerics.Fox_glynn.cache_clear ();
+            let cold_ctx = ctx () in
+            let t =
+              time_bound *. float_of_int (i + 1) /. float_of_int grid
+            in
+            let outcome =
+              Perf.Frontier.probe
+                ~eval:(fun r -> point_eval cold_ctx None ~t ~r)
+                ~target ~hi:reward_bound ~tolerance
+            in
+            cold_evaluations :=
+              !cold_evaluations + outcome.Perf.Frontier.evaluations;
+            (t, outcome)))
+  in
+  Numerics.Fox_glynn.cache_clear ();
+  let memo = Checker.create_memo () in
+  let warm_ctx = ctx () in
+  let result, sweep_seconds =
+    timed (fun () ->
+        Batch.Frontier.run ?telemetry:!session_telemetry ~memo warm_ctx ~init
+          ~tolerance query)
+  in
+  let points = result.Batch.Frontier.points in
+  let n_points = List.length points in
+  (* Sanity: the sweep and the 50 independent searches agree on which
+     rows are feasible, and on every resolved reward within tolerance
+     (brackets differ, so the resolved rewards may differ by up to the
+     tolerance — the certified error budget). *)
+  let feasible_rows =
+    List.length
+      (List.filter
+         (fun (_, o) -> o.Perf.Frontier.value <> None)
+         cold_rows)
+  in
+  List.iter
+    (fun (p : Batch.Frontier.point) ->
+      let _, o =
+        List.find
+          (fun (t, _) -> Float.equal t p.Batch.Frontier.t)
+          cold_rows
+      in
+      match o.Perf.Frontier.value with
+      | Some r_cold
+        when Float.abs (r_cold -. p.Batch.Frontier.r) <= tolerance -> ()
+      | _ ->
+        Printf.eprintf
+          "frontier: sweep row t=%.17g resolved r=%.17g disagrees with the \
+           independent search\n"
+          p.Batch.Frontier.t p.Batch.Frontier.r;
+        exit 1)
+    points;
+  (* The bit-identity check: each emitted point re-solved from scratch
+     (fresh context, no memo, cleared Fox-Glynn windows) at its exact
+     (t, r) must reproduce the exact probability. *)
+  let cold_identical = ref true in
+  List.iter
+    (fun (p : Batch.Frontier.point) ->
+      Numerics.Fox_glynn.cache_clear ();
+      let cold =
+        point_eval (ctx ()) None ~t:p.Batch.Frontier.t ~r:p.Batch.Frontier.r
+      in
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float p.Batch.Frontier.probability)
+             (Int64.bits_of_float cold))
+      then begin
+        Printf.eprintf
+          "frontier: point (t=%.17g, r=%.17g) warm %.17g != cold %.17g\n"
+          p.Batch.Frontier.t p.Batch.Frontier.r p.Batch.Frontier.probability
+          cold;
+        cold_identical := false
+      end)
+    points;
+  if not !cold_identical then begin
+    prerr_endline "frontier: sweep points differ from cold solves";
+    exit 1
+  end;
+  let speedup = cold_seconds /. Float.max 1e-9 sweep_seconds in
+  Printf.printf
+    "  tracked multiprocessor (%d states, %s): %d-point frontier (%d \
+     feasible rows, %d staircase points)\n  cold %s (%d evaluations, %d \
+     independent solves)  sweep %s (%d evaluations)  speedup %.1fx  \
+     bit-identical: %b\n"
+    states (Format.asprintf "%a" Perf.Engine.pp_spec engine) grid
+    feasible_rows n_points
+    (Io.Table.seconds cold_seconds) !cold_evaluations grid
+    (Io.Table.seconds sweep_seconds) result.Batch.Frontier.evaluations
+    speedup !cold_identical;
+  let fg = Numerics.Fox_glynn.cache_counters () in
+  let caches =
+    Checker.memo_counters memo
+    @ [ ("fox_glynn",
+         { Perf.Batch.lookups = fg.Numerics.Fox_glynn.lookups;
+           hits = fg.Numerics.Fox_glynn.hits;
+           misses = fg.Numerics.Fox_glynn.misses }) ]
+  in
+  List.iter
+    (fun (name, (co : Perf.Batch.counters)) ->
+      Printf.printf "  cache %-10s %3d lookups, %3d hits (%.0f%%)\n" name
+        co.Perf.Batch.lookups co.Perf.Batch.hits
+        (100.0 *. Batch.hit_rate co))
+    caches;
+  let frontier_json =
+    Io.Json.Object
+      [ ("states", Io.Json.Number (float_of_int states));
+        ("engine",
+         Io.Json.String (Format.asprintf "%a" Perf.Engine.pp_spec engine));
+        ("grid", Io.Json.Number (float_of_int grid));
+        ("points", Io.Json.Number (float_of_int n_points));
+        ("feasible_rows", Io.Json.Number (float_of_int feasible_rows));
+        ("evaluations",
+         Io.Json.Number (float_of_int result.Batch.Frontier.evaluations));
+        ("cold_evaluations", Io.Json.Number (float_of_int !cold_evaluations));
+        ("target", Io.Json.Number result.Batch.Frontier.target);
+        ("time_bound", Io.Json.Number result.Batch.Frontier.time_bound);
+        ("reward_bound", Io.Json.Number result.Batch.Frontier.reward_bound);
+        ("tolerance", Io.Json.Number result.Batch.Frontier.tolerance);
+        ("jobs", Io.Json.Number (float_of_int !jobs));
+        ("cold_seconds", Io.Json.Number cold_seconds);
+        ("sweep_seconds", Io.Json.Number sweep_seconds);
+        ("speedup", Io.Json.Number speedup);
+        ("identical", Io.Json.Bool !cold_identical);
+        ("caches",
+         Io.Json.Object
+           (List.map
+              (fun (name, (co : Perf.Batch.counters)) ->
+                (name,
+                 Io.Json.Object
+                   [ ("lookups",
+                      Io.Json.Number (float_of_int co.Perf.Batch.lookups));
+                     ("hits",
+                      Io.Json.Number (float_of_int co.Perf.Batch.hits));
+                     ("misses",
+                      Io.Json.Number (float_of_int co.Perf.Batch.misses));
+                     ("hit_rate", Io.Json.Number (Batch.hit_rate co)) ]))
+              caches)) ]
+  in
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "frontier" fields
+       | _ | exception Io.Json.Parse_error _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("frontier", frontier_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the frontier section\n"
+
 (* The serving daemon's warm caches vs cold per-request services: the
    20-query workload of `batch` sent as check requests.  Cold models
    the per-query cost of shelling out to a fresh checker: every request
@@ -1037,8 +1248,8 @@ let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("q1q2", q1q2); ("figure1", figure1);
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
-    ("perf", perf); ("batch", batch); ("reduce", reduce); ("serve", serve);
-    ("serve-scale", serve_scale) ]
+    ("perf", perf); ("batch", batch); ("reduce", reduce);
+    ("frontier", frontier); ("serve", serve); ("serve-scale", serve_scale) ]
 
 let run_artifacts args =
   let bad_jobs () = prerr_endline "--jobs needs a positive count"; exit 2 in

@@ -25,6 +25,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let require_batch = List.mem "--require-batch" args in
   let require_reduce = List.mem "--require-reduce" args in
+  let require_frontier = List.mem "--require-frontier" args in
   let require_serve = List.mem "--require-serve" args in
   let require_serve_scale = List.mem "--require-serve-scale" args in
   let path =
@@ -32,7 +33,8 @@ let () =
       List.filter
         (fun a ->
           a <> "--require-batch" && a <> "--require-reduce"
-          && a <> "--require-serve" && a <> "--require-serve-scale")
+          && a <> "--require-frontier" && a <> "--require-serve"
+          && a <> "--require-serve-scale")
         args
     with
     | path :: _ -> path
@@ -206,6 +208,88 @@ let () =
       Printf.sprintf ", reduce %.0f -> %.0f states (speedup %.1fx)" states
         quotient (number "speedup" reduce)
   in
+  (* The frontier section (written by `bench frontier`): a 50-point
+     two-cost sweep on one warm context against 50 cold independent
+     per-row solves.  The deterministic claims — every staircase point
+     bit-identical to an independent cold solve of its exact bounds, a
+     non-trivial staircase, and coherent cache counters — are asserted
+     exactly.  The speedup is gated at the 5x floor: the cold side pays
+     the full-model pipeline on every probe while the warm sweep pays it
+     once, so the measured ratio clears 5x with a wide margin even on a
+     noisy CI machine. *)
+  let frontier_summary =
+    match Io.Json.member "frontier" doc with
+    | None ->
+      if require_frontier then
+        fail "missing \"frontier\" section (run `bench frontier`)"
+      else ""
+    | Some frontier ->
+      let ffail fmt = Printf.ksprintf (fun m -> fail "frontier: %s" m) fmt in
+      let grid = number "grid" frontier in
+      if not (Float.is_integer grid && grid >= 2.0) then
+        ffail "\"grid\" is not an integer >= 2 (%g)" grid;
+      let points = number "points" frontier in
+      if not (Float.is_integer points && points >= 2.0) then
+        ffail "\"points\" is not an integer >= 2 (%g)" points;
+      if points > grid then
+        ffail "more staircase points (%g) than grid rows (%g)" points grid;
+      let feasible = number "feasible_rows" frontier in
+      if not (Float.is_integer feasible && feasible >= points) then
+        ffail "\"feasible_rows\" (%g) below the staircase size (%g)" feasible
+          points;
+      if feasible > grid then
+        ffail "more feasible rows (%g) than grid rows (%g)" feasible grid;
+      let evaluations = number "evaluations" frontier in
+      if not (Float.is_integer evaluations && evaluations >= points) then
+        ffail "\"evaluations\" (%g) below the staircase size (%g)" evaluations
+          points;
+      let cold_evaluations = number "cold_evaluations" frontier in
+      if not (Float.is_integer cold_evaluations && cold_evaluations >= grid)
+      then
+        ffail "\"cold_evaluations\" (%g) below one probe per row (%g)"
+          cold_evaluations grid;
+      let target = number "target" frontier in
+      if not (target >= 0.0 && target <= 1.0) then
+        ffail "\"target\" %g out of [0,1]" target;
+      List.iter
+        (fun key ->
+          let v = number key frontier in
+          if not (Float.is_finite v && v > 0.0) then
+            ffail "%S is not a positive number (%g)" key v)
+        [ "time_bound"; "reward_bound"; "tolerance"; "cold_seconds";
+          "sweep_seconds"; "speedup" ];
+      (match Io.Json.member "identical" frontier with
+       | Some (Io.Json.Bool true) -> ()
+       | Some (Io.Json.Bool false) ->
+         ffail
+           "staircase points are NOT bit-identical to independent cold solves"
+       | _ -> ffail "missing boolean \"identical\"");
+      if number "speedup" frontier < 5.0 then
+        ffail "speedup %.2fx below the 5x floor" (number "speedup" frontier);
+      let caches =
+        match Io.Json.member "caches" frontier with
+        | Some (Io.Json.Object caches) when caches <> [] -> caches
+        | _ -> ffail "missing non-empty \"caches\" object"
+      in
+      let hits_total = ref 0.0 in
+      List.iter
+        (fun (name, cache) ->
+          let lookups = number "lookups" cache
+          and hits = number "hits" cache
+          and misses = number "misses" cache
+          and rate = number "hit_rate" cache in
+          if hits +. misses <> lookups then
+            ffail "cache %S: hits + misses <> lookups" name;
+          if rate < 0.0 || rate > 1.0 then
+            ffail "cache %S: hit_rate %g out of [0,1]" name rate;
+          hits_total := !hits_total +. hits)
+        caches;
+      (* Every probe after the first reuses the reduction and Sat sets:
+         zero hits means the sweep never shared its warm state. *)
+      if !hits_total = 0.0 then fail "frontier: no cache hits across the sweep";
+      Printf.sprintf ", frontier %.0f rows -> %.0f points (speedup %.1fx)"
+        grid points (number "speedup" frontier)
+  in
   (* The serve section (written by `bench serve`): the warm persistent
      service against cold per-request services on the same 20-query
      workload.  Bit-identity of the responses is asserted exactly, and —
@@ -323,5 +407,6 @@ let () =
                       %.0f cores)"
         requests speedup2 cores
   in
-  Printf.printf "%s: %d entries ok%s%s%s%s\n" path (List.length entries)
-    batch_summary reduce_summary serve_summary serve_scale_summary
+  Printf.printf "%s: %d entries ok%s%s%s%s%s\n" path (List.length entries)
+    batch_summary reduce_summary frontier_summary serve_summary
+    serve_scale_summary

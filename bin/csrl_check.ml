@@ -110,6 +110,53 @@ let parse_batch_file path =
              message))
     items
 
+(* Per-cache hit statistics: the context memo's layers plus the
+   process-wide Fox-Glynn window cache as a delta over the run. *)
+let cache_section memo fg_before =
+  let fg_after = Numerics.Fox_glynn.cache_counters () in
+  let entry (c : Perf.Batch.counters) =
+    let rate = Batch.hit_rate c in
+    Io.Json.Object
+      [ ("lookups", Io.Json.Number (float_of_int c.Perf.Batch.lookups));
+        ("hits", Io.Json.Number (float_of_int c.Perf.Batch.hits));
+        ("misses", Io.Json.Number (float_of_int c.Perf.Batch.misses));
+        ("hit_rate", Io.Json.Number rate) ]
+  in
+  let fg_delta =
+    { Perf.Batch.lookups =
+        fg_after.Numerics.Fox_glynn.lookups
+        - fg_before.Numerics.Fox_glynn.lookups;
+      hits =
+        fg_after.Numerics.Fox_glynn.hits
+        - fg_before.Numerics.Fox_glynn.hits;
+      misses =
+        fg_after.Numerics.Fox_glynn.misses
+        - fg_before.Numerics.Fox_glynn.misses }
+  in
+  Io.Json.Object
+    (List.map (fun (name, c) -> (name, entry c)) (Checker.memo_counters memo)
+    @ [ ("fox_glynn", entry fg_delta) ])
+
+let frontier_points_json points =
+  Io.Json.List
+    (List.map
+       (fun (p : Batch.Frontier.point) ->
+         Io.Json.Object
+           [ ("t", Io.Json.Number p.Batch.Frontier.t);
+             ("r", Io.Json.Number p.Batch.Frontier.r);
+             ("probability", Io.Json.Number p.Batch.Frontier.probability) ])
+       points)
+
+let frontier_result_fields (f : Batch.Frontier.result) =
+  [ ("target", Io.Json.Number f.Batch.Frontier.target);
+    ("time_bound", Io.Json.Number f.Batch.Frontier.time_bound);
+    ("reward_bound", Io.Json.Number f.Batch.Frontier.reward_bound);
+    ("grid", Io.Json.Number (float_of_int f.Batch.Frontier.grid));
+    ("tolerance", Io.Json.Number f.Batch.Frontier.tolerance);
+    ("evaluations",
+     Io.Json.Number (float_of_int f.Batch.Frontier.evaluations));
+    ("points", frontier_points_json f.Batch.Frontier.points) ]
+
 let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
     mrm labeling init path =
   let batch = parse_batch_file path in
@@ -118,67 +165,60 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
   in
   let memo = Checker.create_memo () in
   let fg_before = Numerics.Fox_glynn.cache_counters () in
+  let is_frontier = function Logic.Ast.Frontier_query _ -> true | _ -> false in
+  let plain = List.filter (fun (_, _, q) -> not (is_frontier q)) batch in
   let verdicts =
-    Batch.run ~pool ?telemetry ~memo ctx
-      (List.map (fun (_, _, q) -> q) batch)
+    Batch.run ~pool ?telemetry ~memo ctx (List.map (fun (_, _, q) -> q) plain)
   in
+  (* Frontier entries run after the plain batch, sequentially, over the
+     same memo — their probes reuse (and extend) the shared caches. *)
   let results =
-    List.map2
-      (fun (name, _, query) verdict ->
+    let remaining = ref verdicts in
+    List.map
+      (fun (name, _, query) ->
         let rendered = Format.asprintf "%a" Logic.Ast.pp_query query in
         let common = [ ("name", Io.Json.String name);
                        ("query", Io.Json.String rendered) ] in
-        match verdict with
-        | Checker.Boolean mask ->
-          let indicator =
-            Linalg.Vec.init (Array.length mask) (fun s ->
-                if mask.(s) then 1.0 else 0.0)
+        if is_frontier query then begin
+          let f = Batch.Frontier.run ?telemetry ~memo ctx ~init query in
+          Io.Json.Object
+            (common
+            @ (("kind", Io.Json.String "frontier") :: frontier_result_fields f))
+        end
+        else begin
+          let verdict =
+            match !remaining with
+            | v :: rest -> remaining := rest; v
+            | [] -> failwith "csrl-check: batch verdicts out of sync"
           in
-          Io.Json.Object
-            (common
-            @ [ ("kind", Io.Json.String "boolean");
-                ("initial_mass",
-                 Io.Json.Number (Linalg.Vec.dot init indicator));
-                ("states",
-                 Io.Json.List
-                   (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask)))
-              ])
-        | Checker.Numeric values ->
-          Io.Json.Object
-            (common
-            @ [ ("kind", Io.Json.String "numeric");
-                ("value", Io.Json.Number (Linalg.Vec.dot init values));
-                ("states",
-                 Io.Json.List
-                   (List.init (Linalg.Vec.length values) (fun s ->
-                        Io.Json.Number values.{s}))) ]))
-      batch verdicts
+          match verdict with
+          | Checker.Boolean mask ->
+            let indicator =
+              Linalg.Vec.init (Array.length mask) (fun s ->
+                  if mask.(s) then 1.0 else 0.0)
+            in
+            Io.Json.Object
+              (common
+              @ [ ("kind", Io.Json.String "boolean");
+                  ("initial_mass",
+                   Io.Json.Number (Linalg.Vec.dot init indicator));
+                  ("states",
+                   Io.Json.List
+                     (Array.to_list
+                        (Array.map (fun b -> Io.Json.Bool b) mask))) ])
+          | Checker.Numeric values ->
+            Io.Json.Object
+              (common
+              @ [ ("kind", Io.Json.String "numeric");
+                  ("value", Io.Json.Number (Linalg.Vec.dot init values));
+                  ("states",
+                   Io.Json.List
+                     (List.init (Linalg.Vec.length values) (fun s ->
+                          Io.Json.Number values.{s}))) ])
+        end)
+      batch
   in
-  let fg_after = Numerics.Fox_glynn.cache_counters () in
-  let cache_json =
-    let entry (c : Perf.Batch.counters) =
-      let rate = Batch.hit_rate c in
-      Io.Json.Object
-        [ ("lookups", Io.Json.Number (float_of_int c.Perf.Batch.lookups));
-          ("hits", Io.Json.Number (float_of_int c.Perf.Batch.hits));
-          ("misses", Io.Json.Number (float_of_int c.Perf.Batch.misses));
-          ("hit_rate", Io.Json.Number rate) ]
-    in
-    let fg_delta =
-      { Perf.Batch.lookups =
-          fg_after.Numerics.Fox_glynn.lookups
-          - fg_before.Numerics.Fox_glynn.lookups;
-        hits =
-          fg_after.Numerics.Fox_glynn.hits
-          - fg_before.Numerics.Fox_glynn.hits;
-        misses =
-          fg_after.Numerics.Fox_glynn.misses
-          - fg_before.Numerics.Fox_glynn.misses }
-    in
-    Io.Json.Object
-      (List.map (fun (name, c) -> (name, entry c)) (Checker.memo_counters memo)
-      @ [ ("fox_glynn", entry fg_delta) ])
-  in
+  let cache_json = cache_section memo fg_before in
   let document =
     Io.Json.Object
       [ ("tool", Io.Json.String "csrl-check");
@@ -212,7 +252,7 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
     telemetry
 
 let run model_name file engine_text epsilon jobs trace stats list_props info
-    lump no_reduce batch_file formula_text =
+    lump no_reduce batch_file frontier_fmt formula_text =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -221,6 +261,15 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
   in
   if not (epsilon > 0.0 && epsilon < 1.0) then begin
     prerr_endline "--epsilon needs a value in (0,1)";
+    exit 2
+  end;
+  (match frontier_fmt with
+   | None | Some "json" | Some "csv" -> ()
+   | Some other ->
+     Printf.eprintf "--frontier needs \"json\" or \"csv\", not %S\n" other;
+     exit 2);
+  if frontier_fmt <> None && batch_file <> None then begin
+    prerr_endline "--frontier cannot be combined with --batch";
     exit 2
   end;
   let document =
@@ -311,6 +360,63 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
     Printf.eprintf "parse error at position %d: %s\n" pos message;
+    exit 2
+  | Logic.Ast.Frontier_query _ as query ->
+    let fmt = Option.value frontier_fmt ~default:"json" in
+    let memo = Checker.create_memo () in
+    let fg_before = Numerics.Fox_glynn.cache_counters () in
+    let f = Batch.Frontier.run ?telemetry ~memo ctx ~init query in
+    (match fmt with
+     | "csv" ->
+       let row (p : Batch.Frontier.point) =
+         [ Printf.sprintf "%.17g" p.Batch.Frontier.t;
+           Printf.sprintf "%.17g" p.Batch.Frontier.r;
+           Printf.sprintf "%.17g" p.Batch.Frontier.probability ]
+       in
+       print_string
+         (Io.Csv.render ~header:[ "t"; "r"; "probability" ]
+            (List.map row f.Batch.Frontier.points))
+     | _ ->
+       let document =
+         Io.Json.Object
+           ([ ("tool", Io.Json.String "csrl-check");
+              ("mode", Io.Json.String "frontier");
+              ("engine",
+               Io.Json.String (Format.asprintf "%a" Perf.Engine.pp_spec engine));
+              ("jobs", Io.Json.Number (float_of_int jobs));
+              ("query",
+               Io.Json.String (Format.asprintf "%a" Logic.Ast.pp_query query))
+            ]
+           @ frontier_result_fields f
+           @ [ ("cache", cache_section memo fg_before) ])
+       in
+       print_string (Io.Json.to_string document);
+       print_newline ());
+    Option.iter
+      (fun tel ->
+        Io.Trace.record_pool_stats tel pool;
+        (match trace with
+         | None -> ()
+         | Some path ->
+           let document =
+             Io.Json.Object
+               [ ("tool", Io.Json.String "csrl-check");
+                 ("mode", Io.Json.String "frontier");
+                 ("query",
+                  Io.Json.String
+                    (Format.asprintf "%a" Logic.Ast.pp_query query));
+                 ("jobs", Io.Json.Number (float_of_int jobs));
+                 ("telemetry", Io.Trace.to_json tel) ]
+           in
+           Out_channel.with_open_text path (fun oc ->
+               output_string oc (Io.Json.to_string document);
+               output_char oc '\n'));
+        if stats then Io.Trace.print_stats stdout tel)
+      telemetry
+  | _ when frontier_fmt <> None ->
+    prerr_endline
+      "--frontier needs a frontier query, e.g. 'frontier[20] P>=0.5 ( a \
+       U[t<=10][r<=50] b )'";
     exit 2
   | query -> begin
       Format.printf "query:  %a@." Logic.Ast.pp_query query;
@@ -444,10 +550,24 @@ let batch_arg =
   in
   Arg.(value & opt (some string) None & info [ "b"; "batch" ] ~docv:"FILE" ~doc)
 
+let frontier_arg =
+  let doc =
+    "Output format for a frontier query ($(b,json) or $(b,csv)).  A \
+     frontier query 'frontier[N] P>=p ( phi U[t<=T][r<=R] psi )' sweeps \
+     the Pareto frontier {(t, r) : P(phi U[<=t][<=r] psi) >= p} on an \
+     N-point time grid by monotonicity-guided bisection over the reward \
+     axis, reusing the warm caches across probes; every emitted point is \
+     bit-identical to an independent single-query solve of the same \
+     bounds.  Frontier queries default to JSON output when this flag is \
+     omitted."
+  in
+  Arg.(value & opt (some string) None & info [ "frontier" ] ~docv:"FORMAT" ~doc)
+
 let formula_arg =
   let doc =
-    "The CSRL formula or query, e.g. 'P>0.5 ( a U[t<=24][r<=600] b )' or \
-     'P=? ( F[t<=2] down )'."
+    "The CSRL formula or query, e.g. 'P>0.5 ( a U[t<=24][r<=600] b )', \
+     'P=? ( F[t<=2] down )' or 'frontier[20] P>=0.5 ( a U[t<=24][r<=600] \
+     b )'."
   in
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
 
@@ -469,6 +589,6 @@ let cmd =
     Term.(
       const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
       $ trace_arg $ stats_arg $ list_props_arg $ info_arg $ lump_arg
-      $ no_reduce_arg $ batch_arg $ formula_arg)
+      $ no_reduce_arg $ batch_arg $ frontier_arg $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -66,3 +66,71 @@ let run ?(pool = Parallel.Pool.sequential) ?telemetry ?memo ctx queries =
          | Some v -> v
          | None -> failwith "Batch.run: a query produced no result")
        results)
+
+module Frontier = struct
+  type point = Perf.Frontier.point = {
+    t : float;
+    r : float;
+    probability : float;
+  }
+
+  type result = {
+    target : float;
+    time_bound : float;
+    reward_bound : float;
+    grid : int;
+    tolerance : float;
+    points : point list;
+    evaluations : int;
+  }
+
+  let run ?telemetry ?memo ?(tolerance = 1e-6) ctx ~init query =
+    match (query : Logic.Ast.query) with
+    | Logic.Ast.Frontier_query
+        { points = grid;
+          target;
+          path = Logic.Ast.Until (time, reward, phi, psi) } ->
+      let upper what interval =
+        match Numerics.Interval.upper interval with
+        | Some b when Float.is_finite b && b > 0.0 -> b
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "Batch.Frontier.run: the %s bound must be a \
+                             finite '[%s<=B]'" what
+               (if what = "time" then "t" else "r"))
+      in
+      let time_bound = upper "time" time in
+      let reward_bound = upper "reward" reward in
+      (* Every probe is an ordinary single-query solve on the caller's
+         context with the shared memo, so each emitted point is
+         bit-identical to what a cold solve of the same (t, r) returns —
+         the caches only skip work whose result is a deterministic
+         function of the key. *)
+      let eval ~t ~r =
+        let probe =
+          Logic.Ast.Prob_query
+            (Logic.Ast.Until
+               (Numerics.Interval.upto t, Numerics.Interval.upto r, phi, psi))
+        in
+        match Checker.eval_query ?memo ctx probe with
+        | Checker.Numeric values -> Linalg.Vec.dot init values
+        | Checker.Boolean _ -> assert false
+      in
+      let sweep =
+        Perf.Frontier.sweep ~eval ~target ~time_bound ~reward_bound
+          ~points:grid ~tolerance
+      in
+      Telemetry.add telemetry "frontier.grid" grid;
+      Telemetry.add telemetry "frontier.points"
+        (List.length sweep.Perf.Frontier.points);
+      Telemetry.add telemetry "frontier.evaluations"
+        sweep.Perf.Frontier.evaluations;
+      { target;
+        time_bound;
+        reward_bound;
+        grid;
+        tolerance;
+        points = sweep.Perf.Frontier.points;
+        evaluations = sweep.Perf.Frontier.evaluations }
+    | _ -> invalid_arg "Batch.Frontier.run: not a frontier query"
+end

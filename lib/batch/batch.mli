@@ -52,3 +52,43 @@ val run :
 
 val hit_rate : Perf.Batch.counters -> float
 (** [hits / lookups], or [0.] when the cache was never consulted. *)
+
+(** Frontier sweeps driven through the warm checking context.
+
+    {!Frontier.run} decomposes a [frontier] query into bounded-until
+    probes evaluated by {!Checker.eval_query} on the caller's context
+    with a shared memo, and hands them to {!Perf.Frontier.sweep}.  The
+    probes therefore share every batch cache layer — Sat sets, the
+    Theorem-1 reduction per [(Sat Phi, Sat Psi)], solved until vectors
+    per [(t, r)], and the process-wide Fox–Glynn windows — while each
+    emitted point stays bit-identical to a cold single-query solve of
+    the same bounds (the {!run} invariant, inherited probe by probe). *)
+module Frontier : sig
+  type point = Perf.Frontier.point = {
+    t : float;
+    r : float;
+    probability : float;
+  }
+
+  type result = {
+    target : float;        (** the probability threshold [p] *)
+    time_bound : float;    (** [T] from [\[t<=T\]] — the grid's right edge *)
+    reward_bound : float;  (** [R] from [\[r<=R\]] — the search ceiling *)
+    grid : int;            (** requested time-grid resolution *)
+    tolerance : float;     (** reward-axis bisection tolerance *)
+    points : point list;   (** the staircase (see {!Perf.Frontier.sweep}) *)
+    evaluations : int;     (** until solves performed across the sweep *)
+  }
+
+  val run :
+    ?telemetry:Telemetry.t -> ?memo:Checker.memo -> ?tolerance:float ->
+    Checker.t -> init:Linalg.Vec.t -> Logic.Ast.query -> result
+  (** [run ctx ~init query] sweeps a {!Logic.Ast.Frontier_query} against
+      the initial distribution [init] (each probe is the probability
+      vector dotted with [init]).  [tolerance] defaults to [1e-6].
+      Records [frontier.grid] / [frontier.points] /
+      [frontier.evaluations] on [telemetry].  Raises [Invalid_argument]
+      on any other query form or when the until's bounds are not finite
+      downward-closed intervals (the parser's [frontier] production
+      guarantees both). *)
+end

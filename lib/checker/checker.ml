@@ -411,6 +411,14 @@ let eval_query ?memo ctx q =
     | Logic.Ast.Steady_query f ->
       Numeric (steady_values ctx ~target:(sat_k memo ctx f))
     | Logic.Ast.Reward_query q -> Numeric (reward_values_k memo ctx q)
+    | Logic.Ast.Frontier_query _ ->
+      (* A frontier is a set of points, not a per-state vector; the sweep
+         driver (Batch.Frontier) decomposes it into Prob_query probes. *)
+      raise
+        (Unsupported
+           "frontier queries are evaluated by the frontier sweep \
+            (csrl-check --frontier, the batch file format, or the serving \
+            daemon), not by a single checker solve")
   in
   (* With a memo the verdict may be (or alias) a cached vector; hand the
      caller a private copy so the tables cannot be corrupted. *)

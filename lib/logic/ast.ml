@@ -30,6 +30,7 @@ type query =
   | Prob_query of path_formula
   | Steady_query of state_formula
   | Reward_query of reward_query
+  | Frontier_query of { points : int; target : float; path : path_formula }
 
 let eventually ?(time = Numerics.Interval.unbounded)
     ?(reward = Numerics.Interval.unbounded) phi =
@@ -181,5 +182,7 @@ let pp_query ppf = function
   | Prob_query p -> Format.fprintf ppf "P=? (%a)" pp_path p
   | Steady_query f -> Format.fprintf ppf "S=? (%a)" pp f
   | Reward_query q -> Format.fprintf ppf "R=? (%a)" pp_reward q
+  | Frontier_query { points; target; path } ->
+    Format.fprintf ppf "frontier[%d] P>=%g (%a)" points target pp_path path
 
 let to_string phi = Format.asprintf "%a" pp phi

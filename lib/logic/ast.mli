@@ -55,6 +55,12 @@ type query =
   | Prob_query of path_formula     (** [P=? (phi)]: a number per state *)
   | Steady_query of state_formula  (** [S=? (phi)] *)
   | Reward_query of reward_query   (** [R=? (q)] *)
+  | Frontier_query of { points : int; target : float; path : path_formula }
+      (** [frontier\[N\] P>=p (phi U\[t<=T\]\[r<=R\] psi)]: the Pareto
+          frontier [{(t, r) : P(phi U\[<=t\]\[<=r\] psi) >= p}] resolved
+          on an [N]-point time grid.  The parser guarantees [path] is an
+          until with finite downward-closed time and reward bounds.
+          Evaluated by [Batch.Frontier], not by the checker. *)
 
 val eventually :
   ?time:Numerics.Interval.t -> ?reward:Numerics.Interval.t -> state_formula ->

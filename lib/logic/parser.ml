@@ -246,9 +246,59 @@ let state_formula input =
   let st = make_stream input in
   finish st (state_formula_prec st)
 
+(* frontier ::= 'frontier' ('[' points ']')? 'P' '>=' target
+                '(' phi 'U' bounds psi ')'
+   with both bounds finite and downward closed — the region
+   {(t, r) : P(phi U[<=t][<=r] psi) >= target} needs a box to sweep. *)
+let frontier_query st =
+  advance st;
+  let points =
+    match current st with
+    | Lexer.LBRACKET, _ ->
+      advance st;
+      let x = number st in
+      if Float.is_integer x && x >= 1.0 && x <= 100000.0 then begin
+        expect st Lexer.RBRACKET "expected ']' closing the point count";
+        int_of_float x
+      end
+      else fail_at st "frontier needs a positive whole number of points"
+    | _ -> 20
+  in
+  expect st Lexer.PROB "expected 'P' after 'frontier'";
+  (match current st with
+   | Lexer.GE, _ -> advance st
+   | _ -> fail_at st "frontier needs 'P>=' (a lower probability bound)");
+  let target = number st in
+  if not (target >= 0.0 && target <= 1.0) then
+    fail_at st "frontier target must be in [0,1]";
+  expect st Lexer.LPAREN "expected '(' after the frontier target";
+  let raw = path_formula st in
+  expect st Lexer.RPAREN "expected ')' closing the path formula";
+  let path =
+    match raw with
+    | Raw (Ast.Until _ as path) -> path
+    | Raw (Ast.Next _) | Raw_globally _ ->
+      fail_at st "frontier needs an 'until' (or 'F') path formula"
+  in
+  (match path with
+   | Ast.Until (time, reward, _, _) ->
+     let finite_upto interval =
+       Numerics.Interval.lower interval = 0.0
+       && (match Numerics.Interval.upper interval with
+           | Some b -> Float.is_finite b && b > 0.0
+           | None -> false)
+     in
+     if not (finite_upto time && finite_upto reward) then
+       fail_at st
+         "frontier needs finite downward-closed bounds ([t<=T][r<=R])"
+   | Ast.Next _ -> assert false);
+  finish st (Ast.Frontier_query { points; target; path })
+
 let query input =
   let st = make_stream input in
   match st.tokens.(0), (if Array.length st.tokens > 1 then Some st.tokens.(1) else None) with
+  | (Lexer.IDENT "frontier", _), Some ((Lexer.LBRACKET | Lexer.PROB), _) ->
+    frontier_query st
   | (Lexer.PROB, _), Some (Lexer.QUERY, _) ->
     advance st;
     advance st;

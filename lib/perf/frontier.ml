@@ -1,0 +1,138 @@
+type outcome = { value : float option; achieved : float; evaluations : int }
+
+(* The shared bisection core.  Invariant: eval lo < target <= eval hi
+   (lo = 0 stands for the open left end, never probed).  Returns the
+   upper endpoint of the final bracket together with eval at it. *)
+let bisect ~probe ~target ~lo ~hi ~p_hi ~tolerance =
+  let lo = ref lo and top = ref hi and achieved = ref p_hi in
+  let steps = ref 0 and stuck = ref false in
+  while (not !stuck) && !top -. !lo > tolerance && !steps < 200 do
+    incr steps;
+    let mid = 0.5 *. (!lo +. !top) in
+    if mid <= !lo || mid >= !top then stuck := true
+    else begin
+      let p = probe mid in
+      if p >= target then begin
+        top := mid;
+        achieved := p
+      end
+      else lo := mid
+    end
+  done;
+  (!top, !achieved)
+
+let probe ~eval ~target ~hi ~tolerance =
+  if not (hi > 0.0 && Float.is_finite hi) then
+    invalid_arg "Frontier.probe: hi must be positive and finite";
+  if not (tolerance > 0.0) then
+    invalid_arg "Frontier.probe: tolerance must be positive";
+  let evaluations = ref 0 in
+  let probe x =
+    incr evaluations;
+    eval x
+  in
+  let p_hi = probe hi in
+  if p_hi < target then
+    { value = None; achieved = p_hi; evaluations = !evaluations }
+  else begin
+    let value, achieved = bisect ~probe ~target ~lo:0.0 ~hi ~p_hi ~tolerance in
+    { value = Some value; achieved; evaluations = !evaluations }
+  end
+
+type point = { t : float; r : float; probability : float }
+type sweep = { points : point list; evaluations : int }
+
+let sweep ~eval ~target ~time_bound ~reward_bound ~points ~tolerance =
+  if not (time_bound > 0.0 && Float.is_finite time_bound) then
+    invalid_arg "Frontier.sweep: time_bound must be positive and finite";
+  if not (reward_bound > 0.0 && Float.is_finite reward_bound) then
+    invalid_arg "Frontier.sweep: reward_bound must be positive and finite";
+  if points < 1 then invalid_arg "Frontier.sweep: points must be >= 1";
+  if not (tolerance > 0.0) then
+    invalid_arg "Frontier.sweep: tolerance must be positive";
+  let n = points in
+  let evaluations = ref 0 in
+  let grid =
+    Array.init n (fun i -> time_bound *. float_of_int (i + 1) /. float_of_int n)
+  in
+  (* resolved.(i): None = infeasible even at the full reward budget,
+     Some (r, p) = minimal feasible reward (within tolerance) and the
+     probability eval actually returned at (grid.(i), r). *)
+  let resolved = Array.make n None in
+  (* Resolve row [i] knowing (by monotonicity of r* in t) that its
+     minimal reward lies in (rlo, rhi] — except that feasibility at rhi
+     is only guaranteed when a right neighbour supplied rhi; when
+     rhi = reward_bound the row may be infeasible outright. *)
+  let resolve i ~rlo ~rhi =
+    let t = grid.(i) in
+    let probe r =
+      incr evaluations;
+      eval ~t ~r
+    in
+    let p_hi = probe rhi in
+    let outcome =
+      if p_hi < target then None
+      else if rlo >= rhi then Some (rhi, p_hi)
+      else begin
+        (* A lower bracket that already clears the target is the exact
+           answer: the minimum at this t is >= rlo because the easier
+           right neighbour needed rlo. *)
+        let lo_hit =
+          if rlo > 0.0 then begin
+            let p_lo = probe rlo in
+            if p_lo >= target then Some (rlo, p_lo) else None
+          end
+          else None
+        in
+        match lo_hit with
+        | Some _ as hit -> hit
+        | None ->
+          let r, p = bisect ~probe ~target ~lo:rlo ~hi:rhi ~p_hi ~tolerance in
+          Some (r, p)
+      end
+    in
+    resolved.(i) <- outcome;
+    outcome
+  in
+  (* Divide and conquer over the open index span (ilo, ihi), whose
+     endpoints are already resolved (or known infeasible): rlo bounds
+     every row's minimum from below (the right endpoint's answer), rhi
+     from above (the left endpoint's answer, or the full budget). *)
+  let rec fill ilo ihi ~rlo ~rhi =
+    if ihi - ilo > 1 then begin
+      let mid = (ilo + ihi) / 2 in
+      match resolve mid ~rlo ~rhi with
+      | Some (r, _) ->
+        fill ilo mid ~rlo:r ~rhi;
+        fill mid ihi ~rlo ~rhi:r
+      | None ->
+        (* Only possible when rhi = reward_bound; smaller t is harder,
+           so the whole left half is infeasible without probing. *)
+        fill mid ihi ~rlo ~rhi
+    end
+  in
+  (match resolve (n - 1) ~rlo:0.0 ~rhi:reward_bound with
+   | None -> () (* even the easiest row fails: empty frontier *)
+   | Some (r_last, _) ->
+     if n > 1 then begin
+       let rhi0 =
+         match resolve 0 ~rlo:r_last ~rhi:reward_bound with
+         | Some (r0, _) -> r0
+         | None -> reward_bound
+       in
+       fill 0 (n - 1) ~rlo:r_last ~rhi:rhi0
+     end);
+  (* Keep the staircase: walking t upward, only strictly smaller rewards
+     add information — a later row tying an earlier one is dominated. *)
+  let acc = ref [] in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    match resolved.(i) with
+    | None -> ()
+    | Some (r, probability) ->
+      if r < !best then begin
+        acc := { t = grid.(i); r; probability } :: !acc;
+        best := r
+      end
+  done;
+  { points = List.rev !acc; evaluations = !evaluations }

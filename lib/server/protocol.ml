@@ -14,6 +14,12 @@ type request =
       tolerance : float;
       deadline_ms : float option;
     }
+  | Frontier of {
+      model : string;
+      query : string;
+      tolerance : float;
+      deadline_ms : float option;
+    }
   | Stats
   | Shutdown
 
@@ -27,12 +33,13 @@ let kind_of = function
   | List_models -> "list"
   | Check _ -> "check"
   | Quantile _ -> "quantile"
+  | Frontier _ -> "frontier"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
 let model_of = function
   | Load { model; _ } | Evict { model } | Check { model; _ }
-  | Quantile { model; _ } ->
+  | Quantile { model; _ } | Frontier { model; _ } ->
     Some model
   | List_models | Stats | Shutdown -> None
 
@@ -119,6 +126,20 @@ let of_json json =
                        query = required_text ?id json "query";
                        variable; target; hi; tolerance;
                        deadline_ms = deadline_of ?id json }
+          | Some "frontier" ->
+            (* The grid size and target travel inside the query text
+               ('frontier[N] P>=p (...)'), parsed on the executor. *)
+            let tolerance =
+              match num_member "tolerance" json with
+              | None -> 1e-6
+              | Some tol when tol > 0.0 && Float.is_finite tol -> tol
+              | Some _ ->
+                reject ?id "bad_request" "\"tolerance\" must be positive"
+            in
+            Frontier { model = required_text ?id json "model";
+                       query = required_text ?id json "query";
+                       tolerance;
+                       deadline_ms = deadline_of ?id json }
           | Some "stats" -> Stats
           | Some "shutdown" -> Shutdown
           | Some other ->
@@ -166,6 +187,13 @@ let to_json { id; request } =
          Io.Json.String (match variable with Time -> "t" | Reward -> "r"));
         ("target", Io.Json.Number target);
         ("hi", Io.Json.Number hi);
+        ("tolerance", Io.Json.Number tolerance) ]
+      @ (match deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Io.Json.Number ms) ])
+    | Frontier { model; query; tolerance; deadline_ms } ->
+      [ ("model", Io.Json.String model);
+        ("query", Io.Json.String query);
         ("tolerance", Io.Json.Number tolerance) ]
       @ (match deadline_ms with
          | None -> []

@@ -25,13 +25,19 @@
       in [(0, B]] of the chosen variable such that the query's until
       probability from the initial distribution reaches [P]
       (["tolerance"], default [1e-6], bounds the bisection width).
+    - [{"kind": "frontier", "model": NAME, "query": FRONTIER}] — sweep a
+      two-cost Pareto frontier; the query text is a frontier query
+      ['frontier\[N\] P>=p ( phi U\[t<=T\]\[r<=R\] psi )'], so the grid
+      size and target travel inside it (["tolerance"], default [1e-6],
+      bounds the reward-axis bisection width).  Sharded by model like
+      [check]; the answer lists the staircase points in time order.
     - [{"kind": "stats"}] — deterministic serving counters and per-model
       cache statistics (no timings; those live in [--trace] output).
     - [{"kind": "shutdown"}] — drain admitted work, acknowledge, stop.
 
-    [check] and [quantile] accept ["deadline_ms"]: a per-request budget
-    counted from admission, enforced by cooperative cancellation
-    checkpoints inside the numerical kernels.
+    [check], [quantile] and [frontier] accept ["deadline_ms"]: a
+    per-request budget counted from admission, enforced by cooperative
+    cancellation checkpoints inside the numerical kernels.
 
     Error codes: [parse_error] (the line is not a JSON object),
     [bad_request] (unknown kind, missing or ill-typed fields),
@@ -55,6 +61,12 @@ type request =
       tolerance : float;
       deadline_ms : float option;
     }
+  | Frontier of {
+      model : string;
+      query : string;
+      tolerance : float;
+      deadline_ms : float option;
+    }
   | Stats
   | Shutdown
 
@@ -64,7 +76,7 @@ type error = { code : string; message : string; error_id : string option }
 
 val kind_of : request -> string
 (** The wire name: ["load"], ["evict"], ["list"], ["check"],
-    ["quantile"], ["stats"], ["shutdown"]. *)
+    ["quantile"], ["frontier"], ["stats"], ["shutdown"]. *)
 
 val model_of : request -> string option
 (** The model the request is pinned to, when it has one — the sharding

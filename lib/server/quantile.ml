@@ -1,38 +1,15 @@
-type outcome = {
+type outcome = Perf.Frontier.outcome = {
   value : float option;
   achieved : float;
   evaluations : int;
 }
 
+(* Scalar quantile bisection is the 1-point degenerate case of the
+   frontier search: one probe along a single axis.  Validation stays
+   here so callers keep the historical error messages. *)
 let search ~eval ~target ~hi ~tolerance =
   if not (hi > 0.0 && Float.is_finite hi) then
     invalid_arg "Quantile.search: hi must be positive and finite";
   if not (tolerance > 0.0) then
     invalid_arg "Quantile.search: tolerance must be positive";
-  let evaluations = ref 0 in
-  let probe x =
-    incr evaluations;
-    eval x
-  in
-  let p_hi = probe hi in
-  if p_hi < target then { value = None; achieved = p_hi; evaluations = !evaluations }
-  else begin
-    (* Invariant: eval lo < target <= eval hi (lo = 0 stands for the
-       open left end, never probed). *)
-    let lo = ref 0.0 and top = ref hi and achieved = ref p_hi in
-    let steps = ref 0 and stuck = ref false in
-    while (not !stuck) && !top -. !lo > tolerance && !steps < 200 do
-      incr steps;
-      let mid = 0.5 *. (!lo +. !top) in
-      if mid <= !lo || mid >= !top then stuck := true
-      else begin
-        let p = probe mid in
-        if p >= target then begin
-          top := mid;
-          achieved := p
-        end
-        else lo := mid
-      end
-    done;
-    { value = Some !top; achieved = !achieved; evaluations = !evaluations }
-  end
+  Perf.Frontier.probe ~eval ~target ~hi ~tolerance

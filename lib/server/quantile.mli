@@ -7,12 +7,15 @@
     finds the least [x] in [(0, hi]] with [eval x >= target], to within
     [tolerance].
 
-    The search never evaluates at [x = 0] (the engines require a
-    positive time bound), and every probe is an ordinary solve on the
-    caller's warm context, so the reduction and Theorem 1 caches are
-    shared across iterations. *)
+    Since PR 8 the search itself lives in {!Perf.Frontier}: a scalar
+    quantile is the 1-point degenerate case of a frontier sweep, and
+    {!search} delegates to {!Perf.Frontier.probe} so the two can never
+    drift apart.  The search never evaluates at [x = 0] (the engines
+    require a positive time bound), and every probe is an ordinary solve
+    on the caller's warm context, so the reduction and Theorem 1 caches
+    are shared across iterations. *)
 
-type outcome = {
+type outcome = Perf.Frontier.outcome = {
   value : float option;
       (** least satisfying bound, [None] when even [hi] falls short *)
   achieved : float;

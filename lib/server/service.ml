@@ -33,6 +33,7 @@ type counters = {
   mutable c_list : int;
   mutable c_check : int;
   mutable c_quantile : int;
+  mutable c_frontier : int;
   mutable c_stats : int;
   mutable c_shutdown : int;
   mutable c_errors : int;
@@ -138,6 +139,7 @@ let bump t request =
       | List_models -> c.c_list <- c.c_list + 1
       | Check _ -> c.c_check <- c.c_check + 1
       | Quantile _ -> c.c_quantile <- c.c_quantile + 1
+      | Frontier _ -> c.c_frontier <- c.c_frontier + 1
       | Stats -> c.c_stats <- c.c_stats + 1
       | Shutdown -> c.c_shutdown <- c.c_shutdown + 1)
 
@@ -160,7 +162,8 @@ let parse_query ?id text =
 let deadline_token t ~admitted ?id request =
   let budget =
     match (request : Protocol.request) with
-    | Check { deadline_ms; _ } | Quantile { deadline_ms; _ } -> begin
+    | Check { deadline_ms; _ } | Quantile { deadline_ms; _ }
+    | Frontier { deadline_ms; _ } -> begin
         match deadline_ms with
         | Some _ as b -> b
         | None -> t.config.default_deadline_ms
@@ -201,9 +204,10 @@ let stats_json t =
     Mutex.protect t.counters_lock (fun () ->
         let total =
           c.c_load + c.c_evict + c.c_list + c.c_check + c.c_quantile
-          + c.c_stats + c.c_shutdown
+          + c.c_frontier + c.c_stats + c.c_shutdown
         in
-        ( [ ("check", c.c_check); ("evict", c.c_evict); ("list", c.c_list);
+        ( [ ("check", c.c_check); ("evict", c.c_evict);
+            ("frontier", c.c_frontier); ("list", c.c_list);
             ("load", c.c_load); ("quantile", c.c_quantile);
             ("shutdown", c.c_shutdown); ("stats", c.c_stats);
             ("total", total) ],
@@ -345,6 +349,54 @@ let run_request t ~admitted ~id request =
            ("achieved", Io.Json.Number outcome.Quantile.achieved);
            ("evaluations",
             Io.Json.Number (float_of_int outcome.Quantile.evaluations)) ])
+  | Frontier { model; query; tolerance; _ } ->
+    let* entry = resolve t ?id model in
+    let* q = parse_query ?id query in
+    let* () =
+      match q with
+      | Logic.Ast.Frontier_query _ -> Ok ()
+      | _ ->
+        Error
+          (Protocol.error ?id ~code:"bad_request"
+             "frontier needs a frontier query: 'frontier[N] P>=p ( phi \
+              U[t<=T][r<=R] psi )'")
+    in
+    let* token = deadline_token t ~admitted ?id request in
+    let ctx = Checker.with_cancel entry.Registry.ctx token in
+    (* Every probe is an ordinary solve with the entry's memo, so the
+       sweep shares the model's warm caches with check/quantile traffic
+       and each point stays bit-identical to a cold check of the same
+       bounds. *)
+    let* f =
+      Registry.exclusively entry (fun () ->
+          guarded ?id (fun () ->
+              Batch.Frontier.run ?telemetry:t.config.telemetry
+                ~memo:entry.Registry.memo ~tolerance ctx
+                ~init:entry.Registry.init q))
+    in
+    let points =
+      List.map
+        (fun (p : Batch.Frontier.point) ->
+          Io.Json.Object
+            [ ("t", Io.Json.Number p.Batch.Frontier.t);
+              ("r", Io.Json.Number p.Batch.Frontier.r);
+              ("probability", Io.Json.Number p.Batch.Frontier.probability) ])
+        f.Batch.Frontier.points
+    in
+    Ok
+      (ok ~kind:"frontier"
+         [ ("model", Io.Json.String model);
+           ("query",
+            Io.Json.String (Format.asprintf "%a" Logic.Ast.pp_query q));
+           ("target", Io.Json.Number f.Batch.Frontier.target);
+           ("time_bound", Io.Json.Number f.Batch.Frontier.time_bound);
+           ("reward_bound", Io.Json.Number f.Batch.Frontier.reward_bound);
+           ("grid",
+            Io.Json.Number (float_of_int f.Batch.Frontier.grid));
+           ("tolerance", Io.Json.Number f.Batch.Frontier.tolerance);
+           ("points", Io.Json.List points);
+           ("evaluations",
+            Io.Json.Number (float_of_int f.Batch.Frontier.evaluations)) ])
   | Stats -> Ok (ok ~kind:"stats" (stats_json t))
   | Shutdown -> Ok (ok ~kind:"shutdown" [])
 
@@ -496,8 +548,8 @@ let create config =
     reg = Registry.create ~make_ctx ();
     counters =
       { c_load = 0; c_evict = 0; c_list = 0; c_check = 0; c_quantile = 0;
-        c_stats = 0; c_shutdown = 0; c_errors = 0; c_overloaded = 0;
-        c_deadline_exceeded = 0 };
+        c_frontier = 0; c_stats = 0; c_shutdown = 0; c_errors = 0;
+        c_overloaded = 0; c_deadline_exceeded = 0 };
     counters_lock = Mutex.create ();
     runtime_lock = Mutex.create ();
     runtime = None }

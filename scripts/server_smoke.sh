@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI smoke test for the serving daemon: start csrl-serve on a socket,
-# send a mixed workload (check + quantile + stats + one malformed
-# request) twice through csrl-client, and assert
+# send a mixed workload (check + quantile + frontier + stats + one
+# malformed request) twice through csrl-client, and assert
 #   - the check answer matches a single-shot `csrl-check --batch` run
 #     string-for-string (the bit-identity claim),
 #   - the quantile bisection returns a bound,
+#   - the frontier sweep returns a non-empty staircase, identical
+#     across rounds and transports,
 #   - the malformed request gets an error response without killing the
 #     session,
 #   - the second round is answered from warm caches (nonzero memo hits
@@ -49,6 +51,7 @@ workload() {
   cat <<'EOF'
 {"id": "q1", "kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] doze )"}
 {"id": "q2", "kind": "quantile", "model": "adhoc", "query": "P=? ( true U[t<=1] doze )", "variable": "t", "target": 0.5, "hi": 100}
+{"id": "q3", "kind": "frontier", "model": "adhoc", "query": "frontier[3] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )"}
 {"id": "bad", "kind": "frobnicate"}
 {"id": "s", "kind": "stats"}
 EOF
@@ -69,13 +72,18 @@ grep '"id":"q2"' "$ROUND1" | grep -q '"kind":"quantile"' \
   || fail "no quantile response"
 grep '"id":"q2"' "$ROUND1" | grep -q '"value":null' \
   && fail "quantile found no bound (hi too small?)"
+grep '"id":"q3"' "$ROUND1" | grep -q '"kind":"frontier"' \
+  || fail "no frontier response"
+grep '"id":"q3"' "$ROUND1" | grep -q '"points":\[{' \
+  && ! grep '"id":"q3"' "$ROUND1" | grep -q '"points":\[\]' \
+  || fail "frontier sweep returned an empty staircase"
 grep '"id":"bad"' "$ROUND1" | grep -q '"error":"bad_request"' \
   || fail "malformed request did not get a bad_request error"
 grep '"id":"s"' "$ROUND1" | grep -q '"requests":{"check":1,' \
   || fail "round 1 stats did not count one check"
 
 # Round 2: same answers, now from warm caches.
-for id in q1 q2; do
+for id in q1 q2 q3; do
   [ "$(grep "\"id\":\"$id\"" "$ROUND1")" = "$(grep "\"id\":\"$id\"" "$ROUND2")" ] \
     || fail "round 2 response for $id differs from round 1"
 done
@@ -114,7 +122,7 @@ done
 [ -n "$PORT" ] || fail "TCP daemon never reported its port"
 
 workload | "$CLIENT" --tcp "127.0.0.1:$PORT" --timeout 10 > "$TCPROUND"
-for id in q1 q2 bad; do
+for id in q1 q2 q3 bad; do
   [ "$(grep "\"id\":\"$id\"" "$ROUND1")" = "$(grep "\"id\":\"$id\"" "$TCPROUND")" ] \
     || fail "TCP response for $id differs from the socket round"
 done

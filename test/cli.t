@@ -269,6 +269,70 @@ generators straight into the checker:
   $ echo '{"queries": ["P=? ( F[t<=2] call_initiated )"]}' | csrl-check --model adhoc --batch -
   {"tool":"csrl-check","mode":"batch","engine":"occupation-time(eps=1e-09)","jobs":1,"queries":1,"results":[{"name":"q0","query":"P=? (F[t<=2] call_initiated)","kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}],"cache":{"path":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduced":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"reduction":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"sat":{"lookups":2,"hits":0,"misses":2,"hit_rate":0},"until":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"fox_glynn":{"lookups":1,"hits":0,"misses":1,"hit_rate":0}}}
 
+Frontier queries: --frontier sweeps the two-cost Pareto boundary
+{(t, r) : P(phi U[t<=T][r<=R] psi) >= p} over one warm checking
+context, bisecting the reward budget per time-grid row and emitting the
+staircase corners.  JSON includes the shared-cache report (the
+reduction runs once and is reused for every probe):
+
+  $ csrl-check --model adhoc --frontier json 'frontier[5] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )'
+  {"tool":"csrl-check","mode":"frontier","engine":"occupation-time(eps=1e-09)","jobs":1,"query":"frontier[5] P>=0.3 ((call_idle | doze) U[t<=6][r<=600] call_initiated)","target":0.3,"time_bound":6,"reward_bound":600,"grid":5,"tolerance":1e-06,"evaluations":113,"points":[{"t":2.4,"r":114.71346739467296,"probability":0.30000000082192335},{"t":3.6,"r":105.92465057536288,"probability":0.30000000028304658},{"t":4.8,"r":105.83486019406638,"probability":0.30000000041229524},{"t":6,"r":105.83485197275877,"probability":0.30000000064211185}],"cache":{"path":{"lookups":113,"hits":0,"misses":113,"hit_rate":0},"reduced":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduction":{"lookups":113,"hits":112,"misses":1,"hit_rate":0.99115044247787609},"sat":{"lookups":228,"hits":224,"misses":4,"hit_rate":0.98245614035087714},"until":{"lookups":113,"hits":0,"misses":113,"hit_rate":0},"fox_glynn":{"lookups":339,"hits":333,"misses":6,"hit_rate":0.98230088495575218}}}
+
+The CSV renderer emits the same staircase for plotting:
+
+  $ csrl-check --model adhoc --frontier csv 'frontier[5] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )'
+  t,r,probability
+  2.3999999999999999,114.71346739467296,0.30000000082192335
+  3.6000000000000001,105.92465057536288,0.30000000028304658
+  4.7999999999999998,105.83486019406638,0.30000000041229524
+  6,105.83485197275877,0.30000000064211185
+
+--stats records the sweep counters, and they are deterministic:
+
+  $ csrl-check --model adhoc --frontier json --stats 'frontier[5] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )' | grep 'frontier\.'
+    frontier.evaluations = 113
+    frontier.grid = 5
+    frontier.points = 4
+
+Batch files mix frontier entries with scalar queries over the same
+shared memo; the sweep result carries "kind":"frontier":
+
+  $ cat > frontier-batch.json <<'EOF'
+  > {"queries": [
+  >   {"name": "plain", "query": "P=? ( F[t<=2] doze )"},
+  >   {"name": "sweep", "query": "frontier[3] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )"}
+  > ]}
+  > EOF
+
+  $ csrl-check --model adhoc --batch frontier-batch.json
+  {"tool":"csrl-check","mode":"batch","engine":"occupation-time(eps=1e-09)","jobs":1,"queries":2,"results":[{"name":"plain","query":"P=? (F[t<=2] doze)","kind":"numeric","value":0.99999670110030692,"states":[0.99999670110030692,0.99999414829848376,0.99999388991626148,0.99999247618168241,0.99999414985370527,0.999992643261916,0.99999354910022,0.99999226684266951,0.99999999953297447]},{"name":"sweep","query":"frontier[3] P>=0.3 ((call_idle | doze) U[t<=6][r<=600] call_initiated)","kind":"frontier","target":0.3,"time_bound":6,"reward_bound":600,"grid":3,"tolerance":1e-06,"evaluations":63,"points":[{"t":4,"r":105.84490701570557,"probability":0.30000000088674905},{"t":6,"r":105.83485197275877,"probability":0.30000000064211185}]}],"cache":{"path":{"lookups":64,"hits":0,"misses":64,"hit_rate":0},"reduced":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduction":{"lookups":63,"hits":62,"misses":1,"hit_rate":0.98412698412698407},"sat":{"lookups":130,"hits":125,"misses":5,"hit_rate":0.96153846153846156},"until":{"lookups":63,"hits":0,"misses":63,"hit_rate":0},"fox_glynn":{"lookups":190,"hits":186,"misses":4,"hit_rate":0.97894736842105268}}}
+
+Malformed frontier specs fail fast with exit 2:
+
+  $ csrl-check --model adhoc --frontier xml 'frontier[5] P>=0.3 ( doze U[t<=1][r<=2] call_initiated )'
+  --frontier needs "json" or "csv", not "xml"
+  [2]
+
+  $ csrl-check --model adhoc --frontier csv 'P=? ( F[t<=2] doze )'
+  --frontier needs a frontier query, e.g. 'frontier[20] P>=0.5 ( a U[t<=10][r<=50] b )'
+  [2]
+
+  $ csrl-check --model adhoc --frontier json --batch frontier-batch.json
+  --frontier cannot be combined with --batch
+  [2]
+
+  $ csrl-check --model adhoc 'frontier P>=0.5 ( X[t<=1] doze )'
+  parse error at position 32: frontier needs an 'until' (or 'F') path formula
+  [2]
+
+  $ csrl-check --model adhoc 'frontier P>=0.5 ( doze U[t<=1] call_initiated )'
+  parse error at position 47: frontier needs finite downward-closed bounds ([t<=T][r<=R])
+  [2]
+
+  $ csrl-check --model adhoc 'frontier[0] P>=0.5 ( doze U[t<=1][r<=2] call_initiated )'
+  parse error at position 10: frontier needs a positive whole number of points
+  [2]
+
 Numeric flags are validated before any work starts:
 
   $ csrl-check --model adhoc --epsilon 1.5 'true'

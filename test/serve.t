@@ -3,7 +3,9 @@ per line, strictly in request order.  The check result object carries
 the same floats as the csrl-check --batch run of the same query in
 cli.t (0.37447743176383741...) — the daemon's bit-identity claim.  A
 microscopic deadline expires while the request waits behind the first
-check, a malformed line and bad queries are answered without killing
+check, a frontier sweep answers with its staircase corners (and a
+non-frontier query behind the frontier kind is a bad_request), a
+malformed line and bad queries are answered without killing
 the session, eviction makes later requests (but not earlier ones) fail,
 and everything after shutdown is refused:
 
@@ -13,6 +15,8 @@ and everything after shutdown is refused:
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c1"}
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c2", "deadline_ms": 0.000001}
   > {"kind": "quantile", "model": "adhoc", "query": "P=? ( true U[t<=1] doze )", "variable": "t", "target": 0.5, "hi": 24}
+  > {"kind": "frontier", "model": "adhoc", "query": "frontier[3] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )", "id": "f1"}
+  > {"kind": "frontier", "model": "adhoc", "query": "P=? ( F[t<=2] doze )", "id": "f2"}
   > not json
   > {"kind": "check", "model": "adhoc", "query": "P=? ( oops"}
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] no_such_prop )"}
@@ -27,12 +31,14 @@ and everything after shutdown is refused:
   {"ok":true,"kind":"check","id":"c1","model":"adhoc","query":"P=? (F[t<=2] call_initiated)","result":{"kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}}
   {"ok":false,"error":"deadline_exceeded","message":"deadline of 1e-06 ms expired in the queue","id":"c2"}
   {"ok":true,"kind":"quantile","model":"adhoc","variable":"t","target":0.5,"hi":24,"tolerance":1e-06,"value":0.072197198867797852,"achieved":0.50000107668197113,"evaluations":26}
+  {"ok":true,"kind":"frontier","id":"f1","model":"adhoc","query":"frontier[3] P>=0.3 ((call_idle | doze) U[t<=6][r<=600] call_initiated)","target":0.3,"time_bound":6,"reward_bound":600,"grid":3,"tolerance":1e-06,"points":[{"t":4,"r":105.84490701570557,"probability":0.30000000088674905},{"t":6,"r":105.83485197275877,"probability":0.30000000064211185}],"evaluations":63}
+  {"ok":false,"error":"bad_request","message":"frontier needs a frontier query: 'frontier[N] P>=p ( phi U[t<=T][r<=R] psi )'","id":"f2"}
   {"ok":false,"error":"parse_error","message":"JSON parse error at offset 0: expected null"}
   {"ok":false,"error":"query_parse_error","message":"parse error at position 10: expected 'U' in a path formula"}
   {"ok":false,"error":"unknown_proposition","message":"unknown atomic proposition \"no_such_prop\""}
   {"ok":true,"kind":"evict","model":"adhoc"}
   {"ok":false,"error":"unknown_model","message":"model \"adhoc\" is not loaded","id":"gone"}
-  {"ok":true,"kind":"stats","requests":{"check":5,"evict":1,"list":1,"load":1,"quantile":1,"shutdown":0,"stats":1,"total":10},"errors":5,"overloaded":0,"deadline_exceeded":1,"models":[],"fox_glynn":{"lookups":27,"hits":0,"misses":27,"hit_rate":0}}
+  {"ok":true,"kind":"stats","requests":{"check":5,"evict":1,"frontier":2,"list":1,"load":1,"quantile":1,"shutdown":0,"stats":1,"total":12},"errors":6,"overloaded":0,"deadline_exceeded":1,"models":[],"fox_glynn":{"lookups":216,"hits":186,"misses":30,"hit_rate":0.86111111111111116}}
   {"ok":true,"kind":"shutdown"}
   {"ok":false,"error":"shutting_down","message":"the server is draining and stops accepting requests","id":"late"}
 
@@ -49,7 +55,7 @@ counted, its path-probability vector sitting in the warm cache), and
   $ csrl-client --connect sv.sock <<'EOF'
   > {"kind": "stats"}
   > EOF
-  {"ok":true,"kind":"stats","requests":{"check":1,"evict":0,"list":0,"load":0,"quantile":0,"shutdown":0,"stats":1,"total":2},"errors":0,"overloaded":0,"deadline_exceeded":0,"models":[{"name":"adhoc","states":9,"cache":{"path":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduced":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"reduction":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"sat":{"lookups":2,"hits":0,"misses":2,"hit_rate":0},"until":{"lookups":0,"hits":0,"misses":0,"hit_rate":0}}}],"fox_glynn":{"lookups":1,"hits":0,"misses":1,"hit_rate":0}}
+  {"ok":true,"kind":"stats","requests":{"check":1,"evict":0,"frontier":0,"list":0,"load":0,"quantile":0,"shutdown":0,"stats":1,"total":2},"errors":0,"overloaded":0,"deadline_exceeded":0,"models":[{"name":"adhoc","states":9,"cache":{"path":{"lookups":1,"hits":0,"misses":1,"hit_rate":0},"reduced":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"reduction":{"lookups":0,"hits":0,"misses":0,"hit_rate":0},"sat":{"lookups":2,"hits":0,"misses":2,"hit_rate":0},"until":{"lookups":0,"hits":0,"misses":0,"hit_rate":0}}}],"fox_glynn":{"lookups":1,"hits":0,"misses":1,"hit_rate":0}}
   $ csrl-client --connect sv.sock --shutdown < /dev/null
   {"ok":true,"kind":"shutdown"}
   $ wait
@@ -71,6 +77,8 @@ Fox-Glynn cache numbers are pinned:
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c1"}
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] call_initiated )", "id": "c2", "deadline_ms": 0.000001}
   > {"kind": "quantile", "model": "adhoc", "query": "P=? ( true U[t<=1] doze )", "variable": "t", "target": 0.5, "hi": 24}
+  > {"kind": "frontier", "model": "adhoc", "query": "frontier[3] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] call_initiated )", "id": "f1"}
+  > {"kind": "frontier", "model": "adhoc", "query": "P=? ( F[t<=2] doze )", "id": "f2"}
   > not json
   > {"kind": "check", "model": "adhoc", "query": "P=? ( oops"}
   > {"kind": "check", "model": "adhoc", "query": "P=? ( F[t<=2] no_such_prop )"}
@@ -85,12 +93,14 @@ Fox-Glynn cache numbers are pinned:
   {"ok":true,"kind":"check","id":"c1","model":"adhoc","query":"P=? (F[t<=2] call_initiated)","result":{"kind":"numeric","value":0.37447743176383741,"states":[0.37447743176383741,0.39532269446725171,0.99999999957017827,0.99999999957017827,0.37002281863804021,0.38084974756258644,0.36892934159203661,0.37766703858787765,0.33644263477458075]}}
   {"ok":false,"error":"deadline_exceeded","message":"deadline of 1e-06 ms expired in the queue","id":"c2"}
   {"ok":true,"kind":"quantile","model":"adhoc","variable":"t","target":0.5,"hi":24,"tolerance":1e-06,"value":0.072197198867797852,"achieved":0.50000107668197113,"evaluations":26}
+  {"ok":true,"kind":"frontier","id":"f1","model":"adhoc","query":"frontier[3] P>=0.3 ((call_idle | doze) U[t<=6][r<=600] call_initiated)","target":0.3,"time_bound":6,"reward_bound":600,"grid":3,"tolerance":1e-06,"points":[{"t":4,"r":105.84490701570557,"probability":0.30000000088674905},{"t":6,"r":105.83485197275877,"probability":0.30000000064211185}],"evaluations":63}
+  {"ok":false,"error":"bad_request","message":"frontier needs a frontier query: 'frontier[N] P>=p ( phi U[t<=T][r<=R] psi )'","id":"f2"}
   {"ok":false,"error":"parse_error","message":"JSON parse error at offset 0: expected null"}
   {"ok":false,"error":"query_parse_error","message":"parse error at position 10: expected 'U' in a path formula"}
   {"ok":false,"error":"unknown_proposition","message":"unknown atomic proposition \"no_such_prop\""}
   {"ok":true,"kind":"evict","model":"adhoc"}
   {"ok":false,"error":"unknown_model","message":"model \"adhoc\" is not loaded","id":"gone"}
-  {"ok":true,"kind":"stats","requests":{"check":5,"evict":1,"list":1,"load":1,"quantile":1,"shutdown":0,"stats":1,"total":10},"errors":5,"overloaded":0,"deadline_exceeded":1,"models":[],"fox_glynn":{"lookups":27,"hits":0,"misses":27,"hit_rate":0}}
+  {"ok":true,"kind":"stats","requests":{"check":5,"evict":1,"frontier":2,"list":1,"load":1,"quantile":1,"shutdown":0,"stats":1,"total":12},"errors":6,"overloaded":0,"deadline_exceeded":1,"models":[],"fox_glynn":{"lookups":216,"hits":186,"misses":30,"hit_rate":0.86111111111111116}}
   {"ok":true,"kind":"shutdown"}
   {"ok":false,"error":"shutting_down","message":"the server is draining and stops accepting requests","id":"late"}
 

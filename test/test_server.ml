@@ -75,6 +75,9 @@ let gen_envelope =
          return
            (Protocol.Quantile
               { model; query; variable; target; hi; tolerance; deadline_ms }));
+        (let* model = name and* query = query and* deadline_ms = deadline in
+         let* tolerance = oneofl [ 1e-9; 1e-6; 0.125 ] in
+         return (Protocol.Frontier { model; query; tolerance; deadline_ms }));
         return Protocol.Stats;
         return Protocol.Shutdown ]
   in
@@ -130,6 +133,10 @@ let bad_requests () =
       ({|{"kind": "quantile", "model": "m", "query": "q", "variable": "t",
          "target": 1.5, "hi": 1}|}, "bad_request");
       ({|{"kind": "check", "model": "m", "query": "q", "deadline_ms": -1}|},
+       "bad_request");
+      ({|{"kind": "frontier", "query": "frontier P>=0.5 ( a U[t<=1][r<=1] b )"}|},
+       "bad_request");
+      ({|{"kind": "frontier", "model": "m", "query": "q", "tolerance": 0}|},
        "bad_request");
       ({|[1, 2]|}, "bad_request");
       ({|{"kind": "check"|}, "parse_error") ]
@@ -232,6 +239,67 @@ let quantile_request () =
     (eval value >= 0.5);
   Alcotest.(check bool) "bound is tight" true
     (eval (value -. 1e-5) < 0.5)
+
+(* A served frontier request is the same sweep Batch.Frontier runs: each
+   emitted staircase point must be bit-identical to a hand Checker
+   solve of its exact (t, r) bounds on a fresh context. *)
+let frontier_request () =
+  let service = fresh_service () in
+  let response =
+    Service.execute service
+      { Protocol.id = None;
+        request =
+          Protocol.Frontier
+            { model = "adhoc";
+              query =
+                "frontier[5] P>=0.3 ( (call_idle | doze) U[t<=6][r<=600] \
+                 call_initiated )";
+              tolerance = 1e-6;
+              deadline_ms = None } }
+  in
+  let points =
+    match member [ "points" ] response with
+    | Some (Io.Json.List points) -> points
+    | _ -> Alcotest.failf "no points list in %s" (json_str response)
+  in
+  if points = [] then Alcotest.failf "empty staircase: %s" (json_str response);
+  let mrm, labeling, init = adhoc () in
+  List.iter
+    (fun point ->
+      let field key =
+        match Option.bind (member [ key ] point) Io.Json.to_float with
+        | Some v -> v
+        | None -> Alcotest.failf "point missing %S in %s" key (json_str point)
+      in
+      let t = field "t" and r = field "r" and p = field "probability" in
+      Numerics.Fox_glynn.cache_clear ();
+      let ctx = Checker.make mrm labeling in
+      let q =
+        Printf.sprintf
+          "P=? ( (call_idle | doze) U[t<=%.17g][r<=%.17g] call_initiated )" t r
+      in
+      let cold =
+        match Checker.eval_query ctx (Logic.Parser.query q) with
+        | Checker.Numeric v -> Linalg.Vec.dot init v
+        | Checker.Boolean _ -> Alcotest.fail "boolean verdict"
+      in
+      if Int64.bits_of_float p <> Int64.bits_of_float cold then
+        Alcotest.failf "point (t=%.17g, r=%.17g): served %.17g != cold %.17g"
+          t r p cold)
+    points;
+  (* A non-frontier query behind the frontier kind is a bad request. *)
+  match
+    Service.execute service
+      { Protocol.id = Some "f2";
+        request =
+          Protocol.Frontier
+            { model = "adhoc"; query = "P=? ( F[t<=2] doze )";
+              tolerance = 1e-6; deadline_ms = None } }
+  with
+  | Io.Json.Object fields
+    when List.assoc_opt "error" fields = Some (Io.Json.String "bad_request") ->
+    ()
+  | other -> Alcotest.failf "expected bad_request, got %s" (json_str other)
 
 (* ------------------------------------------------------------------ *)
 (* Service semantics.                                                  *)
@@ -814,6 +882,8 @@ let suite =
       Alcotest.test_case "quantile: bisection" `Quick quantile_search;
       Alcotest.test_case "quantile: request vs hand inversion" `Quick
         quantile_request;
+      Alcotest.test_case "frontier: request vs hand solves" `Quick
+        frontier_request;
       Alcotest.test_case "service: differential vs Checker" `Quick
         differential_check;
       Alcotest.test_case "service: deadline mid-Sericola" `Quick

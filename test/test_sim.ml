@@ -199,6 +199,76 @@ let test_simulation_oracle_brackets_sericola () =
           wilson.Sim.Estimate.hits wilson.Sim.Estimate.samples numerical)
     [ 1L; 2L; 3L; 5L; 8L; 13L ]
 
+(* The simulation oracle extended to the two-cost frontier: on the same
+   seeded random problems, sweep a small frontier at 60% of the
+   probability attainable at the full bounds, then Monte-Carlo estimate
+   the interior staircase point's exact (t, r) bounds and require the
+   Wilson 99% interval to bracket the sweep's probability.  The sweep's
+   last grid row is the full-bounds problem, so a target below the
+   attainable probability guarantees at least one emitted point; seeds
+   whose attainable probability is too small for a meaningful frontier
+   are skipped, and the test fails if every seed were skipped. *)
+let test_simulation_oracle_brackets_frontier () =
+  let exercised = ref 0 in
+  List.iter
+    (fun seed ->
+      let p =
+        Models.Random_mrm.generate_problem ~seed Models.Random_mrm.default
+      in
+      let eval ~t ~r =
+        Perf.Sericola.solve ~epsilon:1e-9
+          (Perf.Problem.make p.Perf.Problem.mrm ~init:p.Perf.Problem.init
+             ~goal:p.Perf.Problem.goal ~time_bound:t ~reward_bound:r)
+      in
+      let pmax =
+        eval ~t:p.Perf.Problem.time_bound ~r:p.Perf.Problem.reward_bound
+      in
+      if pmax >= 0.05 then begin
+        incr exercised;
+        let target = 0.6 *. pmax in
+        let s =
+          Perf.Frontier.sweep ~eval ~target
+            ~time_bound:p.Perf.Problem.time_bound
+            ~reward_bound:p.Perf.Problem.reward_bound ~points:8
+            ~tolerance:1e-3
+        in
+        let points = s.Perf.Frontier.points in
+        if points = [] then
+          Alcotest.failf "seed %Ld: empty staircase despite pmax %.5f" seed
+            pmax;
+        let interior = List.nth points (List.length points / 2) in
+        let init =
+          let found = ref (-1) in
+          Array.iteri
+            (fun st mass -> if mass > 0.5 then found := st)
+            (Linalg.Vec.to_array p.Perf.Problem.init);
+          !found
+        in
+        let rng = Sim.Rng.create ~seed:(Int64.add seed 2000L) in
+        let raw =
+          Sim.Estimate.reward_bounded_reachability rng p.Perf.Problem.mrm
+            ~init ~goal:p.Perf.Problem.goal
+            ~time_bound:interior.Perf.Frontier.t
+            ~reward_bound:interior.Perf.Frontier.r ~samples:20_000
+        in
+        let wilson =
+          Sim.Estimate.wilson_interval ~confidence:0.99
+            ~hits:raw.Sim.Estimate.hits raw.Sim.Estimate.samples
+        in
+        if not (Sim.Estimate.contains wilson interior.Perf.Frontier.probability)
+        then
+          Alcotest.failf
+            "seed %Ld: Wilson CI %.5f +- %.5f (%d/%d hits) misses the \
+             frontier point (t=%.5f, r=%.5f, p=%.8f)"
+            seed wilson.Sim.Estimate.mean wilson.Sim.Estimate.half_width
+            wilson.Sim.Estimate.hits wilson.Sim.Estimate.samples
+            interior.Perf.Frontier.t interior.Perf.Frontier.r
+            interior.Perf.Frontier.probability
+      end)
+    [ 1L; 2L; 3L; 5L; 8L; 13L ];
+  if !exercised = 0 then
+    Alcotest.fail "every seed was skipped: no frontier exercised at all"
+
 let test_until_estimator_phi_constraint () =
   (* a -> b -> goal with phi = {a}: the simulated until probability must
      be ~0 because every path passes b. *)
@@ -240,5 +310,7 @@ let suite =
       Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
       Alcotest.test_case "simulation oracle brackets sericola" `Quick
         test_simulation_oracle_brackets_sericola;
+      Alcotest.test_case "simulation oracle brackets the frontier" `Quick
+        test_simulation_oracle_brackets_frontier;
       Alcotest.test_case "until estimator" `Quick
         test_until_estimator_phi_constraint ] )
