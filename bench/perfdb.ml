@@ -133,7 +133,33 @@ let workloads =
           fun () ->
             ignore
               (Perf.Engine.solve ~reduction:Perf.Reduction.default spec p
-                : float)) } ]
+                : float)) };
+    { name = "windowed_transient";
+      descr = "sliding-window truncated uniformisation on the .gcm grid";
+      prepare =
+        (fun () ->
+          let src = Models.Gcm_examples.grid ~frontier_at:40 ~n:120 () in
+          let succ =
+            match Lang.Gcm.of_string src with
+            | Ok succ -> succ
+            | Error message -> failwith message
+          in
+          let classify s =
+            if succ.Explore.Succ.holds s "frontier" then
+              Explore.Windowed.Absorb { goal = true }
+            else Explore.Windowed.Transient { counts = false }
+          in
+          fun () ->
+            (* A fresh space per run: state discovery and interning are
+               part of the measured kernel, like a cold CLI check. *)
+            for _ = 1 to 3 do
+              let space = Explore.Space.create succ in
+              ignore
+                (Explore.Windowed.solve ~epsilon:1e-9 ~classify
+                   ~init:[ (succ.Explore.Succ.initial, 1.0) ]
+                   ~t:12.0 ~reward_bound:None space
+                  : Explore.Windowed.outcome)
+            done) } ]
 
 let workload_names = List.map (fun w -> w.name) workloads
 

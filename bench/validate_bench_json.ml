@@ -28,13 +28,14 @@ let () =
   let require_frontier = List.mem "--require-frontier" args in
   let require_serve = List.mem "--require-serve" args in
   let require_serve_scale = List.mem "--require-serve-scale" args in
+  let require_explore = List.mem "--require-explore" args in
   let path =
     match
       List.filter
         (fun a ->
           a <> "--require-batch" && a <> "--require-reduce"
           && a <> "--require-frontier" && a <> "--require-serve"
-          && a <> "--require-serve-scale")
+          && a <> "--require-serve-scale" && a <> "--require-explore")
         args
     with
     | path :: _ -> path
@@ -407,6 +408,89 @@ let () =
                       %.0f cores)"
         requests speedup2 cores
   in
-  Printf.printf "%s: %d entries ok%s%s%s%s%s\n" path (List.length entries)
+  (* The explore section (written by `bench explore`): sliding-window
+     truncated uniformisation on .gcm models.  The certification claims
+     — delta <= epsilon on both instances, agreement with the explicit
+     reference within the certified bound, bit-identity on the
+     untruncated instance, and a >= 10^6-state scaling instance — are
+     asserted exactly.  The windowed-vs-full speedup is gated at the 5x
+     floor (the artifact reports far more on an idle machine: the
+     explicit side pays the full matrix every step while the window
+     stays near the drift front), and the scaling solve must finish in
+     seconds (60 s cap, generous for CI noise: idle machines finish in
+     well under one). *)
+  let explore_summary =
+    match Io.Json.member "explore" doc with
+    | None ->
+      if require_explore then
+        fail "missing \"explore\" section (run `bench explore`)"
+      else ""
+    | Some explore ->
+      let efail fmt = Printf.ksprintf (fun m -> fail "explore: %s" m) fmt in
+      let states = number "states" explore in
+      if not (Float.is_integer states && states >= 40_000.0) then
+        efail "\"states\" is not an integer >= 40000 (%g)" states;
+      let epsilon = number "epsilon" explore in
+      if not (epsilon > 0.0 && epsilon < 1.0) then
+        efail "\"epsilon\" %g out of (0,1)" epsilon;
+      List.iter
+        (fun key ->
+          let v = number key explore in
+          if not (Float.is_finite v && v >= 0.0) then
+            efail "%S is not a non-negative number (%g)" key v)
+        [ "windowed_seconds"; "windowed_best_seconds"; "explicit_seconds";
+          "explicit_best_seconds"; "speedup"; "value"; "reference";
+          "agreement"; "delta" ];
+      let delta = number "delta" explore in
+      if delta > epsilon then
+        efail "certified delta %g exceeds epsilon %g" delta epsilon;
+      if number "agreement" explore > delta +. epsilon then
+        efail "windowed and explicit answers differ by %g (> delta %g + \
+               epsilon %g)"
+          (number "agreement" explore) delta epsilon;
+      if number "speedup" explore < 5.0 then
+        efail "speedup %.2fx below the 5x floor" (number "speedup" explore);
+      let window =
+        match Io.Json.member "window" explore with
+        | Some w -> w
+        | None -> efail "missing \"window\" object"
+      in
+      let peak = number "peak_window" window in
+      if not (Float.is_integer peak && peak >= 1.0) then
+        efail "window \"peak_window\" is not a positive integer (%g)" peak;
+      (* The point of the windowed engine: the active window must be a
+         small fraction of the state space, not a re-enumeration. *)
+      if peak >= states /. 2.0 then
+        efail "peak window %g is not small against %g states" peak states;
+      (match Io.Json.member "bit_identical" explore with
+       | Some (Io.Json.Bool true) -> ()
+       | Some (Io.Json.Bool false) ->
+         efail
+           "truncating run is NOT bit-identical to truncate:false on the \
+            untruncated instance"
+       | _ -> efail "missing boolean \"bit_identical\"");
+      let big =
+        match Io.Json.member "big" explore with
+        | Some b -> b
+        | None -> efail "missing \"big\" object"
+      in
+      let big_states = number "states" big in
+      if not (Float.is_integer big_states && big_states >= 1_000_000.0) then
+        efail "\"big\" instance has %g states (< 10^6)" big_states;
+      let big_seconds = number "seconds" big in
+      if not (Float.is_finite big_seconds && big_seconds >= 0.0) then
+        efail "\"big\" \"seconds\" is not a non-negative number (%g)"
+          big_seconds;
+      if big_seconds > 60.0 then
+        efail "%g-state solve took %g s (> 60 s)" big_states big_seconds;
+      if number "delta" big > epsilon then
+        efail "\"big\" certified delta %g exceeds epsilon %g"
+          (number "delta" big) epsilon;
+      Printf.sprintf
+        ", explore %.0f states (windowed speedup %.1fx), %.0f states in %.2f \
+         s"
+        states (number "speedup" explore) big_states big_seconds
+  in
+  Printf.printf "%s: %d entries ok%s%s%s%s%s%s\n" path (List.length entries)
     batch_summary reduce_summary frontier_summary serve_summary
-    serve_scale_summary
+    serve_scale_summary explore_summary

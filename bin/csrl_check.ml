@@ -251,6 +251,137 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
       if stats then Io.Trace.print_stats stdout tel)
     telemetry
 
+(* ------------------------------------------------------------------ *)
+(* Successor-backed (.gcm) models.                                      *)
+
+(* [--engine windowed] checks the formula directly on the successor
+   function — the state space is explored on demand by the sliding
+   window, so the model is never enumerated.  Any other engine
+   materialises the reachable space (capped) into an explicit model and
+   continues through the ordinary pipeline. *)
+let run_gcm_windowed path ~w_epsilon ~trace ~stats ~list_props ~info ~lump
+    ~batch_file ~frontier_fmt formula_text =
+  let succ =
+    match Lang.Gcm.load_file path with
+    | Ok succ -> succ
+    | Error message -> prerr_endline message; exit 2
+  in
+  if info || lump || batch_file <> None || frontier_fmt <> None then begin
+    prerr_endline
+      "--info, --lump, --batch and --frontier need an explicit state space; \
+       rerun with an explicit engine (e.g. --engine sericola) to materialise \
+       the .gcm model";
+    exit 2
+  end;
+  if list_props then begin
+    Printf.printf "symbolic model: %s (state space explored on demand)\n"
+      path;
+    List.iter (fun p -> Printf.printf "  %s\n" p)
+      succ.Explore.Succ.propositions;
+    exit 0
+  end;
+  let formula_text =
+    match formula_text with
+    | Some f -> f
+    | None ->
+      prerr_endline "no formula given (pass one, or --list-propositions)";
+      exit 2
+  in
+  let query =
+    match Logic.Parser.query formula_text with
+    | query -> query
+    | exception Logic.Parser.Parse_error (message, pos) ->
+      Printf.eprintf "parse error at position %d: %s\n" pos message;
+      exit 2
+  in
+  let telemetry =
+    if trace <> None || stats then
+      Some (Telemetry.create ~clock:monotonic_seconds ())
+    else None
+  in
+  let sym = Perf.Symbolic.create succ in
+  Format.printf "query:  %a@." Logic.Ast.pp_query query;
+  Format.printf "engine: %a@." Perf.Engine.pp_spec
+    (Perf.Engine.Windowed { epsilon = w_epsilon });
+  let print_answer (a : Perf.Symbolic.answer) =
+    Printf.printf "certified interval: [%.12g, %.12g] (delta %.3g <= epsilon %g)\n"
+      a.Perf.Symbolic.lower a.Perf.Symbolic.upper a.Perf.Symbolic.delta
+      w_epsilon;
+    match a.Perf.Symbolic.stats with
+    | Some s ->
+      Printf.printf
+        "window: peak=%d expanded=%d dropped=%.3g iterations=%d restarts=%d \
+         rate=%g\n"
+        s.Explore.Windowed.peak_window s.Explore.Windowed.states_expanded
+        s.Explore.Windowed.mass_dropped s.Explore.Windowed.iterations
+        s.Explore.Windowed.restarts s.Explore.Windowed.rate
+    | None ->
+      print_endline
+        "solved via the materialised explicit model (reward bound active \
+         inside the window)"
+  in
+  let finish () =
+    Option.iter
+      (fun tel ->
+        (match trace with
+         | None -> ()
+         | Some trace_path ->
+           let document =
+             Io.Json.Object
+               [ ("tool", Io.Json.String "csrl-check");
+                 ("mode", Io.Json.String "symbolic");
+                 ("model", Io.Json.String path);
+                 ("query",
+                  Io.Json.String
+                    (Format.asprintf "%a" Logic.Ast.pp_query query));
+                 ("telemetry", Io.Trace.to_json tel) ]
+           in
+           Out_channel.with_open_text trace_path (fun oc ->
+               output_string oc (Io.Json.to_string document);
+               output_char oc '\n'));
+        if stats then Io.Trace.print_stats stdout tel)
+      telemetry
+  in
+  match Perf.Symbolic.eval ?telemetry ~epsilon:w_epsilon sym query with
+  | exception Perf.Symbolic.Unsupported reason ->
+    Printf.eprintf "unsupported on a successor-backed model: %s\n" reason;
+    exit 2
+  | exception Markov.Labeling.Unknown_proposition p ->
+    Printf.eprintf "unknown proposition %S\n" p;
+    exit 2
+  | exception Lang.Gcm.Runtime_error message ->
+    Printf.eprintf "%s: runtime error: %s\n" path message;
+    exit 2
+  | Perf.Symbolic.Numeric a ->
+    Printf.printf "value from the initial state: %.10f\n" a.Perf.Symbolic.value;
+    print_answer a;
+    finish ()
+  | Perf.Symbolic.Boolean (verdict, answer) ->
+    Printf.printf "verdict at the initial state: %s\n"
+      (if verdict then "SATISFIED" else "violated");
+    Option.iter print_answer answer;
+    finish ();
+    if not verdict then exit 1
+
+let materialise_gcm path =
+  let succ =
+    match Lang.Gcm.load_file path with
+    | Ok succ -> succ
+    | Error message -> prerr_endline message; exit 2
+  in
+  match Explore.Materialise.materialise (Explore.Space.create succ) with
+  | Error n ->
+    Printf.eprintf
+      "%s: more than %d reachable states; explicit engines cannot \
+       materialise it — use --engine windowed\n"
+      path n;
+    exit 2
+  | exception Lang.Gcm.Runtime_error message ->
+    Printf.eprintf "%s: runtime error: %s\n" path message;
+    exit 2
+  | Ok (mrm, labeling, init_id) ->
+    (mrm, labeling, Linalg.Vec.unit (Markov.Mrm.n_states mrm) init_id)
+
 let run model_name file engine_text epsilon jobs trace stats list_props info
     lump no_reduce batch_file frontier_fmt formula_text =
   let jobs =
@@ -263,6 +394,28 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     prerr_endline "--epsilon needs a value in (0,1)";
     exit 2
   end;
+  let gcm_path =
+    match file with
+    | Some path when Filename.check_suffix path ".gcm" -> Some path
+    | Some _ -> None
+    | None ->
+      if Filename.check_suffix model_name ".gcm" then Some model_name else None
+  in
+  (match gcm_path with
+   | Some path -> begin
+       match Perf.Engine.of_string engine_text with
+       | Ok (Perf.Engine.Windowed { epsilon = e }) ->
+         (* [windowed:eps] wins over --epsilon; bare [windowed] (parsed
+            at the 1e-9 default) honours --epsilon. *)
+         let w_epsilon =
+           if String.contains engine_text ':' then e else epsilon
+         in
+         run_gcm_windowed path ~w_epsilon ~trace ~stats ~list_props ~info
+           ~lump ~batch_file ~frontier_fmt formula_text;
+         exit 0
+       | Ok _ | Error _ -> ()
+     end
+   | None -> ());
   (match frontier_fmt with
    | None | Some "json" | Some "csv" -> ()
    | Some other ->
@@ -273,11 +426,12 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     exit 2
   end;
   let document =
-    match file, model_name with
-    | Some path, _ ->
+    match gcm_path, file, model_name with
+    | Some path, _, _ -> materialise_gcm path
+    | None, Some path, _ ->
       let doc = Io.Mrm_format.parse_file path in
       (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling, doc.Io.Mrm_format.init)
-    | None, name -> begin
+    | None, None, name -> begin
         match Models.Builtin.load name with
         | Some triple -> triple
         | None ->
@@ -467,17 +621,27 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
 open Cmdliner
 
 let model_arg =
-  let doc = "Built-in model to check (adhoc, adhoc-srn, multiprocessor, cluster)." in
+  let doc =
+    "Built-in model to check (adhoc, adhoc-srn, multiprocessor, cluster), or \
+     a path to a .gcm guarded-command program (checked on the fly with \
+     --engine windowed, materialised otherwise)."
+  in
   Arg.(value & opt string "adhoc" & info [ "m"; "model" ] ~docv:"NAME" ~doc)
 
 let file_arg =
-  let doc = "Load the model from a .mrm file instead of a built-in." in
+  let doc =
+    "Load the model from a .mrm file (explicit) or .gcm file \
+     (guarded-command program) instead of a built-in."
+  in
   Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"PATH" ~doc)
 
 let engine_arg =
   let doc =
     "Numerical engine for time- and reward-bounded until: sericola[:eps], \
-     erlang[:phases] or discretise[:step]."
+     erlang[:phases], discretise[:step] or windowed[:eps] (sliding-window \
+     truncated uniformisation with a certified error bound; the only \
+     engine that checks .gcm models without enumerating their state \
+     space)."
   in
   Arg.(value & opt string "sericola" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 

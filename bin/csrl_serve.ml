@@ -257,7 +257,12 @@ let cmd =
          \"query\": CSRL, \"variable\": \"t\"|\"r\", \"target\": P, \
          \"hi\": BOUND[, \"tolerance\": W][, \"deadline_ms\": MS]}, \
          {\"kind\": \"stats\"}, {\"kind\": \"shutdown\"}.  Every request \
-         may carry an \"id\" string, echoed in its response." ]
+         may carry an \"id\" string, echoed in its response.  A \"file\" \
+         ending in .gcm loads a guarded-command program as a symbolic \
+         model: checks run the sliding-window engine on demand and answer \
+         with a certified interval, the interned state space and query \
+         memo stay warm across checks (each load gets independent \
+         caches), and quantile/frontier report unsupported." ]
   in
   Cmd.v
     (Cmd.info "csrl-serve" ~version:"1.0.0" ~doc ~man)

@@ -1,0 +1,30 @@
+let materialise ?limit space =
+  match Space.close ?limit space with
+  | Error n -> Error n
+  | Ok () ->
+    let n = Space.n_states space in
+    let succ = Space.model space in
+    let triples = ref [] in
+    for id = n - 1 downto 0 do
+      let ids = Space.succ_ids space id in
+      let rates = Space.succ_rates space id in
+      for k = Array.length ids - 1 downto 0 do
+        triples := (id, ids.(k), rates.(k)) :: !triples
+      done
+    done;
+    let ctmc = Markov.Ctmc.of_transitions ~n !triples in
+    let rewards = Array.init n (fun id -> Space.reward space id) in
+    let mrm = Markov.Mrm.make ctmc ~rewards in
+    let props =
+      List.map
+        (fun a ->
+          let members = ref [] in
+          for id = n - 1 downto 0 do
+            if succ.Succ.holds (Space.state space id) a then
+              members := id :: !members
+          done;
+          (a, !members))
+        succ.Succ.propositions
+    in
+    let labeling = Markov.Labeling.make ~n props in
+    Ok (mrm, labeling, 0)

@@ -1,0 +1,18 @@
+(** Turning an explored space back into an explicit model.
+
+    The escape hatch for analyses the windowed engine cannot certify
+    (active reward bounds, steady-state, quantiles): explore the space to
+    closure and rebuild an explicit {!Markov.Mrm.t} plus labeling over
+    the interned ids, then run the ordinary engines on it.  Ids carry
+    over unchanged, so results can be mapped back to valuations with
+    {!Space.state}. *)
+
+val materialise :
+  ?limit:int ->
+  Space.t ->
+  (Markov.Mrm.t * Markov.Labeling.t * int, int) result
+(** [materialise space] closes the space (see {!Space.close}; [limit]
+    defaults to its [1_000_000]) and, on success, returns the explicit
+    model over ids [0 .. n_states - 1], the labeling evaluated from the
+    model's propositions, and the initial state's id ([0]).  [Error n]
+    reports that closure exceeded [limit] after interning [n] states. *)

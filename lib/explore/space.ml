@@ -1,0 +1,106 @@
+(* Growable parallel arrays indexed by state id.  A tiny hand-rolled
+   dynarray (OCaml 5.1 has no stdlib one): doubling float/int/obj
+   buffers, never shrunk.  Ids are assigned densely in discovery order,
+   which is what makes every downstream iteration deterministic. *)
+
+type t = {
+  succ : Succ.t;
+  table : (Succ.state, int) Hashtbl.t;
+  mutable states : Succ.state array;       (* id -> valuation *)
+  mutable rewards : float array;           (* id -> rho *)
+  mutable sids : int array array;          (* id -> successor ids, [||] + unexpanded flag *)
+  mutable srates : float array array;      (* id -> successor rates *)
+  mutable exits : float array;             (* id -> total outgoing rate *)
+  mutable expanded : bool array;
+  mutable n : int;
+  mutable n_expanded : int;
+  mutable n_transitions : int;
+}
+
+let dummy_state : Succ.state = [||]
+
+let grow t =
+  let cap = Array.length t.expanded in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let extend a fill = Array.append a (Array.make (cap' - cap) fill) in
+  t.states <- extend t.states dummy_state;
+  t.rewards <- extend t.rewards 0.0;
+  t.sids <- extend t.sids [||];
+  t.srates <- extend t.srates [||];
+  t.exits <- extend t.exits 0.0;
+  t.expanded <- extend t.expanded false
+
+let intern t s =
+  match Hashtbl.find_opt t.table s with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id >= Array.length t.expanded then grow t;
+    let s = Array.copy s in
+    Hashtbl.add t.table s id;
+    t.states.(id) <- s;
+    let rho = t.succ.Succ.reward s in
+    if not (rho >= 0.0 && Float.is_finite rho) then
+      invalid_arg
+        (Printf.sprintf "Space: state %s has reward %g (must be finite, >= 0)"
+           (Succ.describe t.succ s) rho);
+    t.rewards.(id) <- rho;
+    t.n <- id + 1;
+    id
+
+let create succ =
+  let t =
+    { succ; table = Hashtbl.create 1024; states = [||]; rewards = [||];
+      sids = [||]; srates = [||]; exits = [||]; expanded = [||]; n = 0;
+      n_expanded = 0; n_transitions = 0 }
+  in
+  ignore (intern t succ.Succ.initial : int);
+  t
+
+let model t = t.succ
+let state t id = t.states.(id)
+let n_states t = t.n
+let n_expanded t = t.n_expanded
+let n_transitions t = t.n_transitions
+let reward t id = t.rewards.(id)
+
+let expand t id =
+  if not t.expanded.(id) then begin
+    let outgoing = t.succ.Succ.successors t.states.(id) in
+    let k = List.length outgoing in
+    let ids = Array.make k 0 and rates = Array.make k 0.0 in
+    let exit = ref 0.0 in
+    List.iteri
+      (fun i (target, rate) ->
+        if not (rate > 0.0 && Float.is_finite rate) then
+          invalid_arg
+            (Printf.sprintf
+               "Space: transition out of %s has rate %g (must be finite, > 0)"
+               (Succ.describe t.succ t.states.(id)) rate);
+        ids.(i) <- intern t target;
+        rates.(i) <- rate;
+        exit := !exit +. rate)
+      outgoing;
+    (* [intern] may have grown the arrays; write through the record. *)
+    t.sids.(id) <- ids;
+    t.srates.(id) <- rates;
+    t.exits.(id) <- !exit;
+    t.expanded.(id) <- true;
+    t.n_expanded <- t.n_expanded + 1;
+    t.n_transitions <- t.n_transitions + k
+  end
+
+let exit_rate t id = expand t id; t.exits.(id)
+let succ_ids t id = expand t id; t.sids.(id)
+let succ_rates t id = expand t id; t.srates.(id)
+
+let close ?(limit = 1_000_000) t =
+  let rec loop id =
+    if t.n > limit then Error t.n
+    else if id >= t.n then Ok ()
+    else begin
+      expand t id;
+      loop (id + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,34 @@
+type state = int array
+
+type t = {
+  var_names : string array;
+  initial : state;
+  successors : state -> (state * float) list;
+  reward : state -> float;
+  propositions : string list;
+  holds : state -> string -> bool;
+}
+
+let describe t s =
+  String.concat ","
+    (List.init (Array.length s) (fun i ->
+         Printf.sprintf "%s=%d" t.var_names.(i) s.(i)))
+
+let of_mrm mrm labeling ~init =
+  if Markov.Mrm.has_impulses mrm then
+    invalid_arg "Succ.of_mrm: impulse rewards have no successor form";
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Ctmc.n_states chain in
+  if init < 0 || init >= n then invalid_arg "Succ.of_mrm: bad initial state";
+  let rates = Markov.Ctmc.rates chain in
+  { var_names = [| "s" |];
+    initial = [| init |];
+    successors =
+      (fun s ->
+        let src = s.(0) in
+        Linalg.Csr.fold_row rates src ~init:[] ~f:(fun acc j rate ->
+            if j = src || rate = 0.0 then acc else ([| j |], rate) :: acc)
+        |> List.rev);
+    reward = (fun s -> Markov.Mrm.reward mrm s.(0));
+    propositions = Markov.Labeling.propositions labeling;
+    holds = (fun s a -> Markov.Labeling.holds labeling a s.(0)) }

@@ -1,0 +1,42 @@
+(** Successor-function ("symbolic") models.
+
+    An explicit {!Markov.Mrm.t} stores every state and transition up
+    front; a successor-backed model instead describes the chain by a
+    function from a state to its outgoing transitions, so only the
+    states an analysis actually touches are ever built.  This is the
+    interface the guarded-command language ({!Lang}) compiles to and the
+    windowed engine ({!Windowed}) explores.
+
+    States are valuations of bounded integer variables, represented as
+    plain [int array]s (one cell per variable, in declaration order).
+    Two states are the same iff their arrays are structurally equal; the
+    interner ({!Space}) relies on this. *)
+
+type state = int array
+
+type t = {
+  var_names : string array;
+      (** one name per cell of a state, for diagnostics *)
+  initial : state;
+  successors : state -> (state * float) list;
+      (** outgoing transitions as [(target, rate)] pairs, rates [> 0],
+          self-loops already removed, in a deterministic order *)
+  reward : state -> float;  (** the state's reward rate [rho s >= 0] *)
+  propositions : string list;  (** sorted atomic proposition names *)
+  holds : state -> string -> bool;
+      (** whether a proposition labels a state; unknown names raise
+          {!Markov.Labeling.Unknown_proposition} *)
+}
+
+val describe : t -> state -> string
+(** ["x=3,y=0"] — the valuation in variable order. *)
+
+val of_mrm : Markov.Mrm.t -> Markov.Labeling.t -> init:int -> t
+(** Wrap an explicit model as a successor function: states are the
+    singleton valuations [\[|s|\]] of a variable ["s"], transitions come
+    from the rate matrix (self-loop rates dropped — they do not change
+    occupancy), rewards and propositions are the model's own.  Used to
+    run the windowed engine against explicit models for testing and for
+    {!Perf.Engine}'s [windowed] spec.  Impulse rewards are not
+    representable here; wrapping a model with impulses raises
+    [Invalid_argument]. *)

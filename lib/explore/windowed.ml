@@ -1,0 +1,397 @@
+type class_ =
+  | Transient of { counts : bool }
+  | Absorb of { goal : bool }
+
+type stats = {
+  peak_window : int;
+  states_expanded : int;
+  mass_dropped : float;
+  iterations : int;
+  rate : float;
+  restarts : int;
+}
+
+type result = {
+  value : float;
+  delta : float;
+  lower : float;
+  upper : float;
+  epsilon : float;
+  stats : stats;
+}
+
+type outcome =
+  | Bounded of result
+  | Reward_bound_active of { rho_max : float; stats : stats }
+
+(* An expanded state's exit rate exceeded the current uniformisation
+   rate: abandon the run and start over with a larger rate.  The space
+   and classification caches survive, so only the arithmetic is redone. *)
+exception Restart of float
+
+(* The reward bound bites inside the window (rho_max * t > r). *)
+exception Reward_active of float
+
+exception Reward_active_outcome of float * stats
+
+(* Class codes, cached per id (a query's classification is immutable). *)
+let c_unknown = 0
+let c_transient = 1
+let c_counting = 2
+let c_goal = 3
+let c_fail = 4
+
+type scratch = {
+  space : Space.t;
+  classify : Succ.state -> class_;
+  mutable classes : int array;   (* id -> class code, c_unknown = not yet *)
+  mutable cur : float array;     (* id -> mass at the current step *)
+  mutable next : float array;    (* id -> mass being scattered into *)
+  mutable in_touched : bool array;
+  mutable scattered : bool array;  (* id -> counted in states_expanded *)
+}
+
+let ensure sc =
+  let n = Space.n_states sc.space in
+  let cap = Array.length sc.classes in
+  if n > cap then begin
+    let cap' = max n (max 64 (2 * cap)) in
+    let extend a fill = Array.append a (Array.make (cap' - cap) fill) in
+    sc.classes <- extend sc.classes c_unknown;
+    sc.cur <- extend sc.cur 0.0;
+    sc.next <- extend sc.next 0.0;
+    sc.in_touched <- extend sc.in_touched false;
+    sc.scattered <- extend sc.scattered false
+  end
+
+let class_of sc id =
+  let c = sc.classes.(id) in
+  if c <> c_unknown then c
+  else begin
+    let c =
+      match sc.classify (Space.state sc.space id) with
+      | Transient { counts = false } -> c_transient
+      | Transient { counts = true } -> c_counting
+      | Absorb { goal = true } -> c_goal
+      | Absorb { goal = false } -> c_fail
+    in
+    sc.classes.(id) <- c;
+    c
+  end
+
+let clamp_prob x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+(* One full uniformisation pass at a fixed rate [lambda].  Raises
+   [Restart] when the rate proves too small and [Reward_active] when the
+   reward bound bites.  Deterministic: active ids are kept sorted
+   ascending and every accumulation walks them in that order. *)
+let run_once ?telemetry ?cancel ~truncate ~epsilon ~init ~t ~reward_bound sc
+    lambda =
+  let q = lambda *. t in
+  let fg = Numerics.Fox_glynn.compute ~q ~epsilon:(epsilon /. 2.0) in
+  let steps = fg.Numerics.Fox_glynn.right + 1 in
+  let per_step = epsilon /. 2.0 /. float_of_int steps in
+  let space = sc.space in
+  (* Scalar accumulators. *)
+  let goal_mass = ref 0.0 in
+  let dropped = ref 0.0 in
+  let result = ref 0.0 in
+  let consumed = ref 0.0 in
+  let allowance = ref 0.0 in
+  let rho_max = ref 0.0 in
+  let expanded = ref 0 in
+  let iterations = ref 0 in
+  let peak = ref 0 in
+  let reward_ceiling =
+    match reward_bound with Some r -> r | None -> infinity
+  in
+  let note_windowed id =
+    let rho = Space.reward space id in
+    if rho > !rho_max then begin
+      rho_max := rho;
+      if !rho_max *. t > reward_ceiling then raise (Reward_active !rho_max)
+    end
+  in
+  (* Seed the window from the initial distribution. *)
+  let active = ref [||] in
+  let n_active = ref 0 in
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 init in
+  if Float.abs (total_w -. 1.0) > 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Windowed.solve: initial weights sum to %.17g" total_w);
+  let seed = ref [] in
+  List.iter
+    (fun (s, w) ->
+      if not (w >= 0.0 && Float.is_finite w) then
+        invalid_arg "Windowed.solve: negative initial weight";
+      if w > 0.0 then begin
+        let id = Space.intern space s in
+        ensure sc;
+        match class_of sc id with
+        | c when c = c_goal -> goal_mass := !goal_mass +. w
+        | c when c = c_fail -> ()
+        | _ ->
+          if sc.cur.(id) = 0.0 then seed := id :: !seed;
+          sc.cur.(id) <- sc.cur.(id) +. w
+      end)
+    init;
+  let seed = Array.of_list !seed in
+  Array.sort compare seed;
+  active := seed;
+  n_active := Array.length seed;
+  Array.iter (fun id -> note_windowed id) seed;
+  peak := !n_active;
+  (* Growable touched-id buffer for the scatter step. *)
+  let touched = ref (Array.make 256 0) in
+  let n_touched = ref 0 in
+  let push_touched id =
+    if !n_touched >= Array.length !touched then
+      touched := Array.append !touched (Array.make (Array.length !touched) 0);
+    !touched.(!n_touched) <- id;
+    incr n_touched
+  in
+  let counted_mass () =
+    let acc = ref !goal_mass in
+    for i = 0 to !n_active - 1 do
+      let id = !active.(i) in
+      if sc.classes.(id) = c_counting then acc := !acc +. sc.cur.(id)
+    done;
+    !acc
+  in
+  let cleanup () =
+    for i = 0 to !n_active - 1 do
+      sc.cur.(!active.(i)) <- 0.0
+    done;
+    n_active := 0
+  in
+  (* Credit every not-yet-consumed Poisson weight with the current
+     counted mass [c] — exact once the window is empty or fully dropped. *)
+  let flush_rest c =
+    result := !result +. ((fg.Numerics.Fox_glynn.total -. !consumed) *. c)
+  in
+  let finished = ref false in
+  let n = ref 0 in
+  while not !finished do
+    Numerics.Cancel.check cancel;
+    let c = counted_mass () in
+    let w = Numerics.Fox_glynn.weight fg !n in
+    if w > 0.0 then begin
+      result := !result +. (w *. c);
+      consumed := !consumed +. w
+    end;
+    if !n >= fg.Numerics.Fox_glynn.right then begin
+      cleanup ();
+      finished := true
+    end
+    else begin
+      allowance := !allowance +. per_step;
+      if !n_active = 0 then begin
+        (* Window empty: every remaining step contributes exactly [c]. *)
+        flush_rest c;
+        finished := true
+      end
+      else begin
+        let active_mass = ref 0.0 in
+        for i = 0 to !n_active - 1 do
+          active_mass := !active_mass +. sc.cur.(!active.(i))
+        done;
+        if truncate && !active_mass <= !allowance then begin
+          (* The whole window fits in the budget: drop it and finish
+             with the absorbed mass alone. *)
+          dropped := !dropped +. !active_mass;
+          allowance := !allowance -. !active_mass;
+          cleanup ();
+          flush_rest !goal_mass;
+          finished := true
+        end
+        else begin
+          (* Scatter cur through one step of P = I + R/lambda. *)
+          incr iterations;
+          n_touched := 0;
+          for i = 0 to !n_active - 1 do
+            let id = !active.(i) in
+            let p = sc.cur.(id) in
+            let exit = Space.exit_rate space id in
+            if exit > lambda then raise (Restart exit);
+            if not sc.scattered.(id) then begin
+              sc.scattered.(id) <- true;
+              incr expanded
+            end;
+            ensure sc;
+            let ids = Space.succ_ids space id in
+            let rates = Space.succ_rates space id in
+            for k = 0 to Array.length ids - 1 do
+              let u = ids.(k) in
+              let flow = p *. rates.(k) /. lambda in
+              ensure sc;
+              match class_of sc u with
+              | c when c = c_goal -> goal_mass := !goal_mass +. flow
+              | c when c = c_fail -> ()
+              | _ ->
+                if not sc.in_touched.(u) then begin
+                  sc.in_touched.(u) <- true;
+                  push_touched u
+                end;
+                sc.next.(u) <- sc.next.(u) +. flow
+            done;
+            let stay = p *. (1.0 -. (exit /. lambda)) in
+            if stay > 0.0 then begin
+              if not sc.in_touched.(id) then begin
+                sc.in_touched.(id) <- true;
+                push_touched id
+              end;
+              sc.next.(id) <- sc.next.(id) +. stay
+            end;
+            sc.cur.(id) <- 0.0
+          done;
+          let ids = Array.sub !touched 0 !n_touched in
+          Array.sort compare ids;
+          (* Budgeted truncation: drop the states whose mass fell below
+             an even split of the rolling allowance. *)
+          let kept = ref 0 in
+          if truncate && !n_touched > 0 then begin
+            let threshold = !allowance /. float_of_int !n_touched in
+            let dropped_step = ref 0.0 in
+            for i = 0 to !n_touched - 1 do
+              let id = ids.(i) in
+              sc.in_touched.(id) <- false;
+              let m = sc.next.(id) in
+              if m < threshold && !dropped_step +. m <= !allowance then begin
+                dropped_step := !dropped_step +. m;
+                sc.next.(id) <- 0.0
+              end
+              else begin
+                ids.(!kept) <- id;
+                incr kept
+              end
+            done;
+            if !dropped_step > 0.0 then begin
+              dropped := !dropped +. !dropped_step;
+              allowance := !allowance -. !dropped_step
+            end
+          end
+          else
+            for i = 0 to !n_touched - 1 do
+              let id = ids.(i) in
+              sc.in_touched.(id) <- false;
+              ids.(!kept) <- id;
+              incr kept
+            done;
+          let ids = Array.sub ids 0 !kept in
+          (* Swap in the new window. *)
+          active := ids;
+          n_active := !kept;
+          if !kept > !peak then peak := !kept;
+          for i = 0 to !kept - 1 do
+            let id = ids.(i) in
+            sc.cur.(id) <- sc.next.(id);
+            sc.next.(id) <- 0.0;
+            note_windowed id
+          done;
+          incr n
+        end
+      end
+    end
+  done;
+  let tail = Float.max 0.0 (1.0 -. fg.Numerics.Fox_glynn.total) in
+  let lower = clamp_prob !result in
+  let upper = clamp_prob (lower +. tail +. !dropped) in
+  let upper = Float.max upper lower in
+  let value = 0.5 *. (lower +. upper) in
+  let delta = 0.5 *. (upper -. lower) in
+  Numerics.Fox_glynn.record telemetry fg;
+  ( { value; delta; lower; upper; epsilon;
+      stats =
+        { peak_window = !peak; states_expanded = !expanded;
+          mass_dropped = !dropped; iterations = !iterations; rate = lambda;
+          restarts = 0 } },
+    !rho_max )
+
+let rec solve ?telemetry ?cancel ?(truncate = true) ?rate ~epsilon ~classify
+    ~init ~t ~reward_bound space =
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid_arg "Windowed.solve: epsilon must be in (0, 1)";
+  if not (t > 0.0 && Float.is_finite t) then
+    invalid_arg "Windowed.solve: time bound must be finite, > 0";
+  (match rate with
+  | Some r when not (r > 0.0 && Float.is_finite r) ->
+    invalid_arg "Windowed.solve: rate must be finite, > 0"
+  | _ -> ());
+  if init = [] then invalid_arg "Windowed.solve: empty initial distribution";
+  let sc =
+    { space; classify; classes = [||]; cur = [||]; next = [||];
+      in_touched = [||]; scattered = [||] }
+  in
+  ensure sc;
+  let initial_rate =
+    match rate with
+    | Some r -> r
+    | None ->
+      (* Start from the initial states' exit rates; restarts take it up
+         geometrically from there. *)
+      let m =
+        List.fold_left
+          (fun acc (s, w) ->
+            if w > 0.0 then
+              Float.max acc (Space.exit_rate space (Space.intern space s))
+            else acc)
+          0.0 init
+      in
+      if m > 0.0 then m else 1.0
+  in
+  let reset_scratch () =
+    let cap = Array.length sc.cur in
+    sc.cur <- Array.make cap 0.0;
+    sc.next <- Array.make cap 0.0;
+    sc.in_touched <- Array.make cap false;
+    sc.scattered <- Array.make cap false
+  in
+  let finish restarts stats =
+    let stats = { stats with restarts } in
+    Telemetry.add telemetry "explore.states_expanded" stats.states_expanded;
+    Telemetry.add telemetry "explore.iterations" stats.iterations;
+    Telemetry.add telemetry "explore.restarts" restarts;
+    Telemetry.record_max telemetry "explore.peak_window"
+      (float_of_int stats.peak_window);
+    Telemetry.record telemetry "explore.mass_dropped" stats.mass_dropped;
+    Telemetry.record telemetry "explore.rate" stats.rate;
+    stats
+  in
+  let rec attempt restarts lambda =
+    if restarts > 200 then
+      failwith "Windowed.solve: uniformisation rate failed to stabilise";
+    match
+      run_once ?telemetry ?cancel ~truncate ~epsilon ~init ~t ~reward_bound sc
+        lambda
+    with
+    | r, _rho -> (restarts, r)
+    | exception Restart exit ->
+      reset_scratch ();
+      attempt (restarts + 1) (Float.max (exit *. 1.2) (lambda *. 1.2))
+    | exception Reward_active rho_max ->
+      let stats =
+        finish restarts
+          { peak_window = 0; states_expanded = 0; mass_dropped = 0.0;
+            iterations = 0; rate = lambda; restarts }
+      in
+      raise (Reward_active_outcome (rho_max, stats))
+  in
+  match attempt 0 initial_rate with
+  | restarts, r ->
+    let stats = finish restarts r.stats in
+    let r = { r with stats } in
+    Telemetry.record telemetry "explore.delta" r.delta;
+    if r.delta <= epsilon then Bounded r
+    else if truncate then begin
+      (* Unreachable by construction; keep the promise anyway. *)
+      reset_scratch ();
+      solve ?telemetry ?cancel ~truncate:false ?rate ~epsilon ~classify ~init
+        ~t ~reward_bound space
+    end
+    else
+      failwith
+        (Printf.sprintf
+           "Windowed.solve: cannot certify epsilon=%g (delta=%g untruncated)"
+           epsilon r.delta)
+  | exception Reward_active_outcome (rho_max, stats) ->
+    Reward_bound_active { rho_max; stats }

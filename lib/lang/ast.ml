@@ -1,0 +1,65 @@
+(* Surface syntax of the guarded-command model language (.gcm), a small
+   PRISM-style dialect.  Every node carries the source position of its
+   first token so later phases can report errors precisely. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or | Implies
+
+type expr = { desc : desc; pos : pos }
+
+and desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Name of string            (* constant or module variable *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (* min, max *)
+
+type const_ty = Ty_int | Ty_double
+
+type var_decl = {
+  var_name : string;
+  var_pos : pos;
+  lo : expr;
+  hi : expr;
+  init : expr;
+}
+
+type assign = { target : string; target_pos : pos; value : expr }
+
+(* One rate-weighted branch of a command:
+   [rate : (x'=e) & (y'=e)] or [rate : true]. *)
+type choice = { rate : expr; assigns : assign list }
+
+type command = { cmd_pos : pos; guard : expr; choices : choice list }
+
+type item =
+  | Const of { name : string; pos : pos; ty : const_ty; value : expr }
+  | Module of {
+      mod_name : string;
+      mod_pos : pos;
+      vars : var_decl list;
+      commands : command list;
+    }
+  | Label of { label_name : string; pos : pos; formula : expr }
+  | Rewards of { pos : pos; items : (expr * expr) list }
+      (* guard : rate-reward pairs; a state's reward is the sum over
+         matching guards *)
+
+type program = item list
+
+let unop_name = function Neg -> "-" | Not -> "!"
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&" | Or -> "|" | Implies -> "=>"

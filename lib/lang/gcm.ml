@@ -1,0 +1,16 @@
+exception Runtime_error = Compile.Runtime_error
+
+let of_string ?(filename = "<string>") src =
+  let err (pos : Ast.pos) msg =
+    Error (Printf.sprintf "%s:%d:%d: %s" filename pos.line pos.col msg)
+  in
+  match Compile.compile (Typecheck.elaborate (Parser.parse src)) with
+  | succ -> Ok succ
+  | exception Lexer.Error (pos, msg) -> err pos msg
+  | exception Parser.Error (pos, msg) -> err pos msg
+  | exception Typecheck.Error (pos, msg) -> err pos msg
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> of_string ~filename:path src
+  | exception Sys_error msg -> Error msg

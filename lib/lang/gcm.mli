@@ -1,0 +1,43 @@
+(** Front door of the guarded-command model language.
+
+    A [.gcm] program is a small PRISM-style description of a CTMC with
+    state rewards:
+
+    {v
+    const int N = 10;
+    const double lambda = 1.5;
+
+    module grid
+      x : [0..N] init 0;
+      [] x < N -> lambda : (x'=x+1);
+      [] x > 0 -> 1.0    : (x'=x-1);
+    endmodule
+
+    label "full" = x=N;
+
+    rewards
+      x > 0 : 2.0 * x;
+    endrewards
+    v}
+
+    Programs compile to a successor function ({!Explore.Succ.t}), so the
+    state space is never enumerated at load time — the windowed engine
+    explores it on demand.
+
+    Errors (lexical, syntactic, type, constant evaluation) are reported
+    as [Error "file:line:col: message"] with 1-based positions. *)
+
+exception Runtime_error of string
+(** Raised by the compiled model's closures when an expression goes
+    wrong only at run time — an update pushing a variable out of its
+    range, a state-dependent rate evaluating negative or non-finite, a
+    negative reward.  The payload is ["line:col: message"] including the
+    offending state's valuation. *)
+
+val of_string : ?filename:string -> string -> (Explore.Succ.t, string) result
+(** Parse, typecheck and compile a program given as a string.
+    [filename] (default ["<string>"]) prefixes error messages. *)
+
+val load_file : string -> (Explore.Succ.t, string) result
+(** {!of_string} over a file's contents; I/O failures are reported as
+    [Error] too. *)

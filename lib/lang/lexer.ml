@@ -1,0 +1,155 @@
+(* Hand-written lexer with line/column tracking (both 1-based).  The
+   whole source is tokenised up front; the parser works over the
+   resulting array, which keeps backtracking and error reporting
+   trivial. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW_const | KW_int | KW_double | KW_module | KW_endmodule | KW_init
+  | KW_label | KW_rewards | KW_endrewards | KW_true | KW_false
+  | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | SEMI | COLON | COMMA | PRIME
+  | DOTDOT | ARROW
+  | PLUS | MINUS | STAR | SLASH
+  | EQ | NE | LT | LE | GT | GE
+  | AMP | BAR | BANG | IMPLIES
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_const -> "'const'" | KW_int -> "'int'" | KW_double -> "'double'"
+  | KW_module -> "'module'" | KW_endmodule -> "'endmodule'"
+  | KW_init -> "'init'" | KW_label -> "'label'"
+  | KW_rewards -> "'rewards'" | KW_endrewards -> "'endrewards'"
+  | KW_true -> "'true'" | KW_false -> "'false'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | SEMI -> "';'" | COLON -> "':'" | COMMA -> "','" | PRIME -> "\"'\""
+  | DOTDOT -> "'..'" | ARROW -> "'->'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | EQ -> "'='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='"
+  | GT -> "'>'" | GE -> "'>='"
+  | AMP -> "'&'" | BAR -> "'|'" | BANG -> "'!'" | IMPLIES -> "'=>'"
+  | EOF -> "end of input"
+
+exception Error of Ast.pos * string
+
+let keyword = function
+  | "const" -> Some KW_const
+  | "int" -> Some KW_int
+  | "double" -> Some KW_double
+  | "module" -> Some KW_module
+  | "endmodule" -> Some KW_endmodule
+  | "init" -> Some KW_init
+  | "label" -> Some KW_label
+  | "rewards" -> Some KW_rewards
+  | "endrewards" -> Some KW_endrewards
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    (if src.[!i] = '\n' then begin incr line; col := 1 end else incr col);
+    incr i
+  in
+  let emit pos tok = toks := (tok, pos) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = { Ast.line = !line; col = !col } in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do advance () done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do advance () done;
+      let word = String.sub src start (!i - start) in
+      emit pos (match keyword word with Some k -> k | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do advance () done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' && peek 1 <> Some '.' then begin
+        is_float := true;
+        advance ();
+        while !i < n && is_digit src.[!i] do advance () done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        advance ();
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance ();
+        if not (!i < n && is_digit src.[!i]) then
+          raise (Error ({ Ast.line = !line; col = !col },
+                        "malformed exponent in numeric literal"));
+        while !i < n && is_digit src.[!i] do advance () done
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then emit pos (FLOAT (float_of_string text))
+      else
+        match int_of_string_opt text with
+        | Some v -> emit pos (INT v)
+        | None -> raise (Error (pos, "integer literal out of range: " ^ text))
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Error (pos, "unterminated string literal"))
+        else if src.[!i] = '"' then begin advance (); closed := true end
+        else if src.[!i] = '\n' then
+          raise (Error (pos, "unterminated string literal"))
+        else begin Buffer.add_char buf src.[!i]; advance () end
+      done;
+      emit pos (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two tok = advance (); advance (); emit pos tok in
+      let one tok = advance (); emit pos tok in
+      match c, peek 1 with
+      | '.', Some '.' -> two DOTDOT
+      | '-', Some '>' -> two ARROW
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '=', Some '>' -> two IMPLIES
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | ',', _ -> one COMMA
+      | '\'', _ -> one PRIME
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '&', _ -> one AMP
+      | '|', _ -> one BAR
+      | '!', _ -> one BANG
+      | _ ->
+        raise (Error (pos, Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit { Ast.line = !line; col = !col } EOF;
+  Array.of_list (List.rev !toks)

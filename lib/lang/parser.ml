@@ -1,0 +1,303 @@
+(* Recursive-descent parser over the token array.  Precedence, loosest
+   to tightest:  =>  |  &  !  comparisons  + -  * /  unary -  atoms.
+   Comparisons do not associate ([a < b < c] is a parse error), matching
+   PRISM. *)
+
+exception Error of Ast.pos * string
+
+type state = { toks : (Lexer.token * Ast.pos) array; mutable at : int }
+
+let peek st = fst st.toks.(st.at)
+let pos st = snd st.toks.(st.at)
+let advance st = st.at <- st.at + 1
+
+let fail st msg = raise (Error (pos st, msg))
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s %s, found %s" (Lexer.token_name tok) what
+         (Lexer.token_name (peek st)))
+
+let ident st what =
+  match peek st with
+  | Lexer.IDENT name -> advance st; name
+  | t ->
+    fail st
+      (Printf.sprintf "expected identifier %s, found %s" what
+         (Lexer.token_name t))
+
+(* --- expressions ------------------------------------------------- *)
+
+let mk pos desc = { Ast.desc; pos }
+
+let rec expr st = implies st
+
+and implies st =
+  let p = pos st in
+  let lhs = disj st in
+  if peek st = Lexer.IMPLIES then begin
+    advance st;
+    mk p (Ast.Binop (Ast.Implies, lhs, implies st))
+  end
+  else lhs
+
+and disj st =
+  let p = pos st in
+  let acc = ref (conj st) in
+  while peek st = Lexer.BAR do
+    advance st;
+    acc := mk p (Ast.Binop (Ast.Or, !acc, conj st))
+  done;
+  !acc
+
+and conj st =
+  let p = pos st in
+  let acc = ref (negation st) in
+  while peek st = Lexer.AMP do
+    advance st;
+    acc := mk p (Ast.Binop (Ast.And, !acc, negation st))
+  done;
+  !acc
+
+and negation st =
+  match peek st with
+  | Lexer.BANG ->
+    let p = pos st in
+    advance st;
+    mk p (Ast.Unop (Ast.Not, negation st))
+  | _ -> comparison st
+
+and comparison st =
+  let p = pos st in
+  let lhs = additive st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    mk p (Ast.Binop (op, lhs, additive st))
+
+and additive st =
+  let p = pos st in
+  let acc = ref (multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      acc := mk p (Ast.Binop (Ast.Add, !acc, multiplicative st))
+    | Lexer.MINUS ->
+      advance st;
+      acc := mk p (Ast.Binop (Ast.Sub, !acc, multiplicative st))
+    | _ -> continue := false
+  done;
+  !acc
+
+and multiplicative st =
+  let p = pos st in
+  let acc = ref (unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      acc := mk p (Ast.Binop (Ast.Mul, !acc, unary st))
+    | Lexer.SLASH ->
+      advance st;
+      acc := mk p (Ast.Binop (Ast.Div, !acc, unary st))
+    | _ -> continue := false
+  done;
+  !acc
+
+and unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    let p = pos st in
+    advance st;
+    mk p (Ast.Unop (Ast.Neg, unary st))
+  | _ -> atom st
+
+and atom st =
+  let p = pos st in
+  match peek st with
+  | Lexer.INT v -> advance st; mk p (Ast.Int_lit v)
+  | Lexer.FLOAT v -> advance st; mk p (Ast.Float_lit v)
+  | Lexer.KW_true -> advance st; mk p (Ast.Bool_lit true)
+  | Lexer.KW_false -> advance st; mk p (Ast.Bool_lit false)
+  | Lexer.IDENT (("min" | "max") as fn) when fst st.toks.(st.at + 1) = Lexer.LPAREN ->
+    advance st;
+    advance st;
+    let a = expr st in
+    expect st Lexer.COMMA (Printf.sprintf "between the arguments of %s" fn);
+    let b = expr st in
+    expect st Lexer.RPAREN (Printf.sprintf "closing the arguments of %s" fn);
+    mk p (Ast.Call (fn, [ a; b ]))
+  | Lexer.IDENT name -> advance st; mk p (Ast.Name name)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN "closing the parenthesised expression";
+    e
+  | t -> fail st (Printf.sprintf "expected an expression, found %s" (Lexer.token_name t))
+
+(* --- items -------------------------------------------------------- *)
+
+let const_item st =
+  let p = pos st in
+  advance st;
+  let ty =
+    match peek st with
+    | Lexer.KW_int -> advance st; Ast.Ty_int
+    | Lexer.KW_double -> advance st; Ast.Ty_double
+    | t ->
+      fail st
+        (Printf.sprintf "expected 'int' or 'double' after 'const', found %s"
+           (Lexer.token_name t))
+  in
+  let name = ident st "naming the constant" in
+  expect st Lexer.EQ "after the constant name";
+  let value = expr st in
+  expect st Lexer.SEMI "ending the constant declaration";
+  Ast.Const { name; pos = p; ty; value }
+
+let var_decl st =
+  let p = pos st in
+  let name = ident st "naming the variable" in
+  expect st Lexer.COLON "after the variable name";
+  expect st Lexer.LBRACKET "opening the variable's range";
+  let lo = expr st in
+  expect st Lexer.DOTDOT "between the range bounds";
+  let hi = expr st in
+  expect st Lexer.RBRACKET "closing the variable's range";
+  expect st Lexer.KW_init "before the initial value";
+  let init = expr st in
+  expect st Lexer.SEMI "ending the variable declaration";
+  { Ast.var_name = name; var_pos = p; lo; hi; init }
+
+let assigns st =
+  if peek st = Lexer.KW_true then begin
+    advance st;
+    []
+  end
+  else begin
+    let one () =
+      expect st Lexer.LPAREN "opening an update";
+      let p = pos st in
+      let target = ident st "naming the updated variable" in
+      expect st Lexer.PRIME "after the updated variable";
+      expect st Lexer.EQ "in the update";
+      let value = expr st in
+      expect st Lexer.RPAREN "closing the update";
+      { Ast.target; target_pos = p; value }
+    in
+    let acc = ref [ one () ] in
+    while peek st = Lexer.AMP do
+      advance st;
+      acc := one () :: !acc
+    done;
+    List.rev !acc
+  end
+
+let command st =
+  let p = pos st in
+  advance st;
+  expect st Lexer.RBRACKET "after '[' (synchronisation labels are not supported)";
+  let guard = expr st in
+  expect st Lexer.ARROW "between guard and updates";
+  let choice () =
+    let rate = expr st in
+    expect st Lexer.COLON "between rate and updates";
+    { Ast.rate; assigns = assigns st }
+  in
+  let acc = ref [ choice () ] in
+  while peek st = Lexer.PLUS do
+    advance st;
+    acc := choice () :: !acc
+  done;
+  expect st Lexer.SEMI "ending the command";
+  { Ast.cmd_pos = p; guard; choices = List.rev !acc }
+
+let module_item st =
+  let p = pos st in
+  advance st;
+  let name = ident st "naming the module" in
+  let vars = ref [] and commands = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.IDENT _ ->
+      if !commands <> [] then
+        fail st "variable declarations must precede commands";
+      vars := var_decl st :: !vars
+    | Lexer.LBRACKET -> commands := command st :: !commands
+    | Lexer.KW_endmodule -> advance st; continue := false
+    | t ->
+      fail st
+        (Printf.sprintf
+           "expected a variable declaration, a command or 'endmodule', found %s"
+           (Lexer.token_name t))
+  done;
+  Ast.Module
+    { mod_name = name; mod_pos = p; vars = List.rev !vars;
+      commands = List.rev !commands }
+
+let label_item st =
+  let p = pos st in
+  advance st;
+  let name =
+    match peek st with
+    | Lexer.STRING s -> advance st; s
+    | t ->
+      fail st
+        (Printf.sprintf "expected a quoted label name, found %s"
+           (Lexer.token_name t))
+  in
+  expect st Lexer.EQ "after the label name";
+  let formula = expr st in
+  expect st Lexer.SEMI "ending the label declaration";
+  Ast.Label { label_name = name; pos = p; formula }
+
+let rewards_item st =
+  let p = pos st in
+  advance st;
+  let items = ref [] in
+  while peek st <> Lexer.KW_endrewards do
+    if peek st = Lexer.EOF then fail st "expected 'endrewards'";
+    let guard = expr st in
+    expect st Lexer.COLON "between reward guard and value";
+    let value = expr st in
+    expect st Lexer.SEMI "ending the reward item";
+    items := (guard, value) :: !items
+  done;
+  advance st;
+  Ast.Rewards { pos = p; items = List.rev !items }
+
+let program toks =
+  let st = { toks; at = 0 } in
+  let items = ref [] in
+  while peek st <> Lexer.EOF do
+    match peek st with
+    | Lexer.KW_const -> items := const_item st :: !items
+    | Lexer.KW_module -> items := module_item st :: !items
+    | Lexer.KW_label -> items := label_item st :: !items
+    | Lexer.KW_rewards -> items := rewards_item st :: !items
+    | t ->
+      fail st
+        (Printf.sprintf
+           "expected 'const', 'module', 'label' or 'rewards', found %s"
+           (Lexer.token_name t))
+  done;
+  List.rev !items
+
+let parse src = program (Lexer.tokenize src)

@@ -1,0 +1,274 @@
+(* Static checking and elaboration: constants are folded to literals,
+   names are resolved to variable indices, every expression gets a type
+   (int, double or bool, with int promoting to double), and variable
+   ranges/initials are evaluated to concrete integers.  The output is a
+   closed, index-based program the compiler turns into closures. *)
+
+exception Error of Ast.pos * string
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Error (pos, m))) fmt
+
+type ty = Tint | Tdouble | Tbool
+
+let ty_name = function Tint -> "int" | Tdouble -> "double" | Tbool -> "bool"
+
+type texpr = { ty : ty; desc : tdesc; pos : Ast.pos }
+
+and tdesc =
+  | TInt of int
+  | TFloat of float
+  | TBool of bool
+  | TVar of int                      (* index into the state array *)
+  | TNeg of texpr
+  | TNot of texpr
+  | TArith of Ast.binop * texpr * texpr   (* Add | Sub | Mul; Div is TDiv *)
+  | TDiv of texpr * texpr
+  | TCmp of Ast.binop * texpr * texpr
+  | TBoolop of Ast.binop * texpr * texpr  (* And | Or | Implies *)
+  | TMinMax of bool * texpr * texpr       (* true = min *)
+
+type var = { name : string; lo : int; hi : int; init : int }
+
+type command = {
+  cmd_pos : Ast.pos;
+  guard : texpr;                          (* bool *)
+  choices : (texpr * (int * texpr) list) list;
+      (* rate (double), assignments as (variable index, int expr);
+         an empty assignment list is the explicit self-loop [true] *)
+}
+
+type program = {
+  vars : var array;
+  commands : command list;
+  labels : (string * texpr) list;         (* sorted by name *)
+  reward_items : (texpr * texpr) list;    (* bool guard, double value *)
+}
+
+(* Constant values, known at elaboration time. *)
+type cvalue = Cint of int | Cfloat of float
+
+let numeric t = t = Tint || t = Tdouble
+
+let rec check env vars (e : Ast.expr) : texpr =
+  let p = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Int_lit v -> { ty = Tint; desc = TInt v; pos = p }
+  | Ast.Float_lit v -> { ty = Tdouble; desc = TFloat v; pos = p }
+  | Ast.Bool_lit v -> { ty = Tbool; desc = TBool v; pos = p }
+  | Ast.Name n -> (
+    match Hashtbl.find_opt vars n with
+    | Some idx -> { ty = Tint; desc = TVar idx; pos = p }
+    | None -> (
+      match Hashtbl.find_opt env n with
+      | Some (Cint v) -> { ty = Tint; desc = TInt v; pos = p }
+      | Some (Cfloat v) -> { ty = Tdouble; desc = TFloat v; pos = p }
+      | None -> fail p "unknown name '%s'" n))
+  | Ast.Unop (Ast.Neg, a) ->
+    let a = check env vars a in
+    if not (numeric a.ty) then
+      fail p "operand of unary '-' is %s, expected a number" (ty_name a.ty);
+    { ty = a.ty; desc = TNeg a; pos = p }
+  | Ast.Unop (Ast.Not, a) ->
+    let a = check env vars a in
+    if a.ty <> Tbool then
+      fail p "operand of '!' is %s, expected bool" (ty_name a.ty);
+    { ty = Tbool; desc = TNot a; pos = p }
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul) as op), a, b) ->
+    let a = check env vars a and b = check env vars b in
+    if not (numeric a.ty && numeric b.ty) then
+      fail p "operands of '%s' are %s and %s, expected numbers"
+        (Ast.binop_name op) (ty_name a.ty) (ty_name b.ty);
+    let ty = if a.ty = Tint && b.ty = Tint then Tint else Tdouble in
+    { ty; desc = TArith (op, a, b); pos = p }
+  | Ast.Binop (Ast.Div, a, b) ->
+    let a = check env vars a and b = check env vars b in
+    if not (numeric a.ty && numeric b.ty) then
+      fail p "operands of '/' are %s and %s, expected numbers" (ty_name a.ty)
+        (ty_name b.ty);
+    (* Division is always real, as in PRISM. *)
+    { ty = Tdouble; desc = TDiv (a, b); pos = p }
+  | Ast.Binop (((Ast.Eq | Ast.Ne) as op), a, b) ->
+    let a = check env vars a and b = check env vars b in
+    if a.ty = Tbool && b.ty = Tbool then
+      { ty = Tbool; desc = TCmp (op, a, b); pos = p }
+    else if numeric a.ty && numeric b.ty then
+      { ty = Tbool; desc = TCmp (op, a, b); pos = p }
+    else
+      fail p "operands of '%s' are %s and %s, expected both numbers or both bool"
+        (Ast.binop_name op) (ty_name a.ty) (ty_name b.ty)
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    let a = check env vars a and b = check env vars b in
+    if not (numeric a.ty && numeric b.ty) then
+      fail p "operands of '%s' are %s and %s, expected numbers"
+        (Ast.binop_name op) (ty_name a.ty) (ty_name b.ty);
+    { ty = Tbool; desc = TCmp (op, a, b); pos = p }
+  | Ast.Binop (((Ast.And | Ast.Or | Ast.Implies) as op), a, b) ->
+    let a = check env vars a and b = check env vars b in
+    if not (a.ty = Tbool && b.ty = Tbool) then
+      fail p "operands of '%s' are %s and %s, expected bool"
+        (Ast.binop_name op) (ty_name a.ty) (ty_name b.ty);
+    { ty = Tbool; desc = TBoolop (op, a, b); pos = p }
+  | Ast.Call (fn, [ a; b ]) when fn = "min" || fn = "max" ->
+    let a = check env vars a and b = check env vars b in
+    if not (numeric a.ty && numeric b.ty) then
+      fail p "arguments of %s are %s and %s, expected numbers" fn
+        (ty_name a.ty) (ty_name b.ty);
+    let ty = if a.ty = Tint && b.ty = Tint then Tint else Tdouble in
+    { ty; desc = TMinMax (fn = "min", a, b); pos = p }
+  | Ast.Call (fn, _) -> fail p "unknown function '%s'" fn
+
+(* Evaluate a closed (constant) expression. *)
+let rec eval_const (e : texpr) : cvalue =
+  let as_float = function Cint v -> float_of_int v | Cfloat v -> v in
+  match e.desc with
+  | TInt v -> Cint v
+  | TFloat v -> Cfloat v
+  | TBool _ -> fail e.pos "expected a numeric constant, found a bool"
+  | TVar _ ->
+    fail e.pos "module variables cannot appear in constant expressions"
+  | TNeg a -> (
+    match eval_const a with
+    | Cint v -> Cint (-v)
+    | Cfloat v -> Cfloat (-.v))
+  | TArith (op, a, b) -> (
+    let a = eval_const a and b = eval_const b in
+    match a, b, op with
+    | Cint x, Cint y, Ast.Add -> Cint (x + y)
+    | Cint x, Cint y, Ast.Sub -> Cint (x - y)
+    | Cint x, Cint y, Ast.Mul -> Cint (x * y)
+    | _, _, Ast.Add -> Cfloat (as_float a +. as_float b)
+    | _, _, Ast.Sub -> Cfloat (as_float a -. as_float b)
+    | _, _, Ast.Mul -> Cfloat (as_float a *. as_float b)
+    | _ -> assert false)
+  | TDiv (a, b) ->
+    let bv = as_float (eval_const b) in
+    if bv = 0.0 then fail e.pos "division by zero in constant expression";
+    Cfloat (as_float (eval_const a) /. bv)
+  | TMinMax (is_min, a, b) -> (
+    let a = eval_const a and b = eval_const b in
+    match a, b with
+    | Cint x, Cint y -> Cint (if is_min then min x y else max x y)
+    | _ ->
+      let x = as_float a and y = as_float b in
+      Cfloat (if is_min then Float.min x y else Float.max x y))
+  | TNot _ | TCmp _ | TBoolop _ ->
+    fail e.pos "expected a numeric constant, found a bool"
+
+let eval_const_int (e : texpr) =
+  match eval_const e with
+  | Cint v -> v
+  | Cfloat _ -> fail e.pos "expected an integer constant, found a double"
+
+let elaborate (prog : Ast.program) : program =
+  let consts : (string, cvalue) Hashtbl.t = Hashtbl.create 16 in
+  let var_index : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let vars = ref [] and n_vars = ref 0 in
+  let commands = ref [] in
+  let labels = ref [] in
+  let reward_items = ref [] in
+  let reward_pos = ref None in
+  let seen_module = ref false in
+  let declare_var (d : Ast.var_decl) =
+    if Hashtbl.mem var_index d.Ast.var_name then
+      fail d.Ast.var_pos "duplicate variable '%s'" d.Ast.var_name;
+    if Hashtbl.mem consts d.Ast.var_name then
+      fail d.Ast.var_pos "'%s' is already a constant" d.Ast.var_name;
+    let lo = eval_const_int (check consts var_index d.Ast.lo) in
+    let hi = eval_const_int (check consts var_index d.Ast.hi) in
+    let init = eval_const_int (check consts var_index d.Ast.init) in
+    if lo > hi then
+      fail d.Ast.var_pos "empty range [%d..%d] for '%s'" lo hi d.Ast.var_name;
+    if init < lo || init > hi then
+      fail d.Ast.var_pos "initial value %d of '%s' outside [%d..%d]" init
+        d.Ast.var_name lo hi;
+    Hashtbl.add var_index d.Ast.var_name !n_vars;
+    vars := { name = d.Ast.var_name; lo; hi; init } :: !vars;
+    incr n_vars
+  in
+  let check_command (c : Ast.command) =
+    let guard = check consts var_index c.Ast.guard in
+    if guard.ty <> Tbool then
+      fail c.Ast.cmd_pos "command guard is %s, expected bool" (ty_name guard.ty);
+    let choice (ch : Ast.choice) =
+      let rate = check consts var_index ch.Ast.rate in
+      if not (numeric rate.ty) then
+        fail rate.pos "transition rate is %s, expected a number"
+          (ty_name rate.ty);
+      let seen = Hashtbl.create 4 in
+      let assigns =
+        List.map
+          (fun (a : Ast.assign) ->
+            let idx =
+              match Hashtbl.find_opt var_index a.Ast.target with
+              | Some idx -> idx
+              | None ->
+                fail a.Ast.target_pos "unknown variable '%s' in update"
+                  a.Ast.target
+            in
+            if Hashtbl.mem seen idx then
+              fail a.Ast.target_pos "variable '%s' updated twice" a.Ast.target;
+            Hashtbl.add seen idx ();
+            let value = check consts var_index a.Ast.value in
+            if value.ty <> Tint then
+              fail value.pos "update of '%s' is %s, expected int" a.Ast.target
+                (ty_name value.ty);
+            (idx, value))
+          ch.Ast.assigns
+      in
+      (rate, assigns)
+    in
+    commands := { cmd_pos = c.Ast.cmd_pos; guard;
+                  choices = List.map choice c.Ast.choices }
+                :: !commands
+  in
+  List.iter
+    (fun (item : Ast.item) ->
+      match item with
+      | Ast.Const { name; pos; ty; value } ->
+        if Hashtbl.mem consts name then fail pos "duplicate constant '%s'" name;
+        if Hashtbl.mem var_index name then
+          fail pos "'%s' is already a module variable" name;
+        let v = check consts var_index value in
+        let cv =
+          match ty, eval_const v with
+          | Ast.Ty_int, (Cint _ as c) -> c
+          | Ast.Ty_int, Cfloat _ ->
+            fail pos "constant '%s' is declared int but has a double value" name
+          | Ast.Ty_double, Cint i -> Cfloat (float_of_int i)
+          | Ast.Ty_double, (Cfloat _ as c) -> c
+        in
+        Hashtbl.add consts name cv
+      | Ast.Module { vars = vds; commands = cs; _ } ->
+        seen_module := true;
+        List.iter declare_var vds;
+        List.iter check_command cs
+      | Ast.Label { label_name; pos; formula } ->
+        if List.mem_assoc label_name !labels then
+          fail pos "duplicate label %S" label_name;
+        let f = check consts var_index formula in
+        if f.ty <> Tbool then
+          fail pos "label %S is %s, expected bool" label_name (ty_name f.ty);
+        labels := (label_name, f) :: !labels
+      | Ast.Rewards { pos; items } ->
+        (match !reward_pos with
+        | Some _ -> fail pos "duplicate rewards block"
+        | None -> reward_pos := Some pos);
+        List.iter
+          (fun (g, v) ->
+            let g = check consts var_index g in
+            if g.ty <> Tbool then
+              fail g.pos "reward guard is %s, expected bool" (ty_name g.ty);
+            let v = check consts var_index v in
+            if not (numeric v.ty) then
+              fail v.pos "reward value is %s, expected a number" (ty_name v.ty);
+            reward_items := (g, v) :: !reward_items)
+          items)
+    prog;
+  if not !seen_module then
+    fail { Ast.line = 1; col = 1 } "the program declares no module";
+  if !n_vars = 0 then
+    fail { Ast.line = 1; col = 1 } "the program declares no variables";
+  { vars = Array.of_list (List.rev !vars);
+    commands = List.rev !commands;
+    labels = List.sort (fun (a, _) (b, _) -> String.compare a b) !labels;
+    reward_items = List.rev !reward_items }

@@ -1,0 +1,38 @@
+let grid ?(right = 1.4) ?(up = 1.1) ?(back = 0.35) ?frontier_at ~n () =
+  if n < 1 then invalid_arg "Gcm_examples.grid: n must be >= 1";
+  let front = Option.value frontier_at ~default:n in
+  if front < 1 || front > 2 * n then
+    invalid_arg "Gcm_examples.grid: frontier_at must be in [1 .. 2n]";
+  Printf.sprintf
+    {|// A worker drifting across an N x N grid; (N+1)^2 reachable states.
+const int N = %d;
+const int F = %d;
+const double right = %.17g;
+const double up = %.17g;
+const double back = %.17g;
+
+module grid
+  x : [0..N] init 0;
+  y : [0..N] init 0;
+
+  [] x < N            -> right : (x'=x+1);
+  [] y < N            -> up    : (y'=y+1);
+  [] x > 0 & x >= y   -> back  : (x'=x-1);
+  [] y > 0 & y > x    -> back  : (y'=y-1);
+endmodule
+
+label "origin" = x=0 & y=0;
+label "corner" = x=N & y=N;
+label "frontier" = x+y >= F;
+
+rewards
+  true : 1.0 + 0.1 * (x + y);
+endrewards
+|}
+    n front right up back
+
+let grid_states n = (n + 1) * (n + 1)
+
+let grid_n_for_states states =
+  let rec go n = if grid_states n >= states then n else go (n + 1) in
+  go 1

@@ -1,0 +1,33 @@
+(** Guarded-command ([.gcm]) example programs as source strings.
+
+    These are generators for the scaling studies: the grid family's
+    reachable state space is [(n+1)^2] — quadratic in the single size
+    parameter — while a fixed-horizon until query only touches the
+    probability mass near the drift front, which is exactly the regime
+    the sliding-window engine ({!Explore.Windowed}) exploits.
+
+    This module deliberately emits {e source text} only, so the models
+    library stays independent of the language front-end ([lib/lang]);
+    callers feed the string to [Lang.Gcm.of_string].  The committed
+    [examples/grid.gcm] is [grid ~n:40 ()] with the default rates. *)
+
+val grid :
+  ?right:float -> ?up:float -> ?back:float -> ?frontier_at:int -> n:int ->
+  unit -> string
+(** A worker drifting across an [n x n] grid: steps right at rate
+    [right] (default [1.4]), up at rate [up] (default [1.1]), and falls
+    back toward the origin at rate [back] (default [0.35], applied to
+    the larger coordinate).  Labels: ["origin"], ["corner"], and
+    ["frontier"] ([x + y >= frontier_at], default [n] — the scaling
+    benches pull the frontier closer so a fixed-horizon query has
+    non-trivial mass while the full space stays huge).  Rate reward
+    [1.0 + 0.1 (x + y)].  [(n+1)^2] reachable states.  Raises
+    [Invalid_argument] when [n < 1] or [frontier_at] is outside
+    [1 .. 2n]. *)
+
+val grid_states : int -> int
+(** [(n+1)^2], the reachable state count of [grid ~n]. *)
+
+val grid_n_for_states : int -> int
+(** The smallest [n] with [(n+1)^2 >= states] — how the benches pick a
+    size parameter for a target state count. *)

@@ -2,6 +2,7 @@ type spec =
   | Pseudo_erlang of { phases : int }
   | Discretize of { step : float }
   | Occupation_time of { epsilon : float }
+  | Windowed of { epsilon : float }
 
 let default = Occupation_time { epsilon = 1e-9 }
 
@@ -9,6 +10,46 @@ let name = function
   | Pseudo_erlang _ -> "pseudo-erlang"
   | Discretize _ -> "discretisation"
   | Occupation_time _ -> "occupation-time"
+  | Windowed _ -> "windowed"
+
+(* The windowed engine on an explicit problem: wrap the matrix as a
+   successor function and run the sliding-window series, certifying the
+   reward bound over the states that actually enter the window (a
+   strictly sharper test than the global [reward_trivially_satisfied]).
+   When the bound bites inside the window the certification argument
+   fails and the solve falls back to the occupation-time engine. *)
+let solve_windowed ?pool ?telemetry ?cancel ~epsilon (p : Problem.t) =
+  let fallback () =
+    Telemetry.add telemetry "explore.reward_fallbacks" 1;
+    Sericola.solve ~epsilon ?pool ?telemetry ?cancel p
+  in
+  if Markov.Mrm.has_impulses p.Problem.mrm then fallback ()
+  else begin
+    let chain = Markov.Mrm.ctmc p.Problem.mrm in
+    let n = Markov.Ctmc.n_states chain in
+    let init = ref [] in
+    for s = n - 1 downto 0 do
+      let w = Linalg.Vec.get p.Problem.init s in
+      if w > 0.0 then init := ([| s |], w) :: !init
+    done;
+    let first = match !init with (s, _) :: _ -> s.(0) | [] -> 0 in
+    let succ =
+      Explore.Succ.of_mrm p.Problem.mrm (Markov.Labeling.empty ~n) ~init:first
+    in
+    let space = Explore.Space.create succ in
+    let classify s =
+      Explore.Windowed.Transient { counts = p.Problem.goal.(s.(0)) }
+    in
+    let rate = Markov.Ctmc.max_exit_rate chain in
+    let rate = if rate > 0.0 then rate else 1.0 in
+    match
+      Explore.Windowed.solve ?telemetry ?cancel ~rate ~epsilon ~classify
+        ~init:!init ~t:p.Problem.time_bound
+        ~reward_bound:(Some p.Problem.reward_bound) space
+    with
+    | Explore.Windowed.Bounded r -> r.Explore.Windowed.value
+    | Explore.Windowed.Reward_bound_active _ -> fallback ()
+  end
 
 let solve ?pool ?telemetry ?reduction ?cancel spec (p : Problem.t) =
   Telemetry.with_span telemetry ("engine." ^ name spec) @@ fun () ->
@@ -17,18 +58,23 @@ let solve ?pool ?telemetry ?reduction ?cancel spec (p : Problem.t) =
     | None -> p
     | Some config -> Reduction.apply ?telemetry config p
   in
-  if Problem.reward_trivially_satisfied p then
-    Markov.Transient.reachability ?pool ?telemetry ?cancel
-      (Markov.Mrm.ctmc p.Problem.mrm)
-      ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
-  else
-    match spec with
-    | Pseudo_erlang { phases } ->
-      Erlang_approx.solve ?pool ?telemetry ?cancel ~phases p
-    | Discretize { step } ->
-      Discretization.solve ?pool ?telemetry ?cancel ~step p
-    | Occupation_time { epsilon } ->
-      Sericola.solve ~epsilon ?pool ?telemetry ?cancel p
+  match spec with
+  | Windowed { epsilon } ->
+    solve_windowed ?pool ?telemetry ?cancel ~epsilon p
+  | _ ->
+    if Problem.reward_trivially_satisfied p then
+      Markov.Transient.reachability ?pool ?telemetry ?cancel
+        (Markov.Mrm.ctmc p.Problem.mrm)
+        ~init:p.Problem.init ~goal:p.Problem.goal ~t:p.Problem.time_bound
+    else
+      match spec with
+      | Pseudo_erlang { phases } ->
+        Erlang_approx.solve ?pool ?telemetry ?cancel ~phases p
+      | Discretize { step } ->
+        Discretization.solve ?pool ?telemetry ?cancel ~step p
+      | Occupation_time { epsilon } ->
+        Sericola.solve ~epsilon ?pool ?telemetry ?cancel p
+      | Windowed _ -> assert false
 
 let of_string text =
   match String.split_on_char ':' text with
@@ -51,10 +97,17 @@ let of_string text =
       | Some step when step > 0.0 -> Ok (Discretize { step })
       | _ -> Error "discretise needs a positive step"
     end
+  | [ "windowed" ] -> Ok (Windowed { epsilon = 1e-9 })
+  | [ "windowed"; eps ] -> begin
+      match float_of_string_opt eps with
+      | Some e when e > 0.0 && e < 1.0 -> Ok (Windowed { epsilon = e })
+      | _ -> Error "windowed needs an epsilon in (0,1)"
+    end
   | _ ->
     Error
       (Printf.sprintf
-         "unknown engine %S (try sericola[:eps], erlang[:k], discretise[:d])"
+         "unknown engine %S (try sericola[:eps], erlang[:k], discretise[:d], \
+          windowed[:eps])"
          text)
 
 let pp_spec ppf = function
@@ -62,3 +115,4 @@ let pp_spec ppf = function
   | Discretize { step } -> Format.fprintf ppf "discretisation(d=%g)" step
   | Occupation_time { epsilon } ->
     Format.fprintf ppf "occupation-time(eps=%g)" epsilon
+  | Windowed { epsilon } -> Format.fprintf ppf "windowed(eps=%g)" epsilon

@@ -9,6 +9,17 @@ type spec =
           quadratic in [1 /. step]). *)
   | Occupation_time of { epsilon : float }
       (** Section 4.4; the only procedure with an a-priori error bound. *)
+  | Windowed of { epsilon : float }
+      (** Sliding-window truncated uniformisation ({!Explore.Windowed})
+          run over the explicit model wrapped as a successor function:
+          only states actually reachable with non-negligible mass are
+          expanded, and the answer is the midpoint of a certified
+          interval of half-width [<= epsilon].  The reward bound is
+          certified over the explored window ([rho_max *. t <= r] there);
+          when it bites inside the window, the solve falls back to the
+          occupation-time engine at the same [epsilon] (counted by the
+          telemetry counter [explore.reward_fallbacks]).  Models with
+          impulse rewards always take the fallback. *)
 
 val default : spec
 (** [Occupation_time {epsilon = 1e-9}] — the paper's conclusion picks this
@@ -55,7 +66,7 @@ val of_string : string -> (spec, string) result
 (** Parse the CLI syntax shared by every front-end ([csrl-check]'s and
     [csrl-serve]'s [--engine]): [sericola[:eps]] (alias
     [occupation-time]), [erlang[:phases]], [discretise[:step]] (aliases
-    [discretize], [tijms-veldman]).  The error is a one-line human
-    message. *)
+    [discretize], [tijms-veldman]), [windowed[:eps]].  The error is a
+    one-line human message. *)
 
 val pp_spec : Format.formatter -> spec -> unit

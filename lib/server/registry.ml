@@ -1,10 +1,16 @@
+type payload =
+  | Explicit of {
+      mrm : Markov.Mrm.t;
+      labeling : Markov.Labeling.t;
+      init : Linalg.Vec.t;
+      ctx : Checker.t;
+      memo : Checker.memo;
+    }
+  | Symbolic of { path : string; sym : Perf.Symbolic.t }
+
 type entry = {
   name : string;
-  mrm : Markov.Mrm.t;
-  labeling : Markov.Labeling.t;
-  init : Linalg.Vec.t;
-  ctx : Checker.t;
-  memo : Checker.memo;
+  payload : payload;
   entry_lock : Mutex.t;
 }
 
@@ -17,37 +23,54 @@ type t = {
 let create ~make_ctx () =
   { make_ctx; table = Hashtbl.create 8; lock = Mutex.create () }
 
-let build t ~name mrm labeling init =
-  { name; mrm; labeling; init;
-    ctx = t.make_ctx mrm labeling;
-    memo = Checker.create_memo ();
+let build_explicit t ~name mrm labeling init =
+  { name;
+    payload =
+      Explicit
+        { mrm; labeling; init;
+          ctx = t.make_ctx mrm labeling;
+          memo = Checker.create_memo () };
     entry_lock = Mutex.create () }
 
+let build_symbolic ~name ~path sym =
+  { name; payload = Symbolic { path; sym }; entry_lock = Mutex.create () }
+
+let is_gcm path = Filename.check_suffix path ".gcm"
+
 let load t ~name ?builtin ?file () =
-  let resolved =
-    match file with
-    | Some path -> begin
-        match Io.Mrm_format.parse_file path with
-        | doc ->
-          Ok
-            (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling,
-             doc.Io.Mrm_format.init)
-        | exception Io.Mrm_format.Syntax_error (message, line) ->
-          Error (Printf.sprintf "%s: line %d: %s" path line message)
-        | exception Sys_error message -> Error message
-      end
-    | None ->
-      let source = Option.value builtin ~default:name in
-      (match Models.Builtin.load source with
-       | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
-       | None -> Error (Printf.sprintf "unknown built-in model %S" source))
-  in
-  match resolved with
-  | Error _ as e -> e
-  | Ok (mrm, labeling, init) ->
-    let entry = build t ~name mrm labeling init in
+  let register entry =
     Mutex.protect t.lock (fun () -> Hashtbl.replace t.table name entry);
     Ok entry
+  in
+  match file with
+  | Some path when is_gcm path -> begin
+      match Lang.Gcm.load_file path with
+      | Ok succ -> register (build_symbolic ~name ~path (Perf.Symbolic.create succ))
+      | Error _ as e -> e
+    end
+  | _ ->
+    let resolved =
+      match file with
+      | Some path -> begin
+          match Io.Mrm_format.parse_file path with
+          | doc ->
+            Ok
+              (doc.Io.Mrm_format.mrm, doc.Io.Mrm_format.labeling,
+               doc.Io.Mrm_format.init)
+          | exception Io.Mrm_format.Syntax_error (message, line) ->
+            Error (Printf.sprintf "%s: line %d: %s" path line message)
+          | exception Sys_error message -> Error message
+        end
+      | None ->
+        let source = Option.value builtin ~default:name in
+        (match Models.Builtin.load source with
+         | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
+         | None -> Error (Printf.sprintf "unknown built-in model %S" source))
+    in
+    (match resolved with
+     | Error _ as e -> e
+     | Ok (mrm, labeling, init) ->
+       register (build_explicit t ~name mrm labeling init))
 
 let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table name)
 

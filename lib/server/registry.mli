@@ -1,18 +1,22 @@
 (** The daemon's model registry: named models, each carrying its warm
     state.
 
-    An entry bundles the model with everything that makes repeat queries
-    cheap: a prepared {!Checker.t} and a {!Checker.memo} holding the
+    Entries come in two flavours.  An {e explicit} entry bundles a
+    materialised model with everything that makes repeat queries cheap:
+    a prepared {!Checker.t} and a {!Checker.memo} holding the
     hash-consed Sat-set and path-probability tables plus the
-    {!Perf.Batch} reduction and Theorem 1 caches.  (The third warm
-    layer, the Fox–Glynn window memo, is process-wide, mutex-protected,
-    and needs no per-entry state.)
+    {!Perf.Batch} reduction and Theorem 1 caches.  A {e symbolic} entry
+    wraps a [.gcm] guarded-command program as a {!Perf.Symbolic.t},
+    whose warm state is the interned state space and the per-query
+    result memo — states discovered by one query are never re-discovered
+    by the next.  (The third warm layer, the Fox–Glynn window memo, is
+    process-wide, mutex-protected, and needs no per-entry state.)
 
     Concurrency: the table itself is guarded by one mutex whose critical
     sections are tiny (hash lookups), so lookups on different models
     never wait on each other's solves.  Each entry additionally carries
     its own lock, taken via {!exclusively} around a solve, which is what
-    protects the entry's memo tables when entries are used from several
+    protects the entry's warm caches when entries are used from several
     executor domains.  Under the per-model sharding of
     {!Service.serve_channels} the lock is uncontended by construction —
     same model, same shard — and warm-cache hits on {e different} models
@@ -25,15 +29,24 @@
     reclaimed by the GC afterwards.  Later requests on the evicted name
     get [None] from {!find}. *)
 
+type payload =
+  | Explicit of {
+      mrm : Markov.Mrm.t;
+      labeling : Markov.Labeling.t;
+      init : Linalg.Vec.t;
+      ctx : Checker.t;     (** prepared on the server's engine/pool config *)
+      memo : Checker.memo; (** the entry's warm caches *)
+    }
+  | Symbolic of {
+      path : string;            (** the [.gcm] file it was loaded from *)
+      sym : Perf.Symbolic.t;    (** warm space + query memo *)
+    }
+
 type entry = {
   name : string;
-  mrm : Markov.Mrm.t;
-  labeling : Markov.Labeling.t;
-  init : Linalg.Vec.t;
-  ctx : Checker.t;     (** prepared on the server's engine/pool config *)
-  memo : Checker.memo; (** the entry's warm caches *)
+  payload : payload;
   entry_lock : Mutex.t;
-      (** guards [memo]/[ctx] during a solve; take it via
+      (** guards the payload's warm caches during a solve; take it via
           {!exclusively} *)
 }
 
@@ -41,9 +54,9 @@ type t
 
 val create :
   make_ctx:(Markov.Mrm.t -> Markov.Labeling.t -> Checker.t) -> unit -> t
-(** [make_ctx] prepares the checking context for every loaded model —
-    the server closes it over its engine, epsilon, reduction config,
-    pool and telemetry. *)
+(** [make_ctx] prepares the checking context for every loaded explicit
+    model — the server closes it over its engine, epsilon, reduction
+    config, pool and telemetry.  Symbolic entries don't use it. *)
 
 val load :
   t -> name:string -> ?builtin:string -> ?file:string -> unit ->
@@ -52,15 +65,18 @@ val load :
     [file], [name] itself must be a built-in model
     ({!Models.Builtin}); with [builtin], that built-in is loaded and
     registered under the (possibly different) [name] — an alias, giving
-    the entry its own independent warm caches; with [file], the [.mrm]
-    file is parsed.  Replaces any existing entry (fresh warm state).
-    Errors are messages: unknown built-in, or the file's parse error. *)
+    the entry its own independent warm caches; with [file], the file is
+    parsed — [.gcm] files become symbolic entries (each load gets a
+    fresh, independent warm space), anything else is parsed as [.mrm].
+    Replaces any existing entry (fresh warm state).  Errors are
+    messages: unknown built-in, or the file's parse error with
+    [file:line:col] positions for [.gcm]. *)
 
 val find : t -> string -> entry option
 
 val exclusively : entry -> (unit -> 'a) -> 'a
 (** Run [f] holding the entry's lock — every solve against the entry's
-    [ctx]/[memo] goes through here. *)
+    warm caches goes through here. *)
 
 val evict : t -> string -> bool
 (** [true] when the name was registered. *)

@@ -125,6 +125,45 @@ let verdict_json ~init verdict =
          (List.init (Linalg.Vec.length values) (fun s ->
               Io.Json.Number values.{s}))) ]
 
+(* Symbolic (successor-backed) models answer with a certified interval
+   instead of a per-state vector: there is no enumerated state space to
+   report over. *)
+let symbolic_answer_json (a : Perf.Symbolic.answer) =
+  [ ("value", Io.Json.Number a.Perf.Symbolic.value);
+    ("delta", Io.Json.Number a.Perf.Symbolic.delta);
+    ("lower", Io.Json.Number a.Perf.Symbolic.lower);
+    ("upper", Io.Json.Number a.Perf.Symbolic.upper);
+    ("fallback", Io.Json.Bool a.Perf.Symbolic.fallback) ]
+  @
+  match a.Perf.Symbolic.stats with
+  | None -> []
+  | Some s ->
+    [ ("window",
+       Io.Json.Object
+         [ ("peak_window",
+            Io.Json.Number (float_of_int s.Explore.Windowed.peak_window));
+           ("states_expanded",
+            Io.Json.Number (float_of_int s.Explore.Windowed.states_expanded));
+           ("mass_dropped", Io.Json.Number s.Explore.Windowed.mass_dropped);
+           ("iterations",
+            Io.Json.Number (float_of_int s.Explore.Windowed.iterations));
+           ("restarts",
+            Io.Json.Number (float_of_int s.Explore.Windowed.restarts));
+           ("rate", Io.Json.Number s.Explore.Windowed.rate) ]) ]
+
+let symbolic_verdict_json (outcome : Perf.Symbolic.outcome) =
+  match outcome with
+  | Perf.Symbolic.Numeric a ->
+    ("kind", Io.Json.String "numeric") :: symbolic_answer_json a
+  | Perf.Symbolic.Boolean (sat, a) ->
+    [ ("kind", Io.Json.String "boolean"); ("satisfied", Io.Json.Bool sat) ]
+    @ (match a with None -> [] | Some a -> symbolic_answer_json a)
+
+let entry_states (e : Registry.entry) =
+  match e.Registry.payload with
+  | Registry.Explicit { mrm; _ } -> Markov.Mrm.n_states mrm
+  | Registry.Symbolic { sym; _ } -> Perf.Symbolic.n_states sym
+
 (* ------------------------------------------------------------------ *)
 (* Request execution.                                                  *)
 
@@ -189,6 +228,10 @@ let guarded ?id f =
     Error (Protocol.error ?id ~code:"deadline_exceeded" reason)
   | exception Checker.Unsupported message ->
     Error (Protocol.error ?id ~code:"unsupported" message)
+  | exception Perf.Symbolic.Unsupported message ->
+    Error (Protocol.error ?id ~code:"unsupported" message)
+  | exception Lang.Gcm.Runtime_error message ->
+    Error (Protocol.error ?id ~code:"model_runtime_error" message)
   | exception Markov.Labeling.Unknown_proposition p ->
     Error
       (Protocol.error ?id ~code:"unknown_proposition"
@@ -217,15 +260,22 @@ let stats_json t =
   let models =
     List.map
       (fun (e : Registry.entry) ->
+        let cache =
+          match e.Registry.payload with
+          | Registry.Explicit { memo; _ } ->
+            Io.Json.Object
+              (List.map
+                 (fun (name, counters) -> (name, counters_entry counters))
+                 (Checker.memo_counters memo))
+          | Registry.Symbolic { sym; _ } ->
+            Io.Json.Object
+              [ ("query_memo_entries",
+                 Io.Json.Number (float_of_int (Perf.Symbolic.memo_size sym))) ]
+        in
         Io.Json.Object
           [ ("name", Io.Json.String e.Registry.name);
-            ("states",
-             Io.Json.Number (float_of_int (Markov.Mrm.n_states e.Registry.mrm)));
-            ("cache",
-             Io.Json.Object
-               (List.map
-                  (fun (name, counters) -> (name, counters_entry counters))
-                  (Checker.memo_counters e.Registry.memo))) ])
+            ("states", Io.Json.Number (float_of_int (entry_states e)));
+            ("cache", cache) ])
       (Registry.entries t.reg)
   in
   let fg = Numerics.Fox_glynn.cache_counters () in
@@ -245,19 +295,30 @@ let run_request t ~admitted ~id request =
   match (request : Protocol.request) with
   | Load { model; file; builtin } -> begin
       match Registry.load t.reg ~name:model ?builtin ?file () with
-      | Ok entry ->
-        Ok
-          (ok ~kind:"load"
-             [ ("model", Io.Json.String model);
-               ("states",
-                Io.Json.Number
-                  (float_of_int (Markov.Mrm.n_states entry.Registry.mrm)));
-               ("transitions",
-                Io.Json.Number
-                  (float_of_int
-                     (Linalg.Csr.nnz
-                        (Markov.Ctmc.rates
-                           (Markov.Mrm.ctmc entry.Registry.mrm))))) ])
+      | Ok entry -> begin
+          match entry.Registry.payload with
+          | Registry.Explicit { mrm; _ } ->
+            Ok
+              (ok ~kind:"load"
+                 [ ("model", Io.Json.String model);
+                   ("states",
+                    Io.Json.Number (float_of_int (Markov.Mrm.n_states mrm)));
+                   ("transitions",
+                    Io.Json.Number
+                      (float_of_int
+                         (Linalg.Csr.nnz
+                            (Markov.Ctmc.rates (Markov.Mrm.ctmc mrm))))) ])
+          | Registry.Symbolic { sym; _ } ->
+            (* The reachable space is discovered on demand; only the
+               interned count (the initial state, at load time) exists. *)
+            Ok
+              (ok ~kind:"load"
+                 [ ("model", Io.Json.String model);
+                   ("symbolic", Io.Json.Bool true);
+                   ("states_interned",
+                    Io.Json.Number
+                      (float_of_int (Perf.Symbolic.n_states sym))) ])
+        end
       | Error message ->
         let code = if file = None then "unknown_model" else "load_error" in
         Error (Protocol.error ?id ~code message)
@@ -275,9 +336,7 @@ let run_request t ~admitted ~id request =
         (fun (e : Registry.entry) ->
           Io.Json.Object
             [ ("name", Io.Json.String e.Registry.name);
-              ("states",
-               Io.Json.Number
-                 (float_of_int (Markov.Mrm.n_states e.Registry.mrm))) ])
+              ("states", Io.Json.Number (float_of_int (entry_states e))) ])
         (Registry.entries t.reg)
     in
     Ok (ok ~kind:"list" [ ("models", Io.Json.List models) ])
@@ -285,18 +344,39 @@ let run_request t ~admitted ~id request =
     let* entry = resolve t ?id model in
     let* q = parse_query ?id query in
     let* token = deadline_token t ~admitted ?id request in
-    let ctx = Checker.with_cancel entry.Registry.ctx token in
-    let* verdict =
-      Registry.exclusively entry (fun () ->
-          guarded ?id (fun () ->
-              Checker.eval_query ~memo:entry.Registry.memo ctx q))
+    let header =
+      [ ("model", Io.Json.String model);
+        ("query", Io.Json.String (Format.asprintf "%a" Logic.Ast.pp_query q))
+      ]
     in
-    Ok
-      (ok ~kind:"check"
-         ([ ("model", Io.Json.String model);
-            ("query",
-             Io.Json.String (Format.asprintf "%a" Logic.Ast.pp_query q)) ]
-         @ [ ("result", Io.Json.Object (verdict_json ~init:entry.Registry.init verdict)) ]))
+    (match entry.Registry.payload with
+     | Registry.Explicit { ctx; memo; init; _ } ->
+       let ctx = Checker.with_cancel ctx token in
+       let* verdict =
+         Registry.exclusively entry (fun () ->
+             guarded ?id (fun () -> Checker.eval_query ~memo ctx q))
+       in
+       Ok
+         (ok ~kind:"check"
+            (header @ [ ("result", Io.Json.Object (verdict_json ~init verdict)) ]))
+     | Registry.Symbolic { sym; _ } ->
+       (* The server's engine config only constrains the epsilon here: a
+          symbolic model is always solved by the windowed engine. *)
+       let epsilon =
+         match t.config.engine with
+         | Perf.Engine.Windowed { epsilon } -> epsilon
+         | _ -> t.config.epsilon
+       in
+       let* outcome =
+         Registry.exclusively entry (fun () ->
+             guarded ?id (fun () ->
+                 Perf.Symbolic.eval ?telemetry:t.config.telemetry
+                   ?cancel:token ~epsilon sym q))
+       in
+       Ok
+         (ok ~kind:"check"
+            (header
+            @ [ ("result", Io.Json.Object (symbolic_verdict_json outcome)) ])))
   | Quantile { model; query; variable; target; hi; tolerance; _ } ->
     let* entry = resolve t ?id model in
     let* q = parse_query ?id query in
@@ -309,8 +389,17 @@ let run_request t ~admitted ~id request =
           (Protocol.error ?id ~code:"bad_request"
              "quantile needs a P=? query whose path formula is an until")
     in
+    let* ctx, memo, init =
+      match entry.Registry.payload with
+      | Registry.Explicit { ctx; memo; init; _ } -> Ok (ctx, memo, init)
+      | Registry.Symbolic _ ->
+        Error
+          (Protocol.error ?id ~code:"unsupported"
+             "quantile search runs on explicit models only; check the .gcm \
+              model directly or load its materialised .mrm")
+    in
     let* token = deadline_token t ~admitted ?id request in
-    let ctx = Checker.with_cancel entry.Registry.ctx token in
+    let ctx = Checker.with_cancel ctx token in
     let eval x =
       (* The bound on the chosen variable in the query text is a
          placeholder: each probe re-solves with that bound set to [x].
@@ -325,8 +414,8 @@ let run_request t ~admitted ~id request =
       let probe =
         Logic.Ast.Prob_query (Logic.Ast.Until (time, reward, phi, psi))
       in
-      match Checker.eval_query ~memo:entry.Registry.memo ctx probe with
-      | Checker.Numeric values -> Linalg.Vec.dot entry.Registry.init values
+      match Checker.eval_query ~memo ctx probe with
+      | Checker.Numeric values -> Linalg.Vec.dot init values
       | Checker.Boolean _ -> assert false
     in
     let* outcome =
@@ -361,8 +450,17 @@ let run_request t ~admitted ~id request =
              "frontier needs a frontier query: 'frontier[N] P>=p ( phi \
               U[t<=T][r<=R] psi )'")
     in
+    let* ctx, memo, init =
+      match entry.Registry.payload with
+      | Registry.Explicit { ctx; memo; init; _ } -> Ok (ctx, memo, init)
+      | Registry.Symbolic _ ->
+        Error
+          (Protocol.error ?id ~code:"unsupported"
+             "frontier sweeps run on explicit models only; check the .gcm \
+              model directly or load its materialised .mrm")
+    in
     let* token = deadline_token t ~admitted ?id request in
-    let ctx = Checker.with_cancel entry.Registry.ctx token in
+    let ctx = Checker.with_cancel ctx token in
     (* Every probe is an ordinary solve with the entry's memo, so the
        sweep shares the model's warm caches with check/quantile traffic
        and each point stays bit-identical to a cold check of the same
@@ -371,8 +469,7 @@ let run_request t ~admitted ~id request =
       Registry.exclusively entry (fun () ->
           guarded ?id (fun () ->
               Batch.Frontier.run ?telemetry:t.config.telemetry
-                ~memo:entry.Registry.memo ~tolerance ctx
-                ~init:entry.Registry.init q))
+                ~memo ~tolerance ctx ~init q))
     in
     let points =
       List.map
@@ -429,9 +526,27 @@ let execute t ?admitted ({ id; request } : Protocol.envelope) =
    admitted jobs to N executor domains, sharded by model name; sessions
    contribute reader threads and drain their reorder buffers.           *)
 
+(* FNV-1a (64-bit) over the model name.  [Hashtbl.hash] is seeded per
+   process on some configurations and its value is unspecified across
+   compiler versions, so it cannot pin model->shard assignments in docs,
+   tests, or multi-process deployments; FNV-1a is stable by
+   construction. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let shard_of_name ~executors name =
+  if executors < 1 then invalid_arg "shard_of_name: executors must be >= 1";
+  Int64.to_int (Int64.unsigned_rem (fnv1a64 name) (Int64.of_int executors))
+
 let shard_of t request =
   match Protocol.model_of request with
-  | Some model -> Some (Hashtbl.hash model mod t.config.executors)
+  | Some model -> Some (shard_of_name ~executors:t.config.executors model)
   | None -> None
 
 (* An exception that escapes [execute] (it guards all per-request

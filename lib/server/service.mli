@@ -8,9 +8,12 @@
       pool of [executors] worker domains ({!Executor}).  Each session's
       reader thread admits lines into one service-wide bounded
       {!Admission} queue; a dispatcher thread routes every admitted job
-      to the shard [Hashtbl.hash model mod executors], so all requests
-      on one model execute on one executor, in admission order, against
-      that model's warm caches.  Responses carry the session sequence
+      to the shard [fnv1a64 model mod executors] (a stable, explicit
+      FNV-1a hash — see {!shard_of_name} — never the process-seeded
+      [Hashtbl.hash]), so all requests on one model execute on one
+      executor, in admission order, against that model's warm caches,
+      and the model->shard mapping is identical across processes,
+      compiler versions and restarts.  Responses carry the session sequence
       number assigned at admission and leave through a {!Reorder} buffer
       strictly in admission order — the wire transcript of a session is
       byte-identical at every executor count.
@@ -83,6 +86,17 @@ val execute : t -> ?admitted:float -> Protocol.envelope -> Io.Json.t
     returning the response object — the executors' own entry point,
     exposed for the differential tests and the bench harness.
     [admitted] (default: now) is the deadline anchor. *)
+
+val fnv1a64 : string -> int64
+(** The 64-bit FNV-1a hash (offset basis [0xcbf29ce484222325], prime
+    [0x100000001b3]) of the bytes of the string — the stable hash behind
+    the model->shard mapping. *)
+
+val shard_of_name : executors:int -> string -> int
+(** [fnv1a64 name] reduced by {e unsigned} remainder to
+    [0 .. executors - 1].  Stable across processes and versions; pinned
+    by the test suite.  Raises [Invalid_argument] when
+    [executors < 1]. *)
 
 type outcome = Shutdown | Eof
 

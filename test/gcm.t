@@ -1,0 +1,147 @@
+Guarded-command (.gcm) models on the command line: the windowed engine
+checks them without enumerating the state space, other engines
+materialise a capped explicit twin, and front-end errors carry
+file:line:column positions.
+
+  $ cat > queue.gcm <<'EOF'
+  > // An M/M/1-style queue with a capacity and a service-rate knob.
+  > const int N = 8;
+  > const double arrive = 1.8;
+  > 
+  > module queue
+  >   q : [0..N] init 0;
+  >   [] q < N -> arrive : (q'=q+1);
+  >   [] q > 0 -> 2.0 : (q'=q-1);
+  > endmodule
+  > 
+  > label "empty" = q=0;
+  > label "full" = q=N;
+  > 
+  > rewards
+  >   q > 0 : 1.0 * q;
+  > endrewards
+  > EOF
+
+Propositions come from the labels, without materialising anything:
+
+  $ csrl-check --file queue.gcm --list-propositions
+  model: 9 states, 16 transitions
+    empty                    (1 states)
+    full                     (1 states)
+
+The windowed engine answers with a certified interval plus the window
+statistics.  Run the same check twice: the engine is deterministic, so
+both runs print byte-identical output (including the --stats summary,
+which omits spans and wall-clock times):
+
+  $ csrl-check --file queue.gcm --engine windowed --stats 'P=? ( true U[t<=2] full )'
+  query:  P=? (F[t<=2] full)
+  engine: windowed(eps=1e-09)
+  value from the initial state: 0.0045280347
+  certified interval: [0.00452803457372, 0.00452803479178] (delta 1.09e-10 <= epsilon 1e-09)
+  window: peak=8 expanded=8 dropped=0 iterations=33 restarts=1 rate=4.56
+  telemetry:
+    explore.iterations = 33
+    explore.restarts = 1
+    explore.states_expanded = 8
+    fox_glynn.calls = 1
+    reduction.symbolic_bypass = 1
+    explore.delta = 1.09027e-10
+    explore.mass_dropped = 0
+    explore.peak_window = 8
+    explore.rate = 4.56
+    fox_glynn.left = 0
+    fox_glynn.right = 33
+    fox_glynn.weight_mass = 1
+
+  $ csrl-check --file queue.gcm --engine windowed --stats 'P=? ( true U[t<=2] full )'
+  query:  P=? (F[t<=2] full)
+  engine: windowed(eps=1e-09)
+  value from the initial state: 0.0045280347
+  certified interval: [0.00452803457372, 0.00452803479178] (delta 1.09e-10 <= epsilon 1e-09)
+  window: peak=8 expanded=8 dropped=0 iterations=33 restarts=1 rate=4.56
+  telemetry:
+    explore.iterations = 33
+    explore.restarts = 1
+    explore.states_expanded = 8
+    fox_glynn.calls = 1
+    reduction.symbolic_bypass = 1
+    explore.delta = 1.09027e-10
+    explore.mass_dropped = 0
+    explore.peak_window = 8
+    explore.rate = 4.56
+    fox_glynn.left = 0
+    fox_glynn.right = 33
+    fox_glynn.weight_mass = 1
+
+Any explicit engine materialises the reachable space first and then
+runs the ordinary pipeline on the twin:
+
+  $ csrl-check --file queue.gcm 'P=? ( true U[t<=2] full )'
+  query:  P=? (F[t<=2] full)
+  engine: occupation-time(eps=1e-09)
+    state  0  [empty                                   ]  0.0045280346
+    state  1  [-                                       ]  0.0095928366
+    state  2  [-                                       ]  0.0237568515
+    state  3  [-                                       ]  0.0557780532
+    state  4  [-                                       ]  0.1200036451
+    state  5  [-                                       ]  0.2350258206
+    state  6  [-                                       ]  0.4182458187
+    state  7  [-                                       ]  0.6768518672
+    state  8  [full                                    ]  0.9999999998
+  value from the initial distribution: 0.0045280346
+
+Front-end errors point at the offending token as file:line:column.  A
+syntax error:
+
+  $ cat > broken.gcm <<'EOF'
+  > module m
+  >   x : [0..3] init 0;
+  >   [] x < 3 -> : (x'=x+1);
+  > endmodule
+  > EOF
+  $ csrl-check --file broken.gcm --engine windowed 'P=? ( true U[t<=1] full )'
+  broken.gcm:3:15: expected an expression, found ':'
+  [2]
+
+An unknown name, reported where it is used:
+
+  $ cat > unknown.gcm <<'EOF'
+  > module m
+  >   x : [0..3] init 0;
+  >   [] y < 3 -> 1.0 : (x'=x+1);
+  > endmodule
+  > EOF
+  $ csrl-check --file unknown.gcm --engine windowed 'P=? ( true U[t<=1] full )'
+  unknown.gcm:3:6: unknown name 'y'
+  [2]
+
+An initial value outside the declared range:
+
+  $ cat > range.gcm <<'EOF'
+  > module m
+  >   x : [0..3] init 7;
+  > endmodule
+  > EOF
+  $ csrl-check --file range.gcm --engine windowed 'P=? ( true U[t<=1] full )'
+  range.gcm:2:3: initial value 7 of 'x' outside [0..3]
+  [2]
+
+A type error (an arithmetic expression where a guard is expected):
+
+  $ cat > typed.gcm <<'EOF'
+  > module m
+  >   x : [0..3] init 0;
+  >   [] x + 1 -> 1.0 : (x'=x+1);
+  > endmodule
+  > EOF
+  $ csrl-check --file typed.gcm --engine windowed 'P=? ( true U[t<=1] full )'
+  typed.gcm:3:3: command guard is int, expected bool
+  [2]
+
+Features that need an explicit state space refuse cleanly under the
+windowed engine instead of silently materialising:
+
+  $ csrl-check --file queue.gcm --engine windowed --info 'P=? ( true U[t<=2] full )'
+  --info, --lump, --batch and --frontier need an explicit state space; rerun with an explicit engine (e.g. --engine sericola) to materialise the .gcm model
+  [2]

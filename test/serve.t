@@ -42,6 +42,42 @@ and everything after shutdown is refused:
   {"ok":true,"kind":"shutdown"}
   {"ok":false,"error":"shutting_down","message":"the server is draining and stops accepting requests","id":"late"}
 
+A .gcm guarded-command file loads as a symbolic model: checks run the
+sliding-window engine on demand and answer with a certified interval
+plus window statistics, a repeated check hits the query memo (same
+bytes, warm space), list reports the states interned so far, quantile
+sweeps are refused with a pointer at the explicit pipeline, and a
+broken file reports its file:line:col position:
+
+  $ cat > chain.gcm <<'EOF'
+  > module chain
+  >   x : [0..3] init 0;
+  >   [] x < 3 -> 1.0 : (x'=x+1);
+  > endmodule
+  > label "full" = x=3;
+  > EOF
+  $ cat > broken.gcm <<'EOF'
+  > module m
+  >   x : [0..2] init 5;
+  > endmodule
+  > EOF
+  $ csrl-serve <<'EOF'
+  > {"kind": "load", "model": "chain", "file": "chain.gcm"}
+  > {"kind": "check", "model": "chain", "query": "P=? ( true U[t<=1] full )", "id": "k1"}
+  > {"kind": "check", "model": "chain", "query": "P=? ( true U[t<=1] full )", "id": "k2"}
+  > {"kind": "list"}
+  > {"kind": "quantile", "model": "chain", "query": "P=? ( true U[t<=1] full )", "variable": "t", "target": 0.5, "hi": 8}
+  > {"kind": "load", "model": "oops", "file": "broken.gcm"}
+  > {"kind": "shutdown"}
+  > EOF
+  {"ok":true,"kind":"load","model":"chain","symbolic":true,"states_interned":1}
+  {"ok":true,"kind":"check","id":"k1","model":"chain","query":"P=? (F[t<=1] full)","result":{"kind":"numeric","value":0.0803013970395953,"delta":3.179884133786004e-11,"lower":0.080301397007796455,"upper":0.080301397071394137,"fallback":false,"window":{"peak_window":1,"states_expanded":3,"mass_dropped":0,"iterations":3,"restarts":0,"rate":1}}}
+  {"ok":true,"kind":"check","id":"k2","model":"chain","query":"P=? (F[t<=1] full)","result":{"kind":"numeric","value":0.0803013970395953,"delta":3.179884133786004e-11,"lower":0.080301397007796455,"upper":0.080301397071394137,"fallback":false,"window":{"peak_window":1,"states_expanded":3,"mass_dropped":0,"iterations":3,"restarts":0,"rate":1}}}
+  {"ok":true,"kind":"list","models":[{"name":"chain","states":4}]}
+  {"ok":false,"error":"unsupported","message":"quantile search runs on explicit models only; check the .gcm model directly or load its materialised .mrm"}
+  {"ok":false,"error":"load_error","message":"broken.gcm:2:3: initial value 5 of 'x' outside [0..2]"}
+  {"ok":true,"kind":"shutdown"}
+
 Over a Unix-domain socket the registry persists across connections: the
 first client's check shows up in the second client's stats (one check
 counted, its path-probability vector sitting in the warm cache), and
@@ -139,7 +175,7 @@ Serving flags are validated up front, before anything starts:
   [2]
 
   $ csrl-serve --engine bogus
-  unknown engine "bogus" (try sericola[:eps], erlang[:k], discretise[:d])
+  unknown engine "bogus" (try sericola[:eps], erlang[:k], discretise[:d], windowed[:eps])
   [2]
 
   $ csrl-serve --preload nope

@@ -1,0 +1,306 @@
+(* On-the-fly exploration: the guarded-command language (lib/lang) and
+   the sliding-window truncated uniformisation engine (lib/explore). *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A birth-death .gcm whose explicit twin is easy to build by hand. *)
+let birth_death_src =
+  {|
+const int N = 6;
+const double birth = 2.0;
+
+module bd
+  x : [0..N] init 0;
+  [] x < N -> birth : (x'=x+1);
+  [] x > 0 -> 1.0 * x : (x'=x-1);
+endmodule
+
+label "empty" = x=0;
+label "full" = x=N;
+
+rewards
+  x > 0 : 0.5 * x;
+endrewards
+|}
+
+let birth_death_mrm () =
+  let n = 7 in
+  let triples = ref [] in
+  for x = 0 to n - 1 do
+    if x < n - 1 then triples := (x, x + 1, 2.0) :: !triples;
+    if x > 0 then triples := (x, x - 1, float_of_int x) :: !triples
+  done;
+  let ctmc = Markov.Ctmc.of_transitions ~n !triples in
+  let rewards = Array.init n (fun x -> 0.5 *. float_of_int x) in
+  Markov.Mrm.make ctmc ~rewards
+
+let compile_exn src =
+  match Lang.Gcm.of_string src with
+  | Ok succ -> succ
+  | Error msg -> Alcotest.failf "unexpected .gcm error: %s" msg
+
+let test_gcm_compiles () =
+  let succ = compile_exn birth_death_src in
+  Alcotest.(check (array string)) "vars" [| "x" |] succ.Explore.Succ.var_names;
+  Alcotest.(check (list string))
+    "props" [ "empty"; "full" ] succ.Explore.Succ.propositions;
+  Alcotest.(check string) "describe" "x=0"
+    (Explore.Succ.describe succ succ.Explore.Succ.initial);
+  check_float "reward" 1.5 (succ.Explore.Succ.reward [| 3 |]);
+  Alcotest.(check bool) "empty holds" true
+    (succ.Explore.Succ.holds [| 0 |] "empty");
+  match succ.Explore.Succ.successors [| 3 |] with
+  | [ (up, r_up); (down, r_down) ] ->
+    Alcotest.(check (array int)) "up" [| 4 |] up;
+    Alcotest.(check (array int)) "down" [| 2 |] down;
+    check_float "birth rate" 2.0 r_up;
+    check_float "death rate" 3.0 r_down
+  | l -> Alcotest.failf "expected 2 successors, got %d" (List.length l)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_gcm_errors () =
+  let expect_error needle src =
+    match Lang.Gcm.of_string src with
+    | Ok _ -> Alcotest.failf "expected an error mentioning %S" needle
+    | Error msg ->
+      if not (contains msg needle) then
+        Alcotest.failf "error %S does not mention %S" msg needle
+  in
+  expect_error "1:1" "garbage";
+  expect_error "unknown name 'y'"
+    "module m x : [0..1] init 0; [] y > 0 -> 1 : true; endmodule";
+  expect_error "expected bool"
+    "module m x : [0..1] init 0; [] x -> 1 : true; endmodule";
+  expect_error "outside [0..1]"
+    "module m x : [0..1] init 2; [] x > 0 -> 1 : true; endmodule"
+
+let classify_goal succ goal s =
+  if succ.Explore.Succ.holds s goal then Explore.Windowed.Absorb { goal = true }
+  else Explore.Windowed.Transient { counts = false }
+
+let solve_result = function
+  | Explore.Windowed.Bounded r -> r
+  | Explore.Windowed.Reward_bound_active _ ->
+    Alcotest.fail "unexpected reward-bound abort"
+
+(* Windowed until-probability on the .gcm birth-death chain must agree
+   with explicit reachability on the hand-built twin (goal absorbing). *)
+let test_windowed_vs_explicit () =
+  let succ = compile_exn birth_death_src in
+  let space = Explore.Space.create succ in
+  let epsilon = 1e-9 in
+  let t = 1.5 in
+  let r =
+    solve_result
+      (Explore.Windowed.solve ~epsilon
+         ~classify:(classify_goal succ "full")
+         ~init:[ (succ.Explore.Succ.initial, 1.0) ]
+         ~t ~reward_bound:None space)
+  in
+  (* Explicit twin: make the goal state absorbing, then transient mass. *)
+  let mrm = birth_death_mrm () in
+  let chain = Markov.Mrm.ctmc mrm in
+  let n = Markov.Ctmc.n_states chain in
+  let triples = ref [] in
+  for s = 0 to n - 1 do
+    if s <> n - 1 then
+      Linalg.Csr.iter_row (Markov.Ctmc.rates chain) s (fun j rate ->
+          if rate > 0.0 then triples := (s, j, rate) :: !triples)
+  done;
+  let absorbed = Markov.Ctmc.of_transitions ~n !triples in
+  let init = Linalg.Vec.unit n 0 in
+  let goal = Array.init n (fun s -> s = n - 1) in
+  let reference =
+    Markov.Transient.reachability ~epsilon:1e-12 absorbed ~init ~goal ~t
+  in
+  Alcotest.(check bool) "delta certified" true (r.Explore.Windowed.delta <= epsilon);
+  Alcotest.(check bool)
+    (Printf.sprintf "windowed %.12g vs explicit %.12g within %g"
+       r.Explore.Windowed.value reference
+       (r.Explore.Windowed.delta +. 1e-10))
+    true
+    (Float.abs (r.Explore.Windowed.value -. reference)
+     <= r.Explore.Windowed.delta +. 1e-10)
+
+(* A run that never truncates must be bit-identical to truncate:false. *)
+let test_bit_identity_when_untruncated () =
+  let succ = compile_exn birth_death_src in
+  let solve ~truncate =
+    let space = Explore.Space.create succ in
+    solve_result
+      (Explore.Windowed.solve ~truncate ~epsilon:1e-6
+         ~classify:(classify_goal succ "full")
+         ~init:[ (succ.Explore.Succ.initial, 1.0) ]
+         ~t:0.5 ~reward_bound:None space)
+  in
+  let truncated = solve ~truncate:true in
+  let full = solve ~truncate:false in
+  check_float "no mass dropped" 0.0
+    truncated.Explore.Windowed.stats.Explore.Windowed.mass_dropped;
+  Alcotest.(check bool) "bit-identical lower" true
+    (Float.equal truncated.Explore.Windowed.lower full.Explore.Windowed.lower);
+  Alcotest.(check bool) "bit-identical value" true
+    (Float.equal truncated.Explore.Windowed.value full.Explore.Windowed.value)
+
+(* Warm spaces (reused across solves) must not change results. *)
+let test_warm_space_deterministic () =
+  let succ = compile_exn birth_death_src in
+  let space = Explore.Space.create succ in
+  let solve space =
+    solve_result
+      (Explore.Windowed.solve ~epsilon:1e-7
+         ~classify:(classify_goal succ "full")
+         ~init:[ (succ.Explore.Succ.initial, 1.0) ]
+         ~t:2.0 ~reward_bound:None space)
+  in
+  let cold = solve space in
+  let warm = solve space in
+  let fresh = solve (Explore.Space.create succ) in
+  Alcotest.(check bool) "warm = cold" true
+    (Float.equal cold.Explore.Windowed.value warm.Explore.Windowed.value);
+  Alcotest.(check bool) "fresh = cold" true
+    (Float.equal cold.Explore.Windowed.value fresh.Explore.Windowed.value)
+
+let test_materialise_roundtrip () =
+  let succ = compile_exn birth_death_src in
+  let space = Explore.Space.create succ in
+  match Explore.Materialise.materialise space with
+  | Error n -> Alcotest.failf "materialise hit the limit at %d states" n
+  | Ok (mrm, labeling, init) ->
+    Alcotest.(check int) "init id" 0 init;
+    Alcotest.(check int) "n states" 7 (Markov.Mrm.n_states mrm);
+    let reference = birth_death_mrm () in
+    for id = 0 to 6 do
+      let x = (Explore.Space.state space id).(0) in
+      check_float
+        (Printf.sprintf "reward of x=%d" x)
+        (Markov.Mrm.reward reference x)
+        (Markov.Mrm.reward mrm id);
+      for id' = 0 to 6 do
+        let x' = (Explore.Space.state space id').(0) in
+        if x <> x' then
+          check_float
+            (Printf.sprintf "rate x=%d -> x=%d" x x')
+            (Markov.Ctmc.rate (Markov.Mrm.ctmc reference) x x')
+            (Markov.Ctmc.rate (Markov.Mrm.ctmc mrm) id id')
+      done
+    done;
+    Alcotest.(check bool) "full label" true
+      (Markov.Labeling.holds labeling "full"
+         (let found = ref (-1) in
+          for id = 0 to 6 do
+            if (Explore.Space.state space id).(0) = 6 then found := id
+          done;
+          !found))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random .gcm programs, windowed vs explicit within delta.    *)
+
+(* Emit a random two-variable program.  The shape is constrained so the
+   program always typechecks and every update stays in range (the guard
+   of each command implies its assignments are legal); everything else —
+   ranges, initial point, rates, the coupled drift command, the
+   branching choice, the goal front — varies with the draw. *)
+let random_gcm_src ~nx ~ny ~ix ~iy ~rates ~coupled ~branching ~front =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "module m\n";
+  add "  x : [0..%d] init %d;\n" nx ix;
+  add "  y : [0..%d] init %d;\n" ny iy;
+  add "  [] x < %d -> %.17g : (x'=x+1);\n" nx rates.(0);
+  add "  [] x > 0 -> %.17g : (x'=x-1);\n" rates.(1);
+  add "  [] y < %d -> %.17g : (y'=y+1);\n" ny rates.(2);
+  add "  [] y > 0 -> %.17g : (y'=y-1);\n" rates.(3);
+  if coupled then
+    add "  [] x > 0 & y < %d -> %.17g : (x'=x-1) & (y'=y+1);\n" ny rates.(4);
+  if branching then
+    add "  [] x = 0 & y = 0 -> %.17g : (x'=1) + %.17g : (y'=1);\n" rates.(5)
+      rates.(5);
+  add "endmodule\n";
+  add "label \"goal\" = x + y >= %d;\n" front;
+  add "rewards\n  true : 0.25 * (x + y);\nendrewards\n";
+  Buffer.contents buf
+
+let gen_gcm_case =
+  let open QCheck2.Gen in
+  let* nx = int_range 2 5 and* ny = int_range 2 5 in
+  let* ix = int_range 0 nx and* iy = int_range 0 ny in
+  let* rates = array_size (return 6) (float_range 0.3 3.0) in
+  let* coupled = bool and* branching = bool in
+  let* front = int_range 1 (nx + ny) in
+  let* t = float_range 0.2 2.0 in
+  return
+    (random_gcm_src ~nx ~ny ~ix ~iy ~rates ~coupled ~branching ~front, t)
+
+(* The windowed engine's contract on arbitrary programs: the certified
+   radius never exceeds the requested epsilon, and the answer is within
+   that radius of full-matrix uniformised reachability on the
+   materialised twin (goal states made absorbing, tighter epsilon so the
+   reference's own error is negligible). *)
+let windowed_within_delta_on_random_gcm =
+  QCheck2.Test.make ~count:30 ~name:"random .gcm: windowed within delta"
+    gen_gcm_case (fun (src, t) ->
+      let succ =
+        match Lang.Gcm.of_string src with
+        | Ok succ -> succ
+        | Error msg ->
+          QCheck2.Test.fail_reportf "generated program rejected: %s\n%s" msg
+            src
+      in
+      let epsilon = 1e-9 in
+      let r =
+        solve_result
+          (Explore.Windowed.solve ~epsilon
+             ~classify:(classify_goal succ "goal")
+             ~init:[ (succ.Explore.Succ.initial, 1.0) ]
+             ~t ~reward_bound:None
+             (Explore.Space.create succ))
+      in
+      if r.Explore.Windowed.delta > epsilon then
+        QCheck2.Test.fail_reportf "delta %g exceeds epsilon %g"
+          r.Explore.Windowed.delta epsilon;
+      let mrm, labeling, init_id =
+        match
+          Explore.Materialise.materialise (Explore.Space.create succ)
+        with
+        | Ok twin -> twin
+        | Error n -> QCheck2.Test.fail_reportf "materialise capped at %d" n
+      in
+      let chain = Markov.Mrm.ctmc mrm in
+      let n = Markov.Ctmc.n_states chain in
+      let goal = Markov.Labeling.sat labeling "goal" in
+      let triples = ref [] in
+      for s = 0 to n - 1 do
+        if not goal.(s) then
+          Linalg.Csr.iter_row (Markov.Ctmc.rates chain) s (fun j rate ->
+              if rate > 0.0 then triples := (s, j, rate) :: !triples)
+      done;
+      let absorbed = Markov.Ctmc.of_transitions ~n !triples in
+      let reference =
+        Markov.Transient.reachability ~epsilon:1e-12 absorbed
+          ~init:(Linalg.Vec.unit n init_id) ~goal ~t
+      in
+      let diff = Float.abs (r.Explore.Windowed.value -. reference) in
+      if diff > r.Explore.Windowed.delta +. 1e-10 then
+        QCheck2.Test.fail_reportf
+          "windowed %.17g vs explicit %.17g: |diff| %g outside certified \
+           delta %g\n%s"
+          r.Explore.Windowed.value reference diff r.Explore.Windowed.delta src;
+      true)
+
+let suite =
+  ( "explore",
+    [ Alcotest.test_case "gcm compiles" `Quick test_gcm_compiles;
+      Alcotest.test_case "gcm errors" `Quick test_gcm_errors;
+      Alcotest.test_case "windowed vs explicit" `Quick test_windowed_vs_explicit;
+      Alcotest.test_case "bit identity when untruncated" `Quick
+        test_bit_identity_when_untruncated;
+      Alcotest.test_case "warm space deterministic" `Quick
+        test_warm_space_deterministic;
+      Alcotest.test_case "materialise roundtrip" `Quick
+        test_materialise_roundtrip;
+      QCheck_alcotest.to_alcotest windowed_within_delta_on_random_gcm ] )

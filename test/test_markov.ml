@@ -92,6 +92,56 @@ let test_transient_large_horizon () =
   check_close ~tol:1e-9 "long-run split" 0.5 pi.{0};
   check_close "mass" 1.0 (Linalg.Vec.sum pi)
 
+(* Left-truncated Fox–Glynn windows: a rate override far above every
+   exit rate pushes q = rate * t high enough that the window's left edge
+   is positive — the code path where the first [left] powers of the
+   uniformised DTMC only advance the iterate without accumulating.  The
+   a-posteriori tail bound (retained mass >= 1 - epsilon) must hold, the
+   solver must report the left edge it used, and the answer must agree
+   with the default-rate reference and the closed form. *)
+let test_transient_left_truncation () =
+  let epsilon = 1e-10 in
+  let rate = 4000.0 in
+  let t = 1.0 in
+  let w = Numerics.Fox_glynn.compute ~q:(rate *. t) ~epsilon in
+  Alcotest.(check bool)
+    (Printf.sprintf "window left %d positive" w.Numerics.Fox_glynn.left)
+    true
+    (w.Numerics.Fox_glynn.left > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "a-posteriori tail bound: retained %.17g >= 1 - %g"
+       w.Numerics.Fox_glynn.total epsilon)
+    true
+    (w.Numerics.Fox_glynn.total >= 1.0 -. epsilon);
+  let mu = 2.0 and nu = 5.0 in
+  let c = two_state mu nu in
+  let init = Linalg.Vec.of_array [| 1.0; 0.0 |] in
+  let telemetry = Telemetry.create () in
+  let forced = Markov.Transient.distribution ~epsilon ~rate ~telemetry c ~init ~t in
+  (match Telemetry.gauge telemetry "fox_glynn.left" with
+  | Some left ->
+    Alcotest.(check bool)
+      (Printf.sprintf "solver recorded left %g > 0" left)
+      true (left > 0.0)
+  | None -> Alcotest.fail "fox_glynn.left gauge not recorded");
+  let reference = Markov.Transient.distribution ~epsilon c ~init ~t in
+  let closed_form =
+    (nu /. (mu +. nu)) +. (mu /. (mu +. nu) *. Float.exp (-.(mu +. nu) *. t))
+  in
+  check_close ~tol:(2.0 *. epsilon) "agrees with default-rate reference"
+    reference.{0} forced.{0};
+  check_close ~tol:1e-9 "agrees with the closed form" closed_form forced.{0};
+  check_close ~tol:epsilon "still a distribution" 1.0 (Linalg.Vec.sum forced);
+  (* Backward pass through the same left-truncated window: expectation
+     of the state-1 indicator from state 0 is the forward mass there. *)
+  let backward =
+    Markov.Transient.backward ~epsilon ~rate c
+      ~terminal:(Linalg.Vec.of_array [| 0.0; 1.0 |])
+      ~t
+  in
+  check_close ~tol:(2.0 *. epsilon) "backward matches forward" forced.{1}
+    backward.{0}
+
 let test_reachability_all_consistency () =
   (* For each start state s, reachability_all agrees with a forward pass
      from the point distribution. *)
@@ -355,6 +405,8 @@ let suite =
       Alcotest.test_case "transient repairable" `Quick test_transient_repairable;
       Alcotest.test_case "transient large horizon" `Quick
         test_transient_large_horizon;
+      Alcotest.test_case "transient left truncation" `Quick
+        test_transient_left_truncation;
       Alcotest.test_case "reachability_all" `Quick
         test_reachability_all_consistency;
       Alcotest.test_case "distribution_many" `Quick test_distribution_many;

@@ -399,17 +399,16 @@ let evict_in_flight () =
     | None -> Alcotest.fail "preloaded model missing"
   in
   let query = Logic.Parser.query "P=? ( F[t<=2] doze )" in
-  let before =
-    Checker.eval_query ~memo:entry.Server.Registry.memo
-      entry.Server.Registry.ctx query
+  let ctx, memo =
+    match entry.Server.Registry.payload with
+    | Server.Registry.Explicit { ctx; memo; _ } -> (ctx, memo)
+    | Server.Registry.Symbolic _ -> Alcotest.fail "expected an explicit entry"
   in
+  let before = Checker.eval_query ~memo ctx query in
   Alcotest.(check bool) "evict" true (Server.Registry.evict reg "adhoc");
   (* The resolved entry keeps working after eviction — in-flight
      requests finish on the state they resolved. *)
-  let after =
-    Checker.eval_query ~memo:entry.Server.Registry.memo
-      entry.Server.Registry.ctx query
-  in
+  let after = Checker.eval_query ~memo ctx query in
   Alcotest.(check bool) "in-flight solve unaffected" true (before = after);
   Alcotest.(check bool) "gone from the registry" true
     (Server.Registry.find reg "adhoc" = None);
@@ -871,9 +870,50 @@ let tcp_adversarial () =
     (expect_string [ "kind" ] (Io.Json.of_string ack));
   Unix.close healthy
 
+(* The model->shard mapping is explicit FNV-1a, never the
+   process-seeded [Hashtbl.hash]: the hash values and the resulting
+   shard indices are pinned as literals, so any change to the function
+   (or an accidental revert to Hashtbl.hash) fails here rather than
+   silently reshuffling models across executors between releases. *)
+let fnv_sharding () =
+  let hash name expect =
+    Alcotest.(check int64)
+      (Printf.sprintf "fnv1a64 %S" name)
+      expect (Service.fnv1a64 name)
+  in
+  (* The empty string hashes to the FNV-1a offset basis by definition. *)
+  hash "" 0xcbf29ce484222325L;
+  hash "adhoc" 0xbad007fdc1efc78aL;
+  hash "twin" 0x75001aef5fb9afb3L;
+  hash "grid" 0xfb539f7243dbb831L;
+  let shard executors name expect =
+    Alcotest.(check int)
+      (Printf.sprintf "shard of %S at %d executors" name executors)
+      expect
+      (Service.shard_of_name ~executors name)
+  in
+  shard 4 "adhoc" 2;
+  shard 4 "twin" 3;
+  shard 4 "grid" 1;
+  shard 4 "chain" 2;
+  shard 3 "adhoc" 1;
+  shard 3 "twin" 2;
+  (* The reduction is the unsigned remainder: hashes with the top bit
+     set (e.g. "grid"'s 0xfb53...) must not shard negatively. *)
+  shard 2 "grid" 1;
+  List.iter
+    (fun name ->
+      let s = Service.shard_of_name ~executors:1 name in
+      Alcotest.(check int) "single executor" 0 s)
+    [ ""; "adhoc"; "twin"; "grid"; "chain" ];
+  Alcotest.check_raises "executors >= 1 enforced"
+    (Invalid_argument "shard_of_name: executors must be >= 1") (fun () ->
+      ignore (Service.shard_of_name ~executors:0 "adhoc"))
+
 let suite =
   ( "server",
     [ Alcotest.test_case "protocol: truncated lines" `Quick truncated_line;
+      Alcotest.test_case "sharding: FNV-1a pinned" `Quick fnv_sharding;
       Alcotest.test_case "protocol: structured rejections" `Quick bad_requests;
       QCheck_alcotest.to_alcotest protocol_roundtrip;
       QCheck_alcotest.to_alcotest protocol_wire_roundtrip;
