@@ -206,7 +206,7 @@ let q1q2 _full =
         timed (fun () ->
             match Checker.eval_query ctx (Logic.Parser.query query_text) with
             | Checker.Numeric v -> v
-            | Checker.Boolean _ -> assert false)
+            | _ -> assert false)
       in
       let holds =
         Checker.holds ctx
@@ -797,12 +797,12 @@ let frontier _full =
     let probe =
       Logic.Ast.Prob_query
         (Logic.Ast.Until
-           (Numerics.Interval.upto t, Numerics.Interval.upto r,
+           (Numerics.Time_interval.upto t, Numerics.Time_interval.upto r,
             Logic.Ast.True, Logic.Ast.Ap "down"))
     in
     match Checker.eval_query ?memo ctx probe with
     | Checker.Numeric values -> Linalg.Vec.dot init values
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
   (* Cold: one independent reward-quantile bisection per grid time over
      the full (0, reward_bound] bracket, nothing shared between rows. *)
@@ -1466,6 +1466,180 @@ let explore full =
   close_out oc;
   Printf.printf "updated BENCH_perf.json with the explore section\n"
 
+(* Robust checking (`bench robust`): interval-valued MRMs end to end on
+   the ad hoc model's Q3 query.  Three deterministic claims go into the
+   "robust" section of BENCH_perf.json (re-asserted by
+   validate_bench_json --require-robust):
+
+   - containment: precise answers of concrete models sampled from the
+     ±10% rate set lie inside the envelope at every state;
+   - zero width: the envelope over [Imrm.point] is bit-identical to the
+     precise engine;
+   - nesting: envelopes widen monotonically along a 0..20% drift sweep.
+
+   The envelope-vs-precise overhead ratio is reported, not gated: two
+   robust value-iteration sweeps against one precise occupation-time
+   solve is a cost model, not a speedup claim. *)
+let robust full =
+  heading "robust: interval envelopes over drifted rate sets";
+  let epsilon = 1e-9 in
+  let runs = if full then 7 else 5 in
+  let samples = if full then 50 else 20 in
+  let mrm = Models.Adhoc.mrm () and labeling = Models.Adhoc.labeling () in
+  let query_text =
+    "P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )"
+  in
+  let query = Logic.Parser.query query_text in
+  let init = Models.Adhoc.initial_state in
+  let n = Markov.Ctmc.n_states (Markov.Mrm.ctmc mrm) in
+  let median_timed f =
+    let (), _warmup = timed f in
+    let s = Array.init runs (fun _ -> snd (timed f)) in
+    Array.sort compare s;
+    (s.(runs / 2), s.(runs - 1) -. s.(0), s.(0))
+  in
+  let envelope_of drift =
+    let imrm =
+      if drift = 0.0 then Robust.Imrm.point mrm
+      else Robust.Imrm.of_mrm ~rate_drift:drift mrm
+    in
+    let ctx = Checker.make_robust ~epsilon ~pool:!pool imrm labeling in
+    match Checker.eval_query ctx query with
+    | Checker.Interval env -> env
+    | _ -> assert false
+  in
+  (* The drift sweep: per-drift envelopes at the initial state, and the
+     nesting claim checked at every state of every consecutive pair. *)
+  let drifts = [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let envelopes = List.map (fun d -> (d, envelope_of d)) drifts in
+  let nested =
+    let rec ok = function
+      | (_, inner) :: ((_, outer) :: _ as rest) ->
+        let holds = ref true in
+        for s = 0 to n - 1 do
+          if
+            inner.Robust.Envelope.lo.{s} < outer.Robust.Envelope.lo.{s}
+            || inner.Robust.Envelope.hi.{s} > outer.Robust.Envelope.hi.{s}
+          then holds := false
+        done;
+        !holds && ok rest
+      | _ -> true
+    in
+    ok envelopes
+  in
+  List.iter
+    (fun (d, env) ->
+      Printf.printf "  drift %4.0f%%: initial state in [%.10f, %.10f]  \
+                     (width %.3g)\n"
+        (100.0 *. d) env.Robust.Envelope.lo.{init} env.Robust.Envelope.hi.{init}
+        (env.Robust.Envelope.hi.{init} -. env.Robust.Envelope.lo.{init}))
+    envelopes;
+  Printf.printf "  nesting along the sweep: %s\n"
+    (if nested then "ok" else "FAILED");
+  (* Containment: precise solves of sampled concrete models against the
+     10% envelope, every state. *)
+  let env10 = List.assoc 0.1 envelopes in
+  let imrm10 = Robust.Imrm.of_mrm ~rate_drift:0.1 mrm in
+  let rng = Random.State.make [| 0x5eed |] in
+  let contained = ref true in
+  for _ = 1 to samples do
+    let concrete = Robust.Imrm.sample rng imrm10 in
+    let ctx = Checker.make ~epsilon ~pool:!pool concrete labeling in
+    match Checker.eval_query ctx query with
+    | Checker.Numeric v ->
+      for s = 0 to n - 1 do
+        if
+          not
+            (env10.Robust.Envelope.lo.{s} <= v.{s}
+             && v.{s} <= env10.Robust.Envelope.hi.{s})
+        then contained := false
+      done
+    | _ -> assert false
+  done;
+  Printf.printf "  containment of %d sampled models: %s\n" samples
+    (if !contained then "ok" else "FAILED");
+  (* Zero width: bit-identity against the precise context. *)
+  let precise_ctx = Checker.make ~epsilon ~pool:!pool mrm labeling in
+  let precise =
+    match Checker.eval_query precise_ctx query with
+    | Checker.Numeric v -> v
+    | _ -> assert false
+  in
+  let env0 = List.assoc 0.0 envelopes in
+  let zero_width_identical = ref true in
+  for s = 0 to n - 1 do
+    if
+      Int64.bits_of_float env0.Robust.Envelope.lo.{s}
+      <> Int64.bits_of_float precise.{s}
+      || Int64.bits_of_float env0.Robust.Envelope.hi.{s}
+         <> Int64.bits_of_float precise.{s}
+    then zero_width_identical := false
+  done;
+  Printf.printf "  zero-width bit-identity: %s\n"
+    (if !zero_width_identical then "ok" else "FAILED");
+  let envelope_seconds, envelope_spread, _ =
+    median_timed (fun () -> ignore (envelope_of 0.1 : Robust.Envelope.result))
+  in
+  let precise_seconds, precise_spread, _ =
+    median_timed (fun () ->
+        let ctx = Checker.make ~epsilon ~pool:!pool mrm labeling in
+        ignore (Checker.eval_query ctx query : Checker.verdict))
+  in
+  let overhead =
+    if precise_seconds > 0.0 then envelope_seconds /. precise_seconds else 0.0
+  in
+  Printf.printf
+    "  envelope %s (+/- %s) vs precise %s (+/- %s) -> %.1fx overhead\n"
+    (Io.Table.seconds envelope_seconds)
+    (Io.Table.seconds envelope_spread)
+    (Io.Table.seconds precise_seconds)
+    (Io.Table.seconds precise_spread)
+    overhead;
+  let robust_json =
+    Io.Json.Object
+      [ ("model", Io.Json.String "adhoc");
+        ("query", Io.Json.String query_text);
+        ("epsilon", Io.Json.Number epsilon);
+        ("runs", Io.Json.Number (float_of_int runs));
+        ("samples", Io.Json.Number (float_of_int samples));
+        ("contained", Io.Json.Bool !contained);
+        ("zero_width_bit_identical", Io.Json.Bool !zero_width_identical);
+        ("nested", Io.Json.Bool nested);
+        ("drifts",
+         Io.Json.List
+           (List.map
+              (fun (d, env) ->
+                let lo = env.Robust.Envelope.lo.{init}
+                and hi = env.Robust.Envelope.hi.{init} in
+                Io.Json.Object
+                  [ ("drift", Io.Json.Number d);
+                    ("lo", Io.Json.Number lo); ("hi", Io.Json.Number hi);
+                    ("width", Io.Json.Number (hi -. lo)) ])
+              envelopes));
+        ("envelope_seconds", Io.Json.Number envelope_seconds);
+        ("envelope_spread_seconds", Io.Json.Number envelope_spread);
+        ("precise_seconds", Io.Json.Number precise_seconds);
+        ("precise_spread_seconds", Io.Json.Number precise_spread);
+        ("overhead", Io.Json.Number overhead) ]
+  in
+  let existing =
+    match open_in_bin "BENCH_perf.json" with
+    | exception Sys_error _ -> []
+    | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      (match Io.Json.of_string text with
+       | Io.Json.Object fields -> List.remove_assoc "robust" fields
+       | _ -> [])
+  in
+  let doc = Io.Json.Object (existing @ [ ("robust", robust_json) ]) in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated BENCH_perf.json with the robust section\n"
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
@@ -1474,7 +1648,7 @@ let artifacts =
     ("figure2", figure2); ("ablation", ablation); ("micro", micro);
     ("perf", perf); ("batch", batch); ("reduce", reduce);
     ("frontier", frontier); ("serve", serve); ("serve-scale", serve_scale);
-    ("explore", explore) ]
+    ("explore", explore); ("robust", robust) ]
 
 let run_artifacts args =
   let bad_jobs () = prerr_endline "--jobs needs a positive count"; exit 2 in

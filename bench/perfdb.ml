@@ -134,6 +134,25 @@ let workloads =
             ignore
               (Perf.Engine.solve ~reduction:Perf.Reduction.default spec p
                 : float)) };
+    { name = "robust_envelope";
+      descr = "lower/upper robust value iteration on the drifted ad hoc Q3";
+      prepare =
+        (fun () ->
+          let m = Models.Adhoc.mrm () in
+          let l = Models.Adhoc.labeling () in
+          let imrm = Robust.Imrm.of_mrm ~rate_drift:0.1 m in
+          let idle = Markov.Labeling.sat l "call_idle" in
+          let doze = Markov.Labeling.sat l "doze" in
+          let phi = Array.mapi (fun i a -> a || doze.(i)) idle in
+          let psi = Markov.Labeling.sat l "call_initiated" in
+          fun () ->
+            for _ = 1 to 5 do
+              ignore
+                (Robust.Envelope.until ~epsilon:1e-9 imrm ~phi_must:phi
+                   ~phi_may:phi ~psi_must:psi ~psi_may:psi ~time_bound:24.0
+                   ~reward_bound:(Some 600.0)
+                  : Robust.Envelope.result)
+            done) };
     { name = "windowed_transient";
       descr = "sliding-window truncated uniformisation on the .gcm grid";
       prepare =

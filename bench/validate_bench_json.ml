@@ -29,13 +29,15 @@ let () =
   let require_serve = List.mem "--require-serve" args in
   let require_serve_scale = List.mem "--require-serve-scale" args in
   let require_explore = List.mem "--require-explore" args in
+  let require_robust = List.mem "--require-robust" args in
   let path =
     match
       List.filter
         (fun a ->
           a <> "--require-batch" && a <> "--require-reduce"
           && a <> "--require-frontier" && a <> "--require-serve"
-          && a <> "--require-serve-scale" && a <> "--require-explore")
+          && a <> "--require-serve-scale" && a <> "--require-explore"
+          && a <> "--require-robust")
         args
     with
     | path :: _ -> path
@@ -491,6 +493,71 @@ let () =
          s"
         states (number "speedup" explore) big_states big_seconds
   in
-  Printf.printf "%s: %d entries ok%s%s%s%s%s%s\n" path (List.length entries)
+  (* The robust section (written by `bench robust`): interval envelopes
+     on the drifted ad hoc model.  The three deterministic claims —
+     containment of every sampled concrete model, zero-width
+     bit-identity against the precise engine, and monotone nesting of
+     the drift sweep — are asserted exactly.  The envelope-vs-precise
+     overhead is reported, not gated: it is a cost model (two robust
+     sweeps against one precise solve), not a speedup. *)
+  let robust_summary =
+    match Io.Json.member "robust" doc with
+    | None ->
+      if require_robust then
+        fail "missing \"robust\" section (run `bench robust`)"
+      else ""
+    | Some robust ->
+      let rfail fmt = Printf.ksprintf (fun m -> fail "robust: %s" m) fmt in
+      let samples = number "samples" robust in
+      if not (Float.is_integer samples && samples >= 20.0) then
+        rfail "\"samples\" is not an integer >= 20 (%g)" samples;
+      let epsilon = number "epsilon" robust in
+      if not (epsilon > 0.0 && epsilon < 1.0) then
+        rfail "\"epsilon\" %g out of (0,1)" epsilon;
+      List.iter
+        (fun (key, message) ->
+          match Io.Json.member key robust with
+          | Some (Io.Json.Bool true) -> ()
+          | Some (Io.Json.Bool false) -> rfail "%s" message
+          | _ -> rfail "missing boolean %S" key)
+        [ ("contained",
+           "a sampled concrete model answered OUTSIDE the envelope");
+          ("zero_width_bit_identical",
+           "the zero-width envelope is NOT bit-identical to the precise \
+            engine");
+          ("nested", "the drift sweep's envelopes are NOT nested") ];
+      let drifts =
+        match Io.Json.member "drifts" robust with
+        | Some (Io.Json.List (_ :: _ :: _ as drifts)) -> drifts
+        | _ -> rfail "missing \"drifts\" list with >= 2 entries"
+      in
+      let last_width = ref (-1.0) in
+      List.iter
+        (fun entry ->
+          let d = number "drift" entry in
+          if not (d >= 0.0 && d < 1.0) then
+            rfail "drift %g out of [0,1)" d;
+          let lo = number "lo" entry and hi = number "hi" entry in
+          if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+            rfail "drift %g: [%g, %g] is not a probability interval" d lo hi;
+          let width = number "width" entry in
+          if Float.abs (width -. (hi -. lo)) > 1e-12 then
+            rfail "drift %g: width %g inconsistent with [%g, %g]" d width lo
+              hi;
+          if width < !last_width then
+            rfail "drift %g: width %g narrower than the previous drift's %g" d
+              width !last_width;
+          last_width := width)
+        drifts;
+      List.iter
+        (fun key ->
+          let v = number key robust in
+          if not (Float.is_finite v && v >= 0.0) then
+            rfail "%S is not a non-negative number (%g)" key v)
+        [ "envelope_seconds"; "precise_seconds"; "overhead" ];
+      Printf.sprintf ", robust %.0f samples contained (overhead %.1fx)"
+        samples (number "overhead" robust)
+  in
+  Printf.printf "%s: %d entries ok%s%s%s%s%s%s%s\n" path (List.length entries)
     batch_summary reduce_summary frontier_summary serve_summary
-    serve_scale_summary explore_summary
+    serve_scale_summary explore_summary robust_summary

@@ -16,7 +16,27 @@ let print_states labeling mask_or_probs =
         (if mask.(s) then "SATISFIED" else "violated")
     | `Probs probs ->
       Printf.printf "  state %2d  [%-40s]  %.10f\n" s labels probs.{s}
+    | `Tri tris ->
+      Printf.printf "  state %2d  [%-40s]  %s\n" s labels
+        (match tris.(s) with
+         | Checker.Holds -> "SATISFIED"
+         | Checker.Fails -> "violated"
+         | Checker.Unknown -> "UNKNOWN")
+    | `Bounds (env : Robust.Envelope.result) ->
+      Printf.printf "  state %2d  [%-40s]  [%.10f, %.10f]\n" s labels
+        env.Robust.Envelope.lo.{s} env.Robust.Envelope.hi.{s}
   done
+
+(* The envelope of the initial distribution's satisfaction mass: lower
+   bound from the certainly-satisfying states, upper bound from the
+   not-certainly-violating ones. *)
+let tri_mass init tris =
+  let mass keep =
+    Linalg.Vec.dot init
+      (Linalg.Vec.init (Array.length tris) (fun s ->
+           if keep tris.(s) then 1.0 else 0.0))
+  in
+  (mass (fun t -> t = Checker.Holds), mass (fun t -> t <> Checker.Fails))
 
 let print_info mrm labeling init =
   let chain = Markov.Mrm.ctmc mrm in
@@ -157,18 +177,18 @@ let frontier_result_fields (f : Batch.Frontier.result) =
      Io.Json.Number (float_of_int f.Batch.Frontier.evaluations));
     ("points", frontier_points_json f.Batch.Frontier.points) ]
 
-let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
-    mrm labeling init path =
+let run_batch ~engine ~pool ~jobs ~telemetry ~trace ~stats ctx init path =
   let batch = parse_batch_file path in
-  let ctx =
-    Checker.make ~engine ~epsilon ~pool ?telemetry ~reduction mrm labeling
-  in
   let memo = Checker.create_memo () in
   let fg_before = Numerics.Fox_glynn.cache_counters () in
   let is_frontier = function Logic.Ast.Frontier_query _ -> true | _ -> false in
   let plain = List.filter (fun (_, _, q) -> not (is_frontier q)) batch in
   let verdicts =
-    Batch.run ~pool ?telemetry ~memo ctx (List.map (fun (_, _, q) -> q) plain)
+    try
+      Batch.run ~pool ?telemetry ~memo ctx (List.map (fun (_, _, q) -> q) plain)
+    with Checker.Unsupported message ->
+      Printf.eprintf "unsupported query in the batch: %s\n" message;
+      exit 2
   in
   (* Frontier entries run after the plain batch, sequentially, over the
      same memo — their probes reuse (and extend) the shared caches. *)
@@ -180,7 +200,12 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
         let common = [ ("name", Io.Json.String name);
                        ("query", Io.Json.String rendered) ] in
         if is_frontier query then begin
-          let f = Batch.Frontier.run ?telemetry ~memo ctx ~init query in
+          let f =
+            try Batch.Frontier.run ?telemetry ~memo ctx ~init query
+            with Checker.Unsupported message ->
+              Printf.eprintf "unsupported query in the batch: %s\n" message;
+              exit 2
+          in
           Io.Json.Object
             (common
             @ (("kind", Io.Json.String "frontier") :: frontier_result_fields f))
@@ -215,6 +240,32 @@ let run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
                    Io.Json.List
                      (List.init (Linalg.Vec.length values) (fun s ->
                           Io.Json.Number values.{s}))) ])
+          | Checker.Three_valued tris ->
+            let mass_lo, mass_hi = tri_mass init tris in
+            Io.Json.Object
+              (common
+              @ [ ("kind", Io.Json.String "three-valued");
+                  ("initial_mass_lo", Io.Json.Number mass_lo);
+                  ("initial_mass_hi", Io.Json.Number mass_hi);
+                  ("states",
+                   Io.Json.List
+                     (Array.to_list
+                        (Array.map
+                           (fun t -> Io.Json.String (Checker.tri_to_string t))
+                           tris))) ])
+          | Checker.Interval env ->
+            let lo = env.Robust.Envelope.lo and hi = env.Robust.Envelope.hi in
+            Io.Json.Object
+              (common
+              @ [ ("kind", Io.Json.String "interval");
+                  ("value_lo", Io.Json.Number (Linalg.Vec.dot init lo));
+                  ("value_hi", Io.Json.Number (Linalg.Vec.dot init hi));
+                  ("states",
+                   Io.Json.List
+                     (List.init (Linalg.Vec.length lo) (fun s ->
+                          Io.Json.List
+                            [ Io.Json.Number lo.{s}; Io.Json.Number hi.{s} ])))
+                ])
         end)
       batch
   in
@@ -382,8 +433,132 @@ let materialise_gcm path =
   | Ok (mrm, labeling, init_id) ->
     (mrm, labeling, Linalg.Vec.unit (Markov.Mrm.n_states mrm) init_id)
 
+(* ------------------------------------------------------------------ *)
+(* Robust mode: interval-valued models, three-valued verdicts.         *)
+
+let run_robust ~engine_text ~epsilon ~jobs ~trace ~stats ~list_props ~lump
+    ~info ~no_reduce ~batch_file ~frontier_fmt imrm labeling init
+    formula_text =
+  if lump || info || frontier_fmt <> None then begin
+    prerr_endline
+      "--lump, --info and --frontier need a point-valued model; interval \
+       models answer P queries, state formulas and --batch";
+    exit 2
+  end;
+  if list_props then begin
+    Printf.printf "interval model: %d states, %d rate intervals, max width %g\n"
+      (Robust.Imrm.n_states imrm)
+      (Robust.Imrm.n_transitions imrm)
+      (Robust.Imrm.max_width imrm);
+    List.iter
+      (fun p ->
+        let mask = Markov.Labeling.sat labeling p in
+        let count =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
+        in
+        Printf.printf "  %-24s (%d states)\n" p count)
+      (Markov.Labeling.propositions labeling);
+    exit 0
+  end;
+  let formula_text =
+    match batch_file, formula_text with
+    | None, Some f -> Some f
+    | None, None ->
+      prerr_endline
+        "no formula given (pass one, or --batch FILE, or --list-propositions)";
+      exit 2
+    | Some _, Some _ ->
+      prerr_endline "--batch cannot be combined with a positional formula";
+      exit 2
+    | Some _, None -> None
+  in
+  let engine =
+    match Perf.Engine.of_string engine_text with
+    | Ok e -> e
+    | Error message -> prerr_endline message; exit 2
+  in
+  let engine_label =
+    Format.asprintf "robust-envelope over %a" Perf.Engine.pp_spec engine
+  in
+  let telemetry =
+    if trace <> None || stats then
+      Some (Telemetry.create ~clock:monotonic_seconds ())
+    else None
+  in
+  let reduction =
+    if no_reduce then Perf.Reduction.none else Perf.Reduction.default
+  in
+  Parallel.Pool.with_pool ~jobs @@ fun pool ->
+  (if trace <> None then
+     Option.iter
+       (fun tel -> Parallel.Pool.instrument pool (Telemetry.clock tel))
+       telemetry);
+  let ctx =
+    Checker.make_robust ~engine ~epsilon ~pool ?telemetry ~reduction imrm
+      labeling
+  in
+  match batch_file with
+  | Some path ->
+    run_batch ~engine ~pool ~jobs ~telemetry ~trace ~stats ctx init path
+  | None ->
+  let formula_text = Option.get formula_text in
+  match Logic.Parser.query formula_text with
+  | exception Logic.Parser.Parse_error (message, pos) ->
+    Printf.eprintf "parse error at position %d: %s\n" pos message;
+    exit 2
+  | query -> begin
+      Format.printf "query:  %a@." Logic.Ast.pp_query query;
+      Printf.printf "engine: %s\n" engine_label;
+      Printf.printf "model:  %d states, %d rate intervals, max width %g\n"
+        (Robust.Imrm.n_states imrm)
+        (Robust.Imrm.n_transitions imrm)
+        (Robust.Imrm.max_width imrm);
+      let finish () =
+        Option.iter
+          (fun tel ->
+            Io.Trace.record_pool_stats tel pool;
+            (match trace with
+             | None -> ()
+             | Some path ->
+               let document =
+                 Io.Json.Object
+                   [ ("tool", Io.Json.String "csrl-check");
+                     ("query",
+                      Io.Json.String
+                        (Format.asprintf "%a" Logic.Ast.pp_query query));
+                     ("engine", Io.Json.String engine_label);
+                     ("jobs", Io.Json.Number (float_of_int jobs));
+                     ("telemetry", Io.Trace.to_json tel) ]
+               in
+               Out_channel.with_open_text path (fun oc ->
+                   output_string oc (Io.Json.to_string document);
+                   output_char oc '\n'));
+            if stats then Io.Trace.print_stats stdout tel)
+          telemetry
+      in
+      match Checker.eval_query ctx query with
+      | exception Checker.Unsupported message ->
+        Printf.eprintf "unsupported on an interval model: %s\n" message;
+        exit 2
+      | Checker.Three_valued tris ->
+        print_states labeling (`Tri tris);
+        let mass_lo, mass_hi = tri_mass init tris in
+        Printf.printf
+          "initial distribution satisfies the formula with mass in [%g, %g]\n"
+          mass_lo mass_hi;
+        finish ();
+        if mass_hi < 1.0 then exit 1 else if mass_lo < 1.0 then exit 3
+      | Checker.Interval env ->
+        print_states labeling (`Bounds env);
+        Printf.printf "value from the initial distribution: [%.10f, %.10f]\n"
+          (Linalg.Vec.dot init env.Robust.Envelope.lo)
+          (Linalg.Vec.dot init env.Robust.Envelope.hi);
+        finish ()
+      | Checker.Boolean _ | Checker.Numeric _ -> assert false
+    end
+
 let run model_name file engine_text epsilon jobs trace stats list_props info
-    lump no_reduce batch_file frontier_fmt formula_text =
+    lump no_reduce batch_file frontier_fmt rate_drift imrm_file formula_text =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -401,6 +576,21 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     | None ->
       if Filename.check_suffix model_name ".gcm" then Some model_name else None
   in
+  (match rate_drift with
+   | Some pct when not (pct >= 0.0 && pct < 100.0) ->
+     prerr_endline "--rate-drift needs a percentage in [0, 100)";
+     exit 2
+   | _ -> ());
+  if imrm_file <> None && (file <> None || rate_drift <> None) then begin
+    prerr_endline "--imrm cannot be combined with --file or --rate-drift";
+    exit 2
+  end;
+  if gcm_path <> None && (rate_drift <> None || imrm_file <> None) then begin
+    prerr_endline
+      ".gcm models cannot be widened into interval models; use --imrm with \
+       an explicit interval model instead";
+    exit 2
+  end;
   (match gcm_path with
    | Some path -> begin
        match Perf.Engine.of_string engine_text with
@@ -425,6 +615,42 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
     prerr_endline "--frontier cannot be combined with --batch";
     exit 2
   end;
+  let robust_doc =
+    match imrm_file with
+    | Some path -> begin
+        match Robust.Imrm_io.parse_file path with
+        | doc ->
+          Some
+            (doc.Robust.Imrm_io.imrm, doc.Robust.Imrm_io.labeling,
+             doc.Robust.Imrm_io.init)
+        | exception Robust.Imrm_io.Format_error message ->
+          Printf.eprintf "interval model %s: %s\n" path message;
+          exit 2
+        | exception Sys_error message -> prerr_endline message; exit 2
+      end
+    | None ->
+      if file <> None || gcm_path <> None then None
+      else begin
+        match Models.Builtin.load_robust model_name with
+        | Some triple ->
+          if rate_drift <> None then begin
+            prerr_endline
+              "--rate-drift cannot be combined with a -drift model name";
+            exit 2
+          end;
+          Some triple
+        | None -> None
+        | exception Invalid_argument message ->
+          Printf.eprintf "cannot widen %s: %s\n" model_name message;
+          exit 2
+      end
+  in
+  match robust_doc with
+  | Some (imrm, labeling, init) ->
+    run_robust ~engine_text ~epsilon ~jobs ~trace ~stats ~list_props ~lump
+      ~info ~no_reduce ~batch_file ~frontier_fmt imrm labeling init
+      formula_text
+  | None ->
   let document =
     match gcm_path, file, model_name with
     | Some path, _, _ -> materialise_gcm path
@@ -440,10 +666,26 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
           List.iter
             (fun (n, d) -> prerr_endline (Printf.sprintf "  %-16s %s" n d))
             Models.Builtin.all;
+          prerr_endline "interval variants:";
+          List.iter
+            (fun (n, d) -> prerr_endline (Printf.sprintf "  %-16s %s" n d))
+            Models.Builtin.all_robust;
           exit 2
       end
   in
   let mrm, labeling, init = document in
+  match rate_drift with
+  | Some pct -> begin
+      match Robust.Imrm.of_mrm ~rate_drift:(pct /. 100.0) mrm with
+      | imrm ->
+        run_robust ~engine_text ~epsilon ~jobs ~trace ~stats ~list_props
+          ~lump ~info ~no_reduce ~batch_file ~frontier_fmt imrm labeling init
+          formula_text
+      | exception Invalid_argument message ->
+        Printf.eprintf "--rate-drift: %s\n" message;
+        exit 2
+    end
+  | None ->
   let mrm, labeling, init =
     if lump then begin
       let l = Markov.Lumping.compute mrm labeling in
@@ -502,15 +744,14 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
      Option.iter
        (fun tel -> Parallel.Pool.instrument pool (Telemetry.clock tel))
        telemetry);
-  match batch_file with
-  | Some path ->
-    run_batch ~engine ~epsilon ~pool ~jobs ~telemetry ~trace ~stats ~reduction
-      mrm labeling init path
-  | None ->
-  let formula_text = Option.get formula_text in
   let ctx =
     Checker.make ~engine ~epsilon ~pool ?telemetry ~reduction mrm labeling
   in
+  match batch_file with
+  | Some path ->
+    run_batch ~engine ~pool ~jobs ~telemetry ~trace ~stats ctx init path
+  | None ->
+  let formula_text = Option.get formula_text in
   match Logic.Parser.query formula_text with
   | exception Logic.Parser.Parse_error (message, pos) ->
     Printf.eprintf "parse error at position %d: %s\n" pos message;
@@ -616,6 +857,9 @@ let run model_name file engine_text epsilon jobs trace stats list_props info
         Printf.printf "value from the initial distribution: %.10f\n"
           (Linalg.Vec.dot init probs);
         finish ()
+      | Checker.Three_valued _ | Checker.Interval _ ->
+        (* Precise contexts never answer robust verdicts. *)
+        assert false
     end
 
 open Cmdliner
@@ -727,6 +971,29 @@ let frontier_arg =
   in
   Arg.(value & opt (some string) None & info [ "frontier" ] ~docv:"FORMAT" ~doc)
 
+let rate_drift_arg =
+  let doc =
+    "Check robustly over an interval-valued model: widen every rate and \
+     reward of the loaded model by a relative +/-$(docv)% drift and answer \
+     with guaranteed lower/upper envelopes over the whole uncertainty set \
+     (three-valued verdicts for P-operator formulas — a state is UNKNOWN \
+     when the envelope straddles the probability bound).  $(docv) must lie \
+     in [0, 100); 0 gives the zero-width interval model, whose answers are \
+     bit-identical to the precise run.  Built-in interval variants are \
+     also available directly as models named $(b,<name>-drift[:PCT])."
+  in
+  Arg.(value & opt (some float) None & info [ "rate-drift" ] ~docv:"PCT" ~doc)
+
+let imrm_arg =
+  let doc =
+    "Load an interval-valued model from a JSON file ({\"states\": N, \
+     \"transitions\": [[src, dst, lo, hi] | [src, dst, rate]], \
+     \"rewards\": [[lo, hi] | rate per state], optional \"labels\" and \
+     \"init\"}) and check robustly over it.  Cannot be combined with \
+     --file or --rate-drift."
+  in
+  Arg.(value & opt (some string) None & info [ "imrm" ] ~docv:"FILE" ~doc)
+
 let formula_arg =
   let doc =
     "The CSRL formula or query, e.g. 'P>0.5 ( a U[t<=24][r<=600] b )', \
@@ -753,6 +1020,7 @@ let cmd =
     Term.(
       const run $ model_arg $ file_arg $ engine_arg $ epsilon_arg $ jobs_arg
       $ trace_arg $ stats_arg $ list_props_arg $ info_arg $ lump_arg
-      $ no_reduce_arg $ batch_arg $ frontier_arg $ formula_arg)
+      $ no_reduce_arg $ batch_arg $ frontier_arg $ rate_drift_arg $ imrm_arg
+      $ formula_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -45,7 +45,7 @@ let () =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric probs ->
       Format.printf "  %s = %.8f@." name probs.{init_state}
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
 
   check "Q1 (incoming call before 80% battery)" Models.Adhoc.q1;

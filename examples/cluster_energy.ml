@@ -23,7 +23,7 @@ let () =
   let quantify text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric probs -> Format.printf "  %-52s = %.10f@." text probs.{init}
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
 
   print_endline "-- dependability without rewards (CSL fragment) -----------";

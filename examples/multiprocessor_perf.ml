@@ -57,7 +57,7 @@ let () =
       | Checker.Numeric probs ->
         Format.printf "  %-46s = %.10f@." text
           probs.{Models.Multiprocessor.initial_state c}
-      | Checker.Boolean _ -> assert false)
+      | _ -> assert false)
     queries;
 
   (* 3. A nested formula: from every state that can see a crash within

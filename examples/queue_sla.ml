@@ -23,7 +23,7 @@ let () =
   let quantify text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.{init}
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
 
   print_endline "-- classic bounds ------------------------------------------";
@@ -54,7 +54,7 @@ let () =
   let iquantify text =
     match Checker.eval_query ictx (Logic.Parser.query text) with
     | Checker.Numeric v -> Format.printf "  %-52s = %.8f@." text v.{init}
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
   iquantify "P=? ( true U[t<=8][r<=64] full )";
   iquantify "R=? ( C[t<=24] )";

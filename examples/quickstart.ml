@@ -39,7 +39,7 @@ let () =
     | Checker.Numeric probs ->
       Format.printf "%-58s -> [%.6f; %.6f; %.6f]@." text probs.{0} probs.{1}
         probs.{2}
-    | Checker.Boolean _ -> assert false
+    | _ -> assert false
   in
 
   print_endline "-- boolean layer ------------------------------------------";

@@ -91,7 +91,7 @@ module Frontier = struct
           target;
           path = Logic.Ast.Until (time, reward, phi, psi) } ->
       let upper what interval =
-        match Numerics.Interval.upper interval with
+        match Numerics.Time_interval.upper interval with
         | Some b when Float.is_finite b && b > 0.0 -> b
         | _ ->
           invalid_arg
@@ -101,6 +101,11 @@ module Frontier = struct
       in
       let time_bound = upper "time" time in
       let reward_bound = upper "reward" reward in
+      if Checker.is_robust ctx then
+        raise
+          (Checker.Unsupported
+             "frontier sweeps need point probabilities; evaluate the \
+              interval model's envelopes with ordinary P queries instead");
       (* Every probe is an ordinary single-query solve on the caller's
          context with the shared memo, so each emitted point is
          bit-identical to what a cold solve of the same (t, r) returns —
@@ -110,11 +115,11 @@ module Frontier = struct
         let probe =
           Logic.Ast.Prob_query
             (Logic.Ast.Until
-               (Numerics.Interval.upto t, Numerics.Interval.upto r, phi, psi))
+               (Numerics.Time_interval.upto t, Numerics.Time_interval.upto r, phi, psi))
         in
         match Checker.eval_query ?memo ctx probe with
         | Checker.Numeric values -> Linalg.Vec.dot init values
-        | Checker.Boolean _ -> assert false
+        | _ -> assert false
       in
       let sweep =
         Perf.Frontier.sweep ~eval ~target ~time_bound ~reward_bound

@@ -1,7 +1,18 @@
+(* A robust context carries the interval model and the envelope engine
+   instance next to the precise fields; [mrm] is then the point model
+   (zero width) or the interval midpoints, used only for state counts
+   and display — the precise entry points are guarded. *)
+type robust = {
+  imrm : Robust.Imrm.t;
+  renv : (Robust.Engine.problem, Robust.Envelope.result) Perf.Engine_intf.t;
+}
+
 type t = {
   mrm : Markov.Mrm.t;
   labeling : Markov.Labeling.t;
   engine : Perf.Engine.spec;
+  instance : (Perf.Problem.t, float) Perf.Engine_intf.t;
+  robust : robust option;
   epsilon : float;
   pool : Parallel.Pool.t;
   telemetry : Telemetry.t option;
@@ -16,13 +27,38 @@ let make ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
     ?(reduction = Perf.Reduction.default) ?cancel mrm labeling =
   if Markov.Labeling.n_states labeling <> Markov.Mrm.n_states mrm then
     invalid_arg "Checker.make: labeling and model sizes differ";
-  { mrm; labeling; engine; epsilon; pool; telemetry; reduction; cancel }
+  { mrm; labeling; engine; instance = Perf.Engine.instantiate engine;
+    robust = None; epsilon; pool; telemetry; reduction; cancel }
+
+let make_robust ?(engine = Perf.Engine.default) ?(epsilon = 1e-9)
+    ?(pool = Parallel.Pool.sequential) ?telemetry
+    ?(reduction = Perf.Reduction.default) ?cancel imrm labeling =
+  if Markov.Labeling.n_states labeling <> Robust.Imrm.n_states imrm then
+    invalid_arg "Checker.make_robust: labeling and model sizes differ";
+  let mrm =
+    if Robust.Imrm.is_point imrm then Robust.Imrm.point_model imrm
+    else Robust.Imrm.midpoint imrm
+  in
+  let renv = Robust.Engine.make ~engine ~reduction ~epsilon () in
+  { mrm; labeling; engine; instance = Perf.Engine.instantiate engine;
+    robust = Some { imrm; renv }; epsilon; pool; telemetry; reduction;
+    cancel }
 
 let mrm ctx = ctx.mrm
 let labeling ctx = ctx.labeling
+let robust_model ctx = Option.map (fun r -> r.imrm) ctx.robust
+let is_robust ctx = ctx.robust <> None
 let with_pool ctx pool = { ctx with pool }
 let with_telemetry ctx telemetry = { ctx with telemetry }
 let with_cancel ctx cancel = { ctx with cancel }
+
+let require_precise ctx what =
+  if ctx.robust <> None then
+    raise
+      (Unsupported
+         (what
+        ^ " on a robust (interval-valued) context: interval models answer \
+           through eval_query's three-valued and interval verdicts"))
 
 (* ------------------------------------------------------------------ *)
 (* The cross-query memo.  Subformulas are hash-consed: structurally
@@ -37,6 +73,8 @@ let with_cancel ctx cancel = { ctx with cancel }
 
 type cell = { mutable c_lookups : int; mutable c_hits : int }
 
+type tri = Holds | Fails | Unknown
+
 type memo = {
   mlock : Mutex.t;
   state_ids : (Logic.Ast.state_formula, int) Hashtbl.t;
@@ -44,9 +82,13 @@ type memo = {
   mutable next_id : int;
   sat_tbl : (int, bool array) Hashtbl.t;
   path_tbl : (int, Linalg.Vec.t) Hashtbl.t;
+  tri_tbl : (int, tri array) Hashtbl.t;      (* robust Sat-sets *)
+  env_tbl : (int, Robust.Envelope.result) Hashtbl.t;  (* warm envelopes *)
   perf : Perf.Batch.t;   (* reduced-model and solve caches (Theorem 1) *)
   sat_cell : cell;
   path_cell : cell;
+  tri_cell : cell;
+  env_cell : cell;
 }
 
 let create_memo () =
@@ -56,9 +98,13 @@ let create_memo () =
     next_id = 0;
     sat_tbl = Hashtbl.create 64;
     path_tbl = Hashtbl.create 16;
+    tri_tbl = Hashtbl.create 64;
+    env_tbl = Hashtbl.create 16;
     perf = Perf.Batch.create ();
     sat_cell = { c_lookups = 0; c_hits = 0 };
-    path_cell = { c_lookups = 0; c_hits = 0 } }
+    path_cell = { c_lookups = 0; c_hits = 0 };
+    tri_cell = { c_lookups = 0; c_hits = 0 };
+    env_cell = { c_lookups = 0; c_hits = 0 } }
 
 (* Intern under the memo lock; ids are dense and never recycled. *)
 let intern memo ids key =
@@ -96,6 +142,13 @@ let memo_counters memo =
       misses = cell.c_lookups - cell.c_hits }
   in
   let own = [ ("path", snap memo.path_cell); ("sat", snap memo.sat_cell) ] in
+  (* The robust cells only show up once a robust context has used the
+     memo, so precise runs keep their historical counter listing. *)
+  let own =
+    if memo.tri_cell.c_lookups > 0 || memo.env_cell.c_lookups > 0 then
+      ("envelope", snap memo.env_cell) :: ("rsat", snap memo.tri_cell) :: own
+    else own
+  in
   Mutex.unlock memo.mlock;
   List.sort compare (own @ Perf.Batch.counters memo.perf)
 
@@ -196,8 +249,8 @@ let until_reward_bounded ctx ~phi ~psi ~reward_bound =
 
 let until_both_bounded memo ctx ~phi ~psi ~time_bound ~reward_bound =
   let solve =
-    Perf.Engine.solve ~pool:ctx.pool ?telemetry:ctx.telemetry
-      ?cancel:ctx.cancel ctx.engine
+    ctx.instance.Perf.Engine_intf.run ~pool:ctx.pool ?telemetry:ctx.telemetry
+      ?cancel:ctx.cancel
   in
   match memo with
   | None ->
@@ -238,25 +291,25 @@ let next_probabilities ctx ~time ~reward ~target =
         let jump_prob = !hit /. exit in
         let rho = Markov.Mrm.reward ctx.mrm s in
         let reward_window =
-          if rho > 0.0 then Some (Numerics.Interval.scale (1.0 /. rho) reward)
-          else if Numerics.Interval.lower reward = 0.0 then
+          if rho > 0.0 then Some (Numerics.Time_interval.scale (1.0 /. rho) reward)
+          else if Numerics.Time_interval.lower reward = 0.0 then
             (* Zero reward rate: the accumulated reward stays 0, which
                satisfies exactly the downward-closed reward intervals. *)
-            Some Numerics.Interval.unbounded
+            Some Numerics.Time_interval.unbounded
           else None
         in
         let window =
           match reward_window with
           | None -> None
-          | Some rw -> Numerics.Interval.intersect time rw
+          | Some rw -> Numerics.Time_interval.intersect time rw
         in
         let sojourn_factor =
           match window with
           | None -> 0.0
           | Some w ->
-            let at_lower = Float.exp (-.exit *. Numerics.Interval.lower w) in
+            let at_lower = Float.exp (-.exit *. Numerics.Time_interval.lower w) in
             let at_upper =
-              match Numerics.Interval.upper w with
+              match Numerics.Time_interval.upper w with
               | None -> 0.0
               | Some b -> Float.exp (-.exit *. b)
             in
@@ -356,15 +409,15 @@ and path_compute memo ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
     next_probabilities ctx ~time ~reward ~target:(sat_k memo ctx f)
   | Until (time, reward, f, g) -> begin
       let phi = sat_k memo ctx f and psi = sat_k memo ctx g in
-      if not (Numerics.Interval.is_downward_closed reward) then
+      if not (Numerics.Time_interval.is_downward_closed reward) then
         raise
           (Unsupported
              "until with a reward interval not starting at 0: no \
               computational procedure is known (the open problem of the \
               paper's Section 6)");
-      let t_lo = Numerics.Interval.lower time in
+      let t_lo = Numerics.Time_interval.lower time in
       if t_lo > 0.0 then begin
-        match Numerics.Interval.upper reward with
+        match Numerics.Time_interval.upper reward with
         | Some _ ->
           raise
             (Unsupported
@@ -373,11 +426,11 @@ and path_compute memo ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
                 problem of the paper's Section 6)")
         | None ->
           until_time_window ctx ~phi ~psi ~t_lo
-            ~t_hi:(Numerics.Interval.upper time)
+            ~t_hi:(Numerics.Time_interval.upper time)
       end
       else
         match
-          Numerics.Interval.upper time, Numerics.Interval.upper reward
+          Numerics.Time_interval.upper time, Numerics.Time_interval.upper reward
         with
         | None, None -> until_unbounded ctx ~phi ~psi
         | Some t, None -> until_time_bounded ctx ~phi ~psi ~time_bound:t
@@ -386,9 +439,160 @@ and path_compute memo ctx (path : Logic.Ast.path_formula) : Linalg.Vec.t =
           until_both_bounded memo ctx ~phi ~psi ~time_bound:t ~reward_bound:r
     end
 
-let sat ctx phi = sat_k None ctx phi
-let path_probabilities ctx path = path_probabilities_k None ctx path
-let reward_values ctx q = reward_values_k None ctx q
+(* ------------------------------------------------------------------ *)
+(* The robust traversal: three-valued Sat-sets over interval models.
+   The boolean layer is Kleene logic; probabilistic thresholds compare
+   the bound against the path envelope and answer [Unknown] exactly
+   when the envelope straddles it.  Nested formulas propagate as
+   must/may set pairs: the lower envelope uses the must
+   (certainly-satisfying) sets, the upper the may (possibly-satisfying)
+   sets — until is monotone in both arguments, so the envelope covers
+   every resolution of the unknown states.                             *)
+
+let tri_not = function Holds -> Fails | Fails -> Holds | Unknown -> Unknown
+
+let tri_and a b =
+  match (a, b) with
+  | Fails, _ | _, Fails -> Fails
+  | Holds, Holds -> Holds
+  | _ -> Unknown
+
+let tri_or a b =
+  match (a, b) with
+  | Holds, _ | _, Holds -> Holds
+  | Fails, Fails -> Fails
+  | _ -> Unknown
+
+let tri_of_bool b = if b then Holds else Fails
+let tri_to_string = function
+  | Holds -> "holds"
+  | Fails -> "fails"
+  | Unknown -> "unknown"
+
+(* Does every value of [lo, hi] satisfy [cmp p]?  Does none? *)
+let tri_of_bounds cmp p ~lo ~hi =
+  let worst, best =
+    match cmp with
+    | Logic.Ast.Ge | Logic.Ast.Gt -> (lo, hi)
+    | Logic.Ast.Le | Logic.Ast.Lt -> (hi, lo)
+  in
+  if Logic.Ast.compare_holds cmp p worst then Holds
+  else if not (Logic.Ast.compare_holds cmp p best) then Fails
+  else Unknown
+
+let get_robust ctx what =
+  match ctx.robust with
+  | Some r -> r
+  | None ->
+    raise
+      (Unsupported
+         (what ^ " needs a robust context (Checker.make_robust)"))
+
+let rec rsat_k memo ctx (phi : Logic.Ast.state_formula) : tri array =
+  match memo with
+  | None -> rsat_compute memo ctx phi
+  | Some m ->
+    let id = Mutex.protect m.mlock (fun () -> intern m m.state_ids phi) in
+    memoize m m.tri_cell m.tri_tbl id (fun () -> rsat_compute memo ctx phi)
+
+and rsat_compute memo ctx (phi : Logic.Ast.state_formula) : tri array =
+  let n = Markov.Mrm.n_states ctx.mrm in
+  match phi with
+  | True -> Array.make n Holds
+  | False -> Array.make n Fails
+  | Ap a -> Array.map tri_of_bool (Markov.Labeling.sat ctx.labeling a)
+  | Not f -> Array.map tri_not (rsat_k memo ctx f)
+  | And (f, g) ->
+    let sf = rsat_k memo ctx f and sg = rsat_k memo ctx g in
+    Array.init n (fun s -> tri_and sf.(s) sg.(s))
+  | Or (f, g) ->
+    let sf = rsat_k memo ctx f and sg = rsat_k memo ctx g in
+    Array.init n (fun s -> tri_or sf.(s) sg.(s))
+  | Implies (f, g) ->
+    let sf = rsat_k memo ctx f and sg = rsat_k memo ctx g in
+    Array.init n (fun s -> tri_or (tri_not sf.(s)) sg.(s))
+  | Prob (cmp, p, path) ->
+    let env = renvelope_k memo ctx path in
+    Array.init n (fun s ->
+        tri_of_bounds cmp p ~lo:env.Robust.Envelope.lo.{s}
+          ~hi:env.Robust.Envelope.hi.{s})
+  | Steady _ ->
+    raise
+      (Unsupported
+         "steady-state operators over interval-valued models: bounding \
+          BSCC stationary distributions over rate intervals is not \
+          implemented")
+  | Reward _ ->
+    raise
+      (Unsupported
+         "expected-reward operators over interval-valued models are not \
+          implemented")
+
+and renvelope_k memo ctx (path : Logic.Ast.path_formula)
+    : Robust.Envelope.result =
+  match memo with
+  | None -> renvelope_compute memo ctx path
+  | Some m ->
+    let id = Mutex.protect m.mlock (fun () -> intern m m.path_ids path) in
+    memoize m m.env_cell m.env_tbl id (fun () ->
+        renvelope_compute memo ctx path)
+
+and renvelope_compute memo ctx (path : Logic.Ast.path_formula)
+    : Robust.Envelope.result =
+  let r = get_robust ctx "path envelopes" in
+  match path with
+  | Next _ ->
+    raise
+      (Unsupported
+         "next over interval-valued models: the jump probability and the \
+          sojourn factor share each rate, so the per-transition optimum \
+          is not separable; no envelope procedure is implemented")
+  | Until (time, reward, f, g) ->
+    if not (Numerics.Time_interval.is_downward_closed reward) then
+      raise
+        (Unsupported
+           "until with a reward interval not starting at 0: no \
+            computational procedure is known (the open problem of the \
+            paper's Section 6)");
+    if Numerics.Time_interval.lower time > 0.0 then
+      raise
+        (Unsupported
+           "until with a time-interval lower bound over interval-valued \
+            models is not implemented");
+    let time_bound =
+      match Numerics.Time_interval.upper time with
+      | Some t -> t
+      | None ->
+        raise
+          (Unsupported
+             "time-unbounded until over interval-valued models: the \
+              envelope solver is a transient (uniformisation) procedure; \
+              give the until a time bound")
+    in
+    let tf = rsat_k memo ctx f and tg = rsat_k memo ctx g in
+    let must t = Array.map (fun v -> v = Holds) t
+    and may t = Array.map (fun v -> v <> Fails) t in
+    r.renv.Perf.Engine_intf.run ~pool:ctx.pool ?telemetry:ctx.telemetry
+      ?cancel:ctx.cancel
+      { Robust.Engine.imrm = r.imrm;
+        phi_must = must tf;
+        phi_may = may tf;
+        psi_must = must tg;
+        psi_may = may tg;
+        time_bound;
+        reward_bound = Numerics.Time_interval.upper reward }
+
+let sat ctx phi =
+  require_precise ctx "boolean Sat-sets";
+  sat_k None ctx phi
+
+let path_probabilities ctx path =
+  require_precise ctx "point path probabilities";
+  path_probabilities_k None ctx path
+
+let reward_values ctx q =
+  require_precise ctx "expected-reward values";
+  reward_values_k None ctx q
 
 let holds ctx phi s =
   let mask = sat ctx phi in
@@ -396,21 +600,45 @@ let holds ctx phi s =
     invalid_arg "Checker.holds: state out of range";
   mask.(s)
 
-let steady_probabilities ctx f = steady_values ctx ~target:(sat ctx f)
+let steady_probabilities ctx f =
+  require_precise ctx "steady-state probabilities";
+  steady_values ctx ~target:(sat ctx f)
+
+let robust_sat ctx phi = rsat_k None ctx phi
+let path_envelope ctx path = renvelope_k None ctx path
 
 type verdict =
   | Boolean of bool array
   | Numeric of Linalg.Vec.t
+  | Three_valued of tri array
+  | Interval of Robust.Envelope.result
 
 let eval_query ?memo ctx q =
   Telemetry.with_span ctx.telemetry "checker.eval_query" @@ fun () ->
+  let robust = ctx.robust <> None in
   let verdict =
     match q with
-    | Logic.Ast.Formula f -> Boolean (sat_k memo ctx f)
-    | Logic.Ast.Prob_query path -> Numeric (path_probabilities_k memo ctx path)
+    | Logic.Ast.Formula f ->
+      if robust then Three_valued (rsat_k memo ctx f)
+      else Boolean (sat_k memo ctx f)
+    | Logic.Ast.Prob_query path ->
+      if robust then Interval (renvelope_k memo ctx path)
+      else Numeric (path_probabilities_k memo ctx path)
     | Logic.Ast.Steady_query f ->
-      Numeric (steady_values ctx ~target:(sat_k memo ctx f))
-    | Logic.Ast.Reward_query q -> Numeric (reward_values_k memo ctx q)
+      if robust then
+        raise
+          (Unsupported
+             "steady-state queries over interval-valued models: bounding \
+              BSCC stationary distributions over rate intervals is not \
+              implemented")
+      else Numeric (steady_values ctx ~target:(sat_k memo ctx f))
+    | Logic.Ast.Reward_query q ->
+      if robust then
+        raise
+          (Unsupported
+             "expected-reward queries over interval-valued models are not \
+              implemented")
+      else Numeric (reward_values_k memo ctx q)
     | Logic.Ast.Frontier_query _ ->
       (* A frontier is a set of points, not a per-state vector; the sweep
          driver (Batch.Frontier) decomposes it into Prob_query probes. *)
@@ -426,3 +654,8 @@ let eval_query ?memo ctx q =
   | None, v -> v
   | Some _, Boolean mask -> Boolean (Array.copy mask)
   | Some _, Numeric v -> Numeric (Linalg.Vec.copy v)
+  | Some _, Three_valued t -> Three_valued (Array.copy t)
+  | Some _, Interval e ->
+    Interval
+      { Robust.Envelope.lo = Linalg.Vec.copy e.Robust.Envelope.lo;
+        hi = Linalg.Vec.copy e.Robust.Envelope.hi }

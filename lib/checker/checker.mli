@@ -65,8 +65,34 @@ val make :
     result, so caches are never poisoned.  An unfired token never
     changes a value (the serving daemon's per-request deadline). *)
 
+val make_robust :
+  ?engine:Perf.Engine.spec -> ?epsilon:float -> ?pool:Parallel.Pool.t ->
+  ?telemetry:Telemetry.t -> ?reduction:Perf.Reduction.config ->
+  ?cancel:Numerics.Cancel.t -> Robust.Imrm.t -> Markov.Labeling.t -> t
+(** A robust context over an interval-valued model: {!eval_query}
+    answers {!Three_valued} Sat verdicts and {!Interval} path envelopes
+    computed by the robust envelope engine ({!Robust.Engine}, a
+    first-class {!Perf.Engine_intf} instance with the [intervals]
+    capability flag).  [engine] and [reduction] configure the precise
+    code path that zero-width interval models delegate to — a point
+    context and a robust context over {!Robust.Imrm.point} of the same
+    model produce bit-identical probability values.  [epsilon] is both
+    the Fox–Glynn accuracy and the envelope safety margin; the remaining
+    parameters mean exactly what they mean on {!make}.
+
+    The precise entry points ({!sat}, {!path_probabilities},
+    {!steady_probabilities}, {!reward_values}, {!holds}) raise
+    {!Unsupported} on a robust context — they would silently answer on
+    the interval midpoints otherwise. *)
+
 val mrm : t -> Markov.Mrm.t
+(** On a robust context this is the point model (zero width) or the
+    interval midpoints — state counts and display only. *)
+
 val labeling : t -> Markov.Labeling.t
+
+val robust_model : t -> Robust.Imrm.t option
+val is_robust : t -> bool
 
 val with_pool : t -> Parallel.Pool.t -> t
 (** The same context running its kernels on a different pool.  The batch
@@ -106,7 +132,9 @@ val create_memo : unit -> memo
 
 val memo_counters : memo -> (string * Perf.Batch.counters) list
 (** Lookup/hit/miss statistics per cache, sorted by name: ["path"],
-    ["reduced"], ["reduction"], ["sat"] and ["until"].  In every entry
+    ["reduced"], ["reduction"], ["sat"] and ["until"], plus ["rsat"]
+    and ["envelope"] once a robust context has used the memo (precise
+    runs keep the historical listing).  In every entry
     [hits + misses = lookups]. *)
 
 val sat : t -> Logic.Ast.state_formula -> bool array
@@ -131,13 +159,47 @@ val reward_values : t -> Logic.Ast.reward_query -> Linalg.Vec.t
     reach a set ([infinity] where not almost sure), or the long-run
     reward rate. *)
 
+(* ------------------------------------------------------------------ *)
+(* Robust (interval-valued) verdicts.                                  *)
+
+type tri = Holds | Fails | Unknown
+(** Three-valued satisfaction over an interval model: [Holds] when every
+    concrete model of the uncertainty set satisfies the formula in the
+    state, [Fails] when none does, [Unknown] when the envelope straddles
+    a probability bound (Kleene logic on the boolean layer). *)
+
+val tri_of_bool : bool -> tri
+val tri_to_string : tri -> string
+
+val tri_of_bounds : Logic.Ast.comparison -> float -> lo:float -> hi:float -> tri
+(** The threshold verdict of a [P cmp p] operator against an envelope:
+    [Holds] if every value of [\[lo, hi\]] satisfies the comparison,
+    [Fails] if none does, [Unknown] otherwise.  On a zero-width envelope
+    ([lo = hi]) this coincides with {!Logic.Ast.compare_holds} and never
+    answers [Unknown]. *)
+
+val robust_sat : t -> Logic.Ast.state_formula -> tri array
+(** The three-valued Sat vector (robust contexts only; raises
+    {!Unsupported} on precise contexts and for operators with no
+    envelope procedure — steady-state, expected-reward, next,
+    time-unbounded until). *)
+
+val path_envelope : t -> Logic.Ast.path_formula -> Robust.Envelope.result
+(** Per-state lower/upper probability bounds of a path formula (robust
+    contexts only). *)
+
 type verdict =
   | Boolean of bool array
   | Numeric of Linalg.Vec.t
+  | Three_valued of tri array   (** robust contexts: state formulas *)
+  | Interval of Robust.Envelope.result
+      (** robust contexts: quantitative path queries *)
 
 val eval_query : ?memo:memo -> t -> Logic.Ast.query -> verdict
 (** [memo] (default none: the historical uncached path) shares Sat-sets,
     path-probability vectors and Theorem 1 artefacts across calls — the
     per-query entry point of the batch engine.  Memoised verdicts are
     returned as fresh copies and are bit-identical to the verdicts of
-    the uncached path. *)
+    the uncached path.  Robust contexts additionally memoise
+    three-valued Sat vectors and path envelopes (the serving daemon's
+    warm envelope caches). *)

@@ -13,10 +13,10 @@ type state_formula =
   | Reward of comparison * float * reward_query
 
 and path_formula =
-  | Next of Numerics.Interval.t * Numerics.Interval.t * state_formula
+  | Next of Numerics.Time_interval.t * Numerics.Time_interval.t * state_formula
   | Until of
-      Numerics.Interval.t
-      * Numerics.Interval.t
+      Numerics.Time_interval.t
+      * Numerics.Time_interval.t
       * state_formula
       * state_formula
 
@@ -32,8 +32,8 @@ type query =
   | Reward_query of reward_query
   | Frontier_query of { points : int; target : float; path : path_formula }
 
-let eventually ?(time = Numerics.Interval.unbounded)
-    ?(reward = Numerics.Interval.unbounded) phi =
+let eventually ?(time = Numerics.Time_interval.unbounded)
+    ?(reward = Numerics.Time_interval.unbounded) phi =
   Until (time, reward, True, phi)
 
 let negate_comparison = function Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
@@ -102,10 +102,10 @@ let rec equal f g =
 and equal_path h k =
   match h, k with
   | Next (i1, j1, f1), Next (i2, j2, f2) ->
-    Numerics.Interval.equal i1 i2 && Numerics.Interval.equal j1 j2
+    Numerics.Time_interval.equal i1 i2 && Numerics.Time_interval.equal j1 j2
     && equal f1 f2
   | Until (i1, j1, f1, g1), Until (i2, j2, f2, g2) ->
-    Numerics.Interval.equal i1 i2 && Numerics.Interval.equal j1 j2
+    Numerics.Time_interval.equal i1 i2 && Numerics.Time_interval.equal j1 j2
     && equal f1 f2 && equal g1 g2
   | (Next _ | Until _), _ -> false
 
@@ -125,9 +125,9 @@ let pp_comparison ppf cmp =
    vacuous bounds. *)
 let pp_bounds ppf (time, reward) =
   let one prefix interval =
-    let lo = Numerics.Interval.lower interval in
+    let lo = Numerics.Time_interval.lower interval in
     if lo > 0.0 then Format.fprintf ppf "[%s>=%g]" prefix lo;
-    match Numerics.Interval.upper interval with
+    match Numerics.Time_interval.upper interval with
     | Some b -> Format.fprintf ppf "[%s<=%g]" prefix b
     | None -> ()
   in

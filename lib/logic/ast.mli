@@ -9,7 +9,7 @@
     connectives.
 
     Intervals are downward closed ([\[0,b\]] or unbounded), matching the
-    paper's restriction; see {!Numerics.Interval}. *)
+    paper's restriction; see {!Numerics.Time_interval}. *)
 
 type comparison = Lt | Le | Gt | Ge
 
@@ -33,12 +33,12 @@ type state_formula =
           provided as an extension. *)
 
 and path_formula =
-  | Next of Numerics.Interval.t * Numerics.Interval.t * state_formula
+  | Next of Numerics.Time_interval.t * Numerics.Time_interval.t * state_formula
       (** [Next (i, j, phi)] is [X_I^J phi]: one jump, into a [phi]-state,
           at a time in [I], having accumulated reward in [J] *)
   | Until of
-      Numerics.Interval.t
-      * Numerics.Interval.t
+      Numerics.Time_interval.t
+      * Numerics.Time_interval.t
       * state_formula
       * state_formula
       (** [Until (i, j, phi, psi)] is [phi U_I^J psi] *)
@@ -63,13 +63,13 @@ type query =
           Evaluated by [Batch.Frontier], not by the checker. *)
 
 val eventually :
-  ?time:Numerics.Interval.t -> ?reward:Numerics.Interval.t -> state_formula ->
+  ?time:Numerics.Time_interval.t -> ?reward:Numerics.Time_interval.t -> state_formula ->
   path_formula
 (** [eventually phi] is [true U phi] (the diamond of Section 2.3); both
     bounds default to unbounded. *)
 
 val always :
-  ?time:Numerics.Interval.t -> ?reward:Numerics.Interval.t ->
+  ?time:Numerics.Time_interval.t -> ?reward:Numerics.Time_interval.t ->
   comparison * float -> state_formula -> state_formula
 (** [always (cmp, p) phi] encodes [P cmp p (G_I^J phi)].  CSRL has no
     negation on path formulas, so the globally operator is expressed by

@@ -22,7 +22,7 @@ let expect st tok message =
 type raw_path =
   | Raw of Ast.path_formula
   | Raw_globally of
-      Numerics.Interval.t * Numerics.Interval.t * Ast.state_formula
+      Numerics.Time_interval.t * Numerics.Time_interval.t * Ast.state_formula
 
 let comparison st =
   match current st with
@@ -79,7 +79,7 @@ let bounds st =
   in
   groups ();
   let interval what ~lower ~upper =
-    match Numerics.Interval.make ~lower ~upper with
+    match Numerics.Time_interval.make ~lower ~upper with
     | interval -> interval
     | exception Invalid_argument _ ->
       fail_at st (Printf.sprintf "empty %s interval" what)
@@ -283,8 +283,8 @@ let frontier_query st =
   (match path with
    | Ast.Until (time, reward, _, _) ->
      let finite_upto interval =
-       Numerics.Interval.lower interval = 0.0
-       && (match Numerics.Interval.upper interval with
+       Numerics.Time_interval.lower interval = 0.0
+       && (match Numerics.Time_interval.upper interval with
            | Some b -> Float.is_finite b && b > 0.0
            | None -> false)
      in

@@ -9,17 +9,17 @@ let check_endpoint name x =
     invalid_arg (name ^ ": endpoints must be finite and non-negative")
 
 let upto b =
-  check_endpoint "Interval.upto" b;
+  check_endpoint "Time_interval.upto" b;
   Upto b
 
 let between a b =
-  check_endpoint "Interval.between" a;
-  check_endpoint "Interval.between" b;
-  if a > b then invalid_arg "Interval.between: lower exceeds upper";
+  check_endpoint "Time_interval.between" a;
+  check_endpoint "Time_interval.between" b;
+  if a > b then invalid_arg "Time_interval.between: lower exceeds upper";
   if a = 0.0 then Upto b else Between (a, b)
 
 let from a =
-  check_endpoint "Interval.from" a;
+  check_endpoint "Time_interval.from" a;
   if a = 0.0 then Unbounded else From a
 
 let unbounded = Unbounded
@@ -54,10 +54,10 @@ let bound = upper
 let bound_exn i =
   match upper i with
   | Some b -> b
-  | None -> invalid_arg "Interval.bound_exn: unbounded interval"
+  | None -> invalid_arg "Time_interval.bound_exn: unbounded interval"
 
 let scale c i =
-  if c < 0.0 then invalid_arg "Interval.scale: negative factor";
+  if c < 0.0 then invalid_arg "Time_interval.scale: negative factor";
   match i with
   | Upto b -> Upto (c *. b)
   | Between (a, b) -> between (c *. a) (c *. b)

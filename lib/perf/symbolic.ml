@@ -66,16 +66,16 @@ let rec predicate t (f : Logic.Ast.state_formula) : Explore.Succ.state -> bool =
        explicit model instead)"
 
 let time_bound_exn iv =
-  if Numerics.Interval.lower iv > 0.0 then
+  if Numerics.Time_interval.lower iv > 0.0 then
     unsupported "lower time bounds on a successor-backed model";
-  match Numerics.Interval.upper iv with
+  match Numerics.Time_interval.upper iv with
   | Some b -> b
   | None -> unsupported "unbounded until on a successor-backed model"
 
 let reward_bound_exn iv =
-  if Numerics.Interval.lower iv > 0.0 then
+  if Numerics.Time_interval.lower iv > 0.0 then
     unsupported "lower reward bounds on a successor-backed model";
-  Numerics.Interval.upper iv
+  Numerics.Time_interval.upper iv
 
 let exact value =
   { value; delta = 0.0; lower = value; upper = value; stats = None;

@@ -1,0 +1,116 @@
+type document = {
+  imrm : Imrm.t;
+  labeling : Markov.Labeling.t;
+  init : Linalg.Vec.t;
+}
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
+
+let number what = function
+  | Io.Json.Number f -> f
+  | _ -> fail "%s must be a number" what
+
+let integer what j =
+  let f = number what j in
+  if Float.is_integer f then int_of_float f
+  else fail "%s must be an integer" what
+
+let state ~n what j =
+  let s = integer what j in
+  if s < 0 || s >= n then fail "%s: state %d out of range (0..%d)" what s (n - 1);
+  s
+
+let interval what = function
+  | Io.Json.Number f -> (f, f)
+  | Io.Json.List [ Io.Json.Number lo; Io.Json.Number hi ] -> (lo, hi)
+  | _ -> fail "%s must be a number or a [lo, hi] pair" what
+
+let parse text =
+  let json =
+    try Io.Json.of_string text
+    with Io.Json.Parse_error (m, off) -> fail "bad JSON at offset %d: %s" off m
+  in
+  let field key =
+    match Io.Json.member key json with
+    | Some v -> v
+    | None -> fail "missing field %S" key
+  in
+  let n = integer "\"states\"" (field "states") in
+  if n <= 0 then fail "\"states\" must be positive";
+  let transitions =
+    match field "transitions" with
+    | Io.Json.List l ->
+      List.mapi
+        (fun i entry ->
+          let what = Printf.sprintf "transition %d" i in
+          match entry with
+          | Io.Json.List [ src; dst; rate ] ->
+            let lo, hi = interval what rate in
+            (state ~n what src, state ~n what dst, lo, hi)
+          | Io.Json.List [ src; dst; lo; hi ] ->
+            ( state ~n what src,
+              state ~n what dst,
+              number what lo,
+              number what hi )
+          | _ ->
+            fail "%s must be [src, dst, rate] or [src, dst, lo, hi]" what)
+        l
+    | _ -> fail "\"transitions\" must be a list"
+  in
+  let rewards =
+    match field "rewards" with
+    | Io.Json.List l when List.length l = n ->
+      Array.of_list
+        (List.mapi (fun s j -> interval (Printf.sprintf "reward %d" s) j) l)
+    | Io.Json.List _ -> fail "\"rewards\" must list one entry per state"
+    | _ -> fail "\"rewards\" must be a list"
+  in
+  let imrm =
+    try Imrm.make ~n ~transitions ~rewards
+    with Invalid_argument m -> fail "%s" m
+  in
+  let labeling =
+    match Io.Json.member "labels" json with
+    | None -> Markov.Labeling.empty ~n
+    | Some (Io.Json.Object props) ->
+      let props =
+        List.map
+          (fun (name, states) ->
+            match states with
+            | Io.Json.List l ->
+              ( name,
+                List.map (state ~n (Printf.sprintf "label %S" name)) l )
+            | _ -> fail "label %S must list states" name)
+          props
+      in
+      (try Markov.Labeling.make ~n props
+       with Invalid_argument m -> fail "%s" m)
+    | Some _ -> fail "\"labels\" must be an object"
+  in
+  let init =
+    match Io.Json.member "init" json with
+    | None -> Linalg.Vec.unit n 0
+    | Some (Io.Json.Number _ as j) -> Linalg.Vec.unit n (state ~n "\"init\"" j)
+    | Some (Io.Json.List l) when List.length l = n ->
+      let v =
+        Linalg.Vec.of_array
+          (Array.of_list
+             (List.mapi
+                (fun s j -> number (Printf.sprintf "init weight %d" s) j)
+                l))
+      in
+      if not (Linalg.Vec.is_distribution v) then
+        fail "\"init\" must be a probability distribution";
+      v
+    | Some (Io.Json.List _) -> fail "\"init\" must list one weight per state"
+    | Some _ -> fail "\"init\" must be a state index or a distribution"
+  in
+  { imrm; labeling; init }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

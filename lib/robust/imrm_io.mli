@@ -1,0 +1,34 @@
+(** JSON documents describing imprecise MRMs (the CLI's [--imrm FILE]).
+
+    {v
+    {
+      "states": 3,
+      "transitions": [[0, 1, 0.9, 1.1], [1, 0, 2.0]],
+      "rewards": [[1.9, 2.1], 3.0, 0.0],
+      "labels": {"up": [0, 1], "down": [2]},
+      "init": [0.5, 0.5, 0.0]
+    }
+    v}
+
+    A transition is [\[src, dst, lo, hi\]] ([\[src, dst, rate\]] for a
+    point rate); a reward entry is [\[lo, hi\]] or a point number.
+    [labels] maps proposition names to state lists.  [init] (optional;
+    default: all mass on state 0) is either a state index or a
+    distribution over all states.  Parsed with {!Io.Json}. *)
+
+type document = {
+  imrm : Imrm.t;
+  labeling : Markov.Labeling.t;
+  init : Linalg.Vec.t;
+}
+
+exception Format_error of string
+(** One-line human message (the CLI prints it and exits 2). *)
+
+val parse : string -> document
+(** Raises {!Format_error} on malformed JSON, missing or ill-typed
+    fields, invalid intervals, or an initial distribution that does not
+    sum to one. *)
+
+val parse_file : string -> document
+(** Reads and parses a file; [Sys_error] on IO failure. *)

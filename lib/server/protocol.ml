@@ -1,7 +1,13 @@
 type variable = Time | Reward
 
 type request =
-  | Load of { model : string; file : string option; builtin : string option }
+  | Load of {
+      model : string;
+      file : string option;
+      builtin : string option;
+      drift : float option;
+      imrm : string option;
+    }
   | Evict of { model : string }
   | List_models
   | Check of { model : string; query : string; deadline_ms : float option }
@@ -92,7 +98,23 @@ let of_json json =
             if file <> None && builtin <> None then
               reject ?id "bad_request"
                 "\"file\" and \"builtin\" are mutually exclusive";
-            Load { model = required_text ?id json "model"; file; builtin }
+            let drift =
+              match Io.Json.member "drift" json with
+              | None -> None
+              | Some (Io.Json.Number pct) when pct >= 0.0 && pct < 100.0 ->
+                Some pct
+              | Some _ ->
+                reject ?id "bad_request"
+                  "\"drift\" must be a percentage in [0, 100)"
+            in
+            let imrm = text_member "imrm" json in
+            if imrm <> None && (file <> None || builtin <> None || drift <> None)
+            then
+              reject ?id "bad_request"
+                "\"imrm\" cannot be combined with \"file\", \"builtin\" or \
+                 \"drift\"";
+            Load { model = required_text ?id json "model"; file; builtin;
+                   drift; imrm }
           | Some "evict" -> Evict { model = required_text ?id json "model" }
           | Some "list" -> List_models
           | Some "check" ->
@@ -166,12 +188,18 @@ let to_json { id; request } =
   let id_field = match id with None -> [] | Some i -> [ ("id", Io.Json.String i) ] in
   let fields =
     match request with
-    | Load { model; file; builtin } ->
+    | Load { model; file; builtin; drift; imrm } ->
       [ ("model", Io.Json.String model) ]
       @ (match file with None -> [] | Some f -> [ ("file", Io.Json.String f) ])
       @ (match builtin with
          | None -> []
          | Some b -> [ ("builtin", Io.Json.String b) ])
+      @ (match drift with
+         | None -> []
+         | Some d -> [ ("drift", Io.Json.Number d) ])
+      @ (match imrm with
+         | None -> []
+         | Some path -> [ ("imrm", Io.Json.String path) ])
     | Evict { model } -> [ ("model", Io.Json.String model) ]
     | List_models | Stats | Shutdown -> []
     | Check { model; query; deadline_ms } ->

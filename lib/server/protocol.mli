@@ -13,7 +13,12 @@
       and register it under NAME; or, with ["builtin": SOURCE], register
       the built-in SOURCE under the alias NAME with its own independent
       warm caches — ["file"] and ["builtin"] are mutually exclusive).
-      Reloading a name replaces its entry, warm caches included.
+      With ["drift": PCT] the resolved model is widened by a uniform
+      +/-PCT% relative drift into an interval-valued entry answering
+      robust envelopes; with ["imrm": PATH] an interval model is parsed
+      from PATH's JSON directly (["imrm"] excludes every other source
+      field).  Reloading a name replaces its entry, warm caches
+      included.
     - [{"kind": "list"}] — the registered models, sorted by name.
     - [{"kind": "evict", "model": NAME}] — drop a registry entry.
     - [{"kind": "check", "model": NAME, "query": CSRL}] — evaluate one
@@ -48,7 +53,13 @@
 type variable = Time | Reward
 
 type request =
-  | Load of { model : string; file : string option; builtin : string option }
+  | Load of {
+      model : string;
+      file : string option;
+      builtin : string option;
+      drift : float option;   (** percent; widens into an interval model *)
+      imrm : string option;   (** path of an interval-model JSON file *)
+    }
   | Evict of { model : string }
   | List_models
   | Check of { model : string; query : string; deadline_ms : float option }

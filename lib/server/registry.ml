@@ -7,6 +7,13 @@ type payload =
       memo : Checker.memo;
     }
   | Symbolic of { path : string; sym : Perf.Symbolic.t }
+  | Robust of {
+      imrm : Robust.Imrm.t;
+      labeling : Markov.Labeling.t;
+      init : Linalg.Vec.t;
+      ctx : Checker.t;
+      memo : Checker.memo;
+    }
 
 type entry = {
   name : string;
@@ -16,12 +23,14 @@ type entry = {
 
 type t = {
   make_ctx : Markov.Mrm.t -> Markov.Labeling.t -> Checker.t;
+  make_robust_ctx : Robust.Imrm.t -> Markov.Labeling.t -> Checker.t;
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
 }
 
-let create ~make_ctx () =
-  { make_ctx; table = Hashtbl.create 8; lock = Mutex.create () }
+let create ~make_ctx ~make_robust_ctx () =
+  { make_ctx; make_robust_ctx; table = Hashtbl.create 8;
+    lock = Mutex.create () }
 
 let build_explicit t ~name mrm labeling init =
   { name;
@@ -32,18 +41,44 @@ let build_explicit t ~name mrm labeling init =
           memo = Checker.create_memo () };
     entry_lock = Mutex.create () }
 
+let build_robust t ~name imrm labeling init =
+  { name;
+    payload =
+      Robust
+        { imrm; labeling; init;
+          ctx = t.make_robust_ctx imrm labeling;
+          memo = Checker.create_memo () };
+    entry_lock = Mutex.create () }
+
 let build_symbolic ~name ~path sym =
   { name; payload = Symbolic { path; sym }; entry_lock = Mutex.create () }
 
 let is_gcm path = Filename.check_suffix path ".gcm"
 
-let load t ~name ?builtin ?file () =
+let load t ~name ?builtin ?file ?drift ?imrm () =
   let register entry =
     Mutex.protect t.lock (fun () -> Hashtbl.replace t.table name entry);
     Ok entry
   in
+  match imrm with
+  | Some path -> begin
+      match Robust.Imrm_io.parse_file path with
+      | doc ->
+        register
+          (build_robust t ~name doc.Robust.Imrm_io.imrm
+             doc.Robust.Imrm_io.labeling doc.Robust.Imrm_io.init)
+      | exception Robust.Imrm_io.Format_error message ->
+        Error (Printf.sprintf "%s: %s" path message)
+      | exception Sys_error message -> Error message
+    end
+  | None ->
   match file with
-  | Some path when is_gcm path -> begin
+  | Some path when is_gcm path ->
+    if drift <> None then
+      Error
+        (Printf.sprintf
+           "%s: .gcm models cannot be widened into interval models" path)
+    else begin
       match Lang.Gcm.load_file path with
       | Ok succ -> register (build_symbolic ~name ~path (Perf.Symbolic.create succ))
       | Error _ as e -> e
@@ -67,10 +102,23 @@ let load t ~name ?builtin ?file () =
          | Some (mrm, labeling, init) -> Ok (mrm, labeling, init)
          | None -> Error (Printf.sprintf "unknown built-in model %S" source))
     in
-    (match resolved with
-     | Error _ as e -> e
-     | Ok (mrm, labeling, init) ->
-       register (build_explicit t ~name mrm labeling init))
+    (* Built-in "-drift" names resolve to interval entries directly;
+       explicit ["drift"] widens whatever source was resolved. *)
+    (match resolved, drift with
+     | Error e, _ -> begin
+         match file, Models.Builtin.load_robust (Option.value builtin ~default:name) with
+         | None, Some (imrm, labeling, init) ->
+           register (build_robust t ~name imrm labeling init)
+         | None, None | Some _, _ -> Error e
+         | exception Invalid_argument message -> Error message
+       end
+     | Ok (mrm, labeling, init), None ->
+       register (build_explicit t ~name mrm labeling init)
+     | Ok (mrm, labeling, init), Some pct -> begin
+         match Robust.Imrm.of_mrm ~rate_drift:(pct /. 100.0) mrm with
+         | imrm -> register (build_robust t ~name imrm labeling init)
+         | exception Invalid_argument message -> Error message
+       end)
 
 let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table name)
 

@@ -41,6 +41,13 @@ type payload =
       path : string;            (** the [.gcm] file it was loaded from *)
       sym : Perf.Symbolic.t;    (** warm space + query memo *)
     }
+  | Robust of {
+      imrm : Robust.Imrm.t;
+      labeling : Markov.Labeling.t;
+      init : Linalg.Vec.t;
+      ctx : Checker.t;     (** a robust context ({!Checker.make_robust}) *)
+      memo : Checker.memo; (** warm caches incl. envelopes and tri-Sat sets *)
+    }
 
 type entry = {
   name : string;
@@ -53,14 +60,18 @@ type entry = {
 type t
 
 val create :
-  make_ctx:(Markov.Mrm.t -> Markov.Labeling.t -> Checker.t) -> unit -> t
+  make_ctx:(Markov.Mrm.t -> Markov.Labeling.t -> Checker.t) ->
+  make_robust_ctx:(Robust.Imrm.t -> Markov.Labeling.t -> Checker.t) ->
+  unit -> t
 (** [make_ctx] prepares the checking context for every loaded explicit
     model — the server closes it over its engine, epsilon, reduction
-    config, pool and telemetry.  Symbolic entries don't use it. *)
+    config, pool and telemetry; [make_robust_ctx] does the same for
+    interval-valued entries ({!Checker.make_robust}).  Symbolic entries
+    use neither. *)
 
 val load :
-  t -> name:string -> ?builtin:string -> ?file:string -> unit ->
-  (entry, string) result
+  t -> name:string -> ?builtin:string -> ?file:string -> ?drift:float ->
+  ?imrm:string -> unit -> (entry, string) result
 (** Build the model and register it under [name].  Without [builtin] or
     [file], [name] itself must be a built-in model
     ({!Models.Builtin}); with [builtin], that built-in is loaded and
@@ -68,6 +79,11 @@ val load :
     the entry its own independent warm caches; with [file], the file is
     parsed — [.gcm] files become symbolic entries (each load gets a
     fresh, independent warm space), anything else is parsed as [.mrm].
+    With [drift] (a percentage in [\[0, 100)]) the resolved explicit
+    model is widened by a uniform relative drift into a robust entry;
+    with [imrm], [imrm] is parsed as an interval-model JSON file
+    ({!Robust.Imrm_io}) and every other source is ignored.  Built-in
+    ["<name>-drift[:PCT]"] names resolve to robust entries directly.
     Replaces any existing entry (fresh warm state).  Errors are
     messages: unknown built-in, or the file's parse error with
     [file:line:col] positions for [.gcm]. *)

@@ -124,6 +124,33 @@ let verdict_json ~init verdict =
        Io.Json.List
          (List.init (Linalg.Vec.length values) (fun s ->
               Io.Json.Number values.{s}))) ]
+  | Checker.Three_valued tris ->
+    let mass keep =
+      Linalg.Vec.dot init
+        (Linalg.Vec.init (Array.length tris) (fun s ->
+             if keep tris.(s) then 1.0 else 0.0))
+    in
+    [ ("kind", Io.Json.String "three-valued");
+      ("initial_mass_lo",
+       Io.Json.Number (mass (fun v -> v = Checker.Holds)));
+      ("initial_mass_hi",
+       Io.Json.Number (mass (fun v -> v <> Checker.Fails)));
+      ("states",
+       Io.Json.List
+         (Array.to_list
+            (Array.map
+               (fun v -> Io.Json.String (Checker.tri_to_string v))
+               tris))) ]
+  | Checker.Interval env ->
+    let lo = env.Robust.Envelope.lo and hi = env.Robust.Envelope.hi in
+    [ ("kind", Io.Json.String "interval");
+      ("value_lo", Io.Json.Number (Linalg.Vec.dot init lo));
+      ("value_hi", Io.Json.Number (Linalg.Vec.dot init hi));
+      ("states",
+       Io.Json.List
+         (List.init (Linalg.Vec.length lo) (fun s ->
+              Io.Json.List [ Io.Json.Number lo.{s}; Io.Json.Number hi.{s} ])))
+    ]
 
 (* Symbolic (successor-backed) models answer with a certified interval
    instead of a per-state vector: there is no enumerated state space to
@@ -163,6 +190,7 @@ let entry_states (e : Registry.entry) =
   match e.Registry.payload with
   | Registry.Explicit { mrm; _ } -> Markov.Mrm.n_states mrm
   | Registry.Symbolic { sym; _ } -> Perf.Symbolic.n_states sym
+  | Registry.Robust { imrm; _ } -> Robust.Imrm.n_states imrm
 
 (* ------------------------------------------------------------------ *)
 (* Request execution.                                                  *)
@@ -262,7 +290,7 @@ let stats_json t =
       (fun (e : Registry.entry) ->
         let cache =
           match e.Registry.payload with
-          | Registry.Explicit { memo; _ } ->
+          | Registry.Explicit { memo; _ } | Registry.Robust { memo; _ } ->
             Io.Json.Object
               (List.map
                  (fun (name, counters) -> (name, counters_entry counters))
@@ -293,8 +321,8 @@ let stats_json t =
 let run_request t ~admitted ~id request =
   let ok = Protocol.response_ok ~id in
   match (request : Protocol.request) with
-  | Load { model; file; builtin } -> begin
-      match Registry.load t.reg ~name:model ?builtin ?file () with
+  | Load { model; file; builtin; drift; imrm } -> begin
+      match Registry.load t.reg ~name:model ?builtin ?file ?drift ?imrm () with
       | Ok entry -> begin
           match entry.Registry.payload with
           | Registry.Explicit { mrm; _ } ->
@@ -318,6 +346,19 @@ let run_request t ~admitted ~id request =
                    ("states_interned",
                     Io.Json.Number
                       (float_of_int (Perf.Symbolic.n_states sym))) ])
+          | Registry.Robust { imrm; _ } ->
+            Ok
+              (ok ~kind:"load"
+                 [ ("model", Io.Json.String model);
+                   ("robust", Io.Json.Bool true);
+                   ("states",
+                    Io.Json.Number
+                      (float_of_int (Robust.Imrm.n_states imrm)));
+                   ("transitions",
+                    Io.Json.Number
+                      (float_of_int (Robust.Imrm.n_transitions imrm)));
+                   ("max_width", Io.Json.Number (Robust.Imrm.max_width imrm))
+                 ])
         end
       | Error message ->
         let code = if file = None then "unknown_model" else "load_error" in
@@ -350,7 +391,8 @@ let run_request t ~admitted ~id request =
       ]
     in
     (match entry.Registry.payload with
-     | Registry.Explicit { ctx; memo; init; _ } ->
+     | Registry.Explicit { ctx; memo; init; _ }
+     | Registry.Robust { ctx; memo; init; _ } ->
        let ctx = Checker.with_cancel ctx token in
        let* verdict =
          Registry.exclusively entry (fun () ->
@@ -397,6 +439,11 @@ let run_request t ~admitted ~id request =
           (Protocol.error ?id ~code:"unsupported"
              "quantile search runs on explicit models only; check the .gcm \
               model directly or load its materialised .mrm")
+      | Registry.Robust _ ->
+        Error
+          (Protocol.error ?id ~code:"unsupported"
+             "quantile search needs point probabilities; check the interval \
+              model's envelopes with P queries instead")
     in
     let* token = deadline_token t ~admitted ?id request in
     let ctx = Checker.with_cancel ctx token in
@@ -408,15 +455,15 @@ let run_request t ~admitted ~id request =
          pipeline. *)
       let time, reward =
         match variable with
-        | Protocol.Time -> (Numerics.Interval.upto x, reward)
-        | Protocol.Reward -> (time, Numerics.Interval.upto x)
+        | Protocol.Time -> (Numerics.Time_interval.upto x, reward)
+        | Protocol.Reward -> (time, Numerics.Time_interval.upto x)
       in
       let probe =
         Logic.Ast.Prob_query (Logic.Ast.Until (time, reward, phi, psi))
       in
       match Checker.eval_query ~memo ctx probe with
       | Checker.Numeric values -> Linalg.Vec.dot init values
-      | Checker.Boolean _ -> assert false
+      | _ -> assert false
     in
     let* outcome =
       Registry.exclusively entry (fun () ->
@@ -458,6 +505,11 @@ let run_request t ~admitted ~id request =
           (Protocol.error ?id ~code:"unsupported"
              "frontier sweeps run on explicit models only; check the .gcm \
               model directly or load its materialised .mrm")
+      | Registry.Robust _ ->
+        Error
+          (Protocol.error ?id ~code:"unsupported"
+             "frontier sweeps need point probabilities; check the interval \
+              model's envelopes with P queries instead")
     in
     let* token = deadline_token t ~admitted ?id request in
     let ctx = Checker.with_cancel ctx token in
@@ -659,8 +711,13 @@ let create config =
       ~pool:config.pool ?telemetry:config.telemetry
       ~reduction:config.reduction mrm labeling
   in
+  let make_robust_ctx imrm labeling =
+    Checker.make_robust ~engine:config.engine ~epsilon:config.epsilon
+      ~pool:config.pool ?telemetry:config.telemetry
+      ~reduction:config.reduction imrm labeling
+  in
   { config;
-    reg = Registry.create ~make_ctx ();
+    reg = Registry.create ~make_ctx ~make_robust_ctx ();
     counters =
       { c_load = 0; c_evict = 0; c_list = 0; c_check = 0; c_quantile = 0;
         c_frontier = 0; c_stats = 0; c_shutdown = 0; c_errors = 0;

@@ -90,16 +90,16 @@ let until_probability_window ?confidence rng mrm ~init ~phi ~psi ~time ~reward
   if Array.length phi <> n || Array.length psi <> n then
     invalid_arg "Estimate: mask length mismatch";
   let horizon =
-    match Numerics.Interval.upper time with
+    match Numerics.Time_interval.upper time with
     | Some b -> b
     | None ->
       invalid_arg
         "Estimate.until_probability_window: the time interval must be \
          bounded (simulation needs a finite horizon)"
   in
-  let t_lo = Numerics.Interval.lower time in
-  let r_lo = Numerics.Interval.lower reward in
-  let r_hi = Numerics.Interval.upper reward in
+  let t_lo = Numerics.Time_interval.lower time in
+  let r_lo = Numerics.Time_interval.lower reward in
+  let r_hi = Numerics.Time_interval.upper reward in
   let hits = ref 0 in
   for _ = 1 to samples do
     let tr = Trajectory.sample rng mrm ~init ~horizon in

@@ -45,7 +45,7 @@ val until_probability :
 
 val until_probability_window :
   ?confidence:float -> Rng.t -> Markov.Mrm.t -> init:int -> phi:bool array ->
-  psi:bool array -> time:Numerics.Interval.t -> reward:Numerics.Interval.t ->
+  psi:bool array -> time:Numerics.Time_interval.t -> reward:Numerics.Time_interval.t ->
   samples:int -> interval
 (** Estimates [Prob (Phi U_I^J Psi)] for {e arbitrary} intervals [I] and
     [J]: a hit is a time [u] in [I] with [X_u] in [psi], all earlier

@@ -158,6 +158,9 @@ Unknown models list the alternatives:
     multiprocessor-tracked the same system with every processor tracked (16 states)
     cluster          workstation cluster with switch and quorum (18 states)
     queue            M/M/1/6 queue with server breakdowns (14 states)
+  interval variants:
+    multiprocessor-drift the multiprocessor with every rate and reward widened by +/-10%
+    <name>-drift[:PCT] any built-in model widened by a +/-PCT% uniform drift (default 10)
   [2]
 
 Batch mode: a JSON file of queries answered over one shared checking

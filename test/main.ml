@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "perfcheck"
-    [ Test_numerics.suite; Test_linalg.suite; Test_graph.suite; Test_markov.suite; Test_logic.suite; Test_perf.suite; Test_checker.suite; Test_sim.suite; Test_petri.suite; Test_models.suite; Test_io.suite; Test_case_study.suite; Test_expected_reward.suite; Test_intervals.suite; Test_lumping.suite; Test_impulses.suite; Test_parallel.suite; Test_oracle.suite; Test_batch.suite; Test_reduction.suite; Test_frontier.suite; Test_server.suite; Test_explore.suite ]
+    [ Test_numerics.suite; Test_linalg.suite; Test_graph.suite; Test_markov.suite; Test_logic.suite; Test_perf.suite; Test_checker.suite; Test_sim.suite; Test_petri.suite; Test_models.suite; Test_io.suite; Test_case_study.suite; Test_expected_reward.suite; Test_intervals.suite; Test_lumping.suite; Test_impulses.suite; Test_parallel.suite; Test_oracle.suite; Test_batch.suite; Test_reduction.suite; Test_frontier.suite; Test_server.suite; Test_robust.suite; Test_explore.suite ]

@@ -1,0 +1,140 @@
+Robust checking of interval-valued MRMs.  A ±PCT rate drift widens a
+builtin into an uncertainty set; threshold queries then answer in
+three-valued logic — SATISFIED under every model in the set, violated
+under every model, or UNKNOWN when the envelopes straddle the bound —
+and the exit code follows: 0 only when the whole set satisfies the
+formula, 1 when none of it can, 3 for UNKNOWN:
+
+  $ csrl-check --model adhoc --rate-drift 5 'P>=0.4 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  query:  P>=0.4 ((call_idle | doze) U[t<=24][r<=600] call_initiated)
+  engine: robust-envelope over occupation-time(eps=1e-09)
+  model:  9 states, 24 rate intervals, max width 36
+    state  0  [adhoc_idle,call_idle                    ]  UNKNOWN
+    state  1  [adhoc_active,call_idle                  ]  UNKNOWN
+    state  2  [adhoc_idle,call_initiated               ]  SATISFIED
+    state  3  [adhoc_active,call_initiated             ]  SATISFIED
+    state  4  [adhoc_idle,call_incoming                ]  violated
+    state  5  [adhoc_active,call_incoming              ]  violated
+    state  6  [adhoc_idle,call_active                  ]  violated
+    state  7  [adhoc_active,call_active                ]  violated
+    state  8  [doze                                    ]  UNKNOWN
+  initial distribution satisfies the formula with mass in [0, 1]
+  [3]
+
+A P=? query on a builtin interval variant answers with per-state
+probability envelopes instead of point values:
+
+  $ csrl-check --model multiprocessor-drift 'P=? ( F[t<=2] down )'
+  query:  P=? (F[t<=2] down)
+  engine: robust-envelope over occupation-time(eps=1e-09)
+  model:  5 states, 8 rate intervals, max width 0.6
+    state  0  [down                                    ]  [0.9999999990, 1.0000000000]
+    state  1  [degraded,up                             ]  [0.0021822378, 0.0028987805]
+    state  2  [degraded,up                             ]  [0.0000064343, 0.0000108488]
+    state  3  [degraded,saturated,up                   ]  [0.0000000199, 0.0000000451]
+    state  4  [full,saturated,up                       ]  [0.0000000000, 0.0000000015]
+  value from the initial distribution: [0.0000000000, 0.0000000015]
+
+An explicit interval model from disk (--imrm): transitions carry
+[lo, hi] rate intervals (a bare rate means a point), rewards a number
+or a pair, and "init" picks the initial state:
+
+  $ cat > station.imrm.json <<'EOF'
+  > {"states": 3,
+  >  "transitions": [[0, 1, 0.9, 1.1], [1, 2, 0.45, 0.55], [2, 0, 1.0, 1.0]],
+  >  "rewards": [[0.0, 1.0], 2.0, 0.0],
+  >  "labels": {"up": [0, 1], "down": [2]},
+  >  "init": 0}
+  > EOF
+  $ csrl-check --imrm station.imrm.json 'P=? ( F[t<=4] down )'
+  query:  P=? (F[t<=4] down)
+  engine: robust-envelope over occupation-time(eps=1e-09)
+  model:  3 states, 3 rate intervals, max width 1
+    state  0  [up                                      ]  [0.6967259446, 0.7906710242]
+    state  1  [up                                      ]  [0.8347011104, 0.8891968426]
+    state  2  [down                                    ]  [0.9999999990, 1.0000000000]
+  value from the initial distribution: [0.6967259446, 0.7906710242]
+
+Malformed interval models are one-line diagnostics, exit 2 — bad JSON,
+a dangling state index, an inverted interval, a missing file, and the
+flag combinations that make no sense:
+
+  $ echo 'not json' > bad.json
+  $ csrl-check --imrm bad.json 'P=? ( F[t<=4] down )'
+  interval model bad.json: bad JSON at offset 0: expected null
+  [2]
+  $ echo '{"states": 2, "transitions": [[0, 5, 1.0]], "rewards": [0, 0]}' > dangling.json
+  $ csrl-check --imrm dangling.json 'P=? ( F[t<=4] down )'
+  interval model dangling.json: transition 0: state 5 out of range (0..1)
+  [2]
+  $ echo '{"states": 2, "transitions": [[0, 1, 2.0, 1.0]], "rewards": [0, 0]}' > inverted.json
+  $ csrl-check --imrm inverted.json 'P=? ( F[t<=4] down )'
+  interval model inverted.json: Imrm: rate 0 -> 1 needs 0 <= lo <= hi (finite), got [2, 1]
+  [2]
+  $ csrl-check --imrm no-such-file.json 'P=? ( F[t<=4] down )'
+  no-such-file.json: No such file or directory
+  [2]
+  $ csrl-check --imrm station.imrm.json --rate-drift 5 'P=? ( F[t<=4] down )'
+  --imrm cannot be combined with --file or --rate-drift
+  [2]
+  $ csrl-check --model adhoc --rate-drift 120 'P=? ( F[t<=2] doze )'
+  --rate-drift needs a percentage in [0, 100)
+  [2]
+
+--stats on a drifted run shows the robust telemetry — one envelope, its
+lower and upper sweeps' value-iteration steps — alongside the usual
+counters, with the UNKNOWN verdicts rendered as above:
+
+  $ csrl-check --model adhoc --rate-drift 5 --stats 'P>=0.4 ( (call_idle | doze) U[t<=24][r<=600] call_initiated )'
+  query:  P>=0.4 ((call_idle | doze) U[t<=24][r<=600] call_initiated)
+  engine: robust-envelope over occupation-time(eps=1e-09)
+  model:  9 states, 24 rate intervals, max width 36
+    state  0  [adhoc_idle,call_idle                    ]  UNKNOWN
+    state  1  [adhoc_active,call_idle                  ]  UNKNOWN
+    state  2  [adhoc_idle,call_initiated               ]  SATISFIED
+    state  3  [adhoc_active,call_initiated             ]  SATISFIED
+    state  4  [adhoc_idle,call_incoming                ]  violated
+    state  5  [adhoc_active,call_incoming              ]  violated
+    state  6  [adhoc_idle,call_active                  ]  violated
+    state  7  [adhoc_active,call_active                ]  violated
+    state  8  [doze                                    ]  UNKNOWN
+  initial distribution satisfies the formula with mass in [0, 1]
+  telemetry:
+    fox_glynn.calls = 2
+    robust.envelopes = 1
+    robust.steps = 23216
+    fox_glynn.left = 10228
+    fox_glynn.right = 11608
+    fox_glynn.weight_mass = 1
+    pool.chunks = 0
+    pool.inline_runs = 0
+    pool.parallel_runs = 0
+    pool.size = 1
+  [3]
+
+The serving daemon speaks the same robust dialect: loading a -drift
+builtin reports the interval model's shape, check results come back as
+"interval" or "three-valued" objects, quantile search on an interval
+entry is refused with a pointer at the supported path, and an
+out-of-range drift field is a bad request:
+
+  $ csrl-serve <<'EOF'
+  > {"kind": "load", "model": "multiprocessor-drift"}
+  > {"kind": "check", "model": "multiprocessor-drift", "query": "P=? ( F[t<=2] down )", "id": "r1"}
+  > {"kind": "check", "model": "multiprocessor-drift", "query": "P>=0.5 ( F[t<=2] down )", "id": "r2"}
+  > {"kind": "quantile", "model": "multiprocessor-drift", "query": "P=? ( true U[t<=1] down )", "variable": "t", "target": 0.5, "hi": 24}
+  > {"kind": "load", "model": "bad", "drift": 250}
+  > {"kind": "shutdown"}
+  > EOF
+  {"ok":true,"kind":"load","model":"multiprocessor-drift","robust":true,"states":5,"transitions":8,"max_width":0.60000000000000009}
+  {"ok":true,"kind":"check","id":"r1","model":"multiprocessor-drift","query":"P=? (F[t<=2] down)","result":{"kind":"interval","value_lo":0,"value_hi":1.4512794176147204e-09,"states":[[0.999999999,1],[0.0021822377894083157,0.0028987805009481546],[6.4343246951410114e-06,1.0848820026802367e-05],[1.9875032668517522e-08,4.5101404221076669e-08],[0,1.4512794176147204e-09]]}}
+  {"ok":true,"kind":"check","id":"r2","model":"multiprocessor-drift","query":"P>=0.5 (F[t<=2] down)","result":{"kind":"three-valued","initial_mass_lo":0,"initial_mass_hi":0,"states":["holds","fails","fails","fails","fails"]}}
+  {"ok":false,"error":"unsupported","message":"quantile search needs point probabilities; check the interval model's envelopes with P queries instead"}
+  {"ok":false,"error":"bad_request","message":"\"drift\" must be a percentage in [0, 100)"}
+  {"ok":true,"kind":"shutdown"}
+
+Zero width is not a special rendering: --rate-drift 0 delegates to the
+precise engines and prints the same digits twice.
+
+  $ csrl-check --model multiprocessor --rate-drift 0 'P=? ( F[t<=2] down )' | tail -1
+  value from the initial distribution: [0.0000000001, 0.0000000001]

@@ -22,7 +22,7 @@ let server () =
 let probs ctx text =
   match Checker.eval_query ctx (Logic.Parser.query text) with
   | Checker.Numeric v -> v
-  | Checker.Boolean _ -> Alcotest.fail "expected a numeric query"
+  | _ -> Alcotest.fail "expected a numeric query"
 
 let test_boolean_layer () =
   let ctx = server () in
@@ -172,7 +172,7 @@ let test_verdicts () =
   | Checker.Boolean mask ->
     Alcotest.(check (list bool)) "verdict" [ true; true; true ]
       (Array.to_list mask)
-  | Checker.Numeric _ -> Alcotest.fail "expected boolean"
+  | _ -> Alcotest.fail "expected boolean"
 
 let test_engine_selection_consistency () =
   (* The same P3 formula through all three engines. *)

@@ -196,7 +196,7 @@ let test_r_operator_checking () =
   let values text =
     match Checker.eval_query ctx (Logic.Parser.query text) with
     | Checker.Numeric v -> v
-    | Checker.Boolean _ -> Alcotest.fail "expected numeric"
+    | _ -> Alcotest.fail "expected numeric"
   in
   (* Cumulative: matches the direct computation. *)
   let v = values "R=? ( C[t<=5] )" in
@@ -251,8 +251,8 @@ let test_r_operator_case_study () =
            ~init:(Linalg.Vec.unit 9 Models.Adhoc.initial_state) ~t
        in
        check_close ~tol:1e-3 "ergodic limit" r (e_long /. t)
-     | Checker.Boolean _ -> Alcotest.fail "expected numeric")
-  | Checker.Boolean _ -> Alcotest.fail "expected numeric"
+     | _ -> Alcotest.fail "expected numeric")
+  | _ -> Alcotest.fail "expected numeric"
 
 let suite =
   ( "expected reward",

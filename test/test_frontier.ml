@@ -138,11 +138,11 @@ let cold_point ?pool ?reduction m labeling ~init ~path ~t ~r =
   let probe =
     Logic.Ast.Prob_query
       (Logic.Ast.Until
-         (Numerics.Interval.upto t, Numerics.Interval.upto r, phi, psi))
+         (Numerics.Time_interval.upto t, Numerics.Time_interval.upto r, phi, psi))
   in
   match Checker.eval_query ctx probe with
   | Checker.Numeric values -> Linalg.Vec.dot init values
-  | Checker.Boolean _ -> Alcotest.fail "numeric verdict expected"
+  | _ -> Alcotest.fail "numeric verdict expected"
 
 let differential_on ?pool ?reduction what m labeling =
   let query = Logic.Parser.query frontier_text in
@@ -223,12 +223,12 @@ let eval_on ctx memo ~init ~t ~r =
   let probe =
     Logic.Ast.Prob_query
       (Logic.Ast.Until
-         (Numerics.Interval.upto t, Numerics.Interval.upto r, Logic.Ast.Ap "a",
+         (Numerics.Time_interval.upto t, Numerics.Time_interval.upto r, Logic.Ast.Ap "a",
           Logic.Ast.Ap "b"))
   in
   match Checker.eval_query ~memo ctx probe with
   | Checker.Numeric values -> Linalg.Vec.dot init values
-  | Checker.Boolean _ -> QCheck2.Test.fail_report "numeric verdict expected"
+  | _ -> QCheck2.Test.fail_report "numeric verdict expected"
 
 (* The sweep's brackets are sound only because the until probability is
    monotone nondecreasing in both bounds; pin that on random models

@@ -206,7 +206,7 @@ let test_checker_with_impulses () =
       Checker.eval_query ctx (Logic.Parser.query "P=? ( F[t<=4][r<=8] goal )")
     with
     | Checker.Numeric v -> v
-    | Checker.Boolean _ -> Alcotest.fail "expected numeric"
+    | _ -> Alcotest.fail "expected numeric"
   in
   let rng = Sim.Rng.create ~seed:2026L in
   let iv =

@@ -9,7 +9,7 @@ let check_close ?(tol = 1e-9) what expected actual =
 let probs ctx text =
   match Checker.eval_query ctx (Logic.Parser.query text) with
   | Checker.Numeric v -> v
-  | Checker.Boolean _ -> Alcotest.fail "expected a numeric query"
+  | _ -> Alcotest.fail "expected a numeric query"
 
 (* Pure death up --mu--> down.  With phi = true, F[a<=t<=b] down is
    satisfied iff T <= b (down is absorbing, so an early hit still holds
@@ -168,8 +168,8 @@ let prop_window_vs_simulation =
       let iv =
         Sim.Estimate.until_probability_window ~confidence:0.999 rng m ~init
           ~phi ~psi
-          ~time:(Numerics.Interval.between a b)
-          ~reward:Numerics.Interval.unbounded ~samples:20_000
+          ~time:(Numerics.Time_interval.between a b)
+          ~reward:Numerics.Time_interval.unbounded ~samples:20_000
       in
       let ok =
         Sim.Estimate.contains iv values.{init}

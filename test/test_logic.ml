@@ -45,8 +45,8 @@ let test_parse_boolean () =
     (Ast.Or (Ast.Or (Ast.Ap "a", Ast.Ap "b"), Ast.Ap "c"))
     (parse "a | b | c")
 
-let upto = Numerics.Interval.upto
-let unb = Numerics.Interval.unbounded
+let upto = Numerics.Time_interval.upto
+let unb = Numerics.Time_interval.unbounded
 
 let test_parse_probabilistic () =
   Alcotest.check formula "until with both bounds"
@@ -85,8 +85,8 @@ let test_parse_probabilistic () =
 let test_parse_queries () =
   (match Parser.query "P=? ( a U[t<=5] b )" with
    | Ast.Prob_query (Ast.Until (i, j, Ast.Ap "a", Ast.Ap "b")) ->
-     Alcotest.(check bool) "time bound" true (Numerics.Interval.equal i (upto 5.0));
-     Alcotest.(check bool) "no reward bound" true (Numerics.Interval.equal j unb)
+     Alcotest.(check bool) "time bound" true (Numerics.Time_interval.equal i (upto 5.0));
+     Alcotest.(check bool) "no reward bound" true (Numerics.Time_interval.equal j unb)
    | _ -> Alcotest.fail "bad P=? parse");
   (match Parser.query "S=? ( up )" with
    | Ast.Steady_query (Ast.Ap "up") -> ()
@@ -133,7 +133,7 @@ let test_helpers () =
   (match Ast.eventually (Ast.Ap "x") with
    | Ast.Until (i, j, Ast.True, Ast.Ap "x") ->
      Alcotest.(check bool) "eventually unbounded" true
-       (Numerics.Interval.equal i unb && Numerics.Interval.equal j unb)
+       (Numerics.Time_interval.equal i unb && Numerics.Time_interval.equal j unb)
    | _ -> Alcotest.fail "eventually shape")
 
 (* ---------------- round-trip property ------------------------------ *)
@@ -144,10 +144,10 @@ let gen_formula =
     oneof
       [ return unb;
         map (fun b -> upto (Float.of_int b)) (int_range 0 99);
-        map (fun a -> Numerics.Interval.from (Float.of_int a)) (int_range 1 99);
+        map (fun a -> Numerics.Time_interval.from (Float.of_int a)) (int_range 1 99);
         map2
           (fun a len ->
-            Numerics.Interval.between (Float.of_int a)
+            Numerics.Time_interval.between (Float.of_int a)
               (Float.of_int (a + len)))
           (int_range 1 50) (int_range 0 49) ]
   in

@@ -229,7 +229,7 @@ let test_fox_glynn_fold () =
     count
 
 let test_interval () =
-  let open Numerics.Interval in
+  let open Numerics.Time_interval in
   Alcotest.(check bool) "mem in" true (mem 3.0 (upto 5.0));
   Alcotest.(check bool) "mem boundary" true (mem 5.0 (upto 5.0));
   Alcotest.(check bool) "mem out" false (mem 5.1 (upto 5.0));
@@ -245,7 +245,7 @@ let test_interval () =
   Alcotest.(check bool) "scale" true (equal (scale 2.0 (upto 3.0)) (upto 6.0));
   Alcotest.check_raises "upto negative"
     (Invalid_argument
-       "Interval.upto: endpoints must be finite and non-negative")
+       "Time_interval.upto: endpoints must be finite and non-negative")
     (fun () -> ignore (upto (-1.0)));
   (* General intervals. *)
   Alcotest.(check bool) "between mem" true (mem 2.0 (between 1.0 3.0));
@@ -276,7 +276,7 @@ let test_interval () =
   Alcotest.(check bool) "intersect unbounded" true
     (same (intersect unbounded (from 2.0)) (Some (from 2.0)));
   Alcotest.check_raises "between reversed"
-    (Invalid_argument "Interval.between: lower exceeds upper") (fun () ->
+    (Invalid_argument "Time_interval.between: lower exceeds upper") (fun () ->
       ignore (between 3.0 1.0))
 
 (* ---------------- property tests ---------------------------------- *)

@@ -80,10 +80,10 @@ let test_checker_end_to_end () =
       "P=? ( (call_idle | doze) U[t<=24][r<=600] call_initiated )"
   in
   match Checker.eval_query ctx query with
-  | Checker.Boolean _ -> Alcotest.fail "expected a numeric verdict"
   | Checker.Numeric probs ->
     check_within "checker P=?" ~tol:1e-6 oracle
       probs.{Models.Adhoc.initial_state}
+  | _ -> Alcotest.fail "expected a numeric verdict"
 
 let suite =
   ( "oracle",

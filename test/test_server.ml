@@ -55,12 +55,30 @@ let gen_envelope =
             (* file and builtin are mutually exclusive on the wire, so
                the generator never produces both. *)
             match source with
-            | `File f -> Protocol.Load { model; file = Some f; builtin = None }
+            | `File f ->
+              Protocol.Load
+                { model; file = Some f; builtin = None; drift = None;
+                  imrm = None }
             | `Builtin b ->
-              Protocol.Load { model; file = None; builtin = Some b }
-            | `Plain -> Protocol.Load { model; file = None; builtin = None })
+              Protocol.Load
+                { model; file = None; builtin = Some b; drift = None;
+                  imrm = None }
+            | `Plain ->
+              Protocol.Load
+                { model; file = None; builtin = None; drift = None;
+                  imrm = None }
+            | `Drift d ->
+              Protocol.Load
+                { model; file = None; builtin = None; drift = Some d;
+                  imrm = None }
+            | `Imrm path ->
+              Protocol.Load
+                { model; file = None; builtin = None; drift = None;
+                  imrm = Some path })
           name
-          (oneofl [ `Plain; `File "station.mrm"; `Builtin "adhoc-srn" ]);
+          (oneofl
+             [ `Plain; `File "station.mrm"; `Builtin "adhoc-srn";
+               `Drift 10.0; `Imrm "station.imrm.json" ]);
         map (fun model -> Protocol.Evict { model }) name;
         return Protocol.List_models;
         map3
@@ -233,7 +251,7 @@ let quantile_request () =
     let q = Printf.sprintf "P=? ( true U[t<=%.17g] doze )" t in
     match Checker.eval_query ctx (Logic.Parser.query q) with
     | Checker.Numeric v -> Linalg.Vec.dot init v
-    | Checker.Boolean _ -> Alcotest.fail "boolean verdict"
+    | _ -> Alcotest.fail "boolean verdict"
   in
   Alcotest.(check bool) "target reached at the bound" true
     (eval value >= 0.5);
@@ -281,7 +299,7 @@ let frontier_request () =
       let cold =
         match Checker.eval_query ctx (Logic.Parser.query q) with
         | Checker.Numeric v -> Linalg.Vec.dot init v
-        | Checker.Boolean _ -> Alcotest.fail "boolean verdict"
+        | _ -> Alcotest.fail "boolean verdict"
       in
       if Int64.bits_of_float p <> Int64.bits_of_float cold then
         Alcotest.failf "point (t=%.17g, r=%.17g): served %.17g != cold %.17g"
@@ -339,6 +357,7 @@ let differential_check () =
             ("states",
              Io.Json.List
                (Array.to_list (Array.map (fun b -> Io.Json.Bool b) mask))) ]
+        | _ -> Alcotest.fail "expected a point verdict"
       in
       (* String equality of the rendered JSON is bit-identity: Io.Json
          prints floats with round-trip precision. *)
@@ -402,7 +421,7 @@ let evict_in_flight () =
   let ctx, memo =
     match entry.Server.Registry.payload with
     | Server.Registry.Explicit { ctx; memo; _ } -> (ctx, memo)
-    | Server.Registry.Symbolic _ -> Alcotest.fail "expected an explicit entry"
+    | _ -> Alcotest.fail "expected an explicit entry"
   in
   let before = Checker.eval_query ~memo ctx query in
   Alcotest.(check bool) "evict" true (Server.Registry.evict reg "adhoc");
